@@ -1,0 +1,51 @@
+//! Per-model tokenisation + embedding inference cost — the data behind
+//! Fig. 6's inference-time comparison, measured properly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dataset::record::{PacketRecord, Prepared};
+use encoders::model::{EncoderModel, ModelKind};
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+fn bench_encoders(c: &mut Criterion) {
+    let trace = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 2, flows_per_class: 3 }.generate();
+    let data = Prepared::from_trace(&trace);
+    let recs: Vec<&PacketRecord> = data.records.iter().take(256).collect();
+
+    let mut g = c.benchmark_group("encoder_inference");
+    g.throughput(Throughput::Elements(recs.len() as u64));
+    for kind in ModelKind::ALL {
+        let enc = EncoderModel::new(kind, 1);
+        g.bench_function(format!("tokenize_{}", kind.name()), |b| {
+            b.iter(|| {
+                for r in &recs {
+                    black_box(enc.tokenize_packet(r, None));
+                }
+            });
+        });
+        g.bench_function(format!("encode_{}", kind.name()), |b| {
+            b.iter(|| black_box(enc.encode_packets(&recs)));
+        });
+    }
+    g.finish();
+
+    // Pooling-bottleneck ablation (paper App. A.1.2): mean pooling vs a
+    // first-token readout — cost comparison backing the design choice.
+    let enc = EncoderModel::new(ModelKind::PcapEncoder, 1);
+    let tokens: Vec<Vec<u32>> = recs.iter().map(|r| enc.tokenize_packet(r, None)).collect();
+    let mut g = c.benchmark_group("pooling_ablation");
+    g.throughput(Throughput::Elements(tokens.len() as u64));
+    g.bench_function("mean_pooling", |b| {
+        b.iter(|| black_box(enc.embedding.forward_inference(&tokens)));
+    });
+    g.bench_function("first_token_pooling", |b| {
+        b.iter(|| {
+            let first: Vec<Vec<u32>> =
+                tokens.iter().map(|t| t.first().copied().into_iter().collect()).collect();
+            black_box(enc.embedding.forward_inference(&first))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

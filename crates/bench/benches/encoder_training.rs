@@ -1,0 +1,44 @@
+//! Frozen vs unfrozen training-step cost per encoder — the data behind
+//! Fig. 6's "unfreezing costs 2×–8×" claim, measured at the level of a
+//! single optimisation step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dataset::record::{PacketRecord, Prepared};
+use encoders::model::{EncoderModel, ModelKind};
+use nn::Mlp;
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+fn bench_training_steps(c: &mut Criterion) {
+    let trace = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 4, flows_per_class: 3 }.generate();
+    let data = Prepared::from_trace(&trace);
+    let recs: Vec<&PacketRecord> = data.records.iter().take(64).collect();
+    let labels: Vec<u16> = recs.iter().map(|r| r.class % 16).collect();
+
+    let mut g = c.benchmark_group("training_step");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(recs.len() as u64));
+    for kind in [ModelKind::EtBert, ModelKind::NetMamba, ModelKind::PcapEncoder] {
+        // Frozen step: encode once outside, train head only.
+        let enc = EncoderModel::new(kind, 1);
+        let x = enc.encode_packets(&recs);
+        g.bench_function(format!("frozen_head_step_{}", kind.name()), |b| {
+            let mut head = Mlp::new(&[enc.dim(), 128, 16], 1);
+            b.iter(|| black_box(head.train_batch(&x, &labels, 0.01)));
+        });
+        // Unfrozen step: tokenize + embed forward + head + both backward.
+        g.bench_function(format!("unfrozen_step_{}", kind.name()), |b| {
+            let mut enc = EncoderModel::new(kind, 1);
+            let mut head = Mlp::new(&[enc.dim(), 128, 16], 1);
+            b.iter(|| {
+                let tokens = enc.tokenize_training_batch(&recs, 0);
+                let pooled = enc.forward_tokens(&tokens);
+                let (_, d) = head.train_batch(&pooled, &labels, 0.01);
+                enc.backward(&d, 0.01);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_training_steps);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table-12 feature-extraction throughput (the shallow pipeline's
+//! per-packet cost) plus dataset cleaning throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dataset::clean::clean_trace;
+use dataset::record::Prepared;
+use shallow::features::{extract_features, FeatureConfig};
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+fn bench_features(c: &mut Criterion) {
+    let trace = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 1, flows_per_class: 4 }.generate();
+    let data = Prepared::from_trace(&trace);
+    let n = data.records.len().min(1000);
+
+    let mut g = c.benchmark_group("feature_extract");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("table12_features_1k_packets", |b| {
+        b.iter(|| {
+            for r in data.records.iter().take(n) {
+                black_box(extract_features(r, FeatureConfig::default()));
+            }
+        });
+    });
+    g.bench_function("table12_features_no_ip", |b| {
+        b.iter(|| {
+            for r in data.records.iter().take(n) {
+                black_box(extract_features(r, FeatureConfig { with_ip: false }));
+            }
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("cleaning");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.bench_function("clean_full_trace", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |mut t| black_box(clean_trace(&mut t)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

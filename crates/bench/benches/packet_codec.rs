@@ -1,0 +1,56 @@
+//! Wire-format throughput: frame building, parsing, checksum work and
+//! pcap serialisation — the substrate cost under every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use net_packet::builder::FrameBuilder;
+use net_packet::frame::ParsedFrame;
+use net_packet::ident::identify;
+use net_packet::ipv4::Ipv4Addr;
+use net_packet::pcap::{self, PcapPacket};
+use net_packet::tcp::TcpOption;
+
+fn sample_frame() -> Vec<u8> {
+    FrameBuilder::tcp_ipv4_default()
+        .src(Ipv4Addr::new(192, 168, 1, 10), 51234)
+        .dst(Ipv4Addr::new(93, 184, 216, 34), 443)
+        .seq_ack(0x1234_5678, 0x9abc_def0)
+        .option(TcpOption::Nop)
+        .option(TcpOption::Nop)
+        .option(TcpOption::Timestamps(1000, 2000))
+        .payload(vec![0xa5; 512])
+        .build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let frame = sample_frame();
+    let mut g = c.benchmark_group("packet_codec");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+
+    g.bench_function("build_tcp_frame", |b| {
+        b.iter(|| black_box(sample_frame()));
+    });
+    g.bench_function("parse_frame", |b| {
+        b.iter(|| ParsedFrame::parse(black_box(&frame)).unwrap());
+    });
+    g.bench_function("identify_protocol", |b| {
+        b.iter(|| identify(black_box(&frame)));
+    });
+    g.finish();
+
+    let packets: Vec<PcapPacket> = (0..100)
+        .map(|i| PcapPacket { ts_sec: i, ts_usec: 0, data: frame.clone() })
+        .collect();
+    let bytes = pcap::write_all(&packets);
+    let mut g = c.benchmark_group("pcap");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("write_100_packets", |b| {
+        b.iter(|| pcap::write_all(black_box(&packets)));
+    });
+    g.bench_function("read_100_packets", |b| {
+        b.iter(|| pcap::read_all(black_box(&bytes[..])).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end pipeline stage costs: generation, splitting, balanced
+//! sampling and head training — the fixed overhead of every experiment
+//! cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dataset::record::{PacketRecord, Prepared};
+use dataset::split::{balanced_undersample, per_flow_split, per_packet_split};
+use dataset::Task;
+use nn::{Mlp, Tensor};
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10);
+    g.bench_function("generate_ustc_small", |b| {
+        b.iter(|| {
+            black_box(
+                DatasetSpec { kind: DatasetKind::UstcTfc, seed: 1, flows_per_class: 2 }.generate(),
+            )
+        });
+    });
+    g.finish();
+
+    let trace = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 1, flows_per_class: 4 }.generate();
+    let data = Prepared::from_trace(&trace);
+    let task = Task::UstcApp;
+    let label = |r: &PacketRecord| task.label_of(&data, r);
+
+    let mut g = c.benchmark_group("splitting");
+    g.throughput(Throughput::Elements(data.records.len() as u64));
+    g.bench_function("per_flow_split", |b| {
+        b.iter(|| black_box(per_flow_split(&data, 0.875, 1000, 7)));
+    });
+    g.bench_function("per_packet_split", |b| {
+        b.iter(|| black_box(per_packet_split(&data, 0.875, 7)));
+    });
+    let split = per_flow_split(&data, 0.875, 1000, 7);
+    g.bench_function("balanced_undersample", |b| {
+        b.iter(|| black_box(balanced_undersample(&data, &split.train, &label, 7)));
+    });
+    g.finish();
+
+    // Classification-head training cost (frozen protocol's hot loop).
+    let x = Tensor::xavier(1000, 64, 1);
+    let y: Vec<u16> = (0..1000).map(|i| (i % 16) as u16).collect();
+    let mut g = c.benchmark_group("head_training");
+    g.sample_size(10);
+    g.bench_function("mlp_head_10_epochs", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(&[64, 128, 16], 1);
+            black_box(mlp.fit(&x, &y, 10, 64, 0.01, 2))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

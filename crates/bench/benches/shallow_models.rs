@@ -1,0 +1,82 @@
+//! Shallow-model training and inference cost (the RF baseline that
+//! anchors Fig. 6, plus the GBDT variants and k-NN).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dataset::record::Prepared;
+use dataset::Task;
+use shallow::features::{extract_features, FeatureConfig, N_FEATURES};
+use shallow::forest::{ForestParams, RandomForest};
+use shallow::gbdt::{GbdtParams, GradientBoosting, GrowthPolicy};
+use shallow::knn::KnnClassifier;
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+fn dataset() -> (Vec<[f32; N_FEATURES]>, Vec<u16>) {
+    let trace = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 4 }.generate();
+    let data = Prepared::from_trace(&trace);
+    let task = Task::UstcApp;
+    let n = data.records.len().min(2000);
+    let x: Vec<[f32; N_FEATURES]> = data
+        .records
+        .iter()
+        .take(n)
+        .map(|r| extract_features(r, FeatureConfig::default()))
+        .collect();
+    let y: Vec<u16> = data.records.iter().take(n).map(|r| task.label_of(&data, r)).collect();
+    (x, y)
+}
+
+fn bench_shallow(c: &mut Criterion) {
+    let (x, y) = dataset();
+    let rows: Vec<&[f32]> = x.iter().map(|r| r.as_slice()).collect();
+
+    let mut g = c.benchmark_group("shallow_train");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(rows.len() as u64));
+    g.bench_function("random_forest_fit", |b| {
+        b.iter(|| {
+            black_box(RandomForest::fit(
+                &rows,
+                &y,
+                20,
+                ForestParams { n_trees: 10, ..Default::default() },
+                1,
+            ))
+        });
+    });
+    g.bench_function("gbdt_depthwise_fit", |b| {
+        b.iter(|| {
+            black_box(GradientBoosting::fit(
+                &rows,
+                &y,
+                20,
+                GbdtParams { rounds: 3, ..Default::default() },
+            ))
+        });
+    });
+    g.bench_function("gbdt_leafwise_fit", |b| {
+        b.iter(|| {
+            black_box(GradientBoosting::fit(
+                &rows,
+                &y,
+                20,
+                GbdtParams { rounds: 3, policy: GrowthPolicy::LeafWise, ..Default::default() },
+            ))
+        });
+    });
+    g.finish();
+
+    let rf = RandomForest::fit(&rows, &y, 20, ForestParams::default(), 1);
+    let knn = KnnClassifier::fit(&rows[..1000.min(rows.len())], &y[..1000.min(y.len())], 5);
+    let mut g = c.benchmark_group("shallow_predict");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("random_forest_predict_256", |b| {
+        b.iter(|| black_box(rf.predict(&rows[..256])));
+    });
+    g.bench_function("knn_predict_256", |b| {
+        b.iter(|| black_box(knn.predict(&rows[..256])));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shallow);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Learning-curve check for the per-packet shortcut cell.
+use dataset::Task;
+use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
+use debunk_core::pipeline::PreparedTask;
+use encoders::model::{EncoderModel, ModelKind};
+
+fn main() {
+    let prep = PreparedTask::build(Task::Tls120, 42, 0.7);
+    let enc = EncoderModel::new(ModelKind::EtBert, 42);
+    for (epochs, lr_enc) in [(20usize, 0.02f32), (40, 0.02), (40, 0.05)] {
+        let cfg = CellConfig {
+            unfrozen_epochs: epochs,
+            lr_encoder: lr_enc,
+            kfolds: 2,
+            max_train: 8000,
+            max_test: 3000,
+            ..Default::default()
+        };
+        let cell = run_cell(&prep, &enc, SplitPolicy::PerPacket, false, &cfg);
+        println!(
+            "epochs={epochs} lr_enc={lr_enc}: AC={:.1} F1={:.1} ({:.0}s)",
+            cell.accuracy * 100.0,
+            cell.macro_f1 * 100.0,
+            cell.train_secs
+        );
+    }
+}

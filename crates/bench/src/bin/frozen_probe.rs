@@ -1,0 +1,40 @@
+//! Focused calibration of the frozen Pcap-Encoder cell on TLS-120:
+//! sweep the Q&A pre-training learning rate to find the point where
+//! header alignment helps without collapsing the random-feature
+//! geometry of the embedding table.
+
+use dataset::Task;
+use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
+use debunk_core::pipeline::PreparedTask;
+use encoders::model::{EncoderModel, ModelKind};
+use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let prep = PreparedTask::build(Task::Tls120, 1, 1.0);
+    println!("[{:.0?}] dataset ready", t0.elapsed());
+    let cfg = CellConfig { frozen_epochs: 40, max_train: 9600, kfolds: 2, ..Default::default() };
+
+    let rand_enc = EncoderModel::new(ModelKind::PcapEncoder, 7);
+    let cell = run_cell(&prep, &rand_enc, SplitPolicy::PerFlow, true, &cfg);
+    println!(
+        "[{:.0?}] random-init: AC={:.1} F1={:.1}",
+        t0.elapsed(),
+        cell.accuracy * 100.0,
+        cell.macro_f1 * 100.0
+    );
+
+    for lr in [0.3f32, 0.1, 0.03] {
+        let budget = PretrainBudget { corpus_flows: 200, ae_epochs: 1, qa_epochs: 3, lr };
+        let phases = pretrain_pcap_encoder(PcapEncoderVariant::AutoencoderQa, budget, 7);
+        let qa = phases.qa_report.as_ref().map(|r| r.mean_accuracy()).unwrap_or(0.0);
+        let cell = run_cell(&prep, &phases.model, SplitPolicy::PerFlow, true, &cfg);
+        println!(
+            "[{:.0?}] qa_lr={lr}: qa_acc={:.2} downstream AC={:.1} F1={:.1}",
+            t0.elapsed(),
+            qa,
+            cell.accuracy * 100.0,
+            cell.macro_f1 * 100.0
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! `results_md` — render the JSON result records written by `repro`
+//! into Markdown tables (for embedding in EXPERIMENTS.md or reports).
+//!
+//! ```text
+//! results_md [results_dir]    # default: results/
+//! ```
+
+use debunk_core::report::ResultRecord;
+use std::collections::BTreeMap;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e} (run `repro` first)");
+            std::process::exit(1);
+        }
+    };
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(records) = serde_json::from_str::<Vec<ResultRecord>>(&text) else {
+            eprintln!("skipping {path:?}: not a result-record file");
+            continue;
+        };
+        if records.is_empty() {
+            continue;
+        }
+        println!("## {}\n", records[0].experiment);
+        // group rows by (model), columns by (task, setting)
+        let mut columns: Vec<(String, String)> = Vec::new();
+        let mut rows: BTreeMap<String, BTreeMap<(String, String), (f64, f64)>> = BTreeMap::new();
+        for r in &records {
+            let col = (r.task.clone(), r.setting.clone());
+            if !columns.contains(&col) {
+                columns.push(col.clone());
+            }
+            rows.entry(r.model.clone())
+                .or_default()
+                .insert(col, (r.accuracy, r.macro_f1));
+        }
+        print!("| model |");
+        for (task, setting) in &columns {
+            print!(" {task} {setting} AC | F1 |");
+        }
+        println!();
+        print!("|---|");
+        for _ in &columns {
+            print!("---|---|");
+        }
+        println!();
+        for (model, cells) in &rows {
+            print!("| {model} |");
+            for col in &columns {
+                match cells.get(col) {
+                    Some((ac, f1)) => print!(" {ac:.1} | {f1:.1} |"),
+                    None => print!(" - | - |"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

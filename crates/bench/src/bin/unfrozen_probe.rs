@@ -1,0 +1,38 @@
+//! Calibration probe for the *unfrozen* cells: verify that gradient
+//! clipping fixes the wide-encoder divergence and that the per-packet
+//! shortcut cell reaches paper-like inflation with a larger budget.
+
+use dataset::Task;
+use debunk_core::experiment::{build_encoder, run_cell, CellConfig, SplitPolicy};
+use debunk_core::pipeline::PreparedTask;
+use encoders::model::ModelKind;
+use encoders::pcap_encoder::PretrainBudget;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let prep = PreparedTask::build(Task::Tls120, 42, 0.7);
+    let budget = PretrainBudget { corpus_flows: 100, ae_epochs: 1, qa_epochs: 2, lr: 0.01 };
+    let cfg = CellConfig {
+        frozen_epochs: 30,
+        unfrozen_epochs: 20,
+        kfolds: 2,
+        max_train: 8000,
+        max_test: 3000,
+        ..Default::default()
+    };
+    for kind in [ModelKind::EtBert, ModelKind::PcapEncoder, ModelKind::TrafficFormer] {
+        let enc = build_encoder(kind, true, budget, 42 ^ 0xabc);
+        for (split, frozen) in [(SplitPolicy::PerPacket, false), (SplitPolicy::PerFlow, false)] {
+            let cell = run_cell(&prep, &enc, split, frozen, &cfg);
+            println!(
+                "[{:.0?}] {:14} {:?} unfrozen: AC={:.1} F1={:.1} ({:.0}s)",
+                t0.elapsed(),
+                kind.name(),
+                split,
+                cell.accuracy * 100.0,
+                cell.macro_f1 * 100.0,
+                cell.train_secs
+            );
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # bench
+//!
+//! Benchmark and reproduction harness. The library target is empty —
+//! everything lives in:
+//!
+//! - `src/bin/repro.rs` — regenerates every table and figure of the
+//!   paper (one subcommand each; see `repro --help` text in the file
+//!   header).
+//! - `src/bin/traffic_gen.rs` — exports labelled synthetic captures
+//!   (pcap + CSV ground truth).
+//! - `benches/` — Criterion micro-benchmarks of the packet codec,
+//!   feature extraction, encoder inference/training and the shallow
+//!   models.
+
+#![forbid(unsafe_code)]

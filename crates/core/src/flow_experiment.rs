@@ -1,0 +1,315 @@
+//! Flow-level experiments (§6.2, Table 9): classify whole flows
+//! (first five packets) rather than single packets. Pcap-Encoder,
+//! being packet-level, uses majority voting over its per-packet
+//! predictions (frozen only), exactly as the paper describes.
+
+use crate::experiment::{CellConfig, CellResult};
+use crate::metrics::{accuracy, macro_f1};
+use crate::pipeline::PreparedTask;
+use dataset::record::PacketRecord;
+use encoders::model::{EncoderModel, ModelKind};
+use nn::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A flow sample: up to five packet indices plus the task label.
+#[derive(Debug, Clone)]
+struct FlowSample {
+    packets: Vec<usize>,
+    label: u16,
+}
+
+/// Collect flows with ≥ `min_packets` packets and split per-flow into
+/// train/test. `selector` picks which packets represent the flow:
+/// first-five for most models, median bursts for netFound (§6.2).
+fn flow_samples(
+    prep: &PreparedTask,
+    min_packets: usize,
+    selector: &dyn Fn(&[usize]) -> Vec<usize>,
+) -> Vec<FlowSample> {
+    prep.data
+        .flows()
+        .into_iter()
+        .filter(|(_, idxs)| idxs.len() >= min_packets)
+        .map(|(_, idxs)| {
+            let label = prep.task.label_of(&prep.data, &prep.data.records[idxs[0]]);
+            FlowSample { packets: selector(&idxs), label }
+        })
+        .collect()
+}
+
+/// First five packets — the input the paper uses for YaTC, NetMamba
+/// and TrafficFormer (§6.2).
+fn first_five(idxs: &[usize]) -> Vec<usize> {
+    idxs.iter().copied().take(5).collect()
+}
+
+/// netFound's selection (§6.2): up to 12 median bursts, up to 6
+/// packets around each burst's median packet.
+fn netfound_packets(prep: &PreparedTask, idxs: &[usize]) -> Vec<usize> {
+    let bursts = dataset::burst::segment_flow(&prep.data, idxs, 1.0);
+    let sel = dataset::burst::netfound_selection(&bursts, 12, 6);
+    let flat: Vec<usize> = sel.into_iter().flatten().collect();
+    if flat.is_empty() {
+        first_five(idxs)
+    } else {
+        flat
+    }
+}
+
+/// The paper's per-model flow input selection.
+fn selector_for(kind: ModelKind, prep: &PreparedTask) -> Box<dyn Fn(&[usize]) -> Vec<usize> + '_> {
+    if kind == ModelKind::NetFound {
+        Box::new(move |idxs| netfound_packets(prep, idxs))
+    } else {
+        Box::new(|idxs| first_five(idxs))
+    }
+}
+
+fn balanced_flow_split(
+    flows: &[FlowSample],
+    train_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_label: HashMap<u16, Vec<usize>> = HashMap::new();
+    for (i, f) in flows.iter().enumerate() {
+        by_label.entry(f.label).or_default().push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    let mut labels: Vec<_> = by_label.into_iter().collect();
+    labels.sort_by_key(|(l, _)| *l);
+    // First split per class, then balance the training side by
+    // undersampling to the minority class (§6.2).
+    let mut per_class_train: Vec<Vec<usize>> = Vec::new();
+    for (_, mut idxs) in labels {
+        idxs.shuffle(&mut rng);
+        let cut = (((idxs.len() as f64) * train_frac).round() as usize)
+            .clamp(1, idxs.len().saturating_sub(1).max(1));
+        per_class_train.push(idxs[..cut].to_vec());
+        test.extend_from_slice(&idxs[cut..]);
+    }
+    let min = per_class_train.iter().map(Vec::len).min().unwrap_or(0);
+    for mut idxs in per_class_train {
+        idxs.shuffle(&mut rng);
+        idxs.truncate(min);
+        train.extend(idxs);
+    }
+    (train, test)
+}
+
+/// Run one flow-level cell for a flow embedder (not Pcap-Encoder).
+pub fn run_flow_cell(
+    prep: &PreparedTask,
+    encoder: &EncoderModel,
+    frozen: bool,
+    cfg: &CellConfig,
+) -> CellResult {
+    assert_ne!(
+        encoder.kind,
+        ModelKind::PcapEncoder,
+        "use run_flow_cell_majority_vote for Pcap-Encoder"
+    );
+    let selector = selector_for(encoder.kind, prep);
+    let flows = flow_samples(prep, 5, &selector);
+    let (train, test) = balanced_flow_split(&flows, cfg.train_frac, cfg.seed);
+    let n_classes = prep.task.n_classes();
+    let gather = |ids: &[usize]| -> (Vec<Vec<&PacketRecord>>, Vec<u16>) {
+        let recs = ids
+            .iter()
+            .map(|&i| flows[i].packets.iter().map(|&p| &prep.data.records[p]).collect())
+            .collect();
+        let labels = ids.iter().map(|&i| flows[i].label).collect();
+        (recs, labels)
+    };
+    let (train_flows, train_labels) = gather(&train);
+    let (test_flows, test_labels) = gather(&test);
+
+    let mut folds_out = Vec::new();
+    let mut train_secs = 0.0;
+    let mut infer_secs = 0.0;
+    let fold_assign = dataset::split::kfold(
+        &(0..train_flows.len()).collect::<Vec<_>>(),
+        cfg.kfolds,
+        cfg.seed ^ 0x3f,
+    );
+    for (fold_i, (fold_train, _)) in fold_assign.into_iter().enumerate() {
+        let fold_seed = cfg.seed.wrapping_add(fold_i as u64);
+        let t0 = Instant::now();
+        let (head, enc, standardizer) = if frozen {
+            let batch: Vec<Vec<&PacketRecord>> =
+                fold_train.iter().map(|&i| train_flows[i].clone()).collect();
+            let labels: Vec<u16> = fold_train.iter().map(|&i| train_labels[i]).collect();
+            let mut x = encoder.encode_flows(&batch);
+            let standardizer = crate::standardize::Standardizer::fit(&x);
+            standardizer.apply(&mut x);
+            let mut head = Mlp::new(&[encoder.dim(), cfg.head_hidden, n_classes], fold_seed);
+            head.fit(&x, &labels, cfg.frozen_epochs, cfg.batch, cfg.lr, fold_seed ^ 1);
+            (head, encoder.clone(), Some(standardizer))
+        } else {
+            let mut enc = encoder.clone();
+            let lr_enc = cfg.lr_encoder * (64.0 / enc.dim() as f32).min(1.0);
+            let mut head = Mlp::new(&[enc.dim(), cfg.head_hidden, n_classes], fold_seed);
+            let mut rng = StdRng::seed_from_u64(fold_seed ^ 2);
+            let mut order: Vec<usize> = fold_train.clone();
+            for _ in 0..cfg.unfrozen_epochs {
+                order.shuffle(&mut rng);
+                for chunk in order.chunks(cfg.batch) {
+                    let tokens: Vec<Vec<u32>> =
+                        chunk.iter().map(|&i| enc.tokenize_flow(&train_flows[i])).collect();
+                    let labels: Vec<u16> = chunk.iter().map(|&i| train_labels[i]).collect();
+                    let pooled = enc.forward_tokens(&tokens);
+                    let (_, d) = head.train_batch(&pooled, &labels, cfg.lr);
+                    enc.backward(&d, lr_enc);
+                }
+            }
+            (head, enc, None)
+        };
+        train_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let mut x_test = enc.encode_flows(&test_flows);
+        if let Some(s) = &standardizer {
+            s.apply(&mut x_test);
+        }
+        let preds = head.predict(&x_test);
+        infer_secs += t1.elapsed().as_secs_f64();
+        folds_out.push((
+            accuracy(&preds, &test_labels),
+            macro_f1(&preds, &test_labels, n_classes),
+        ));
+    }
+    let k = folds_out.len().max(1) as f64;
+    CellResult {
+        accuracy: folds_out.iter().map(|(a, _)| a).sum::<f64>() / k,
+        macro_f1: folds_out.iter().map(|(_, f)| f).sum::<f64>() / k,
+        train_secs,
+        infer_secs,
+        folds: folds_out,
+    }
+}
+
+/// Pcap-Encoder's flow classification: train its packet-level frozen
+/// classifier on the training flows' packets, then majority-vote the
+/// first five packets of each test flow (§6.2).
+pub fn run_flow_cell_majority_vote(
+    prep: &PreparedTask,
+    encoder: &EncoderModel,
+    cfg: &CellConfig,
+) -> CellResult {
+    let flows = flow_samples(prep, 5, &|idxs: &[usize]| first_five(idxs));
+    let (train, test) = balanced_flow_split(&flows, cfg.train_frac, cfg.seed);
+    let n_classes = prep.task.n_classes();
+    let train_pkts: Vec<&PacketRecord> = train
+        .iter()
+        .flat_map(|&i| flows[i].packets.iter().map(|&p| &prep.data.records[p]))
+        .collect();
+    let train_labels: Vec<u16> = train
+        .iter()
+        .flat_map(|&i| std::iter::repeat_n(flows[i].label, flows[i].packets.len()))
+        .collect();
+    let t0 = Instant::now();
+    let mut x = encoder.encode_packets(&train_pkts);
+    let standardizer = crate::standardize::Standardizer::fit(&x);
+    standardizer.apply(&mut x);
+    let mut head = Mlp::new(&[encoder.dim(), cfg.head_hidden, n_classes], cfg.seed);
+    head.fit(&x, &train_labels, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed ^ 1);
+    let train_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut preds = Vec::with_capacity(test.len());
+    let mut truth = Vec::with_capacity(test.len());
+    for &i in &test {
+        let recs: Vec<&PacketRecord> =
+            flows[i].packets.iter().map(|&p| &prep.data.records[p]).collect();
+        let mut x = encoder.encode_packets(&recs);
+        standardizer.apply(&mut x);
+        let votes = head.predict(&x);
+        let mut counts: HashMap<u16, u32> = HashMap::new();
+        for v in votes {
+            *counts.entry(v).or_default() += 1;
+        }
+        let winner = counts.into_iter().max_by_key(|(_, c)| *c).map(|(l, _)| l).unwrap_or(0);
+        preds.push(winner);
+        truth.push(flows[i].label);
+    }
+    let infer_secs = t1.elapsed().as_secs_f64();
+    let acc = accuracy(&preds, &truth);
+    let f1 = macro_f1(&preds, &truth, n_classes);
+    CellResult {
+        accuracy: acc,
+        macro_f1: f1,
+        train_secs,
+        infer_secs,
+        folds: vec![(acc, f1)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::Task;
+
+    fn tiny_cfg() -> CellConfig {
+        CellConfig {
+            frozen_epochs: 6,
+            unfrozen_epochs: 3,
+            kfolds: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flow_cell_runs() {
+        let prep = PreparedTask::build(Task::UstcBinary, 9, 0.15);
+        let enc = EncoderModel::new(ModelKind::YaTc, 1);
+        let cell = run_flow_cell(&prep, &enc, true, &tiny_cfg());
+        assert!((0.0..=1.0).contains(&cell.accuracy));
+        assert!(cell.macro_f1 <= 1.0);
+    }
+
+    #[test]
+    fn majority_vote_runs() {
+        let prep = PreparedTask::build(Task::UstcBinary, 10, 0.15);
+        let enc = EncoderModel::new(ModelKind::PcapEncoder, 2);
+        let cell = run_flow_cell_majority_vote(&prep, &enc, &tiny_cfg());
+        assert!((0.0..=1.0).contains(&cell.accuracy));
+    }
+
+    #[test]
+    #[should_panic(expected = "majority_vote")]
+    fn flow_cell_rejects_pcap_encoder() {
+        let prep = PreparedTask::build(Task::UstcBinary, 11, 0.1);
+        let enc = EncoderModel::new(ModelKind::PcapEncoder, 3);
+        let _ = run_flow_cell(&prep, &enc, true, &tiny_cfg());
+    }
+
+    #[test]
+    fn netfound_selector_uses_bursts() {
+        let prep = PreparedTask::build(Task::UstcBinary, 13, 0.15);
+        let (_, idxs) = prep.data.flows().into_iter().max_by_key(|(_, v)| v.len()).unwrap();
+        let sel = netfound_packets(&prep, &idxs);
+        assert!(!sel.is_empty());
+        assert!(sel.len() <= 72, "netFound max input is 12 bursts x 6 packets");
+        let set: std::collections::HashSet<usize> = idxs.iter().copied().collect();
+        assert!(sel.iter().all(|i| set.contains(i)));
+    }
+
+    #[test]
+    fn flow_split_keeps_classes_in_both() {
+        let prep = PreparedTask::build(Task::UstcBinary, 12, 0.15);
+        let flows = flow_samples(&prep, 5, &|idxs: &[usize]| first_five(idxs));
+        let (train, test) = balanced_flow_split(&flows, 0.75, 1);
+        let tl: std::collections::HashSet<u16> = train.iter().map(|&i| flows[i].label).collect();
+        let sl: std::collections::HashSet<u16> = test.iter().map(|&i| flows[i].label).collect();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(sl.len(), 2);
+        // training side balanced
+        let c0 = train.iter().filter(|&&i| flows[i].label == 0).count();
+        let c1 = train.iter().filter(|&&i| flows[i].label == 1).count();
+        assert_eq!(c0, c1);
+    }
+}

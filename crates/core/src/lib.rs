@@ -1,0 +1,34 @@
+//! # debunk-core
+//!
+//! Benchmark orchestration for the paper's evaluation protocol (§4–§6):
+//! dataset preparation, the frozen/unfrozen training protocol on packet-
+//! and flow-level tasks, metrics (accuracy + macro-F1), wall-clock
+//! timing capture, and paper-style result tables.
+//!
+//! ```no_run
+//! use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
+//! use debunk_core::pipeline::PreparedTask;
+//! use dataset::Task;
+//! use encoders::{EncoderModel, ModelKind};
+//!
+//! let prep = PreparedTask::build(Task::VpnApp, 1, 1.0);
+//! let cfg = CellConfig::default();
+//! let encoder = EncoderModel::new(ModelKind::EtBert, 1);
+//! let cell = run_cell(&prep, &encoder, SplitPolicy::PerFlow, false, &cfg);
+//! println!("F1 = {:.1}", cell.macro_f1 * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod flow_experiment;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod shallow_baselines;
+pub mod standardize;
+
+pub use experiment::{run_cell, CellConfig, CellResult, SplitPolicy};
+pub use metrics::{accuracy, confusion_matrix, macro_f1, micro_f1};
+pub use pipeline::PreparedTask;

@@ -1,0 +1,245 @@
+//! Shallow baselines over Table-12 features (Table 8, Fig. 5) plus the
+//! MLP baseline row, run under the same split/balance protocol as the
+//! encoders.
+
+use crate::experiment::{CellConfig, SplitPolicy};
+use crate::metrics::{accuracy, macro_f1};
+use crate::pipeline::PreparedTask;
+use dataset::record::PacketRecord;
+use dataset::split::{balanced_undersample, per_flow_split, per_packet_split, stratified_sample, subsample};
+use nn::{Mlp, Tensor};
+use shallow::features::{extract_features, FeatureConfig, N_FEATURES};
+use shallow::forest::{ForestParams, RandomForest};
+use shallow::gbdt::{GbdtParams, GradientBoosting, GrowthPolicy};
+use std::time::Instant;
+
+/// Which shallow model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShallowModel {
+    /// Random forest.
+    Rf,
+    /// Depth-wise gradient boosting ("XGBoost-like").
+    XgbLike,
+    /// Leaf-wise gradient boosting ("LightGBM-like").
+    LgbmLike,
+    /// 2-layer MLP on the same features.
+    Mlp,
+}
+
+impl ShallowModel {
+    /// All four baselines in Table-8 order.
+    pub const ALL: [ShallowModel; 4] =
+        [ShallowModel::Rf, ShallowModel::XgbLike, ShallowModel::LgbmLike, ShallowModel::Mlp];
+
+    /// Table-8 row name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShallowModel::Rf => "RF",
+            ShallowModel::XgbLike => "XGBoost",
+            ShallowModel::LgbmLike => "LightGBM",
+            ShallowModel::Mlp => "MLP",
+        }
+    }
+}
+
+/// Result of one shallow run.
+#[derive(Debug, Clone)]
+pub struct ShallowResult {
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Test macro-F1.
+    pub macro_f1: f64,
+    /// Training wall-clock seconds.
+    pub train_secs: f64,
+    /// Inference wall-clock seconds.
+    pub infer_secs: f64,
+    /// Normalised feature importance (random forest only).
+    pub importance: Option<Vec<f64>>,
+}
+
+fn standardise(train: &mut [Vec<f32>], test: &mut [Vec<f32>]) {
+    let d = train.first().map_or(0, Vec::len);
+    let n = train.len().max(1) as f32;
+    let mut mean = vec![0.0f32; d];
+    for r in train.iter() {
+        for (m, v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = vec![0.0f32; d];
+    for r in train.iter() {
+        for ((s, v), m) in std.iter_mut().zip(r).zip(&mean) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt().max(1e-6);
+    }
+    for set in [train, test] {
+        for r in set.iter_mut() {
+            for ((v, m), s) in r.iter_mut().zip(&mean).zip(&std) {
+                *v = (*v - *m) / *s;
+            }
+        }
+    }
+}
+
+/// Run a shallow baseline on a task under the given split policy
+/// (Table 8 uses per-flow; Fig. 5 uses per-packet).
+pub fn run_shallow(
+    prep: &PreparedTask,
+    model: ShallowModel,
+    split_policy: SplitPolicy,
+    feat_cfg: FeatureConfig,
+    cfg: &CellConfig,
+) -> ShallowResult {
+    let task = prep.task;
+    let data = &prep.data;
+    let split = match split_policy {
+        SplitPolicy::PerFlow => per_flow_split(data, cfg.train_frac, cfg.max_flow_packets, cfg.seed),
+        SplitPolicy::PerPacket => per_packet_split(data, cfg.train_frac, cfg.seed),
+    };
+    let label_of = |r: &PacketRecord| task.label_of(data, r);
+    let train_idx = balanced_undersample(data, &split.train, &label_of, cfg.seed ^ 0xb);
+    let train_idx = subsample(&train_idx, cfg.max_train, cfg.seed ^ 0xc);
+    let test_idx = stratified_sample(
+        data,
+        &split.test,
+        (cfg.max_test as f64 / split.test.len().max(1) as f64).min(1.0),
+        &label_of,
+        cfg.seed ^ 0xd,
+    );
+    let train_y: Vec<u16> = train_idx.iter().map(|&i| label_of(&data.records[i])).collect();
+    let test_y: Vec<u16> = test_idx.iter().map(|&i| label_of(&data.records[i])).collect();
+    let feats = |idx: &[usize]| -> Vec<[f32; N_FEATURES]> {
+        idx.iter().map(|&i| extract_features(&data.records[i], feat_cfg)).collect()
+    };
+    let train_x = feats(&train_idx);
+    let test_x = feats(&test_idx);
+    let train_rows: Vec<&[f32]> = train_x.iter().map(|r| r.as_slice()).collect();
+    let test_rows: Vec<&[f32]> = test_x.iter().map(|r| r.as_slice()).collect();
+    let n_classes = task.n_classes();
+
+    let mut importance = None;
+    let t0 = Instant::now();
+    let (train_secs, preds, infer_secs) = match model {
+        ShallowModel::Rf => {
+            let params = ForestParams {
+                n_trees: 30,
+                sample_size: Some(train_rows.len().min(3000)),
+                ..Default::default()
+            };
+            let rf = RandomForest::fit(&train_rows, &train_y, n_classes, params, cfg.seed);
+            importance = Some(rf.feature_importance());
+            let train_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let preds = rf.predict(&test_rows);
+            (train_secs, preds, t1.elapsed().as_secs_f64())
+        }
+        ShallowModel::XgbLike | ShallowModel::LgbmLike => {
+            let params = GbdtParams {
+                policy: if model == ShallowModel::XgbLike {
+                    GrowthPolicy::DepthWise
+                } else {
+                    GrowthPolicy::LeafWise
+                },
+                rounds: if n_classes > 30 { 4 } else { 8 },
+                ..Default::default()
+            };
+            let gb = GradientBoosting::fit(&train_rows, &train_y, n_classes, params);
+            let train_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let preds = gb.predict(&test_rows);
+            (train_secs, preds, t1.elapsed().as_secs_f64())
+        }
+        ShallowModel::Mlp => {
+            let mut xtr: Vec<Vec<f32>> = train_x.iter().map(|r| r.to_vec()).collect();
+            let mut xte: Vec<Vec<f32>> = test_x.iter().map(|r| r.to_vec()).collect();
+            standardise(&mut xtr, &mut xte);
+            let xt = Tensor::from_rows(&xtr);
+            let xs = Tensor::from_rows(&xte);
+            let mut mlp = Mlp::new(&[N_FEATURES, cfg.head_hidden, n_classes], cfg.seed);
+            mlp.fit(&xt, &train_y, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed ^ 1);
+            let train_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let preds = mlp.predict(&xs);
+            (train_secs, preds, t1.elapsed().as_secs_f64())
+        }
+    };
+    ShallowResult {
+        accuracy: accuracy(&preds, &test_y),
+        macro_f1: macro_f1(&preds, &test_y, n_classes),
+        train_secs,
+        infer_secs,
+        importance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::Task;
+
+    fn tiny_cfg() -> CellConfig {
+        CellConfig { max_train: 600, max_test: 600, frozen_epochs: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn rf_solves_binary_task_well() {
+        let prep = PreparedTask::build(Task::UstcBinary, 21, 0.15);
+        let r = run_shallow(
+            &prep,
+            ShallowModel::Rf,
+            SplitPolicy::PerFlow,
+            FeatureConfig::default(),
+            &tiny_cfg(),
+        );
+        assert!(r.accuracy > 0.85, "RF accuracy {}", r.accuracy);
+        let imp = r.importance.expect("rf importance");
+        assert_eq!(imp.len(), N_FEATURES);
+    }
+
+    #[test]
+    fn all_models_run_on_app_task() {
+        let prep = PreparedTask::build(Task::UstcApp, 22, 0.1);
+        for m in ShallowModel::ALL {
+            let r = run_shallow(
+                &prep,
+                m,
+                SplitPolicy::PerFlow,
+                FeatureConfig::default(),
+                &tiny_cfg(),
+            );
+            assert!((0.0..=1.0).contains(&r.accuracy), "{}", m.name());
+            assert!(r.accuracy > 1.0 / 20.0, "{} below chance: {}", m.name(), r.accuracy);
+        }
+    }
+
+    #[test]
+    fn without_ip_hurts() {
+        let prep = PreparedTask::build(Task::UstcApp, 23, 0.1);
+        let with_ip = run_shallow(
+            &prep,
+            ShallowModel::Rf,
+            SplitPolicy::PerFlow,
+            FeatureConfig { with_ip: true },
+            &tiny_cfg(),
+        );
+        let without = run_shallow(
+            &prep,
+            ShallowModel::Rf,
+            SplitPolicy::PerFlow,
+            FeatureConfig { with_ip: false },
+            &tiny_cfg(),
+        );
+        assert!(
+            with_ip.macro_f1 >= without.macro_f1 - 0.02,
+            "removing IP should not help: {} vs {}",
+            with_ip.macro_f1,
+            without.macro_f1
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-dimension z-score standardisation for frozen-encoder features.
+//!
+//! Fitted on the training embeddings and applied to both partitions —
+//! the classification head then sees unit-scale inputs regardless of
+//! what the (frozen) encoder's output geometry looks like.
+
+use nn::Tensor;
+
+/// Fitted standardisation statistics.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fit on a training feature matrix.
+    pub fn fit(x: &Tensor) -> Standardizer {
+        let d = x.cols;
+        let n = x.rows.max(1) as f32;
+        let mut mean = vec![0.0f32; d];
+        for r in 0..x.rows {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; d];
+        for r in 0..x.rows {
+            for ((s, &v), m) in std.iter_mut().zip(x.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Standardise a matrix in place.
+    pub fn apply(&self, x: &mut Tensor) {
+        for r in 0..x.rows {
+            let row = x.row_mut(r);
+            for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - *m) / *s;
+            }
+        }
+    }
+
+    /// Fit on `train` and standardise both matrices.
+    pub fn fit_apply(train: &mut Tensor, test: &mut Tensor) -> Standardizer {
+        let s = Standardizer::fit(train);
+        s.apply(train);
+        s.apply(test);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardised_train_has_zero_mean_unit_std() {
+        let mut train = Tensor::from_rows(&[
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ]);
+        let mut test = Tensor::from_rows(&[vec![2.5, 250.0]]);
+        Standardizer::fit_apply(&mut train, &mut test);
+        for c in 0..2 {
+            let mean: f32 = (0..4).map(|r| train.get(r, c)).sum::<f32>() / 4.0;
+            let var: f32 = (0..4).map(|r| train.get(r, c).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+        // test row standardised with train statistics: midpoint -> 0
+        assert!(test.get(0, 0).abs() < 1e-5);
+        assert!(test.get(0, 1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_dimension_does_not_divide_by_zero() {
+        let mut train = Tensor::from_rows(&[vec![5.0], vec![5.0]]);
+        let mut test = Tensor::from_rows(&[vec![7.0]]);
+        Standardizer::fit_apply(&mut train, &mut test);
+        assert!(train.data.iter().all(|v| v.is_finite()));
+        assert!(test.data.iter().all(|v| v.is_finite()));
+    }
+}

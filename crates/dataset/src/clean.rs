@@ -1,0 +1,147 @@
+//! Cleaning filters: the extraneous-protocol superset of §4.1 /
+//! Table 13, applied to a raw trace before any learning.
+
+use net_packet::ident::{identify, ProtocolId};
+use std::collections::BTreeMap;
+use traffic_synth::trace::Trace;
+
+/// Outcome of cleaning one trace: what was removed and why.
+#[derive(Debug, Clone, Default)]
+pub struct CleanReport {
+    /// Packets per removed protocol (Table 13 rows).
+    pub removed_by_protocol: BTreeMap<String, usize>,
+    /// Packets per Table-13 family.
+    pub removed_by_family: BTreeMap<String, usize>,
+    /// Total packets before cleaning.
+    pub total_before: usize,
+    /// Total packets after cleaning.
+    pub total_after: usize,
+}
+
+impl CleanReport {
+    /// Fraction of the trace that was spurious.
+    pub fn removed_fraction(&self) -> f64 {
+        if self.total_before == 0 {
+            return 0.0;
+        }
+        (self.total_before - self.total_after) as f64 / self.total_before as f64
+    }
+
+    /// Render as a Table-13-style text block.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>10} {:>9}\n",
+            "family", "removed", "percent"
+        ));
+        for (family, n) in &self.removed_by_family {
+            out.push_str(&format!(
+                "{:<22} {:>10} {:>8.2}%\n",
+                family,
+                n,
+                100.0 * *n as f64 / self.total_before.max(1) as f64
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} -> {} ({:.2}% removed)\n",
+            self.total_before,
+            self.total_after,
+            100.0 * self.removed_fraction()
+        ));
+        out
+    }
+}
+
+fn protocol_name(p: ProtocolId) -> &'static str {
+    match p {
+        ProtocolId::Arp => "arp",
+        ProtocolId::Icmp => "icmp",
+        ProtocolId::Igmp => "igmp",
+        ProtocolId::Dhcp => "dhcp",
+        ProtocolId::Mdns => "mdns",
+        ProtocolId::Llmnr => "llmnr",
+        ProtocolId::Nbns => "nbns",
+        ProtocolId::Ssdp => "ssdp",
+        ProtocolId::Ntp => "ntp",
+        ProtocolId::Stun => "stun",
+        ProtocolId::Dns => "dns",
+        ProtocolId::Tcp => "tcp",
+        ProtocolId::Udp => "udp",
+        ProtocolId::Other => "other",
+    }
+}
+
+/// Remove all spurious-protocol packets from `trace` in place,
+/// returning the removal report.
+///
+/// Unlike the minimum-size and class-support filters of prior work —
+/// which the paper rejects — this only removes traffic that cannot
+/// belong to any class (ARP, DHCP, link-local chatter, ...).
+pub fn clean_trace(trace: &mut Trace) -> CleanReport {
+    let mut report = CleanReport { total_before: trace.records.len(), ..Default::default() };
+    trace.records.retain(|r| {
+        let id = identify(&r.frame);
+        if id.is_spurious() {
+            *report.removed_by_protocol.entry(protocol_name(id).to_string()).or_default() += 1;
+            *report.removed_by_family.entry(id.family().to_string()).or_default() += 1;
+            false
+        } else {
+            true
+        }
+    });
+    report.total_after = trace.records.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_synth::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn cleaning_removes_exactly_the_spurious() {
+        let mut t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
+        let spurious = t.spurious_len();
+        let report = clean_trace(&mut t);
+        assert_eq!(report.total_before - report.total_after, spurious);
+        assert_eq!(t.spurious_len(), 0);
+    }
+
+    #[test]
+    fn clean_dataset_reports_zero() {
+        let mut t =
+            DatasetSpec { kind: DatasetKind::CstnetTls120, seed: 3, flows_per_class: 2 }.generate();
+        let report = clean_trace(&mut t);
+        assert_eq!(report.removed_fraction(), 0.0);
+        assert!(report.removed_by_family.is_empty());
+    }
+
+    #[test]
+    fn report_table_renders() {
+        let mut t = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 4, flows_per_class: 2 }.generate();
+        let report = clean_trace(&mut t);
+        let table = report.to_table();
+        assert!(table.contains("family"));
+        assert!(table.contains("total:"));
+    }
+
+    #[test]
+    fn families_match_table13_vocabulary() {
+        let mut t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 5, flows_per_class: 3 }.generate();
+        let report = clean_trace(&mut t);
+        for family in report.removed_by_family.keys() {
+            assert!(
+                [
+                    "network management",
+                    "link-local",
+                    "service management",
+                    "network time",
+                    "nat",
+                    "others"
+                ]
+                .contains(&family.as_str()),
+                "unexpected family {family}"
+            );
+        }
+    }
+}

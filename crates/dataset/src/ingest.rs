@@ -1,0 +1,226 @@
+//! Ingest external captures: build a [`Prepared`] dataset from raw
+//! pcap bytes, assembling bi-flows by canonical 5-tuple — the path a
+//! downstream user takes with their *own* traffic instead of the
+//! synthetic recipes.
+//!
+//! Labels are supplied by a caller-provided function (e.g. derived
+//! from SNI, port, or an external ground-truth file); packets it maps
+//! to `None` are dropped.
+
+use crate::record::{PacketRecord, Prepared};
+use net_packet::frame::{FlowKey, ParsedFrame};
+use net_packet::ident::identify;
+use net_packet::pcap::{self, PcapPacket};
+use std::collections::HashMap;
+
+/// Statistics from one ingestion run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Packets in the capture.
+    pub total: usize,
+    /// Dropped as spurious protocols (cleaning filter).
+    pub spurious: usize,
+    /// Dropped because they failed to parse as IP traffic.
+    pub unparseable: usize,
+    /// Dropped because the labeller returned `None`.
+    pub unlabelled: usize,
+    /// Packets kept.
+    pub kept: usize,
+    /// Distinct bi-flows assembled.
+    pub flows: usize,
+}
+
+/// Ingest pcap bytes into a [`Prepared`] dataset.
+///
+/// `label_of` maps each parsed packet to a class id (or `None` to
+/// drop). Cleaning (Table-13 filters) is applied first; bi-flows are
+/// assembled by canonical 5-tuple; direction is inferred from the
+/// first packet seen of each flow (its sender is "the client", the
+/// usual heuristic when handshakes may be absent).
+pub fn ingest_pcap(
+    bytes: &[u8],
+    label_of: &dyn Fn(&ParsedFrame, &[u8]) -> Option<u16>,
+) -> Result<(Prepared, IngestStats), net_packet::error::Error> {
+    let packets = pcap::read_all(bytes)?;
+    Ok(ingest_packets(&packets, label_of))
+}
+
+/// Ingest already-decoded pcap packets (see [`ingest_pcap`]).
+pub fn ingest_packets(
+    packets: &[PcapPacket],
+    label_of: &dyn Fn(&ParsedFrame, &[u8]) -> Option<u16>,
+) -> (Prepared, IngestStats) {
+    let mut stats = IngestStats { total: packets.len(), ..Default::default() };
+    let mut flow_ids: HashMap<FlowKey, (u32, EndpointKey)> = HashMap::new();
+    let mut records = Vec::new();
+    let mut max_class = 0u16;
+    for p in packets {
+        if identify(&p.data).is_spurious() {
+            stats.spurious += 1;
+            continue;
+        }
+        let Ok(parsed) = ParsedFrame::parse(&p.data) else {
+            stats.unparseable += 1;
+            continue;
+        };
+        let Some(class) = label_of(&parsed, &p.data) else {
+            stats.unlabelled += 1;
+            continue;
+        };
+        max_class = max_class.max(class);
+        let Some(key) = parsed.flow_key() else {
+            stats.unparseable += 1;
+            continue;
+        };
+        let next_id = flow_ids.len() as u32;
+        let sender = sender_key(&parsed);
+        let (flow_id, client) = *flow_ids.entry(key).or_insert((next_id, sender));
+        records.push(PacketRecord {
+            ts: p.timestamp(),
+            frame: p.data.clone(),
+            parsed,
+            class,
+            flow_id,
+            from_client: sender == client,
+        });
+    }
+    stats.kept = records.len();
+    stats.flows = flow_ids.len();
+    let classes = (0..=max_class)
+        .map(|c| traffic_synth::trace::ClassMeta {
+            class: c,
+            name: format!("class{c}"),
+            service: 0,
+            is_vpn: false,
+            is_malware: false,
+        })
+        .collect();
+    (Prepared { records, classes }, stats)
+}
+
+/// Opaque per-endpoint key used for direction inference.
+type EndpointKey = (u128, u16);
+
+fn sender_key(parsed: &ParsedFrame) -> EndpointKey {
+    let addr = match parsed.ip {
+        net_packet::frame::IpInfo::V4 { src, .. } => u128::from(src.to_u32()),
+        net_packet::frame::IpInfo::V6 { src, .. } => u128::from_be_bytes(src.0),
+    };
+    (addr, parsed.transport.src_port())
+}
+
+/// A convenience labeller: classify by server (destination) port.
+/// Returns the index of the port in `ports`, or `None`.
+pub fn label_by_server_port(ports: &[u16]) -> impl Fn(&ParsedFrame, &[u8]) -> Option<u16> + '_ {
+    move |parsed, _frame| {
+        let (sp, dp) = (parsed.transport.src_port(), parsed.transport.dst_port());
+        ports
+            .iter()
+            .position(|&p| p == dp || p == sp)
+            .map(|i| i as u16)
+    }
+}
+
+/// A labeller extracting TLS SNI host names and mapping them through a
+/// lookup table (website-fingerprinting ground truth).
+pub fn label_by_sni(
+    table: &HashMap<String, u16>,
+) -> impl Fn(&ParsedFrame, &[u8]) -> Option<u16> + '_ {
+    move |parsed, frame| {
+        let payload = parsed.payload_of(frame);
+        let record = net_packet::tls::TlsRecord::new_checked(payload).ok()?;
+        let sni = record.sni()?;
+        table.get(&sni).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_synth::{DatasetKind, DatasetSpec};
+
+    fn capture() -> Vec<u8> {
+        DatasetSpec { kind: DatasetKind::IscxVpn, seed: 77, flows_per_class: 2 }
+            .generate()
+            .to_pcap()
+    }
+
+    #[test]
+    fn ingest_assembles_flows_and_cleans() {
+        let bytes = capture();
+        let (data, stats) = ingest_pcap(&bytes, &|_, _| Some(0)).unwrap();
+        assert!(stats.spurious > 0, "ISCX capture contains spurious chatter");
+        assert_eq!(stats.kept, data.records.len());
+        assert_eq!(stats.flows, data.n_flows());
+        assert!(stats.flows > 10);
+        // every flow's packets share one flow id and alternate directions
+        for (_, idxs) in data.flows() {
+            let c = data.records[idxs[0]].class;
+            assert!(idxs.iter().all(|&i| data.records[i].class == c));
+        }
+    }
+
+    #[test]
+    fn first_packet_defines_client_direction() {
+        let bytes = capture();
+        let (data, _) = ingest_pcap(&bytes, &|_, _| Some(0)).unwrap();
+        for (_, idxs) in data.flows() {
+            assert!(
+                data.records[idxs[0]].from_client,
+                "first packet of a flow is from the client by definition"
+            );
+        }
+    }
+
+    #[test]
+    fn port_labeller_filters() {
+        let bytes = capture();
+        let labeller = label_by_server_port(&[443]);
+        let (data, stats) = ingest_pcap(&bytes, &labeller).unwrap();
+        assert!(stats.unlabelled > 0, "non-443 traffic dropped");
+        assert!(!data.records.is_empty());
+        for r in &data.records {
+            let (sp, dp) = (r.parsed.transport.src_port(), r.parsed.transport.dst_port());
+            assert!(sp == 443 || dp == 443);
+        }
+    }
+
+    #[test]
+    fn sni_labeller_finds_hellos() {
+        // ISCX keeps TLS handshakes but our profiles carry no SNI; the
+        // CSTNET recipe has SNIs but strips them. Build a custom flow
+        // with an SNI to exercise the labeller.
+        use net_packet::pcap::PcapPacket;
+        let mut profile = traffic_synth::profile::AppProfile::derive(
+            1,
+            0,
+            4,
+            traffic_synth::profile::TransportKind::TlsTcp,
+        );
+        profile.sni = Some("www.example.org".into());
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let flow = traffic_synth::flow::synth_flow(
+            &profile,
+            net_packet::ipv4::Ipv4Addr::new(10, 0, 0, 5),
+            0.0,
+            &mut rng,
+            false,
+        );
+        let packets: Vec<PcapPacket> = flow
+            .packets
+            .iter()
+            .map(|p| PcapPacket::at(p.ts, p.frame.clone()))
+            .collect();
+        let mut table = HashMap::new();
+        table.insert("www.example.org".to_string(), 3u16);
+        let labeller = label_by_sni(&table);
+        let (data, stats) = ingest_packets(&packets, &labeller);
+        assert!(stats.kept >= 1, "the ClientHello packet must be labelled");
+        assert!(data.records.iter().all(|r| r.class == 3));
+    }
+
+    #[test]
+    fn bad_pcap_rejected() {
+        assert!(ingest_pcap(&[1, 2, 3], &|_, _| Some(0)).is_err());
+    }
+}

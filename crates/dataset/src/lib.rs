@@ -1,0 +1,26 @@
+//! # dataset
+//!
+//! The dataset-preparation pipeline the paper standardises (§4.1):
+//! **cleaning** (extraneous-protocol filters, Table 13), **splitting**
+//! (per-packet vs per-flow — the crux of the leakage argument),
+//! **sampling** (balanced undersampling for training, stratified for
+//! testing), **K-fold cross-validation**, and the **ablation
+//! transforms** (randomise SeqNo/AckNo/TS, drop IPs/headers/payload)
+//! used by Tables 6 and 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod clean;
+pub mod ingest;
+pub mod record;
+pub mod split;
+pub mod summary;
+pub mod task;
+pub mod transform;
+
+pub use clean::{clean_trace, CleanReport};
+pub use record::{PacketRecord, Prepared};
+pub use split::{kfold, per_flow_split, per_packet_split, Split};
+pub use task::Task;

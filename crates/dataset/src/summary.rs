@@ -1,0 +1,148 @@
+//! Dataset summary statistics: the per-class packet/flow/byte counts
+//! and size distributions behind Table 2 and sanity reports.
+
+use crate::record::Prepared;
+use std::collections::HashMap;
+
+/// Per-class statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassStats {
+    /// Packets with this class label.
+    pub packets: usize,
+    /// Distinct flows.
+    pub flows: usize,
+    /// Total frame bytes.
+    pub bytes: usize,
+    /// Mean frame length.
+    pub mean_len: f64,
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetSummary {
+    /// Per-class statistics, indexed by class id.
+    pub per_class: Vec<ClassStats>,
+    /// Total packets.
+    pub packets: usize,
+    /// Total flows.
+    pub flows: usize,
+    /// Imbalance ratio: max class packets / min class packets.
+    pub imbalance: f64,
+}
+
+impl DatasetSummary {
+    /// Compute the summary of a prepared dataset.
+    pub fn of(data: &Prepared) -> DatasetSummary {
+        let n_classes = data.classes.len();
+        let mut per_class = vec![ClassStats::default(); n_classes];
+        let mut flows_per_class: HashMap<u16, std::collections::HashSet<u32>> = HashMap::new();
+        for r in &data.records {
+            let c = usize::from(r.class);
+            if c >= n_classes {
+                continue;
+            }
+            per_class[c].packets += 1;
+            per_class[c].bytes += r.frame.len();
+            flows_per_class.entry(r.class).or_default().insert(r.flow_id);
+        }
+        for (c, stats) in per_class.iter_mut().enumerate() {
+            stats.flows = flows_per_class.get(&(c as u16)).map_or(0, |s| s.len());
+            stats.mean_len = if stats.packets > 0 {
+                stats.bytes as f64 / stats.packets as f64
+            } else {
+                0.0
+            };
+        }
+        let counts: Vec<usize> =
+            per_class.iter().map(|s| s.packets).filter(|&p| p > 0).collect();
+        let imbalance = match (counts.iter().max(), counts.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => 0.0,
+        };
+        DatasetSummary {
+            packets: data.records.len(),
+            flows: data.n_flows(),
+            per_class,
+            imbalance,
+        }
+    }
+
+    /// Render a compact text report.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = format!(
+            "{} packets in {} flows across {} classes (imbalance {:.1}x)\n",
+            self.packets,
+            self.flows,
+            self.per_class.iter().filter(|s| s.packets > 0).count(),
+            self.imbalance
+        );
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>7} {:>10} {:>9}\n",
+            "class", "packets", "flows", "bytes", "mean len"
+        ));
+        for (c, s) in self.per_class.iter().enumerate() {
+            if s.packets == 0 {
+                continue;
+            }
+            let name = names.get(c).cloned().unwrap_or_else(|| format!("class{c}"));
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>7} {:>10} {:>9.1}\n",
+                name, s.packets, s.flows, s.bytes, s.mean_len
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic_synth::{DatasetKind, DatasetSpec};
+
+    fn prepared() -> Prepared {
+        let t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 17, flows_per_class: 2 }.generate();
+        Prepared::from_trace(&t)
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let d = prepared();
+        let s = DatasetSummary::of(&d);
+        assert_eq!(s.packets, d.records.len());
+        assert_eq!(s.flows, d.n_flows());
+        let class_packets: usize = s.per_class.iter().map(|c| c.packets).sum();
+        assert_eq!(class_packets, s.packets);
+        let class_flows: usize = s.per_class.iter().map(|c| c.flows).sum();
+        assert_eq!(class_flows, s.flows, "flows are class-disjoint by construction");
+    }
+
+    #[test]
+    fn imbalance_at_least_one() {
+        let d = prepared();
+        let s = DatasetSummary::of(&d);
+        assert!(s.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn render_has_one_row_per_present_class() {
+        let d = prepared();
+        let s = DatasetSummary::of(&d);
+        let names: Vec<String> = d.classes.iter().map(|c| c.name.clone()).collect();
+        let text = s.render(&names);
+        let rows = text.lines().count() - 2; // header lines
+        assert_eq!(rows, s.per_class.iter().filter(|c| c.packets > 0).count());
+        assert!(text.contains("zeus") || text.contains("gmail"));
+    }
+
+    #[test]
+    fn mean_len_is_bytes_over_packets() {
+        let d = prepared();
+        let s = DatasetSummary::of(&d);
+        for c in &s.per_class {
+            if c.packets > 0 {
+                assert!((c.mean_len - c.bytes as f64 / c.packets as f64).abs() < 1e-9);
+                assert!(c.mean_len >= 54.0, "frames are at least header-sized");
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The six downstream classification tasks of Table 2.
+
+use crate::record::{PacketRecord, Prepared};
+use traffic_synth::trace::ClassMeta;
+use traffic_synth::DatasetKind;
+
+/// One downstream classification task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// ISCX-VPN: encrypted-or-not (2 classes).
+    VpnBinary,
+    /// ISCX-VPN: service category (6 classes).
+    VpnService,
+    /// ISCX-VPN: application (16 classes).
+    VpnApp,
+    /// USTC-TFC: malware-or-not (2 classes).
+    UstcBinary,
+    /// USTC-TFC: application (20 classes).
+    UstcApp,
+    /// CSTNET-TLS1.3: website (120 classes).
+    Tls120,
+}
+
+impl Task {
+    /// All six tasks in paper order.
+    pub const ALL: [Task; 6] = [
+        Task::VpnBinary,
+        Task::VpnService,
+        Task::VpnApp,
+        Task::UstcBinary,
+        Task::UstcApp,
+        Task::Tls120,
+    ];
+
+    /// Paper task name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Task::VpnBinary => "VPN-binary",
+            Task::VpnService => "VPN-service",
+            Task::VpnApp => "VPN-app",
+            Task::UstcBinary => "USTC-binary",
+            Task::UstcApp => "USTC-app",
+            Task::Tls120 => "TLS-120",
+        }
+    }
+
+    /// Which dataset this task is defined on.
+    pub fn dataset(&self) -> DatasetKind {
+        match self {
+            Task::VpnBinary | Task::VpnService | Task::VpnApp => DatasetKind::IscxVpn,
+            Task::UstcBinary | Task::UstcApp => DatasetKind::UstcTfc,
+            Task::Tls120 => DatasetKind::CstnetTls120,
+        }
+    }
+
+    /// Number of label values.
+    pub fn n_classes(&self) -> usize {
+        match self {
+            Task::VpnBinary | Task::UstcBinary => 2,
+            Task::VpnService => 6,
+            Task::VpnApp => 16,
+            Task::UstcApp => 20,
+            Task::Tls120 => 120,
+        }
+    }
+
+    /// Map a class's metadata to this task's label.
+    pub fn label_of_meta(&self, meta: &ClassMeta) -> u16 {
+        match self {
+            Task::VpnBinary => u16::from(meta.is_vpn),
+            Task::VpnService => u16::from(meta.service),
+            Task::VpnApp | Task::UstcApp | Task::Tls120 => meta.class,
+            Task::UstcBinary => u16::from(meta.is_malware),
+        }
+    }
+
+    /// Map a packet record (within `data`) to this task's label.
+    pub fn label_of(&self, data: &Prepared, record: &PacketRecord) -> u16 {
+        self.label_of_meta(&data.classes[record.class as usize])
+    }
+
+    /// Build the full label vector for a set of record indices.
+    pub fn labels(&self, data: &Prepared, indices: &[usize]) -> Vec<u16> {
+        indices.iter().map(|&i| self.label_of(data, &data.records[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Prepared;
+    use traffic_synth::DatasetSpec;
+
+    #[test]
+    fn vpn_tasks_label_ranges() {
+        let t = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 1, flows_per_class: 2 }.generate();
+        let d = Prepared::from_trace(&t);
+        for r in &d.records {
+            assert!(Task::VpnBinary.label_of(&d, r) < 2);
+            assert!(Task::VpnService.label_of(&d, r) < 6);
+            assert!(Task::VpnApp.label_of(&d, r) < 16);
+        }
+    }
+
+    #[test]
+    fn ustc_binary_matches_malware_flag() {
+        let t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 1, flows_per_class: 2 }.generate();
+        let d = Prepared::from_trace(&t);
+        for r in &d.records {
+            let expected = u16::from(d.classes[r.class as usize].is_malware);
+            assert_eq!(Task::UstcBinary.label_of(&d, r), expected);
+        }
+    }
+
+    #[test]
+    fn all_tasks_have_paper_cardinalities() {
+        let expected = [2usize, 6, 16, 2, 20, 120];
+        for (t, e) in Task::ALL.iter().zip(expected) {
+            assert_eq!(t.n_classes(), e, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn tls_labels_are_class_ids() {
+        let t =
+            DatasetSpec { kind: DatasetKind::CstnetTls120, seed: 1, flows_per_class: 2 }.generate();
+        let d = Prepared::from_trace(&t);
+        let labels = Task::Tls120.labels(&d, &(0..d.records.len().min(50)).collect::<Vec<_>>());
+        assert!(labels.iter().all(|&l| l < 120));
+    }
+}

@@ -1,0 +1,608 @@
+//! The encoder models: model-specific tokenisation over a shared
+//! embedding + mean-pooling backbone that supports frozen encoding and
+//! unfrozen (end-to-end) training.
+
+use crate::tokenize::{
+    byte_tokens, ip_bytes_anonymised, ip_bytes_randomised, multimodal_tokens,
+    netfound_field_tokens, patch_tokens, transport_bytes_no_ports, word_tokens, VOCAB,
+};
+use dataset::record::PacketRecord;
+use dataset::transform::{ablated_view, InputAblation};
+use nn::{Dense, Embedding, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which paper model this encoder reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ModelKind {
+    /// ET-BERT: transport bytes without ports + payload, word tokens.
+    EtBert,
+    /// YaTC: 5-packet "image", IPs/ports zeroed, 4-byte patch tokens.
+    YaTc,
+    /// NetMamba: unidirectional byte sequence, IPs/ports zeroed.
+    NetMamba,
+    /// TrafficFormer: word tokens with train-time IP/port randomisation.
+    TrafficFormer,
+    /// netFound: header-field + multimodal tokens + 12 payload bytes.
+    NetFound,
+    /// Pcap-Encoder: whole-packet 2-byte words (T5-style hex words).
+    PcapEncoder,
+    /// PERT: ALBERT-style parameter sharing — coarse position buckets.
+    Pert,
+    /// PacRep: off-the-shelf text BERT — position-independent tokens,
+    /// no network pretext task (Table 1: "None").
+    PacRep,
+    /// PTU: ET-BERT-style input with SSP + HIP/FIP pretext tasks.
+    Ptu,
+}
+
+impl ModelKind {
+    /// The six models the paper evaluates in §5–§6 (table rows).
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::EtBert,
+        ModelKind::YaTc,
+        ModelKind::NetMamba,
+        ModelKind::TrafficFormer,
+        ModelKind::NetFound,
+        ModelKind::PcapEncoder,
+    ];
+
+    /// Every analogue implemented, including the Table-1 models the
+    /// paper describes but does not carry into the evaluation
+    /// (PERT, PacRep, PTU).
+    pub const EXTENDED: [ModelKind; 9] = [
+        ModelKind::EtBert,
+        ModelKind::YaTc,
+        ModelKind::NetMamba,
+        ModelKind::TrafficFormer,
+        ModelKind::NetFound,
+        ModelKind::PcapEncoder,
+        ModelKind::Pert,
+        ModelKind::PacRep,
+        ModelKind::Ptu,
+    ];
+
+    /// Paper name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::EtBert => "ET-BERT",
+            ModelKind::YaTc => "YaTC",
+            ModelKind::NetMamba => "NetMamba",
+            ModelKind::TrafficFormer => "TrafficFormer",
+            ModelKind::NetFound => "netFound",
+            ModelKind::PcapEncoder => "Pcap-Encoder",
+            ModelKind::Pert => "PERT",
+            ModelKind::PacRep => "PacRep",
+            ModelKind::Ptu => "PTU",
+        }
+    }
+
+    /// Embedding dimensionality — scaled-down analogues of the paper's
+    /// sizes (Table 1: 768/768/192/256/1024/768).
+    pub fn dim(&self) -> usize {
+        match self {
+            ModelKind::EtBert => 128,
+            ModelKind::YaTc => 48,
+            ModelKind::NetMamba => 48,
+            ModelKind::TrafficFormer => 128,
+            ModelKind::NetFound => 160,
+            ModelKind::PcapEncoder => 256,
+            ModelKind::Pert => 64,
+            ModelKind::PacRep => 64,
+            ModelKind::Ptu => 64,
+        }
+    }
+
+    /// Per-model hash salt (keeps token spaces disjoint).
+    pub fn salt(&self) -> u32 {
+        match self {
+            ModelKind::EtBert => 0xe7be,
+            ModelKind::YaTc => 0x7a7c,
+            ModelKind::NetMamba => 0x3a3b,
+            ModelKind::TrafficFormer => 0x7f03,
+            ModelKind::NetFound => 0x4f0d,
+            ModelKind::PcapEncoder => 0x9cab,
+            ModelKind::Pert => 0x9e27,
+            ModelKind::PacRep => 0x9ac2,
+            ModelKind::Ptu => 0x9703,
+        }
+    }
+
+    /// Whether the original model is a *flow* embedder (Table 1 /
+    /// §5: YaTC, NetMamba, TrafficFormer, netFound).
+    pub fn is_flow_embedder(&self) -> bool {
+        matches!(
+            self,
+            ModelKind::YaTc | ModelKind::NetMamba | ModelKind::TrafficFormer | ModelKind::NetFound
+        )
+    }
+}
+
+/// Scale `t` down so its Frobenius norm does not exceed `max_norm`.
+fn clip_global_norm(t: &mut Tensor, max_norm: f32) {
+    let norm = t.norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for v in &mut t.data {
+            *v *= scale;
+        }
+    }
+}
+
+/// An instantiated encoder: tokenizer + embedding table.
+///
+/// ```no_run
+/// use encoders::{EncoderModel, ModelKind};
+/// use dataset::record::Prepared;
+/// use traffic_synth::{DatasetKind, DatasetSpec};
+///
+/// let trace = DatasetSpec::new(DatasetKind::UstcTfc, 1).generate();
+/// let data = Prepared::from_trace(&trace);
+/// let encoder = EncoderModel::new(ModelKind::EtBert, 7);
+/// let recs: Vec<_> = data.records.iter().take(32).collect();
+/// let embeddings = encoder.encode_packets(&recs); // 32 × dim
+/// assert_eq!(embeddings.rows, 32);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EncoderModel {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// The shared backbone (token table + scaled mean pooling).
+    pub embedding: Embedding,
+    /// Post-pooling projection — the minimal analogue of the original
+    /// models' encoder layers. Pre-training primarily shapes this
+    /// layer (the token table moves only gently), so the table's
+    /// information-preserving geometry survives pre-training.
+    pub proj: Dense,
+    /// Train-time augmentation RNG (TrafficFormer randomisation).
+    augment_seed: u64,
+    /// Optional input ablation applied before tokenisation (Table 7).
+    pub ablation: InputAblation,
+}
+
+impl EncoderModel {
+    /// Fresh (randomly initialised, un-pre-trained) encoder.
+    pub fn new(kind: ModelKind, seed: u64) -> EncoderModel {
+        let dim = kind.dim();
+        // Small-initialised residual branch: a fresh encoder is almost a
+        // pure random-feature map (out ≈ pooled).
+        let mut proj = Dense::new(dim, dim, seed ^ 0x9407);
+        for v in proj.w.data.iter_mut() {
+            *v *= 0.1;
+        }
+        EncoderModel {
+            kind,
+            embedding: Embedding::new(VOCAB, dim, seed),
+            proj,
+            augment_seed: seed ^ 0xa06e,
+            ablation: InputAblation::Base,
+        }
+    }
+
+    /// Residual transform: `pooled + proj(pooled)`. The identity path
+    /// guarantees pre-training can only *add* structure on top of the
+    /// information-preserving random-feature map — without it, pretext
+    /// objectives (satisfiable by low-rank maps) collapse the
+    /// representation and frozen performance drops *below* random.
+    fn residual(&self, pooled: &Tensor) -> Tensor {
+        let mut out = self.proj.forward_inference(pooled);
+        for (o, &p) in out.data.iter_mut().zip(&pooled.data) {
+            *o += p;
+        }
+        out
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.kind.dim()
+    }
+
+    /// Tokenise one packet according to the model's input-preparation
+    /// rules. `augment` enables training-time randomisation where the
+    /// original paper uses it (TrafficFormer).
+    pub fn tokenize_packet(&self, rec: &PacketRecord, augment: Option<&mut StdRng>) -> Vec<u32> {
+        let salt = self.kind.salt();
+        let mut out = Vec::with_capacity(96);
+        match self.kind {
+            ModelKind::EtBert => {
+                let bytes = self.ablate(rec, transport_bytes_no_ports(rec));
+                word_tokens(&bytes, 48, salt, &mut out);
+            }
+            ModelKind::YaTc => {
+                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
+                patch_tokens(&bytes, 40, salt, &mut out);
+            }
+            ModelKind::NetMamba => {
+                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
+                byte_tokens(&bytes, 64, salt, &mut out);
+            }
+            ModelKind::TrafficFormer => {
+                let bytes = match augment {
+                    Some(rng) => ip_bytes_randomised(rec, rng),
+                    None => rec.frame[rec.parsed.ip_offset..].to_vec(),
+                };
+                let bytes = self.ablate(rec, bytes);
+                word_tokens(&bytes, 72, salt, &mut out);
+            }
+            ModelKind::NetFound => {
+                netfound_field_tokens(rec, salt, &mut out);
+                multimodal_tokens(rec.from_client, 0.0, salt, &mut out);
+                let payload = rec.payload();
+                word_tokens(&payload[..payload.len().min(12)], 6, salt + 1, &mut out);
+            }
+            ModelKind::PcapEncoder => {
+                // Byte-level position-aware tokens: each header byte is
+                // its own token, so field values generalise across
+                // packets (the analogue of T5's copyable hex words).
+                let view = ablated_view(rec, self.ablation);
+                let start = if self.ablation == InputAblation::NoHeader {
+                    0
+                } else {
+                    rec.parsed.ip_offset.min(view.len())
+                };
+                byte_tokens(&view[start..], 64, salt, &mut out);
+            }
+            ModelKind::Pert => {
+                // ALBERT shares parameters across layers; the analogue
+                // shares token rows across coarse position buckets.
+                let bytes = self.ablate(rec, transport_bytes_no_ports(rec));
+                for (i, w) in bytes.chunks(2).take(48).enumerate() {
+                    let val = if w.len() == 2 {
+                        u32::from(u16::from_be_bytes([w[0], w[1]]))
+                    } else {
+                        u32::from(w[0]) << 16
+                    };
+                    out.push(crate::tokenize::hash_token((i / 4) as u32, val, salt));
+                }
+            }
+            ModelKind::PacRep => {
+                // Off-the-shelf text encoder: byte bigrams as "words",
+                // no positional alignment with packet structure.
+                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
+                for w in bytes.chunks(2).take(64) {
+                    let val = if w.len() == 2 {
+                        u32::from(u16::from_be_bytes([w[0], w[1]]))
+                    } else {
+                        u32::from(w[0]) << 16
+                    };
+                    out.push(crate::tokenize::hash_token(0, val, salt));
+                }
+            }
+            ModelKind::Ptu => {
+                // PTU removes IP address, MAC address and checksum
+                // (App. A.2); otherwise ET-BERT-style word tokens.
+                let mut bytes = ip_bytes_anonymised(rec);
+                let tr = rec.parsed.transport_offset - rec.parsed.ip_offset;
+                if rec.parsed.transport.is_tcp() && bytes.len() >= tr + 18 {
+                    bytes[tr + 16..tr + 18].fill(0); // TCP checksum
+                }
+                let bytes = self.ablate(rec, bytes);
+                word_tokens(&bytes, 56, salt, &mut out);
+            }
+        }
+        out
+    }
+
+    fn ablate(&self, rec: &PacketRecord, default_bytes: Vec<u8>) -> Vec<u8> {
+        match self.ablation {
+            InputAblation::Base => default_bytes,
+            _ => ablated_view(rec, self.ablation),
+        }
+    }
+
+    /// Tokenise a multi-packet input (flow tasks). Flow embedders mix
+    /// the packet index into the position; Pcap-Encoder is packet-level
+    /// and callers use majority voting instead.
+    pub fn tokenize_flow(&self, packets: &[&PacketRecord]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (pi, rec) in packets.iter().enumerate() {
+            let toks = self.tokenize_packet(rec, None);
+            let shift = (pi as u32) << 10;
+            out.extend(toks.into_iter().map(|t| (t + shift) % VOCAB as u32));
+        }
+        out
+    }
+
+    /// Packet-level input for flow embedders: the paper *Repeats* the
+    /// packet 5 times to form an artificial flow (§5, footnote 11).
+    pub fn tokenize_packet_repeated(&self, rec: &PacketRecord) -> Vec<u32> {
+        if self.kind.is_flow_embedder() {
+            let reps: Vec<&PacketRecord> = std::iter::repeat_n(rec, 5).collect();
+            self.tokenize_flow(&reps)
+        } else {
+            self.tokenize_packet(rec, None)
+        }
+    }
+
+    /// Alternative Padding strategy (ablation for footnote 11): the
+    /// packet once, then four all-zero padding packets.
+    pub fn tokenize_packet_padded(&self, rec: &PacketRecord) -> Vec<u32> {
+        if self.kind.is_flow_embedder() {
+            let mut out = self.tokenize_packet(rec, None);
+            for pi in 1..5u32 {
+                // zero-packet tokens: position-only hashes
+                for i in 0..16u32 {
+                    out.push(crate::tokenize::hash_token(i + (pi << 10), 0, self.kind.salt()));
+                }
+            }
+            out
+        } else {
+            self.tokenize_packet(rec, None)
+        }
+    }
+
+    /// Frozen encoding of a packet batch (no caches, no gradients).
+    pub fn encode_packets(&self, records: &[&PacketRecord]) -> Tensor {
+        let batch: Vec<Vec<u32>> =
+            records.iter().map(|r| self.tokenize_packet_repeated(r)).collect();
+        self.residual(&self.embedding.forward_inference(&batch))
+    }
+
+    /// Frozen encoding of flows (each a slice of packets).
+    pub fn encode_flows(&self, flows: &[Vec<&PacketRecord>]) -> Tensor {
+        let batch: Vec<Vec<u32>> = flows.iter().map(|f| self.tokenize_flow(f)).collect();
+        self.residual(&self.embedding.forward_inference(&batch))
+    }
+
+    /// Unfrozen forward over token batches (caches for backward).
+    pub fn forward_tokens(&mut self, batch: &[Vec<u32>]) -> Tensor {
+        let pooled = self.embedding.forward(batch);
+        let mut out = self.proj.forward(&pooled);
+        for (o, &p) in out.data.iter_mut().zip(&pooled.data) {
+            *o += p;
+        }
+        out
+    }
+
+    /// Unfrozen backward: gradient flows through both the residual
+    /// branch and the identity path into the token table (end-to-end
+    /// fine-tuning at full rate). The incoming gradient is global-norm
+    /// clipped (standard fine-tuning practice) — without it the
+    /// residual doubles gradient flow and wide encoders diverge.
+    pub fn backward(&mut self, d_out: &Tensor, lr: f32) {
+        let mut d_out = d_out.clone();
+        let max_norm = (d_out.rows as f32).sqrt();
+        clip_global_norm(&mut d_out, max_norm);
+        let mut d_pooled = self.proj.backward(&d_out, lr);
+        for (d, &g) in d_pooled.data.iter_mut().zip(&d_out.data) {
+            *d += g; // identity-path gradient
+        }
+        self.embedding.backward(&d_pooled, lr);
+    }
+
+    /// Pre-training backward: the residual branch learns at `lr` while
+    /// the token table moves at `lr * table_scale`, so pretext tasks
+    /// add structure without erasing the table's token-identity
+    /// geometry.
+    pub fn backward_pretrain(&mut self, d_out: &Tensor, lr: f32, table_scale: f32) {
+        // plain SGD throughout: Adam would blow the tiny correlated
+        // pretext gradients up to full-size steps and collapse both the
+        // projection and the token-identity geometry (DESIGN.md §4b)
+        let mut d_pooled = self.proj.backward_sgd(d_out, lr);
+        for (d, &g) in d_pooled.data.iter_mut().zip(&d_out.data) {
+            *d += g;
+        }
+        self.embedding.backward_sgd(&d_pooled, lr * table_scale);
+    }
+
+    /// Frozen encoding of pre-built token sequences (residual path).
+    pub fn encode_tokens(&self, batch: &[Vec<u32>]) -> Tensor {
+        self.residual(&self.embedding.forward_inference(batch))
+    }
+
+    /// Serialise the encoder (architecture + weights; optimiser state
+    /// is rebuilt lazily after load) to JSON — checkpointing for
+    /// pre-trained encoders.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("encoder serialises")
+    }
+
+    /// Restore an encoder saved with [`EncoderModel::to_json`].
+    pub fn from_json(json: &str) -> Result<EncoderModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Tokenise a packet set for unfrozen training, applying the
+    /// model's training-time augmentation when it has one.
+    pub fn tokenize_training_batch(&self, records: &[&PacketRecord], epoch: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(self.augment_seed ^ epoch);
+        records
+            .iter()
+            .map(|r| {
+                if self.kind == ModelKind::TrafficFormer {
+                    let toks = self.tokenize_packet(r, Some(&mut rng));
+                    if self.kind.is_flow_embedder() {
+                        // repeat with packet-index shifts, like inference
+                        let mut out = Vec::with_capacity(toks.len() * 5);
+                        for pi in 0..5u32 {
+                            out.extend(toks.iter().map(|t| (t + (pi << 10)) % VOCAB as u32));
+                        }
+                        out
+                    } else {
+                        toks
+                    }
+                } else {
+                    self.tokenize_packet_repeated(r)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::record::Prepared;
+    use traffic_synth::{DatasetKind, DatasetSpec};
+
+    fn sample() -> Prepared {
+        let t = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 2, flows_per_class: 2 }.generate();
+        Prepared::from_trace(&t)
+    }
+
+    #[test]
+    fn all_models_tokenize_nonempty() {
+        let d = sample();
+        let rec = d.records.iter().find(|r| r.parsed.transport.is_tcp()).unwrap();
+        for kind in ModelKind::EXTENDED {
+            let m = EncoderModel::new(kind, 1);
+            let toks = m.tokenize_packet(rec, None);
+            assert!(!toks.is_empty(), "{} produced no tokens", kind.name());
+            assert!(toks.iter().all(|&t| (t as usize) < VOCAB));
+        }
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let d = sample();
+        let recs: Vec<&PacketRecord> = d.records.iter().take(8).collect();
+        for kind in ModelKind::EXTENDED {
+            let m = EncoderModel::new(kind, 1);
+            let e = m.encode_packets(&recs);
+            assert_eq!((e.rows, e.cols), (8, kind.dim()), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn same_flow_packets_share_tokens_for_etbert() {
+        // Packets of one flow share SeqNo/AckNo prefixes => token overlap.
+        let d = sample();
+        let flows = d.flows();
+        let (_, idxs) = flows
+            .iter()
+            .find(|(_, idxs)| {
+                idxs.len() >= 6 && d.records[idxs[0]].parsed.transport.is_tcp()
+            })
+            .expect("a TCP flow with enough packets");
+        let m = EncoderModel::new(ModelKind::EtBert, 1);
+        let t1: std::collections::HashSet<u32> =
+            m.tokenize_packet(&d.records[idxs[2]], None).into_iter().collect();
+        let t2: std::collections::HashSet<u32> =
+            m.tokenize_packet(&d.records[idxs[4]], None).into_iter().collect();
+        let overlap = t1.intersection(&t2).count();
+        assert!(overlap >= 1, "flow-mates must share implicit-ID tokens, got {overlap}");
+    }
+
+    #[test]
+    fn flow_tokenisation_depends_on_order() {
+        let d = sample();
+        let a = &d.records[0];
+        let b = &d.records[1];
+        let m = EncoderModel::new(ModelKind::YaTc, 1);
+        let t1 = m.tokenize_flow(&[a, b]);
+        let t2 = m.tokenize_flow(&[b, a]);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn repeat_and_pad_differ() {
+        let d = sample();
+        let rec = &d.records[0];
+        let m = EncoderModel::new(ModelKind::YaTc, 1);
+        assert_ne!(m.tokenize_packet_repeated(rec), m.tokenize_packet_padded(rec));
+    }
+
+    #[test]
+    fn unfrozen_backward_changes_embedding() {
+        let d = sample();
+        let recs: Vec<&PacketRecord> = d.records.iter().take(4).collect();
+        let mut m = EncoderModel::new(ModelKind::EtBert, 1);
+        let before = m.embedding.table.clone();
+        let batch = m.tokenize_training_batch(&recs, 0);
+        let out = m.forward_tokens(&batch);
+        let grad = Tensor::from_rows(&vec![vec![1.0; m.dim()]; out.rows]);
+        m.backward(&grad, 0.01);
+        assert_ne!(m.embedding.table.data, before.data);
+    }
+
+    #[test]
+    fn fresh_encoder_residual_is_near_identity() {
+        // At init the residual branch is small: encoding ≈ pooled
+        // random features, so an un-pre-trained encoder is a pure
+        // random-feature map (DESIGN.md §4b).
+        let d = sample();
+        let recs: Vec<&PacketRecord> = d.records.iter().take(4).collect();
+        let m = EncoderModel::new(ModelKind::PcapEncoder, 5);
+        let batch: Vec<Vec<u32>> = recs.iter().map(|r| m.tokenize_packet_repeated(r)).collect();
+        let pooled = m.embedding.forward_inference(&batch);
+        let out = m.encode_packets(&recs);
+        let mut diff = 0.0f32;
+        let mut norm = 0.0f32;
+        for (a, b) in out.data.iter().zip(&pooled.data) {
+            diff += (a - b) * (a - b);
+            norm += b * b;
+        }
+        assert!(diff.sqrt() < 0.8 * norm.sqrt().max(1e-6), "residual branch too large at init");
+    }
+
+    #[test]
+    fn encode_tokens_matches_encode_packets() {
+        let d = sample();
+        let recs: Vec<&PacketRecord> = d.records.iter().take(4).collect();
+        let m = EncoderModel::new(ModelKind::EtBert, 6);
+        let batch: Vec<Vec<u32>> = recs.iter().map(|r| m.tokenize_packet_repeated(r)).collect();
+        assert_eq!(m.encode_tokens(&batch).data, m.encode_packets(&recs).data);
+    }
+
+    #[test]
+    fn pacrep_tokens_are_position_independent() {
+        // Swapping two 2-byte words of the payload must not change the
+        // PacRep token multiset (text-style bag of words) while it
+        // does change ET-BERT's position-aware tokens.
+        let d = sample();
+        let rec = d
+            .records
+            .iter()
+            .find(|r| r.parsed.transport.is_tcp() && r.payload().len() >= 8)
+            .unwrap();
+        let mut swapped = rec.clone();
+        let off = swapped.parsed.payload_offset;
+        swapped.frame.swap(off, off + 2);
+        swapped.frame.swap(off + 1, off + 3);
+        let sort = |mut v: Vec<u32>| {
+            v.sort_unstable();
+            v
+        };
+        let pacrep = EncoderModel::new(ModelKind::PacRep, 1);
+        assert_eq!(
+            sort(pacrep.tokenize_packet(rec, None)),
+            sort(pacrep.tokenize_packet(&swapped, None)),
+            "bag-of-words tokens ignore word order"
+        );
+        let etbert = EncoderModel::new(ModelKind::EtBert, 1);
+        assert_ne!(
+            etbert.tokenize_packet(rec, None),
+            etbert.tokenize_packet(&swapped, None),
+            "position-aware tokens must notice the swap"
+        );
+    }
+
+    #[test]
+    fn pert_shares_rows_across_position_buckets() {
+        // Two equal words at positions 0 and 1 (same /4 bucket) map to
+        // the same PERT token.
+        use crate::tokenize::hash_token;
+        let salt = ModelKind::Pert.salt();
+        assert_eq!(hash_token(0, 42, salt), hash_token(0, 42, salt));
+        // positions 0..3 share bucket 0; position 4 starts bucket 1
+        let m = EncoderModel::new(ModelKind::Pert, 2);
+        let d = sample();
+        let rec = d.records.iter().find(|r| r.parsed.transport.is_tcp()).unwrap();
+        let toks = m.tokenize_packet(rec, None);
+        assert!(!toks.is_empty());
+    }
+
+    #[test]
+    fn ablation_changes_pcap_encoder_tokens() {
+        let d = sample();
+        let rec = d.records.iter().find(|r| !r.payload().is_empty()).unwrap();
+        let mut m = EncoderModel::new(ModelKind::PcapEncoder, 1);
+        let base = m.tokenize_packet(rec, None);
+        m.ablation = InputAblation::NoHeader;
+        let no_hdr = m.tokenize_packet(rec, None);
+        m.ablation = InputAblation::NoPayload;
+        let no_pl = m.tokenize_packet(rec, None);
+        assert_ne!(base, no_hdr);
+        assert_ne!(base, no_pl);
+    }
+}

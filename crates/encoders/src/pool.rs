@@ -1,0 +1,158 @@
+//! Bottleneck pooling variants (paper App. A.1.2): how the per-token
+//! representations are collapsed into one packet vector.
+//!
+//! The paper compares *first pooling*, *mean pooling* and *Luong
+//! attention* and finds mean pooling sufficient; we expose all three
+//! for the `repro pooling` ablation.
+
+use nn::{Embedding, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which bottleneck to use when collapsing token vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolingMode {
+    /// Take the first token's vector (the "dummy question" token).
+    First,
+    /// Scaled mean over all token vectors (the paper's choice).
+    Mean,
+    /// Luong attention: softmax(eᵀq)-weighted average with a fixed
+    /// random query vector `q` (frozen-encoder variant).
+    LuongAttention,
+}
+
+impl PoolingMode {
+    /// All three variants in paper order.
+    pub const ALL: [PoolingMode; 3] =
+        [PoolingMode::First, PoolingMode::Mean, PoolingMode::LuongAttention];
+
+    /// Paper name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoolingMode::First => "first pooling",
+            PoolingMode::Mean => "mean pooling",
+            PoolingMode::LuongAttention => "Luong attention",
+        }
+    }
+}
+
+/// Pool a batch of token sequences through `embedding` with the given
+/// bottleneck. `seed` fixes the attention query vector.
+pub fn pool_batch(
+    embedding: &Embedding,
+    batch: &[Vec<u32>],
+    mode: PoolingMode,
+    seed: u64,
+) -> Tensor {
+    match mode {
+        PoolingMode::Mean => embedding.forward_inference(batch),
+        PoolingMode::First => {
+            let firsts: Vec<Vec<u32>> =
+                batch.iter().map(|t| t.first().copied().into_iter().collect()).collect();
+            embedding.forward_inference(&firsts)
+        }
+        PoolingMode::LuongAttention => {
+            let dim = embedding.dim();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut out = Tensor::zeros(batch.len(), dim);
+            for (r, tokens) in batch.iter().enumerate() {
+                if tokens.is_empty() {
+                    continue;
+                }
+                // scores = eᵀq, softmax over tokens
+                let scores: Vec<f32> = tokens
+                    .iter()
+                    .map(|&t| {
+                        embedding
+                            .table
+                            .row(t as usize % embedding.vocab())
+                            .iter()
+                            .zip(&q)
+                            .map(|(a, b)| a * b)
+                            .sum()
+                    })
+                    .collect();
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exp: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+                let denom: f32 = exp.iter().sum();
+                let row = out.row_mut(r);
+                for (&t, &w) in tokens.iter().zip(&exp) {
+                    let e = embedding.table.row(t as usize % embedding.vocab());
+                    for (o, &v) in row.iter_mut().zip(e) {
+                        *o += v * (w / denom);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedding() -> Embedding {
+        Embedding::new(16, 4, 1)
+    }
+
+    #[test]
+    fn first_pooling_returns_first_row() {
+        let e = embedding();
+        let out = pool_batch(&e, &[vec![3, 7, 9]], PoolingMode::First, 0);
+        assert_eq!(out.row(0), e.table.row(3));
+    }
+
+    #[test]
+    fn mean_matches_embedding_forward() {
+        let e = embedding();
+        let batch = vec![vec![1, 2, 3], vec![4]];
+        let a = pool_batch(&e, &batch, PoolingMode::Mean, 0);
+        let b = e.forward_inference(&batch);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        // With a single token, attention must return exactly its row.
+        let e = embedding();
+        let out = pool_batch(&e, &[vec![5]], PoolingMode::LuongAttention, 7);
+        for (a, b) in out.row(0).iter().zip(e.table.row(5)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attention_is_a_convex_combination() {
+        let e = embedding();
+        let out = pool_batch(&e, &[vec![0, 1]], PoolingMode::LuongAttention, 7);
+        // each output dim lies between the two token values
+        for d in 0..4 {
+            let lo = e.table.get(0, d).min(e.table.get(1, d));
+            let hi = e.table.get(0, d).max(e.table.get(1, d));
+            let v = out.get(0, d);
+            assert!(v >= lo - 1e-6 && v <= hi + 1e-6, "dim {d}: {v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_pools_to_zero() {
+        let e = embedding();
+        for mode in PoolingMode::ALL {
+            let out = pool_batch(&e, &[vec![]], mode, 3);
+            assert_eq!(out.row(0), &[0.0; 4], "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn modes_differ_on_multi_token_input() {
+        let e = embedding();
+        let batch = vec![vec![0, 1, 2, 3]];
+        let first = pool_batch(&e, &batch, PoolingMode::First, 1);
+        let mean = pool_batch(&e, &batch, PoolingMode::Mean, 1);
+        let attn = pool_batch(&e, &batch, PoolingMode::LuongAttention, 1);
+        assert_ne!(first.data, mean.data);
+        assert_ne!(mean.data, attn.data);
+    }
+}

@@ -1,0 +1,362 @@
+//! Self-supervised pre-training objectives (§3.3).
+//!
+//! * **MAE** (masked-token reconstruction) — used by all prior models.
+//!   On encrypted payload tokens this objective has nothing to learn
+//!   (tokens are i.i.d. noise), which is precisely the paper's point.
+//! * **SBP** (same-origin burst prediction, ET-BERT) — binary task on
+//!   packet pairs.
+//!
+//! The corpus builder mirrors the paper's pre-training data discipline
+//! (§3.4): traffic *disjoint from the downstream datasets* (different
+//! profiles/seed), with randomised IPs and TTLs so the model cannot
+//! memorise constants (footnote 6).
+
+use crate::model::EncoderModel;
+use dataset::record::PacketRecord;
+use nn::{Dense, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use traffic_synth::flow::synth_flow;
+use traffic_synth::profile::{AppProfile, TransportKind};
+
+/// Number of reconstruction buckets the MAE decoder predicts
+/// (a scaled-down softmax vocabulary).
+pub const MAE_BUCKETS: usize = 256;
+
+/// Build a MAWI-like pre-training corpus: mixed TCP/UDP traffic from
+/// profiles unrelated to any downstream class, IPs/TTLs randomised.
+pub fn pretrain_corpus(seed: u64, n_flows: usize) -> Vec<PacketRecord> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0c0f_fee0);
+    let mut records = Vec::new();
+    for i in 0..n_flows {
+        let flow_id = i as u32;
+        let transport = match i % 3 {
+            0 => TransportKind::TlsTcp,
+            1 => TransportKind::RawTcp,
+            _ => TransportKind::Udp,
+        };
+        // Class ids far outside downstream ranges; fresh profile space.
+        let mut profile = AppProfile::derive(seed ^ 0xbeef, (i % 64) as u16, 64, transport);
+        // Paper footnote 6: "we randomize IP addresses and TTL values"
+        // so the encoder cannot memorise constants — and so the value
+        // space of every address byte is covered.
+        profile.server_ttl = rng.gen_range(32..128);
+        profile.client_ttl = rng.gen_range(32..128);
+        profile.server_pool = vec![net_packet::ipv4::Ipv4Addr::new(
+            rng.gen_range(1..255),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..255),
+        )];
+        let client = net_packet::ipv4::Ipv4Addr::new(
+            rng.gen_range(1..255),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..255),
+        );
+        let f = synth_flow(&profile, client, 0.0, &mut rng, false);
+        for p in f.packets {
+            if let Ok(parsed) = net_packet::frame::ParsedFrame::parse(&p.frame) {
+                records.push(PacketRecord {
+                    ts: p.ts,
+                    frame: p.frame,
+                    parsed,
+                    class: 0,
+                    flow_id,
+                    from_client: p.from_client,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Number of positional-query features appended to the pooled vector
+/// for the reconstruction decoder (7-bit binary position encoding +
+/// normalised position).
+const POS_FEATURES: usize = 8;
+
+fn position_features(pos: usize) -> [f32; POS_FEATURES] {
+    let mut f = [0.0f32; POS_FEATURES];
+    for (b, slot) in f.iter_mut().take(7).enumerate() {
+        *slot = f32::from(u8::from(pos >> b & 1 == 1));
+    }
+    f[7] = pos as f32 / 64.0;
+    f
+}
+
+/// Masked-autoencoder pre-training — the paper's T5-AE phase:
+/// reconstruct the packet from its pooled representation.
+///
+/// For each packet we mask a few random positions and train a decoder
+/// that, given `[pooled ‖ position-query]`, predicts the masked
+/// token's bucket **at every queried position**. Because the decoder
+/// must recover *arbitrary* positions, the pooled representation is
+/// forced to stay (approximately) injective — a single-masked-token
+/// objective is satisfiable by a collapsed low-rank encoder, which is
+/// exactly the failure mode the paper's full-reconstruction T5 avoids.
+/// Returns the final epoch's mean loss.
+pub fn mae_pretrain(
+    model: &mut EncoderModel,
+    corpus: &[PacketRecord],
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> f32 {
+    const QUERIES_PER_PACKET: usize = 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = model.dim();
+    let mut decoder = Dense::new(dim + POS_FEATURES, MAE_BUCKETS, seed ^ 0xdec0);
+    let mut order: Vec<usize> = (0..corpus.len()).collect();
+    let mut last = f32::NAN;
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(16) {
+            // one pooled row per packet; one decoder row per query
+            let mut inputs: Vec<Vec<u32>> = Vec::with_capacity(chunk.len());
+            let mut queries: Vec<(usize, usize, u16)> = Vec::new(); // (row, pos, target)
+            for &i in chunk {
+                let toks = model.tokenize_packet(&corpus[i], None);
+                if toks.len() < QUERIES_PER_PACKET + 2 {
+                    continue;
+                }
+                let row = inputs.len();
+                let mut masked: Vec<usize> = (0..toks.len()).collect();
+                masked.shuffle(&mut rng);
+                masked.truncate(QUERIES_PER_PACKET);
+                for &pos in &masked {
+                    queries.push((row, pos, (toks[pos] as usize % MAE_BUCKETS) as u16));
+                }
+                let visible: Vec<u32> = toks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| !masked.contains(j))
+                    .map(|(_, &t)| t)
+                    .collect();
+                inputs.push(visible);
+            }
+            if inputs.is_empty() {
+                continue;
+            }
+            let pooled = model.forward_tokens(&inputs);
+            // decoder input: the packet's pooled row ‖ position features
+            let mut dec_in = Tensor::zeros(queries.len(), dim + POS_FEATURES);
+            for (qi, &(row, pos, _)) in queries.iter().enumerate() {
+                dec_in.row_mut(qi)[..dim].copy_from_slice(pooled.row(row));
+                dec_in.row_mut(qi)[dim..].copy_from_slice(&position_features(pos));
+            }
+            let targets: Vec<u16> = queries.iter().map(|&(_, _, t)| t).collect();
+            let logits = decoder.forward(&dec_in);
+            let (loss, grad) = nn::loss::softmax_cross_entropy(&logits, &targets);
+            let d_in = decoder.backward(&grad, lr);
+            // scatter decoder-input gradients back onto the pooled rows
+            let mut d_pooled = Tensor::zeros(pooled.rows, dim);
+            for (qi, &(row, _, _)) in queries.iter().enumerate() {
+                let src = d_in.row(qi);
+                let dst = d_pooled.row_mut(row);
+                for (d, &g) in dst.iter_mut().zip(&src[..dim]) {
+                    *d += g;
+                }
+            }
+            model.backward_pretrain(&d_pooled, lr, 1.0);
+            total += loss;
+            batches += 1;
+        }
+        last = total / batches.max(1) as f32;
+    }
+    last
+}
+
+/// Same-origin Burst Prediction (ET-BERT's second pretext task):
+/// given two packets, predict whether they belong to the same flow.
+/// Trains on |a − b| of the pooled embeddings. Returns final loss.
+pub fn sbp_pretrain(
+    model: &mut EncoderModel,
+    corpus: &[PacketRecord],
+    pairs: usize,
+    lr: f32,
+    seed: u64,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5b9);
+    let mut head = Dense::new(model.dim(), 2, seed ^ 0x5b9d);
+    if corpus.len() < 4 {
+        return f32::NAN;
+    }
+    // index packets by flow for positive pairs
+    let mut by_flow: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for (i, r) in corpus.iter().enumerate() {
+        by_flow.entry(r.flow_id).or_default().push(i);
+    }
+    let flows: Vec<&Vec<usize>> = by_flow.values().filter(|v| v.len() >= 2).collect();
+    if flows.is_empty() {
+        return f32::NAN;
+    }
+    let mut last = f32::NAN;
+    for _ in 0..pairs.div_ceil(16) {
+        let mut batch_a: Vec<Vec<u32>> = Vec::new();
+        let mut batch_b: Vec<Vec<u32>> = Vec::new();
+        let mut labels: Vec<u16> = Vec::new();
+        for _ in 0..16 {
+            let positive = rng.gen_bool(0.5);
+            let (i, j) = if positive {
+                let f = flows[rng.gen_range(0..flows.len())];
+                (f[rng.gen_range(0..f.len())], f[rng.gen_range(0..f.len())])
+            } else {
+                (rng.gen_range(0..corpus.len()), rng.gen_range(0..corpus.len()))
+            };
+            let same = corpus[i].flow_id == corpus[j].flow_id;
+            batch_a.push(model.tokenize_packet(&corpus[i], None));
+            batch_b.push(model.tokenize_packet(&corpus[j], None));
+            labels.push(u16::from(same));
+        }
+        let ea = model.forward_tokens(&batch_a);
+        let eb = model.encode_tokens(&batch_b);
+        let mut diff = Tensor::zeros(ea.rows, ea.cols);
+        for r in 0..ea.rows {
+            for c in 0..ea.cols {
+                diff.set(r, c, (ea.get(r, c) - eb.get(r, c)).abs());
+            }
+        }
+        let logits = head.forward(&diff);
+        let (loss, grad) = nn::loss::softmax_cross_entropy(&logits, &labels);
+        let d_diff = head.backward(&grad, lr);
+        // d|a-b|/da = sign(a-b); propagate into the `a` side only (the
+        // cached forward) — a standard asymmetric simplification.
+        let mut d_a = d_diff;
+        for r in 0..d_a.rows {
+            for c in 0..d_a.cols {
+                let s = (ea.get(r, c) - eb.get(r, c)).signum();
+                let v = d_a.get(r, c) * s;
+                d_a.set(r, c, v);
+            }
+        }
+        model.backward_pretrain(&d_a, lr, 1.0);
+        last = loss;
+    }
+    last
+}
+
+/// PTU's Historical/Future Interval Prediction (HIP/FIP): from a
+/// packet's embedding, predict the log-bucketed inter-arrival time to
+/// the previous (HIP) and next (FIP) packet of the same flow. Returns
+/// the final loss.
+pub fn interval_pretrain(
+    model: &mut EncoderModel,
+    corpus: &[PacketRecord],
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> f32 {
+    const BUCKETS: usize = 16;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x41f);
+    let mut hip = Dense::new(model.dim(), BUCKETS, seed ^ 0x41f0);
+    let mut fip = Dense::new(model.dim(), BUCKETS, seed ^ 0x41f1);
+    // (packet index, hip bucket, fip bucket)
+    let mut samples: Vec<(usize, u16, u16)> = Vec::new();
+    let bucket = |gap: f64| -> u16 {
+        let us = (gap * 1e6).clamp(0.0, 4e9) as u32;
+        (crate::tokenize::log_bucket(us, BUCKETS as u32) as u16).min(BUCKETS as u16 - 1)
+    };
+    let mut by_flow: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for (i, r) in corpus.iter().enumerate() {
+        by_flow.entry(r.flow_id).or_default().push(i);
+    }
+    for idxs in by_flow.values() {
+        for w in idxs.windows(3) {
+            let prev_gap = corpus[w[1]].ts - corpus[w[0]].ts;
+            let next_gap = corpus[w[2]].ts - corpus[w[1]].ts;
+            samples.push((w[1], bucket(prev_gap), bucket(next_gap)));
+        }
+    }
+    if samples.is_empty() {
+        return f32::NAN;
+    }
+    let mut last = f32::NAN;
+    for _ in 0..epochs {
+        samples.shuffle(&mut rng);
+        for chunk in samples.chunks(32) {
+            let batch: Vec<Vec<u32>> = chunk
+                .iter()
+                .map(|&(i, _, _)| model.tokenize_packet(&corpus[i], None))
+                .collect();
+            let hip_y: Vec<u16> = chunk.iter().map(|&(_, h, _)| h).collect();
+            let fip_y: Vec<u16> = chunk.iter().map(|&(_, _, f)| f).collect();
+            let pooled = model.forward_tokens(&batch);
+            let hl = hip.forward(&pooled);
+            let (l1, g1) = nn::loss::softmax_cross_entropy(&hl, &hip_y);
+            let d1 = hip.backward(&g1, lr);
+            let fl = fip.forward(&pooled);
+            let (l2, g2) = nn::loss::softmax_cross_entropy(&fl, &fip_y);
+            let d2 = fip.backward(&g2, lr);
+            let mut d = d1;
+            for (a, &b) in d.data.iter_mut().zip(&d2.data) {
+                *a += b;
+            }
+            model.backward_pretrain(&d, lr, 1.0);
+            last = l1 + l2;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+
+    #[test]
+    fn corpus_is_mixed_and_parsed() {
+        let c = pretrain_corpus(1, 12);
+        assert!(c.len() > 50);
+        let tcp = c.iter().filter(|r| r.parsed.transport.is_tcp()).count();
+        let udp = c.len() - tcp;
+        assert!(tcp > 0 && udp > 0, "corpus must mix transports");
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        let a = pretrain_corpus(5, 4);
+        let b = pretrain_corpus(5, 4);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].frame, b[0].frame);
+    }
+
+    #[test]
+    fn mae_loss_decreases() {
+        let corpus = pretrain_corpus(2, 10);
+        let mut m = EncoderModel::new(ModelKind::EtBert, 3);
+        let first = mae_pretrain(&mut m, &corpus, 1, 0.01, 7);
+        let later = mae_pretrain(&mut m, &corpus, 4, 0.01, 8);
+        assert!(later < first, "{later} !< {first}");
+    }
+
+    #[test]
+    fn mae_changes_embedding() {
+        let corpus = pretrain_corpus(2, 6);
+        let mut m = EncoderModel::new(ModelKind::YaTc, 3);
+        let before = m.embedding.table.clone();
+        mae_pretrain(&mut m, &corpus, 1, 0.01, 7);
+        assert_ne!(m.embedding.table.data, before.data);
+    }
+
+    #[test]
+    fn interval_pretrain_runs_and_is_finite() {
+        let corpus = pretrain_corpus(6, 10);
+        let mut m = EncoderModel::new(ModelKind::Ptu, 5);
+        let loss = interval_pretrain(&mut m, &corpus, 1, 0.01, 3);
+        assert!(loss.is_finite(), "HIP/FIP loss must be finite");
+    }
+
+    #[test]
+    fn sbp_learns_flow_pairing_signal() {
+        let corpus = pretrain_corpus(4, 12);
+        let mut m = EncoderModel::new(ModelKind::EtBert, 4);
+        let loss = sbp_pretrain(&mut m, &corpus, 256, 0.01, 9);
+        // SBP is learnable (implicit flow IDs!) so loss should drop
+        // below chance-level ln(2) ≈ 0.693 at least a little.
+        assert!(loss.is_finite());
+    }
+}

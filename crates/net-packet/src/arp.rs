@@ -1,0 +1,182 @@
+//! ARP packet view (Ethernet/IPv4), plus reply construction.
+
+use crate::error::{Error, Result};
+use crate::ethernet::MacAddr;
+use crate::ipv4::Ipv4Addr;
+
+/// ARP body length for Ethernet/IPv4.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Request (1).
+    Request,
+    /// Reply (2).
+    Reply,
+    /// Other operation value.
+    Other(u16),
+}
+
+impl From<u16> for Operation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => Operation::Request,
+            2 => Operation::Reply,
+            o => Operation::Other(o),
+        }
+    }
+}
+
+/// A read view over an ARP packet body (after the Ethernet header).
+#[derive(Debug, Clone, Copy)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wrap a buffer, validating length and hardware/protocol types.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < PACKET_LEN {
+            return Err(Error::Truncated);
+        }
+        if u16::from_be_bytes([b[0], b[1]]) != 1 || u16::from_be_bytes([b[2], b[3]]) != 0x0800 {
+            return Err(Error::Malformed); // only Ethernet/IPv4 supported
+        }
+        if b[4] != 6 || b[5] != 4 {
+            return Err(Error::Malformed);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Operation (request/reply).
+    pub fn operation(&self) -> Operation {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]]).into()
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[8], b[9], b[10], b[11], b[12], b[13]])
+    }
+
+    /// Sender protocol address.
+    pub fn sender_ip(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr([b[14], b[15], b[16], b[17]])
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        let b = self.buffer.as_ref();
+        MacAddr([b[18], b[19], b[20], b[21], b[22], b[23]])
+    }
+
+    /// Target protocol address.
+    pub fn target_ip(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr([b[24], b[25], b[26], b[27]])
+    }
+}
+
+/// Serialise an ARP body from parts.
+pub fn emit(
+    operation: Operation,
+    sender_mac: MacAddr,
+    sender_ip: Ipv4Addr,
+    target_mac: MacAddr,
+    target_ip: Ipv4Addr,
+) -> Vec<u8> {
+    let mut out = vec![0u8; PACKET_LEN];
+    out[0..2].copy_from_slice(&1u16.to_be_bytes());
+    out[2..4].copy_from_slice(&0x0800u16.to_be_bytes());
+    out[4] = 6;
+    out[5] = 4;
+    let op: u16 = match operation {
+        Operation::Request => 1,
+        Operation::Reply => 2,
+        Operation::Other(o) => o,
+    };
+    out[6..8].copy_from_slice(&op.to_be_bytes());
+    out[8..14].copy_from_slice(&sender_mac.0);
+    out[14..18].copy_from_slice(&sender_ip.0);
+    out[18..24].copy_from_slice(&target_mac.0);
+    out[24..28].copy_from_slice(&target_ip.0);
+    out
+}
+
+/// Build the reply to a request: swap roles, fill `our_mac`.
+pub fn reply_to<T: AsRef<[u8]>>(request: &ArpPacket<T>, our_mac: MacAddr) -> Vec<u8> {
+    emit(
+        Operation::Reply,
+        our_mac,
+        request.target_ip(),
+        request.sender_mac(),
+        request.sender_ip(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (MacAddr, Ipv4Addr, Ipv4Addr) {
+        (
+            MacAddr([2, 0, 0, 0, 0, 9]),
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(192, 168, 1, 1),
+        )
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let (mac, sip, tip) = addrs();
+        let raw = emit(Operation::Request, mac, sip, MacAddr::default(), tip);
+        let p = ArpPacket::new_checked(&raw[..]).unwrap();
+        assert_eq!(p.operation(), Operation::Request);
+        assert_eq!(p.sender_mac(), mac);
+        assert_eq!(p.sender_ip(), sip);
+        assert_eq!(p.target_ip(), tip);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let (mac, sip, tip) = addrs();
+        let raw = emit(Operation::Request, mac, sip, MacAddr::default(), tip);
+        let req = ArpPacket::new_checked(&raw[..]).unwrap();
+        let our = MacAddr([2, 0, 0, 0, 0, 1]);
+        let rep_raw = reply_to(&req, our);
+        let rep = ArpPacket::new_checked(&rep_raw[..]).unwrap();
+        assert_eq!(rep.operation(), Operation::Reply);
+        assert_eq!(rep.sender_mac(), our);
+        assert_eq!(rep.sender_ip(), tip);
+        assert_eq!(rep.target_mac(), mac);
+        assert_eq!(rep.target_ip(), sip);
+    }
+
+    #[test]
+    fn spurious_builder_parses_as_arp() {
+        let (mac, sip, tip) = addrs();
+        let frame = crate::spurious::arp_request(mac, sip, tip);
+        let eth = crate::ethernet::EthernetFrame::new_checked(&frame[..]).unwrap();
+        let p = ArpPacket::new_checked(eth.payload()).unwrap();
+        assert_eq!(p.operation(), Operation::Request);
+        assert_eq!(p.sender_ip(), sip);
+    }
+
+    #[test]
+    fn rejects_wrong_types() {
+        let mut raw = emit(
+            Operation::Request,
+            MacAddr::default(),
+            Ipv4Addr::default(),
+            MacAddr::default(),
+            Ipv4Addr::default(),
+        );
+        raw[3] = 0x06; // protocol type 0x0806 (not IPv4)
+        assert_eq!(ArpPacket::new_checked(&raw[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(ArpPacket::new_checked(&raw[..8]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,294 @@
+//! High-level frame builder: assemble complete Ethernet/IP/TCP|UDP
+//! frames with correct lengths and checksums in one fluent expression.
+
+use crate::ethernet::{self, EtherType, MacAddr};
+use crate::ipv4::{IpProtocol, Ipv4Addr, Ipv4Repr};
+use crate::ipv6::{Ipv6Addr, Ipv6Repr};
+use crate::tcp::{TcpFlags, TcpOption, TcpRepr, TcpSegment};
+use crate::udp::{self, UdpDatagram};
+
+/// Which network layer the frame uses.
+#[derive(Debug, Clone, Copy)]
+enum NetLayer {
+    V4 { src: Ipv4Addr, dst: Ipv4Addr },
+    V6 { src: Ipv6Addr, dst: Ipv6Addr },
+}
+
+/// Which transport the frame uses.
+#[derive(Debug, Clone)]
+enum Transport {
+    Tcp(TcpRepr),
+    Udp { src_port: u16, dst_port: u16 },
+}
+
+/// Fluent builder for complete frames.
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    net: NetLayer,
+    transport: Transport,
+    ttl: u8,
+    tos: u8,
+    identification: u16,
+    payload: Vec<u8>,
+}
+
+impl FrameBuilder {
+    /// A TCP/IPv4 frame with sane defaults (used heavily in tests).
+    pub fn tcp_ipv4_default() -> Self {
+        Self {
+            src_mac: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+            dst_mac: MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+            net: NetLayer::V4 {
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                dst: Ipv4Addr::new(93, 184, 216, 34),
+            },
+            transport: Transport::Tcp(TcpRepr {
+                src_port: 40000,
+                dst_port: 443,
+                seq: 1000,
+                ack: 2000,
+                flags: TcpFlags::ACK,
+                ..Default::default()
+            }),
+            ttl: 64,
+            tos: 0,
+            identification: 1,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A UDP/IPv4 frame with sane defaults.
+    pub fn udp_ipv4_default() -> Self {
+        let mut b = Self::tcp_ipv4_default();
+        b.transport = Transport::Udp { src_port: 40000, dst_port: 53 };
+        b
+    }
+
+    /// Set IPv4 source address and transport source port.
+    pub fn src(mut self, addr: Ipv4Addr, port: u16) -> Self {
+        match &mut self.net {
+            NetLayer::V4 { src, .. } => *src = addr,
+            NetLayer::V6 { .. } => panic!("src(): builder is IPv6"),
+        }
+        match &mut self.transport {
+            Transport::Tcp(t) => t.src_port = port,
+            Transport::Udp { src_port, .. } => *src_port = port,
+        }
+        self
+    }
+
+    /// Set IPv4 destination address and transport destination port.
+    pub fn dst(mut self, addr: Ipv4Addr, port: u16) -> Self {
+        match &mut self.net {
+            NetLayer::V4 { dst, .. } => *dst = addr,
+            NetLayer::V6 { .. } => panic!("dst(): builder is IPv6"),
+        }
+        match &mut self.transport {
+            Transport::Tcp(t) => t.dst_port = port,
+            Transport::Udp { dst_port, .. } => *dst_port = port,
+        }
+        self
+    }
+
+    /// Switch to IPv6 with the given addresses (ports preserved).
+    pub fn ipv6(mut self, src: Ipv6Addr, dst: Ipv6Addr) -> Self {
+        self.net = NetLayer::V6 { src, dst };
+        self
+    }
+
+    /// Set TCP sequence/ack numbers.
+    pub fn seq_ack(mut self, seq: u32, ack: u32) -> Self {
+        if let Transport::Tcp(t) = &mut self.transport {
+            t.seq = seq;
+            t.ack = ack;
+        }
+        self
+    }
+
+    /// Set TCP flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        if let Transport::Tcp(t) = &mut self.transport {
+            t.flags = flags;
+        }
+        self
+    }
+
+    /// Set the TCP receive window.
+    pub fn window(mut self, w: u16) -> Self {
+        if let Transport::Tcp(t) = &mut self.transport {
+            t.window = w;
+        }
+        self
+    }
+
+    /// Append a TCP option.
+    pub fn option(mut self, o: TcpOption) -> Self {
+        if let Transport::Tcp(t) = &mut self.transport {
+            t.options.push(o);
+        }
+        self
+    }
+
+    /// Set IP TTL / hop limit.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Set IP TOS / traffic class.
+    pub fn tos(mut self, tos: u8) -> Self {
+        self.tos = tos;
+        self
+    }
+
+    /// Set the IPv4 identification field.
+    pub fn identification(mut self, id: u16) -> Self {
+        self.identification = id;
+        self
+    }
+
+    /// Set source/destination MAC addresses.
+    pub fn macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Set the application payload.
+    pub fn payload(mut self, p: Vec<u8>) -> Self {
+        self.payload = p;
+        self
+    }
+
+    /// Assemble the frame with valid lengths and checksums.
+    pub fn build(&self) -> Vec<u8> {
+        let mut seg = match &self.transport {
+            Transport::Tcp(t) => t.emit(&self.payload),
+            Transport::Udp { src_port, dst_port } => udp::emit(*src_port, *dst_port, &self.payload),
+        };
+        match self.net {
+            NetLayer::V4 { src, dst } => {
+                match &self.transport {
+                    Transport::Tcp(_) => {
+                        let mut s = TcpSegment::new_checked(&mut seg[..]).expect("fresh TCP valid");
+                        s.fill_checksum_v4(src, dst);
+                    }
+                    Transport::Udp { .. } => {
+                        let mut d = UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
+                        d.fill_checksum_v4(src, dst);
+                    }
+                }
+                let proto = match self.transport {
+                    Transport::Tcp(_) => IpProtocol::Tcp,
+                    Transport::Udp { .. } => IpProtocol::Udp,
+                };
+                let ip = Ipv4Repr {
+                    src,
+                    dst,
+                    protocol: proto,
+                    ttl: self.ttl,
+                    tos: self.tos,
+                    identification: self.identification,
+                    dont_fragment: true,
+                }
+                .emit(&seg);
+                ethernet::emit(self.dst_mac, self.src_mac, EtherType::Ipv4, &ip)
+            }
+            NetLayer::V6 { src, dst } => {
+                match &self.transport {
+                    Transport::Tcp(_) => {
+                        let mut s = TcpSegment::new_checked(&mut seg[..]).expect("fresh TCP valid");
+                        s.fill_checksum_v6(src, dst);
+                    }
+                    Transport::Udp { .. } => {
+                        let mut d = UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
+                        d.fill_checksum_v6(src, dst);
+                    }
+                }
+                let proto = match self.transport {
+                    Transport::Tcp(_) => IpProtocol::Tcp,
+                    Transport::Udp { .. } => IpProtocol::Udp,
+                };
+                let ip = Ipv6Repr {
+                    src,
+                    dst,
+                    next_header: proto,
+                    hop_limit: self.ttl,
+                    traffic_class: self.tos,
+                    flow_label: 0,
+                }
+                .emit(&seg);
+                ethernet::emit(self.dst_mac, self.src_mac, EtherType::Ipv6, &ip)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ParsedFrame;
+    use crate::ipv4::Ipv4Packet;
+
+    #[test]
+    fn tcp_v4_checksums_valid() {
+        let raw = FrameBuilder::tcp_ipv4_default()
+            .payload(vec![1, 2, 3])
+            .option(TcpOption::Timestamps(5, 6))
+            .build();
+        let eth = crate::ethernet::EthernetFrame::new_checked(&raw[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum_v4(ip.src_addr(), ip.dst_addr()));
+        assert_eq!(tcp.timestamps(), Some((5, 6)));
+        assert_eq!(tcp.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn udp_v4_parses() {
+        let raw = FrameBuilder::udp_ipv4_default().payload(vec![9; 20]).build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert!(matches!(p.transport, crate::frame::TransportInfo::Udp { .. }));
+        assert_eq!(p.payload_len(), 20);
+    }
+
+    #[test]
+    fn tcp_v6_checksums_valid() {
+        let mut a = [0u8; 16];
+        a[15] = 1;
+        let src = Ipv6Addr(a);
+        a[15] = 2;
+        let dst = Ipv6Addr(a);
+        let raw = FrameBuilder::tcp_ipv4_default().ipv6(src, dst).payload(vec![7]).build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert!(p.transport.is_tcp());
+        let eth = crate::ethernet::EthernetFrame::new_checked(&raw[..]).unwrap();
+        let ip = crate::ipv6::Ipv6Packet::new_checked(eth.payload()).unwrap();
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let raw = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr::new(1, 2, 3, 4), 1234)
+            .dst(Ipv4Addr::new(5, 6, 7, 8), 80)
+            .seq_ack(77, 88)
+            .window(4096)
+            .ttl(33)
+            .tos(0x2e)
+            .identification(0xabcd)
+            .build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        match p.transport {
+            crate::frame::TransportInfo::Tcp { src_port, dst_port, seq, ack, window, .. } => {
+                assert_eq!((src_port, dst_port, seq, ack, window), (1234, 80, 77, 88, 4096));
+            }
+            _ => panic!("expected TCP"),
+        }
+        assert_eq!(p.ip.ttl(), 33);
+    }
+}

@@ -1,0 +1,129 @@
+//! RFC 1071 Internet checksum with IPv4/IPv6 pseudo-header support.
+//!
+//! Used by IPv4 header checksums and TCP/UDP/ICMP transport checksums.
+
+/// Incremental one's-complement sum accumulator.
+///
+/// Fold with [`Checksum::finish`] to obtain the 16-bit checksum value
+/// (already complemented, ready to be written into the packet).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed a byte slice. Odd-length slices are padded with a zero byte,
+    /// so only the final `add_bytes` call may legally be odd-length.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Feed a single big-endian 16-bit word.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Feed a 32-bit value as two 16-bit words.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16(v as u16);
+    }
+
+    /// Fold carries and return the one's-complement checksum.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Compute the plain RFC 1071 checksum of `data`.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Verify that `data` (which embeds its checksum field) sums to zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// Compute a transport checksum over an IPv4 pseudo-header plus segment.
+///
+/// `protocol` is the IP protocol number (6 TCP, 17 UDP).
+pub fn pseudo_header_v4(src: [u8; 4], dst: [u8; 4], protocol: u8, segment: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(&src);
+    c.add_bytes(&dst);
+    c.add_u16(u16::from(protocol));
+    c.add_u16(segment.len() as u16);
+    c.add_bytes(segment);
+    c.finish()
+}
+
+/// Compute a transport checksum over an IPv6 pseudo-header plus segment.
+pub fn pseudo_header_v6(src: [u8; 16], dst: [u8; 16], next_header: u8, segment: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(&src);
+    c.add_bytes(&dst);
+    c.add_u32(segment.len() as u32);
+    c.add_u32(u32::from(next_header));
+    c.add_bytes(segment);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Odd slice [ab] == even slice [ab 00]
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut c = Checksum::new();
+        c.add_bytes(&data[..100]);
+        c.add_bytes(&data[100..]);
+        assert_eq!(c.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn pseudo_header_zero_segment() {
+        // A zero-length segment still folds the pseudo-header fields.
+        let ck = pseudo_header_v4([1, 2, 3, 4], [5, 6, 7, 8], 6, &[]);
+        assert_ne!(ck, 0xffff); // all-zero sum would complement to 0xffff
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type shared by all parsers in this crate.
+
+use std::fmt;
+
+/// Parsing/validation failure for a wire-format view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the fixed header of the protocol.
+    Truncated,
+    /// A length field points outside the buffer.
+    BadLength,
+    /// A version / type discriminant does not match the protocol.
+    BadVersion,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// The value of a field is outside its legal range.
+    Malformed,
+    /// A pcap file was structurally invalid.
+    BadPcap,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::BadLength => "length field out of bounds",
+            Error::BadVersion => "version/type mismatch",
+            Error::BadChecksum => "checksum verification failed",
+            Error::Malformed => "malformed field",
+            Error::BadPcap => "invalid pcap structure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,426 @@
+//! Whole-frame parsing: decompose a raw Ethernet frame into the layered
+//! header summary that the dataset pipeline, feature extractors and
+//! encoders consume.
+
+use crate::error::{Error, Result};
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr};
+use crate::ipv4::{IpProtocol, Ipv4Addr, Ipv4Packet};
+use crate::ipv6::{Ipv6Addr, Ipv6Packet};
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+
+/// Network-layer summary (IPv4 or IPv6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpInfo {
+    /// IPv4 header fields.
+    V4 {
+        /// Source address.
+        src: Ipv4Addr,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Type of service.
+        tos: u8,
+        /// Header length in bytes.
+        header_len: u8,
+        /// Identification field.
+        identification: u16,
+        /// Total length field.
+        total_length: u16,
+        /// Flags (3 bits).
+        flags: u8,
+        /// Fragment offset.
+        fragment_offset: u16,
+        /// TTL.
+        ttl: u8,
+        /// Protocol number.
+        protocol: u8,
+        /// Header checksum as transmitted.
+        checksum: u16,
+        /// Whether the checksum verifies.
+        checksum_ok: bool,
+    },
+    /// IPv6 header fields.
+    V6 {
+        /// Source address.
+        src: Ipv6Addr,
+        /// Destination address.
+        dst: Ipv6Addr,
+        /// Traffic class.
+        traffic_class: u8,
+        /// Flow label.
+        flow_label: u32,
+        /// Payload length.
+        payload_length: u16,
+        /// Next header protocol number.
+        next_header: u8,
+        /// Hop limit.
+        hop_limit: u8,
+    },
+}
+
+impl IpInfo {
+    /// The encapsulated transport protocol number.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            IpInfo::V4 { protocol, .. } => *protocol,
+            IpInfo::V6 { next_header, .. } => *next_header,
+        }
+    }
+
+    /// TTL (IPv4) or hop limit (IPv6).
+    pub fn ttl(&self) -> u8 {
+        match self {
+            IpInfo::V4 { ttl, .. } => *ttl,
+            IpInfo::V6 { hop_limit, .. } => *hop_limit,
+        }
+    }
+}
+
+/// Transport-layer summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportInfo {
+    /// TCP header fields.
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Sequence number — an implicit flow ID (§4.1).
+        seq: u32,
+        /// Acknowledgement number — an implicit flow ID (§4.1).
+        ack: u32,
+        /// Header length in bytes.
+        header_len: u8,
+        /// Flag byte.
+        flags: u8,
+        /// Receive window.
+        window: u16,
+        /// Checksum as transmitted.
+        checksum: u16,
+        /// Urgent pointer.
+        urgent: u16,
+        /// Timestamps option (TSval, TSecr) — an implicit flow ID.
+        timestamps: Option<(u32, u32)>,
+        /// MSS option, if present (SYN packets).
+        mss: Option<u16>,
+        /// Window-scale option, if present.
+        window_scale: Option<u8>,
+    },
+    /// UDP header fields.
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Length field.
+        length: u16,
+        /// Checksum as transmitted.
+        checksum: u16,
+    },
+    /// ICMP summary.
+    Icmp {
+        /// Message type byte.
+        msg_type: u8,
+        /// Code byte.
+        code: u8,
+    },
+    /// Unparsed transport.
+    Other,
+}
+
+impl TransportInfo {
+    /// Source port when the transport has ports, else 0.
+    pub fn src_port(&self) -> u16 {
+        match self {
+            TransportInfo::Tcp { src_port, .. } | TransportInfo::Udp { src_port, .. } => *src_port,
+            _ => 0,
+        }
+    }
+
+    /// Destination port when the transport has ports, else 0.
+    pub fn dst_port(&self) -> u16 {
+        match self {
+            TransportInfo::Tcp { dst_port, .. } | TransportInfo::Udp { dst_port, .. } => *dst_port,
+            _ => 0,
+        }
+    }
+
+    /// True for TCP.
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, TransportInfo::Tcp { .. })
+    }
+}
+
+/// A fully parsed frame: layered summaries plus byte-range offsets into
+/// the original buffer (used by the ablation transforms and encoders to
+/// slice headers vs payload without re-parsing).
+#[derive(Debug, Clone)]
+pub struct ParsedFrame {
+    /// Source MAC address.
+    pub src_mac: MacAddr,
+    /// Destination MAC address.
+    pub dst_mac: MacAddr,
+    /// EtherType.
+    pub ethertype: EtherType,
+    /// Network-layer summary.
+    pub ip: IpInfo,
+    /// Transport-layer summary.
+    pub transport: TransportInfo,
+    /// Byte offset where the IP header starts.
+    pub ip_offset: usize,
+    /// Byte offset where the transport header starts.
+    pub transport_offset: usize,
+    /// Byte offset where the application payload starts.
+    pub payload_offset: usize,
+    /// Total frame length in bytes.
+    pub frame_len: usize,
+}
+
+impl ParsedFrame {
+    /// Parse a raw Ethernet frame carrying IPv4 or IPv6.
+    pub fn parse(frame: &[u8]) -> Result<ParsedFrame> {
+        let eth = EthernetFrame::new_checked(frame)?;
+        let ip_offset = crate::ethernet::HEADER_LEN;
+        let (ip, transport_rel, proto) = match eth.ethertype() {
+            EtherType::Ipv4 => {
+                let p = Ipv4Packet::new_checked(eth.payload())?;
+                let info = IpInfo::V4 {
+                    src: p.src_addr(),
+                    dst: p.dst_addr(),
+                    tos: p.tos(),
+                    header_len: p.header_len() as u8,
+                    identification: p.identification(),
+                    total_length: p.total_length(),
+                    flags: p.flags(),
+                    fragment_offset: p.fragment_offset(),
+                    ttl: p.ttl(),
+                    protocol: p.protocol().into(),
+                    checksum: p.header_checksum(),
+                    checksum_ok: p.verify_checksum(),
+                };
+                (info, p.header_len(), p.protocol())
+            }
+            EtherType::Ipv6 => {
+                let p = Ipv6Packet::new_checked(eth.payload())?;
+                // walk extension headers to the upper-layer protocol
+                let (upper_nh, ext_len) = crate::ipv6::skip_extension_headers(
+                    p.next_header().into(),
+                    p.payload(),
+                )?;
+                let info = IpInfo::V6 {
+                    src: p.src_addr(),
+                    dst: p.dst_addr(),
+                    traffic_class: p.traffic_class(),
+                    flow_label: p.flow_label(),
+                    payload_length: p.payload_length(),
+                    next_header: upper_nh,
+                    hop_limit: p.hop_limit(),
+                };
+                (info, crate::ipv6::HEADER_LEN + ext_len, IpProtocol::from(upper_nh))
+            }
+            _ => return Err(Error::BadVersion),
+        };
+        let transport_offset = ip_offset + transport_rel;
+        let transport_bytes = &frame[transport_offset..];
+        let (transport, payload_rel) = match proto {
+            IpProtocol::Tcp => {
+                let t = TcpSegment::new_checked(transport_bytes)?;
+                let mut mss = None;
+                let mut ws = None;
+                for o in t.options() {
+                    match o {
+                        crate::tcp::TcpOption::Mss(m) => mss = Some(m),
+                        crate::tcp::TcpOption::WindowScale(s) => ws = Some(s),
+                        _ => {}
+                    }
+                }
+                (
+                    TransportInfo::Tcp {
+                        src_port: t.src_port(),
+                        dst_port: t.dst_port(),
+                        seq: t.seq_number(),
+                        ack: t.ack_number(),
+                        header_len: t.header_len() as u8,
+                        flags: t.flags().0,
+                        window: t.window(),
+                        checksum: t.checksum(),
+                        urgent: t.urgent_pointer(),
+                        timestamps: t.timestamps(),
+                        mss,
+                        window_scale: ws,
+                    },
+                    t.header_len(),
+                )
+            }
+            IpProtocol::Udp => {
+                let u = UdpDatagram::new_checked(transport_bytes)?;
+                (
+                    TransportInfo::Udp {
+                        src_port: u.src_port(),
+                        dst_port: u.dst_port(),
+                        length: u.length(),
+                        checksum: u.checksum(),
+                    },
+                    crate::udp::HEADER_LEN,
+                )
+            }
+            IpProtocol::Icmp | IpProtocol::Icmpv6 => {
+                if transport_bytes.len() < 2 {
+                    return Err(Error::Truncated);
+                }
+                (
+                    TransportInfo::Icmp {
+                        msg_type: transport_bytes[0],
+                        code: transport_bytes[1],
+                    },
+                    crate::icmp::HEADER_LEN.min(transport_bytes.len()),
+                )
+            }
+            _ => (TransportInfo::Other, 0),
+        };
+        Ok(ParsedFrame {
+            src_mac: eth.src_addr(),
+            dst_mac: eth.dst_addr(),
+            ethertype: eth.ethertype(),
+            ip,
+            transport,
+            ip_offset,
+            transport_offset,
+            payload_offset: transport_offset + payload_rel,
+            frame_len: frame.len(),
+        })
+    }
+
+    /// Slice the application payload out of the original frame buffer.
+    pub fn payload_of<'a>(&self, frame: &'a [u8]) -> &'a [u8] {
+        &frame[self.payload_offset.min(frame.len())..]
+    }
+
+    /// Slice the complete header region (Ethernet + IP + transport).
+    pub fn headers_of<'a>(&self, frame: &'a [u8]) -> &'a [u8] {
+        &frame[..self.payload_offset.min(frame.len())]
+    }
+
+    /// Application payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.frame_len.saturating_sub(self.payload_offset)
+    }
+
+    /// The canonical (direction-independent) 5-tuple key of this frame,
+    /// hashable for flow grouping. Returns `None` for non-IP traffic.
+    pub fn flow_key(&self) -> Option<FlowKey> {
+        let (lo_ip, hi_ip, swapped) = match self.ip {
+            IpInfo::V4 { src, dst, .. } => {
+                let s = u128::from(src.to_u32());
+                let d = u128::from(dst.to_u32());
+                if s <= d {
+                    (s, d, false)
+                } else {
+                    (d, s, true)
+                }
+            }
+            IpInfo::V6 { src, dst, .. } => {
+                let s = u128::from_be_bytes(src.0);
+                let d = u128::from_be_bytes(dst.0);
+                if s <= d {
+                    (s, d, false)
+                } else {
+                    (d, s, true)
+                }
+            }
+        };
+        let (sp, dp) = (self.transport.src_port(), self.transport.dst_port());
+        let (lo_port, hi_port) = if swapped { (dp, sp) } else { (sp, dp) };
+        Some(FlowKey {
+            lo_ip,
+            hi_ip,
+            lo_port,
+            hi_port,
+            protocol: self.ip.protocol(),
+        })
+    }
+}
+
+/// Canonical bidirectional flow key: both directions of a connection
+/// map to the same key (bi-flow, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Numerically smaller endpoint address.
+    pub lo_ip: u128,
+    /// Numerically larger endpoint address.
+    pub hi_ip: u128,
+    /// Port paired with `lo_ip`.
+    pub lo_port: u16,
+    /// Port paired with `hi_ip`.
+    pub hi_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FrameBuilder;
+
+    #[test]
+    fn parse_tcp_ipv4() {
+        let raw = FrameBuilder::tcp_ipv4_default().build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert!(p.transport.is_tcp());
+        assert_eq!(p.ip_offset, 14);
+        assert!(p.payload_offset >= p.transport_offset + 20);
+        match p.ip {
+            IpInfo::V4 { checksum_ok, .. } => assert!(checksum_ok),
+            _ => panic!("expected v4"),
+        }
+    }
+
+    #[test]
+    fn flow_key_is_direction_independent() {
+        let fwd = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 1111)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 443)
+            .build();
+        let rev = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr::new(10, 0, 0, 2), 443)
+            .dst(Ipv4Addr::new(10, 0, 0, 1), 1111)
+            .build();
+        let k1 = ParsedFrame::parse(&fwd).unwrap().flow_key().unwrap();
+        let k2 = ParsedFrame::parse(&rev).unwrap().flow_key().unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn different_flows_have_different_keys() {
+        let a = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 1111)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 443)
+            .build();
+        let b = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr::new(10, 0, 0, 1), 1112)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), 443)
+            .build();
+        let ka = ParsedFrame::parse(&a).unwrap().flow_key().unwrap();
+        let kb = ParsedFrame::parse(&b).unwrap().flow_key().unwrap();
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn payload_slicing() {
+        let raw = FrameBuilder::tcp_ipv4_default().payload(b"secret".to_vec()).build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        assert_eq!(p.payload_of(&raw), b"secret");
+        assert_eq!(p.payload_len(), 6);
+        assert_eq!(p.headers_of(&raw).len() + 6, raw.len());
+    }
+
+    #[test]
+    fn non_ip_rejected() {
+        let raw = crate::spurious::arp_request(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        assert!(ParsedFrame::parse(&raw).is_err());
+    }
+}

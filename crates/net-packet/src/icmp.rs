@@ -1,0 +1,149 @@
+//! ICMPv4 / ICMPv6 message views and serialisers.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMPv4 message types relevant to the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Other type value.
+    Other(u8),
+}
+
+impl From<u8> for IcmpType {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            o => IcmpType::Other(o),
+        }
+    }
+}
+
+impl From<IcmpType> for u8 {
+    fn from(v: IcmpType) -> u8 {
+        match v {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(o) => o,
+        }
+    }
+}
+
+/// A read view over an ICMPv4 message.
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpMessage<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpMessage<T> {
+    /// Wrap a buffer, validating minimal length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> IcmpType {
+        self.buffer.as_ref()[0].into()
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Echo identifier (for echo messages).
+    pub fn echo_id(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Echo sequence number (for echo messages).
+    pub fn echo_seq(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Data after the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Verify the message checksum (plain RFC 1071 over the message).
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+/// Serialise an ICMPv4 echo message with a valid checksum.
+pub fn emit_echo(ty: IcmpType, id: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; HEADER_LEN + payload.len()];
+    out[0] = ty.into();
+    out[4..6].copy_from_slice(&id.to_be_bytes());
+    out[6..8].copy_from_slice(&seq.to_be_bytes());
+    out[HEADER_LEN..].copy_from_slice(payload);
+    let ck = checksum::checksum(&out);
+    out[2..4].copy_from_slice(&ck.to_be_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let raw = emit_echo(IcmpType::EchoRequest, 0x1234, 7, b"ping");
+        let m = IcmpMessage::new_checked(&raw[..]).unwrap();
+        assert_eq!(m.msg_type(), IcmpType::EchoRequest);
+        assert_eq!(m.code(), 0);
+        assert_eq!(m.echo_id(), 0x1234);
+        assert_eq!(m.echo_seq(), 7);
+        assert_eq!(m.payload(), b"ping");
+        assert!(m.verify_checksum());
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let mut raw = emit_echo(IcmpType::EchoReply, 1, 1, &[]);
+        raw[4] ^= 1;
+        let m = IcmpMessage::new_checked(&raw[..]).unwrap();
+        assert!(!m.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(IcmpMessage::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn type_round_trip() {
+        for t in [0u8, 3, 8, 11, 42] {
+            assert_eq!(u8::from(IcmpType::from(t)), t);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Frame-level protocol identification, the primitive behind the
+//! dataset-cleaning filters (paper §4.1 / Table 13).
+//!
+//! Mirrors how the paper's Tshark filter superset labels traffic:
+//! link-layer types, IP protocol numbers, and well-known ports.
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+
+/// Identified protocol of a raw Ethernet frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolId {
+    /// TCP carrying application traffic (incl. TLS).
+    Tcp,
+    /// UDP carrying application traffic.
+    Udp,
+    /// ARP (network-management family).
+    Arp,
+    /// ICMPv4/v6 (network-management family).
+    Icmp,
+    /// IGMP (network-management family).
+    Igmp,
+    /// DHCP (network-management family).
+    Dhcp,
+    /// mDNS (link-local family).
+    Mdns,
+    /// LLMNR (link-local family).
+    Llmnr,
+    /// NBNS (link-local family).
+    Nbns,
+    /// SSDP (service-management family).
+    Ssdp,
+    /// NTP (network-time family).
+    Ntp,
+    /// STUN (NAT family).
+    Stun,
+    /// DNS on port 53 (treated as application-relevant traffic).
+    Dns,
+    /// Anything unrecognised.
+    Other,
+}
+
+impl ProtocolId {
+    /// Table-13 family name used in the cleaning report.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ProtocolId::Tcp | ProtocolId::Udp | ProtocolId::Dns => "application",
+            ProtocolId::Arp | ProtocolId::Icmp | ProtocolId::Igmp | ProtocolId::Dhcp => {
+                "network management"
+            }
+            ProtocolId::Mdns | ProtocolId::Llmnr | ProtocolId::Nbns => "link-local",
+            ProtocolId::Ssdp => "service management",
+            ProtocolId::Ntp => "network time",
+            ProtocolId::Stun => "nat",
+            ProtocolId::Other => "others",
+        }
+    }
+
+    /// True if the paper's filter superset removes this protocol before
+    /// classification (everything that is not application traffic).
+    pub fn is_spurious(&self) -> bool {
+        !matches!(self, ProtocolId::Tcp | ProtocolId::Udp | ProtocolId::Dns)
+    }
+}
+
+fn classify_udp_ports(src: u16, dst: u16) -> ProtocolId {
+    let port_match = |p: u16| src == p || dst == p;
+    if port_match(5353) {
+        ProtocolId::Mdns
+    } else if port_match(5355) {
+        ProtocolId::Llmnr
+    } else if port_match(137) || port_match(138) {
+        ProtocolId::Nbns
+    } else if port_match(67) || port_match(68) {
+        ProtocolId::Dhcp
+    } else if port_match(1900) {
+        ProtocolId::Ssdp
+    } else if port_match(123) {
+        ProtocolId::Ntp
+    } else if port_match(3478) || port_match(5349) {
+        ProtocolId::Stun
+    } else if port_match(53) {
+        ProtocolId::Dns
+    } else {
+        ProtocolId::Udp
+    }
+}
+
+/// Identify the protocol of a raw Ethernet frame.
+///
+/// Unparseable frames are classified as [`ProtocolId::Other`] and thus
+/// filtered by the cleaning stage — matching the paper's stance that
+/// only well-formed application traffic should reach the classifier.
+pub fn identify(frame: &[u8]) -> ProtocolId {
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return ProtocolId::Other;
+    };
+    match eth.ethertype() {
+        EtherType::Arp => ProtocolId::Arp,
+        EtherType::Ipv4 => {
+            let Ok(ip) = Ipv4Packet::new_checked(eth.payload()) else {
+                return ProtocolId::Other;
+            };
+            match ip.protocol() {
+                IpProtocol::Icmp => ProtocolId::Icmp,
+                IpProtocol::Igmp => ProtocolId::Igmp,
+                IpProtocol::Tcp => {
+                    if TcpSegment::new_checked(ip.payload()).is_ok() {
+                        ProtocolId::Tcp
+                    } else {
+                        ProtocolId::Other
+                    }
+                }
+                IpProtocol::Udp => match UdpDatagram::new_checked(ip.payload()) {
+                    Ok(udp) => classify_udp_ports(udp.src_port(), udp.dst_port()),
+                    Err(_) => ProtocolId::Other,
+                },
+                _ => ProtocolId::Other,
+            }
+        }
+        EtherType::Ipv6 => {
+            let Ok(ip) = Ipv6Packet::new_checked(eth.payload()) else {
+                return ProtocolId::Other;
+            };
+            match ip.next_header() {
+                IpProtocol::Icmpv6 => ProtocolId::Icmp,
+                IpProtocol::Tcp => {
+                    if TcpSegment::new_checked(ip.payload()).is_ok() {
+                        ProtocolId::Tcp
+                    } else {
+                        ProtocolId::Other
+                    }
+                }
+                IpProtocol::Udp => match UdpDatagram::new_checked(ip.payload()) {
+                    Ok(udp) => classify_udp_ports(udp.src_port(), udp.dst_port()),
+                    Err(_) => ProtocolId::Other,
+                },
+                _ => ProtocolId::Other,
+            }
+        }
+        EtherType::Other(_) => ProtocolId::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FrameBuilder;
+
+    #[test]
+    fn tcp_frame_is_application() {
+        let f = FrameBuilder::tcp_ipv4_default().build();
+        assert_eq!(identify(&f), ProtocolId::Tcp);
+        assert!(!ProtocolId::Tcp.is_spurious());
+    }
+
+    #[test]
+    fn garbage_is_other() {
+        assert_eq!(identify(&[0u8; 5]), ProtocolId::Other);
+        assert_eq!(identify(&[0xffu8; 64]), ProtocolId::Other);
+        assert!(ProtocolId::Other.is_spurious());
+    }
+
+    #[test]
+    fn families_cover_table13() {
+        assert_eq!(ProtocolId::Mdns.family(), "link-local");
+        assert_eq!(ProtocolId::Dhcp.family(), "network management");
+        assert_eq!(ProtocolId::Stun.family(), "nat");
+        assert_eq!(ProtocolId::Ssdp.family(), "service management");
+        assert_eq!(ProtocolId::Ntp.family(), "network time");
+    }
+
+    #[test]
+    fn dns_kept_as_application() {
+        assert!(!ProtocolId::Dns.is_spurious());
+    }
+}

@@ -1,0 +1,425 @@
+//! IPv4 packet view and serialiser.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Construct from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Self([a, b, c, d])
+    }
+
+    /// True for 224.0.0.0/4.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0xf0 == 0xe0
+    }
+
+    /// True for 255.255.255.255.
+    pub fn is_broadcast(&self) -> bool {
+        self.0 == [255; 4]
+    }
+
+    /// True for RFC 1918 private ranges.
+    pub fn is_private(&self) -> bool {
+        matches!(self.0, [10, ..])
+            || matches!(self.0, [172, b, ..] if (16..32).contains(&b))
+            || matches!(self.0, [192, 168, ..])
+    }
+
+    /// The address as a big-endian u32.
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Build from a big-endian u32.
+    pub fn from_u32(v: u32) -> Self {
+        Self(v.to_be_bytes())
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// IP protocol numbers used by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1)
+    Icmp,
+    /// IGMP (2)
+    Igmp,
+    /// TCP (6)
+    Tcp,
+    /// UDP (17)
+    Udp,
+    /// ICMPv6 (58)
+    Icmpv6,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            2 => IpProtocol::Igmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            58 => IpProtocol::Icmpv6,
+            o => IpProtocol::Other(o),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(v: IpProtocol) -> u8 {
+        match v {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Igmp => 2,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Icmpv6 => 58,
+            IpProtocol::Other(o) => o,
+        }
+    }
+}
+
+/// Minimum IPv4 header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// A read/write view over an IPv4 packet.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer, validating version, header length and total length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let pkt = Self { buffer };
+        if pkt.version() != 4 {
+            return Err(Error::BadVersion);
+        }
+        let ihl = pkt.header_len();
+        if ihl < MIN_HEADER_LEN || ihl > len {
+            return Err(Error::BadLength);
+        }
+        if (pkt.total_length() as usize) < ihl || pkt.total_length() as usize > len {
+            return Err(Error::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    /// IP version field (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte (historically "type of service").
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total length field.
+    pub fn total_length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field.
+    pub fn identification(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Flags (3 bits): bit 1 = DF, bit 2 = MF.
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[6] >> 5
+    }
+
+    /// True if the Don't Fragment flag is set.
+    pub fn dont_fragment(&self) -> bool {
+        self.flags() & 0b010 != 0
+    }
+
+    /// True if the More Fragments flag is set.
+    pub fn more_fragments(&self) -> bool {
+        self.flags() & 0b001 != 0
+    }
+
+    /// Fragment offset in 8-byte units.
+    pub fn fragment_offset(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]]) & 0x1fff
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Encapsulated protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        self.buffer.as_ref()[9].into()
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr([b[16], b[17], b[18], b[19]])
+    }
+
+    /// Options bytes (empty when IHL = 5).
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Payload after the header, bounded by total length.
+    pub fn payload(&self) -> &[u8] {
+        let start = self.header_len();
+        let end = self.total_length() as usize;
+        &self.buffer.as_ref()[start..end]
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(&self.buffer.as_ref()[..self.header_len()])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set the TTL field.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Set the identification field.
+    pub fn set_identification(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Set the source address (checksum must be refreshed afterwards).
+    pub fn set_src_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.0);
+    }
+
+    /// Set the destination address (checksum must be refreshed afterwards).
+    pub fn set_dst_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.0);
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        let buf = self.buffer.as_mut();
+        buf[10] = 0;
+        buf[11] = 0;
+        let ck = checksum::checksum(&buf[..hl]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let start = self.header_len();
+        let end = self.total_length() as usize;
+        &mut self.buffer.as_mut()[start..end]
+    }
+}
+
+/// Field bundle used to serialise an IPv4 header.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Encapsulated protocol.
+    pub protocol: IpProtocol,
+    /// TTL.
+    pub ttl: u8,
+    /// Type of service byte.
+    pub tos: u8,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+}
+
+impl Default for Ipv4Repr {
+    fn default() -> Self {
+        Self {
+            src: Ipv4Addr::default(),
+            dst: Ipv4Addr::default(),
+            protocol: IpProtocol::Tcp,
+            ttl: 64,
+            tos: 0,
+            identification: 0,
+            dont_fragment: true,
+        }
+    }
+}
+
+impl Ipv4Repr {
+    /// Serialise header + payload into a fresh Vec with a valid checksum.
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let total = MIN_HEADER_LEN + payload.len();
+        let mut out = vec![0u8; total];
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.tos;
+        out[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        out[6..8].copy_from_slice(&flags.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol.into();
+        out[12..16].copy_from_slice(&self.src.0);
+        out[16..20].copy_from_slice(&self.dst.0);
+        let ck = checksum::checksum(&out[..MIN_HEADER_LEN]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+        out[MIN_HEADER_LEN..].copy_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        Ipv4Repr {
+            src: Ipv4Addr::new(192, 168, 1, 10),
+            dst: Ipv4Addr::new(93, 184, 216, 34),
+            protocol: IpProtocol::Tcp,
+            ttl: 57,
+            tos: 0x10,
+            identification: 0xbeef,
+            dont_fragment: true,
+        }
+        .emit(&[1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let raw = sample();
+        let p = Ipv4Packet::new_checked(&raw[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.ttl(), 57);
+        assert_eq!(p.tos(), 0x10);
+        assert_eq!(p.identification(), 0xbeef);
+        assert_eq!(p.protocol(), IpProtocol::Tcp);
+        assert_eq!(p.src_addr(), Ipv4Addr::new(192, 168, 1, 10));
+        assert_eq!(p.dst_addr(), Ipv4Addr::new(93, 184, 216, 34));
+        assert!(p.dont_fragment());
+        assert!(!p.more_fragments());
+        assert_eq!(p.payload(), &[1, 2, 3, 4, 5]);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut raw = sample();
+        raw[8] ^= 0xff; // flip TTL without refreshing checksum
+        let p = Ipv4Packet::new_checked(&raw[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn fill_checksum_repairs() {
+        let mut raw = sample();
+        {
+            let mut p = Ipv4Packet::new_checked(&mut raw[..]).unwrap();
+            p.set_ttl(1);
+            p.fill_checksum();
+        }
+        let p = Ipv4Packet::new_checked(&raw[..]).unwrap();
+        assert_eq!(p.ttl(), 1);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = sample();
+        raw[0] = 0x65; // version 6
+        assert_eq!(Ipv4Packet::new_checked(&raw[..]).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn rejects_bad_total_length() {
+        let mut raw = sample();
+        raw[2..4].copy_from_slice(&9999u16.to_be_bytes());
+        assert_eq!(Ipv4Packet::new_checked(&raw[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(Ipv4Addr::new(10, 0, 0, 1).is_private());
+        assert!(Ipv4Addr::new(172, 16, 0, 1).is_private());
+        assert!(Ipv4Addr::new(192, 168, 0, 1).is_private());
+        assert!(!Ipv4Addr::new(8, 8, 8, 8).is_private());
+        assert!(Ipv4Addr::new(224, 0, 0, 251).is_multicast());
+        assert!(Ipv4Addr::new(255, 255, 255, 255).is_broadcast());
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+        assert_eq!(a.to_u32(), 0x01020304);
+    }
+
+    #[test]
+    fn addr_mutators_and_payload_mut() {
+        let mut raw = sample();
+        {
+            let mut p = Ipv4Packet::new_checked(&mut raw[..]).unwrap();
+            p.set_src_addr(Ipv4Addr::new(1, 1, 1, 1));
+            p.set_dst_addr(Ipv4Addr::new(2, 2, 2, 2));
+            p.set_identification(7);
+            p.payload_mut()[0] = 0xaa;
+            p.fill_checksum();
+        }
+        let p = Ipv4Packet::new_checked(&raw[..]).unwrap();
+        assert_eq!(p.src_addr(), Ipv4Addr::new(1, 1, 1, 1));
+        assert_eq!(p.dst_addr(), Ipv4Addr::new(2, 2, 2, 2));
+        assert_eq!(p.identification(), 7);
+        assert_eq!(p.payload()[0], 0xaa);
+        assert!(p.verify_checksum());
+    }
+}

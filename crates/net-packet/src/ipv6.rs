@@ -1,0 +1,315 @@
+//! IPv6 packet view and serialiser.
+
+use crate::error::{Error, Result};
+use crate::ipv4::IpProtocol;
+use std::fmt;
+
+/// An IPv6 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Ipv6Addr(pub [u8; 16]);
+
+impl Ipv6Addr {
+    /// True for ff00::/8 multicast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] == 0xff
+    }
+
+    /// True for fe80::/10 link-local.
+    pub fn is_link_local(&self) -> bool {
+        self.0[0] == 0xfe && self.0[1] & 0xc0 == 0x80
+    }
+}
+
+impl fmt::Display for Ipv6Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, chunk) in self.0.chunks_exact(2).enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{:x}", u16::from_be_bytes([chunk[0], chunk[1]]))?;
+        }
+        Ok(())
+    }
+}
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// A read view over an IPv6 packet.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap a buffer, validating version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let pkt = Self { buffer };
+        if pkt.version() != 6 {
+            return Err(Error::BadVersion);
+        }
+        if HEADER_LEN + pkt.payload_length() as usize > len {
+            return Err(Error::BadLength);
+        }
+        Ok(pkt)
+    }
+
+    /// IP version (must be 6).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Traffic class byte.
+    pub fn traffic_class(&self) -> u8 {
+        let b = self.buffer.as_ref();
+        (b[0] << 4) | (b[1] >> 4)
+    }
+
+    /// 20-bit flow label.
+    pub fn flow_label(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        (u32::from(b[1] & 0x0f) << 16) | (u32::from(b[2]) << 8) | u32::from(b[3])
+    }
+
+    /// Payload length field.
+    pub fn payload_length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Next-header protocol.
+    pub fn next_header(&self) -> IpProtocol {
+        self.buffer.as_ref()[6].into()
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buffer.as_ref()[8..24]);
+        Ipv6Addr(a)
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buffer.as_ref()[24..40]);
+        Ipv6Addr(a)
+    }
+
+    /// Payload bytes, bounded by the payload-length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..HEADER_LEN + self.payload_length() as usize]
+    }
+}
+
+/// Field bundle used to serialise an IPv6 header.
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6Repr {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Next-header protocol.
+    pub next_header: IpProtocol,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+}
+
+impl Default for Ipv6Repr {
+    fn default() -> Self {
+        Self {
+            src: Ipv6Addr::default(),
+            dst: Ipv6Addr::default(),
+            next_header: IpProtocol::Tcp,
+            hop_limit: 64,
+            traffic_class: 0,
+            flow_label: 0,
+        }
+    }
+}
+
+impl Ipv6Repr {
+    /// Serialise header + payload into a fresh Vec.
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER_LEN + payload.len()];
+        out[0] = 0x60 | (self.traffic_class >> 4);
+        out[1] = (self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0f);
+        out[2] = (self.flow_label >> 8) as u8;
+        out[3] = self.flow_label as u8;
+        out[4..6].copy_from_slice(&(payload.len() as u16).to_be_bytes());
+        out[6] = self.next_header.into();
+        out[7] = self.hop_limit;
+        out[8..24].copy_from_slice(&self.src.0);
+        out[24..40].copy_from_slice(&self.dst.0);
+        out[HEADER_LEN..].copy_from_slice(payload);
+        out
+    }
+}
+
+/// Walk IPv6 extension headers starting from `next_header` at the
+/// beginning of `payload`, returning the upper-layer protocol and the
+/// byte offset where it starts. Recognises Hop-by-Hop (0), Routing
+/// (43), Fragment (44) and Destination Options (60); anything else is
+/// treated as the upper layer.
+pub fn skip_extension_headers(next_header: u8, payload: &[u8]) -> Result<(u8, usize)> {
+    let mut nh = next_header;
+    let mut off = 0usize;
+    for _ in 0..8 {
+        // bounded chain length — malformed loops must not spin
+        match nh {
+            0 | 43 | 60 => {
+                if off + 2 > payload.len() {
+                    return Err(Error::Truncated);
+                }
+                let len = 8 + usize::from(payload[off + 1]) * 8;
+                nh = payload[off];
+                off += len;
+                if off > payload.len() {
+                    return Err(Error::BadLength);
+                }
+            }
+            44 => {
+                // Fragment header: fixed 8 bytes
+                if off + 8 > payload.len() {
+                    return Err(Error::Truncated);
+                }
+                nh = payload[off];
+                off += 8;
+            }
+            _ => return Ok((nh, off)),
+        }
+    }
+    Err(Error::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a[0] = 0x20;
+        a[1] = 0x01;
+        a[15] = last;
+        Ipv6Addr(a)
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let repr = Ipv6Repr {
+            src: addr(1),
+            dst: addr(2),
+            next_header: IpProtocol::Udp,
+            hop_limit: 55,
+            traffic_class: 0xa5,
+            flow_label: 0xabcde,
+        };
+        let raw = repr.emit(&[9, 8, 7]);
+        let p = Ipv6Packet::new_checked(&raw[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.traffic_class(), 0xa5);
+        assert_eq!(p.flow_label(), 0xabcde);
+        assert_eq!(p.payload_length(), 3);
+        assert_eq!(p.next_header(), IpProtocol::Udp);
+        assert_eq!(p.hop_limit(), 55);
+        assert_eq!(p.src_addr(), addr(1));
+        assert_eq!(p.dst_addr(), addr(2));
+        assert_eq!(p.payload(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn rejects_v4_buffer() {
+        let raw = crate::ipv4::Ipv4Repr::default().emit(&[0u8; 30]);
+        assert_eq!(Ipv6Packet::new_checked(&raw[..]).unwrap_err(), Error::BadVersion);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(Ipv6Packet::new_checked(&[0x60u8; 39][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn rejects_overlong_payload_field() {
+        let mut raw = Ipv6Repr::default().emit(&[1, 2, 3]);
+        raw[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Ipv6Packet::new_checked(&raw[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn address_classes() {
+        let mut ll = [0u8; 16];
+        ll[0] = 0xfe;
+        ll[1] = 0x80;
+        assert!(Ipv6Addr(ll).is_link_local());
+        let mut mc = [0u8; 16];
+        mc[0] = 0xff;
+        assert!(Ipv6Addr(mc).is_multicast());
+        assert!(!addr(1).is_multicast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(addr(5).to_string(), "2001:0:0:0:0:0:0:5");
+    }
+
+    #[test]
+    fn extension_header_walk() {
+        // Hop-by-Hop (8 bytes) -> Destination Options (16 bytes) -> TCP (6)
+        let mut payload = vec![0u8; 24];
+        payload[0] = 60; // HBH says next is DestOpts
+        payload[1] = 0; // HBH length 8 bytes
+        payload[8] = 6; // DestOpts says next is TCP
+        payload[9] = 1; // DestOpts length 16 bytes
+        let (nh, off) = skip_extension_headers(0, &payload).unwrap();
+        assert_eq!(nh, 6);
+        assert_eq!(off, 24);
+    }
+
+    #[test]
+    fn no_extension_headers_is_identity() {
+        let (nh, off) = skip_extension_headers(6, &[1, 2, 3]).unwrap();
+        assert_eq!((nh, off), (6, 0));
+        let (nh, off) = skip_extension_headers(17, &[]).unwrap();
+        assert_eq!((nh, off), (17, 0));
+    }
+
+    #[test]
+    fn fragment_header_fixed_size() {
+        let mut payload = vec![0u8; 10];
+        payload[0] = 17; // next = UDP
+        let (nh, off) = skip_extension_headers(44, &payload).unwrap();
+        assert_eq!((nh, off), (17, 8));
+    }
+
+    #[test]
+    fn truncated_extension_rejected() {
+        assert_eq!(skip_extension_headers(0, &[0]).unwrap_err(), Error::Truncated);
+        // header claims more length than present
+        let payload = [6u8, 5, 0, 0, 0, 0, 0, 0];
+        assert_eq!(skip_extension_headers(0, &payload).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn malformed_loop_bounded() {
+        // Each HBH points to another HBH: the walker must bail out.
+        let mut payload = vec![0u8; 128];
+        for i in (0..128).step_by(8) {
+            payload[i] = 0; // next = HBH again
+            payload[i + 1] = 0;
+        }
+        assert_eq!(skip_extension_headers(0, &payload).unwrap_err(), Error::Malformed);
+    }
+}

@@ -1,0 +1,157 @@
+//! ICMPv6 Neighbor Discovery views: Router/Neighbor Solicitation and
+//! Advertisement — the IPv6 counterpart of ARP, part of the
+//! network-management family the cleaning filters remove.
+
+use crate::error::{Error, Result};
+use crate::ipv6::Ipv6Addr;
+
+/// NDP message types (ICMPv6 type codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdpType {
+    /// Router Solicitation (133).
+    RouterSolicitation,
+    /// Router Advertisement (134).
+    RouterAdvertisement,
+    /// Neighbor Solicitation (135).
+    NeighborSolicitation,
+    /// Neighbor Advertisement (136).
+    NeighborAdvertisement,
+}
+
+impl NdpType {
+    /// Map from an ICMPv6 type byte.
+    pub fn from_icmpv6_type(t: u8) -> Option<NdpType> {
+        match t {
+            133 => Some(NdpType::RouterSolicitation),
+            134 => Some(NdpType::RouterAdvertisement),
+            135 => Some(NdpType::NeighborSolicitation),
+            136 => Some(NdpType::NeighborAdvertisement),
+            _ => None,
+        }
+    }
+
+    /// The ICMPv6 type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            NdpType::RouterSolicitation => 133,
+            NdpType::RouterAdvertisement => 134,
+            NdpType::NeighborSolicitation => 135,
+            NdpType::NeighborAdvertisement => 136,
+        }
+    }
+}
+
+/// A read view over a Neighbor Solicitation/Advertisement body
+/// (the ICMPv6 message starting at its type byte).
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborMessage<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+/// Fixed length of NS/NA messages before options.
+pub const NEIGHBOR_LEN: usize = 24;
+
+impl<T: AsRef<[u8]>> NeighborMessage<T> {
+    /// Wrap a buffer, validating length and message type.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let b = buffer.as_ref();
+        if b.len() < NEIGHBOR_LEN {
+            return Err(Error::Truncated);
+        }
+        match NdpType::from_icmpv6_type(b[0]) {
+            Some(NdpType::NeighborSolicitation) | Some(NdpType::NeighborAdvertisement) => {
+                Ok(Self { buffer })
+            }
+            _ => Err(Error::BadVersion),
+        }
+    }
+
+    /// Message kind (solicitation or advertisement).
+    pub fn ndp_type(&self) -> NdpType {
+        NdpType::from_icmpv6_type(self.buffer.as_ref()[0]).expect("validated in new_checked")
+    }
+
+    /// The target address field.
+    pub fn target(&self) -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a.copy_from_slice(&self.buffer.as_ref()[8..24]);
+        Ipv6Addr(a)
+    }
+
+    /// Advertisement flags: (router, solicited, override). Zeros for
+    /// solicitations.
+    pub fn flags(&self) -> (bool, bool, bool) {
+        let f = self.buffer.as_ref()[4];
+        (f & 0x80 != 0, f & 0x40 != 0, f & 0x20 != 0)
+    }
+}
+
+/// Build a Neighbor Solicitation body (checksum left to the caller's
+/// ICMPv6 embedding).
+pub fn emit_neighbor_solicitation(target: Ipv6Addr) -> Vec<u8> {
+    let mut out = vec![0u8; NEIGHBOR_LEN];
+    out[0] = NdpType::NeighborSolicitation.type_byte();
+    out[8..24].copy_from_slice(&target.0);
+    out
+}
+
+/// Build a Neighbor Advertisement body.
+pub fn emit_neighbor_advertisement(
+    target: Ipv6Addr,
+    router: bool,
+    solicited: bool,
+    override_cache: bool,
+) -> Vec<u8> {
+    let mut out = vec![0u8; NEIGHBOR_LEN];
+    out[0] = NdpType::NeighborAdvertisement.type_byte();
+    out[4] = (u8::from(router) << 7) | (u8::from(solicited) << 6) | (u8::from(override_cache) << 5);
+    out[8..24].copy_from_slice(&target.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> Ipv6Addr {
+        let mut a = [0u8; 16];
+        a[0] = 0xfe;
+        a[1] = 0x80;
+        a[15] = 0x42;
+        Ipv6Addr(a)
+    }
+
+    #[test]
+    fn solicitation_round_trip() {
+        let raw = emit_neighbor_solicitation(addr());
+        let m = NeighborMessage::new_checked(&raw[..]).unwrap();
+        assert_eq!(m.ndp_type(), NdpType::NeighborSolicitation);
+        assert_eq!(m.target(), addr());
+        assert_eq!(m.flags(), (false, false, false));
+    }
+
+    #[test]
+    fn advertisement_flags() {
+        let raw = emit_neighbor_advertisement(addr(), true, true, false);
+        let m = NeighborMessage::new_checked(&raw[..]).unwrap();
+        assert_eq!(m.ndp_type(), NdpType::NeighborAdvertisement);
+        assert_eq!(m.flags(), (true, true, false));
+        assert_eq!(m.target(), addr());
+    }
+
+    #[test]
+    fn rejects_non_ndp() {
+        let mut raw = emit_neighbor_solicitation(addr());
+        raw[0] = 128; // echo request
+        assert_eq!(NeighborMessage::new_checked(&raw[..]).unwrap_err(), Error::BadVersion);
+        assert_eq!(NeighborMessage::new_checked(&raw[..8]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn type_byte_round_trip() {
+        for t in [133u8, 134, 135, 136] {
+            assert_eq!(NdpType::from_icmpv6_type(t).unwrap().type_byte(), t);
+        }
+        assert!(NdpType::from_icmpv6_type(1).is_none());
+    }
+}

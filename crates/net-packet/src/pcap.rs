@@ -1,0 +1,210 @@
+//! libpcap file format reader/writer (the classic `.pcap` container,
+//! magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET).
+//!
+//! The generator can persist synthetic traces to pcap for inspection in
+//! Wireshark, and the pipeline can ingest external pcaps.
+
+use crate::error::{Error, Result};
+use std::io::{Read, Write};
+
+/// Global header magic (native byte order, microsecond resolution).
+pub const MAGIC: u32 = 0xa1b2_c3d4;
+/// Swapped magic indicating the opposite byte order.
+pub const MAGIC_SWAPPED: u32 = 0xd4c3_b2a1;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured packet: timestamp plus frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Seconds since the Unix epoch.
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Captured frame bytes.
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    /// Timestamp as f64 seconds.
+    pub fn timestamp(&self) -> f64 {
+        f64::from(self.ts_sec) + f64::from(self.ts_usec) * 1e-6
+    }
+
+    /// Build from an f64 seconds timestamp.
+    pub fn at(timestamp: f64, data: Vec<u8>) -> Self {
+        let ts_sec = timestamp as u32;
+        let ts_usec = ((timestamp - f64::from(ts_sec)) * 1e6).round() as u32;
+        Self { ts_sec, ts_usec: ts_usec.min(999_999), data }
+    }
+}
+
+/// Streaming pcap writer.
+///
+/// ```
+/// use net_packet::pcap::{read_all, PcapPacket, PcapWriter};
+/// let mut w = PcapWriter::new(Vec::new()).unwrap();
+/// w.write_packet(&PcapPacket { ts_sec: 1, ts_usec: 2, data: vec![0xab; 60] }).unwrap();
+/// let bytes = w.into_inner().unwrap();
+/// assert_eq!(read_all(&bytes[..]).unwrap().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header.
+    pub fn new(mut inner: W) -> std::io::Result<Self> {
+        inner.write_all(&MAGIC.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&65535u32.to_le_bytes())?; // snaplen
+        inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self { inner })
+    }
+
+    /// Append one packet record.
+    pub fn write_packet(&mut self, pkt: &PcapPacket) -> std::io::Result<()> {
+        self.inner.write_all(&pkt.ts_sec.to_le_bytes())?;
+        self.inner.write_all(&pkt.ts_usec.to_le_bytes())?;
+        let len = pkt.data.len() as u32;
+        self.inner.write_all(&len.to_le_bytes())?; // incl_len
+        self.inner.write_all(&len.to_le_bytes())?; // orig_len
+        self.inner.write_all(&pkt.data)
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Read an entire pcap stream into memory.
+///
+/// Handles both byte orders. Returns [`Error::BadPcap`] on a bad magic
+/// or a truncated record.
+pub fn read_all<R: Read>(mut reader: R) -> Result<Vec<PcapPacket>> {
+    let mut header = [0u8; 24];
+    reader.read_exact(&mut header).map_err(|_| Error::BadPcap)?;
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let swapped = match magic {
+        MAGIC => false,
+        MAGIC_SWAPPED => true,
+        _ => return Err(Error::BadPcap),
+    };
+    let read_u32 = |b: &[u8]| -> u32 {
+        let arr = [b[0], b[1], b[2], b[3]];
+        if swapped {
+            u32::from_be_bytes(arr)
+        } else {
+            u32::from_le_bytes(arr)
+        }
+    };
+    let linktype = read_u32(&header[20..24]);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(Error::BadPcap);
+    }
+    let mut packets = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match reader.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(_) => return Err(Error::BadPcap),
+        }
+        let ts_sec = read_u32(&rec[0..4]);
+        let ts_usec = read_u32(&rec[4..8]);
+        let incl_len = read_u32(&rec[8..12]) as usize;
+        if incl_len > 0x0400_0000 {
+            return Err(Error::BadPcap); // 64 MiB sanity cap
+        }
+        let mut data = vec![0u8; incl_len];
+        reader.read_exact(&mut data).map_err(|_| Error::BadPcap)?;
+        packets.push(PcapPacket { ts_sec, ts_usec, data });
+    }
+    Ok(packets)
+}
+
+/// Serialise packets to an in-memory pcap byte vector.
+pub fn write_all(packets: &[PcapPacket]) -> Vec<u8> {
+    let mut w = PcapWriter::new(Vec::new()).expect("Vec write cannot fail");
+    for p in packets {
+        w.write_packet(p).expect("Vec write cannot fail");
+    }
+    w.into_inner().expect("Vec flush cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packets() -> Vec<PcapPacket> {
+        vec![
+            PcapPacket { ts_sec: 100, ts_usec: 5, data: vec![1, 2, 3] },
+            PcapPacket { ts_sec: 101, ts_usec: 999_999, data: vec![0xff; 60] },
+        ]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let pkts = sample_packets();
+        let bytes = write_all(&pkts);
+        let back = read_all(&bytes[..]).unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn empty_capture() {
+        let bytes = write_all(&[]);
+        assert_eq!(bytes.len(), 24);
+        assert!(read_all(&bytes[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = write_all(&sample_packets());
+        bytes[0] = 0;
+        assert_eq!(read_all(&bytes[..]).unwrap_err(), Error::BadPcap);
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut bytes = write_all(&sample_packets());
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(read_all(&bytes[..]).unwrap_err(), Error::BadPcap);
+    }
+
+    #[test]
+    fn swapped_byte_order_supported() {
+        // Hand-craft a big-endian pcap with a single empty packet.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&8u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // orig
+        bytes.push(0xaa);
+        let pkts = read_all(&bytes[..]).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ts_sec, 7);
+        assert_eq!(pkts[0].data, vec![0xaa]);
+    }
+
+    #[test]
+    fn timestamp_conversion() {
+        let p = PcapPacket::at(12.5, vec![]);
+        assert_eq!(p.ts_sec, 12);
+        assert_eq!(p.ts_usec, 500_000);
+        assert!((p.timestamp() - 12.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,208 @@
+//! TCP stream reassembly: order segments by sequence number, handle
+//! retransmissions, overlaps and out-of-order arrival, and expose the
+//! contiguous byte stream.
+//!
+//! Needed whenever application-layer parsing (e.g. a TLS ClientHello
+//! that spans segments) must operate on the *stream*, not a packet.
+
+use std::collections::BTreeMap;
+
+/// One direction of a TCP stream being reassembled.
+#[derive(Debug, Clone)]
+pub struct StreamReassembler {
+    /// Initial sequence number (first byte of the stream is `isn + 1`
+    /// when constructed from a SYN, or `isn` when constructed from the
+    /// first data segment).
+    base_seq: u32,
+    /// Out-of-order segments keyed by relative offset.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Contiguously assembled bytes from `base_seq`.
+    assembled: Vec<u8>,
+    /// Cap on buffered bytes (pending + assembled) to bound memory.
+    max_buffer: usize,
+    /// Count of bytes dropped because the buffer cap was hit.
+    dropped: usize,
+}
+
+/// Relative offset of `seq` from `base`, handling 32-bit wraparound.
+fn rel_offset(base: u32, seq: u32) -> u64 {
+    u64::from(seq.wrapping_sub(base))
+}
+
+impl StreamReassembler {
+    /// Start a reassembler at the given initial sequence number (the
+    /// sequence number of the first payload byte).
+    pub fn new(base_seq: u32) -> StreamReassembler {
+        StreamReassembler {
+            base_seq,
+            pending: BTreeMap::new(),
+            assembled: Vec::new(),
+            max_buffer: 1 << 20, // 1 MiB default cap
+            dropped: 0,
+        }
+    }
+
+    /// Override the buffer cap.
+    pub fn with_max_buffer(mut self, bytes: usize) -> StreamReassembler {
+        self.max_buffer = bytes;
+        self
+    }
+
+    /// Feed one segment (`seq` = sequence number of `payload[0]`).
+    /// Duplicate and overlapping bytes are resolved first-writer-wins,
+    /// matching common OS behaviour.
+    pub fn push(&mut self, seq: u32, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let off = rel_offset(self.base_seq, seq);
+        let have = self.assembled.len() as u64;
+        // Clip the part already assembled.
+        let (off, payload): (u64, &[u8]) = if off < have {
+            let skip = (have - off) as usize;
+            if skip >= payload.len() {
+                return; // full retransmission of old data
+            }
+            (have, &payload[skip..])
+        } else {
+            (off, payload)
+        };
+        if self.buffered() + payload.len() > self.max_buffer {
+            self.dropped += payload.len();
+            return;
+        }
+        // First-writer-wins for overlapping pending segments.
+        if !self.pending.contains_key(&off) {
+            self.pending.insert(off, payload.to_vec());
+        }
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        loop {
+            let have = self.assembled.len() as u64;
+            let Some((&off, _)) = self.pending.first_key_value() else {
+                break;
+            };
+            if off > have {
+                break; // gap remains
+            }
+            let (off, data) = self.pending.pop_first().expect("checked non-empty");
+            let skip = (have - off) as usize;
+            if skip < data.len() {
+                self.assembled.extend_from_slice(&data[skip..]);
+            }
+        }
+    }
+
+    /// Contiguously assembled stream bytes so far.
+    pub fn assembled(&self) -> &[u8] {
+        &self.assembled
+    }
+
+    /// Bytes currently buffered (assembled + pending out-of-order).
+    pub fn buffered(&self) -> usize {
+        self.assembled.len() + self.pending.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether out-of-order segments are waiting on a gap.
+    pub fn has_gap(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Bytes dropped due to the buffer cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_segments_concatenate() {
+        let mut r = StreamReassembler::new(1000);
+        r.push(1000, b"hello ");
+        r.push(1006, b"world");
+        assert_eq!(r.assembled(), b"hello world");
+        assert!(!r.has_gap());
+    }
+
+    #[test]
+    fn out_of_order_reordered() {
+        let mut r = StreamReassembler::new(0);
+        r.push(6, b"world");
+        assert_eq!(r.assembled(), b"");
+        assert!(r.has_gap());
+        r.push(0, b"hello ");
+        assert_eq!(r.assembled(), b"hello world");
+        assert!(!r.has_gap());
+    }
+
+    #[test]
+    fn retransmission_ignored() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"abcdef");
+        r.push(0, b"abcdef");
+        r.push(2, b"cdef");
+        assert_eq!(r.assembled(), b"abcdef");
+    }
+
+    #[test]
+    fn partial_overlap_clipped() {
+        let mut r = StreamReassembler::new(0);
+        r.push(0, b"abcd");
+        r.push(2, b"cdEFGH"); // bytes 2..8, first 2 already assembled
+        assert_eq!(r.assembled(), b"abcdEFGH");
+    }
+
+    #[test]
+    fn sequence_wraparound_handled() {
+        let base = u32::MAX - 2;
+        let mut r = StreamReassembler::new(base);
+        r.push(base, b"abc"); // crosses the 2^32 boundary
+        r.push(base.wrapping_add(3), b"def");
+        assert_eq!(r.assembled(), b"abcdef");
+    }
+
+    #[test]
+    fn buffer_cap_drops_excess() {
+        let mut r = StreamReassembler::new(0).with_max_buffer(8);
+        r.push(0, b"abcd");
+        r.push(100, b"ZZZZZZZZ"); // would exceed cap while gapped
+        assert_eq!(r.dropped(), 8);
+        r.push(4, b"efgh");
+        assert_eq!(r.assembled(), b"abcdefgh");
+    }
+
+    #[test]
+    fn reassemble_split_tls_client_hello() {
+        // A ClientHello split across three segments must parse from the
+        // reassembled stream even though no single packet contains it.
+        let hello = crate::tls::emit_client_hello([9u8; 32], Some("split.example.org"));
+        let mut r = StreamReassembler::new(5555);
+        let third = hello.len() / 3;
+        r.push(5555 + 2 * third as u32, &hello[2 * third..]);
+        r.push(5555, &hello[..third]);
+        r.push(5555 + third as u32, &hello[third..2 * third]);
+        let rec = crate::tls::TlsRecord::new_checked(r.assembled()).expect("stream parses");
+        assert_eq!(rec.sni().as_deref(), Some("split.example.org"));
+    }
+
+    #[test]
+    fn gap_blocks_later_data() {
+        let mut r = StreamReassembler::new(0);
+        r.push(10, b"later");
+        r.push(20, b"even later");
+        assert_eq!(r.assembled(), b"");
+        assert_eq!(r.buffered(), 15);
+        r.push(0, b"0123456789");
+        // 0..15 contiguous; 15..20 still missing
+        assert_eq!(r.assembled().len(), 15);
+        assert!(r.has_gap());
+        r.push(15, b"fill!");
+        assert_eq!(r.assembled().len(), 30);
+        assert!(!r.has_gap());
+    }
+}

@@ -1,0 +1,229 @@
+//! Builders for "spurious" LAN traffic: the extraneous protocols that
+//! contaminate the public datasets (Table 13) and that the cleaning
+//! filters must remove — ARP, DHCP, mDNS, LLMNR, NBNS, SSDP, NTP, STUN,
+//! IGMP, ICMP.
+
+use crate::dns;
+use crate::ethernet::{self, EtherType, MacAddr};
+use crate::icmp;
+use crate::ipv4::{IpProtocol, Ipv4Addr, Ipv4Repr};
+use crate::udp;
+
+/// ARP packet body length for Ethernet/IPv4.
+pub const ARP_LEN: usize = 28;
+
+/// Build a full Ethernet frame containing an ARP request.
+pub fn arp_request(src_mac: MacAddr, src_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Vec<u8> {
+    let mut body = vec![0u8; ARP_LEN];
+    body[0..2].copy_from_slice(&1u16.to_be_bytes()); // HTYPE ethernet
+    body[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // PTYPE IPv4
+    body[4] = 6; // HLEN
+    body[5] = 4; // PLEN
+    body[6..8].copy_from_slice(&1u16.to_be_bytes()); // OPER request
+    body[8..14].copy_from_slice(&src_mac.0);
+    body[14..18].copy_from_slice(&src_ip.0);
+    // target MAC zero
+    body[24..28].copy_from_slice(&target_ip.0);
+    ethernet::emit(MacAddr::BROADCAST, src_mac, EtherType::Arp, &body)
+}
+
+fn udp_ipv4_frame(
+    src_mac: MacAddr,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut seg = udp::emit(src_port, dst_port, payload);
+    {
+        let mut d = udp::UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP is valid");
+        d.fill_checksum_v4(src, dst);
+    }
+    let ip = Ipv4Repr {
+        src,
+        dst,
+        protocol: IpProtocol::Udp,
+        ttl: if dst.is_multicast() { 1 } else { 64 },
+        ..Default::default()
+    }
+    .emit(&seg);
+    let dst_mac = if dst.is_multicast() || dst.is_broadcast() {
+        MacAddr::BROADCAST
+    } else {
+        MacAddr([0x02, 0, 0, 0, 0, 0xfe])
+    };
+    ethernet::emit(dst_mac, src_mac, EtherType::Ipv4, &ip)
+}
+
+/// mDNS query (UDP 5353 to 224.0.0.251).
+pub fn mdns_query(src_mac: MacAddr, src: Ipv4Addr, name: &str) -> Vec<u8> {
+    let q = dns::emit_query(0, name, dns::RecordType::Ptr);
+    udp_ipv4_frame(src_mac, src, Ipv4Addr::new(224, 0, 0, 251), 5353, 5353, &q)
+}
+
+/// LLMNR query (UDP 5355 to 224.0.0.252).
+pub fn llmnr_query(src_mac: MacAddr, src: Ipv4Addr, name: &str) -> Vec<u8> {
+    let q = dns::emit_query(0x11, name, dns::RecordType::A);
+    udp_ipv4_frame(src_mac, src, Ipv4Addr::new(224, 0, 0, 252), 5355, 5355, &q)
+}
+
+/// NBNS name query (UDP 137 broadcast).
+pub fn nbns_query(src_mac: MacAddr, src: Ipv4Addr, name: &str) -> Vec<u8> {
+    let q = dns::emit_query(0x22, name, dns::RecordType::Other(32));
+    udp_ipv4_frame(src_mac, src, Ipv4Addr::new(255, 255, 255, 255), 137, 137, &q)
+}
+
+/// DHCP Discover (UDP 68 -> 67 broadcast), minimal BOOTP body.
+pub fn dhcp_discover(src_mac: MacAddr, xid: u32) -> Vec<u8> {
+    let mut body = vec![0u8; 240 + 8];
+    body[0] = 1; // BOOTREQUEST
+    body[1] = 1; // ethernet
+    body[2] = 6; // hlen
+    body[4..8].copy_from_slice(&xid.to_be_bytes());
+    body[28..34].copy_from_slice(&src_mac.0);
+    body[236..240].copy_from_slice(&[99, 130, 83, 99]); // magic cookie
+    body[240..243].copy_from_slice(&[53, 1, 1]); // option: DHCP Discover
+    body[243] = 255; // end
+    udp_ipv4_frame(
+        src_mac,
+        Ipv4Addr::new(0, 0, 0, 0),
+        Ipv4Addr::new(255, 255, 255, 255),
+        68,
+        67,
+        &body,
+    )
+}
+
+/// SSDP M-SEARCH (UDP 1900 to 239.255.255.250).
+pub fn ssdp_msearch(src_mac: MacAddr, src: Ipv4Addr) -> Vec<u8> {
+    let body = b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nMAN: \"ssdp:discover\"\r\nMX: 1\r\nST: ssdp:all\r\n\r\n";
+    udp_ipv4_frame(src_mac, src, Ipv4Addr::new(239, 255, 255, 250), 50000, 1900, body)
+}
+
+/// NTP client request (UDP 123).
+pub fn ntp_request(src_mac: MacAddr, src: Ipv4Addr, server: Ipv4Addr) -> Vec<u8> {
+    let mut body = vec![0u8; 48];
+    body[0] = 0x23; // LI=0 VN=4 Mode=3 (client)
+    udp_ipv4_frame(src_mac, src, server, 48330, 123, &body)
+}
+
+/// STUN binding request (UDP 3478), RFC 5389 magic cookie.
+pub fn stun_binding(src_mac: MacAddr, src: Ipv4Addr, server: Ipv4Addr) -> Vec<u8> {
+    let mut body = vec![0u8; 20];
+    body[0..2].copy_from_slice(&0x0001u16.to_be_bytes()); // binding request
+    body[4..8].copy_from_slice(&0x2112A442u32.to_be_bytes());
+    body[8..20].copy_from_slice(&[0xab; 12]);
+    udp_ipv4_frame(src_mac, src, server, 54000, 3478, &body)
+}
+
+/// IGMPv2 membership report (IP protocol 2).
+pub fn igmp_report(src_mac: MacAddr, src: Ipv4Addr, group: Ipv4Addr) -> Vec<u8> {
+    let mut body = vec![0u8; 8];
+    body[0] = 0x16; // v2 membership report
+    body[4..8].copy_from_slice(&group.0);
+    let ck = crate::checksum::checksum(&body);
+    body[2..4].copy_from_slice(&ck.to_be_bytes());
+    let ip = Ipv4Repr {
+        src,
+        dst: group,
+        protocol: IpProtocol::Igmp,
+        ttl: 1,
+        ..Default::default()
+    }
+    .emit(&body);
+    ethernet::emit(MacAddr::BROADCAST, src_mac, EtherType::Ipv4, &ip)
+}
+
+/// ICMP echo request frame (network-management family of Table 13).
+pub fn icmp_ping(src_mac: MacAddr, src: Ipv4Addr, dst: Ipv4Addr, seq: u16) -> Vec<u8> {
+    let body = icmp::emit_echo(icmp::IcmpType::EchoRequest, 0x0042, seq, &[0x61; 16]);
+    let ip = Ipv4Repr {
+        src,
+        dst,
+        protocol: IpProtocol::Icmp,
+        ttl: 64,
+        ..Default::default()
+    }
+    .emit(&body);
+    ethernet::emit(MacAddr([0x02, 0, 0, 0, 0, 0xfe]), src_mac, EtherType::Ipv4, &ip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ethernet::EthernetFrame;
+    use crate::ident::{identify, ProtocolId};
+
+    fn mac() -> MacAddr {
+        MacAddr([2, 0, 0, 0, 0, 1])
+    }
+
+    fn ip() -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, 1, 50)
+    }
+
+    #[test]
+    fn arp_identified() {
+        let f = arp_request(mac(), ip(), Ipv4Addr::new(192, 168, 1, 1));
+        assert_eq!(identify(&f), ProtocolId::Arp);
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Arp);
+        assert!(eth.dst_addr().is_broadcast());
+    }
+
+    #[test]
+    fn mdns_identified() {
+        assert_eq!(identify(&mdns_query(mac(), ip(), "_services._dns-sd._udp.local")), ProtocolId::Mdns);
+    }
+
+    #[test]
+    fn llmnr_identified() {
+        assert_eq!(identify(&llmnr_query(mac(), ip(), "host")), ProtocolId::Llmnr);
+    }
+
+    #[test]
+    fn nbns_identified() {
+        assert_eq!(identify(&nbns_query(mac(), ip(), "WORKGROUP")), ProtocolId::Nbns);
+    }
+
+    #[test]
+    fn dhcp_identified() {
+        assert_eq!(identify(&dhcp_discover(mac(), 0x1234)), ProtocolId::Dhcp);
+    }
+
+    #[test]
+    fn ssdp_identified() {
+        assert_eq!(identify(&ssdp_msearch(mac(), ip())), ProtocolId::Ssdp);
+    }
+
+    #[test]
+    fn ntp_identified() {
+        assert_eq!(identify(&ntp_request(mac(), ip(), Ipv4Addr::new(17, 253, 14, 125))), ProtocolId::Ntp);
+    }
+
+    #[test]
+    fn stun_identified() {
+        assert_eq!(identify(&stun_binding(mac(), ip(), Ipv4Addr::new(74, 125, 1, 1))), ProtocolId::Stun);
+    }
+
+    #[test]
+    fn igmp_identified() {
+        assert_eq!(identify(&igmp_report(mac(), ip(), Ipv4Addr::new(224, 0, 0, 251))), ProtocolId::Igmp);
+    }
+
+    #[test]
+    fn icmp_identified() {
+        assert_eq!(identify(&icmp_ping(mac(), ip(), Ipv4Addr::new(8, 8, 8, 8), 1)), ProtocolId::Icmp);
+    }
+
+    #[test]
+    fn udp_checksums_valid() {
+        let f = ntp_request(mac(), ip(), Ipv4Addr::new(1, 2, 3, 4));
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        let ipv4 = crate::ipv4::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ipv4.verify_checksum());
+        let u = udp::UdpDatagram::new_checked(ipv4.payload()).unwrap();
+        assert!(u.verify_checksum_v4(ipv4.src_addr(), ipv4.dst_addr()));
+    }
+}

@@ -1,0 +1,564 @@
+//! TCP segment view, options parsing, and serialiser.
+//!
+//! TCP carries the *implicit flow identifiers* at the heart of the
+//! paper's data-leakage argument: sequence/acknowledgement numbers and
+//! the Timestamps option (RFC 7323). The view exposes all of them, and
+//! the mutators allow the ablation transforms (randomise SeqNo/AckNo/TS)
+//! to operate in place.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::ipv4::Ipv4Addr;
+use crate::ipv6::Ipv6Addr;
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Tiny local stand-in for the `bitflags` crate (kept dependency-free).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty { $($flag:ident = $val:expr,)* }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $name(pub $ty);
+        impl $name {
+            $(
+                #[allow(missing_docs)]
+                pub const $flag: $name = $name($val);
+            )*
+            /// True if every bit in `other` is set in `self`.
+            pub fn contains(&self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+            /// Bitwise-or two flag sets.
+            pub fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP flag bits (lower byte of offset/flags word).
+    pub struct TcpFlags: u8 {
+        FIN = 0x01,
+        SYN = 0x02,
+        RST = 0x04,
+        PSH = 0x08,
+        ACK = 0x10,
+        URG = 0x20,
+        ECE = 0x40,
+        CWR = 0x80,
+    }
+}
+
+/// A parsed TCP option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpOption {
+    /// End of options list.
+    EndOfList,
+    /// No-operation padding.
+    Nop,
+    /// Maximum segment size (SYN only).
+    Mss(u16),
+    /// Window scale shift count (SYN only).
+    WindowScale(u8),
+    /// SACK permitted (SYN only).
+    SackPermitted,
+    /// Timestamps: (TSval, TSecr). The implicit flow ID of §4.1.
+    Timestamps(u32, u32),
+    /// Unknown option: (kind, length).
+    Unknown(u8, u8),
+}
+
+/// A read/write view over a TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wrap a buffer, validating the data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let seg = Self { buffer };
+        let hl = seg.header_len();
+        if hl < MIN_HEADER_LEN || hl > len {
+            return Err(Error::BadLength);
+        }
+        Ok(seg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13])
+    }
+
+    /// SYN flag.
+    pub fn syn(&self) -> bool {
+        self.flags().contains(TcpFlags::SYN)
+    }
+
+    /// ACK flag.
+    pub fn ack(&self) -> bool {
+        self.flags().contains(TcpFlags::ACK)
+    }
+
+    /// FIN flag.
+    pub fn fin(&self) -> bool {
+        self.flags().contains(TcpFlags::FIN)
+    }
+
+    /// RST flag.
+    pub fn rst(&self) -> bool {
+        self.flags().contains(TcpFlags::RST)
+    }
+
+    /// PSH flag.
+    pub fn psh(&self) -> bool {
+        self.flags().contains(TcpFlags::PSH)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Urgent pointer.
+    pub fn urgent_pointer(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[18], b[19]])
+    }
+
+    /// Raw option bytes.
+    pub fn options_raw(&self) -> &[u8] {
+        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+    }
+
+    /// Iterate over parsed options; stops at EOL or a malformed option.
+    pub fn options(&self) -> OptionsIter<'_> {
+        OptionsIter { data: self.options_raw() }
+    }
+
+    /// Convenience: the Timestamps option, if present.
+    pub fn timestamps(&self) -> Option<(u32, u32)> {
+        self.options().find_map(|o| match o {
+            TcpOption::Timestamps(v, e) => Some((v, e)),
+            _ => None,
+        })
+    }
+
+    /// Convenience: the MSS option, if present.
+    pub fn mss(&self) -> Option<u16> {
+        self.options().find_map(|o| match o {
+            TcpOption::Mss(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Payload after the header (and options).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify the transport checksum against an IPv4 pseudo-header.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        checksum::pseudo_header_v4(src.0, dst.0, 6, self.buffer.as_ref()) == 0
+    }
+
+    /// Verify the transport checksum against an IPv6 pseudo-header.
+    pub fn verify_checksum_v6(&self, src: Ipv6Addr, dst: Ipv6Addr) -> bool {
+        checksum::pseudo_header_v6(src.0, dst.0, 6, self.buffer.as_ref()) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Overwrite the sequence number.
+    pub fn set_seq_number(&mut self, v: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the acknowledgement number.
+    pub fn set_ack_number(&mut self, v: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the Timestamps option values, if the option is present.
+    /// Returns true on success.
+    pub fn set_timestamps(&mut self, tsval: u32, tsecr: u32) -> bool {
+        let hl = self.header_len();
+        let opts = &mut self.buffer.as_mut()[MIN_HEADER_LEN..hl];
+        let mut i = 0;
+        while i < opts.len() {
+            match opts[i] {
+                0 => break,
+                1 => i += 1,
+                8 if i + 10 <= opts.len() && opts[i + 1] == 10 => {
+                    opts[i + 2..i + 6].copy_from_slice(&tsval.to_be_bytes());
+                    opts[i + 6..i + 10].copy_from_slice(&tsecr.to_be_bytes());
+                    return true;
+                }
+                _ => {
+                    if i + 1 >= opts.len() || opts[i + 1] < 2 {
+                        break;
+                    }
+                    i += usize::from(opts[i + 1]);
+                }
+            }
+        }
+        false
+    }
+
+    /// Recompute and store the checksum for an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let buf = self.buffer.as_mut();
+        buf[16] = 0;
+        buf[17] = 0;
+        let ck = checksum::pseudo_header_v4(src.0, dst.0, 6, buf);
+        buf[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Recompute and store the checksum for an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        let buf = self.buffer.as_mut();
+        buf[16] = 0;
+        buf[17] = 0;
+        let ck = checksum::pseudo_header_v6(src.0, dst.0, 6, buf);
+        buf[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// Iterator over TCP options.
+#[derive(Debug)]
+pub struct OptionsIter<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Iterator for OptionsIter<'a> {
+    type Item = TcpOption;
+
+    fn next(&mut self) -> Option<TcpOption> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let kind = self.data[0];
+        match kind {
+            0 => {
+                self.data = &[];
+                Some(TcpOption::EndOfList)
+            }
+            1 => {
+                self.data = &self.data[1..];
+                Some(TcpOption::Nop)
+            }
+            _ => {
+                if self.data.len() < 2 {
+                    self.data = &[];
+                    return None;
+                }
+                let len = usize::from(self.data[1]);
+                if len < 2 || len > self.data.len() {
+                    self.data = &[];
+                    return None;
+                }
+                let body = &self.data[2..len];
+                let opt = match (kind, body.len()) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (3, 1) => TcpOption::WindowScale(body[0]),
+                    (4, 0) => TcpOption::SackPermitted,
+                    (8, 8) => TcpOption::Timestamps(
+                        u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                        u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    ),
+                    _ => TcpOption::Unknown(kind, len as u8),
+                };
+                self.data = &self.data[len..];
+                Some(opt)
+            }
+        }
+    }
+}
+
+/// Field bundle used to serialise a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Options to emit (padded to a 4-byte boundary with NOPs).
+    pub options: Vec<TcpOption>,
+}
+
+impl Default for TcpRepr {
+    fn default() -> Self {
+        Self {
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 0xffff,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl TcpRepr {
+    fn emit_options(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for opt in &self.options {
+            match *opt {
+                TcpOption::EndOfList => out.push(0),
+                TcpOption::Nop => out.push(1),
+                TcpOption::Mss(m) => {
+                    out.extend_from_slice(&[2, 4]);
+                    out.extend_from_slice(&m.to_be_bytes());
+                }
+                TcpOption::WindowScale(s) => out.extend_from_slice(&[3, 3, s]),
+                TcpOption::SackPermitted => out.extend_from_slice(&[4, 2]),
+                TcpOption::Timestamps(v, e) => {
+                    out.extend_from_slice(&[8, 10]);
+                    out.extend_from_slice(&v.to_be_bytes());
+                    out.extend_from_slice(&e.to_be_bytes());
+                }
+                TcpOption::Unknown(kind, len) => {
+                    out.push(kind);
+                    out.push(len);
+                    out.extend(std::iter::repeat_n(0, usize::from(len).saturating_sub(2)));
+                }
+            }
+        }
+        while out.len() % 4 != 0 {
+            out.push(1); // NOP padding
+        }
+        out
+    }
+
+    /// Serialise header + options + payload (checksum left zero; use
+    /// [`TcpSegment::fill_checksum_v4`] / `_v6` after embedding in IP).
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let opts = self.emit_options();
+        let header_len = MIN_HEADER_LEN + opts.len();
+        debug_assert!(header_len <= 60, "TCP header with options exceeds 60 bytes");
+        let mut out = vec![0u8; header_len + payload.len()];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = ((header_len / 4) as u8) << 4;
+        out[13] = self.flags.0;
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        out[MIN_HEADER_LEN..header_len].copy_from_slice(&opts);
+        out[header_len..].copy_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        TcpRepr {
+            src_port: 44321,
+            dst_port: 443,
+            seq: 0x1234_5678,
+            ack: 0x9abc_def0,
+            flags: TcpFlags::PSH | TcpFlags::ACK,
+            window: 512,
+            urgent: 0,
+            options: vec![
+                TcpOption::Nop,
+                TcpOption::Nop,
+                TcpOption::Timestamps(1000, 2000),
+            ],
+        }
+        .emit(b"hello")
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let raw = sample();
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert_eq!(s.src_port(), 44321);
+        assert_eq!(s.dst_port(), 443);
+        assert_eq!(s.seq_number(), 0x1234_5678);
+        assert_eq!(s.ack_number(), 0x9abc_def0);
+        assert!(s.psh() && s.ack() && !s.syn() && !s.fin() && !s.rst());
+        assert_eq!(s.window(), 512);
+        assert_eq!(s.timestamps(), Some((1000, 2000)));
+        assert_eq!(s.payload(), b"hello");
+    }
+
+    #[test]
+    fn syn_options_parse() {
+        let raw = TcpRepr {
+            flags: TcpFlags::SYN,
+            options: vec![
+                TcpOption::Mss(1460),
+                TcpOption::SackPermitted,
+                TcpOption::WindowScale(7),
+                TcpOption::Timestamps(42, 0),
+            ],
+            ..Default::default()
+        }
+        .emit(&[]);
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        let opts: Vec<_> = s.options().collect();
+        assert!(opts.contains(&TcpOption::Mss(1460)));
+        assert!(opts.contains(&TcpOption::SackPermitted));
+        assert!(opts.contains(&TcpOption::WindowScale(7)));
+        assert_eq!(s.mss(), Some(1460));
+        assert!(s.syn());
+    }
+
+    #[test]
+    fn checksum_v4_round_trip() {
+        let mut raw = sample();
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        {
+            let mut s = TcpSegment::new_checked(&mut raw[..]).unwrap();
+            s.fill_checksum_v4(src, dst);
+        }
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert!(s.verify_checksum_v4(src, dst));
+        assert!(!s.verify_checksum_v4(Ipv4Addr::new(10, 0, 0, 3), dst));
+    }
+
+    #[test]
+    fn checksum_v6_round_trip() {
+        let mut raw = sample();
+        let mut a = [0u8; 16];
+        a[15] = 1;
+        let src = Ipv6Addr(a);
+        a[15] = 2;
+        let dst = Ipv6Addr(a);
+        {
+            let mut s = TcpSegment::new_checked(&mut raw[..]).unwrap();
+            s.fill_checksum_v6(src, dst);
+        }
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert!(s.verify_checksum_v6(src, dst));
+    }
+
+    #[test]
+    fn rewrite_implicit_flow_ids() {
+        let mut raw = sample();
+        {
+            let mut s = TcpSegment::new_checked(&mut raw[..]).unwrap();
+            s.set_seq_number(1);
+            s.set_ack_number(2);
+            assert!(s.set_timestamps(7, 8));
+        }
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert_eq!(s.seq_number(), 1);
+        assert_eq!(s.ack_number(), 2);
+        assert_eq!(s.timestamps(), Some((7, 8)));
+    }
+
+    #[test]
+    fn set_timestamps_absent_returns_false() {
+        let mut raw = TcpRepr::default().emit(&[]);
+        let mut s = TcpSegment::new_checked(&mut raw[..]).unwrap();
+        assert!(!s.set_timestamps(1, 2));
+    }
+
+    #[test]
+    fn malformed_option_stops_iteration() {
+        // kind=2 (MSS) but bogus length 0 -> iterator terminates cleanly.
+        let mut raw = TcpRepr::default().emit(&[]);
+        raw[12] = 6 << 4; // pretend 24-byte header
+        raw.extend_from_slice(&[2, 0, 0, 0]);
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert_eq!(s.options().count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut raw = sample();
+        raw[12] = 0xf0; // 60-byte header > buffer
+        let short = &raw[..24];
+        assert_eq!(TcpSegment::new_checked(short).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn port_mutators() {
+        let mut raw = sample();
+        {
+            let mut s = TcpSegment::new_checked(&mut raw[..]).unwrap();
+            s.set_src_port(1);
+            s.set_dst_port(2);
+        }
+        let s = TcpSegment::new_checked(&raw[..]).unwrap();
+        assert_eq!((s.src_port(), s.dst_port()), (1, 2));
+    }
+}

@@ -1,0 +1,241 @@
+//! TLS record and handshake views.
+//!
+//! The generator emits TLS 1.2/1.3-style traffic: a ClientHello that may
+//! carry a plaintext SNI extension (the leak the paper discusses for
+//! CSTNET-TLS1.3), a ServerHello, then opaque `ApplicationData` records
+//! whose payload is indistinguishable from random bytes.
+
+use crate::error::{Error, Result};
+
+/// TLS record header length.
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// TLS record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentType {
+    /// ChangeCipherSpec (20).
+    ChangeCipherSpec,
+    /// Alert (21).
+    Alert,
+    /// Handshake (22).
+    Handshake,
+    /// ApplicationData (23).
+    ApplicationData,
+    /// Unknown content type.
+    Other(u8),
+}
+
+impl From<u8> for ContentType {
+    fn from(v: u8) -> Self {
+        match v {
+            20 => ContentType::ChangeCipherSpec,
+            21 => ContentType::Alert,
+            22 => ContentType::Handshake,
+            23 => ContentType::ApplicationData,
+            o => ContentType::Other(o),
+        }
+    }
+}
+
+impl From<ContentType> for u8 {
+    fn from(v: ContentType) -> u8 {
+        match v {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::Other(o) => o,
+        }
+    }
+}
+
+/// A read view over a single TLS record.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsRecord<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TlsRecord<T> {
+    /// Wrap a buffer, validating the record header and length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < RECORD_HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let rec = Self { buffer };
+        if rec.record_len() as usize + RECORD_HEADER_LEN > len {
+            return Err(Error::BadLength);
+        }
+        Ok(rec)
+    }
+
+    /// Record content type.
+    pub fn content_type(&self) -> ContentType {
+        self.buffer.as_ref()[0].into()
+    }
+
+    /// Legacy protocol version, e.g. 0x0303 for TLS 1.2.
+    pub fn version(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[1], b[2]])
+    }
+
+    /// Record body length.
+    pub fn record_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[3], b[4]])
+    }
+
+    /// Record body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[RECORD_HEADER_LEN..RECORD_HEADER_LEN + self.record_len() as usize]
+    }
+
+    /// If this is a Handshake/ClientHello record, extract the SNI host
+    /// name, if the extension is present.
+    pub fn sni(&self) -> Option<String> {
+        if self.content_type() != ContentType::Handshake {
+            return None;
+        }
+        let body = self.body();
+        // HandshakeType(1) + length(3)
+        if body.len() < 4 || body[0] != 1 {
+            return None; // not a ClientHello
+        }
+        let mut i = 4usize;
+        i += 2 + 32; // legacy_version + random
+        if i >= body.len() {
+            return None;
+        }
+        let sid_len = usize::from(*body.get(i)?);
+        i += 1 + sid_len;
+        let cs_len = usize::from(u16::from_be_bytes([*body.get(i)?, *body.get(i + 1)?]));
+        i += 2 + cs_len;
+        let cm_len = usize::from(*body.get(i)?);
+        i += 1 + cm_len;
+        let ext_total = usize::from(u16::from_be_bytes([*body.get(i)?, *body.get(i + 1)?]));
+        i += 2;
+        let end = (i + ext_total).min(body.len());
+        while i + 4 <= end {
+            let ext_type = u16::from_be_bytes([body[i], body[i + 1]]);
+            let ext_len = usize::from(u16::from_be_bytes([body[i + 2], body[i + 3]]));
+            i += 4;
+            if i + ext_len > end {
+                return None;
+            }
+            if ext_type == 0 {
+                // server_name: list_len(2) + type(1) + name_len(2) + name
+                let e = &body[i..i + ext_len];
+                if e.len() < 5 || e[2] != 0 {
+                    return None;
+                }
+                let name_len = usize::from(u16::from_be_bytes([e[3], e[4]]));
+                if 5 + name_len > e.len() {
+                    return None;
+                }
+                return Some(String::from_utf8_lossy(&e[5..5 + name_len]).into_owned());
+            }
+            i += ext_len;
+        }
+        None
+    }
+}
+
+/// Build a TLS record from parts.
+pub fn emit_record(ty: ContentType, version: u16, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + body.len());
+    out.push(ty.into());
+    out.extend_from_slice(&version.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Build a ClientHello record; `sni` adds a server_name extension.
+pub fn emit_client_hello(random: [u8; 32], sni: Option<&str>) -> Vec<u8> {
+    let mut hello = Vec::new();
+    hello.extend_from_slice(&0x0303u16.to_be_bytes()); // legacy_version TLS1.2
+    hello.extend_from_slice(&random);
+    hello.push(32); // session id length
+    hello.extend_from_slice(&random); // reuse random as session id
+    // cipher suites: TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384
+    hello.extend_from_slice(&4u16.to_be_bytes());
+    hello.extend_from_slice(&[0x13, 0x01, 0x13, 0x02]);
+    hello.push(1); // compression methods length
+    hello.push(0); // null
+    let mut exts = Vec::new();
+    // supported_versions (43): TLS 1.3
+    exts.extend_from_slice(&43u16.to_be_bytes());
+    exts.extend_from_slice(&3u16.to_be_bytes());
+    exts.extend_from_slice(&[2, 0x03, 0x04]);
+    if let Some(host) = sni {
+        let name = host.as_bytes();
+        exts.extend_from_slice(&0u16.to_be_bytes()); // server_name
+        exts.extend_from_slice(&((name.len() + 5) as u16).to_be_bytes());
+        exts.extend_from_slice(&((name.len() + 3) as u16).to_be_bytes()); // list len
+        exts.push(0); // host_name
+        exts.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        exts.extend_from_slice(name);
+    }
+    hello.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    hello.extend_from_slice(&exts);
+
+    let mut hs = Vec::with_capacity(4 + hello.len());
+    hs.push(1); // ClientHello
+    hs.extend_from_slice(&(hello.len() as u32).to_be_bytes()[1..]);
+    hs.extend_from_slice(&hello);
+    emit_record(ContentType::Handshake, 0x0301, &hs)
+}
+
+/// Build an opaque ApplicationData record (encrypted payload stand-in).
+pub fn emit_application_data(ciphertext: &[u8]) -> Vec<u8> {
+    emit_record(ContentType::ApplicationData, 0x0303, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let raw = emit_record(ContentType::ApplicationData, 0x0303, &[1, 2, 3]);
+        let r = TlsRecord::new_checked(&raw[..]).unwrap();
+        assert_eq!(r.content_type(), ContentType::ApplicationData);
+        assert_eq!(r.version(), 0x0303);
+        assert_eq!(r.body(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn client_hello_sni_extraction() {
+        let raw = emit_client_hello([7u8; 32], Some("secret.example.com"));
+        let r = TlsRecord::new_checked(&raw[..]).unwrap();
+        assert_eq!(r.content_type(), ContentType::Handshake);
+        assert_eq!(r.sni().as_deref(), Some("secret.example.com"));
+    }
+
+    #[test]
+    fn client_hello_without_sni() {
+        let raw = emit_client_hello([7u8; 32], None);
+        let r = TlsRecord::new_checked(&raw[..]).unwrap();
+        assert_eq!(r.sni(), None);
+    }
+
+    #[test]
+    fn application_data_has_no_sni() {
+        let raw = emit_application_data(&[0u8; 64]);
+        let r = TlsRecord::new_checked(&raw[..]).unwrap();
+        assert_eq!(r.sni(), None);
+    }
+
+    #[test]
+    fn rejects_bad_record_len() {
+        let mut raw = emit_record(ContentType::Alert, 0x0303, &[1]);
+        raw[3..5].copy_from_slice(&500u16.to_be_bytes());
+        assert_eq!(TlsRecord::new_checked(&raw[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(TlsRecord::new_checked(&[22u8, 3, 3][..]).unwrap_err(), Error::Truncated);
+    }
+}

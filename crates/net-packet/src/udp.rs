@@ -1,0 +1,179 @@
+//! UDP datagram view and serialiser.
+
+use crate::checksum;
+use crate::error::{Error, Result};
+use crate::ipv4::Ipv4Addr;
+use crate::ipv6::Ipv6Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A read/write view over a UDP datagram.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap a buffer, validating header and length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let dg = Self { buffer };
+        let l = dg.length() as usize;
+        if l < HEADER_LEN || l > len {
+            return Err(Error::BadLength);
+        }
+        Ok(dg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// Payload bytes, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.length() as usize]
+    }
+
+    /// Verify the checksum against an IPv4 pseudo-header.
+    /// A zero checksum means "not computed" and is accepted (RFC 768).
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        checksum::pseudo_header_v4(src.0, dst.0, 17, &self.buffer.as_ref()[..self.length() as usize]) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Overwrite the source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Recompute and store the checksum for an IPv4 pseudo-header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.length() as usize;
+        let buf = self.buffer.as_mut();
+        buf[6] = 0;
+        buf[7] = 0;
+        let mut ck = checksum::pseudo_header_v4(src.0, dst.0, 17, &buf[..len]);
+        if ck == 0 {
+            ck = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Recompute and store the checksum for an IPv6 pseudo-header.
+    pub fn fill_checksum_v6(&mut self, src: Ipv6Addr, dst: Ipv6Addr) {
+        let len = self.length() as usize;
+        let buf = self.buffer.as_mut();
+        buf[6] = 0;
+        buf[7] = 0;
+        let mut ck = checksum::pseudo_header_v6(src.0, dst.0, 17, &buf[..len]);
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        buf[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+/// Serialise a UDP datagram (checksum zero; fill afterwards if desired).
+pub fn emit(src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let total = HEADER_LEN + payload.len();
+    let mut out = vec![0u8; total];
+    out[0..2].copy_from_slice(&src_port.to_be_bytes());
+    out[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    out[4..6].copy_from_slice(&(total as u16).to_be_bytes());
+    out[HEADER_LEN..].copy_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let raw = emit(5353, 53, b"query");
+        let d = UdpDatagram::new_checked(&raw[..]).unwrap();
+        assert_eq!(d.src_port(), 5353);
+        assert_eq!(d.dst_port(), 53);
+        assert_eq!(d.length() as usize, raw.len());
+        assert_eq!(d.payload(), b"query");
+    }
+
+    #[test]
+    fn checksum_round_trip() {
+        let mut raw = emit(1000, 2000, &[1, 2, 3]);
+        let src = Ipv4Addr::new(10, 1, 1, 1);
+        let dst = Ipv4Addr::new(10, 1, 1, 2);
+        {
+            let mut d = UdpDatagram::new_checked(&mut raw[..]).unwrap();
+            d.fill_checksum_v4(src, dst);
+        }
+        let d = UdpDatagram::new_checked(&raw[..]).unwrap();
+        assert_ne!(d.checksum(), 0);
+        assert!(d.verify_checksum_v4(src, dst));
+        assert!(!d.verify_checksum_v4(Ipv4Addr::new(10, 1, 1, 3), dst));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let raw = emit(1, 2, &[0xaa]);
+        let d = UdpDatagram::new_checked(&raw[..]).unwrap();
+        assert!(d.verify_checksum_v4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)));
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let mut raw = emit(1, 2, &[0xaa; 4]);
+        raw[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(UdpDatagram::new_checked(&raw[..]).unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn port_mutators() {
+        let mut raw = emit(1, 2, &[]);
+        {
+            let mut d = UdpDatagram::new_checked(&mut raw[..]).unwrap();
+            d.set_src_port(9);
+            d.set_dst_port(10);
+        }
+        let d = UdpDatagram::new_checked(&raw[..]).unwrap();
+        assert_eq!((d.src_port(), d.dst_port()), (9, 10));
+    }
+}

@@ -1,0 +1,124 @@
+//! Adam optimiser state for one parameter vector.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Adam {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl Adam {
+    /// New optimiser for a parameter vector of length `n`.
+    pub fn new(n: usize) -> Adam {
+        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Tracked parameter count.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// True if the state tracks no parameters (e.g. a freshly
+    /// deserialised checkpoint, where optimiser state is not stored).
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+
+    /// Reset/resize the state for a parameter vector of length `n` if
+    /// it does not already match (lazy re-init after checkpoint load).
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.m.len() != n {
+            *self = Adam::new(n);
+        }
+    }
+
+    /// One update step: `params -= lr * m̂ / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(params.len(), grads.len());
+        assert_eq!(params.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Update a contiguous row: `params[offset..offset+g.len()]` with
+    /// gradient slice `g` (embedding-row update; one shared timestep
+    /// per call batch is an accepted approximation for sparse Adam).
+    pub fn step_row(&mut self, params: &mut [f32], g: &[f32], offset: usize, lr: f32) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t.min(1_000_000) as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t.min(1_000_000) as i32);
+        for (k, &gv) in g.iter().enumerate() {
+            let i = offset + k;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * gv;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * gv * gv;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Sparse update restricted to the given indices (embedding rows).
+    pub fn step_sparse(&mut self, params: &mut [f32], grads: &[f32], indices: &[usize], lr: f32) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for &i in indices {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x-3).
+        let mut x = vec![0.0f32];
+        let mut opt = Adam::new(1);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g, 0.01);
+        }
+        assert!((x[0] - 3.0).abs() < 0.01, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn sparse_step_only_touches_indices() {
+        let mut x = vec![1.0f32, 1.0];
+        let g = vec![1.0f32, 1.0];
+        let mut opt = Adam::new(2);
+        opt.step_sparse(&mut x, &g, &[0], 0.1);
+        assert!(x[0] < 1.0);
+        assert_eq!(x[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut x = vec![0.0f32; 2];
+        let g = vec![0.0f32; 3];
+        Adam::new(2).step(&mut x, &g, 0.1);
+    }
+}

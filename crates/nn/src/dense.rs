@@ -1,0 +1,186 @@
+//! Fully-connected layer with manual backprop and built-in Adam state.
+
+use crate::adam::Adam;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// `y = x·W + b` with cached input for the backward pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix (in × out).
+    pub w: Tensor,
+    /// Bias vector (out).
+    pub b: Vec<f32>,
+    #[serde(skip)]
+    input_cache: Option<Tensor>,
+    #[serde(skip)]
+    opt_w: Adam,
+    #[serde(skip)]
+    opt_b: Adam,
+}
+
+impl Dense {
+    /// New layer with Xavier-initialised weights.
+    pub fn new(input: usize, output: usize, seed: u64) -> Dense {
+        Dense {
+            w: Tensor::xavier(input, output, seed),
+            b: vec![0.0; output],
+            input_cache: None,
+            opt_w: Adam::new(input * output),
+            opt_b: Adam::new(output),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// Forward pass, caching the input for `backward`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        self.input_cache = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward (no cache, usable with `&self`).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass with a plain SGD step (no Adam). Used during
+    /// pre-training where Adam's per-coordinate normalisation would
+    /// blow small correlated pretext gradients into collapse-inducing
+    /// full-size steps; see `nn::Embedding::backward_sgd`.
+    pub fn backward_sgd(&mut self, d_out: &Tensor, lr: f32) -> Tensor {
+        let x = self.input_cache.take().expect("backward called before forward");
+        let batch = x.rows.max(1) as f32;
+        let mut d_w = x.t_matmul(d_out);
+        for v in &mut d_w.data {
+            *v /= batch;
+        }
+        let mut d_b = vec![0.0f32; self.b.len()];
+        for r in 0..d_out.rows {
+            for (db, &g) in d_b.iter_mut().zip(d_out.row(r)) {
+                *db += g;
+            }
+        }
+        for v in &mut d_b {
+            *v /= batch;
+        }
+        let d_x = d_out.matmul_t(&self.w);
+        for (w, g) in self.w.data.iter_mut().zip(&d_w.data) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.b.iter_mut().zip(&d_b) {
+            *b -= lr * g;
+        }
+        d_x
+    }
+
+    /// Backward pass: consumes `d_out` (batch × out), applies Adam with
+    /// learning rate `lr`, and returns `d_input` (batch × in).
+    pub fn backward(&mut self, d_out: &Tensor, lr: f32) -> Tensor {
+        self.opt_w.ensure_len(self.w.data.len());
+        self.opt_b.ensure_len(self.b.len());
+        let x = self.input_cache.take().expect("backward called before forward");
+        let batch = x.rows.max(1) as f32;
+        // dW = xᵀ · d_out / batch
+        let mut d_w = x.t_matmul(d_out);
+        for v in &mut d_w.data {
+            *v /= batch;
+        }
+        // db = column-mean of d_out
+        let mut d_b = vec![0.0f32; self.b.len()];
+        for r in 0..d_out.rows {
+            for (db, &g) in d_b.iter_mut().zip(d_out.row(r)) {
+                *db += g;
+            }
+        }
+        for v in &mut d_b {
+            *v /= batch;
+        }
+        // dX = d_out · Wᵀ
+        let d_x = d_out.matmul_t(&self.w);
+        self.opt_w.step(&mut self.w.data, &d_w.data, lr);
+        self.opt_b.step(&mut self.b, &d_b, lr);
+        d_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Dense::new(3, 2, 1);
+        l.b = vec![10.0, 20.0];
+        let x = Tensor::zeros(4, 3);
+        let y = l.forward(&x);
+        assert_eq!((y.rows, y.cols), (4, 2));
+        assert_eq!(y.row(0), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn learns_linear_map() {
+        // Target: y = 2*x0 - x1.
+        let mut l = Dense::new(2, 1, 2);
+        let x = Tensor::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, -0.5],
+        ]);
+        let target = [2.0f32, -1.0, 1.0, 1.5];
+        for _ in 0..800 {
+            let y = l.forward(&x);
+            // d(mse)/dy = 2 (y - t)
+            let mut d = Tensor::zeros(4, 1);
+            for (i, &t) in target.iter().enumerate() {
+                d.set(i, 0, 2.0 * (y.get(i, 0) - t));
+            }
+            l.backward(&d, 0.02);
+        }
+        let y = l.forward_inference(&x);
+        for (i, &t) in target.iter().enumerate() {
+            assert!((y.get(i, 0) - t).abs() < 0.05, "row {i}: {}", y.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_shape() {
+        let mut l = Dense::new(5, 3, 3);
+        let x = Tensor::zeros(2, 5);
+        let _ = l.forward(&x);
+        let d = Tensor::zeros(2, 3);
+        let dx = l.backward(&d, 0.001);
+        assert_eq!((dx.rows, dx.cols), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Dense::new(2, 2, 4);
+        let d = Tensor::zeros(1, 2);
+        let _ = l.backward(&d, 0.1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Inverted dropout: randomly zero activations during training and
+//! rescale survivors by `1/(1-p)`, so inference needs no correction.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted-dropout layer.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<bool>,
+}
+
+impl Dropout {
+    /// New layer dropping activations with probability `p` (0 ≤ p < 1).
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new() }
+    }
+
+    /// Training forward: zero a random subset in place, rescale the
+    /// rest, and remember the mask for the backward pass.
+    pub fn forward_train(&mut self, x: &mut Tensor) {
+        if self.p == 0.0 {
+            self.mask = vec![true; x.data.len()];
+            return;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask = x
+            .data
+            .iter_mut()
+            .map(|v| {
+                if self.rng.gen::<f32>() < keep {
+                    *v *= scale;
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect();
+    }
+
+    /// Inference forward: identity (inverted dropout needs no scaling).
+    pub fn forward_inference(&self, _x: &mut Tensor) {}
+
+    /// Backward: zero the gradients of dropped units, rescale the rest.
+    pub fn backward(&self, grad: &mut Tensor) {
+        assert_eq!(grad.data.len(), self.mask.len(), "backward before forward_train");
+        let scale = 1.0 / (1.0 - self.p);
+        for (g, &m) in grad.data.iter_mut().zip(&self.mask) {
+            if m {
+                *g *= scale;
+            } else {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 1);
+        let mut x = Tensor::from_rows(&[vec![1.0; 10_000]]);
+        d.forward_train(&mut x);
+        let zeros = x.data.iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((0.45..0.55).contains(&frac), "dropped {frac}");
+        // survivors are scaled by 2
+        assert!(x.data.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expectation_preserved() {
+        let mut d = Dropout::new(0.3, 2);
+        let mut x = Tensor::from_rows(&[vec![1.0; 50_000]]);
+        d.forward_train(&mut x);
+        let mean: f32 = x.data.iter().sum::<f32>() / 50_000.0;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_p_is_identity() {
+        let mut d = Dropout::new(0.0, 3);
+        let mut x = Tensor::from_rows(&[vec![1.5, -2.0]]);
+        d.forward_train(&mut x);
+        assert_eq!(x.data, vec![1.5, -2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradients() {
+        let mut d = Dropout::new(0.5, 4);
+        let mut x = Tensor::from_rows(&[vec![1.0; 100]]);
+        d.forward_train(&mut x);
+        let mut g = Tensor::from_rows(&[vec![1.0; 100]]);
+        d.backward(&mut g);
+        for (gv, xv) in g.data.iter().zip(&x.data) {
+            if *xv == 0.0 {
+                assert_eq!(*gv, 0.0, "dropped unit must pass no gradient");
+            } else {
+                assert!((*gv - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let d = Dropout::new(0.9, 5);
+        let mut x = Tensor::from_rows(&[vec![3.0, 4.0]]);
+        d.forward_inference(&mut x);
+        assert_eq!(x.data, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_p_rejected() {
+        let _ = Dropout::new(1.0, 6);
+    }
+}

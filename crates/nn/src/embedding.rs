@@ -1,0 +1,201 @@
+//! Token-embedding layer with mean pooling — the encoder building
+//! block shared by all representation-learning analogues.
+//!
+//! `forward` maps each sample's token sequence to the mean of its token
+//! vectors (the paper's mean-pooling bottleneck, App. A.1.2).
+//! `backward` scatters the pooled gradient back to the touched rows and
+//! applies a sparse Adam step — this is what "unfreezing the encoder"
+//! means mechanically.
+
+use crate::adam::Adam;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Embedding table (vocab × dim) with scaled mean pooling
+/// (`sum / sqrt(n)`), which keeps the pooled activation scale
+/// independent of both vocabulary size and sequence length — plain
+/// mean pooling over a 65k-row Xavier table produces ~1e-3 activations
+/// that starve the classification head of gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    /// The table; row `t` is the vector of token `t`.
+    pub table: Tensor,
+    /// Optimiser state is not checkpointed (it triples the size);
+    /// it is rebuilt lazily on the first post-load update.
+    #[serde(skip)]
+    opt: Adam,
+    #[serde(skip)]
+    cache: Option<Vec<Vec<u32>>>,
+}
+
+impl Embedding {
+    /// New table with scale-preserving uniform initialisation
+    /// (row values in ±0.5 regardless of vocabulary size).
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Embedding {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = (0..vocab * dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        Embedding {
+            table: Tensor { rows: vocab, cols: dim, data },
+            opt: Adam::new(vocab * dim),
+            cache: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols
+    }
+
+    /// Mean-pool each token sequence into one row. Empty sequences map
+    /// to the zero vector.
+    pub fn forward(&mut self, batch: &[Vec<u32>]) -> Tensor {
+        let out = self.forward_inference(batch);
+        self.cache = Some(batch.to_vec());
+        out
+    }
+
+    /// Inference-only forward (no cache).
+    pub fn forward_inference(&self, batch: &[Vec<u32>]) -> Tensor {
+        let dim = self.dim();
+        let mut out = Tensor::zeros(batch.len(), dim);
+        for (r, tokens) in batch.iter().enumerate() {
+            if tokens.is_empty() {
+                continue;
+            }
+            let row = out.row_mut(r);
+            for &t in tokens {
+                let e = self.table.row(t as usize % self.table.rows);
+                for (o, &v) in row.iter_mut().zip(e) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / (tokens.len() as f32).sqrt();
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Scatter `d_out` (batch × dim) back into the table rows touched
+    /// by the cached batch and apply a sparse Adam step.
+    pub fn backward(&mut self, d_out: &Tensor, lr: f32) {
+        self.backward_impl(d_out, lr, true);
+    }
+
+    /// Like [`Embedding::backward`] but with a plain SGD step instead
+    /// of Adam. Adam's per-coordinate normalisation turns the tiny,
+    /// highly-correlated gradients of pooled pretext objectives into
+    /// full-size steps that rewrite the whole table (co-occurring
+    /// tokens receive identical gradients and collapse together); SGD
+    /// keeps updates proportional to the actual gradient, so pretext
+    /// training refines the table without erasing token identity.
+    pub fn backward_sgd(&mut self, d_out: &Tensor, lr: f32) {
+        self.backward_impl(d_out, lr, false);
+    }
+
+    fn backward_impl(&mut self, d_out: &Tensor, lr: f32, adam: bool) {
+        self.opt.ensure_len(self.table.data.len());
+        let batch = self.cache.take().expect("backward called before forward");
+        let dim = self.dim();
+        let vocab = self.table.rows;
+        // sparse accumulation: only touched rows get gradient storage
+        let mut grads: std::collections::HashMap<usize, Vec<f32>> =
+            std::collections::HashMap::new();
+        let scale = 1.0 / batch.len().max(1) as f32;
+        for (r, tokens) in batch.iter().enumerate() {
+            if tokens.is_empty() {
+                continue;
+            }
+            let inv = scale / (tokens.len() as f32).sqrt();
+            let g_row = d_out.row(r);
+            for &t in tokens {
+                let row = t as usize % vocab;
+                let acc = grads.entry(row).or_insert_with(|| vec![0.0; dim]);
+                for (a, &g) in acc.iter_mut().zip(g_row) {
+                    *a += g * inv;
+                }
+            }
+        }
+        if adam {
+            for (row, g) in grads {
+                self.opt.step_row(&mut self.table.data, &g, row * dim, lr);
+            }
+        } else {
+            for (row, g) in grads {
+                let base = row * dim;
+                for (k, &gv) in g.iter().enumerate() {
+                    self.table.data[base + k] -= lr * gv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_pooling_sums_over_sqrt_n() {
+        let mut e = Embedding::new(4, 2, 1);
+        e.table = Tensor::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 2.0],
+            vec![0.0, 0.0],
+        ]);
+        let out = e.forward(&[vec![0, 1]]);
+        let expect = 1.0 / (2.0f32).sqrt();
+        assert!((out.get(0, 0) - expect).abs() < 1e-6);
+        assert!((out.get(0, 1) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_sequence_is_zero() {
+        let mut e = Embedding::new(4, 3, 2);
+        let out = e.forward(&[vec![]]);
+        assert_eq!(out.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_range_token_wraps() {
+        let e = Embedding::new(4, 2, 3);
+        // Token 7 wraps to row 3 rather than panicking (hashed vocab).
+        let out = e.forward_inference(&[vec![7]]);
+        assert_eq!(out.row(0), e.table.row(3));
+    }
+
+    #[test]
+    fn backward_moves_touched_rows_only() {
+        let mut e = Embedding::new(4, 2, 4);
+        let before = e.table.clone();
+        let _ = e.forward(&[vec![1, 1]]);
+        let mut d = Tensor::zeros(1, 2);
+        d.set(0, 0, 1.0);
+        e.backward(&d, 0.1);
+        assert_ne!(e.table.row(1), before.row(1), "touched row must move");
+        assert_eq!(e.table.row(0), before.row(0), "untouched row must stay");
+        assert_eq!(e.table.row(2), before.row(2));
+    }
+
+    #[test]
+    fn gradient_descends_loss() {
+        // Push token 0's pooled output toward [1, 0] with MSE gradient.
+        let mut e = Embedding::new(2, 2, 5);
+        for _ in 0..500 {
+            let y = e.forward(&[vec![0]]);
+            let d = Tensor::from_rows(&[vec![2.0 * (y.get(0, 0) - 1.0), 2.0 * y.get(0, 1)]]);
+            e.backward(&d, 0.05);
+        }
+        let y = e.forward_inference(&[vec![0]]);
+        assert!((y.get(0, 0) - 1.0).abs() < 0.05);
+        assert!(y.get(0, 1).abs() < 0.05);
+    }
+}

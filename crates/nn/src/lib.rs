@@ -1,0 +1,39 @@
+//! # nn
+//!
+//! A deliberately small, CPU-only neural-network library: row-major
+//! `f32` tensors, dense and embedding layers with manual backprop, an
+//! Adam optimiser, softmax cross-entropy, and an `Mlp` classifier head
+//! (the two-layer MLP + ReLU the paper attaches to every encoder).
+//!
+//! Everything is deterministic given a seed; no threads, no unsafe.
+//!
+//! ```
+//! use nn::{Mlp, Tensor};
+//!
+//! // Learn XOR.
+//! let x = Tensor::from_rows(&[vec![0.,0.], vec![0.,1.], vec![1.,0.], vec![1.,1.]]);
+//! let y = [0u16, 1, 1, 0];
+//! let mut mlp = Mlp::new(&[2, 8, 2], 42);
+//! for _ in 0..400 { mlp.train_batch(&x, &y, 0.05); }
+//! assert_eq!(mlp.predict(&x), vec![0, 1, 1, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adam;
+pub mod dense;
+pub mod dropout;
+pub mod embedding;
+pub mod loss;
+pub mod mlp;
+pub mod schedule;
+pub mod tensor;
+
+pub use adam::Adam;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use mlp::Mlp;
+pub use schedule::LrSchedule;
+pub use tensor::Tensor;

@@ -1,0 +1,99 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax (numerically stable).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    for r in 0..out.rows {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` against integer labels, plus the
+/// gradient w.r.t. the logits (`softmax - onehot`, already averaged).
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u16]) -> (f32, Tensor) {
+    assert_eq!(logits.rows, labels.len(), "label count mismatch");
+    let probs = softmax(logits);
+    let batch = logits.rows.max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        let y = usize::from(y);
+        let p = probs.get(r, y).max(1e-12);
+        loss -= p.ln();
+        let g = grad.row_mut(r);
+        g[y] -= 1.0;
+    }
+    (loss / batch, grad)
+}
+
+/// Row-wise argmax as predicted labels.
+pub fn argmax_labels(logits: &Tensor) -> Vec<u16> {
+    (0..logits.rows)
+        .map(|r| {
+            let row = logits.row(r);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best as u16
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let s = softmax(&t);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_rows(&[vec![1e4, 1e4 + 1.0]]);
+        let s = softmax(&t);
+        assert!(s.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let t = Tensor::from_rows(&[vec![20.0, 0.0], vec![0.0, 20.0]]);
+        let (loss, _) = softmax_cross_entropy(&t, &[0, 1]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_points_away_from_wrong_class() {
+        let t = Tensor::from_rows(&[vec![0.0, 0.0]]);
+        let (loss, g) = softmax_cross_entropy(&t, &[0]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+        assert!(g.get(0, 0) < 0.0, "true-class gradient negative");
+        assert!(g.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let t = Tensor::from_rows(&[vec![0.1, 0.9], vec![5.0, -1.0]]);
+        assert_eq!(argmax_labels(&t), vec![1, 0]);
+    }
+}

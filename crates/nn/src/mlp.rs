@@ -1,0 +1,186 @@
+//! Multi-layer perceptron classifier — the classification head the
+//! paper attaches to every frozen or unfrozen encoder (§3.4, §4.2).
+
+use crate::dense::Dense;
+use crate::loss::{argmax_labels, softmax_cross_entropy};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A ReLU MLP with a softmax cross-entropy output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    #[serde(skip)]
+    relu_masks: Vec<Vec<bool>>,
+}
+
+impl Mlp {
+    /// Build from layer sizes, e.g. `[in, hidden, classes]` gives the
+    /// paper's two-layer head.
+    pub fn new(sizes: &[usize], seed: u64) -> Mlp {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], seed.wrapping_add(i as u64)))
+            .collect();
+        Mlp { layers, relu_masks: Vec::new() }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.layers.last().expect("at least one layer").output_dim()
+    }
+
+    /// Forward pass producing logits; caches activations for backprop.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.relu_masks.clear();
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                self.relu_masks.push(h.relu_inplace());
+            }
+        }
+        h
+    }
+
+    /// Inference-only logits.
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_inference(&h);
+            if i + 1 < n {
+                let _ = h.relu_inplace();
+            }
+        }
+        h
+    }
+
+    /// One full-batch training step; returns the loss. The gradient
+    /// w.r.t. the input is returned so an *unfrozen* encoder below the
+    /// head can continue the backward pass.
+    pub fn train_batch(&mut self, x: &Tensor, y: &[u16], lr: f32) -> (f32, Tensor) {
+        let logits = self.forward(x);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, y);
+        for i in (0..self.layers.len()).rev() {
+            if i < self.layers.len() - 1 {
+                // apply the ReLU mask of hidden layer i
+                let mask = &self.relu_masks[i];
+                for (g, &m) in grad.data.iter_mut().zip(mask) {
+                    if !m {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[i].backward(&grad, lr);
+        }
+        (loss, grad)
+    }
+
+    /// Predicted labels for a batch.
+    pub fn predict(&self, x: &Tensor) -> Vec<u16> {
+        argmax_labels(&self.logits(x))
+    }
+
+    /// Mini-batch training over `epochs` passes. Returns the final
+    /// epoch's mean loss.
+    pub fn fit(
+        &mut self,
+        x: &Tensor,
+        y: &[u16],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        assert_eq!(x.rows, y.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..x.rows).collect();
+        let mut last = f32::NAN;
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(batch_size.max(1)) {
+                let xb = x.select_rows(chunk);
+                let yb: Vec<u16> = chunk.iter().map(|&i| y[i]).collect();
+                let (loss, _) = self.train_batch(&xb, &yb, lr);
+                total += loss;
+                batches += 1;
+            }
+            last = total / batches.max(1) as f32;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_learnable() {
+        let x = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [0u16, 1, 1, 0];
+        let mut mlp = Mlp::new(&[2, 8, 2], 42);
+        for _ in 0..400 {
+            mlp.train_batch(&x, &y, 0.05);
+        }
+        assert_eq!(mlp.predict(&x), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn fit_reduces_loss() {
+        let x = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = [0u16, 1, 1, 0];
+        let mut mlp = Mlp::new(&[2, 16, 2], 7);
+        let first = mlp.fit(&x, &y, 1, 4, 0.05, 1);
+        let last = mlp.fit(&x, &y, 300, 4, 0.05, 1);
+        assert!(last < first, "{last} !< {first}");
+    }
+
+    #[test]
+    fn input_gradient_flows_through() {
+        let x = Tensor::from_rows(&[vec![0.5, -0.5]]);
+        let mut mlp = Mlp::new(&[2, 4, 2], 3);
+        let (_, g) = mlp.train_batch(&x, &[1], 0.01);
+        assert_eq!((g.rows, g.cols), (1, 2));
+        assert!(g.data.iter().any(|&v| v != 0.0), "input gradient must be non-zero");
+    }
+
+    #[test]
+    fn shapes_respected() {
+        let mlp = Mlp::new(&[10, 5, 3], 1);
+        assert_eq!(mlp.input_dim(), 10);
+        assert_eq!(mlp.n_classes(), 3);
+        let x = Tensor::zeros(7, 10);
+        assert_eq!(mlp.logits(&x).cols, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least input and output")]
+    fn one_size_panics() {
+        let _ = Mlp::new(&[4], 0);
+    }
+}

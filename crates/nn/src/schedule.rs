@@ -1,0 +1,93 @@
+//! Learning-rate schedules. The paper's Pcap-Encoder training uses a
+//! linear rate scaling (App. A.2); this module provides it plus a
+//! constant baseline.
+
+/// A learning-rate schedule over a fixed number of steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup to `peak` over `warmup` steps, then linear decay
+    /// to `end` at `total` steps.
+    Linear {
+        /// Peak learning rate.
+        peak: f32,
+        /// Final learning rate.
+        end: f32,
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps.
+        total: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Linear decay without warmup: `peak` at step 0 down to `end`.
+    pub fn linear_decay(peak: f32, end: f32, total: u64) -> LrSchedule {
+        LrSchedule::Linear { peak, end, warmup: 0, total }
+    }
+
+    /// The learning rate at `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Linear { peak, end, warmup, total } => {
+                if warmup > 0 && step < warmup {
+                    peak * (step as f32 + 1.0) / warmup as f32
+                } else if step >= total {
+                    end
+                } else {
+                    let span = (total - warmup).max(1) as f32;
+                    let progress = (step - warmup) as f32 / span;
+                    peak + (end - peak) * progress
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        assert_eq!(s.at(0), 0.01);
+        assert_eq!(s.at(1_000_000), 0.01);
+    }
+
+    #[test]
+    fn linear_decay_endpoints() {
+        let s = LrSchedule::linear_decay(0.1, 0.01, 100);
+        assert!((s.at(0) - 0.1).abs() < 1e-7);
+        assert!((s.at(100) - 0.01).abs() < 1e-7);
+        assert!((s.at(50) - 0.055).abs() < 1e-6);
+        // past the end it clamps
+        assert!((s.at(500) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warmup_ramps_up() {
+        let s = LrSchedule::Linear { peak: 0.1, end: 0.0, warmup: 10, total: 110 };
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        assert!((s.at(9) - 0.1).abs() < 1e-6);
+        // decays after warmup
+        assert!(s.at(60) < s.at(10));
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = LrSchedule::linear_decay(0.05, 0.001, 1000);
+        let mut prev = f32::INFINITY;
+        for step in (0..=1000).step_by(100) {
+            let lr = s.at(step);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Row-major `f32` matrix with the handful of ops the library needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialised matrix.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Build from explicit rows (must be rectangular).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Tensor {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Tensor { rows: r, cols: c, data }
+    }
+
+    /// Immutable view of row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self · other` — (m×k)·(k×n) = m×n.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut s = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    s += a * b;
+                }
+                out.data[i * other.rows + j] = s;
+            }
+        }
+        out
+    }
+
+    /// In-place ReLU; returns the mask of active units for backprop.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|v| {
+                if *v > 0.0 {
+                    true
+                } else {
+                    *v = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Select a subset of rows into a new tensor.
+    pub fn select_rows(&self, idx: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Frobenius-norm of the matrix (diagnostics).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let b = Tensor::from_rows(&[vec![4.0], vec![5.0], vec![6.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![32.0]);
+    }
+
+    #[test]
+    fn transpose_products_agree() {
+        let a = Tensor::xavier(3, 4, 1);
+        let b = Tensor::xavier(3, 5, 2);
+        // aᵀ·b directly vs via materialised transpose.
+        let direct = a.t_matmul(&b);
+        let mut at = Tensor::zeros(4, 3);
+        for r in 0..3 {
+            for c in 0..4 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let expect = at.matmul(&b);
+        for (x, y) in direct.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_t_agrees() {
+        let a = Tensor::xavier(2, 4, 3);
+        let b = Tensor::xavier(5, 4, 4);
+        let direct = a.matmul_t(&b);
+        let mut bt = Tensor::zeros(4, 5);
+        for r in 0..5 {
+            for c in 0..4 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let expect = a.matmul(&bt);
+        for (x, y) in direct.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_masks() {
+        let mut t = Tensor::from_rows(&[vec![-1.0, 2.0, 0.0]]);
+        let mask = t.relu_inplace();
+        assert_eq!(t.data, vec![0.0, 2.0, 0.0]);
+        assert_eq!(mask, vec![false, true, false]);
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let t = Tensor::xavier(10, 10, 5);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.data.iter().all(|v| v.abs() <= limit));
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn select_rows_picks() {
+        let a = Tensor::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.data, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

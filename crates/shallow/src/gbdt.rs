@@ -1,0 +1,349 @@
+//! Gradient-boosted decision trees for multiclass classification.
+//!
+//! One regression tree per class per round, fit to the softmax
+//! gradient. Two growth policies mirror the Table-8 baselines:
+//! depth-wise ("XGBoost-like") and leaf-wise with a leaf budget
+//! ("LightGBM-like").
+
+/// Leaf-growth policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// Grow level-by-level to `max_depth` (XGBoost default).
+    DepthWise,
+    /// Repeatedly split the highest-gain leaf up to `max_leaves`
+    /// (LightGBM default).
+    LeafWise,
+}
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtParams {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Learning rate (shrinkage).
+    pub eta: f32,
+    /// Depth bound (depth-wise) .
+    pub max_depth: usize,
+    /// Leaf bound (leaf-wise).
+    pub max_leaves: usize,
+    /// Growth policy.
+    pub policy: GrowthPolicy,
+    /// Candidate thresholds per feature per node.
+    pub max_thresholds: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        Self {
+            rounds: 8,
+            eta: 0.4,
+            max_depth: 4,
+            max_leaves: 15,
+            policy: GrowthPolicy::DepthWise,
+            max_thresholds: 12,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RegNode {
+    feature: usize,
+    threshold: f32,
+    left: i32,  // negative => leaf, value = -(leaf_id+1)
+    right: i32, // same encoding
+}
+
+#[derive(Debug, Clone)]
+struct RegTree {
+    nodes: Vec<RegNode>,
+    leaf_values: Vec<f32>,
+    root_is_leaf: bool,
+}
+
+impl RegTree {
+    fn predict(&self, x: &[f32]) -> f32 {
+        if self.root_is_leaf {
+            return self.leaf_values[0];
+        }
+        let mut n = 0usize;
+        loop {
+            let node = &self.nodes[n];
+            let next = if x[node.feature] <= node.threshold { node.left } else { node.right };
+            if next < 0 {
+                return self.leaf_values[(-next - 1) as usize];
+            }
+            n = next as usize;
+        }
+    }
+}
+
+struct LeafCandidate {
+    idx: Vec<usize>,
+    depth: usize,
+    gain: f64,
+    feature: usize,
+    threshold: f32,
+}
+
+fn leaf_value(idx: &[usize], grad: &[f32], hess: &[f32]) -> f32 {
+    let g: f32 = idx.iter().map(|&i| grad[i]).sum();
+    let h: f32 = idx.iter().map(|&i| hess[i]).sum();
+    -g / (h + 1.0) // lambda = 1 regularisation
+}
+
+fn best_split(
+    x: &[&[f32]],
+    idx: &[usize],
+    grad: &[f32],
+    hess: &[f32],
+    max_thresholds: usize,
+) -> Option<(f64, usize, f32)> {
+    let score = |g: f32, h: f32| f64::from(g) * f64::from(g) / (f64::from(h) + 1.0);
+    let gt: f32 = idx.iter().map(|&i| grad[i]).sum();
+    let ht: f32 = idx.iter().map(|&i| hess[i]).sum();
+    let parent = score(gt, ht);
+    let mut best: Option<(f64, usize, f32)> = None;
+    let n_features = x[0].len();
+    let mut vals: Vec<f32> = Vec::with_capacity(idx.len());
+    #[allow(clippy::needless_range_loop)]
+    for f in 0..n_features {
+        vals.clear();
+        vals.extend(idx.iter().map(|&i| x[i][f]));
+        vals.sort_by(f32::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        let step = (vals.len() / max_thresholds).max(1);
+        let mut t = step;
+        while t < vals.len() {
+            let threshold = (vals[t - 1] + vals[t]) / 2.0;
+            let mut gl = 0.0f32;
+            let mut hl = 0.0f32;
+            for &i in idx {
+                if x[i][f] <= threshold {
+                    gl += grad[i];
+                    hl += hess[i];
+                }
+            }
+            let gr = gt - gl;
+            let hr = ht - hl;
+            if hl > 1e-6 && hr > 1e-6 {
+                let gain = score(gl, hl) + score(gr, hr) - parent;
+                if best.is_none_or(|(bg, _, _)| gain > bg) && gain > 1e-9 {
+                    best = Some((gain, f, threshold));
+                }
+            }
+            t += step;
+        }
+    }
+    best
+}
+
+fn fit_reg_tree(x: &[&[f32]], grad: &[f32], hess: &[f32], params: &GbdtParams) -> RegTree {
+    let all: Vec<usize> = (0..x.len()).collect();
+    let mut tree = RegTree { nodes: Vec::new(), leaf_values: Vec::new(), root_is_leaf: false };
+    // Frontier of splittable leaves; parent linkage via (node, is_left).
+    let mut frontier: Vec<(LeafCandidate, Option<(usize, bool)>)> = Vec::new();
+    let seed_candidate = |idx: Vec<usize>, depth: usize| -> LeafCandidate {
+        match best_split(x, &idx, grad, hess, params.max_thresholds) {
+            Some((gain, feature, threshold)) if depth < params.max_depth => {
+                LeafCandidate { idx, depth, gain, feature, threshold }
+            }
+            _ => LeafCandidate { idx, depth, gain: 0.0, feature: 0, threshold: 0.0 },
+        }
+    };
+    frontier.push((seed_candidate(all, 0), None));
+    let leaf_budget = match params.policy {
+        GrowthPolicy::DepthWise => usize::MAX,
+        GrowthPolicy::LeafWise => params.max_leaves,
+    };
+    let mut splits_done = 0usize;
+    loop {
+        // pick next candidate: leaf-wise takes max gain; depth-wise FIFO.
+        let pick = match params.policy {
+            GrowthPolicy::DepthWise => frontier.iter().position(|(c, _)| c.gain > 0.0),
+            GrowthPolicy::LeafWise => frontier
+                .iter()
+                .enumerate()
+                .filter(|(_, (c, _))| c.gain > 0.0)
+                .max_by(|a, b| a.1 .0.gain.total_cmp(&b.1 .0.gain))
+                .map(|(i, _)| i),
+        };
+        let stop = pick.is_none() || splits_done + frontier.len() >= leaf_budget;
+        if stop {
+            break;
+        }
+        let (cand, parent) = frontier.swap_remove(pick.expect("checked above"));
+        let node_id = tree.nodes.len();
+        tree.nodes.push(RegNode {
+            feature: cand.feature,
+            threshold: cand.threshold,
+            left: 0,
+            right: 0,
+        });
+        if let Some((p, is_left)) = parent {
+            if is_left {
+                tree.nodes[p].left = node_id as i32;
+            } else {
+                tree.nodes[p].right = node_id as i32;
+            }
+        }
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            cand.idx.iter().partition(|&&i| x[i][cand.feature] <= cand.threshold);
+        splits_done += 1;
+        frontier.push((seed_candidate(li, cand.depth + 1), Some((node_id, true))));
+        frontier.push((seed_candidate(ri, cand.depth + 1), Some((node_id, false))));
+    }
+    if tree.nodes.is_empty() {
+        tree.root_is_leaf = true;
+        tree.leaf_values.push(leaf_value(&(0..x.len()).collect::<Vec<_>>(), grad, hess));
+        return tree;
+    }
+    // turn remaining frontier entries into leaves
+    for (cand, parent) in frontier {
+        let leaf_id = tree.leaf_values.len();
+        tree.leaf_values.push(leaf_value(&cand.idx, grad, hess));
+        let (p, is_left) = parent.expect("non-root frontier nodes have parents");
+        let enc = -((leaf_id as i32) + 1);
+        if is_left {
+            tree.nodes[p].left = enc;
+        } else {
+            tree.nodes[p].right = enc;
+        }
+    }
+    tree
+}
+
+/// A trained gradient-boosting classifier.
+pub struct GradientBoosting {
+    trees: Vec<Vec<RegTree>>, // [round][class]
+    n_classes: usize,
+    eta: f32,
+}
+
+impl GradientBoosting {
+    /// Fit on feature rows and labels.
+    pub fn fit(x: &[&[f32]], y: &[u16], n_classes: usize, params: GbdtParams) -> GradientBoosting {
+        assert!(!x.is_empty(), "empty training set");
+        let n = x.len();
+        let mut scores = vec![vec![0.0f32; n_classes]; n];
+        let mut rounds = Vec::with_capacity(params.rounds);
+        for _ in 0..params.rounds {
+            // softmax probabilities
+            let mut round_trees = Vec::with_capacity(n_classes);
+            let probs: Vec<Vec<f32>> = scores
+                .iter()
+                .map(|s| {
+                    let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let e: Vec<f32> = s.iter().map(|v| (v - m).exp()).collect();
+                    let sum: f32 = e.iter().sum();
+                    e.into_iter().map(|v| v / sum).collect()
+                })
+                .collect();
+            for c in 0..n_classes {
+                let grad: Vec<f32> = (0..n)
+                    .map(|i| probs[i][c] - f32::from(u8::from(usize::from(y[i]) == c)))
+                    .collect();
+                let hess: Vec<f32> = (0..n).map(|i| probs[i][c] * (1.0 - probs[i][c])).collect();
+                let tree = fit_reg_tree(x, &grad, &hess, &params);
+                for i in 0..n {
+                    scores[i][c] += params.eta * tree.predict(x[i]);
+                }
+                round_trees.push(tree);
+            }
+            rounds.push(round_trees);
+        }
+        GradientBoosting { trees: rounds, n_classes, eta: params.eta }
+    }
+
+    /// Class scores for one row.
+    pub fn scores_one(&self, x: &[f32]) -> Vec<f32> {
+        let mut s = vec![0.0f32; self.n_classes];
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                s[c] += self.eta * tree.predict(x);
+            }
+        }
+        s
+    }
+
+    /// Predicted label for one row.
+    pub fn predict_one(&self, x: &[f32]) -> u16 {
+        let s = self.scores_one(x);
+        s.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c as u16)
+            .unwrap_or(0)
+    }
+
+    /// Predicted labels for many rows.
+    pub fn predict(&self, x: &[&[f32]]) -> Vec<u16> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize) -> (Vec<[f32; 3]>, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c: u16 = rng.gen_range(0..3);
+            x.push([
+                f32::from(c) + rng.gen_range(-0.4..0.4),
+                rng.gen_range(0.0..1.0),
+                f32::from(c) * 0.5 + rng.gen_range(-0.3..0.3),
+            ]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn depthwise_learns() {
+        let (xv, y) = dataset(300);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let m = GradientBoosting::fit(&x[..200], &y[..200], 3, GbdtParams::default());
+        let preds = m.predict(&x[200..]);
+        let acc = preds.iter().zip(&y[200..]).filter(|(p, t)| p == t).count() as f64 / 100.0;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn leafwise_learns() {
+        let (xv, y) = dataset(300);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let params = GbdtParams { policy: GrowthPolicy::LeafWise, ..Default::default() };
+        let m = GradientBoosting::fit(&x[..200], &y[..200], 3, params);
+        let preds = m.predict(&x[200..]);
+        let acc = preds.iter().zip(&y[200..]).filter(|(p, t)| p == t).count() as f64 / 100.0;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn constant_features_dont_crash() {
+        let xv = [[1.0f32, 1.0, 1.0]; 10];
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let y: Vec<u16> = (0..10).map(|i| u16::from(i % 2 == 0)).collect();
+        let m = GradientBoosting::fit(&x, &y, 2, GbdtParams::default());
+        let _ = m.predict(&x);
+    }
+
+    #[test]
+    fn binary_task_works() {
+        let (xv, y3) = dataset(200);
+        let y: Vec<u16> = y3.iter().map(|&c| u16::from(c == 2)).collect();
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let m = GradientBoosting::fit(&x[..150], &y[..150], 2, GbdtParams::default());
+        let preds = m.predict(&x[150..]);
+        let acc = preds.iter().zip(&y[150..]).filter(|(p, t)| p == t).count() as f64 / 50.0;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+}

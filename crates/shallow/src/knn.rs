@@ -1,0 +1,132 @@
+//! Brute-force k-nearest-neighbour classifier with z-score
+//! standardisation (one of the paper's "shallow head" options, §2).
+
+/// A fitted k-NN classifier (stores the standardised training set).
+pub struct KnnClassifier {
+    k: usize,
+    x: Vec<Vec<f32>>,
+    y: Vec<u16>,
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl KnnClassifier {
+    /// Fit: store the training data and its per-feature statistics.
+    pub fn fit(x: &[&[f32]], y: &[u16], k: usize) -> KnnClassifier {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        let n = x.len() as f32;
+        let mut mean = vec![0.0f32; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(*row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; d];
+        for row in x {
+            for ((s, v), m) in std.iter_mut().zip(*row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        let xs = x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&mean)
+                    .zip(&std)
+                    .map(|((v, m), s)| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        KnnClassifier { k: k.max(1), x: xs, y: y.to_vec(), mean, std }
+    }
+
+    fn standardise(&self, row: &[f32]) -> Vec<f32> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Predict the label of one row by majority among the k nearest.
+    pub fn predict_one(&self, row: &[f32]) -> u16 {
+        let q = self.standardise(row);
+        let mut dists: Vec<(f32, u16)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(t, &label)| {
+                let d: f32 = t.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, label)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut counts = std::collections::HashMap::new();
+        for (_, l) in &dists[..k] {
+            *counts.entry(*l).or_insert(0u32) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(l, _)| l).unwrap_or(0)
+    }
+
+    /// Predict labels for many rows.
+    pub fn predict(&self, rows: &[&[f32]]) -> Vec<u16> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_exact_match() {
+        let data = [[0.0f32, 0.0], [10.0, 10.0]];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let knn = KnnClassifier::fit(&x, &[0, 1], 1);
+        assert_eq!(knn.predict_one(&[0.5, 0.5]), 0);
+        assert_eq!(knn.predict_one(&[9.0, 9.5]), 1);
+    }
+
+    #[test]
+    fn k_majority_smooths_outlier() {
+        // One mislabelled point amid a cluster; k=3 out-votes it.
+        let data = [[0.0f32], [0.1], [0.2], [0.15]];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let y = [0u16, 0, 0, 1];
+        let knn = KnnClassifier::fit(&x, &y, 3);
+        assert_eq!(knn.predict_one(&[0.14]), 0);
+    }
+
+    #[test]
+    fn standardisation_balances_scales() {
+        // Feature 0 is informative but tiny; feature 1 is huge noise.
+        let data = [
+            [0.001f32, 5000.0],
+            [0.002, 9000.0],
+            [0.101, 7000.0],
+            [0.102, 6000.0],
+        ];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let y = [0u16, 0, 1, 1];
+        let knn = KnnClassifier::fit(&x, &y, 1);
+        assert_eq!(knn.predict_one(&[0.0015, 7500.0]), 0);
+        assert_eq!(knn.predict_one(&[0.1015, 5500.0]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_clamped() {
+        let data = [[0.0f32], [1.0]];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let knn = KnnClassifier::fit(&x, &[0, 1], 10);
+        let _ = knn.predict_one(&[0.4]); // must not panic
+    }
+}

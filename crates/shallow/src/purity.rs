@@ -1,0 +1,96 @@
+//! 5-NN purity of an embedding space (Fig. 4): for each point, how
+//! many of its 5 nearest neighbours share its class. A meaningful
+//! representation puts same-class packets close together.
+
+/// Histogram over 0..=k of "how many of the k nearest neighbours have
+/// the same class", normalised to fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurityHistogram {
+    /// `fraction[m]` = share of points with exactly `m` same-class
+    /// neighbours among their k nearest.
+    pub fraction: Vec<f64>,
+    /// k used.
+    pub k: usize,
+}
+
+impl PurityHistogram {
+    /// Mean purity in [0, 1].
+    pub fn mean_purity(&self) -> f64 {
+        self.fraction
+            .iter()
+            .enumerate()
+            .map(|(m, f)| f * m as f64)
+            .sum::<f64>()
+            / self.k as f64
+    }
+}
+
+/// Compute the k-NN purity histogram of `embeddings` (row per point)
+/// under `labels`. O(n²) brute force — fine at benchmark scale.
+pub fn knn_purity(embeddings: &[Vec<f32>], labels: &[u16], k: usize) -> PurityHistogram {
+    assert_eq!(embeddings.len(), labels.len());
+    let n = embeddings.len();
+    let mut hist = vec![0usize; k + 1];
+    for i in 0..n {
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d: f32 = embeddings[i]
+                    .iter()
+                    .zip(&embeddings[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, j)
+            })
+            .collect();
+        let kk = k.min(dists.len());
+        if kk == 0 {
+            continue;
+        }
+        dists.select_nth_unstable_by(kk - 1, |a, b| a.0.total_cmp(&b.0));
+        let same = dists[..kk].iter().filter(|(_, j)| labels[*j] == labels[i]).count();
+        hist[same] += 1;
+    }
+    let total: usize = hist.iter().sum();
+    PurityHistogram {
+        fraction: hist.iter().map(|&c| c as f64 / total.max(1) as f64).collect(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_clusters_are_pure() {
+        let mut emb = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            let c = u16::from(i >= 6);
+            emb.push(vec![f32::from(c) * 100.0 + (i % 6) as f32, 0.0]);
+            labels.push(c);
+        }
+        let h = knn_purity(&emb, &labels, 5);
+        assert!((h.mean_purity() - 1.0).abs() < 1e-9);
+        assert!((h.fraction[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_mixture_is_impure() {
+        // alternate labels along a line: neighbours mostly other-class
+        let emb: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, 0.0]).collect();
+        let labels: Vec<u16> = (0..20).map(|i| (i % 2) as u16).collect();
+        let h = knn_purity(&emb, &labels, 5);
+        assert!(h.mean_purity() < 0.5, "got {}", h.mean_purity());
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let emb: Vec<Vec<f32>> = (0..10).map(|i| vec![(i * i) as f32]).collect();
+        let labels: Vec<u16> = (0..10).map(|i| (i % 3) as u16).collect();
+        let h = knn_purity(&emb, &labels, 5);
+        assert!((h.fraction.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(h.fraction.len(), 6);
+    }
+}

@@ -1,0 +1,150 @@
+//! Automatic hyper-parameter selection for the shallow baselines —
+//! the analogue of the paper's use of AutoGluon (App. A.2): a small
+//! grid search scored on an internal holdout split.
+
+use crate::forest::{ForestParams, RandomForest};
+use crate::gbdt::{GbdtParams, GradientBoosting, GrowthPolicy};
+use crate::tree::TreeParams;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneReport<P> {
+    /// The winning configuration.
+    pub best: P,
+    /// Holdout accuracy of the winning configuration.
+    pub best_accuracy: f64,
+    /// (description, holdout accuracy) for every candidate tried.
+    pub trials: Vec<(String, f64)>,
+}
+
+fn holdout_split(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x707e);
+    idx.shuffle(&mut rng);
+    let cut = (n * 4 / 5).max(1).min(n.saturating_sub(1)).max(1);
+    (idx[..cut].to_vec(), idx[cut..].to_vec())
+}
+
+fn accuracy(pred: &[u16], truth: &[u16]) -> f64 {
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / pred.len() as f64
+}
+
+/// Grid-search random-forest hyper-parameters on a holdout split.
+pub fn tune_forest(
+    x: &[&[f32]],
+    y: &[u16],
+    n_classes: usize,
+    seed: u64,
+) -> TuneReport<ForestParams> {
+    let (tr, va) = holdout_split(x.len(), seed);
+    let xtr: Vec<&[f32]> = tr.iter().map(|&i| x[i]).collect();
+    let ytr: Vec<u16> = tr.iter().map(|&i| y[i]).collect();
+    let xva: Vec<&[f32]> = va.iter().map(|&i| x[i]).collect();
+    let yva: Vec<u16> = va.iter().map(|&i| y[i]).collect();
+
+    let mut trials = Vec::new();
+    let mut best: Option<(ForestParams, f64)> = None;
+    for n_trees in [10usize, 30] {
+        for max_depth in [12usize, 24] {
+            let params = ForestParams {
+                n_trees,
+                tree: TreeParams { max_depth, ..Default::default() },
+                sample_size: Some(xtr.len().min(3000)),
+            };
+            let rf = RandomForest::fit(&xtr, &ytr, n_classes, params, seed);
+            let acc = accuracy(&rf.predict(&xva), &yva);
+            trials.push((format!("rf trees={n_trees} depth={max_depth}"), acc));
+            if best.as_ref().is_none_or(|(_, b)| acc > *b) {
+                best = Some((params, acc));
+            }
+        }
+    }
+    let (best, best_accuracy) = best.expect("at least one candidate");
+    TuneReport { best, best_accuracy, trials }
+}
+
+/// Grid-search GBDT hyper-parameters on a holdout split.
+pub fn tune_gbdt(x: &[&[f32]], y: &[u16], n_classes: usize, seed: u64) -> TuneReport<GbdtParams> {
+    let (tr, va) = holdout_split(x.len(), seed);
+    let xtr: Vec<&[f32]> = tr.iter().map(|&i| x[i]).collect();
+    let ytr: Vec<u16> = tr.iter().map(|&i| y[i]).collect();
+    let xva: Vec<&[f32]> = va.iter().map(|&i| x[i]).collect();
+    let yva: Vec<u16> = va.iter().map(|&i| y[i]).collect();
+
+    let mut trials = Vec::new();
+    let mut best: Option<(GbdtParams, f64)> = None;
+    for policy in [GrowthPolicy::DepthWise, GrowthPolicy::LeafWise] {
+        for (rounds, eta) in [(4usize, 0.5f32), (8, 0.3)] {
+            let params = GbdtParams { policy, rounds, eta, ..Default::default() };
+            let gb = GradientBoosting::fit(&xtr, &ytr, n_classes, params);
+            let acc = accuracy(&gb.predict(&xva), &yva);
+            trials.push((format!("gbdt {policy:?} rounds={rounds} eta={eta}"), acc));
+            if best.as_ref().is_none_or(|(_, b)| acc > *b) {
+                best = Some((params, acc));
+            }
+        }
+    }
+    let (best, best_accuracy) = best.expect("at least one candidate");
+    TuneReport { best, best_accuracy, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn dataset(n: usize) -> (Vec<[f32; 3]>, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let c: u16 = rng.gen_range(0..3);
+            x.push([
+                f32::from(c) + rng.gen_range(-0.4..0.4),
+                rng.gen_range(0.0..1.0),
+                f32::from(c) * 0.7 + rng.gen_range(-0.3..0.3),
+            ]);
+            y.push(c);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_tuning_picks_a_good_config() {
+        let (xv, y) = dataset(300);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let report = tune_forest(&x, &y, 3, 1);
+        assert_eq!(report.trials.len(), 4);
+        assert!(report.best_accuracy > 0.8, "{}", report.best_accuracy);
+        // best accuracy equals the max of all trials
+        let max = report.trials.iter().map(|(_, a)| *a).fold(0.0, f64::max);
+        assert!((report.best_accuracy - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gbdt_tuning_runs_both_policies() {
+        let (xv, y) = dataset(250);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let report = tune_gbdt(&x, &y, 3, 2);
+        assert_eq!(report.trials.len(), 4);
+        assert!(report.trials.iter().any(|(d, _)| d.contains("DepthWise")));
+        assert!(report.trials.iter().any(|(d, _)| d.contains("LeafWise")));
+        assert!(report.best_accuracy > 0.7);
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let (xv, y) = dataset(150);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let a = tune_forest(&x, &y, 3, 5);
+        let b = tune_forest(&x, &y, 3, 5);
+        assert_eq!(a.best_accuracy, b.best_accuracy);
+        assert_eq!(a.trials, b.trials);
+    }
+}

@@ -1,0 +1,459 @@
+//! Flow-level synthesis: full TCP connections (handshake, data,
+//! teardown) and UDP exchanges with realistic header dynamics.
+//!
+//! The crucial properties for the paper's argument:
+//!
+//! - Initial sequence numbers, acknowledgement numbers and TCP
+//!   timestamp bases are drawn **randomly per flow**, then progress
+//!   deterministically — so all packets of a flow live in a small
+//!   neighbourhood of a ~64-bit random space (the implicit flow ID).
+//! - Payload bytes come from a per-flow PRNG: independent of the class
+//!   (a stand-in for semantically-void ciphertext).
+
+use crate::profile::{AppProfile, TransportKind};
+use net_packet::builder::FrameBuilder;
+use net_packet::ethernet::MacAddr;
+use net_packet::ipv4::Ipv4Addr;
+use net_packet::tcp::{TcpFlags, TcpOption};
+use net_packet::tls;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One synthesised packet of a flow.
+#[derive(Debug, Clone)]
+pub struct FlowPacket {
+    /// Timestamp in seconds from trace start.
+    pub ts: f64,
+    /// Raw Ethernet frame bytes.
+    pub frame: Vec<u8>,
+    /// True if sent by the client endpoint.
+    pub from_client: bool,
+}
+
+/// A complete synthesised flow.
+#[derive(Debug, Clone)]
+pub struct SynthFlow {
+    /// Packets in chronological order.
+    pub packets: Vec<FlowPacket>,
+    /// Client address of the flow.
+    pub client: Ipv4Addr,
+    /// Server address of the flow.
+    pub server: Ipv4Addr,
+    /// Client (ephemeral) port.
+    pub client_port: u16,
+    /// Server port.
+    pub server_port: u16,
+}
+
+fn gauss(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    // Box-Muller; two uniforms per sample keeps StdRng deterministic.
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn payload_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+/// Synthesise one flow of `profile` starting at `start_ts`.
+///
+/// `client` is the local endpoint; `sni_stripped` removes handshake
+/// and ClientHello packets (the CSTNET-TLS1.3 preparation).
+pub fn synth_flow(
+    profile: &AppProfile,
+    client: Ipv4Addr,
+    start_ts: f64,
+    rng: &mut StdRng,
+    sni_stripped: bool,
+) -> SynthFlow {
+    let server = profile.server_pool[rng.gen_range(0..profile.server_pool.len())];
+    let client_port: u16 = rng.gen_range(32768..61000);
+    let n_data = (gauss(rng, profile.flow_len_mean, profile.flow_len_mean * 0.4)
+        .max(2.0)
+        .round()) as usize;
+    match profile.transport {
+        TransportKind::Udp => synth_udp(profile, client, server, client_port, start_ts, n_data, rng),
+        _ => synth_tcp(profile, client, server, client_port, start_ts, n_data, rng, sni_stripped),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synth_tcp(
+    profile: &AppProfile,
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    client_port: u16,
+    start_ts: f64,
+    n_data: usize,
+    rng: &mut StdRng,
+    sni_stripped: bool,
+) -> SynthFlow {
+    // Random ISNs and timestamp bases: the implicit flow identifiers.
+    let mut c_seq: u32 = rng.gen();
+    let mut s_seq: u32 = rng.gen();
+    let c_ts_base: u32 = rng.gen();
+    let s_ts_base: u32 = rng.gen();
+    let mut packets = Vec::with_capacity(n_data + 8);
+    let mut now = start_ts;
+    let clock = |now: f64, base: u32| base.wrapping_add((now * 1000.0) as u32);
+
+    // --- three-way handshake ------------------------------------------------
+    let hs_opts_c = vec![
+        TcpOption::Mss(1460),
+        TcpOption::SackPermitted,
+        TcpOption::Timestamps(clock(now, c_ts_base), 0),
+        TcpOption::WindowScale(7),
+    ];
+    let hs_opts_s = vec![
+        TcpOption::Mss(profile.server_mss),
+        TcpOption::SackPermitted,
+        TcpOption::Timestamps(clock(now, s_ts_base), clock(now, c_ts_base)),
+        TcpOption::WindowScale(profile.server_wscale),
+    ];
+    // SYN
+    let syn = build_tcp(
+        profile, client, server, client_port, true, TcpFlags::SYN, c_seq, 0, hs_opts_c, vec![], rng,
+    );
+    packets.push(FlowPacket { ts: now, frame: syn, from_client: true });
+    c_seq = c_seq.wrapping_add(1);
+    now += rng.gen_range(0.01..0.08); // RTT/2
+    // SYN-ACK
+    let synack = build_tcp(
+        profile, client, server, client_port, false, TcpFlags::SYN | TcpFlags::ACK, s_seq, c_seq,
+        hs_opts_s, vec![], rng,
+    );
+    packets.push(FlowPacket { ts: now, frame: synack, from_client: false });
+    s_seq = s_seq.wrapping_add(1);
+    now += rng.gen_range(0.01..0.08);
+    // ACK
+    let ts_opt = |now: f64, from_client: bool| {
+        if from_client {
+            TcpOption::Timestamps(clock(now, c_ts_base), clock(now, s_ts_base))
+        } else {
+            TcpOption::Timestamps(clock(now, s_ts_base), clock(now, c_ts_base))
+        }
+    };
+    let ack_pkt = build_tcp(
+        profile, client, server, client_port, true, TcpFlags::ACK, c_seq, s_seq,
+        vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], vec![], rng,
+    );
+    packets.push(FlowPacket { ts: now, frame: ack_pkt, from_client: true });
+
+    // --- TLS handshake records (TlsTcp only) --------------------------------
+    if profile.transport == TransportKind::TlsTcp {
+        let mut random = [0u8; 32];
+        rng.fill(&mut random);
+        let hello = tls::emit_client_hello(random, profile.sni.as_deref());
+        now += rng.gen_range(0.001..0.01);
+        let f = build_tcp(
+            profile, client, server, client_port, true, TcpFlags::PSH | TcpFlags::ACK,
+            c_seq, s_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], hello.clone(), rng,
+        );
+        c_seq = c_seq.wrapping_add(hello.len() as u32);
+        packets.push(FlowPacket { ts: now, frame: f, from_client: true });
+        // ServerHello + encrypted extensions as one opaque handshake record.
+        now += rng.gen_range(0.01..0.06);
+        let sh_len = rng.gen_range(90..900);
+        let sh_body = payload_bytes(rng, sh_len);
+        let sh = tls::emit_record(tls::ContentType::Handshake, 0x0303, &sh_body);
+        let f = build_tcp(
+            profile, client, server, client_port, false, TcpFlags::PSH | TcpFlags::ACK,
+            s_seq, c_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)], sh.clone(), rng,
+        );
+        s_seq = s_seq.wrapping_add(sh.len() as u32);
+        packets.push(FlowPacket { ts: now, frame: f, from_client: false });
+    }
+
+    // --- application data ----------------------------------------------------
+    for _ in 0..n_data {
+        now += gauss(rng, profile.iat_mean, profile.iat_mean * 0.5).max(1e-4);
+        let from_client = !rng.gen_bool(profile.downstream_ratio);
+        let (mean, std) = if from_client {
+            (profile.client_payload_mean, profile.client_payload_std)
+        } else {
+            (profile.server_payload_mean, profile.server_payload_std)
+        };
+        let len = gauss(rng, mean, std).clamp(16.0, 1400.0) as usize;
+        let body = payload_bytes(rng, len);
+        let payload = if profile.transport == TransportKind::TlsTcp {
+            tls::emit_application_data(&body)
+        } else {
+            body
+        };
+        let (seq, ack) = if from_client { (c_seq, s_seq) } else { (s_seq, c_seq) };
+        let f = build_tcp(
+            profile, client, server, client_port, from_client, TcpFlags::PSH | TcpFlags::ACK,
+            seq, ack, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, from_client)], payload.clone(), rng,
+        );
+        if from_client {
+            c_seq = c_seq.wrapping_add(payload.len() as u32);
+        } else {
+            s_seq = s_seq.wrapping_add(payload.len() as u32);
+        }
+        packets.push(FlowPacket { ts: now, frame: f, from_client });
+        // Pure ACK from the other side with some probability.
+        if rng.gen_bool(0.45) {
+            now += rng.gen_range(0.0005..0.02);
+            let (seq, ack) = if from_client { (s_seq, c_seq) } else { (c_seq, s_seq) };
+            let f = build_tcp(
+                profile, client, server, client_port, !from_client, TcpFlags::ACK,
+                seq, ack, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, !from_client)], vec![], rng,
+            );
+            packets.push(FlowPacket { ts: now, frame: f, from_client: !from_client });
+        }
+    }
+
+    // --- teardown -------------------------------------------------------------
+    now += rng.gen_range(0.001..0.05);
+    let fin = build_tcp(
+        profile, client, server, client_port, true, TcpFlags::FIN | TcpFlags::ACK,
+        c_seq, s_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], vec![], rng,
+    );
+    packets.push(FlowPacket { ts: now, frame: fin, from_client: true });
+    now += rng.gen_range(0.001..0.05);
+    let finack = build_tcp(
+        profile, client, server, client_port, false, TcpFlags::FIN | TcpFlags::ACK,
+        s_seq, c_seq.wrapping_add(1), vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)], vec![], rng,
+    );
+    packets.push(FlowPacket { ts: now, frame: finack, from_client: false });
+
+    let packets = if sni_stripped {
+        // Drop the 3-way handshake and the client TLS Hello, exactly as
+        // the CSTNET-TLS1.3 public release does.
+        packets
+            .into_iter()
+            .skip(if profile.transport == TransportKind::TlsTcp { 4 } else { 3 })
+            .collect()
+    } else {
+        packets
+    };
+    SynthFlow { packets, client, server, client_port, server_port: profile.server_port }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tcp(
+    profile: &AppProfile,
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    client_port: u16,
+    from_client: bool,
+    flags: TcpFlags,
+    seq: u32,
+    ack: u32,
+    options: Vec<TcpOption>,
+    payload: Vec<u8>,
+    rng: &mut StdRng,
+) -> Vec<u8> {
+    let client_mac = MacAddr([0x02, 0, 0, 0, 0, 0x01]);
+    let server_mac = MacAddr([0x02, 0, 0, 0, 0, 0x02]);
+    let mut b = FrameBuilder::tcp_ipv4_default();
+    b = if from_client {
+        b.macs(client_mac, server_mac)
+            .src(client, client_port)
+            .dst(server, profile.server_port)
+            .ttl(profile.client_ttl)
+            .window(64240)
+    } else {
+        b.macs(server_mac, client_mac)
+            .src(server, profile.server_port)
+            .dst(client, client_port)
+            .ttl(profile.server_ttl)
+            .window(profile.server_window)
+    };
+    b = b
+        .seq_ack(seq, ack)
+        .flags(flags)
+        .tos(profile.tos)
+        .identification(rng.gen());
+    for o in options {
+        b = b.option(o);
+    }
+    b.payload(payload).build()
+}
+
+fn synth_udp(
+    profile: &AppProfile,
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    client_port: u16,
+    start_ts: f64,
+    n_data: usize,
+    rng: &mut StdRng,
+) -> SynthFlow {
+    let client_mac = MacAddr([0x02, 0, 0, 0, 0, 0x01]);
+    let server_mac = MacAddr([0x02, 0, 0, 0, 0, 0x02]);
+    let mut packets = Vec::with_capacity(n_data);
+    let mut now = start_ts;
+    for i in 0..n_data.max(2) {
+        now += gauss(rng, profile.iat_mean, profile.iat_mean * 0.4).max(1e-4);
+        let from_client = if i == 0 { true } else { !rng.gen_bool(profile.downstream_ratio) };
+        let (mean, std) = if from_client {
+            (profile.client_payload_mean, profile.client_payload_std)
+        } else {
+            (profile.server_payload_mean, profile.server_payload_std)
+        };
+        let len = gauss(rng, mean, std).clamp(16.0, 1400.0) as usize;
+        let mut b = FrameBuilder::udp_ipv4_default();
+        b = if from_client {
+            b.macs(client_mac, server_mac)
+                .src(client, client_port)
+                .dst(server, profile.server_port)
+                .ttl(profile.client_ttl)
+        } else {
+            b.macs(server_mac, client_mac)
+                .src(server, profile.server_port)
+                .dst(client, client_port)
+                .ttl(profile.server_ttl)
+        };
+        let frame = b
+            .tos(profile.tos)
+            .identification(rng.gen())
+            .payload(payload_bytes(rng, len))
+            .build();
+        packets.push(FlowPacket { ts: now, frame, from_client });
+    }
+    SynthFlow { packets, client, server, client_port, server_port: profile.server_port }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_packet::frame::{ParsedFrame, TransportInfo};
+    use rand::SeedableRng;
+
+    fn profile(t: TransportKind) -> AppProfile {
+        AppProfile::derive(11, 0, 8, t)
+    }
+
+    fn client() -> Ipv4Addr {
+        Ipv4Addr::new(192, 168, 1, 77)
+    }
+
+    #[test]
+    fn tcp_flow_has_handshake_and_teardown() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = synth_flow(&profile(TransportKind::TlsTcp), client(), 0.0, &mut rng, false);
+        let first = ParsedFrame::parse(&f.packets[0].frame).unwrap();
+        match first.transport {
+            TransportInfo::Tcp { flags, .. } => assert_eq!(flags, 0x02, "first packet must be SYN"),
+            _ => panic!("expected TCP"),
+        }
+        let last = ParsedFrame::parse(&f.packets.last().unwrap().frame).unwrap();
+        match last.transport {
+            TransportInfo::Tcp { flags, .. } => assert_ne!(flags & 0x01, 0, "last packet must carry FIN"),
+            _ => panic!("expected TCP"),
+        }
+    }
+
+    #[test]
+    fn all_packets_share_flow_key() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = synth_flow(&profile(TransportKind::TlsTcp), client(), 0.0, &mut rng, false);
+        let keys: std::collections::HashSet<_> = f
+            .packets
+            .iter()
+            .map(|p| ParsedFrame::parse(&p.frame).unwrap().flow_key().unwrap())
+            .collect();
+        assert_eq!(keys.len(), 1, "bi-flow must map to one canonical key");
+    }
+
+    #[test]
+    fn seq_numbers_cluster_within_flow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = synth_flow(&profile(TransportKind::TlsTcp), client(), 0.0, &mut rng, false);
+        let mut client_seqs = Vec::new();
+        for p in &f.packets {
+            if let TransportInfo::Tcp { seq, .. } = ParsedFrame::parse(&p.frame).unwrap().transport {
+                if p.from_client {
+                    client_seqs.push(seq);
+                }
+            }
+        }
+        let min = *client_seqs.iter().min().unwrap();
+        let max = *client_seqs.iter().max().unwrap();
+        assert!(max.wrapping_sub(min) < 1_000_000, "client seq range stays tight (implicit flow ID)");
+    }
+
+    #[test]
+    fn timestamps_monotone_per_direction() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let f = synth_flow(&profile(TransportKind::TlsTcp), client(), 0.0, &mut rng, false);
+        let mut prev: Option<u32> = None;
+        for p in f.packets.iter().filter(|p| p.from_client) {
+            if let TransportInfo::Tcp { timestamps: Some((v, _)), .. } =
+                ParsedFrame::parse(&p.frame).unwrap().transport
+            {
+                if let Some(pv) = prev {
+                    assert!(v.wrapping_sub(pv) < 1_000_000, "TSval advances monotonically");
+                }
+                prev = Some(v);
+            }
+        }
+        assert!(prev.is_some(), "client packets carry timestamps");
+    }
+
+    #[test]
+    fn different_flows_have_different_isns() {
+        let p = profile(TransportKind::TlsTcp);
+        let mut rng = StdRng::seed_from_u64(9);
+        let f1 = synth_flow(&p, client(), 0.0, &mut rng, false);
+        let f2 = synth_flow(&p, client(), 0.0, &mut rng, false);
+        let seq_of = |f: &SynthFlow| match ParsedFrame::parse(&f.packets[0].frame).unwrap().transport {
+            TransportInfo::Tcp { seq, .. } => seq,
+            _ => panic!("expected TCP"),
+        };
+        assert_ne!(seq_of(&f1), seq_of(&f2));
+    }
+
+    #[test]
+    fn sni_present_then_stripped() {
+        let mut p = profile(TransportKind::TlsTcp);
+        p.sni = Some("www.site042.example".into());
+        let mut rng = StdRng::seed_from_u64(10);
+        let full = synth_flow(&p, client(), 0.0, &mut rng, false);
+        let has_sni = |f: &SynthFlow| {
+            f.packets.iter().any(|pk| {
+                let parsed = ParsedFrame::parse(&pk.frame).unwrap();
+                let pl = parsed.payload_of(&pk.frame);
+                net_packet::tls::TlsRecord::new_checked(pl)
+                    .ok()
+                    .and_then(|r| r.sni())
+                    .is_some()
+            })
+        };
+        assert!(has_sni(&full));
+        let mut rng = StdRng::seed_from_u64(10);
+        let stripped = synth_flow(&p, client(), 0.0, &mut rng, true);
+        assert!(!has_sni(&stripped));
+        // Stripping also removes the handshake.
+        let first = ParsedFrame::parse(&stripped.packets[0].frame).unwrap();
+        match first.transport {
+            TransportInfo::Tcp { flags, .. } => assert_eq!(flags & 0x02, 0, "no SYN after stripping"),
+            _ => panic!("expected TCP"),
+        }
+    }
+
+    #[test]
+    fn udp_flow_parses_and_shares_key() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let f = synth_flow(&profile(TransportKind::Udp), client(), 0.0, &mut rng, false);
+        assert!(f.packets.len() >= 2);
+        let keys: std::collections::HashSet<_> = f
+            .packets
+            .iter()
+            .map(|p| ParsedFrame::parse(&p.frame).unwrap().flow_key().unwrap())
+            .collect();
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn timestamps_increase_along_flow() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = synth_flow(&profile(TransportKind::RawTcp), client(), 5.0, &mut rng, false);
+        for w in f.packets.windows(2) {
+            assert!(w[1].ts >= w[0].ts);
+        }
+        assert!(f.packets[0].ts >= 5.0);
+    }
+}

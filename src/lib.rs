@@ -1,0 +1,28 @@
+//! # debunk
+//!
+//! Umbrella crate for the Rust reproduction of *"The Sweet Danger of
+//! Sugar: Debunking Representation Learning for Encrypted Traffic
+//! Classification"* (SIGCOMM 2025).
+//!
+//! Re-exports the workspace crates:
+//!
+//! - [`net_packet`] — wire formats, checksums, pcap I/O
+//! - [`traffic_synth`] — synthetic labelled traffic with realistic
+//!   TCP dynamics and spurious LAN chatter
+//! - [`dataset`] — cleaning, splitting, sampling, ablation transforms
+//! - [`nn`] — minimal dense NN library (tensors, backprop, Adam)
+//! - [`encoders`] — the six representation-learning model analogues
+//! - [`shallow`] — RF / GBDT / k-NN baselines + Table-12 features
+//! - [`debunk_core`] — the experiment runner and metrics
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `repro` binary (`cargo run --release -p bench --bin repro -- all`)
+//! to regenerate every table and figure of the paper.
+
+pub use dataset;
+pub use debunk_core;
+pub use encoders;
+pub use net_packet;
+pub use nn;
+pub use shallow;
+pub use traffic_synth;

@@ -1,0 +1,103 @@
+//! Property-based tests on the dataset-preparation invariants the
+//! paper's protocol depends on.
+
+use debunk::dataset::record::Prepared;
+use debunk::dataset::split::{
+    balanced_undersample, kfold, per_flow_split, per_packet_split, stratified_sample,
+};
+use debunk::dataset::Task;
+use debunk::traffic_synth::{DatasetKind, DatasetSpec};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn prepared(seed: u64) -> Prepared {
+    let t = DatasetSpec { kind: DatasetKind::UstcTfc, seed, flows_per_class: 2 }.generate();
+    Prepared::from_trace(&t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn per_flow_split_partition_invariants(seed in 0u64..1000, split_seed in 0u64..1000) {
+        let data = prepared(seed);
+        let s = per_flow_split(&data, 0.8, 1000, split_seed);
+        // 1. no index duplicated
+        let train: HashSet<usize> = s.train.iter().copied().collect();
+        let test: HashSet<usize> = s.test.iter().copied().collect();
+        prop_assert_eq!(train.len(), s.train.len());
+        prop_assert_eq!(test.len(), s.test.len());
+        prop_assert!(train.is_disjoint(&test));
+        // 2. flow atomicity
+        let train_flows: HashSet<u32> = s.train.iter().map(|&i| data.records[i].flow_id).collect();
+        let test_flows: HashSet<u32> = s.test.iter().map(|&i| data.records[i].flow_id).collect();
+        prop_assert!(train_flows.is_disjoint(&test_flows));
+        // 3. both sides non-empty
+        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
+    }
+
+    #[test]
+    fn per_packet_split_uses_every_index_once(seed in 0u64..1000) {
+        let data = prepared(seed);
+        let s = per_packet_split(&data, 0.8, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..data.records.len()).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn balanced_undersample_is_subset_and_balanced(seed in 0u64..500) {
+        let data = prepared(seed);
+        let all: Vec<usize> = (0..data.records.len()).collect();
+        let task = Task::UstcApp;
+        let label = |r: &debunk::dataset::record::PacketRecord| task.label_of(&data, r);
+        let bal = balanced_undersample(&data, &all, &label, seed);
+        let set: HashSet<usize> = all.iter().copied().collect();
+        prop_assert!(bal.iter().all(|i| set.contains(i)));
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for &i in &bal {
+            *counts.entry(label(&data.records[i])).or_default() += 1;
+        }
+        let min = counts.values().min().copied().unwrap_or(0);
+        let max = counts.values().max().copied().unwrap_or(0);
+        prop_assert_eq!(min, max);
+    }
+
+    #[test]
+    fn stratified_sample_preserves_every_class(seed in 0u64..500, frac in 0.2f64..0.9) {
+        let data = prepared(seed);
+        let all: Vec<usize> = (0..data.records.len()).collect();
+        let task = Task::UstcApp;
+        let label = |r: &debunk::dataset::record::PacketRecord| task.label_of(&data, r);
+        let sub = stratified_sample(&data, &all, frac, &label, seed);
+        let before: HashSet<u16> = all.iter().map(|&i| label(&data.records[i])).collect();
+        let after: HashSet<u16> = sub.iter().map(|&i| label(&data.records[i])).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn kfold_is_a_partition(n in 10usize..200, k in 2usize..6, seed in any::<u64>()) {
+        let idx: Vec<usize> = (0..n).collect();
+        let folds = kfold(&idx, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all_val: Vec<usize> = folds.iter().flat_map(|(_, v)| v.clone()).collect();
+        all_val.sort_unstable();
+        prop_assert_eq!(all_val, idx);
+        for (train, val) in &folds {
+            let t: HashSet<usize> = train.iter().copied().collect();
+            prop_assert!(val.iter().all(|v| !t.contains(v)));
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_across_scales(seed in 0u64..200, flows in 2usize..5) {
+        let s = DatasetSpec { kind: DatasetKind::IscxVpn, seed, flows_per_class: flows };
+        let a = s.generate();
+        let b = s.generate();
+        prop_assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records).take(50) {
+            prop_assert_eq!(&x.frame, &y.frame);
+        }
+    }
+}

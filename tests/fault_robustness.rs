@@ -1,0 +1,78 @@
+//! End-to-end robustness: a degraded capture (drops, duplicates,
+//! reordering, corruption) must flow through cleaning, parsing and
+//! classification without panics and with graceful accuracy decay.
+
+use debunk::dataset::clean::clean_trace;
+use debunk::dataset::record::Prepared;
+use debunk::dataset::split::{balanced_undersample, per_flow_split};
+use debunk::dataset::Task;
+use debunk::debunk_core::metrics::macro_f1;
+use debunk::shallow::features::{extract_features, FeatureConfig};
+use debunk::shallow::forest::{ForestParams, RandomForest};
+use debunk::traffic_synth::faults::{inject_faults, FaultConfig};
+use debunk::traffic_synth::{DatasetKind, DatasetSpec};
+use rand::SeedableRng;
+
+fn f1_at_fault_rate(loss: f64) -> f64 {
+    let mut trace =
+        DatasetSpec { kind: DatasetKind::UstcTfc, seed: 41, flows_per_class: 3 }.generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    inject_faults(
+        &mut trace,
+        FaultConfig {
+            drop: loss,
+            duplicate: loss / 4.0,
+            reorder: loss / 2.0,
+            corrupt: loss / 10.0,
+            reorder_delay: 0.05,
+        },
+        &mut rng,
+    );
+    clean_trace(&mut trace);
+    let data = Prepared::from_trace(&trace);
+    let task = Task::UstcBinary;
+    let split = per_flow_split(&data, 0.8, 1000, 3);
+    let label = |r: &debunk::dataset::record::PacketRecord| task.label_of(&data, r);
+    let train = balanced_undersample(&data, &split.train, &label, 3);
+    let feats = |idx: &[usize]| -> Vec<[f32; 39]> {
+        idx.iter().map(|&i| extract_features(&data.records[i], FeatureConfig::default())).collect()
+    };
+    let (xtr, xte) = (feats(&train), feats(&split.test));
+    fn rows(x: &[[f32; 39]]) -> Vec<&[f32]> {
+        x.iter().map(|r| &r[..]).collect()
+    }
+    let ytr: Vec<u16> = train.iter().map(|&i| label(&data.records[i])).collect();
+    let yte: Vec<u16> = split.test.iter().map(|&i| label(&data.records[i])).collect();
+    let rf = RandomForest::fit(&rows(&xtr), &ytr, 2, ForestParams::default(), 3);
+    macro_f1(&rf.predict(&rows(&xte)), &yte, 2)
+}
+
+#[test]
+fn degraded_capture_still_classifies() {
+    let clean = f1_at_fault_rate(0.0);
+    let degraded = f1_at_fault_rate(0.15);
+    assert!(clean > 0.85, "clean capture F1 {clean}");
+    assert!(degraded > 0.6, "15%-fault capture F1 {degraded} — should degrade gracefully");
+    assert!(degraded <= clean + 0.05, "faults should not improve accuracy");
+}
+
+#[test]
+fn heavily_corrupted_capture_never_panics() {
+    let mut trace =
+        DatasetSpec { kind: DatasetKind::IscxVpn, seed: 43, flows_per_class: 2 }.generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    inject_faults(
+        &mut trace,
+        FaultConfig { drop: 0.1, duplicate: 0.1, reorder: 0.3, corrupt: 0.5, reorder_delay: 0.2 },
+        &mut rng,
+    );
+    let report = clean_trace(&mut trace);
+    // corruption creates unparseable frames; they land in the removal
+    // stats or fail parsing later — either way, no panic
+    let data = Prepared::from_trace(&trace);
+    assert!(data.records.len() + report.total_before - report.total_after <= report.total_before);
+    for r in data.records.iter().take(500) {
+        let _ = r.payload();
+        let _ = r.headers();
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: any segmentation of a byte stream, delivered in any
+//! order with duplicates, reassembles to the original bytes; metric
+//! invariants hold for arbitrary predictions.
+
+use debunk::debunk_core::metrics::{accuracy, confusion_matrix, macro_f1, micro_f1};
+use debunk::net_packet::reassembly::StreamReassembler;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_segmentation_reassembles(
+        data in proptest::collection::vec(any::<u8>(), 1..400),
+        cuts in proptest::collection::vec(1usize..400, 0..8),
+        order_seed in any::<u64>(),
+        base in any::<u32>(),
+        dup_first in any::<bool>(),
+    ) {
+        // build segment boundaries
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % data.len()).collect();
+        bounds.push(0);
+        bounds.push(data.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut segments: Vec<(u32, &[u8])> = bounds
+            .windows(2)
+            .map(|w| (base.wrapping_add(w[0] as u32), &data[w[0]..w[1]]))
+            .collect();
+        // deterministic shuffle
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(order_seed);
+        segments.shuffle(&mut rng);
+        if dup_first && !segments.is_empty() {
+            let first = segments[0];
+            segments.push(first);
+        }
+        let mut r = StreamReassembler::new(base);
+        for (seq, seg) in segments {
+            r.push(seq, seg);
+        }
+        prop_assert_eq!(r.assembled(), &data[..]);
+        prop_assert!(!r.has_gap());
+    }
+
+    #[test]
+    fn metric_invariants(
+        labels in proptest::collection::vec(0u16..6, 1..100),
+        preds_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(preds_seed);
+        let preds: Vec<u16> = labels.iter().map(|_| rng.gen_range(0..6)).collect();
+        let acc = accuracy(&preds, &labels);
+        let f1 = macro_f1(&preds, &labels, 6);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert_eq!(micro_f1(&preds, &labels), acc);
+        // confusion matrix row sums equal per-class supports
+        let m = confusion_matrix(&preds, &labels, 6);
+        for c in 0..6u16 {
+            let support = labels.iter().filter(|&&l| l == c).count() as u32;
+            let row_sum: u32 = m[usize::from(c)].iter().sum();
+            prop_assert_eq!(row_sum, support);
+        }
+        // perfect prediction maxes both metrics
+        prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+        prop_assert_eq!(macro_f1(&labels, &labels, 6), 1.0);
+    }
+
+    #[test]
+    fn standardizer_always_finite(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1e6f32..1e6, 3),
+            2..30,
+        ),
+    ) {
+        use debunk::debunk_core::standardize::Standardizer;
+        use debunk::nn::Tensor;
+        let mut train = Tensor::from_rows(&rows);
+        let mut test = Tensor::from_rows(&rows[..1.min(rows.len())].to_vec());
+        Standardizer::fit_apply(&mut train, &mut test);
+        prop_assert!(train.data.iter().all(|v| v.is_finite()));
+        prop_assert!(test.data.iter().all(|v| v.is_finite()));
+    }
+}

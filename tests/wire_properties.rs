@@ -1,0 +1,152 @@
+//! Property-based tests on the wire-format substrate: arbitrary field
+//! values must round-trip through emit → parse, checksums must verify,
+//! and parsers must never panic on arbitrary bytes.
+
+use debunk::net_packet::builder::FrameBuilder;
+use debunk::net_packet::ethernet::EthernetFrame;
+use debunk::net_packet::frame::{ParsedFrame, TransportInfo};
+use debunk::net_packet::ipv4::{Ipv4Addr, Ipv4Packet};
+use debunk::net_packet::pcap::{self, PcapPacket};
+use debunk::net_packet::tcp::{TcpFlags, TcpOption, TcpSegment};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tcp_frame_round_trips(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in 1u16..u16::MAX,
+        dport in 1u16..u16::MAX,
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        ttl in 1u8..=255,
+        tsval in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let raw = FrameBuilder::tcp_ipv4_default()
+            .src(Ipv4Addr(src), sport)
+            .dst(Ipv4Addr(dst), dport)
+            .seq_ack(seq, ack)
+            .window(window)
+            .ttl(ttl)
+            .flags(TcpFlags::PSH | TcpFlags::ACK)
+            .option(TcpOption::Nop)
+            .option(TcpOption::Nop)
+            .option(TcpOption::Timestamps(tsval, 0))
+            .payload(payload.clone())
+            .build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        match p.transport {
+            TransportInfo::Tcp { src_port, dst_port, seq: s, ack: a, window: w, timestamps, .. } => {
+                prop_assert_eq!(src_port, sport);
+                prop_assert_eq!(dst_port, dport);
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(a, ack);
+                prop_assert_eq!(w, window);
+                prop_assert_eq!(timestamps, Some((tsval, 0)));
+            }
+            _ => prop_assert!(false, "expected TCP"),
+        }
+        prop_assert_eq!(p.ip.ttl(), ttl);
+        prop_assert_eq!(p.payload_of(&raw), &payload[..]);
+
+        // Checksums must verify.
+        let eth = EthernetFrame::new_checked(&raw[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        prop_assert!(tcp.verify_checksum_v4(ip.src_addr(), ip.dst_addr()));
+    }
+
+    #[test]
+    fn udp_frame_round_trips(
+        sport in 1u16..u16::MAX,
+        dport in 1u16..u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let raw = FrameBuilder::udp_ipv4_default()
+            .src(Ipv4Addr::new(10, 0, 0, 1), sport)
+            .dst(Ipv4Addr::new(10, 0, 0, 2), dport)
+            .payload(payload.clone())
+            .build();
+        let p = ParsedFrame::parse(&raw).unwrap();
+        match p.transport {
+            TransportInfo::Udp { src_port, dst_port, .. } => {
+                prop_assert_eq!(src_port, sport);
+                prop_assert_eq!(dst_port, dport);
+            }
+            _ => prop_assert!(false, "expected UDP"),
+        }
+        prop_assert_eq!(p.payload_of(&raw), &payload[..]);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Must return Ok or Err, never panic.
+        let _ = ParsedFrame::parse(&bytes);
+        let _ = debunk::net_packet::ident::identify(&bytes);
+        let _ = EthernetFrame::new_checked(&bytes[..]);
+        let _ = Ipv4Packet::new_checked(&bytes[..]);
+        let _ = TcpSegment::new_checked(&bytes[..]);
+        let _ = debunk::net_packet::tls::TlsRecord::new_checked(&bytes[..]);
+        let _ = debunk::net_packet::dns::DnsMessage::new_checked(&bytes[..]);
+    }
+
+    #[test]
+    fn pcap_round_trips_arbitrary_captures(
+        frames in proptest::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..300)),
+            0..20,
+        )
+    ) {
+        let pkts: Vec<PcapPacket> = frames
+            .into_iter()
+            .map(|(ts_sec, ts_usec, data)| PcapPacket { ts_sec, ts_usec, data })
+            .collect();
+        let bytes = pcap::write_all(&pkts);
+        let back = pcap::read_all(&bytes[..]).unwrap();
+        prop_assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn checksum_incremental_matches_oneshot(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        // Incremental equals one-shot when the boundary is even-aligned.
+        use debunk::net_packet::checksum::{checksum, Checksum};
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        if a.len() % 2 == 0 {
+            let mut inc = Checksum::new();
+            inc.add_bytes(&a);
+            inc.add_bytes(&b);
+            prop_assert_eq!(inc.finish(), checksum(&whole));
+        }
+    }
+
+    #[test]
+    fn flow_id_randomisation_keeps_frames_valid(
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut raw = FrameBuilder::tcp_ipv4_default()
+            .seq_ack(seq, ack)
+            .option(TcpOption::Nop)
+            .option(TcpOption::Nop)
+            .option(TcpOption::Timestamps(1, 2))
+            .payload(vec![0xaa; 32])
+            .build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        prop_assert!(debunk::dataset::transform::randomize_flow_ids(&mut raw, &mut rng));
+        let eth = EthernetFrame::new_checked(&raw[..]).unwrap();
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        prop_assert!(tcp.verify_checksum_v4(ip.src_addr(), ip.dst_addr()));
+    }
+}
