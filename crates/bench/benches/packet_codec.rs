@@ -37,9 +37,8 @@ fn bench_codec(c: &mut Criterion) {
     });
     g.finish();
 
-    let packets: Vec<PcapPacket> = (0..100)
-        .map(|i| PcapPacket { ts_sec: i, ts_usec: 0, data: frame.clone() })
-        .collect();
+    let packets: Vec<PcapPacket> =
+        (0..100).map(|i| PcapPacket { ts_sec: i, ts_usec: 0, data: frame.clone() }).collect();
     let bytes = pcap::write_all(&packets);
     let mut g = c.benchmark_group("pcap");
     g.throughput(Throughput::Bytes(bytes.len() as u64));

@@ -1,27 +1,72 @@
-//! Learning-curve check for the per-packet shortcut cell.
+//! Learning-curve check for the per-packet shortcut cell, expressed as
+//! a one-off [`Experiment`] run through the engine.
+
 use dataset::Task;
+use debunk_core::engine::{
+    run_experiment, CellOutput, CellSpec, EncoderSpec, Experiment, RunContext, RunOptions,
+};
 use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
-use debunk_core::pipeline::PreparedTask;
-use encoders::model::{EncoderModel, ModelKind};
+use encoders::model::ModelKind;
+use encoders::pcap_encoder::PretrainBudget;
+
+const SWEEP: [(usize, f32); 3] = [(20, 0.02), (40, 0.02), (40, 0.05)];
+
+struct CurveProbe;
+
+impl Experiment for CurveProbe {
+    fn id(&self) -> &'static str {
+        "curve_probe"
+    }
+
+    fn description(&self) -> &'static str {
+        "unfrozen epoch/lr sweep on the per-packet shortcut cell"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        SWEEP
+            .into_iter()
+            .map(|(epochs, lr_enc)| {
+                CellSpec::silent(
+                    "TLS-120",
+                    "ET-BERT",
+                    format!("epochs={epochs} lr_enc={lr_enc}"),
+                    move |ctx, cfg| {
+                        let prep = ctx.prep(Task::Tls120);
+                        let enc = ctx.encoder(EncoderSpec::fresh(ModelKind::EtBert));
+                        let cfg = CellConfig {
+                            unfrozen_epochs: epochs,
+                            lr_encoder: lr_enc,
+                            kfolds: 2,
+                            max_train: 8000,
+                            max_test: 3000,
+                            ..*cfg
+                        };
+                        run_cell(&prep, &enc, SplitPolicy::PerPacket, false, &cfg).into()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        for ((epochs, lr_enc), out) in SWEEP.into_iter().zip(outputs) {
+            let s = out.stats.expect("probe cell produces metrics");
+            println!(
+                "epochs={epochs} lr_enc={lr_enc}: AC={:.1} F1={:.1} ({:.0}s)",
+                s.accuracy * 100.0,
+                s.macro_f1 * 100.0,
+                s.train_secs
+            );
+        }
+    }
+}
 
 fn main() {
-    let prep = PreparedTask::build(Task::Tls120, 42, 0.7);
-    let enc = EncoderModel::new(ModelKind::EtBert, 42);
-    for (epochs, lr_enc) in [(20usize, 0.02f32), (40, 0.02), (40, 0.05)] {
-        let cfg = CellConfig {
-            unfrozen_epochs: epochs,
-            lr_encoder: lr_enc,
-            kfolds: 2,
-            max_train: 8000,
-            max_test: 3000,
-            ..Default::default()
-        };
-        let cell = run_cell(&prep, &enc, SplitPolicy::PerPacket, false, &cfg);
-        println!(
-            "epochs={epochs} lr_enc={lr_enc}: AC={:.1} F1={:.1} ({:.0}s)",
-            cell.accuracy * 100.0,
-            cell.macro_f1 * 100.0,
-            cell.train_secs
-        );
-    }
+    let ctx = RunContext::new(
+        42,
+        0.7,
+        PretrainBudget::default(),
+        CellConfig { seed: 42, ..Default::default() },
+    );
+    run_experiment(&CurveProbe, &ctx, &RunOptions { jobs: 1, out_dir: None });
 }

@@ -1,40 +1,84 @@
 //! Focused calibration of the frozen Pcap-Encoder cell on TLS-120:
 //! sweep the Q&A pre-training learning rate to find the point where
 //! header alignment helps without collapsing the random-feature
-//! geometry of the embedding table.
+//! geometry of the embedding table. Expressed as a one-off
+//! [`Experiment`] run through the engine.
 
 use dataset::Task;
+use debunk_core::engine::{
+    run_experiment, CellOutput, CellSpec, EncoderSpec, Experiment, RunContext, RunOptions,
+};
 use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
-use debunk_core::pipeline::PreparedTask;
-use encoders::model::{EncoderModel, ModelKind};
+use encoders::model::ModelKind;
 use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
 
-fn main() {
-    let t0 = std::time::Instant::now();
-    let prep = PreparedTask::build(Task::Tls120, 1, 1.0);
-    println!("[{:.0?}] dataset ready", t0.elapsed());
-    let cfg = CellConfig { frozen_epochs: 40, max_train: 9600, kfolds: 2, ..Default::default() };
+const QA_LRS: [f32; 3] = [0.3, 0.1, 0.03];
 
-    let rand_enc = EncoderModel::new(ModelKind::PcapEncoder, 7);
-    let cell = run_cell(&prep, &rand_enc, SplitPolicy::PerFlow, true, &cfg);
-    println!(
-        "[{:.0?}] random-init: AC={:.1} F1={:.1}",
-        t0.elapsed(),
-        cell.accuracy * 100.0,
-        cell.macro_f1 * 100.0
-    );
+struct FrozenProbe;
 
-    for lr in [0.3f32, 0.1, 0.03] {
-        let budget = PretrainBudget { corpus_flows: 200, ae_epochs: 1, qa_epochs: 3, lr };
-        let phases = pretrain_pcap_encoder(PcapEncoderVariant::AutoencoderQa, budget, 7);
-        let qa = phases.qa_report.as_ref().map(|r| r.mean_accuracy()).unwrap_or(0.0);
-        let cell = run_cell(&prep, &phases.model, SplitPolicy::PerFlow, true, &cfg);
-        println!(
-            "[{:.0?}] qa_lr={lr}: qa_acc={:.2} downstream AC={:.1} F1={:.1}",
-            t0.elapsed(),
-            qa,
-            cell.accuracy * 100.0,
-            cell.macro_f1 * 100.0
-        );
+impl Experiment for FrozenProbe {
+    fn id(&self) -> &'static str {
+        "frozen_probe"
     }
+
+    fn description(&self) -> &'static str {
+        "Q&A learning-rate sweep for the frozen Pcap-Encoder cell"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells =
+            vec![CellSpec::silent("TLS-120", "Pcap-Encoder", "random-init", |ctx, cfg| {
+                let prep = ctx.prep(Task::Tls120);
+                let enc = ctx.encoder(EncoderSpec::fresh(ModelKind::PcapEncoder));
+                run_cell(&prep, &enc, SplitPolicy::PerFlow, true, cfg).into()
+            })];
+        for lr in QA_LRS {
+            cells.push(CellSpec::silent(
+                "TLS-120",
+                "Pcap-Encoder",
+                format!("qa_lr={lr}"),
+                move |ctx, cfg| {
+                    // Pre-train directly (not via the store): the probe
+                    // measures the pre-training phase itself and needs
+                    // the Q&A report alongside the model.
+                    let budget =
+                        PretrainBudget { corpus_flows: 200, ae_epochs: 1, qa_epochs: 3, lr };
+                    let phases = pretrain_pcap_encoder(
+                        PcapEncoderVariant::AutoencoderQa,
+                        budget,
+                        ctx.pretrain_seed(),
+                    );
+                    let qa = phases.qa_report.as_ref().map(|r| r.mean_accuracy()).unwrap_or(0.0);
+                    let prep = ctx.prep(Task::Tls120);
+                    let cell = run_cell(&prep, &phases.model, SplitPolicy::PerFlow, true, cfg);
+                    let mut out = CellOutput::from(cell);
+                    out.values.push(("qa_acc".into(), qa));
+                    out
+                },
+            ));
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let s = outputs[0].stats.expect("random-init cell produces metrics");
+        println!("random-init: AC={:.1} F1={:.1}", s.accuracy * 100.0, s.macro_f1 * 100.0);
+        for (lr, out) in QA_LRS.into_iter().zip(&outputs[1..]) {
+            let s = out.stats.expect("sweep cell produces metrics");
+            let qa = out.values.iter().find(|(k, _)| k == "qa_acc").map(|(_, v)| *v).unwrap_or(0.0);
+            println!(
+                "qa_lr={lr}: qa_acc={:.2} downstream AC={:.1} F1={:.1}",
+                qa,
+                s.accuracy * 100.0,
+                s.macro_f1 * 100.0
+            );
+        }
+    }
+}
+
+fn main() {
+    let cfg =
+        CellConfig { seed: 1, frozen_epochs: 40, max_train: 9600, kfolds: 2, ..Default::default() };
+    let ctx = RunContext::new(1, 1.0, PretrainBudget::default(), cfg);
+    run_experiment(&FrozenProbe, &ctx, &RunOptions { jobs: 1, out_dir: None });
 }

@@ -2,1055 +2,150 @@
 //! evaluation from the synthetic benchmark.
 //!
 //! ```text
-//! repro <experiment> [--scale X] [--seed N] [--budget fast|medium|full] [--out DIR]
+//! repro <experiment|all> [options]
+//! repro --list
 //!
-//! experiments:
-//!   table2   dataset/task statistics
-//!   table3   packet classification, per-flow split, frozen encoders
-//!   table4   frozen vs unfrozen, per-flow split (VPN-app, TLS-120)
-//!   table5   frozen vs unfrozen, per-packet split
-//!   table6   implicit-flow-ID ablation on ET-BERT (TLS-120)
-//!   table7   Pcap-Encoder input ablation
-//!   table8   shallow baselines, base vs w/o IP
-//!   table9   flow-level classification
-//!   table11  Pcap-Encoder pre-training ablation
-//!   table13  protocol-filter cleaning statistics
-//!   fig1     headline summary (TLS-120)
-//!   fig4     5-NN purity of ET-BERT embeddings, frozen vs unfrozen
-//!   fig5     RF feature importance, with and without IP
-//!   fig6     relative training/inference time
-//!   qa       Pcap-Encoder Q&A pre-training accuracy (App. A.1.3)
-//!   repeat_vs_pad     packet-input strategy ablation (§5 fn. 11)
-//!   pooling           bottleneck pooling ablation (App. A.1.2)
-//!   advanced_splits   per-flow vs per-client vs per-time splits (§4.1)
-//!   extended_models   Table-1 models the paper does not evaluate (PERT, PacRep, PTU)
-//!   robustness        RF accuracy vs capture-fault rate (extension)
-//!   balance_ablation  balanced vs unbalanced flow training (§6.2)
-//!   all      everything above
+//! options:
+//!   --scale X        dataset scale multiplier (default: preset's)
+//!   --seed N         base seed (default 42)
+//!   --budget B       fast | medium | full (default medium)
+//!   --fast           shorthand for --budget fast
+//!   --jobs N         worker threads for independent cells (default 1)
+//!   --out DIR        result-record directory (default "results")
+//!   --cache-dir DIR  persist pre-trained encoder checkpoints in DIR
+//!   --list           print registered experiments and exit
 //! ```
+//!
+//! The experiments themselves live in `debunk_core::engine::suite`; this
+//! binary only parses flags and hands a filter to the registry.
 
-use dataset::transform::InputAblation;
-use dataset::Task;
-use debunk_core::experiment::{
-    build_encoder, embeddings_for_purity, run_cell, CellConfig, CellResult, FlowIdAblation,
-    SplitPolicy,
-};
-use debunk_core::flow_experiment::{run_flow_cell, run_flow_cell_majority_vote};
-use debunk_core::pipeline::{PreparedTask, TaskCache};
-use debunk_core::report::{bar_chart, ResultRecord, TableBuilder};
-use debunk_core::shallow_baselines::{run_shallow, ShallowModel};
-use encoders::model::{EncoderModel, ModelKind};
-use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
-use encoders::pretrain::pretrain_corpus;
-use encoders::qa::{corrupt_checksums, qa_pretrain};
-use nn::Mlp;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use shallow::features::{feature_names, FeatureConfig};
-use shallow::purity::knn_purity;
-use std::collections::HashMap;
-use std::io::Write;
+use debunk_core::engine::{default_registry, Preset, RunContext, RunOptions};
+use std::path::PathBuf;
+use std::process::exit;
 
-struct Ctx {
+struct Cli {
+    experiment: String,
+    preset: Preset,
     seed: u64,
-    scale: f64,
-    budget: PretrainBudget,
-    cfg: CellConfig,
-    cache: TaskCache,
-    encoders: HashMap<(ModelKind, bool), EncoderModel>,
-    records: Vec<ResultRecord>,
-    out_dir: String,
+    scale: Option<f64>,
+    jobs: usize,
+    out_dir: PathBuf,
+    cache_dir: Option<PathBuf>,
+    list: bool,
 }
 
-impl Ctx {
-    fn prep(&self, task: Task) -> PreparedTask {
-        self.cache.get(task, self.seed, self.scale)
-    }
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all> [--scale X] [--seed N] [--budget fast|medium|full] \
+         [--fast] [--jobs N] [--out DIR] [--cache-dir DIR]\n       repro --list"
+    );
+    exit(2);
+}
 
-    fn encoder(&mut self, kind: ModelKind, pretrained: bool) -> EncoderModel {
-        if let Some(e) = self.encoders.get(&(kind, pretrained)) {
-            return e.clone();
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        experiment: String::new(),
+        preset: Preset::Medium,
+        seed: 42,
+        scale: None,
+        jobs: 1,
+        out_dir: PathBuf::from("results"),
+        cache_dir: None,
+        list: false,
+    };
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--list" => cli.list = true,
+            "--fast" => cli.preset = Preset::Fast,
+            "--budget" => {
+                let v = value("--budget");
+                cli.preset = Preset::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown budget '{v}' (expected fast|medium|full)");
+                    usage();
+                });
+            }
+            "--seed" => {
+                let v = value("--seed");
+                cli.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --seed '{v}'");
+                    usage();
+                });
+            }
+            "--scale" => {
+                let v = value("--scale");
+                cli.scale = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --scale '{v}'");
+                    usage();
+                }));
+            }
+            "--jobs" => {
+                let v = value("--jobs");
+                cli.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --jobs '{v}'");
+                    usage();
+                });
+            }
+            "--out" => cli.out_dir = PathBuf::from(value("--out")),
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+            _ => positional.push(arg),
         }
-        eprintln!("  [pretrain] {} (pretrained={pretrained})", kind.name());
-        let e = build_encoder(kind, pretrained, self.budget, self.seed ^ 0xabc);
-        self.encoders.insert((kind, pretrained), e.clone());
-        e
     }
-
-    fn record(&mut self, exp: &str, task: &str, model: &str, setting: &str, c: &CellResult) {
-        self.records.push(ResultRecord {
-            experiment: exp.into(),
-            task: task.into(),
-            model: model.into(),
-            setting: setting.into(),
-            accuracy: c.accuracy * 100.0,
-            macro_f1: c.macro_f1 * 100.0,
-            train_secs: c.train_secs,
-            infer_secs: c.infer_secs,
-        });
-    }
-
-    fn flush_records(&mut self, exp: &str) {
-        if self.records.is_empty() {
-            return;
+    match positional.as_slice() {
+        [] if cli.list => {}
+        [] => usage(),
+        [exp] => cli.experiment = (*exp).clone(),
+        [_, extra, ..] => {
+            eprintln!("error: unexpected argument '{extra}'");
+            usage();
         }
-        std::fs::create_dir_all(&self.out_dir).ok();
-        let path = format!("{}/{exp}.json", self.out_dir);
-        let json = serde_json::to_string_pretty(&self.records).expect("serialise records");
-        std::fs::File::create(&path)
-            .and_then(|mut f| f.write_all(json.as_bytes()))
-            .unwrap_or_else(|e| eprintln!("warning: could not write {path}: {e}"));
-        eprintln!("  [saved] {path}");
-        self.records.clear();
     }
+    cli
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let exp = args.first().cloned().unwrap_or_else(|| {
-        eprintln!("usage: repro <experiment> [--scale X] [--seed N] [--fast] [--out DIR]");
-        std::process::exit(2);
-    });
-    let get_flag = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-    };
-    let preset = get_flag("--budget").unwrap_or_else(|| {
-        if args.iter().any(|a| a == "--fast") { "fast".into() } else { "medium".into() }
-    });
-    let seed: u64 = get_flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let default_scale = match preset.as_str() {
-        "fast" => 0.4,
-        "full" => 1.0,
-        _ => 0.7,
-    };
-    let scale: f64 = get_flag("--scale").and_then(|v| v.parse().ok()).unwrap_or(default_scale);
-    let out_dir = get_flag("--out").unwrap_or_else(|| "results".into());
+    let cli = parse_cli(&args);
+    let registry = default_registry();
 
-    let mut cfg = CellConfig { seed, ..Default::default() };
-    let mut budget = PretrainBudget { corpus_flows: 200, ae_epochs: 2, qa_epochs: 4, lr: 0.01 };
-    match preset.as_str() {
-        "fast" => {
-            cfg.frozen_epochs = 10;
-            cfg.unfrozen_epochs = 5;
-            cfg.kfolds = 2;
-            cfg.max_train = 1500;
-            cfg.max_test = 1500;
-            budget = PretrainBudget { corpus_flows: 60, ae_epochs: 1, qa_epochs: 2, lr: 0.01 };
+    if cli.list {
+        println!("experiments:");
+        for exp in registry.iter() {
+            println!("  {:<18} {}", exp.id(), exp.description());
         }
-        "full" => {
-            cfg.kfolds = 3;
-        }
-        _ => {
-            // medium: the recorded configuration — every phenomenon at
-            // single-core-friendly cost.
-            cfg.frozen_epochs = 30;
-            cfg.unfrozen_epochs = 20;
-            cfg.kfolds = 2;
-            cfg.max_train = 8000;
-            cfg.max_test = 3000;
-            budget = PretrainBudget { corpus_flows: 150, ae_epochs: 1, qa_epochs: 3, lr: 0.01 };
-        }
+        println!("  {:<18} everything above", "all");
+        return;
     }
-    let mut ctx = Ctx {
-        seed,
-        scale,
-        budget,
-        cfg,
-        cache: TaskCache::new(),
-        encoders: HashMap::new(),
-        records: Vec::new(),
-        out_dir,
-    };
 
+    let mut ctx = RunContext::from_preset(cli.preset, cli.seed, cli.scale);
+    if let Some(dir) = cli.cache_dir {
+        ctx = ctx.with_cache_dir(dir);
+    }
+    eprintln!(
+        "repro: experiment={} budget={} seed={} scale={} jobs={}",
+        cli.experiment,
+        cli.preset.name(),
+        cli.seed,
+        ctx.scale,
+        cli.jobs,
+    );
+
+    let opts = RunOptions { jobs: cli.jobs, out_dir: Some(cli.out_dir) };
     let t0 = std::time::Instant::now();
-    match exp.as_str() {
-        "table2" => table2(&mut ctx),
-        "table3" => table3(&mut ctx),
-        "table4" => table4_5(&mut ctx, SplitPolicy::PerFlow, "table4"),
-        "table5" => table4_5(&mut ctx, SplitPolicy::PerPacket, "table5"),
-        "table6" => table6(&mut ctx),
-        "table7" => table7(&mut ctx),
-        "table8" => table8(&mut ctx),
-        "table9" => table9(&mut ctx),
-        "table11" => table11(&mut ctx),
-        "table13" => table13(&mut ctx),
-        "fig1" => fig1(&mut ctx),
-        "fig4" => fig4(&mut ctx),
-        "fig5" => fig5(&mut ctx),
-        "fig6" => fig6(&mut ctx),
-        "qa" => qa_experiment(&mut ctx),
-        "repeat_vs_pad" => repeat_vs_pad(&mut ctx),
-        "pooling" => pooling_ablation(&mut ctx),
-        "advanced_splits" => advanced_splits(&mut ctx),
-        "extended_models" => extended_models(&mut ctx),
-        "robustness" => robustness(&mut ctx),
-        "balance_ablation" => balance_ablation(&mut ctx),
-        "all" => {
-            table2(&mut ctx);
-            table13(&mut ctx);
-            table3(&mut ctx);
-            table4_5(&mut ctx, SplitPolicy::PerFlow, "table4");
-            table4_5(&mut ctx, SplitPolicy::PerPacket, "table5");
-            table6(&mut ctx);
-            table7(&mut ctx);
-            table8(&mut ctx);
-            table9(&mut ctx);
-            table11(&mut ctx);
-            fig1(&mut ctx);
-            fig4(&mut ctx);
-            fig5(&mut ctx);
-            fig6(&mut ctx);
-            qa_experiment(&mut ctx);
-            repeat_vs_pad(&mut ctx);
-            balance_ablation(&mut ctx);
-            pooling_ablation(&mut ctx);
-            advanced_splits(&mut ctx);
-            extended_models(&mut ctx);
-            robustness(&mut ctx);
-        }
-        other => {
-            eprintln!("unknown experiment: {other}");
-            std::process::exit(2);
-        }
+    if let Err(unknown) = registry.run(&cli.experiment, &ctx, &opts) {
+        eprintln!("unknown experiment: {unknown} (try --list)");
+        exit(2);
     }
     eprintln!("total elapsed: {:.1?}", t0.elapsed());
-}
-
-/// Table 2: dataset and task statistics under the benchmark protocol.
-fn table2(ctx: &mut Ctx) {
-    let mut t = TableBuilder::new(
-        "Table 2: downstream datasets and tasks (synthetic analogue)",
-        &["#class", "#train(bal)", "#test", "#flows", "#packets"],
-    );
-    for task in Task::ALL {
-        let prep = ctx.prep(task);
-        let split = dataset::split::per_flow_split(
-            &prep.data,
-            ctx.cfg.train_frac,
-            ctx.cfg.max_flow_packets,
-            ctx.seed,
-        );
-        let label = |r: &dataset::record::PacketRecord| task.label_of(&prep.data, r);
-        let bal = dataset::split::balanced_undersample(&prep.data, &split.train, &label, ctx.seed);
-        t.row(
-            task.name(),
-            &[
-                task.n_classes().to_string(),
-                bal.len().to_string(),
-                split.test.len().to_string(),
-                prep.data.n_flows().to_string(),
-                prep.data.records.len().to_string(),
-            ],
-        );
-    }
-    println!("{}", t.render());
-    ctx.flush_records("table2");
-}
-
-/// Table 3: packet classification, per-flow split, frozen encoders.
-fn table3(ctx: &mut Ctx) {
-    let mut t = TableBuilder::new(
-        "Table 3: packet classification — per-flow split, frozen encoders",
-        &[
-            "VPNbin AC", "VPNbin F1", "VPNsvc AC", "VPNsvc F1", "VPNapp AC", "VPNapp F1",
-            "USTCbin AC", "USTCbin F1", "USTCapp AC", "USTCapp F1", "TLS120 AC", "TLS120 F1",
-        ],
-    );
-    for kind in ModelKind::ALL {
-        let enc = ctx.encoder(kind, true);
-        let mut vals = Vec::new();
-        for task in Task::ALL {
-            let prep = ctx.prep(task);
-            let cfg = ctx.cfg;
-            let cell = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &cfg);
-            eprintln!(
-                "  table3 {} {}: AC={:.1} F1={:.1}",
-                kind.name(),
-                task.name(),
-                cell.accuracy * 100.0,
-                cell.macro_f1 * 100.0
-            );
-            ctx.record("table3", task.name(), kind.name(), "per-flow/frozen", &cell);
-            vals.push(cell.accuracy);
-            vals.push(cell.macro_f1);
-        }
-        t.row_pct(kind.name(), &vals);
-    }
-    println!("{}", t.render());
-    ctx.flush_records("table3");
-}
-
-/// Tables 4 and 5: frozen vs unfrozen on VPN-app + TLS-120.
-fn table4_5(ctx: &mut Ctx, split: SplitPolicy, exp: &str) {
-    let title = match split {
-        SplitPolicy::PerFlow => "Table 4: per-flow split — frozen vs unfrozen",
-        SplitPolicy::PerPacket => "Table 5: per-packet split — frozen vs unfrozen",
-    };
-    let mut t = TableBuilder::new(
-        title,
-        &[
-            "VPNapp fro AC", "fro F1", "unf AC", "unf F1",
-            "TLS120 fro AC", "fro F1", "unf AC", "unf F1",
-        ],
-    );
-    let setting = |frozen: bool| {
-        format!(
-            "{}/{}",
-            if split == SplitPolicy::PerFlow { "per-flow" } else { "per-packet" },
-            if frozen { "frozen" } else { "unfrozen" }
-        )
-    };
-    for kind in ModelKind::ALL {
-        let enc = ctx.encoder(kind, true);
-        let mut vals = Vec::new();
-        for task in [Task::VpnApp, Task::Tls120] {
-            let prep = ctx.prep(task);
-            for frozen in [true, false] {
-                let cfg = ctx.cfg;
-                let cell = run_cell(&prep, &enc, split, frozen, &cfg);
-                eprintln!(
-                    "  {exp} {} {} {}: AC={:.1} F1={:.1}",
-                    kind.name(),
-                    task.name(),
-                    setting(frozen),
-                    cell.accuracy * 100.0,
-                    cell.macro_f1 * 100.0
-                );
-                ctx.record(exp, task.name(), kind.name(), &setting(frozen), &cell);
-                vals.push(cell.accuracy);
-                vals.push(cell.macro_f1);
-            }
-        }
-        t.row_pct(kind.name(), &vals);
-    }
-    println!("{}", t.render());
-    ctx.flush_records(exp);
-}
-
-/// Table 6: implicit-flow-ID ablation on unfrozen ET-BERT, TLS-120.
-fn table6(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::Tls120);
-    let enc = ctx.encoder(ModelKind::EtBert, true);
-    let fresh = ctx.encoder(ModelKind::EtBert, false);
-    let mut t = TableBuilder::new(
-        "Table 6: implicit flow IDs and pre-training — unfrozen ET-BERT, TLS-120",
-        &["AC", "F1"],
-    );
-    let run = |ctx: &mut Ctx,
-                   label: &str,
-                   split: SplitPolicy,
-                   ablation: FlowIdAblation,
-                   enc: &EncoderModel| {
-        let cfg = CellConfig { flow_id_ablation: ablation, ..ctx.cfg };
-        let cell = run_cell(&prep, enc, split, false, &cfg);
-        eprintln!(
-            "  table6 {label}: AC={:.1} F1={:.1}",
-            cell.accuracy * 100.0,
-            cell.macro_f1 * 100.0
-        );
-        ctx.record("table6", "TLS-120", "ET-BERT", label, &cell);
-        (cell.accuracy, cell.macro_f1)
-    };
-    let (a, f) =
-        run(ctx, "per-packet original", SplitPolicy::PerPacket, FlowIdAblation::None, &enc);
-    t.row_pct("per-packet, original", &[a, f]);
-    let (a, f) = run(
-        ctx,
-        "per-packet w/o seq/ack/ts (test only)",
-        SplitPolicy::PerPacket,
-        FlowIdAblation::TestOnly,
-        &enc,
-    );
-    t.row_pct("w/o SeqNo/AckNo/TS (test)", &[a, f]);
-    let (a, f) = run(
-        ctx,
-        "per-packet w/o seq/ack/ts (train+test)",
-        SplitPolicy::PerPacket,
-        FlowIdAblation::TrainAndTest,
-        &enc,
-    );
-    t.row_pct("w/o SeqNo/AckNo/TS (train+test)", &[a, f]);
-    let (a, f) = run(
-        ctx,
-        "per-packet w/o pre-training",
-        SplitPolicy::PerPacket,
-        FlowIdAblation::None,
-        &fresh,
-    );
-    t.row_pct("w/o pre-training", &[a, f]);
-    let (a, f) = run(ctx, "per-flow original", SplitPolicy::PerFlow, FlowIdAblation::None, &enc);
-    t.row_pct("per-flow, original", &[a, f]);
-    println!("{}", t.render());
-    ctx.flush_records("table6");
-}
-
-/// Table 7: Pcap-Encoder input ablation (per-flow split, frozen).
-fn table7(ctx: &mut Ctx) {
-    let enc = ctx.encoder(ModelKind::PcapEncoder, true);
-    let mut t = TableBuilder::new(
-        "Table 7: Pcap-Encoder input ablation (macro F1, per-flow, frozen)",
-        &["VPN-app F1", "TLS-120 F1"],
-    );
-    for (label, ablation) in [
-        ("w/o IP addr", InputAblation::NoIpAddr),
-        ("w/o header", InputAblation::NoHeader),
-        ("w/o payload", InputAblation::NoPayload),
-        ("base", InputAblation::Base),
-    ] {
-        let mut vals = Vec::new();
-        for task in [Task::VpnApp, Task::Tls120] {
-            let prep = ctx.prep(task);
-            let cfg = CellConfig { input_ablation: ablation, ..ctx.cfg };
-            let cell = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &cfg);
-            eprintln!("  table7 {label} {}: F1={:.1}", task.name(), cell.macro_f1 * 100.0);
-            ctx.record("table7", task.name(), "Pcap-Encoder", label, &cell);
-            vals.push(cell.macro_f1);
-        }
-        t.row_pct(label, &vals);
-    }
-    println!("{}", t.render());
-    ctx.flush_records("table7");
-}
-
-/// Table 8: shallow baselines with and without IP features.
-fn table8(ctx: &mut Ctx) {
-    let mut t = TableBuilder::new(
-        "Table 8: shallow baselines (macro F1, per-flow split)",
-        &["VPNapp base", "VPNapp w/oIP", "TLS120 base", "TLS120 w/oIP"],
-    );
-    for model in ShallowModel::ALL {
-        let mut vals = Vec::new();
-        for task in [Task::VpnApp, Task::Tls120] {
-            let prep = ctx.prep(task);
-            for with_ip in [true, false] {
-                let r = run_shallow(
-                    &prep,
-                    model,
-                    SplitPolicy::PerFlow,
-                    FeatureConfig { with_ip },
-                    &ctx.cfg,
-                );
-                eprintln!(
-                    "  table8 {} {} with_ip={}: F1={:.1}",
-                    model.name(),
-                    task.name(),
-                    with_ip,
-                    r.macro_f1 * 100.0
-                );
-                ctx.records.push(ResultRecord {
-                    experiment: "table8".into(),
-                    task: task.name().into(),
-                    model: model.name().into(),
-                    setting: if with_ip { "base" } else { "w/o IP" }.into(),
-                    accuracy: r.accuracy * 100.0,
-                    macro_f1: r.macro_f1 * 100.0,
-                    train_secs: r.train_secs,
-                    infer_secs: r.infer_secs,
-                });
-                vals.push(r.macro_f1);
-            }
-        }
-        t.row_pct(model.name(), &vals);
-    }
-    println!("{}", t.render());
-    ctx.flush_records("table8");
-}
-
-/// Table 9: flow-level classification.
-fn table9(ctx: &mut Ctx) {
-    let mut t = TableBuilder::new(
-        "Table 9: flow classification (per-flow split)",
-        &[
-            "VPNapp fro AC", "fro F1", "unf AC", "unf F1",
-            "TLS120 fro AC", "fro F1", "unf AC", "unf F1",
-        ],
-    );
-    for kind in ModelKind::ALL {
-        let enc = ctx.encoder(kind, true);
-        let mut vals: Vec<f64> = Vec::new();
-        for task in [Task::VpnApp, Task::Tls120] {
-            let prep = ctx.prep(task);
-            if kind == ModelKind::PcapEncoder {
-                let cell = run_flow_cell_majority_vote(&prep, &enc, &ctx.cfg);
-                eprintln!(
-                    "  table9 {} {} majority-vote: AC={:.1} F1={:.1}",
-                    kind.name(),
-                    task.name(),
-                    cell.accuracy * 100.0,
-                    cell.macro_f1 * 100.0
-                );
-                ctx.record("table9", task.name(), kind.name(), "frozen majority-vote", &cell);
-                vals.extend([cell.accuracy, cell.macro_f1, f64::NAN, f64::NAN]);
-            } else {
-                for frozen in [true, false] {
-                    let cell = run_flow_cell(&prep, &enc, frozen, &ctx.cfg);
-                    let setting = if frozen { "frozen" } else { "unfrozen" };
-                    eprintln!(
-                        "  table9 {} {} {}: AC={:.1} F1={:.1}",
-                        kind.name(),
-                        task.name(),
-                        setting,
-                        cell.accuracy * 100.0,
-                        cell.macro_f1 * 100.0
-                    );
-                    ctx.record("table9", task.name(), kind.name(), setting, &cell);
-                    vals.push(cell.accuracy);
-                    vals.push(cell.macro_f1);
-                }
-            }
-        }
-        let formatted: Vec<String> = vals
-            .iter()
-            .map(|v| if v.is_nan() { "-".into() } else { format!("{:.1}", v * 100.0) })
-            .collect();
-        t.row(kind.name(), &formatted);
-    }
-    // Extension row (not in the paper's table): a shallow RF on classic
-    // flow statistics, the cost-benefit anchor for flow classification.
-    let mut vals: Vec<String> = Vec::new();
-    for task in [Task::VpnApp, Task::Tls120] {
-        let prep = ctx.prep(task);
-        let (acc, f1) = flow_stats_rf(&prep, &ctx.cfg);
-        eprintln!("  table9 RF(flow-stats) {}: AC={:.1} F1={:.1}", task.name(), acc * 100.0, f1 * 100.0);
-        vals.extend([format!("{:.1}", acc * 100.0), format!("{:.1}", f1 * 100.0), "-".into(), "-".into()]);
-    }
-    t.row("RF (flow stats)*", &vals);
-    println!("{}", t.render());
-    println!("* extension row: shallow RF on flow statistics (not in the paper's table)\n");
-    ctx.flush_records("table9");
-}
-
-/// Shallow RF on flow-level statistics, per-flow split (extension).
-fn flow_stats_rf(prep: &PreparedTask, cfg: &CellConfig) -> (f64, f64) {
-    use shallow::flow_features::{extract_flow_features, N_FLOW_FEATURES};
-    let mut x: Vec<[f32; N_FLOW_FEATURES]> = Vec::new();
-    let mut y: Vec<u16> = Vec::new();
-    for (_, idxs) in prep.data.flows() {
-        if idxs.len() < 5 {
-            continue;
-        }
-        let pkts: Vec<&dataset::record::PacketRecord> =
-            idxs.iter().take(5).map(|&i| &prep.data.records[i]).collect();
-        x.push(extract_flow_features(&pkts));
-        y.push(prep.task.label_of(&prep.data, &prep.data.records[idxs[0]]));
-    }
-    let mut order: Vec<usize> = (0..x.len()).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    order.shuffle(&mut rng);
-    let cut = (order.len() as f64 * cfg.train_frac) as usize;
-    let rows = |idx: &[usize]| -> Vec<&[f32]> { idx.iter().map(|&i| x[i].as_slice()).collect() };
-    let labels = |idx: &[usize]| -> Vec<u16> { idx.iter().map(|&i| y[i]).collect() };
-    let rf = shallow::forest::RandomForest::fit(
-        &rows(&order[..cut]),
-        &labels(&order[..cut]),
-        prep.task.n_classes(),
-        shallow::forest::ForestParams::default(),
-        cfg.seed,
-    );
-    let preds = rf.predict(&rows(&order[cut..]));
-    let truth = labels(&order[cut..]);
-    (
-        debunk_core::metrics::accuracy(&preds, &truth),
-        debunk_core::metrics::macro_f1(&preds, &truth, prep.task.n_classes()),
-    )
-}
-
-/// Table 11: Pcap-Encoder pre-training ablation.
-fn table11(ctx: &mut Ctx) {
-    let mut t = TableBuilder::new(
-        "Table 11: Pcap-Encoder pre-training ablation (per-flow, frozen)",
-        &["VPNapp AC", "VPNapp F1", "TLS120 AC", "TLS120 F1"],
-    );
-    for variant in [
-        PcapEncoderVariant::AutoencoderQa,
-        PcapEncoderVariant::QaOnly,
-        PcapEncoderVariant::Base,
-    ] {
-        let enc = pretrain_pcap_encoder(variant, ctx.budget, ctx.seed ^ 0xabc).model;
-        let mut vals = Vec::new();
-        for task in [Task::VpnApp, Task::Tls120] {
-            let prep = ctx.prep(task);
-            let cell = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &ctx.cfg);
-            eprintln!(
-                "  table11 {} {}: AC={:.1} F1={:.1}",
-                variant.name(),
-                task.name(),
-                cell.accuracy * 100.0,
-                cell.macro_f1 * 100.0
-            );
-            ctx.record("table11", task.name(), variant.name(), "per-flow/frozen", &cell);
-            vals.push(cell.accuracy);
-            vals.push(cell.macro_f1);
-        }
-        t.row_pct(variant.name(), &vals);
-    }
-    println!("{}", t.render());
-    ctx.flush_records("table11");
-}
-
-/// Table 13: cleaning statistics per dataset.
-fn table13(ctx: &mut Ctx) {
-    for task in [Task::VpnBinary, Task::UstcBinary, Task::Tls120] {
-        let prep = ctx.prep(task);
-        println!(
-            "== Table 13: cleaning report for {} ==\n{}",
-            task.dataset().name(),
-            prep.clean_report.to_table()
-        );
-    }
-    ctx.flush_records("table13");
-}
-
-/// Fig. 1: headline summary bars on TLS-120.
-fn fig1(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::Tls120);
-    let mut items: Vec<(String, f64)> = Vec::new();
-    for kind in [ModelKind::EtBert, ModelKind::TrafficFormer, ModelKind::PcapEncoder] {
-        let enc = ctx.encoder(kind, true);
-        let claimed = run_cell(&prep, &enc, SplitPolicy::PerPacket, false, &ctx.cfg);
-        let proper = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &ctx.cfg);
-        items.push((format!("{} (per-packet, unfrozen)", kind.name()), claimed.accuracy * 100.0));
-        items.push((format!("{} (per-flow, frozen)", kind.name()), proper.accuracy * 100.0));
-        ctx.record("fig1", "TLS-120", kind.name(), "per-packet/unfrozen", &claimed);
-        ctx.record("fig1", "TLS-120", kind.name(), "per-flow/frozen", &proper);
-    }
-    let rf = run_shallow(
-        &prep,
-        ShallowModel::Rf,
-        SplitPolicy::PerFlow,
-        FeatureConfig::default(),
-        &ctx.cfg,
-    );
-    items.push(("Shallow RF (per-flow)".into(), rf.accuracy * 100.0));
-    println!(
-        "{}",
-        bar_chart(
-            "Fig. 1: accuracy on TLS-120 — claimed setting vs proper evaluation",
-            &items,
-            50
-        )
-    );
-    ctx.flush_records("fig1");
-}
-
-/// Fig. 4: 5-NN purity of ET-BERT embeddings, frozen vs unfrozen.
-fn fig4(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::Tls120);
-    let n = ctx.cfg.max_test.min(1200);
-    let frozen_enc = ctx.encoder(ModelKind::EtBert, true);
-    let (emb_f, labels) = embeddings_for_purity(&prep, &frozen_enc, n, ctx.seed);
-    let hist_f = knn_purity(&emb_f, &labels, 5);
-
-    // Unfrozen: fine-tune end-to-end on the per-packet split first, then
-    // embed the same sample (mirrors the paper's procedure).
-    let split = dataset::split::per_packet_split(&prep.data, ctx.cfg.train_frac, ctx.seed);
-    let label_of = |r: &dataset::record::PacketRecord| prep.task.label_of(&prep.data, r);
-    let train =
-        dataset::split::balanced_undersample(&prep.data, &split.train, &label_of, ctx.seed);
-    let train = dataset::split::subsample(&train, ctx.cfg.max_train, ctx.seed);
-    let mut enc = frozen_enc.clone();
-    let mut head =
-        Mlp::new(&[enc.dim(), ctx.cfg.head_hidden, prep.task.n_classes()], ctx.seed);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed);
-    let mut order = train.clone();
-    for epoch in 0..ctx.cfg.unfrozen_epochs {
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(ctx.cfg.batch) {
-            let recs: Vec<&dataset::record::PacketRecord> =
-                chunk.iter().map(|&i| &prep.data.records[i]).collect();
-            let labels: Vec<u16> = recs.iter().map(|r| label_of(r)).collect();
-            let tokens = enc.tokenize_training_batch(&recs, epoch as u64);
-            let pooled = enc.forward_tokens(&tokens);
-            let (_, d) = head.train_batch(&pooled, &labels, ctx.cfg.lr);
-            let lr_enc = ctx.cfg.lr_encoder * (64.0 / enc.dim() as f32).min(1.0);
-            enc.backward(&d, lr_enc);
-        }
-    }
-    let (emb_u, labels_u) = embeddings_for_purity(&prep, &enc, n, ctx.seed);
-    let hist_u = knn_purity(&emb_u, &labels_u, 5);
-
-    for (name, h) in [("frozen", &hist_f), ("unfrozen", &hist_u)] {
-        let items: Vec<(String, f64)> = h
-            .fraction
-            .iter()
-            .enumerate()
-            .map(|(m, f)| (format!("{m}/5 same-class"), f * 100.0))
-            .collect();
-        println!(
-            "{}",
-            bar_chart(
-                &format!(
-                    "Fig. 4 ({name}): 5-NN purity of ET-BERT embeddings, TLS-120 (mean {:.2})",
-                    h.mean_purity()
-                ),
-                &items,
-                40
-            )
-        );
-    }
-    ctx.flush_records("fig4");
-}
-
-/// Fig. 5: RF feature importance, per-packet split, TLS-120.
-fn fig5(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::Tls120);
-    for with_ip in [true, false] {
-        let r = run_shallow(
-            &prep,
-            ShallowModel::Rf,
-            SplitPolicy::PerPacket,
-            FeatureConfig { with_ip },
-            &ctx.cfg,
-        );
-        let imp = r.importance.expect("rf importance");
-        let names = feature_names();
-        let mut pairs: Vec<(String, f64)> =
-            names.iter().zip(&imp).map(|(n, &v)| (n.to_string(), v)).collect();
-        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
-        pairs.truncate(10);
-        println!(
-            "{}",
-            bar_chart(
-                &format!(
-                    "Fig. 5 ({}): top-10 RF feature importance, per-packet TLS-120 (accuracy {:.1}%)",
-                    if with_ip { "with IP" } else { "w/o IP" },
-                    r.accuracy * 100.0
-                ),
-                &pairs,
-                40
-            )
-        );
-    }
-    ctx.flush_records("fig5");
-}
-
-/// Fig. 6: relative training/inference time on VPN-app (per-flow).
-fn fig6(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::VpnApp);
-    let rf = run_shallow(
-        &prep,
-        ShallowModel::Rf,
-        SplitPolicy::PerFlow,
-        FeatureConfig::default(),
-        &ctx.cfg,
-    );
-    let mut train_items = vec![("RF".to_string(), 1.0)];
-    let mut infer_items = vec![("RF".to_string(), 1.0)];
-    for kind in ModelKind::ALL {
-        let enc = ctx.encoder(kind, true);
-        for frozen in [true, false] {
-            let cell = run_cell(&prep, &enc, SplitPolicy::PerFlow, frozen, &ctx.cfg);
-            let tag = format!("{} ({})", kind.name(), if frozen { "fro" } else { "unf" });
-            train_items.push((tag, cell.train_secs / rf.train_secs.max(1e-9)));
-            if frozen {
-                infer_items
-                    .push((kind.name().to_string(), cell.infer_secs / rf.infer_secs.max(1e-9)));
-            }
-            ctx.record(
-                "fig6",
-                "VPN-app",
-                kind.name(),
-                if frozen { "frozen" } else { "unfrozen" },
-                &cell,
-            );
-        }
-    }
-    println!("{}", bar_chart("Fig. 6a: training time relative to RF", &train_items, 40));
-    println!("{}", bar_chart("Fig. 6b: inference time relative to RF", &infer_items, 40));
-    ctx.flush_records("fig6");
-}
-
-/// App. A.1.3: Q&A pre-training accuracy per question.
-fn qa_experiment(ctx: &mut Ctx) {
-    let mut corpus = pretrain_corpus(ctx.seed ^ 0x1a, ctx.budget.corpus_flows * 2);
-    let mut held = pretrain_corpus(ctx.seed ^ 0x2b, ctx.budget.corpus_flows / 3 + 5);
-    corrupt_checksums(&mut corpus, 0.25, ctx.seed ^ 0x6e);
-    corrupt_checksums(&mut held, 0.25, ctx.seed ^ 0x7f);
-    let mut model = EncoderModel::new(ModelKind::PcapEncoder, ctx.seed ^ 0xabc);
-    // Heads learn with Adam; a higher lr here only benefits them —
-    // the encoder side uses geometry-preserving SGD (DESIGN.md §4b).
-    let report = qa_pretrain(
-        &mut model,
-        &corpus,
-        &held,
-        ctx.budget.qa_epochs * 2,
-        ctx.budget.lr.max(0.05),
-        ctx.seed ^ 0x4d,
-    );
-    let items: Vec<(String, f64)> =
-        report.accuracy.iter().map(|(q, a)| (format!("{q:?}"), a * 100.0)).collect();
-    println!(
-        "{}",
-        bar_chart(
-            &format!(
-                "App. A.1.3: Q&A held-out accuracy per question (mean {:.1}%)",
-                report.mean_accuracy() * 100.0
-            ),
-            &items,
-            40
-        )
-    );
-    ctx.flush_records("qa");
-}
-
-/// §5 footnote 11: Repeat vs Padding for packet-level flow embedders.
-fn repeat_vs_pad(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::VpnApp);
-    let enc = ctx.encoder(ModelKind::YaTc, true);
-    let cell_repeat = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &ctx.cfg);
-    let split = dataset::split::per_flow_split(
-        &prep.data,
-        ctx.cfg.train_frac,
-        ctx.cfg.max_flow_packets,
-        ctx.seed,
-    );
-    let label_of = |r: &dataset::record::PacketRecord| prep.task.label_of(&prep.data, r);
-    let train =
-        dataset::split::balanced_undersample(&prep.data, &split.train, &label_of, ctx.seed);
-    let train = dataset::split::subsample(&train, ctx.cfg.max_train, ctx.seed);
-    let test = dataset::split::subsample(&split.test, ctx.cfg.max_test, ctx.seed);
-    let tok = |idx: &[usize]| -> Vec<Vec<u32>> {
-        idx.iter().map(|&i| enc.tokenize_packet_padded(&prep.data.records[i])).collect()
-    };
-    let x_train = enc.encode_tokens(&tok(&train));
-    let y_train: Vec<u16> = train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let x_test = enc.encode_tokens(&tok(&test));
-    let y_test: Vec<u16> = test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let mut head = Mlp::new(&[enc.dim(), ctx.cfg.head_hidden, prep.task.n_classes()], ctx.seed);
-    head.fit(&x_train, &y_train, ctx.cfg.frozen_epochs, ctx.cfg.batch, ctx.cfg.lr, ctx.seed);
-    let preds = head.predict(&x_test);
-    let acc_pad = debunk_core::metrics::accuracy(&preds, &y_test);
-    println!(
-        "{}",
-        bar_chart(
-            "fn.11 ablation: Repeat vs Padding input strategy (YaTC, VPN-app, frozen)",
-            &[
-                ("Repeat x5".into(), cell_repeat.accuracy * 100.0),
-                ("Pad with zero packets".into(), acc_pad * 100.0),
-            ],
-            40
-        )
-    );
-    ctx.flush_records("repeat_vs_pad");
-}
-
-/// §6.2 closing remark: balanced vs unbalanced training split.
-fn balance_ablation(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::Tls120);
-    let enc = ctx.encoder(ModelKind::PcapEncoder, true);
-    let balanced = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &ctx.cfg);
-    let split = dataset::split::per_flow_split(
-        &prep.data,
-        ctx.cfg.train_frac,
-        ctx.cfg.max_flow_packets,
-        ctx.seed,
-    );
-    let label_of = |r: &dataset::record::PacketRecord| prep.task.label_of(&prep.data, r);
-    let train = dataset::split::subsample(&split.train, ctx.cfg.max_train, ctx.seed);
-    let test = dataset::split::subsample(&split.test, ctx.cfg.max_test, ctx.seed);
-    let recs = |idx: &[usize]| -> Vec<&dataset::record::PacketRecord> {
-        idx.iter().map(|&i| &prep.data.records[i]).collect()
-    };
-    let x_train = enc.encode_packets(&recs(&train));
-    let y_train: Vec<u16> = train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let x_test = enc.encode_packets(&recs(&test));
-    let y_test: Vec<u16> = test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let mut head = Mlp::new(&[enc.dim(), ctx.cfg.head_hidden, prep.task.n_classes()], ctx.seed);
-    head.fit(&x_train, &y_train, ctx.cfg.frozen_epochs, ctx.cfg.batch, ctx.cfg.lr, ctx.seed);
-    let preds = head.predict(&x_test);
-    let f1_unbal = debunk_core::metrics::macro_f1(&preds, &y_test, prep.task.n_classes());
-    println!(
-        "{}",
-        bar_chart(
-            "§6.2 ablation: balanced vs unbalanced training (Pcap-Encoder, TLS-120, macro F1)",
-            &[
-                ("balanced undersampling".into(), balanced.macro_f1 * 100.0),
-                ("natural distribution".into(), f1_unbal * 100.0),
-            ],
-            40
-        )
-    );
-    ctx.flush_records("balance_ablation");
-}
-
-/// App. A.1.2: bottleneck pooling ablation on frozen Pcap-Encoder.
-fn pooling_ablation(ctx: &mut Ctx) {
-    use encoders::pool::{pool_batch, PoolingMode};
-    let prep = ctx.prep(Task::VpnApp);
-    let enc = ctx.encoder(ModelKind::PcapEncoder, true);
-    let split = dataset::split::per_flow_split(
-        &prep.data,
-        ctx.cfg.train_frac,
-        ctx.cfg.max_flow_packets,
-        ctx.seed,
-    );
-    let label_of = |r: &dataset::record::PacketRecord| prep.task.label_of(&prep.data, r);
-    let train =
-        dataset::split::balanced_undersample(&prep.data, &split.train, &label_of, ctx.seed);
-    let train = dataset::split::subsample(&train, ctx.cfg.max_train, ctx.seed);
-    let test = dataset::split::subsample(&split.test, ctx.cfg.max_test, ctx.seed);
-    let tokens = |idx: &[usize]| -> Vec<Vec<u32>> {
-        idx.iter().map(|&i| enc.tokenize_packet(&prep.data.records[i], None)).collect()
-    };
-    let (ttr, tte) = (tokens(&train), tokens(&test));
-    let y_train: Vec<u16> = train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let y_test: Vec<u16> = test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let mut items = Vec::new();
-    for mode in PoolingMode::ALL {
-        let x_train = pool_batch(&enc.embedding, &ttr, mode, ctx.seed);
-        let x_test = pool_batch(&enc.embedding, &tte, mode, ctx.seed);
-        let mut head =
-            Mlp::new(&[enc.dim(), ctx.cfg.head_hidden, prep.task.n_classes()], ctx.seed);
-        head.fit(&x_train, &y_train, ctx.cfg.frozen_epochs, ctx.cfg.batch, ctx.cfg.lr, ctx.seed);
-        let preds = head.predict(&x_test);
-        let f1 = debunk_core::metrics::macro_f1(&preds, &y_test, prep.task.n_classes());
-        eprintln!("  pooling {}: F1={:.1}", mode.name(), f1 * 100.0);
-        items.push((mode.name().to_string(), f1 * 100.0));
-    }
-    println!(
-        "{}",
-        bar_chart(
-            "App. A.1.2: bottleneck pooling ablation (Pcap-Encoder frozen, VPN-app, macro F1)",
-            &items,
-            40
-        )
-    );
-    ctx.flush_records("pooling");
-}
-
-/// §4.1 extension: stricter split policies (per-client, per-time)
-/// stress generalisation further than per-flow. Run the shallow RF
-/// under each policy on VPN-app.
-fn advanced_splits(ctx: &mut Ctx) {
-    use dataset::split::{per_client_split, per_flow_split, per_packet_split, per_time_split};
-    let prep = ctx.prep(Task::VpnApp);
-    let label_of = |r: &dataset::record::PacketRecord| prep.task.label_of(&prep.data, r);
-    let mut items: Vec<(String, f64)> = Vec::new();
-    let policies: Vec<(&str, dataset::split::Split)> = vec![
-        ("per-packet (leaky)", per_packet_split(&prep.data, ctx.cfg.train_frac, ctx.seed)),
-        (
-            "per-flow",
-            per_flow_split(&prep.data, ctx.cfg.train_frac, ctx.cfg.max_flow_packets, ctx.seed),
-        ),
-        ("per-client", per_client_split(&prep.data, ctx.cfg.train_frac, ctx.seed)),
-        ("per-time", per_time_split(&prep.data, ctx.cfg.train_frac)),
-    ];
-    for (name, split) in policies {
-        let train =
-            dataset::split::balanced_undersample(&prep.data, &split.train, &label_of, ctx.seed);
-        let train = dataset::split::subsample(&train, ctx.cfg.max_train, ctx.seed);
-        let test = dataset::split::subsample(&split.test, ctx.cfg.max_test, ctx.seed);
-        if train.is_empty() || test.is_empty() {
-            eprintln!("  advanced_splits {name}: skipped (degenerate partition)");
-            continue;
-        }
-        let feats = |idx: &[usize]| -> Vec<[f32; shallow::features::N_FEATURES]> {
-            idx.iter()
-                .map(|&i| {
-                    shallow::features::extract_features(
-                        &prep.data.records[i],
-                        FeatureConfig::default(),
-                    )
-                })
-                .collect()
-        };
-        let (xtr, xte) = (feats(&train), feats(&test));
-        fn rows(x: &[[f32; shallow::features::N_FEATURES]]) -> Vec<&[f32]> {
-            x.iter().map(|r| &r[..]).collect()
-        }
-        let ytr: Vec<u16> = train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-        let yte: Vec<u16> = test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-        let rf = shallow::forest::RandomForest::fit(
-            &rows(&xtr),
-            &ytr,
-            prep.task.n_classes(),
-            shallow::forest::ForestParams::default(),
-            ctx.seed,
-        );
-        let preds = rf.predict(&rows(&xte));
-        let f1 = debunk_core::metrics::macro_f1(&preds, &yte, prep.task.n_classes());
-        eprintln!("  advanced_splits {name}: F1={:.1}", f1 * 100.0);
-        items.push((name.to_string(), f1 * 100.0));
-    }
-    println!(
-        "{}",
-        bar_chart(
-            "§4.1 extension: RF macro F1 under increasingly strict splits (VPN-app)",
-            &items,
-            40
-        )
-    );
-    ctx.flush_records("advanced_splits");
-}
-
-/// Table-1 extension: the models the paper describes but does not
-/// carry into §6 (PERT, PacRep, PTU), run under the honest protocol
-/// next to the evaluated six.
-fn extended_models(ctx: &mut Ctx) {
-    let prep = ctx.prep(Task::VpnApp);
-    let mut t = TableBuilder::new(
-        "Table-1 extension: all nine analogues, VPN-app (per-flow, frozen)",
-        &["AC", "F1"],
-    );
-    for kind in ModelKind::EXTENDED {
-        let enc = ctx.encoder(kind, true);
-        let cell = run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &ctx.cfg);
-        eprintln!(
-            "  extended {}: AC={:.1} F1={:.1}",
-            kind.name(),
-            cell.accuracy * 100.0,
-            cell.macro_f1 * 100.0
-        );
-        ctx.record("extended_models", "VPN-app", kind.name(), "per-flow/frozen", &cell);
-        t.row_pct(kind.name(), &[cell.accuracy, cell.macro_f1]);
-    }
-    println!("{}", t.render());
-    ctx.flush_records("extended_models");
-}
-
-/// Extension: classification robustness under capture faults — how
-/// fast does the honest-protocol RF decay as the capture degrades?
-fn robustness(ctx: &mut Ctx) {
-    use traffic_synth::faults::{inject_faults, FaultConfig};
-    let mut items: Vec<(String, f64)> = Vec::new();
-    for loss in [0.0f64, 0.05, 0.15, 0.30] {
-        let spec =
-            traffic_synth::DatasetSpec::new(Task::UstcApp.dataset(), ctx.seed).scaled(ctx.scale);
-        let mut trace = spec.generate();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.seed ^ 0xfa17);
-        let cfg = FaultConfig {
-            drop: loss,
-            duplicate: loss / 4.0,
-            reorder: loss / 2.0,
-            corrupt: loss / 10.0,
-            reorder_delay: 0.05,
-        };
-        inject_faults(&mut trace, cfg, &mut rng);
-        dataset::clean::clean_trace(&mut trace);
-        let data = dataset::record::Prepared::from_trace(&trace);
-        let prep = debunk_core::pipeline::PreparedTask {
-            task: Task::UstcApp,
-            data: std::sync::Arc::new(data),
-            clean_report: std::sync::Arc::new(Default::default()),
-            seed: ctx.seed,
-        };
-        let r = run_shallow(
-            &prep,
-            ShallowModel::Rf,
-            SplitPolicy::PerFlow,
-            FeatureConfig::default(),
-            &ctx.cfg,
-        );
-        eprintln!("  robustness loss={loss:.2}: F1={:.1}", r.macro_f1 * 100.0);
-        items.push((format!("{:.0}% faults", loss * 100.0), r.macro_f1 * 100.0));
-    }
-    println!(
-        "{}",
-        bar_chart(
-            "Extension: RF macro F1 on USTC-app vs capture-fault rate (per-flow split)",
-            &items,
-            40
-        )
-    );
-    ctx.flush_records("robustness");
 }

@@ -2,14 +2,57 @@
 //! into Markdown tables (for embedding in EXPERIMENTS.md or reports).
 //!
 //! ```text
-//! results_md [results_dir]    # default: results/
+//! results_md [--out DIR]    # default: results/
 //! ```
+//!
+//! Consumes every record file in the directory in one pass, in sorted
+//! file-name order, and prints one Markdown table per experiment.
 
 use debunk_core::report::ResultRecord;
 use std::collections::BTreeMap;
 
+/// model → (task, setting) → (accuracy, macro-F1), all percentages.
+type Grid = BTreeMap<String, BTreeMap<(String, String), (f64, f64)>>;
+
+fn usage() -> ! {
+    eprintln!("usage: results_md [--out DIR]");
+    std::process::exit(2);
+}
+
+fn parse_dir(args: &[String]) -> String {
+    let mut dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a value");
+                    usage();
+                });
+                if dir.is_some() {
+                    eprintln!("error: records directory given twice");
+                    usage();
+                }
+                dir = Some(v.clone());
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+            // Bare directory kept for backwards compatibility.
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                usage();
+            }
+        }
+    }
+    dir.unwrap_or_else(|| "results".into())
+}
+
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = parse_dir(&args);
     let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
         Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
         Err(e) => {
@@ -36,15 +79,13 @@ fn main() {
         println!("## {}\n", records[0].experiment);
         // group rows by (model), columns by (task, setting)
         let mut columns: Vec<(String, String)> = Vec::new();
-        let mut rows: BTreeMap<String, BTreeMap<(String, String), (f64, f64)>> = BTreeMap::new();
+        let mut rows: Grid = BTreeMap::new();
         for r in &records {
             let col = (r.task.clone(), r.setting.clone());
             if !columns.contains(&col) {
                 columns.push(col.clone());
             }
-            rows.entry(r.model.clone())
-                .or_default()
-                .insert(col, (r.accuracy, r.macro_f1));
+            rows.entry(r.model.clone()).or_default().insert(col, (r.accuracy, r.macro_f1));
         }
         print!("| model |");
         for (task, setting) in &columns {

@@ -39,11 +39,7 @@ fn main() {
     if let Some(f) = get_flag("--flows-per-class").and_then(|v| v.parse().ok()) {
         spec.flows_per_class = f;
     }
-    eprintln!(
-        "generating {} (seed {seed}, {} flows/class)...",
-        kind.name(),
-        spec.flows_per_class
-    );
+    eprintln!("generating {} (seed {seed}, {} flows/class)...", kind.name(), spec.flows_per_class);
     let mut trace = spec.generate();
     eprintln!("  {} packets, {} spurious", trace.records.len(), trace.spurious_len());
     if clean {
@@ -57,11 +53,8 @@ fn main() {
     let mut csv = std::fs::File::create(&labels_path).expect("create labels file");
     writeln!(csv, "packet_index,class_id,class_name,flow_id,timestamp").expect("write header");
     for (i, r) in trace.records.iter().enumerate() {
-        let name = trace
-            .classes
-            .get(r.class as usize)
-            .map(|c| c.name.as_str())
-            .unwrap_or("spurious");
+        let name =
+            trace.classes.get(r.class as usize).map(|c| c.name.as_str()).unwrap_or("spurious");
         writeln!(csv, "{i},{},{name},{},{:.6}", r.class, r.flow_id, r.ts).expect("write row");
     }
     eprintln!("wrote {labels_path}");

@@ -1,18 +1,72 @@
 //! Calibration probe for the *unfrozen* cells: verify that gradient
 //! clipping fixes the wide-encoder divergence and that the per-packet
 //! shortcut cell reaches paper-like inflation with a larger budget.
+//! Expressed as a one-off [`Experiment`] run through the engine, so the
+//! three encoders pre-train once each through the shared store.
 
 use dataset::Task;
-use debunk_core::experiment::{build_encoder, run_cell, CellConfig, SplitPolicy};
-use debunk_core::pipeline::PreparedTask;
+use debunk_core::engine::{
+    run_experiment, CellOutput, CellSpec, EncoderSpec, Experiment, RunContext, RunOptions,
+};
+use debunk_core::experiment::{run_cell, CellConfig, SplitPolicy};
 use encoders::model::ModelKind;
 use encoders::pcap_encoder::PretrainBudget;
 
+const KINDS: [ModelKind; 3] = [ModelKind::EtBert, ModelKind::PcapEncoder, ModelKind::TrafficFormer];
+const SPLITS: [SplitPolicy; 2] = [SplitPolicy::PerPacket, SplitPolicy::PerFlow];
+
+struct UnfrozenProbe;
+
+impl Experiment for UnfrozenProbe {
+    fn id(&self) -> &'static str {
+        "unfrozen_probe"
+    }
+
+    fn description(&self) -> &'static str {
+        "unfrozen divergence check across encoders and splits"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for kind in KINDS {
+            for split in SPLITS {
+                cells.push(CellSpec::silent(
+                    "TLS-120",
+                    kind.name(),
+                    format!("{split:?} unfrozen"),
+                    move |ctx, cfg| {
+                        let prep = ctx.prep(Task::Tls120);
+                        let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                        run_cell(&prep, &enc, split, false, cfg).into()
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut it = outputs.iter();
+        for kind in KINDS {
+            for split in SPLITS {
+                let s = it.next().and_then(|o| o.stats).expect("probe cell produces metrics");
+                println!(
+                    "{:14} {:?} unfrozen: AC={:.1} F1={:.1} ({:.0}s)",
+                    kind.name(),
+                    split,
+                    s.accuracy * 100.0,
+                    s.macro_f1 * 100.0,
+                    s.train_secs
+                );
+            }
+        }
+    }
+}
+
 fn main() {
-    let t0 = std::time::Instant::now();
-    let prep = PreparedTask::build(Task::Tls120, 42, 0.7);
     let budget = PretrainBudget { corpus_flows: 100, ae_epochs: 1, qa_epochs: 2, lr: 0.01 };
     let cfg = CellConfig {
+        seed: 42,
         frozen_epochs: 30,
         unfrozen_epochs: 20,
         kfolds: 2,
@@ -20,19 +74,6 @@ fn main() {
         max_test: 3000,
         ..Default::default()
     };
-    for kind in [ModelKind::EtBert, ModelKind::PcapEncoder, ModelKind::TrafficFormer] {
-        let enc = build_encoder(kind, true, budget, 42 ^ 0xabc);
-        for (split, frozen) in [(SplitPolicy::PerPacket, false), (SplitPolicy::PerFlow, false)] {
-            let cell = run_cell(&prep, &enc, split, frozen, &cfg);
-            println!(
-                "[{:.0?}] {:14} {:?} unfrozen: AC={:.1} F1={:.1} ({:.0}s)",
-                t0.elapsed(),
-                kind.name(),
-                split,
-                cell.accuracy * 100.0,
-                cell.macro_f1 * 100.0,
-                cell.train_secs
-            );
-        }
-    }
+    let ctx = RunContext::new(42, 0.7, budget, cfg);
+    run_experiment(&UnfrozenProbe, &ctx, &RunOptions { jobs: 1, out_dir: None });
 }

@@ -1,0 +1,124 @@
+//! Process-wide pre-trained-encoder cache with optional on-disk
+//! checkpoints.
+//!
+//! Every encoder build is keyed by its pre-training provenance
+//! ([`encoders::checkpoint::PretrainKey`]). Within a process each
+//! provenance is built at most once, even when cells request it
+//! concurrently from worker threads; with a cache directory configured
+//! (`--cache-dir`) the built encoder is also persisted, so subsequent
+//! invocations skip pre-training entirely — no `[pretrain]` log line is
+//! emitted for a checkpoint served from memory or disk.
+
+use encoders::checkpoint::{load_checkpoint, save_checkpoint, PretrainKey};
+use encoders::model::EncoderModel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Build-once encoder cache, optionally backed by a checkpoint dir.
+pub struct EncoderStore {
+    cache_dir: Option<PathBuf>,
+    slots: Mutex<HashMap<u64, Arc<OnceLock<EncoderModel>>>>,
+}
+
+impl EncoderStore {
+    /// New store; `cache_dir` enables on-disk checkpoints.
+    pub fn new(cache_dir: Option<PathBuf>) -> EncoderStore {
+        EncoderStore { cache_dir, slots: Mutex::new(HashMap::new()) }
+    }
+
+    /// Get the encoder for `key`, building it with `build` at most once
+    /// per process. Concurrent callers for the *same* key block until
+    /// the first build finishes; callers for different keys proceed in
+    /// parallel.
+    pub fn get_or_build(
+        &self,
+        key: &PretrainKey,
+        build: impl FnOnce() -> EncoderModel,
+    ) -> EncoderModel {
+        let slot = self.slots.lock().entry(key.cache_key()).or_default().clone();
+        slot.get_or_init(|| self.load_or_build(key, build)).clone()
+    }
+
+    fn load_or_build(
+        &self,
+        key: &PretrainKey,
+        build: impl FnOnce() -> EncoderModel,
+    ) -> EncoderModel {
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(key.file_name());
+            if path.exists() {
+                match load_checkpoint(&path, key) {
+                    Ok(model) => {
+                        eprintln!("  [checkpoint] loaded {}", path.display());
+                        return model;
+                    }
+                    Err(e) => eprintln!("  [checkpoint] ignoring {}: {e}", path.display()),
+                }
+            }
+        }
+        eprintln!("  [pretrain] {}", key.provenance());
+        let model = build();
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(key.file_name());
+            let saved =
+                std::fs::create_dir_all(dir).and_then(|()| save_checkpoint(&path, key, &model));
+            match saved {
+                Ok(()) => eprintln!("  [checkpoint] saved {}", path.display()),
+                Err(e) => eprintln!("  [checkpoint] could not save {}: {e}", path.display()),
+            }
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encoders::model::ModelKind;
+    use encoders::pcap_encoder::PretrainBudget;
+
+    fn key(seed: u64) -> PretrainKey {
+        PretrainKey {
+            model: "ET-BERT".into(),
+            pretrained: false,
+            variant: None,
+            budget: PretrainBudget::default(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn builds_once_per_key() {
+        let store = EncoderStore::new(None);
+        let mut builds = 0;
+        for _ in 0..3 {
+            store.get_or_build(&key(1), || {
+                builds += 1;
+                EncoderModel::new(ModelKind::EtBert, 1)
+            });
+        }
+        assert_eq!(builds, 1);
+        store.get_or_build(&key(2), || {
+            builds += 1;
+            EncoderModel::new(ModelKind::EtBert, 2)
+        });
+        assert_eq!(builds, 2, "a different key builds again");
+    }
+
+    #[test]
+    fn disk_cache_survives_store_restart() {
+        let dir = std::env::temp_dir().join("debunk-encoder-store-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let k = key(7);
+        let first = EncoderStore::new(Some(dir.clone()))
+            .get_or_build(&k, || EncoderModel::new(ModelKind::EtBert, 7));
+        // A fresh store (fresh process, conceptually) must load from
+        // disk instead of invoking the builder.
+        let second = EncoderStore::new(Some(dir.clone()))
+            .get_or_build(&k, || panic!("must not re-pretrain: checkpoint exists"));
+        assert_eq!(first.to_json(), second.to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,276 @@
+//! Shared run state handed to every experiment cell.
+
+use crate::engine::checkpoint::EncoderStore;
+use crate::experiment::{build_encoder, CellConfig};
+use crate::pipeline::{PreparedTask, TaskCache};
+use dataset::Task;
+use encoders::checkpoint::{stable_hash64, PretrainKey};
+use encoders::model::{EncoderModel, ModelKind};
+use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
+use std::path::PathBuf;
+
+/// Compute-budget preset shared by `repro` and the calibration probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Smoke-test budget: tiny epochs and sample caps.
+    Fast,
+    /// The recorded configuration — every phenomenon at
+    /// single-core-friendly cost.
+    Medium,
+    /// Paper-faithful folds and caps.
+    Full,
+}
+
+impl Preset {
+    /// Parse a `--budget` value.
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name {
+            "fast" => Some(Preset::Fast),
+            "medium" => Some(Preset::Medium),
+            "full" => Some(Preset::Full),
+            _ => None,
+        }
+    }
+
+    /// Preset name as accepted by `--budget`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::Fast => "fast",
+            Preset::Medium => "medium",
+            Preset::Full => "full",
+        }
+    }
+
+    /// Default dataset scale for the preset.
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            Preset::Fast => 0.4,
+            Preset::Medium => 0.7,
+            Preset::Full => 1.0,
+        }
+    }
+
+    /// Cell hyper-parameters and pre-training budget for the preset.
+    pub fn config(&self, seed: u64) -> (CellConfig, PretrainBudget) {
+        let mut cfg = CellConfig { seed, ..Default::default() };
+        let budget = match self {
+            Preset::Fast => {
+                cfg.frozen_epochs = 10;
+                cfg.unfrozen_epochs = 5;
+                cfg.kfolds = 2;
+                cfg.max_train = 1500;
+                cfg.max_test = 1500;
+                PretrainBudget { corpus_flows: 60, ae_epochs: 1, qa_epochs: 2, lr: 0.01 }
+            }
+            Preset::Medium => {
+                cfg.frozen_epochs = 30;
+                cfg.unfrozen_epochs = 20;
+                cfg.kfolds = 2;
+                cfg.max_train = 8000;
+                cfg.max_test = 3000;
+                PretrainBudget { corpus_flows: 150, ae_epochs: 1, qa_epochs: 3, lr: 0.01 }
+            }
+            Preset::Full => {
+                cfg.kfolds = 3;
+                PretrainBudget { corpus_flows: 200, ae_epochs: 2, qa_epochs: 4, lr: 0.01 }
+            }
+        };
+        (cfg, budget)
+    }
+}
+
+/// What kind of encoder a cell wants from the [`RunContext`] cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EncoderSpec {
+    /// A standard model, optionally pre-trained with its paper
+    /// objective (Tables 3–9).
+    Standard {
+        /// Which model.
+        kind: ModelKind,
+        /// Run the pretext phases?
+        pretrained: bool,
+    },
+    /// A Pcap-Encoder pre-training variant (Table 11).
+    PcapVariant(PcapEncoderVariant),
+}
+
+impl EncoderSpec {
+    /// Shorthand for a pre-trained standard encoder.
+    pub fn pretrained(kind: ModelKind) -> EncoderSpec {
+        EncoderSpec::Standard { kind, pretrained: true }
+    }
+
+    /// Shorthand for a randomly-initialised standard encoder.
+    pub fn fresh(kind: ModelKind) -> EncoderSpec {
+        EncoderSpec::Standard { kind, pretrained: false }
+    }
+
+    /// Display name (model or variant).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EncoderSpec::Standard { kind, .. } => kind.name(),
+            EncoderSpec::PcapVariant(v) => v.name(),
+        }
+    }
+
+    /// Full pre-training identity for this spec under a budget + seed.
+    pub fn pretrain_key(&self, budget: PretrainBudget, seed: u64) -> PretrainKey {
+        match *self {
+            EncoderSpec::Standard { kind, pretrained } => PretrainKey {
+                model: kind.name().to_string(),
+                pretrained,
+                variant: None,
+                budget,
+                seed,
+            },
+            EncoderSpec::PcapVariant(v) => PretrainKey {
+                model: ModelKind::PcapEncoder.name().to_string(),
+                pretrained: true,
+                variant: Some(v),
+                budget,
+                seed,
+            },
+        }
+    }
+
+    fn build(&self, budget: PretrainBudget, seed: u64) -> EncoderModel {
+        match *self {
+            EncoderSpec::Standard { kind, pretrained } => {
+                build_encoder(kind, pretrained, budget, seed)
+            }
+            EncoderSpec::PcapVariant(v) => pretrain_pcap_encoder(v, budget, seed).model,
+        }
+    }
+}
+
+/// Shared state for one engine run: configuration plus the dataset and
+/// encoder caches every cell draws from. Immutable from the cells' point
+/// of view, so cells can execute concurrently.
+pub struct RunContext {
+    /// Base seed for the whole run (`--seed`).
+    pub seed: u64,
+    /// Dataset scale multiplier (`--scale`).
+    pub scale: f64,
+    /// Pre-training budget for encoders built on demand.
+    pub budget: PretrainBudget,
+    /// Baseline cell hyper-parameters; the runner derives a per-cell
+    /// copy with an independent seed (see [`RunContext::cell_seed`]).
+    pub cfg: CellConfig,
+    tasks: TaskCache,
+    encoders: EncoderStore,
+}
+
+impl RunContext {
+    /// New context from explicit configuration.
+    pub fn new(seed: u64, scale: f64, budget: PretrainBudget, cfg: CellConfig) -> RunContext {
+        RunContext {
+            seed,
+            scale,
+            budget,
+            cfg,
+            tasks: TaskCache::new(),
+            encoders: EncoderStore::new(None),
+        }
+    }
+
+    /// New context from a [`Preset`]. `scale` overrides the preset's
+    /// default dataset scale when given.
+    pub fn from_preset(preset: Preset, seed: u64, scale: Option<f64>) -> RunContext {
+        let (cfg, budget) = preset.config(seed);
+        RunContext::new(seed, scale.unwrap_or_else(|| preset.default_scale()), budget, cfg)
+    }
+
+    /// Enable on-disk encoder checkpoints under `dir` (`--cache-dir`).
+    pub fn with_cache_dir(mut self, dir: PathBuf) -> RunContext {
+        self.encoders = EncoderStore::new(Some(dir));
+        self
+    }
+
+    /// Prepared (generated + cleaned + parsed) dataset for a task,
+    /// memoised process-wide.
+    pub fn prep(&self, task: Task) -> PreparedTask {
+        self.tasks.get(task, self.seed, self.scale)
+    }
+
+    /// Encoder for `spec` under the run's pre-training budget; built at
+    /// most once per provenance, served from disk when a checkpoint
+    /// cache is configured.
+    pub fn encoder(&self, spec: EncoderSpec) -> EncoderModel {
+        self.encoder_with_budget(spec, self.budget)
+    }
+
+    /// Same as [`RunContext::encoder`] with an explicit budget (the
+    /// calibration probes sweep budgets).
+    pub fn encoder_with_budget(&self, spec: EncoderSpec, budget: PretrainBudget) -> EncoderModel {
+        let key = spec.pretrain_key(budget, self.pretrain_seed());
+        self.encoders.get_or_build(&key, || spec.build(budget, self.pretrain_seed()))
+    }
+
+    /// Seed used for encoder pre-training (kept distinct from the cell
+    /// seeds, matching the original `repro` convention).
+    pub fn pretrain_seed(&self) -> u64 {
+        self.seed ^ 0xabc
+    }
+
+    /// Independent seed for one cell, derived by hashing the cell's
+    /// identity rather than threading one mutable RNG through
+    /// sequential calls. This is what makes cells order-independent:
+    /// a cell gets the same seed whether it runs first, last, or on a
+    /// worker thread. (Fold-level seeds are derived from this inside
+    /// `run_cell` by adding the fold index.)
+    pub fn cell_seed(&self, experiment: &str, task: &str, model: &str, setting: &str) -> u64 {
+        stable_hash64(&[experiment, task, model, setting]) ^ self.seed
+    }
+
+    /// Per-cell configuration: the shared hyper-parameters with the
+    /// cell's derived seed.
+    pub fn cell_config(
+        &self,
+        experiment: &str,
+        task: &str,
+        model: &str,
+        setting: &str,
+    ) -> CellConfig {
+        CellConfig { seed: self.cell_seed(experiment, task, model, setting), ..self.cfg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_round_trips_names() {
+        for p in [Preset::Fast, Preset::Medium, Preset::Full] {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+        assert_eq!(Preset::parse("warp"), None);
+    }
+
+    #[test]
+    fn cell_seeds_are_order_independent_and_distinct() {
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let a = ctx.cell_seed("table3", "TLS-120", "ET-BERT", "per-flow/frozen");
+        let b = ctx.cell_seed("table3", "TLS-120", "ET-BERT", "per-flow/frozen");
+        assert_eq!(a, b, "same identity, same seed");
+        let c = ctx.cell_seed("table3", "TLS-120", "YaTC", "per-flow/frozen");
+        assert_ne!(a, c, "different model, different seed");
+        let d = RunContext::from_preset(Preset::Fast, 43, None).cell_seed(
+            "table3",
+            "TLS-120",
+            "ET-BERT",
+            "per-flow/frozen",
+        );
+        assert_ne!(a, d, "different base seed, different cell seed");
+    }
+
+    #[test]
+    fn encoder_specs_have_distinct_provenance() {
+        let budget = PretrainBudget::default();
+        let a = EncoderSpec::pretrained(ModelKind::EtBert).pretrain_key(budget, 1);
+        let b = EncoderSpec::fresh(ModelKind::EtBert).pretrain_key(budget, 1);
+        let c = EncoderSpec::PcapVariant(PcapEncoderVariant::QaOnly).pretrain_key(budget, 1);
+        assert_ne!(a.provenance(), b.provenance());
+        assert_ne!(a.provenance(), c.provenance());
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment engine: registry-driven orchestration of the paper's
+//! tables, figures and ablations.
+//!
+//! The engine replaces the former `repro` binary's private `Ctx` state
+//! with reusable subsystems:
+//!
+//! - [`context::RunContext`] — shared run state: the dataset
+//!   [`crate::pipeline::TaskCache`], a process-wide pre-trained-encoder
+//!   cache with optional on-disk checkpoints, and the per-cell seed
+//!   derivation that makes cells order-independent;
+//! - [`registry::Experiment`] / [`registry::Registry`] — every
+//!   table/figure/ablation is an object exposing its grid of
+//!   [`registry::CellSpec`]s plus a `render` step, registered under a
+//!   stable id;
+//! - [`runner`] — executes a registered experiment's cells, serially or
+//!   on a thread pool (`--jobs N`), emitting bit-identical
+//!   [`crate::report::ResultRecord`] JSON either way;
+//! - [`checkpoint::EncoderStore`] — build-once encoder memoisation keyed
+//!   by pre-training provenance, optionally persisted to disk;
+//! - [`suite`] — the 21 concrete experiments ported from `repro`.
+//!
+//! Front-end binaries (`repro`, the calibration probes) are thin
+//! wrappers over `Registry::run(filter, &RunContext, &RunOptions)`.
+
+pub mod checkpoint;
+pub mod context;
+pub mod registry;
+pub mod runner;
+pub mod suite;
+
+pub use checkpoint::EncoderStore;
+pub use context::{EncoderSpec, Preset, RunContext};
+pub use registry::{CellOutput, CellSpec, Experiment, RecordStats, Registry};
+pub use runner::{run_experiment, RunOptions};
+pub use suite::default_registry;

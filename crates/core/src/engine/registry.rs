@@ -1,0 +1,249 @@
+//! The `Experiment` trait and the registry all tables/figures/ablations
+//! register into.
+
+use crate::engine::context::RunContext;
+use crate::experiment::{CellConfig, CellResult};
+use crate::shallow_baselines::ShallowResult;
+use std::sync::Arc;
+
+/// Accuracy/F1/timing statistics of one executed cell. Fractions are in
+/// `[0, 1]`; timings are real wall-clock seconds and are kept in memory
+/// only — the runner zeroes them in serialised records so that result
+/// JSON is bit-identical across serial and parallel runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordStats {
+    /// Mean test accuracy.
+    pub accuracy: f64,
+    /// Mean test macro-F1.
+    pub macro_f1: f64,
+    /// Wall-clock training seconds.
+    pub train_secs: f64,
+    /// Wall-clock inference seconds.
+    pub infer_secs: f64,
+}
+
+impl From<&CellResult> for RecordStats {
+    fn from(c: &CellResult) -> RecordStats {
+        RecordStats {
+            accuracy: c.accuracy,
+            macro_f1: c.macro_f1,
+            train_secs: c.train_secs,
+            infer_secs: c.infer_secs,
+        }
+    }
+}
+
+impl From<&ShallowResult> for RecordStats {
+    fn from(r: &ShallowResult) -> RecordStats {
+        RecordStats {
+            accuracy: r.accuracy,
+            macro_f1: r.macro_f1,
+            train_secs: r.train_secs,
+            infer_secs: r.infer_secs,
+        }
+    }
+}
+
+/// Everything a cell hands back to its experiment's `render` step.
+#[derive(Debug, Clone, Default)]
+pub struct CellOutput {
+    /// Core metrics, when the cell trains a classifier.
+    pub stats: Option<RecordStats>,
+    /// Named auxiliary values (histogram bins, feature importances,
+    /// dataset counts, …) for render steps that need more than metrics.
+    pub values: Vec<(String, f64)>,
+    /// Pre-rendered text blocks (e.g. cleaning reports).
+    pub lines: Vec<String>,
+}
+
+impl CellOutput {
+    /// Output carrying only metrics.
+    pub fn stats(stats: RecordStats) -> CellOutput {
+        CellOutput { stats: Some(stats), ..Default::default() }
+    }
+
+    /// Output carrying only named values.
+    pub fn values(values: Vec<(String, f64)>) -> CellOutput {
+        CellOutput { values, ..Default::default() }
+    }
+
+    /// Output of a skipped or text-only cell.
+    pub fn empty() -> CellOutput {
+        CellOutput::default()
+    }
+}
+
+impl From<CellResult> for CellOutput {
+    fn from(c: CellResult) -> CellOutput {
+        CellOutput::stats(RecordStats::from(&c))
+    }
+}
+
+impl From<ShallowResult> for CellOutput {
+    fn from(r: ShallowResult) -> CellOutput {
+        CellOutput::stats(RecordStats::from(&r))
+    }
+}
+
+/// The work function of one cell. Receives the shared context plus the
+/// cell's own [`CellConfig`] (same hyper-parameters as the run, with
+/// the cell's independently derived seed).
+pub type CellFn = Arc<dyn Fn(&RunContext, &CellConfig) -> CellOutput + Send + Sync>;
+
+/// One schedulable unit of an experiment: its identity (task, model,
+/// setting — the `ResultRecord` coordinates) plus the work function.
+#[derive(Clone)]
+pub struct CellSpec {
+    /// Task name, e.g. "TLS-120".
+    pub task: String,
+    /// Model name, e.g. "ET-BERT".
+    pub model: String,
+    /// Setting, e.g. "per-flow/frozen".
+    pub setting: String,
+    /// Whether the runner should serialise this cell's stats as a
+    /// [`crate::report::ResultRecord`] (matching which cells the
+    /// original `repro` recorded).
+    pub emit_record: bool,
+    /// The work function.
+    pub run: CellFn,
+}
+
+impl CellSpec {
+    /// A record-emitting cell.
+    pub fn new(
+        task: impl Into<String>,
+        model: impl Into<String>,
+        setting: impl Into<String>,
+        run: impl Fn(&RunContext, &CellConfig) -> CellOutput + Send + Sync + 'static,
+    ) -> CellSpec {
+        CellSpec {
+            task: task.into(),
+            model: model.into(),
+            setting: setting.into(),
+            emit_record: true,
+            run: Arc::new(run),
+        }
+    }
+
+    /// A cell whose output feeds `render` only (no serialised record).
+    pub fn silent(
+        task: impl Into<String>,
+        model: impl Into<String>,
+        setting: impl Into<String>,
+        run: impl Fn(&RunContext, &CellConfig) -> CellOutput + Send + Sync + 'static,
+    ) -> CellSpec {
+        CellSpec { emit_record: false, ..CellSpec::new(task, model, setting, run) }
+    }
+}
+
+/// One table, figure or ablation of the evaluation.
+pub trait Experiment: Send + Sync {
+    /// Stable id used on the command line (e.g. "table3").
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+
+    /// The experiment's grid of cells. Cells must be independent: the
+    /// runner may execute them in any order, concurrently.
+    fn cells(&self, ctx: &RunContext) -> Vec<CellSpec>;
+
+    /// Render tables/charts to stdout from the collected outputs, which
+    /// arrive in the same order as [`Experiment::cells`] returned them.
+    fn render(&self, ctx: &RunContext, outputs: &[CellOutput]);
+}
+
+/// Registry of all experiments, in `all`-execution order.
+#[derive(Default)]
+pub struct Registry {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register an experiment. Panics on a duplicate id — that is a
+    /// programming error in the suite.
+    pub fn register(&mut self, exp: Box<dyn Experiment>) {
+        assert!(self.get(exp.id()).is_none(), "duplicate experiment id: {}", exp.id());
+        self.experiments.push(exp);
+    }
+
+    /// Look an experiment up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Experiment> {
+        self.experiments.iter().find(|e| e.id() == id).map(|e| e.as_ref())
+    }
+
+    /// All registered ids, in `all`-execution order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.experiments.iter().map(|e| e.id()).collect()
+    }
+
+    /// Iterate over registered experiments in `all`-execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.iter().map(|e| e.as_ref())
+    }
+
+    /// Run `filter` ("all" or one experiment id) under `ctx`. Returns
+    /// `Err` with the unknown id when the filter matches nothing.
+    pub fn run(
+        &self,
+        filter: &str,
+        ctx: &RunContext,
+        opts: &crate::engine::runner::RunOptions,
+    ) -> Result<(), String> {
+        if filter == "all" {
+            for exp in self.iter() {
+                crate::engine::runner::run_experiment(exp, ctx, opts);
+            }
+            return Ok(());
+        }
+        match self.get(filter) {
+            Some(exp) => {
+                crate::engine::runner::run_experiment(exp, ctx, opts);
+                Ok(())
+            }
+            None => Err(filter.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str);
+    impl Experiment for Dummy {
+        fn id(&self) -> &'static str {
+            self.0
+        }
+        fn description(&self) -> &'static str {
+            "dummy"
+        }
+        fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+            Vec::new()
+        }
+        fn render(&self, _ctx: &RunContext, _outputs: &[CellOutput]) {}
+    }
+
+    #[test]
+    fn registry_preserves_order_and_rejects_unknown() {
+        let mut r = Registry::new();
+        r.register(Box::new(Dummy("b")));
+        r.register(Box::new(Dummy("a")));
+        assert_eq!(r.ids(), vec!["b", "a"]);
+        assert!(r.get("a").is_some());
+        assert!(r.get("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment id")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::new();
+        r.register(Box::new(Dummy("x")));
+        r.register(Box::new(Dummy("x")));
+    }
+}

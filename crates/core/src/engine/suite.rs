@@ -1,0 +1,1492 @@
+//! The 21 concrete experiments of the paper's evaluation, ported from
+//! the former `repro` binary onto the engine. Each experiment exposes
+//! its grid of independent cells; the frozen/unfrozen × split-policy
+//! tables (3, 4, 5) share one [`GridExperiment`] expansion instead of
+//! per-table loops.
+
+use crate::engine::context::{EncoderSpec, RunContext};
+use crate::engine::registry::{CellOutput, CellSpec, Experiment, RecordStats, Registry};
+use crate::experiment::{embeddings_for_purity, run_cell, CellConfig, FlowIdAblation, SplitPolicy};
+use crate::flow_experiment::{run_flow_cell, run_flow_cell_majority_vote};
+use crate::metrics::{accuracy, macro_f1};
+use crate::pipeline::PreparedTask;
+use crate::report::{bar_chart, TableBuilder};
+use crate::shallow_baselines::{run_shallow, ShallowModel};
+use dataset::record::PacketRecord;
+use dataset::split::{balanced_undersample, per_flow_split, per_packet_split, subsample};
+use dataset::transform::InputAblation;
+use dataset::Task;
+use encoders::model::{EncoderModel, ModelKind};
+use encoders::pool::{pool_batch, PoolingMode};
+use encoders::pretrain::pretrain_corpus;
+use encoders::qa::{corrupt_checksums, qa_pretrain};
+use nn::Mlp;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use shallow::features::{feature_names, FeatureConfig};
+use shallow::purity::knn_purity;
+use std::sync::Arc;
+
+/// The two packet-classification tasks most tables focus on.
+const PACKET_TASKS: [Task; 2] = [Task::VpnApp, Task::Tls120];
+
+fn setting_str(split: SplitPolicy, frozen: bool) -> &'static str {
+    match (split, frozen) {
+        (SplitPolicy::PerFlow, true) => "per-flow/frozen",
+        (SplitPolicy::PerFlow, false) => "per-flow/unfrozen",
+        (SplitPolicy::PerPacket, true) => "per-packet/frozen",
+        (SplitPolicy::PerPacket, false) => "per-packet/unfrozen",
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+fn expect_stats(out: &CellOutput) -> RecordStats {
+    out.stats.expect("cell must produce metrics")
+}
+
+/// Build the full default suite: every table, figure and ablation, in
+/// `all`-execution order.
+pub fn default_registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(Box::new(Table2));
+    r.register(Box::new(Table13));
+    r.register(Box::new(GridExperiment::table3()));
+    r.register(Box::new(GridExperiment::table4()));
+    r.register(Box::new(GridExperiment::table5()));
+    r.register(Box::new(Table6));
+    r.register(Box::new(Table7));
+    r.register(Box::new(Table8));
+    r.register(Box::new(Table9));
+    r.register(Box::new(Table11));
+    r.register(Box::new(Fig1));
+    r.register(Box::new(Fig4));
+    r.register(Box::new(Fig5));
+    r.register(Box::new(Fig6));
+    r.register(Box::new(QaExperiment));
+    r.register(Box::new(RepeatVsPad));
+    r.register(Box::new(BalanceAblation));
+    r.register(Box::new(PoolingAblation));
+    r.register(Box::new(AdvancedSplits));
+    r.register(Box::new(ExtendedModels));
+    r.register(Box::new(Robustness));
+    r
+}
+
+// ---------------------------------------------------------------------
+// Tables 3, 4, 5 — one grid expansion instead of per-table loops.
+
+struct GridExperiment {
+    id: &'static str,
+    description: &'static str,
+    title: &'static str,
+    tasks: Vec<Task>,
+    variants: Vec<(SplitPolicy, bool)>,
+}
+
+impl GridExperiment {
+    fn table3() -> GridExperiment {
+        GridExperiment {
+            id: "table3",
+            description: "packet classification, per-flow split, frozen encoders",
+            title: "Table 3: packet classification — per-flow split, frozen encoders",
+            tasks: Task::ALL.to_vec(),
+            variants: vec![(SplitPolicy::PerFlow, true)],
+        }
+    }
+
+    fn table4() -> GridExperiment {
+        GridExperiment {
+            id: "table4",
+            description: "frozen vs unfrozen, per-flow split (VPN-app, TLS-120)",
+            title: "Table 4: per-flow split — frozen vs unfrozen",
+            tasks: PACKET_TASKS.to_vec(),
+            variants: vec![(SplitPolicy::PerFlow, true), (SplitPolicy::PerFlow, false)],
+        }
+    }
+
+    fn table5() -> GridExperiment {
+        GridExperiment {
+            id: "table5",
+            description: "frozen vs unfrozen, per-packet split",
+            title: "Table 5: per-packet split — frozen vs unfrozen",
+            tasks: PACKET_TASKS.to_vec(),
+            variants: vec![(SplitPolicy::PerPacket, true), (SplitPolicy::PerPacket, false)],
+        }
+    }
+}
+
+impl Experiment for GridExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for kind in ModelKind::ALL {
+            for &task in &self.tasks {
+                for &(split, frozen) in &self.variants {
+                    cells.push(CellSpec::new(
+                        task.name(),
+                        kind.name(),
+                        setting_str(split, frozen),
+                        move |ctx: &RunContext, cfg: &CellConfig| {
+                            let prep = ctx.prep(task);
+                            let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                            run_cell(&prep, &enc, split, frozen, cfg).into()
+                        },
+                    ));
+                }
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut cols: Vec<String> = Vec::new();
+        for &task in &self.tasks {
+            for &(_, frozen) in &self.variants {
+                let tag = if self.variants.len() > 1 {
+                    if frozen {
+                        " fro"
+                    } else {
+                        " unf"
+                    }
+                } else {
+                    ""
+                };
+                cols.push(format!("{}{} AC", task.name(), tag));
+                cols.push("F1".into());
+            }
+        }
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut t = TableBuilder::new(self.title, &col_refs);
+        let per_model = self.tasks.len() * self.variants.len();
+        for (kind, chunk) in ModelKind::ALL.iter().zip(outputs.chunks(per_model)) {
+            let mut vals = Vec::new();
+            for out in chunk {
+                let s = expect_stats(out);
+                vals.push(s.accuracy);
+                vals.push(s.macro_f1);
+            }
+            t.row_pct(kind.name(), &vals);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — dataset and task statistics.
+
+struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn description(&self) -> &'static str {
+        "dataset/task statistics"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        Task::ALL
+            .into_iter()
+            .map(|task| {
+                CellSpec::silent(task.name(), "dataset", "stats", move |ctx, cfg| {
+                    let prep = ctx.prep(task);
+                    let split =
+                        per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                    let label = |r: &PacketRecord| task.label_of(&prep.data, r);
+                    let bal = balanced_undersample(&prep.data, &split.train, &label, cfg.seed);
+                    CellOutput::values(vec![
+                        ("classes".into(), task.n_classes() as f64),
+                        ("train_bal".into(), bal.len() as f64),
+                        ("test".into(), split.test.len() as f64),
+                        ("flows".into(), prep.data.n_flows() as f64),
+                        ("packets".into(), prep.data.records.len() as f64),
+                    ])
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 2: downstream datasets and tasks (synthetic analogue)",
+            &["#class", "#train(bal)", "#test", "#flows", "#packets"],
+        );
+        for (task, out) in Task::ALL.iter().zip(outputs) {
+            let vals: Vec<String> =
+                out.values.iter().map(|(_, v)| format!("{}", *v as u64)).collect();
+            t.row(task.name(), &vals);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 6 — implicit-flow-ID ablation on unfrozen ET-BERT, TLS-120.
+
+struct Table6;
+
+const TABLE6_ROWS: [(&str, &str, SplitPolicy, FlowIdAblation, bool); 5] = [
+    (
+        "per-packet original",
+        "per-packet, original",
+        SplitPolicy::PerPacket,
+        FlowIdAblation::None,
+        true,
+    ),
+    (
+        "per-packet w/o seq/ack/ts (test only)",
+        "w/o SeqNo/AckNo/TS (test)",
+        SplitPolicy::PerPacket,
+        FlowIdAblation::TestOnly,
+        true,
+    ),
+    (
+        "per-packet w/o seq/ack/ts (train+test)",
+        "w/o SeqNo/AckNo/TS (train+test)",
+        SplitPolicy::PerPacket,
+        FlowIdAblation::TrainAndTest,
+        true,
+    ),
+    (
+        "per-packet w/o pre-training",
+        "w/o pre-training",
+        SplitPolicy::PerPacket,
+        FlowIdAblation::None,
+        false,
+    ),
+    ("per-flow original", "per-flow, original", SplitPolicy::PerFlow, FlowIdAblation::None, true),
+];
+
+impl Experiment for Table6 {
+    fn id(&self) -> &'static str {
+        "table6"
+    }
+
+    fn description(&self) -> &'static str {
+        "implicit-flow-ID ablation on ET-BERT (TLS-120)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        TABLE6_ROWS
+            .iter()
+            .map(|&(setting, _, split, ablation, pretrained)| {
+                CellSpec::new("TLS-120", "ET-BERT", setting, move |ctx, cfg| {
+                    let prep = ctx.prep(Task::Tls120);
+                    let enc =
+                        ctx.encoder(EncoderSpec::Standard { kind: ModelKind::EtBert, pretrained });
+                    let cfg = CellConfig { flow_id_ablation: ablation, ..*cfg };
+                    run_cell(&prep, &enc, split, false, &cfg).into()
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 6: implicit flow IDs and pre-training — unfrozen ET-BERT, TLS-120",
+            &["AC", "F1"],
+        );
+        for ((_, row_label, ..), out) in TABLE6_ROWS.iter().zip(outputs) {
+            let s = expect_stats(out);
+            t.row_pct(row_label, &[s.accuracy, s.macro_f1]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 7 — Pcap-Encoder input ablation.
+
+struct Table7;
+
+const TABLE7_ROWS: [(&str, InputAblation); 4] = [
+    ("w/o IP addr", InputAblation::NoIpAddr),
+    ("w/o header", InputAblation::NoHeader),
+    ("w/o payload", InputAblation::NoPayload),
+    ("base", InputAblation::Base),
+];
+
+impl Experiment for Table7 {
+    fn id(&self) -> &'static str {
+        "table7"
+    }
+
+    fn description(&self) -> &'static str {
+        "Pcap-Encoder input ablation"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for &(label, ablation) in &TABLE7_ROWS {
+            for task in PACKET_TASKS {
+                cells.push(CellSpec::new(task.name(), "Pcap-Encoder", label, move |ctx, cfg| {
+                    let prep = ctx.prep(task);
+                    let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
+                    let cfg = CellConfig { input_ablation: ablation, ..*cfg };
+                    run_cell(&prep, &enc, SplitPolicy::PerFlow, true, &cfg).into()
+                }));
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 7: Pcap-Encoder input ablation (macro F1, per-flow, frozen)",
+            &["VPN-app F1", "TLS-120 F1"],
+        );
+        for ((label, _), chunk) in TABLE7_ROWS.iter().zip(outputs.chunks(PACKET_TASKS.len())) {
+            let vals: Vec<f64> = chunk.iter().map(|o| expect_stats(o).macro_f1).collect();
+            t.row_pct(label, &vals);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 8 — shallow baselines with and without IP features.
+
+struct Table8;
+
+impl Experiment for Table8 {
+    fn id(&self) -> &'static str {
+        "table8"
+    }
+
+    fn description(&self) -> &'static str {
+        "shallow baselines, base vs w/o IP"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for model in ShallowModel::ALL {
+            for task in PACKET_TASKS {
+                for with_ip in [true, false] {
+                    let setting = if with_ip { "base" } else { "w/o IP" };
+                    cells.push(CellSpec::new(
+                        task.name(),
+                        model.name(),
+                        setting,
+                        move |ctx: &RunContext, cfg: &CellConfig| {
+                            let prep = ctx.prep(task);
+                            run_shallow(
+                                &prep,
+                                model,
+                                SplitPolicy::PerFlow,
+                                FeatureConfig { with_ip },
+                                cfg,
+                            )
+                            .into()
+                        },
+                    ));
+                }
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 8: shallow baselines (macro F1, per-flow split)",
+            &["VPNapp base", "VPNapp w/oIP", "TLS120 base", "TLS120 w/oIP"],
+        );
+        let per_model = PACKET_TASKS.len() * 2;
+        for (model, chunk) in ShallowModel::ALL.iter().zip(outputs.chunks(per_model)) {
+            let vals: Vec<f64> = chunk.iter().map(|o| expect_stats(o).macro_f1).collect();
+            t.row_pct(model.name(), &vals);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 9 — flow-level classification.
+
+struct Table9;
+
+impl Experiment for Table9 {
+    fn id(&self) -> &'static str {
+        "table9"
+    }
+
+    fn description(&self) -> &'static str {
+        "flow-level classification"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for kind in ModelKind::ALL {
+            for task in PACKET_TASKS {
+                if kind == ModelKind::PcapEncoder {
+                    cells.push(CellSpec::new(
+                        task.name(),
+                        kind.name(),
+                        "frozen majority-vote",
+                        move |ctx: &RunContext, cfg: &CellConfig| {
+                            let prep = ctx.prep(task);
+                            let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                            run_flow_cell_majority_vote(&prep, &enc, cfg).into()
+                        },
+                    ));
+                } else {
+                    for frozen in [true, false] {
+                        let setting = if frozen { "frozen" } else { "unfrozen" };
+                        cells.push(CellSpec::new(
+                            task.name(),
+                            kind.name(),
+                            setting,
+                            move |ctx: &RunContext, cfg: &CellConfig| {
+                                let prep = ctx.prep(task);
+                                let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                                run_flow_cell(&prep, &enc, frozen, cfg).into()
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        // Extension row (not in the paper's table): a shallow RF on
+        // classic flow statistics, the cost-benefit anchor.
+        for task in PACKET_TASKS {
+            cells.push(CellSpec::silent(
+                task.name(),
+                "RF (flow stats)",
+                "per-flow",
+                move |ctx, cfg| {
+                    let prep = ctx.prep(task);
+                    let (acc, f1) = flow_stats_rf(&prep, cfg);
+                    CellOutput::stats(RecordStats {
+                        accuracy: acc,
+                        macro_f1: f1,
+                        train_secs: 0.0,
+                        infer_secs: 0.0,
+                    })
+                },
+            ));
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 9: flow classification (per-flow split)",
+            &[
+                "VPNapp fro AC",
+                "fro F1",
+                "unf AC",
+                "unf F1",
+                "TLS120 fro AC",
+                "fro F1",
+                "unf AC",
+                "unf F1",
+            ],
+        );
+        let mut it = outputs.iter();
+        for kind in ModelKind::ALL {
+            let mut vals: Vec<String> = Vec::new();
+            for _ in PACKET_TASKS {
+                if kind == ModelKind::PcapEncoder {
+                    let s = expect_stats(it.next().expect("majority-vote cell"));
+                    vals.extend([pct(s.accuracy), pct(s.macro_f1), "-".into(), "-".into()]);
+                } else {
+                    for _ in 0..2 {
+                        let s = expect_stats(it.next().expect("flow cell"));
+                        vals.push(pct(s.accuracy));
+                        vals.push(pct(s.macro_f1));
+                    }
+                }
+            }
+            t.row(kind.name(), &vals);
+        }
+        let mut vals: Vec<String> = Vec::new();
+        for _ in PACKET_TASKS {
+            let s = expect_stats(it.next().expect("flow-stats RF cell"));
+            vals.extend([pct(s.accuracy), pct(s.macro_f1), "-".into(), "-".into()]);
+        }
+        t.row("RF (flow stats)*", &vals);
+        println!("{}", t.render());
+        println!("* extension row: shallow RF on flow statistics (not in the paper's table)\n");
+    }
+}
+
+/// Shallow RF on flow-level statistics, per-flow split (extension).
+fn flow_stats_rf(prep: &PreparedTask, cfg: &CellConfig) -> (f64, f64) {
+    use shallow::flow_features::{extract_flow_features, N_FLOW_FEATURES};
+    let mut x: Vec<[f32; N_FLOW_FEATURES]> = Vec::new();
+    let mut y: Vec<u16> = Vec::new();
+    for (_, idxs) in prep.data.flows() {
+        if idxs.len() < 5 {
+            continue;
+        }
+        let pkts: Vec<&PacketRecord> =
+            idxs.iter().take(5).map(|&i| &prep.data.records[i]).collect();
+        x.push(extract_flow_features(&pkts));
+        y.push(prep.task.label_of(&prep.data, &prep.data.records[idxs[0]]));
+    }
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    order.shuffle(&mut rng);
+    let cut = (order.len() as f64 * cfg.train_frac) as usize;
+    let rows = |idx: &[usize]| -> Vec<&[f32]> { idx.iter().map(|&i| x[i].as_slice()).collect() };
+    let labels = |idx: &[usize]| -> Vec<u16> { idx.iter().map(|&i| y[i]).collect() };
+    let rf = shallow::forest::RandomForest::fit(
+        &rows(&order[..cut]),
+        &labels(&order[..cut]),
+        prep.task.n_classes(),
+        shallow::forest::ForestParams::default(),
+        cfg.seed,
+    );
+    let preds = rf.predict(&rows(&order[cut..]));
+    let truth = labels(&order[cut..]);
+    (accuracy(&preds, &truth), macro_f1(&preds, &truth, prep.task.n_classes()))
+}
+
+// ---------------------------------------------------------------------
+// Table 11 — Pcap-Encoder pre-training ablation.
+
+struct Table11;
+
+const TABLE11_VARIANTS: [encoders::pcap_encoder::PcapEncoderVariant; 3] = [
+    encoders::pcap_encoder::PcapEncoderVariant::AutoencoderQa,
+    encoders::pcap_encoder::PcapEncoderVariant::QaOnly,
+    encoders::pcap_encoder::PcapEncoderVariant::Base,
+];
+
+impl Experiment for Table11 {
+    fn id(&self) -> &'static str {
+        "table11"
+    }
+
+    fn description(&self) -> &'static str {
+        "Pcap-Encoder pre-training ablation"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for variant in TABLE11_VARIANTS {
+            for task in PACKET_TASKS {
+                cells.push(CellSpec::new(
+                    task.name(),
+                    variant.name(),
+                    "per-flow/frozen",
+                    move |ctx: &RunContext, cfg: &CellConfig| {
+                        let prep = ctx.prep(task);
+                        let enc = ctx.encoder(EncoderSpec::PcapVariant(variant));
+                        run_cell(&prep, &enc, SplitPolicy::PerFlow, true, cfg).into()
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table 11: Pcap-Encoder pre-training ablation (per-flow, frozen)",
+            &["VPNapp AC", "VPNapp F1", "TLS120 AC", "TLS120 F1"],
+        );
+        for (variant, chunk) in TABLE11_VARIANTS.iter().zip(outputs.chunks(PACKET_TASKS.len())) {
+            let mut vals = Vec::new();
+            for out in chunk {
+                let s = expect_stats(out);
+                vals.push(s.accuracy);
+                vals.push(s.macro_f1);
+            }
+            t.row_pct(variant.name(), &vals);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 13 — protocol-filter cleaning statistics.
+
+struct Table13;
+
+const TABLE13_TASKS: [Task; 3] = [Task::VpnBinary, Task::UstcBinary, Task::Tls120];
+
+impl Experiment for Table13 {
+    fn id(&self) -> &'static str {
+        "table13"
+    }
+
+    fn description(&self) -> &'static str {
+        "protocol-filter cleaning statistics"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        TABLE13_TASKS
+            .into_iter()
+            .map(|task| {
+                CellSpec::silent(task.name(), "dataset", "clean-report", move |ctx, _cfg| {
+                    let prep = ctx.prep(task);
+                    CellOutput {
+                        lines: vec![format!(
+                            "== Table 13: cleaning report for {} ==\n{}",
+                            task.dataset().name(),
+                            prep.clean_report.to_table()
+                        )],
+                        ..Default::default()
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        for out in outputs {
+            for line in &out.lines {
+                println!("{line}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1 — headline summary bars on TLS-120.
+
+struct Fig1;
+
+const FIG1_KINDS: [ModelKind; 3] =
+    [ModelKind::EtBert, ModelKind::TrafficFormer, ModelKind::PcapEncoder];
+
+impl Experiment for Fig1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn description(&self) -> &'static str {
+        "headline summary (TLS-120)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for kind in FIG1_KINDS {
+            for (split, frozen) in [(SplitPolicy::PerPacket, false), (SplitPolicy::PerFlow, true)] {
+                cells.push(CellSpec::new(
+                    "TLS-120",
+                    kind.name(),
+                    setting_str(split, frozen),
+                    move |ctx: &RunContext, cfg: &CellConfig| {
+                        let prep = ctx.prep(Task::Tls120);
+                        let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                        run_cell(&prep, &enc, split, frozen, cfg).into()
+                    },
+                ));
+            }
+        }
+        cells.push(CellSpec::silent("TLS-120", "RF", "per-flow", |ctx, cfg| {
+            let prep = ctx.prep(Task::Tls120);
+            run_shallow(
+                &prep,
+                ShallowModel::Rf,
+                SplitPolicy::PerFlow,
+                FeatureConfig::default(),
+                cfg,
+            )
+            .into()
+        }));
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut items: Vec<(String, f64)> = Vec::new();
+        let mut it = outputs.iter();
+        for kind in FIG1_KINDS {
+            let claimed = expect_stats(it.next().expect("claimed cell"));
+            let proper = expect_stats(it.next().expect("proper cell"));
+            items.push((
+                format!("{} (per-packet, unfrozen)", kind.name()),
+                claimed.accuracy * 100.0,
+            ));
+            items.push((format!("{} (per-flow, frozen)", kind.name()), proper.accuracy * 100.0));
+        }
+        let rf = expect_stats(it.next().expect("RF cell"));
+        items.push(("Shallow RF (per-flow)".into(), rf.accuracy * 100.0));
+        println!(
+            "{}",
+            bar_chart(
+                "Fig. 1: accuracy on TLS-120 — claimed setting vs proper evaluation",
+                &items,
+                50
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4 — 5-NN purity of ET-BERT embeddings, frozen vs unfrozen.
+
+struct Fig4;
+
+fn purity_output(emb: &[Vec<f32>], labels: &[u16]) -> CellOutput {
+    let h = knn_purity(emb, labels, 5);
+    let mut values: Vec<(String, f64)> = h
+        .fraction
+        .iter()
+        .enumerate()
+        .map(|(m, f)| (format!("{m}/5 same-class"), f * 100.0))
+        .collect();
+    values.push(("__mean".into(), h.mean_purity()));
+    CellOutput::values(values)
+}
+
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn description(&self) -> &'static str {
+        "5-NN purity of ET-BERT embeddings, frozen vs unfrozen"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        vec![
+            CellSpec::silent("TLS-120", "ET-BERT", "frozen", |ctx, cfg| {
+                let prep = ctx.prep(Task::Tls120);
+                let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::EtBert));
+                let n = cfg.max_test.min(1200);
+                let (emb, labels) = embeddings_for_purity(&prep, &enc, n, cfg.seed);
+                purity_output(&emb, &labels)
+            }),
+            CellSpec::silent("TLS-120", "ET-BERT", "unfrozen", |ctx, cfg| {
+                // Fine-tune end-to-end on the per-packet split first,
+                // then embed the same sample (the paper's procedure).
+                let prep = ctx.prep(Task::Tls120);
+                let mut enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::EtBert));
+                let n = cfg.max_test.min(1200);
+                let split = per_packet_split(&prep.data, cfg.train_frac, cfg.seed);
+                let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
+                let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
+                let train = subsample(&train, cfg.max_train, cfg.seed);
+                let mut head =
+                    Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let mut order = train.clone();
+                for epoch in 0..cfg.unfrozen_epochs {
+                    order.shuffle(&mut rng);
+                    for chunk in order.chunks(cfg.batch) {
+                        let recs: Vec<&PacketRecord> =
+                            chunk.iter().map(|&i| &prep.data.records[i]).collect();
+                        let labels: Vec<u16> = recs.iter().map(|r| label_of(r)).collect();
+                        let tokens = enc.tokenize_training_batch(&recs, epoch as u64);
+                        let pooled = enc.forward_tokens(&tokens);
+                        let (_, d) = head.train_batch(&pooled, &labels, cfg.lr);
+                        let lr_enc = cfg.lr_encoder * (64.0 / enc.dim() as f32).min(1.0);
+                        enc.backward(&d, lr_enc);
+                    }
+                }
+                let (emb, labels) = embeddings_for_purity(&prep, &enc, n, cfg.seed);
+                purity_output(&emb, &labels)
+            }),
+        ]
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        for (name, out) in ["frozen", "unfrozen"].iter().zip(outputs) {
+            let mean =
+                out.values.iter().find(|(k, _)| k == "__mean").map(|(_, v)| *v).unwrap_or(0.0);
+            let items: Vec<(String, f64)> =
+                out.values.iter().filter(|(k, _)| k != "__mean").cloned().collect();
+            println!(
+                "{}",
+                bar_chart(
+                    &format!(
+                        "Fig. 4 ({name}): 5-NN purity of ET-BERT embeddings, TLS-120 (mean {:.2})",
+                        mean
+                    ),
+                    &items,
+                    40
+                )
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5 — RF feature importance, per-packet split, TLS-120.
+
+struct Fig5;
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn description(&self) -> &'static str {
+        "RF feature importance, with and without IP"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        [true, false]
+            .into_iter()
+            .map(|with_ip| {
+                let setting = if with_ip { "with IP" } else { "w/o IP" };
+                CellSpec::silent("TLS-120", "RF", setting, move |ctx, cfg| {
+                    let prep = ctx.prep(Task::Tls120);
+                    let r = run_shallow(
+                        &prep,
+                        ShallowModel::Rf,
+                        SplitPolicy::PerPacket,
+                        FeatureConfig { with_ip },
+                        cfg,
+                    );
+                    let imp = r.importance.as_ref().expect("rf importance");
+                    let names = feature_names();
+                    let mut pairs: Vec<(String, f64)> =
+                        names.iter().zip(imp).map(|(n, &v)| (n.to_string(), v)).collect();
+                    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    pairs.truncate(10);
+                    pairs.push(("__accuracy".into(), r.accuracy * 100.0));
+                    CellOutput::values(pairs)
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        for (with_ip, out) in [true, false].into_iter().zip(outputs) {
+            let acc =
+                out.values.iter().find(|(k, _)| k == "__accuracy").map(|(_, v)| *v).unwrap_or(0.0);
+            let pairs: Vec<(String, f64)> =
+                out.values.iter().filter(|(k, _)| k != "__accuracy").cloned().collect();
+            println!(
+                "{}",
+                bar_chart(
+                    &format!(
+                        "Fig. 5 ({}): top-10 RF feature importance, per-packet TLS-120 (accuracy {:.1}%)",
+                        if with_ip { "with IP" } else { "w/o IP" },
+                        acc
+                    ),
+                    &pairs,
+                    40
+                )
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — relative training/inference time on VPN-app (per-flow).
+
+struct Fig6;
+
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "relative training/inference time"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = vec![CellSpec::silent("VPN-app", "RF", "per-flow", |ctx, cfg| {
+            let prep = ctx.prep(Task::VpnApp);
+            run_shallow(
+                &prep,
+                ShallowModel::Rf,
+                SplitPolicy::PerFlow,
+                FeatureConfig::default(),
+                cfg,
+            )
+            .into()
+        })];
+        for kind in ModelKind::ALL {
+            for frozen in [true, false] {
+                let setting = if frozen { "frozen" } else { "unfrozen" };
+                cells.push(CellSpec::new(
+                    "VPN-app",
+                    kind.name(),
+                    setting,
+                    move |ctx: &RunContext, cfg: &CellConfig| {
+                        let prep = ctx.prep(Task::VpnApp);
+                        let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                        run_cell(&prep, &enc, SplitPolicy::PerFlow, frozen, cfg).into()
+                    },
+                ));
+            }
+        }
+        cells
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        // Timings here are the in-memory wall-clock values; they are
+        // zeroed only in the serialised records.
+        let rf = expect_stats(&outputs[0]);
+        let mut train_items = vec![("RF".to_string(), 1.0)];
+        let mut infer_items = vec![("RF".to_string(), 1.0)];
+        let mut it = outputs[1..].iter();
+        for kind in ModelKind::ALL {
+            for frozen in [true, false] {
+                let s = expect_stats(it.next().expect("timing cell"));
+                let tag = format!("{} ({})", kind.name(), if frozen { "fro" } else { "unf" });
+                train_items.push((tag, s.train_secs / rf.train_secs.max(1e-9)));
+                if frozen {
+                    infer_items
+                        .push((kind.name().to_string(), s.infer_secs / rf.infer_secs.max(1e-9)));
+                }
+            }
+        }
+        println!("{}", bar_chart("Fig. 6a: training time relative to RF", &train_items, 40));
+        println!("{}", bar_chart("Fig. 6b: inference time relative to RF", &infer_items, 40));
+    }
+}
+
+// ---------------------------------------------------------------------
+// App. A.1.3 — Q&A pre-training accuracy per question.
+
+struct QaExperiment;
+
+impl Experiment for QaExperiment {
+    fn id(&self) -> &'static str {
+        "qa"
+    }
+
+    fn description(&self) -> &'static str {
+        "Pcap-Encoder Q&A pre-training accuracy (App. A.1.3)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        vec![CellSpec::silent("pretrain-corpus", "Pcap-Encoder", "qa", |ctx, cfg| {
+            let budget = ctx.budget;
+            let mut corpus = pretrain_corpus(cfg.seed ^ 0x1a, budget.corpus_flows * 2);
+            let mut held = pretrain_corpus(cfg.seed ^ 0x2b, budget.corpus_flows / 3 + 5);
+            corrupt_checksums(&mut corpus, 0.25, cfg.seed ^ 0x6e);
+            corrupt_checksums(&mut held, 0.25, cfg.seed ^ 0x7f);
+            let mut model = EncoderModel::new(ModelKind::PcapEncoder, cfg.seed ^ 0xabc);
+            // Heads learn with Adam; a higher lr here only benefits
+            // them — the encoder side uses geometry-preserving SGD
+            // (DESIGN.md §4b).
+            let report = qa_pretrain(
+                &mut model,
+                &corpus,
+                &held,
+                budget.qa_epochs * 2,
+                budget.lr.max(0.05),
+                cfg.seed ^ 0x4d,
+            );
+            let mut values: Vec<(String, f64)> =
+                report.accuracy.iter().map(|(q, a)| (format!("{q:?}"), a * 100.0)).collect();
+            values.push(("__mean".into(), report.mean_accuracy() * 100.0));
+            CellOutput::values(values)
+        })]
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let out = &outputs[0];
+        let mean = out.values.iter().find(|(k, _)| k == "__mean").map(|(_, v)| *v).unwrap_or(0.0);
+        let items: Vec<(String, f64)> =
+            out.values.iter().filter(|(k, _)| k != "__mean").cloned().collect();
+        println!(
+            "{}",
+            bar_chart(
+                &format!("App. A.1.3: Q&A held-out accuracy per question (mean {:.1}%)", mean),
+                &items,
+                40
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §5 footnote 11 — Repeat vs Padding for packet-level flow embedders.
+
+struct RepeatVsPad;
+
+impl Experiment for RepeatVsPad {
+    fn id(&self) -> &'static str {
+        "repeat_vs_pad"
+    }
+
+    fn description(&self) -> &'static str {
+        "packet-input strategy ablation (§5 fn. 11)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        vec![
+            CellSpec::silent("VPN-app", "YaTC", "repeat", |ctx, cfg| {
+                let prep = ctx.prep(Task::VpnApp);
+                let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::YaTc));
+                run_cell(&prep, &enc, SplitPolicy::PerFlow, true, cfg).into()
+            }),
+            CellSpec::silent("VPN-app", "YaTC", "pad", |ctx, cfg| {
+                let prep = ctx.prep(Task::VpnApp);
+                let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::YaTc));
+                let split =
+                    per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
+                let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
+                let train = subsample(&train, cfg.max_train, cfg.seed);
+                let test = subsample(&split.test, cfg.max_test, cfg.seed);
+                let tok = |idx: &[usize]| -> Vec<Vec<u32>> {
+                    idx.iter().map(|&i| enc.tokenize_packet_padded(&prep.data.records[i])).collect()
+                };
+                let x_train = enc.encode_tokens(&tok(&train));
+                let y_train: Vec<u16> =
+                    train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                let x_test = enc.encode_tokens(&tok(&test));
+                let y_test: Vec<u16> =
+                    test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                let mut head =
+                    Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
+                head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
+                let preds = head.predict(&x_test);
+                CellOutput::stats(RecordStats {
+                    accuracy: accuracy(&preds, &y_test),
+                    macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
+                    train_secs: 0.0,
+                    infer_secs: 0.0,
+                })
+            }),
+        ]
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let repeat = expect_stats(&outputs[0]);
+        let pad = expect_stats(&outputs[1]);
+        println!(
+            "{}",
+            bar_chart(
+                "fn.11 ablation: Repeat vs Padding input strategy (YaTC, VPN-app, frozen)",
+                &[
+                    ("Repeat x5".into(), repeat.accuracy * 100.0),
+                    ("Pad with zero packets".into(), pad.accuracy * 100.0),
+                ],
+                40
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §6.2 closing remark — balanced vs unbalanced training split.
+
+struct BalanceAblation;
+
+impl Experiment for BalanceAblation {
+    fn id(&self) -> &'static str {
+        "balance_ablation"
+    }
+
+    fn description(&self) -> &'static str {
+        "balanced vs unbalanced flow training (§6.2)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        vec![
+            CellSpec::silent("TLS-120", "Pcap-Encoder", "balanced", |ctx, cfg| {
+                let prep = ctx.prep(Task::Tls120);
+                let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
+                run_cell(&prep, &enc, SplitPolicy::PerFlow, true, cfg).into()
+            }),
+            CellSpec::silent("TLS-120", "Pcap-Encoder", "natural", |ctx, cfg| {
+                let prep = ctx.prep(Task::Tls120);
+                let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
+                let split =
+                    per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
+                let train = subsample(&split.train, cfg.max_train, cfg.seed);
+                let test = subsample(&split.test, cfg.max_test, cfg.seed);
+                let recs = |idx: &[usize]| -> Vec<&PacketRecord> {
+                    idx.iter().map(|&i| &prep.data.records[i]).collect()
+                };
+                let x_train = enc.encode_packets(&recs(&train));
+                let y_train: Vec<u16> =
+                    train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                let x_test = enc.encode_packets(&recs(&test));
+                let y_test: Vec<u16> =
+                    test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                let mut head =
+                    Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
+                head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
+                let preds = head.predict(&x_test);
+                CellOutput::stats(RecordStats {
+                    accuracy: accuracy(&preds, &y_test),
+                    macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
+                    train_secs: 0.0,
+                    infer_secs: 0.0,
+                })
+            }),
+        ]
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let balanced = expect_stats(&outputs[0]);
+        let natural = expect_stats(&outputs[1]);
+        println!(
+            "{}",
+            bar_chart(
+                "§6.2 ablation: balanced vs unbalanced training (Pcap-Encoder, TLS-120, macro F1)",
+                &[
+                    ("balanced undersampling".into(), balanced.macro_f1 * 100.0),
+                    ("natural distribution".into(), natural.macro_f1 * 100.0),
+                ],
+                40
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// App. A.1.2 — bottleneck pooling ablation on frozen Pcap-Encoder.
+
+struct PoolingAblation;
+
+impl Experiment for PoolingAblation {
+    fn id(&self) -> &'static str {
+        "pooling"
+    }
+
+    fn description(&self) -> &'static str {
+        "bottleneck pooling ablation (App. A.1.2)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        PoolingMode::ALL
+            .into_iter()
+            .map(|mode| {
+                CellSpec::silent("VPN-app", "Pcap-Encoder", mode.name(), move |ctx, cfg| {
+                    let prep = ctx.prep(Task::VpnApp);
+                    let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
+                    let split =
+                        per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                    let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
+                    let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
+                    let train = subsample(&train, cfg.max_train, cfg.seed);
+                    let test = subsample(&split.test, cfg.max_test, cfg.seed);
+                    let tokens = |idx: &[usize]| -> Vec<Vec<u32>> {
+                        idx.iter()
+                            .map(|&i| enc.tokenize_packet(&prep.data.records[i], None))
+                            .collect()
+                    };
+                    let (ttr, tte) = (tokens(&train), tokens(&test));
+                    let y_train: Vec<u16> =
+                        train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                    let y_test: Vec<u16> =
+                        test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                    let x_train = pool_batch(&enc.embedding, &ttr, mode, cfg.seed);
+                    let x_test = pool_batch(&enc.embedding, &tte, mode, cfg.seed);
+                    let mut head =
+                        Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
+                    head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
+                    let preds = head.predict(&x_test);
+                    CellOutput::stats(RecordStats {
+                        accuracy: accuracy(&preds, &y_test),
+                        macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
+                        train_secs: 0.0,
+                        infer_secs: 0.0,
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let items: Vec<(String, f64)> = PoolingMode::ALL
+            .iter()
+            .zip(outputs)
+            .map(|(mode, out)| (mode.name().to_string(), expect_stats(out).macro_f1 * 100.0))
+            .collect();
+        println!(
+            "{}",
+            bar_chart(
+                "App. A.1.2: bottleneck pooling ablation (Pcap-Encoder frozen, VPN-app, macro F1)",
+                &items,
+                40
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §4.1 extension — stricter split policies.
+
+struct AdvancedSplits;
+
+const SPLIT_POLICIES: [&str; 4] = ["per-packet (leaky)", "per-flow", "per-client", "per-time"];
+
+impl Experiment for AdvancedSplits {
+    fn id(&self) -> &'static str {
+        "advanced_splits"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-flow vs per-client vs per-time splits (§4.1)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        SPLIT_POLICIES
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| {
+                CellSpec::silent("VPN-app", "RF", name, move |ctx, cfg| {
+                    use dataset::split::{per_client_split, per_time_split};
+                    let prep = ctx.prep(Task::VpnApp);
+                    let split = match i {
+                        0 => per_packet_split(&prep.data, cfg.train_frac, cfg.seed),
+                        1 => per_flow_split(
+                            &prep.data,
+                            cfg.train_frac,
+                            cfg.max_flow_packets,
+                            cfg.seed,
+                        ),
+                        2 => per_client_split(&prep.data, cfg.train_frac, cfg.seed),
+                        _ => per_time_split(&prep.data, cfg.train_frac),
+                    };
+                    let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
+                    let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
+                    let train = subsample(&train, cfg.max_train, cfg.seed);
+                    let test = subsample(&split.test, cfg.max_test, cfg.seed);
+                    if train.is_empty() || test.is_empty() {
+                        eprintln!("  advanced_splits {name}: skipped (degenerate partition)");
+                        return CellOutput::empty();
+                    }
+                    let feats = |idx: &[usize]| -> Vec<[f32; shallow::features::N_FEATURES]> {
+                        idx.iter()
+                            .map(|&i| {
+                                shallow::features::extract_features(
+                                    &prep.data.records[i],
+                                    FeatureConfig::default(),
+                                )
+                            })
+                            .collect()
+                    };
+                    let (xtr, xte) = (feats(&train), feats(&test));
+                    fn rows(x: &[[f32; shallow::features::N_FEATURES]]) -> Vec<&[f32]> {
+                        x.iter().map(|r| &r[..]).collect()
+                    }
+                    let ytr: Vec<u16> =
+                        train.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                    let yte: Vec<u16> =
+                        test.iter().map(|&i| label_of(&prep.data.records[i])).collect();
+                    let rf = shallow::forest::RandomForest::fit(
+                        &rows(&xtr),
+                        &ytr,
+                        prep.task.n_classes(),
+                        shallow::forest::ForestParams::default(),
+                        cfg.seed,
+                    );
+                    let preds = rf.predict(&rows(&xte));
+                    CellOutput::stats(RecordStats {
+                        accuracy: accuracy(&preds, &yte),
+                        macro_f1: macro_f1(&preds, &yte, prep.task.n_classes()),
+                        train_secs: 0.0,
+                        infer_secs: 0.0,
+                    })
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let items: Vec<(String, f64)> = SPLIT_POLICIES
+            .iter()
+            .zip(outputs)
+            .filter_map(|(name, out)| out.stats.map(|s| (name.to_string(), s.macro_f1 * 100.0)))
+            .collect();
+        println!(
+            "{}",
+            bar_chart(
+                "§4.1 extension: RF macro F1 under increasingly strict splits (VPN-app)",
+                &items,
+                40
+            )
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table-1 extension — models the paper does not evaluate.
+
+struct ExtendedModels;
+
+impl Experiment for ExtendedModels {
+    fn id(&self) -> &'static str {
+        "extended_models"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table-1 models the paper does not evaluate (PERT, PacRep, PTU)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        ModelKind::EXTENDED
+            .into_iter()
+            .map(|kind| {
+                CellSpec::new("VPN-app", kind.name(), "per-flow/frozen", move |ctx, cfg| {
+                    let prep = ctx.prep(Task::VpnApp);
+                    let enc = ctx.encoder(EncoderSpec::pretrained(kind));
+                    run_cell(&prep, &enc, SplitPolicy::PerFlow, true, cfg).into()
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Table-1 extension: all nine analogues, VPN-app (per-flow, frozen)",
+            &["AC", "F1"],
+        );
+        for (kind, out) in ModelKind::EXTENDED.iter().zip(outputs) {
+            let s = expect_stats(out);
+            t.row_pct(kind.name(), &[s.accuracy, s.macro_f1]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension — robustness under capture faults.
+
+struct Robustness;
+
+const FAULT_RATES: [f64; 4] = [0.0, 0.05, 0.15, 0.30];
+
+impl Experiment for Robustness {
+    fn id(&self) -> &'static str {
+        "robustness"
+    }
+
+    fn description(&self) -> &'static str {
+        "RF accuracy vs capture-fault rate (extension)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        FAULT_RATES
+            .into_iter()
+            .map(|loss| {
+                CellSpec::silent(
+                    "USTC-app",
+                    "RF",
+                    format!("{:.0}% faults", loss * 100.0),
+                    move |ctx, cfg| {
+                        use traffic_synth::faults::{inject_faults, FaultConfig};
+                        let spec =
+                            traffic_synth::DatasetSpec::new(Task::UstcApp.dataset(), ctx.seed)
+                                .scaled(ctx.scale);
+                        let mut trace = spec.generate();
+                        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xfa17);
+                        let fault_cfg = FaultConfig {
+                            drop: loss,
+                            duplicate: loss / 4.0,
+                            reorder: loss / 2.0,
+                            corrupt: loss / 10.0,
+                            reorder_delay: 0.05,
+                        };
+                        inject_faults(&mut trace, fault_cfg, &mut rng);
+                        dataset::clean::clean_trace(&mut trace);
+                        let data = dataset::record::Prepared::from_trace(&trace);
+                        let prep = PreparedTask {
+                            task: Task::UstcApp,
+                            data: Arc::new(data),
+                            clean_report: Arc::new(Default::default()),
+                            seed: ctx.seed,
+                        };
+                        run_shallow(
+                            &prep,
+                            ShallowModel::Rf,
+                            SplitPolicy::PerFlow,
+                            FeatureConfig::default(),
+                            cfg,
+                        )
+                        .into()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+        let items: Vec<(String, f64)> = FAULT_RATES
+            .iter()
+            .zip(outputs)
+            .map(|(loss, out)| {
+                (format!("{:.0}% faults", loss * 100.0), expect_stats(out).macro_f1 * 100.0)
+            })
+            .collect();
+        println!(
+            "{}",
+            bar_chart(
+                "Extension: RF macro F1 on USTC-app vs capture-fault rate (per-flow split)",
+                &items,
+                40
+            )
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::context::Preset;
+
+    /// Every experiment id the pre-engine `repro` match accepted.
+    const LEGACY_IDS: [&str; 21] = [
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table11",
+        "table13",
+        "fig1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "qa",
+        "repeat_vs_pad",
+        "pooling",
+        "advanced_splits",
+        "extended_models",
+        "robustness",
+        "balance_ablation",
+    ];
+
+    #[test]
+    fn registry_exposes_every_legacy_experiment() {
+        let r = default_registry();
+        for id in LEGACY_IDS {
+            assert!(r.get(id).is_some(), "experiment {id} missing from registry");
+        }
+        assert_eq!(r.ids().len(), LEGACY_IDS.len(), "no extra or missing experiments");
+    }
+
+    #[test]
+    fn cell_identities_are_unique_within_each_experiment() {
+        // Duplicate (task, model, setting) triples within one experiment
+        // would collapse two cells onto one derived seed.
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        for exp in default_registry().iter() {
+            let mut seen = std::collections::HashSet::new();
+            for cell in exp.cells(&ctx) {
+                let key = (cell.task.clone(), cell.model.clone(), cell.setting.clone());
+                assert!(seen.insert(key.clone()), "{}: duplicate cell identity {key:?}", exp.id());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_experiments_declare_consistent_shapes() {
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let r = default_registry();
+        assert_eq!(r.get("table3").unwrap().cells(&ctx).len(), 6 * 6);
+        assert_eq!(r.get("table4").unwrap().cells(&ctx).len(), 6 * 2 * 2);
+        assert_eq!(r.get("table5").unwrap().cells(&ctx).len(), 6 * 2 * 2);
+    }
+}

@@ -8,7 +8,9 @@
 use crate::metrics::{accuracy, macro_f1};
 use crate::pipeline::PreparedTask;
 use dataset::record::{PacketRecord, Prepared};
-use dataset::split::{balanced_undersample, kfold, per_flow_split, per_packet_split, subsample, Split};
+use dataset::split::{
+    balanced_undersample, kfold, per_flow_split, per_packet_split, subsample, Split,
+};
 use dataset::transform::{randomize_dataset_flow_ids, InputAblation};
 use encoders::model::{EncoderModel, ModelKind};
 use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
@@ -228,8 +230,7 @@ pub fn run_cell(
         let fold_seed = cfg.seed.wrapping_add(fold_i as u64);
         let train_labels: Vec<u16> =
             fold_train.iter().map(|&i| label_of(&data.records[i])).collect();
-        let train_recs: Vec<&PacketRecord> =
-            fold_train.iter().map(|&i| &data.records[i]).collect();
+        let train_recs: Vec<&PacketRecord> = fold_train.iter().map(|&i| &data.records[i]).collect();
 
         let t0 = Instant::now();
         let (head, trained_encoder, standardizer) = if frozen {
@@ -269,10 +270,7 @@ pub fn run_cell(
         }
         let preds = head.predict(&x_test);
         infer_secs += t1.elapsed().as_secs_f64();
-        folds_out.push((
-            accuracy(&preds, &test_labels),
-            macro_f1(&preds, &test_labels, n_classes),
-        ));
+        folds_out.push((accuracy(&preds, &test_labels), macro_f1(&preds, &test_labels, n_classes)));
     }
     let k = folds_out.len().max(1) as f64;
     CellResult {

@@ -60,12 +60,14 @@ fn netfound_packets(prep: &PreparedTask, idxs: &[usize]) -> Vec<usize> {
     }
 }
 
+type PacketSelector<'a> = Box<dyn Fn(&[usize]) -> Vec<usize> + 'a>;
+
 /// The paper's per-model flow input selection.
-fn selector_for(kind: ModelKind, prep: &PreparedTask) -> Box<dyn Fn(&[usize]) -> Vec<usize> + '_> {
+fn selector_for(kind: ModelKind, prep: &PreparedTask) -> PacketSelector<'_> {
     if kind == ModelKind::NetFound {
         Box::new(move |idxs| netfound_packets(prep, idxs))
     } else {
-        Box::new(|idxs| first_five(idxs))
+        Box::new(first_five)
     }
 }
 
@@ -177,10 +179,7 @@ pub fn run_flow_cell(
         }
         let preds = head.predict(&x_test);
         infer_secs += t1.elapsed().as_secs_f64();
-        folds_out.push((
-            accuracy(&preds, &test_labels),
-            macro_f1(&preds, &test_labels, n_classes),
-        ));
+        folds_out.push((accuracy(&preds, &test_labels), macro_f1(&preds, &test_labels, n_classes)));
     }
     let k = folds_out.len().max(1) as f64;
     CellResult {
@@ -239,13 +238,7 @@ pub fn run_flow_cell_majority_vote(
     let infer_secs = t1.elapsed().as_secs_f64();
     let acc = accuracy(&preds, &truth);
     let f1 = macro_f1(&preds, &truth, n_classes);
-    CellResult {
-        accuracy: acc,
-        macro_f1: f1,
-        train_secs,
-        infer_secs,
-        folds: vec![(acc, f1)],
-    }
+    CellResult { accuracy: acc, macro_f1: f1, train_secs, infer_secs, folds: vec![(acc, f1)] }
 }
 
 #[cfg(test)]
@@ -254,12 +247,7 @@ mod tests {
     use dataset::Task;
 
     fn tiny_cfg() -> CellConfig {
-        CellConfig {
-            frozen_epochs: 6,
-            unfrozen_epochs: 3,
-            kfolds: 2,
-            ..Default::default()
-        }
+        CellConfig { frozen_epochs: 6, unfrozen_epochs: 3, kfolds: 2, ..Default::default() }
     }
 
     #[test]

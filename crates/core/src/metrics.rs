@@ -67,17 +67,17 @@ pub fn classification_report(
 ) -> String {
     let m = confusion_matrix(pred, truth, n_classes);
     let prf = per_class_prf(&m);
-    let mut out = format!("{:<20} {:>9} {:>9} {:>9} {:>9}\n", "class", "precision", "recall", "f1", "support");
+    let mut out = format!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9}\n",
+        "class", "precision", "recall", "f1", "support"
+    );
     for (c, (p, r, f1, support)) in prf.iter().enumerate() {
         if *support == 0 {
             continue;
         }
         let name = names.get(c).copied().unwrap_or("");
         let label = if name.is_empty() { format!("{c}") } else { name.to_string() };
-        out.push_str(&format!(
-            "{:<20} {:>9.3} {:>9.3} {:>9.3} {:>9}\n",
-            label, p, r, f1, support
-        ));
+        out.push_str(&format!("{:<20} {:>9.3} {:>9.3} {:>9.3} {:>9}\n", label, p, r, f1, support));
     }
     out.push_str(&format!(
         "{:<20} {:>9} {:>9} {:>9.3} {:>9}\n",

@@ -30,12 +30,7 @@ impl PreparedTask {
         let mut trace = spec.generate();
         let report = clean_trace(&mut trace);
         let data = Prepared::from_trace(&trace);
-        PreparedTask {
-            task,
-            data: Arc::new(data),
-            clean_report: Arc::new(report),
-            seed,
-        }
+        PreparedTask { task, data: Arc::new(data), clean_report: Arc::new(report), seed }
     }
 
     /// Per-packet label vector for a set of indices under this task.

@@ -55,14 +55,8 @@ impl TableBuilder {
 
     /// Render with aligned columns.
     pub fn render(&self) -> String {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(5))
-            .max()
-            .unwrap_or(5)
-            + 2;
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(5)).max().unwrap_or(5) + 2;
         let col_w: Vec<usize> = self
             .columns
             .iter()
@@ -127,14 +121,9 @@ mod tests {
 
     #[test]
     fn bar_chart_scales() {
-        let s = bar_chart(
-            "speed",
-            &[("RF".into(), 1.0), ("netFound".into(), 4.0)],
-            8,
-        );
+        let s = bar_chart("speed", &[("RF".into(), 1.0), ("netFound".into(), 4.0)], 8);
         let rf_bars = s.lines().find(|l| l.starts_with("RF")).unwrap().matches('█').count();
-        let nf_bars =
-            s.lines().find(|l| l.starts_with("netFound")).unwrap().matches('█').count();
+        let nf_bars = s.lines().find(|l| l.starts_with("netFound")).unwrap().matches('█').count();
         assert_eq!(nf_bars, 8);
         assert_eq!(rf_bars, 2);
     }

@@ -6,7 +6,9 @@ use crate::experiment::{CellConfig, SplitPolicy};
 use crate::metrics::{accuracy, macro_f1};
 use crate::pipeline::PreparedTask;
 use dataset::record::PacketRecord;
-use dataset::split::{balanced_undersample, per_flow_split, per_packet_split, stratified_sample, subsample};
+use dataset::split::{
+    balanced_undersample, per_flow_split, per_packet_split, stratified_sample, subsample,
+};
 use nn::{Mlp, Tensor};
 use shallow::features::{extract_features, FeatureConfig, N_FEATURES};
 use shallow::forest::{ForestParams, RandomForest};
@@ -99,7 +101,9 @@ pub fn run_shallow(
     let task = prep.task;
     let data = &prep.data;
     let split = match split_policy {
-        SplitPolicy::PerFlow => per_flow_split(data, cfg.train_frac, cfg.max_flow_packets, cfg.seed),
+        SplitPolicy::PerFlow => {
+            per_flow_split(data, cfg.train_frac, cfg.max_flow_packets, cfg.seed)
+        }
         SplitPolicy::PerPacket => per_packet_split(data, cfg.train_frac, cfg.seed),
     };
     let label_of = |r: &PacketRecord| task.label_of(data, r);
@@ -206,13 +210,8 @@ mod tests {
     fn all_models_run_on_app_task() {
         let prep = PreparedTask::build(Task::UstcApp, 22, 0.1);
         for m in ShallowModel::ALL {
-            let r = run_shallow(
-                &prep,
-                m,
-                SplitPolicy::PerFlow,
-                FeatureConfig::default(),
-                &tiny_cfg(),
-            );
+            let r =
+                run_shallow(&prep, m, SplitPolicy::PerFlow, FeatureConfig::default(), &tiny_cfg());
             assert!((0.0..=1.0).contains(&r.accuracy), "{}", m.name());
             assert!(r.accuracy > 1.0 / 20.0, "{} below chance: {}", m.name(), r.accuracy);
         }

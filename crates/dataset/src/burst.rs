@@ -56,10 +56,7 @@ pub fn segment_flow(data: &Prepared, flow_packets: &[usize], max_gap: f64) -> Ve
 
 /// Segment every flow of a dataset; returns `(flow_id, bursts)`.
 pub fn segment_all(data: &Prepared, max_gap: f64) -> Vec<(u32, Vec<Burst>)> {
-    data.flows()
-        .into_iter()
-        .map(|(id, idxs)| (id, segment_flow(data, &idxs, max_gap)))
-        .collect()
+    data.flows().into_iter().map(|(id, idxs)| (id, segment_flow(data, &idxs, max_gap))).collect()
 }
 
 /// netFound's flow summarisation (§6.2): pick up to `max_bursts`
@@ -135,10 +132,7 @@ mod tests {
         let d = prepared();
         for (_, idxs) in d.flows().into_iter().take(10) {
             for b in segment_flow(&d, &idxs, f64::INFINITY) {
-                assert!(b
-                    .packets
-                    .iter()
-                    .all(|&i| d.records[i].from_client == b.from_client));
+                assert!(b.packets.iter().all(|&i| d.records[i].from_client == b.from_client));
             }
         }
     }
@@ -156,11 +150,7 @@ mod tests {
     #[test]
     fn time_gap_splits_same_direction_runs() {
         let d = prepared();
-        let (_, idxs) = d
-            .flows()
-            .into_iter()
-            .max_by_key(|(_, v)| v.len())
-            .unwrap();
+        let (_, idxs) = d.flows().into_iter().max_by_key(|(_, v)| v.len()).unwrap();
         let loose = segment_flow(&d, &idxs, f64::INFINITY).len();
         let tight = segment_flow(&d, &idxs, 1e-9).len();
         assert!(tight >= loose, "a tiny gap threshold can only create more bursts");

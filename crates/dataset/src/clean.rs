@@ -30,10 +30,7 @@ impl CleanReport {
     /// Render as a Table-13-style text block.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<22} {:>10} {:>9}\n",
-            "family", "removed", "percent"
-        ));
+        out.push_str(&format!("{:<22} {:>10} {:>9}\n", "family", "removed", "percent"));
         for (family, n) in &self.removed_by_family {
             out.push_str(&format!(
                 "{:<22} {:>10} {:>8.2}%\n",
@@ -100,7 +97,8 @@ mod tests {
 
     #[test]
     fn cleaning_removes_exactly_the_spurious() {
-        let mut t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
+        let mut t =
+            DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
         let spurious = t.spurious_len();
         let report = clean_trace(&mut t);
         assert_eq!(report.total_before - report.total_after, spurious);
@@ -118,7 +116,8 @@ mod tests {
 
     #[test]
     fn report_table_renders() {
-        let mut t = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 4, flows_per_class: 2 }.generate();
+        let mut t =
+            DatasetSpec { kind: DatasetKind::IscxVpn, seed: 4, flows_per_class: 2 }.generate();
         let report = clean_trace(&mut t);
         let table = report.to_table();
         assert!(table.contains("family"));
@@ -127,7 +126,8 @@ mod tests {
 
     #[test]
     fn families_match_table13_vocabulary() {
-        let mut t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 5, flows_per_class: 3 }.generate();
+        let mut t =
+            DatasetSpec { kind: DatasetKind::UstcTfc, seed: 5, flows_per_class: 3 }.generate();
         let report = clean_trace(&mut t);
         for family in report.removed_by_family.keys() {
             assert!(

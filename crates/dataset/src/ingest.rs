@@ -114,10 +114,7 @@ fn sender_key(parsed: &ParsedFrame) -> EndpointKey {
 pub fn label_by_server_port(ports: &[u16]) -> impl Fn(&ParsedFrame, &[u8]) -> Option<u16> + '_ {
     move |parsed, _frame| {
         let (sp, dp) = (parsed.transport.src_port(), parsed.transport.dst_port());
-        ports
-            .iter()
-            .position(|&p| p == dp || p == sp)
-            .map(|i| i as u16)
+        ports.iter().position(|&p| p == dp || p == sp).map(|i| i as u16)
     }
 }
 
@@ -206,11 +203,8 @@ mod tests {
             &mut rng,
             false,
         );
-        let packets: Vec<PcapPacket> = flow
-            .packets
-            .iter()
-            .map(|p| PcapPacket::at(p.ts, p.frame.clone()))
-            .collect();
+        let packets: Vec<PcapPacket> =
+            flow.packets.iter().map(|p| PcapPacket::at(p.ts, p.frame.clone())).collect();
         let mut table = HashMap::new();
         table.insert("www.example.org".to_string(), 3u16);
         let labeller = label_by_sni(&table);

@@ -62,11 +62,7 @@ pub struct Prepared {
 impl Prepared {
     /// Build by cleaning a raw trace (drops spurious + unparseable).
     pub fn from_trace(trace: &Trace) -> Prepared {
-        let records = trace
-            .records
-            .iter()
-            .filter_map(PacketRecord::from_trace_record)
-            .collect();
+        let records = trace.records.iter().filter_map(PacketRecord::from_trace_record).collect();
         Prepared { records, classes: trace.classes.clone() }
     }
 

@@ -173,18 +173,10 @@ pub fn kfold(indices: &[usize], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usi
     shuffled.shuffle(&mut rng);
     let mut folds = Vec::with_capacity(k);
     for f in 0..k {
-        let val: Vec<usize> = shuffled
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % k == f)
-            .map(|(_, &v)| v)
-            .collect();
-        let train: Vec<usize> = shuffled
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % k != f)
-            .map(|(_, &v)| v)
-            .collect();
+        let val: Vec<usize> =
+            shuffled.iter().enumerate().filter(|(i, _)| i % k == f).map(|(_, &v)| v).collect();
+        let train: Vec<usize> =
+            shuffled.iter().enumerate().filter(|(i, _)| i % k != f).map(|(_, &v)| v).collect();
         folds.push((train, val));
     }
     folds
@@ -238,11 +230,8 @@ pub fn per_client_split(data: &Prepared, train_frac: f64, seed: u64) -> Split {
 /// test on the later part — flows assigned by their first packet's
 /// timestamp, so no flow straddles the boundary.
 pub fn per_time_split(data: &Prepared, train_frac: f64) -> Split {
-    let mut flows: Vec<(f64, Vec<usize>)> = data
-        .flows()
-        .into_iter()
-        .map(|(_, idxs)| (data.records[idxs[0]].ts, idxs))
-        .collect();
+    let mut flows: Vec<(f64, Vec<usize>)> =
+        data.flows().into_iter().map(|(_, idxs)| (data.records[idxs[0]].ts, idxs)).collect();
     flows.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total: usize = flows.iter().map(|(_, v)| v.len()).sum();
     let want_train = ((total as f64) * train_frac) as usize;
@@ -351,7 +340,8 @@ mod tests {
         let all: Vec<usize> = (0..d.records.len()).collect();
         let label = |r: &PacketRecord| r.class;
         let sub = stratified_sample(&d, &all, 0.5, &label, 4);
-        let count = |idxs: &[usize], c: u16| idxs.iter().filter(|&&i| d.records[i].class == c).count();
+        let count =
+            |idxs: &[usize], c: u16| idxs.iter().filter(|&&i| d.records[i].class == c).count();
         for c in 0..16u16 {
             let orig = count(&all, c) as f64;
             let smp = count(&sub, c) as f64;
@@ -403,7 +393,11 @@ mod tests {
             let r = &d.records[i];
             match r.parsed.ip {
                 net_packet::frame::IpInfo::V4 { src, dst, .. } => {
-                    if r.from_client { u128::from(src.to_u32()) } else { u128::from(dst.to_u32()) }
+                    if r.from_client {
+                        u128::from(src.to_u32())
+                    } else {
+                        u128::from(dst.to_u32())
+                    }
                 }
                 net_packet::frame::IpInfo::V6 { src, dst, .. } => {
                     if r.from_client {

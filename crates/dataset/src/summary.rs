@@ -47,24 +47,15 @@ impl DatasetSummary {
         }
         for (c, stats) in per_class.iter_mut().enumerate() {
             stats.flows = flows_per_class.get(&(c as u16)).map_or(0, |s| s.len());
-            stats.mean_len = if stats.packets > 0 {
-                stats.bytes as f64 / stats.packets as f64
-            } else {
-                0.0
-            };
+            stats.mean_len =
+                if stats.packets > 0 { stats.bytes as f64 / stats.packets as f64 } else { 0.0 };
         }
-        let counts: Vec<usize> =
-            per_class.iter().map(|s| s.packets).filter(|&p| p > 0).collect();
+        let counts: Vec<usize> = per_class.iter().map(|s| s.packets).filter(|&p| p > 0).collect();
         let imbalance = match (counts.iter().max(), counts.iter().min()) {
             (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
             _ => 0.0,
         };
-        DatasetSummary {
-            packets: data.records.len(),
-            flows: data.n_flows(),
-            per_class,
-            imbalance,
-        }
+        DatasetSummary { packets: data.records.len(), flows: data.n_flows(), per_class, imbalance }
     }
 
     /// Render a compact text report.

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod model;
 pub mod pcap_encoder;
 pub mod pool;
@@ -34,5 +35,9 @@ pub mod pretrain;
 pub mod qa;
 pub mod tokenize;
 
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, stable_hash64, CheckpointError, EncoderCheckpoint,
+    PretrainKey,
+};
 pub use model::{EncoderModel, ModelKind};
 pub use pcap_encoder::{PcapEncoderVariant, PretrainPhases};

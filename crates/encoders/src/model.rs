@@ -470,9 +470,7 @@ mod tests {
         let flows = d.flows();
         let (_, idxs) = flows
             .iter()
-            .find(|(_, idxs)| {
-                idxs.len() >= 6 && d.records[idxs[0]].parsed.transport.is_tcp()
-            })
+            .find(|(_, idxs)| idxs.len() >= 6 && d.records[idxs[0]].parsed.transport.is_tcp())
             .expect("a TCP flow with enough packets");
         let m = EncoderModel::new(ModelKind::EtBert, 1);
         let t1: std::collections::HashSet<u32> =

@@ -43,7 +43,7 @@ pub struct PretrainPhases {
 }
 
 /// Pre-training budget knobs (shrunk for CI, raised by the repro bin).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PretrainBudget {
     /// Flows in the MAWI-like corpus.
     pub corpus_flows: usize,
@@ -80,14 +80,8 @@ pub fn pretrain_pcap_encoder(
     } else {
         f32::NAN
     };
-    let qa_report = Some(qa_pretrain(
-        &mut model,
-        &corpus,
-        &held,
-        budget.qa_epochs,
-        budget.lr,
-        seed ^ 0x4d,
-    ));
+    let qa_report =
+        Some(qa_pretrain(&mut model, &corpus, &held, budget.qa_epochs, budget.lr, seed ^ 0x4d));
     PretrainPhases { model, autoencoder_loss, qa_report }
 }
 
@@ -116,11 +110,7 @@ mod tests {
         let p = pretrain_pcap_encoder(PcapEncoderVariant::AutoencoderQa, budget, 3);
         assert!(p.autoencoder_loss.is_finite());
         let report = p.qa_report.expect("qa ran");
-        assert!(
-            report.mean_accuracy() > 0.2,
-            "Q&A mean accuracy only {}",
-            report.mean_accuracy()
-        );
+        assert!(report.mean_accuracy() > 0.2, "Q&A mean accuracy only {}", report.mean_accuracy());
     }
 
     #[test]

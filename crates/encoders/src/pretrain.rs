@@ -278,10 +278,8 @@ pub fn interval_pretrain(
     for _ in 0..epochs {
         samples.shuffle(&mut rng);
         for chunk in samples.chunks(32) {
-            let batch: Vec<Vec<u32>> = chunk
-                .iter()
-                .map(|&(i, _, _)| model.tokenize_packet(&corpus[i], None))
-                .collect();
+            let batch: Vec<Vec<u32>> =
+                chunk.iter().map(|&(i, _, _)| model.tokenize_packet(&corpus[i], None)).collect();
             let hip_y: Vec<u16> = chunk.iter().map(|&(_, h, _)| h).collect();
             let fip_y: Vec<u16> = chunk.iter().map(|&(_, _, f)| f).collect();
             let pooled = model.forward_tokens(&batch);

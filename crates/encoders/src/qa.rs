@@ -191,10 +191,8 @@ pub fn qa_pretrain(
         for chunk in order.chunks(32) {
             let qi = rng.gen_range(0..Question::ALL.len());
             let q = &Question::ALL[qi];
-            let batch: Vec<Vec<u32>> = chunk
-                .iter()
-                .map(|&i| question_tokens(model, &corpus[i], qi))
-                .collect();
+            let batch: Vec<Vec<u32>> =
+                chunk.iter().map(|&i| question_tokens(model, &corpus[i], qi)).collect();
             let labels: Vec<u16> = chunk.iter().map(|&i| q.answer(&corpus[i])).collect();
             let pooled = model.forward_tokens(&batch);
             let logits = heads.heads[qi].forward(&pooled);
@@ -208,8 +206,7 @@ pub fn qa_pretrain(
     // held-out evaluation
     let mut accuracy = Vec::new();
     for (qi, q) in Question::ALL.iter().enumerate() {
-        let batch: Vec<Vec<u32>> =
-            held_out.iter().map(|r| question_tokens(model, r, qi)).collect();
+        let batch: Vec<Vec<u32>> = held_out.iter().map(|r| question_tokens(model, r, qi)).collect();
         let labels: Vec<u16> = held_out.iter().map(|r| q.answer(r)).collect();
         let pooled = model.encode_tokens(&batch);
         let logits = heads.heads[qi].forward_inference(&pooled);

@@ -109,13 +109,7 @@ pub fn emit(
 
 /// Build the reply to a request: swap roles, fill `our_mac`.
 pub fn reply_to<T: AsRef<[u8]>>(request: &ArpPacket<T>, our_mac: MacAddr) -> Vec<u8> {
-    emit(
-        Operation::Reply,
-        our_mac,
-        request.target_ip(),
-        request.sender_mac(),
-        request.sender_ip(),
-    )
+    emit(Operation::Reply, our_mac, request.target_ip(), request.sender_mac(), request.sender_ip())
 }
 
 #[cfg(test)]
@@ -123,11 +117,7 @@ mod tests {
     use super::*;
 
     fn addrs() -> (MacAddr, Ipv4Addr, Ipv4Addr) {
-        (
-            MacAddr([2, 0, 0, 0, 0, 9]),
-            Ipv4Addr::new(192, 168, 1, 10),
-            Ipv4Addr::new(192, 168, 1, 1),
-        )
+        (MacAddr([2, 0, 0, 0, 0, 9]), Ipv4Addr::new(192, 168, 1, 10), Ipv4Addr::new(192, 168, 1, 1))
     }
 
     #[test]

@@ -176,7 +176,8 @@ impl FrameBuilder {
                         s.fill_checksum_v4(src, dst);
                     }
                     Transport::Udp { .. } => {
-                        let mut d = UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
+                        let mut d =
+                            UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
                         d.fill_checksum_v4(src, dst);
                     }
                 }
@@ -203,7 +204,8 @@ impl FrameBuilder {
                         s.fill_checksum_v6(src, dst);
                     }
                     Transport::Udp { .. } => {
-                        let mut d = UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
+                        let mut d =
+                            UdpDatagram::new_checked(&mut seg[..]).expect("fresh UDP valid");
                         d.fill_checksum_v6(src, dst);
                     }
                 }

@@ -25,11 +25,7 @@ impl MacAddr {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
     }
 }
 
@@ -172,10 +168,7 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(
-            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
-            Error::Truncated
-        );
+        assert_eq!(EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(), Error::Truncated);
     }
 
     #[test]

@@ -203,10 +203,8 @@ impl ParsedFrame {
             EtherType::Ipv6 => {
                 let p = Ipv6Packet::new_checked(eth.payload())?;
                 // walk extension headers to the upper-layer protocol
-                let (upper_nh, ext_len) = crate::ipv6::skip_extension_headers(
-                    p.next_header().into(),
-                    p.payload(),
-                )?;
+                let (upper_nh, ext_len) =
+                    crate::ipv6::skip_extension_headers(p.next_header().into(), p.payload())?;
                 let info = IpInfo::V6 {
                     src: p.src_addr(),
                     dst: p.dst_addr(),
@@ -269,10 +267,7 @@ impl ParsedFrame {
                     return Err(Error::Truncated);
                 }
                 (
-                    TransportInfo::Icmp {
-                        msg_type: transport_bytes[0],
-                        code: transport_bytes[1],
-                    },
+                    TransportInfo::Icmp { msg_type: transport_bytes[0], code: transport_bytes[1] },
                     crate::icmp::HEADER_LEN.min(transport_bytes.len()),
                 )
             }
@@ -331,13 +326,7 @@ impl ParsedFrame {
         };
         let (sp, dp) = (self.transport.src_port(), self.transport.dst_port());
         let (lo_port, hi_port) = if swapped { (dp, sp) } else { (sp, dp) };
-        Some(FlowKey {
-            lo_ip,
-            hi_ip,
-            lo_port,
-            hi_port,
-            protocol: self.ip.protocol(),
-        })
+        Some(FlowKey { lo_ip, hi_ip, lo_port, hi_port, protocol: self.ip.protocol() })
     }
 }
 

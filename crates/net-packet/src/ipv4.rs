@@ -381,10 +381,7 @@ mod tests {
 
     #[test]
     fn rejects_truncated() {
-        assert_eq!(
-            Ipv4Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(),
-            Error::Truncated
-        );
+        assert_eq!(Ipv4Packet::new_checked(&[0x45u8; 10][..]).unwrap_err(), Error::Truncated);
     }
 
     #[test]

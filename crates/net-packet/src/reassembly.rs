@@ -72,9 +72,7 @@ impl StreamReassembler {
             return;
         }
         // First-writer-wins for overlapping pending segments.
-        if !self.pending.contains_key(&off) {
-            self.pending.insert(off, payload.to_vec());
-        }
+        self.pending.entry(off).or_insert_with(|| payload.to_vec());
         self.drain();
     }
 

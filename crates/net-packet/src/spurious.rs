@@ -124,28 +124,16 @@ pub fn igmp_report(src_mac: MacAddr, src: Ipv4Addr, group: Ipv4Addr) -> Vec<u8> 
     body[4..8].copy_from_slice(&group.0);
     let ck = crate::checksum::checksum(&body);
     body[2..4].copy_from_slice(&ck.to_be_bytes());
-    let ip = Ipv4Repr {
-        src,
-        dst: group,
-        protocol: IpProtocol::Igmp,
-        ttl: 1,
-        ..Default::default()
-    }
-    .emit(&body);
+    let ip = Ipv4Repr { src, dst: group, protocol: IpProtocol::Igmp, ttl: 1, ..Default::default() }
+        .emit(&body);
     ethernet::emit(MacAddr::BROADCAST, src_mac, EtherType::Ipv4, &ip)
 }
 
 /// ICMP echo request frame (network-management family of Table 13).
 pub fn icmp_ping(src_mac: MacAddr, src: Ipv4Addr, dst: Ipv4Addr, seq: u16) -> Vec<u8> {
     let body = icmp::emit_echo(icmp::IcmpType::EchoRequest, 0x0042, seq, &[0x61; 16]);
-    let ip = Ipv4Repr {
-        src,
-        dst,
-        protocol: IpProtocol::Icmp,
-        ttl: 64,
-        ..Default::default()
-    }
-    .emit(&body);
+    let ip = Ipv4Repr { src, dst, protocol: IpProtocol::Icmp, ttl: 64, ..Default::default() }
+        .emit(&body);
     ethernet::emit(MacAddr([0x02, 0, 0, 0, 0, 0xfe]), src_mac, EtherType::Ipv4, &ip)
 }
 
@@ -174,7 +162,10 @@ mod tests {
 
     #[test]
     fn mdns_identified() {
-        assert_eq!(identify(&mdns_query(mac(), ip(), "_services._dns-sd._udp.local")), ProtocolId::Mdns);
+        assert_eq!(
+            identify(&mdns_query(mac(), ip(), "_services._dns-sd._udp.local")),
+            ProtocolId::Mdns
+        );
     }
 
     #[test]
@@ -199,22 +190,34 @@ mod tests {
 
     #[test]
     fn ntp_identified() {
-        assert_eq!(identify(&ntp_request(mac(), ip(), Ipv4Addr::new(17, 253, 14, 125))), ProtocolId::Ntp);
+        assert_eq!(
+            identify(&ntp_request(mac(), ip(), Ipv4Addr::new(17, 253, 14, 125))),
+            ProtocolId::Ntp
+        );
     }
 
     #[test]
     fn stun_identified() {
-        assert_eq!(identify(&stun_binding(mac(), ip(), Ipv4Addr::new(74, 125, 1, 1))), ProtocolId::Stun);
+        assert_eq!(
+            identify(&stun_binding(mac(), ip(), Ipv4Addr::new(74, 125, 1, 1))),
+            ProtocolId::Stun
+        );
     }
 
     #[test]
     fn igmp_identified() {
-        assert_eq!(identify(&igmp_report(mac(), ip(), Ipv4Addr::new(224, 0, 0, 251))), ProtocolId::Igmp);
+        assert_eq!(
+            identify(&igmp_report(mac(), ip(), Ipv4Addr::new(224, 0, 0, 251))),
+            ProtocolId::Igmp
+        );
     }
 
     #[test]
     fn icmp_identified() {
-        assert_eq!(identify(&icmp_ping(mac(), ip(), Ipv4Addr::new(8, 8, 8, 8), 1)), ProtocolId::Icmp);
+        assert_eq!(
+            identify(&icmp_ping(mac(), ip(), Ipv4Addr::new(8, 8, 8, 8), 1)),
+            ProtocolId::Icmp
+        );
     }
 
     #[test]

@@ -435,11 +435,7 @@ mod tests {
             flags: TcpFlags::PSH | TcpFlags::ACK,
             window: 512,
             urgent: 0,
-            options: vec![
-                TcpOption::Nop,
-                TcpOption::Nop,
-                TcpOption::Timestamps(1000, 2000),
-            ],
+            options: vec![TcpOption::Nop, TcpOption::Nop, TcpOption::Timestamps(1000, 2000)],
         }
         .emit(b"hello")
     }

@@ -158,7 +158,7 @@ pub fn emit_client_hello(random: [u8; 32], sni: Option<&str>) -> Vec<u8> {
     hello.extend_from_slice(&random);
     hello.push(32); // session id length
     hello.extend_from_slice(&random); // reuse random as session id
-    // cipher suites: TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384
+                                      // cipher suites: TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384
     hello.extend_from_slice(&4u16.to_be_bytes());
     hello.extend_from_slice(&[0x13, 0x01, 0x13, 0x02]);
     hello.push(1); // compression methods length

@@ -64,7 +64,12 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
         if self.checksum() == 0 {
             return true;
         }
-        checksum::pseudo_header_v4(src.0, dst.0, 17, &self.buffer.as_ref()[..self.length() as usize]) == 0
+        checksum::pseudo_header_v4(
+            src.0,
+            dst.0,
+            17,
+            &self.buffer.as_ref()[..self.length() as usize],
+        ) == 0
     }
 }
 

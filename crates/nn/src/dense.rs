@@ -144,12 +144,8 @@ mod tests {
     fn learns_linear_map() {
         // Target: y = 2*x0 - x1.
         let mut l = Dense::new(2, 1, 2);
-        let x = Tensor::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-            vec![0.5, -0.5],
-        ]);
+        let x =
+            Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.5, -0.5]]);
         let target = [2.0f32, -1.0, 1.0, 1.5];
         for _ in 0..800 {
             let y = l.forward(&x);

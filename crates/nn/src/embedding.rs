@@ -145,12 +145,8 @@ mod tests {
     #[test]
     fn scaled_pooling_sums_over_sqrt_n() {
         let mut e = Embedding::new(4, 2, 1);
-        e.table = Tensor::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![2.0, 2.0],
-            vec![0.0, 0.0],
-        ]);
+        e.table =
+            Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, 2.0], vec![0.0, 0.0]]);
         let out = e.forward(&[vec![0, 1]]);
         let expect = 1.0 / (2.0f32).sqrt();
         assert!((out.get(0, 0) - expect).abs() < 1e-6);

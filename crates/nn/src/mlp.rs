@@ -131,12 +131,8 @@ mod tests {
 
     #[test]
     fn xor_learnable() {
-        let x = Tensor::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Tensor::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = [0u16, 1, 1, 0];
         let mut mlp = Mlp::new(&[2, 8, 2], 42);
         for _ in 0..400 {
@@ -147,12 +143,8 @@ mod tests {
 
     #[test]
     fn fit_reduces_loss() {
-        let x = Tensor::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Tensor::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = [0u16, 1, 1, 0];
         let mut mlp = Mlp::new(&[2, 16, 2], 7);
         let first = mlp.fit(&x, &y, 1, 4, 0.05, 1);

@@ -125,10 +125,7 @@ fn embedding_pooling_gradient_direction_is_descent() {
 fn softmax_ce_gradient_matches_finite_differences() {
     let logits0 = vec![0.5f32, -1.2, 0.3];
     let y = [2u16];
-    let (_, grad) = softmax_cross_entropy(
-        &Tensor { rows: 1, cols: 3, data: logits0.clone() },
-        &y,
-    );
+    let (_, grad) = softmax_cross_entropy(&Tensor { rows: 1, cols: 3, data: logits0.clone() }, &y);
     for i in 0..3 {
         let mut lp = logits0.clone();
         lp[i] += EPS;

@@ -28,16 +28,45 @@ impl Default for FeatureConfig {
 /// Human-readable feature names (Fig. 5 axis labels).
 pub fn feature_names() -> [&'static str; N_FEATURES] {
     [
-        "SRC IP0", "SRC IP1", "SRC IP2", "SRC IP3",
-        "DST IP0", "DST IP1", "DST IP2", "DST IP3",
-        "TOS", "IHL", "IP ID", "IP LEN", "IP FLAGS", "FRAG OFF", "TTL", "PROTO", "IP CKSUM",
-        "SRC PORT", "DST PORT",
-        "SEQ HI", "SEQ LO", "ACK HI", "ACK LO",
-        "TCP OFF", "TCP FLAGS", "WINDOW", "TCP CKSUM", "URGENT",
-        "TSVAL HI", "TSVAL LO", "TSECR HI", "TSECR LO",
-        "MSS", "WSCALE",
-        "UDP LEN", "UDP CKSUM",
-        "PAYLOAD LEN", "PKT LEN", "DIRECTION",
+        "SRC IP0",
+        "SRC IP1",
+        "SRC IP2",
+        "SRC IP3",
+        "DST IP0",
+        "DST IP1",
+        "DST IP2",
+        "DST IP3",
+        "TOS",
+        "IHL",
+        "IP ID",
+        "IP LEN",
+        "IP FLAGS",
+        "FRAG OFF",
+        "TTL",
+        "PROTO",
+        "IP CKSUM",
+        "SRC PORT",
+        "DST PORT",
+        "SEQ HI",
+        "SEQ LO",
+        "ACK HI",
+        "ACK LO",
+        "TCP OFF",
+        "TCP FLAGS",
+        "WINDOW",
+        "TCP CKSUM",
+        "URGENT",
+        "TSVAL HI",
+        "TSVAL LO",
+        "TSECR HI",
+        "TSECR LO",
+        "MSS",
+        "WSCALE",
+        "UDP LEN",
+        "UDP CKSUM",
+        "PAYLOAD LEN",
+        "PKT LEN",
+        "DIRECTION",
     ]
 }
 
@@ -76,7 +105,14 @@ pub fn extract_features(rec: &PacketRecord, cfg: FeatureConfig) -> [f32; N_FEATU
             f[16] = f32::from(checksum);
         }
         IpInfo::V6 {
-            src, dst, traffic_class, flow_label, payload_length, next_header, hop_limit, ..
+            src,
+            dst,
+            traffic_class,
+            flow_label,
+            payload_length,
+            next_header,
+            hop_limit,
+            ..
         } => {
             if cfg.with_ip {
                 for i in 0..4 {

@@ -11,12 +11,28 @@ pub const N_FLOW_FEATURES: usize = 22;
 /// Names of the flow features (reporting/importance plots).
 pub fn flow_feature_names() -> [&'static str; N_FLOW_FEATURES] {
     [
-        "N PKTS", "N FWD", "N BWD", "FWD RATIO",
-        "BYTES", "FWD BYTES", "BWD BYTES",
-        "LEN MEAN", "LEN STD", "LEN MIN", "LEN MAX",
-        "FWD LEN MEAN", "BWD LEN MEAN",
-        "IAT MEAN", "IAT STD", "IAT MIN", "IAT MAX",
-        "DURATION", "SRV PORT", "TTL FWD", "TTL BWD", "PROTO",
+        "N PKTS",
+        "N FWD",
+        "N BWD",
+        "FWD RATIO",
+        "BYTES",
+        "FWD BYTES",
+        "BWD BYTES",
+        "LEN MEAN",
+        "LEN STD",
+        "LEN MIN",
+        "LEN MAX",
+        "FWD LEN MEAN",
+        "BWD LEN MEAN",
+        "IAT MEAN",
+        "IAT STD",
+        "IAT MIN",
+        "IAT MAX",
+        "DURATION",
+        "SRV PORT",
+        "TTL FWD",
+        "TTL BWD",
+        "PROTO",
     ]
 }
 
@@ -127,8 +143,8 @@ mod tests {
         let cut = n * 3 / 4;
         let rf = RandomForest::fit(&rows[..cut], &y[..cut], 16, ForestParams::default(), 1);
         let preds = rf.predict(&rows[cut..]);
-        let acc = preds.iter().zip(&y[cut..]).filter(|(p, t)| p == t).count() as f64
-            / (n - cut) as f64;
+        let acc =
+            preds.iter().zip(&y[cut..]).filter(|(p, t)| p == t).count() as f64 / (n - cut) as f64;
         assert!(acc > 0.2, "flow-stats RF above 16-way chance, got {acc}");
     }
 }

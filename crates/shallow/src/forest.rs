@@ -84,12 +84,7 @@ impl RandomForest {
         for t in &self.trees {
             votes[usize::from(t.predict_one(x))] += 1;
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(l, _)| l as u16)
-            .unwrap_or(0)
+        votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(l, _)| l as u16).unwrap_or(0)
     }
 
     /// Majority-vote predictions for many rows.

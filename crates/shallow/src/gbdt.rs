@@ -271,11 +271,7 @@ impl GradientBoosting {
     /// Predicted label for one row.
     pub fn predict_one(&self, x: &[f32]) -> u16 {
         let s = self.scores_one(x);
-        s.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(c, _)| c as u16)
-            .unwrap_or(0)
+        s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c as u16).unwrap_or(0)
     }
 
     /// Predicted labels for many rows.

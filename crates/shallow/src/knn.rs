@@ -37,23 +37,13 @@ impl KnnClassifier {
         }
         let xs = x
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(&mean)
-                    .zip(&std)
-                    .map(|((v, m), s)| (v - m) / s)
-                    .collect()
-            })
+            .map(|row| row.iter().zip(&mean).zip(&std).map(|((v, m), s)| (v - m) / s).collect())
             .collect();
         KnnClassifier { k: k.max(1), x: xs, y: y.to_vec(), mean, std }
     }
 
     fn standardise(&self, row: &[f32]) -> Vec<f32> {
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((v, m), s)| (v - m) / s)
-            .collect()
+        row.iter().zip(&self.mean).zip(&self.std).map(|((v, m), s)| (v - m) / s).collect()
     }
 
     /// Predict the label of one row by majority among the k nearest.
@@ -109,12 +99,7 @@ mod tests {
     #[test]
     fn standardisation_balances_scales() {
         // Feature 0 is informative but tiny; feature 1 is huge noise.
-        let data = [
-            [0.001f32, 5000.0],
-            [0.002, 9000.0],
-            [0.101, 7000.0],
-            [0.102, 6000.0],
-        ];
+        let data = [[0.001f32, 5000.0], [0.002, 9000.0], [0.101, 7000.0], [0.102, 6000.0]];
         let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
         let y = [0u16, 0, 1, 1];
         let knn = KnnClassifier::fit(&x, &y, 1);

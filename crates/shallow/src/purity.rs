@@ -16,12 +16,7 @@ pub struct PurityHistogram {
 impl PurityHistogram {
     /// Mean purity in [0, 1].
     pub fn mean_purity(&self) -> f64 {
-        self.fraction
-            .iter()
-            .enumerate()
-            .map(|(m, f)| f * m as f64)
-            .sum::<f64>()
-            / self.k as f64
+        self.fraction.iter().enumerate().map(|(m, f)| f * m as f64).sum::<f64>() / self.k as f64
     }
 }
 
@@ -35,11 +30,8 @@ pub fn knn_purity(embeddings: &[Vec<f32>], labels: &[u16], k: usize) -> PurityHi
         let mut dists: Vec<(f32, usize)> = (0..n)
             .filter(|&j| j != i)
             .map(|j| {
-                let d: f32 = embeddings[i]
-                    .iter()
-                    .zip(&embeddings[j])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f32 =
+                    embeddings[i].iter().zip(&embeddings[j]).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d, j)
             })
             .collect();
@@ -52,10 +44,7 @@ pub fn knn_purity(embeddings: &[Vec<f32>], labels: &[u16], k: usize) -> PurityHi
         hist[same] += 1;
     }
     let total: usize = hist.iter().sum();
-    PurityHistogram {
-        fraction: hist.iter().map(|&c| c as f64 / total.max(1) as f64).collect(),
-        k,
-    }
+    PurityHistogram { fraction: hist.iter().map(|&c| c as f64 / total.max(1) as f64).collect(), k }
 }
 
 #[cfg(test)]

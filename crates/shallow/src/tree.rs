@@ -38,15 +38,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        label: u16,
-    },
-    Split {
-        feature: usize,
-        threshold: f32,
-        left: usize,
-        right: usize,
-    },
+    Leaf { label: u16 },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
 }
 
 /// A trained CART decision tree.
@@ -83,11 +76,8 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "empty training set");
         let n_features = x[0].len();
-        let mut tree = DecisionTree {
-            nodes: Vec::new(),
-            importance: vec![0.0; n_features],
-            n_classes,
-        };
+        let mut tree =
+            DecisionTree { nodes: Vec::new(), importance: vec![0.0; n_features], n_classes };
         let idx: Vec<usize> = (0..x.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         tree.build(x, y, idx, 0, params, &mut rng);
@@ -99,12 +89,7 @@ impl DecisionTree {
         for &i in idx {
             counts[usize::from(y[i])] += 1;
         }
-        counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(l, _)| l as u16)
-            .unwrap_or(0)
+        counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(l, _)| l as u16).unwrap_or(0)
     }
 
     fn build(
@@ -154,10 +139,7 @@ impl DecisionTree {
                 vec![lo + (hi - lo) * rng_float(rng)]
             } else {
                 let step = (vals.len() / params.max_thresholds).max(1);
-                (step..vals.len())
-                    .step_by(step)
-                    .map(|t| (vals[t - 1] + vals[t]) / 2.0)
-                    .collect()
+                (step..vals.len()).step_by(step).map(|t| (vals[t - 1] + vals[t]) / 2.0).collect()
             };
             for threshold in candidates {
                 let mut lc = vec![0u32; self.n_classes];
@@ -250,26 +232,14 @@ mod tests {
         // Label 1 only in the corner x0>0.5 AND x1>0.5 — needs 2 levels,
         // and the first split has positive Gini gain (unlike XOR, which
         // greedy CART legitimately cannot start on).
-        let data = [
-            [0.0, 0.0],
-            [0.0, 1.0],
-            [1.0, 0.0],
-            [1.0, 1.0],
-            [0.9, 0.9],
-            [0.1, 0.9],
-        ];
+        let data = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0], [0.9, 0.9], [0.1, 0.9]];
         let x = rows(&data);
         let y = [0u16, 0, 0, 1, 1, 0];
         let params = TreeParams { min_samples_split: 2, ..Default::default() };
         let t = DecisionTree::fit(&x, &y, 2, params, 1);
         assert_eq!(t.predict(&x), y);
-        let shallow = DecisionTree::fit(
-            &x,
-            &y,
-            2,
-            TreeParams { max_depth: 0, ..Default::default() },
-            1,
-        );
+        let shallow =
+            DecisionTree::fit(&x, &y, 2, TreeParams { max_depth: 0, ..Default::default() }, 1);
         assert_eq!(shallow.n_nodes(), 1, "depth-0 tree is a single leaf");
     }
 

@@ -91,7 +91,13 @@ mod tests {
     fn zero_faults_is_identity() {
         let mut t = trace();
         let n = t.records.len();
-        let cfg = FaultConfig { drop: 0.0, duplicate: 0.0, reorder: 0.0, corrupt: 0.0, reorder_delay: 0.0 };
+        let cfg = FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            reorder_delay: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let stats = inject_faults(&mut t, cfg, &mut rng);
         assert_eq!(stats, FaultStats::default());
@@ -102,7 +108,13 @@ mod tests {
     fn drop_rate_approximately_respected() {
         let mut t = trace();
         let n = t.records.len() as f64;
-        let cfg = FaultConfig { drop: 0.2, duplicate: 0.0, reorder: 0.0, corrupt: 0.0, reorder_delay: 0.0 };
+        let cfg = FaultConfig {
+            drop: 0.2,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            reorder_delay: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let stats = inject_faults(&mut t, cfg, &mut rng);
         let rate = stats.dropped as f64 / n;
@@ -114,7 +126,13 @@ mod tests {
     fn duplicates_increase_count() {
         let mut t = trace();
         let n = t.records.len();
-        let cfg = FaultConfig { drop: 0.0, duplicate: 0.1, reorder: 0.0, corrupt: 0.0, reorder_delay: 0.0 };
+        let cfg = FaultConfig {
+            drop: 0.0,
+            duplicate: 0.1,
+            reorder: 0.0,
+            corrupt: 0.0,
+            reorder_delay: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let stats = inject_faults(&mut t, cfg, &mut rng);
         assert_eq!(t.records.len(), n + stats.duplicated);

@@ -69,11 +69,12 @@ pub fn synth_flow(
 ) -> SynthFlow {
     let server = profile.server_pool[rng.gen_range(0..profile.server_pool.len())];
     let client_port: u16 = rng.gen_range(32768..61000);
-    let n_data = (gauss(rng, profile.flow_len_mean, profile.flow_len_mean * 0.4)
-        .max(2.0)
-        .round()) as usize;
+    let n_data =
+        (gauss(rng, profile.flow_len_mean, profile.flow_len_mean * 0.4).max(2.0).round()) as usize;
     match profile.transport {
-        TransportKind::Udp => synth_udp(profile, client, server, client_port, start_ts, n_data, rng),
+        TransportKind::Udp => {
+            synth_udp(profile, client, server, client_port, start_ts, n_data, rng)
+        }
         _ => synth_tcp(profile, client, server, client_port, start_ts, n_data, rng, sni_stripped),
     }
 }
@@ -113,15 +114,34 @@ fn synth_tcp(
     ];
     // SYN
     let syn = build_tcp(
-        profile, client, server, client_port, true, TcpFlags::SYN, c_seq, 0, hs_opts_c, vec![], rng,
+        profile,
+        client,
+        server,
+        client_port,
+        true,
+        TcpFlags::SYN,
+        c_seq,
+        0,
+        hs_opts_c,
+        vec![],
+        rng,
     );
     packets.push(FlowPacket { ts: now, frame: syn, from_client: true });
     c_seq = c_seq.wrapping_add(1);
     now += rng.gen_range(0.01..0.08); // RTT/2
-    // SYN-ACK
+                                      // SYN-ACK
     let synack = build_tcp(
-        profile, client, server, client_port, false, TcpFlags::SYN | TcpFlags::ACK, s_seq, c_seq,
-        hs_opts_s, vec![], rng,
+        profile,
+        client,
+        server,
+        client_port,
+        false,
+        TcpFlags::SYN | TcpFlags::ACK,
+        s_seq,
+        c_seq,
+        hs_opts_s,
+        vec![],
+        rng,
     );
     packets.push(FlowPacket { ts: now, frame: synack, from_client: false });
     s_seq = s_seq.wrapping_add(1);
@@ -135,8 +155,17 @@ fn synth_tcp(
         }
     };
     let ack_pkt = build_tcp(
-        profile, client, server, client_port, true, TcpFlags::ACK, c_seq, s_seq,
-        vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], vec![], rng,
+        profile,
+        client,
+        server,
+        client_port,
+        true,
+        TcpFlags::ACK,
+        c_seq,
+        s_seq,
+        vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)],
+        vec![],
+        rng,
     );
     packets.push(FlowPacket { ts: now, frame: ack_pkt, from_client: true });
 
@@ -147,8 +176,17 @@ fn synth_tcp(
         let hello = tls::emit_client_hello(random, profile.sni.as_deref());
         now += rng.gen_range(0.001..0.01);
         let f = build_tcp(
-            profile, client, server, client_port, true, TcpFlags::PSH | TcpFlags::ACK,
-            c_seq, s_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], hello.clone(), rng,
+            profile,
+            client,
+            server,
+            client_port,
+            true,
+            TcpFlags::PSH | TcpFlags::ACK,
+            c_seq,
+            s_seq,
+            vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)],
+            hello.clone(),
+            rng,
         );
         c_seq = c_seq.wrapping_add(hello.len() as u32);
         packets.push(FlowPacket { ts: now, frame: f, from_client: true });
@@ -158,8 +196,17 @@ fn synth_tcp(
         let sh_body = payload_bytes(rng, sh_len);
         let sh = tls::emit_record(tls::ContentType::Handshake, 0x0303, &sh_body);
         let f = build_tcp(
-            profile, client, server, client_port, false, TcpFlags::PSH | TcpFlags::ACK,
-            s_seq, c_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)], sh.clone(), rng,
+            profile,
+            client,
+            server,
+            client_port,
+            false,
+            TcpFlags::PSH | TcpFlags::ACK,
+            s_seq,
+            c_seq,
+            vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)],
+            sh.clone(),
+            rng,
         );
         s_seq = s_seq.wrapping_add(sh.len() as u32);
         packets.push(FlowPacket { ts: now, frame: f, from_client: false });
@@ -183,8 +230,17 @@ fn synth_tcp(
         };
         let (seq, ack) = if from_client { (c_seq, s_seq) } else { (s_seq, c_seq) };
         let f = build_tcp(
-            profile, client, server, client_port, from_client, TcpFlags::PSH | TcpFlags::ACK,
-            seq, ack, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, from_client)], payload.clone(), rng,
+            profile,
+            client,
+            server,
+            client_port,
+            from_client,
+            TcpFlags::PSH | TcpFlags::ACK,
+            seq,
+            ack,
+            vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, from_client)],
+            payload.clone(),
+            rng,
         );
         if from_client {
             c_seq = c_seq.wrapping_add(payload.len() as u32);
@@ -197,8 +253,17 @@ fn synth_tcp(
             now += rng.gen_range(0.0005..0.02);
             let (seq, ack) = if from_client { (s_seq, c_seq) } else { (c_seq, s_seq) };
             let f = build_tcp(
-                profile, client, server, client_port, !from_client, TcpFlags::ACK,
-                seq, ack, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, !from_client)], vec![], rng,
+                profile,
+                client,
+                server,
+                client_port,
+                !from_client,
+                TcpFlags::ACK,
+                seq,
+                ack,
+                vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, !from_client)],
+                vec![],
+                rng,
             );
             packets.push(FlowPacket { ts: now, frame: f, from_client: !from_client });
         }
@@ -207,14 +272,32 @@ fn synth_tcp(
     // --- teardown -------------------------------------------------------------
     now += rng.gen_range(0.001..0.05);
     let fin = build_tcp(
-        profile, client, server, client_port, true, TcpFlags::FIN | TcpFlags::ACK,
-        c_seq, s_seq, vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)], vec![], rng,
+        profile,
+        client,
+        server,
+        client_port,
+        true,
+        TcpFlags::FIN | TcpFlags::ACK,
+        c_seq,
+        s_seq,
+        vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, true)],
+        vec![],
+        rng,
     );
     packets.push(FlowPacket { ts: now, frame: fin, from_client: true });
     now += rng.gen_range(0.001..0.05);
     let finack = build_tcp(
-        profile, client, server, client_port, false, TcpFlags::FIN | TcpFlags::ACK,
-        s_seq, c_seq.wrapping_add(1), vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)], vec![], rng,
+        profile,
+        client,
+        server,
+        client_port,
+        false,
+        TcpFlags::FIN | TcpFlags::ACK,
+        s_seq,
+        c_seq.wrapping_add(1),
+        vec![TcpOption::Nop, TcpOption::Nop, ts_opt(now, false)],
+        vec![],
+        rng,
     );
     packets.push(FlowPacket { ts: now, frame: finack, from_client: false });
 
@@ -261,11 +344,7 @@ fn build_tcp(
             .ttl(profile.server_ttl)
             .window(profile.server_window)
     };
-    b = b
-        .seq_ack(seq, ack)
-        .flags(flags)
-        .tos(profile.tos)
-        .identification(rng.gen());
+    b = b.seq_ack(seq, ack).flags(flags).tos(profile.tos).identification(rng.gen());
     for o in options {
         b = b.option(o);
     }
@@ -306,11 +385,8 @@ fn synth_udp(
                 .dst(client, client_port)
                 .ttl(profile.server_ttl)
         };
-        let frame = b
-            .tos(profile.tos)
-            .identification(rng.gen())
-            .payload(payload_bytes(rng, len))
-            .build();
+        let frame =
+            b.tos(profile.tos).identification(rng.gen()).payload(payload_bytes(rng, len)).build();
         packets.push(FlowPacket { ts: now, frame, from_client });
     }
     SynthFlow { packets, client, server, client_port, server_port: profile.server_port }
@@ -341,7 +417,9 @@ mod tests {
         }
         let last = ParsedFrame::parse(&f.packets.last().unwrap().frame).unwrap();
         match last.transport {
-            TransportInfo::Tcp { flags, .. } => assert_ne!(flags & 0x01, 0, "last packet must carry FIN"),
+            TransportInfo::Tcp { flags, .. } => {
+                assert_ne!(flags & 0x01, 0, "last packet must carry FIN")
+            }
             _ => panic!("expected TCP"),
         }
     }
@@ -364,7 +442,8 @@ mod tests {
         let f = synth_flow(&profile(TransportKind::TlsTcp), client(), 0.0, &mut rng, false);
         let mut client_seqs = Vec::new();
         for p in &f.packets {
-            if let TransportInfo::Tcp { seq, .. } = ParsedFrame::parse(&p.frame).unwrap().transport {
+            if let TransportInfo::Tcp { seq, .. } = ParsedFrame::parse(&p.frame).unwrap().transport
+            {
                 if p.from_client {
                     client_seqs.push(seq);
                 }
@@ -372,7 +451,10 @@ mod tests {
         }
         let min = *client_seqs.iter().min().unwrap();
         let max = *client_seqs.iter().max().unwrap();
-        assert!(max.wrapping_sub(min) < 1_000_000, "client seq range stays tight (implicit flow ID)");
+        assert!(
+            max.wrapping_sub(min) < 1_000_000,
+            "client seq range stays tight (implicit flow ID)"
+        );
     }
 
     #[test]
@@ -399,10 +481,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let f1 = synth_flow(&p, client(), 0.0, &mut rng, false);
         let f2 = synth_flow(&p, client(), 0.0, &mut rng, false);
-        let seq_of = |f: &SynthFlow| match ParsedFrame::parse(&f.packets[0].frame).unwrap().transport {
-            TransportInfo::Tcp { seq, .. } => seq,
-            _ => panic!("expected TCP"),
-        };
+        let seq_of =
+            |f: &SynthFlow| match ParsedFrame::parse(&f.packets[0].frame).unwrap().transport {
+                TransportInfo::Tcp { seq, .. } => seq,
+                _ => panic!("expected TCP"),
+            };
         assert_ne!(seq_of(&f1), seq_of(&f2));
     }
 
@@ -416,10 +499,7 @@ mod tests {
             f.packets.iter().any(|pk| {
                 let parsed = ParsedFrame::parse(&pk.frame).unwrap();
                 let pl = parsed.payload_of(&pk.frame);
-                net_packet::tls::TlsRecord::new_checked(pl)
-                    .ok()
-                    .and_then(|r| r.sni())
-                    .is_some()
+                net_packet::tls::TlsRecord::new_checked(pl).ok().and_then(|r| r.sni()).is_some()
             })
         };
         assert!(has_sni(&full));
@@ -429,7 +509,9 @@ mod tests {
         // Stripping also removes the handshake.
         let first = ParsedFrame::parse(&stripped.packets[0].frame).unwrap();
         match first.transport {
-            TransportInfo::Tcp { flags, .. } => assert_eq!(flags & 0x02, 0, "no SYN after stripping"),
+            TransportInfo::Tcp { flags, .. } => {
+                assert_eq!(flags & 0x02, 0, "no SYN after stripping")
+            }
             _ => panic!("expected TCP"),
         }
     }

@@ -86,9 +86,8 @@ impl AppProfile {
     /// `seed`. `n_classes` controls how crowded the server-address
     /// universe is (more classes ⇒ more overlap ⇒ harder task).
     pub fn derive(seed: u64, class: u16, n_classes: u16, transport: TransportKind) -> AppProfile {
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ (u64::from(class) << 32) ^ 0x9e37_79b9_7f4a_7c15,
-        );
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (u64::from(class) << 32) ^ 0x9e37_79b9_7f4a_7c15);
         // Server pool: 2-4 addresses out of a universe whose size scales
         // sub-linearly with the class count, forcing sharing.
         let universe = (u32::from(n_classes) * 3).max(16);
@@ -106,12 +105,12 @@ impl AppProfile {
             .collect();
         let server_port = match transport {
             TransportKind::TlsTcp => 443,
-            TransportKind::RawTcp => *[80u16, 8080, 6881, 4662, 8000]
-                .get(rng.gen_range(0..5))
-                .expect("index in range"),
-            TransportKind::Udp => *[1194u16, 500, 4500, 16393, 3480]
-                .get(rng.gen_range(0..5))
-                .expect("index in range"),
+            TransportKind::RawTcp => {
+                *[80u16, 8080, 6881, 4662, 8000].get(rng.gen_range(0..5)).expect("index in range")
+            }
+            TransportKind::Udp => {
+                *[1194u16, 500, 4500, 16393, 3480].get(rng.gen_range(0..5)).expect("index in range")
+            }
         };
         let client_payload_mean = rng.gen_range(80.0..600.0);
         let server_payload_mean = rng.gen_range(200.0..1300.0);

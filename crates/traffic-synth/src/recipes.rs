@@ -91,9 +91,8 @@ impl DatasetSpec {
         let mut trace = Trace { records: Vec::new(), classes };
         let mut flow_id: u32 = 0;
         for profile in &profiles {
-            let n_flows = ((self.flows_per_class as f64) * profile.volume_weight)
-                .round()
-                .max(2.0) as usize;
+            let n_flows =
+                ((self.flows_per_class as f64) * profile.volume_weight).round().max(2.0) as usize;
             for _ in 0..n_flows {
                 let client = Ipv4Addr::new(192, 168, 1, rng.gen_range(2..250));
                 let start = rng.gen_range(0.0..600.0);
@@ -164,22 +163,27 @@ impl DatasetSpec {
             }
             DatasetKind::UstcTfc => {
                 const BENIGN: [&str; 10] = [
-                    "bittorrent", "facetime", "ftp", "gmail", "mysql", "outlook", "skype",
-                    "smb", "weibo", "worldofwarcraft",
+                    "bittorrent",
+                    "facetime",
+                    "ftp",
+                    "gmail",
+                    "mysql",
+                    "outlook",
+                    "skype",
+                    "smb",
+                    "weibo",
+                    "worldofwarcraft",
                 ];
                 const MALWARE: [&str; 10] = [
-                    "cridex", "geodo", "htbot", "miuref", "neris", "nsis-ay", "shifu",
-                    "tinba", "virut", "zeus",
+                    "cridex", "geodo", "htbot", "miuref", "neris", "nsis-ay", "shifu", "tinba",
+                    "virut", "zeus",
                 ];
                 let mut classes = Vec::new();
                 let mut profiles = Vec::new();
                 for i in 0..20u16 {
                     let is_malware = i >= 10;
-                    let name = if is_malware {
-                        MALWARE[(i - 10) as usize]
-                    } else {
-                        BENIGN[i as usize]
-                    };
+                    let name =
+                        if is_malware { MALWARE[(i - 10) as usize] } else { BENIGN[i as usize] };
                     let transport = if is_malware || i % 3 == 0 {
                         TransportKind::RawTcp
                     } else {

@@ -94,7 +94,11 @@ impl Trace {
         for _ in 0..n {
             let ts = rng.gen_range(0.0..t_max.max(1.0));
             let frame = match rng.gen_range(0..10) {
-                0 => spurious::arp_request(mac, host, Ipv4Addr::new(192, 168, 1, rng.gen_range(1..254))),
+                0 => spurious::arp_request(
+                    mac,
+                    host,
+                    Ipv4Addr::new(192, 168, 1, rng.gen_range(1..254)),
+                ),
                 1 => spurious::dhcp_discover(mac, rng.gen()),
                 2 => spurious::mdns_query(mac, host, "_companion-link._tcp.local"),
                 3 => spurious::llmnr_query(mac, host, "workstation"),
@@ -118,11 +122,8 @@ impl Trace {
 
     /// Export to pcap bytes (inspectable with Wireshark/tcpdump).
     pub fn to_pcap(&self) -> Vec<u8> {
-        let packets: Vec<PcapPacket> = self
-            .records
-            .iter()
-            .map(|r| PcapPacket::at(r.ts, r.frame.clone()))
-            .collect();
+        let packets: Vec<PcapPacket> =
+            self.records.iter().map(|r| PcapPacket::at(r.ts, r.frame.clone())).collect();
         pcap::write_all(&packets)
     }
 }
@@ -134,12 +135,8 @@ mod tests {
 
     fn tiny_trace() -> Trace {
         let mut t = Trace::default();
-        let prof = crate::profile::AppProfile::derive(
-            1,
-            0,
-            4,
-            crate::profile::TransportKind::TlsTcp,
-        );
+        let prof =
+            crate::profile::AppProfile::derive(1, 0, 4, crate::profile::TransportKind::TlsTcp);
         let mut rng = StdRng::seed_from_u64(1);
         let f = crate::flow::synth_flow(&prof, Ipv4Addr::new(10, 0, 0, 9), 0.0, &mut rng, false);
         t.push_flow(0, 0, f.packets);

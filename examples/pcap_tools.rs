@@ -19,8 +19,8 @@ fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "trace.pcap".into());
 
     // Synthesise a small ISCX-VPN-like trace (with spurious chatter).
-    let mut trace = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 99, flows_per_class: 4 }
-        .generate();
+    let mut trace =
+        DatasetSpec { kind: DatasetKind::IscxVpn, seed: 99, flows_per_class: 4 }.generate();
     let bytes = trace.to_pcap();
     std::fs::write(&out, &bytes).expect("write pcap");
     println!("wrote {} packets ({} bytes) to {out}", trace.records.len(), bytes.len());

@@ -12,9 +12,7 @@
 //! ```
 
 use debunk::dataset::Task;
-use debunk::debunk_core::experiment::{
-    run_cell, CellConfig, FlowIdAblation, SplitPolicy,
-};
+use debunk::debunk_core::experiment::{run_cell, CellConfig, FlowIdAblation, SplitPolicy};
 use debunk::debunk_core::pipeline::PreparedTask;
 use debunk::encoders::{EncoderModel, ModelKind};
 
@@ -60,11 +58,8 @@ fn main() {
         SplitPolicy::PerPacket,
         FlowIdAblation::TestOnly,
     );
-    let honest = run(
-        "per-flow split (the honest protocol)",
-        SplitPolicy::PerFlow,
-        FlowIdAblation::None,
-    );
+    let honest =
+        run("per-flow split (the honest protocol)", SplitPolicy::PerFlow, FlowIdAblation::None);
 
     println!();
     if sweet > sour * 1.5 && sweet > honest * 1.5 {
@@ -74,6 +69,8 @@ fn main() {
             sweet / sour.max(1e-9)
         );
     } else {
-        println!("shortcut effect weaker than expected at this scale — try --release and a larger scale");
+        println!(
+            "shortcut effect weaker than expected at this scale — try --release and a larger scale"
+        );
     }
 }

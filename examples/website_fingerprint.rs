@@ -40,7 +40,8 @@ fn main() {
     );
 
     // Shallow baseline on hand-crafted header features.
-    let rf = run_shallow(&prep, ShallowModel::Rf, SplitPolicy::PerFlow, FeatureConfig::default(), &cfg);
+    let rf =
+        run_shallow(&prep, ShallowModel::Rf, SplitPolicy::PerFlow, FeatureConfig::default(), &cfg);
     println!(
         "Random forest:          accuracy {:5.1}%  macro-F1 {:5.1}%  ({:.1}s train)",
         rf.accuracy * 100.0,

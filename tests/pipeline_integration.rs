@@ -31,9 +31,7 @@ fn full_pipeline_generate_clean_split_classify() {
     let train = balanced_undersample(&data, &split.train, &label, 3);
 
     let feats = |idx: &[usize]| -> Vec<[f32; 39]> {
-        idx.iter()
-            .map(|&i| extract_features(&data.records[i], FeatureConfig::default()))
-            .collect()
+        idx.iter().map(|&i| extract_features(&data.records[i], FeatureConfig::default())).collect()
     };
     let xtr = feats(&train);
     let xte = feats(&split.test);
@@ -74,9 +72,8 @@ fn per_flow_split_has_no_flow_overlap_but_per_packet_does() {
     let data = Prepared::from_trace(&trace);
 
     let pf = per_flow_split(&data, 0.8, 1000, 7);
-    let flows = |idx: &[usize]| -> HashSet<u32> {
-        idx.iter().map(|&i| data.records[i].flow_id).collect()
-    };
+    let flows =
+        |idx: &[usize]| -> HashSet<u32> { idx.iter().map(|&i| data.records[i].flow_id).collect() };
     assert!(flows(&pf.train).is_disjoint(&flows(&pf.test)));
 
     let pp = per_packet_split(&data, 0.8, 7);

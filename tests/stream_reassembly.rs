@@ -14,13 +14,7 @@ fn tls_flow(seed: u64) -> debunk::traffic_synth::flow::SynthFlow {
     let mut profile = AppProfile::derive(1, 0, 4, TransportKind::TlsTcp);
     profile.sni = Some("stream.example".into());
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    synth_flow(
-        &profile,
-        debunk::net_packet::ipv4::Ipv4Addr::new(10, 1, 2, 3),
-        0.0,
-        &mut rng,
-        false,
-    )
+    synth_flow(&profile, debunk::net_packet::ipv4::Ipv4Addr::new(10, 1, 2, 3), 0.0, &mut rng, false)
 }
 
 /// Collect (seq, payload) for one direction of a flow.
