@@ -1,5 +1,7 @@
 //! Wire-format throughput: frame building, parsing, checksum work and
-//! pcap serialisation — the substrate cost under every experiment.
+//! pcap serialisation — the substrate cost under every experiment —
+//! plus the compute kernels those experiments spend their time in
+//! (blocked matmul, GBDT fitting).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use net_packet::builder::FrameBuilder;
@@ -8,6 +10,10 @@ use net_packet::ident::identify;
 use net_packet::ipv4::Ipv4Addr;
 use net_packet::pcap::{self, PcapPacket};
 use net_packet::tcp::TcpOption;
+use nn::Tensor;
+use shallow::gbdt::GbdtParams;
+use shallow::tree::TreeParams;
+use shallow::{DecisionTree, GradientBoosting};
 
 fn sample_frame() -> Vec<u8> {
     FrameBuilder::tcp_ipv4_default()
@@ -51,5 +57,73 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec);
+fn filled_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    let mut s = seed | 1;
+    for v in &mut t.data {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = ((s >> 40) as i32 - (1 << 23)) as f32 / (1 << 22) as f32;
+    }
+    t
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &dim in &[64usize, 256] {
+        let a = filled_tensor(dim, dim, 11);
+        let b = filled_tensor(dim, dim, 17);
+        let mut out = Tensor::default();
+        g.throughput(Throughput::Elements((dim * dim * dim) as u64));
+        g.bench_function(format!("matmul_{dim}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_into(black_box(&b), &mut out));
+        });
+        g.bench_function(format!("t_matmul_{dim}"), |bch| {
+            bch.iter(|| black_box(&a).t_matmul_into(black_box(&b), &mut out));
+        });
+    }
+    g.finish();
+}
+
+fn tree_dataset(n: usize, n_features: usize) -> (Vec<Vec<f32>>, Vec<u16>) {
+    let mut s = 0x1234_5678_9abc_def1u64;
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let c = (s % 6) as u16;
+        let mut row = Vec::with_capacity(n_features);
+        for f in 0..n_features {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let noise = ((s >> 40) as f32 / (1 << 24) as f32 - 0.5) * 2.0;
+            // quantised so columns carry heavy tie mass, like real
+            // header features
+            row.push((f32::from(c) * 0.5 + noise * (1.0 + f as f32 * 0.1) * 8.0).floor() * 0.25);
+        }
+        x.push(row);
+        y.push(c);
+    }
+    (x, y)
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let (xd, y) = tree_dataset(1200, 12);
+    let x: Vec<&[f32]> = xd.iter().map(|r| r.as_slice()).collect();
+    let mut g = c.benchmark_group("trees");
+    g.sample_size(10);
+    g.bench_function("tree_fit_1200", |b| {
+        b.iter(|| DecisionTree::fit(black_box(&x), black_box(&y), 6, TreeParams::default(), 7));
+    });
+    g.bench_function("gbdt_fit_1200", |b| {
+        b.iter(|| GradientBoosting::fit(black_box(&x), black_box(&y), 6, GbdtParams::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_matmul, bench_gbdt);
 criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! `bench_json` — tracked wall-clock benchmarks for the hot compute
+//! kernels, written as a JSON file so successive PRs can record the
+//! performance trajectory of the reproduction.
+//!
+//! ```text
+//! bench_json [--quick] [--out PATH]
+//!
+//! options:
+//!   --quick     fewer repetitions, skip the registry experiment
+//!               (CI smoke mode — seconds, not minutes)
+//!   --out PATH  output file (default "BENCH_kernels.json"; run from
+//!               the workspace root so the file lands at the repo root)
+//! ```
+//!
+//! The file records the current numbers next to the frozen pre-PR2
+//! baseline (the naive scalar kernels), so the speedup column shows
+//! how far the compute layer has moved. Input data is synthesised with
+//! a local xorshift generator — no `rand` — so the measured shapes are
+//! identical on every machine and every run.
+
+use debunk_core::engine::{default_registry, Preset, RunContext, RunOptions};
+use encoders::model::{EncoderModel, ModelKind};
+use nn::{Mlp, Tensor};
+use shallow::gbdt::{GbdtParams, GradientBoosting};
+use shallow::tree::{DecisionTree, TreeParams};
+use std::time::Instant;
+
+/// Frozen pre-PR2 numbers (naive scalar kernels, this container's
+/// single Ice-Lake-class core). `(name, ms)` — refreshed only when the
+/// baseline itself is intentionally re-recorded.
+const BASELINE_MS: &[(&str, f64)] = &[
+    ("matmul_256", 2.063),
+    ("t_matmul_256", 1.928),
+    ("matmul_t_256", 9.462),
+    ("mlp_train_step_b64", 1.586),
+    ("encoder_train_step_b64", 5.592),
+    ("tree_fit_4k", 128.195),
+    ("gbdt_fit_1200", 242.651),
+];
+
+/// Deterministic xorshift64* stream — benchmark data without `rand`.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn tensor(rows: usize, cols: usize, rng: &mut XorShift) -> Tensor {
+    let mut t = Tensor::zeros(rows, cols);
+    for v in &mut t.data {
+        *v = rng.f32();
+    }
+    t
+}
+
+/// Median wall-clock of `reps` runs (after one warm-up), in ms.
+fn bench_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Clustered classification data: `n` rows × `d` features, `k` classes.
+fn class_data(n: usize, d: usize, k: usize, rng: &mut XorShift) -> (Vec<Vec<f32>>, Vec<u16>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(k as u64) as u16;
+        let mut row = Vec::with_capacity(d);
+        for j in 0..d {
+            let signal = if j % 3 == 0 { f32::from(c) } else { 0.0 };
+            row.push(signal + rng.f32());
+        }
+        x.push(row);
+        y.push(c);
+    }
+    (x, y)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                eprintln!("usage: bench_json [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = if quick { 3 } else { 9 };
+    let mut rng = XorShift(0x5eed_cafe);
+    let mut results: Vec<(&str, f64)> = Vec::new();
+
+    // --- matmul kernels -------------------------------------------------
+    let a = tensor(256, 256, &mut rng);
+    let b = tensor(256, 256, &mut rng);
+    results.push(("matmul_256", bench_ms(reps, || a.matmul(&b))));
+    results.push(("t_matmul_256", bench_ms(reps, || a.t_matmul(&b))));
+    results.push(("matmul_t_256", bench_ms(reps, || a.matmul_t(&b))));
+    eprintln!("  matmul kernels done");
+
+    // --- one MLP head training step (batch 64) --------------------------
+    let x = tensor(64, 256, &mut rng);
+    let y: Vec<u16> = (0..64).map(|_| rng.below(16) as u16).collect();
+    let mut head = Mlp::new(&[256, 128, 16], 1);
+    results.push(("mlp_train_step_b64", bench_ms(reps, || head.train_batch(&x, &y, 0.01))));
+
+    // --- one unfrozen encoder training step (batch 64) ------------------
+    let batch: Vec<Vec<u32>> =
+        (0..64).map(|_| (0..80).map(|_| rng.below(1 << 16) as u32).collect()).collect();
+    let mut enc = EncoderModel::new(ModelKind::EtBert, 1);
+    let mut enc_head = Mlp::new(&[enc.dim(), 128, 16], 1);
+    results.push((
+        "encoder_train_step_b64",
+        bench_ms(reps, || {
+            let pooled = enc.forward_tokens(&batch);
+            let (_, d) = enc_head.train_batch(&pooled, &y, 0.01);
+            enc.backward(&d, 0.01);
+        }),
+    ));
+    eprintln!("  training steps done");
+
+    // --- shallow models --------------------------------------------------
+    let (xv, yv) = class_data(4000, 16, 6, &mut rng);
+    let xr: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+    results.push((
+        "tree_fit_4k",
+        bench_ms(reps.min(5), || DecisionTree::fit(&xr, &yv, 6, TreeParams::default(), 1)),
+    ));
+    let (gxv, gyv) = class_data(1200, 16, 4, &mut rng);
+    let gxr: Vec<&[f32]> = gxv.iter().map(|r| r.as_slice()).collect();
+    results.push((
+        "gbdt_fit_1200",
+        bench_ms(reps.min(5), || GradientBoosting::fit(&gxr, &gyv, 4, GbdtParams::default())),
+    ));
+    eprintln!("  shallow models done");
+
+    // --- one small registry experiment (skipped in --quick) --------------
+    if !quick {
+        let ctx = RunContext::from_preset(Preset::Fast, 42, Some(0.4));
+        let opts = RunOptions { jobs: 1, out_dir: None, ..Default::default() };
+        let t0 = Instant::now();
+        default_registry().run("table8", &ctx, &opts).expect("table8 is registered");
+        results.push(("registry_table8_fast", t0.elapsed().as_secs_f64() * 1e3));
+        eprintln!("  registry experiment done");
+    }
+
+    // --- hand-rolled JSON (no serde dependency in the hot path) ----------
+    let mut json = String::from("{\n  \"schema\": \"bench_kernels/v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"results_ms\": {{\n"));
+    for (i, (name, ms)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+    }
+    json.push_str("  },\n  \"baseline_pre_pr2_ms\": {\n");
+    for (i, (name, ms)) in BASELINE_MS.iter().enumerate() {
+        let sep = if i + 1 < BASELINE_MS.len() { "," } else { "" };
+        if ms.is_nan() {
+            json.push_str(&format!("    \"{name}\": null{sep}\n"));
+        } else {
+            json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+        }
+    }
+    json.push_str("  },\n  \"speedup_vs_baseline\": {\n");
+    let speedups: Vec<(&str, f64)> = BASELINE_MS
+        .iter()
+        .filter_map(|(name, base)| {
+            let now = results.iter().find(|(n, _)| n == name)?.1;
+            (!base.is_nan() && now > 0.0).then_some((*name, base / now))
+        })
+        .collect();
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {s:.2}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("[saved] {out_path}");
+}

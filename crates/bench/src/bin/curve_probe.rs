@@ -68,5 +68,5 @@ fn main() {
         PretrainBudget::default(),
         CellConfig { seed: 42, ..Default::default() },
     );
-    run_experiment(&CurveProbe, &ctx, &RunOptions { jobs: 1, out_dir: None });
+    run_experiment(&CurveProbe, &ctx, &RunOptions { jobs: 1, kernel_threads: None, out_dir: None });
 }

@@ -11,6 +11,9 @@
 //!   --budget B       fast | medium | full (default medium)
 //!   --fast           shorthand for --budget fast
 //!   --jobs N         worker threads for independent cells (default 1)
+//!   --kernel-threads N  threads for the nn matmul kernels inside each
+//!                    cell (default: auto-split from --jobs; results
+//!                    are bit-identical at any setting)
 //!   --out DIR        result-record directory (default "results")
 //!   --cache-dir DIR  persist pre-trained encoder checkpoints in DIR
 //!   --list           print registered experiments and exit
@@ -29,6 +32,7 @@ struct Cli {
     seed: u64,
     scale: Option<f64>,
     jobs: usize,
+    kernel_threads: Option<usize>,
     out_dir: PathBuf,
     cache_dir: Option<PathBuf>,
     list: bool,
@@ -37,7 +41,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale X] [--seed N] [--budget fast|medium|full] \
-         [--fast] [--jobs N] [--out DIR] [--cache-dir DIR]\n       repro --list"
+         [--fast] [--jobs N] [--kernel-threads N] [--out DIR] [--cache-dir DIR]\n       \
+         repro --list"
     );
     exit(2);
 }
@@ -49,6 +54,7 @@ fn parse_cli(args: &[String]) -> Cli {
         seed: 42,
         scale: None,
         jobs: 1,
+        kernel_threads: None,
         out_dir: PathBuf::from("results"),
         cache_dir: None,
         list: false,
@@ -92,6 +98,13 @@ fn parse_cli(args: &[String]) -> Cli {
                     eprintln!("error: invalid --jobs '{v}'");
                     usage();
                 });
+            }
+            "--kernel-threads" => {
+                let v = value("--kernel-threads");
+                cli.kernel_threads = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --kernel-threads '{v}'");
+                    usage();
+                }));
             }
             "--out" => cli.out_dir = PathBuf::from(value("--out")),
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
@@ -141,7 +154,11 @@ fn main() {
         cli.jobs,
     );
 
-    let opts = RunOptions { jobs: cli.jobs, out_dir: Some(cli.out_dir) };
+    let opts = RunOptions {
+        jobs: cli.jobs,
+        kernel_threads: cli.kernel_threads,
+        out_dir: Some(cli.out_dir),
+    };
     let t0 = std::time::Instant::now();
     if let Err(unknown) = registry.run(&cli.experiment, &ctx, &opts) {
         eprintln!("unknown experiment: {unknown} (try --list)");

@@ -75,5 +75,9 @@ fn main() {
         ..Default::default()
     };
     let ctx = RunContext::new(42, 0.7, budget, cfg);
-    run_experiment(&UnfrozenProbe, &ctx, &RunOptions { jobs: 1, out_dir: None });
+    run_experiment(
+        &UnfrozenProbe,
+        &ctx,
+        &RunOptions { jobs: 1, kernel_threads: None, out_dir: None },
+    );
 }

@@ -20,6 +20,12 @@ use std::sync::Mutex;
 pub struct RunOptions {
     /// Worker threads for independent cells (1 = in-line, serial).
     pub jobs: usize,
+    /// Threads for the nn matmul kernels inside each cell. `None`
+    /// splits the `jobs` budget automatically: whatever `jobs` leaves
+    /// unused at the cell level goes to the kernels. Kernel parallelism
+    /// is row-partitioned and bit-identical to serial, so this never
+    /// affects results.
+    pub kernel_threads: Option<usize>,
     /// Where result-record JSON files are written; `None` disables
     /// serialisation (the calibration probes don't record).
     pub out_dir: Option<PathBuf>,
@@ -27,7 +33,7 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { jobs: 1, out_dir: Some(PathBuf::from("results")) }
+        RunOptions { jobs: 1, kernel_threads: None, out_dir: Some(PathBuf::from("results")) }
     }
 }
 
@@ -35,7 +41,11 @@ impl Default for RunOptions {
 /// its result records, then render its tables/charts.
 pub fn run_experiment(exp: &dyn Experiment, ctx: &RunContext, opts: &RunOptions) {
     let cells = exp.cells(ctx);
-    let outputs = execute_cells(exp.id(), &cells, ctx, opts.jobs.max(1));
+    let jobs = opts.jobs.max(1);
+    let cell_jobs = jobs.min(cells.len().max(1));
+    let kernel = opts.kernel_threads.unwrap_or_else(|| (jobs / cell_jobs).max(1));
+    nn::set_kernel_threads(kernel);
+    let outputs = execute_cells(exp.id(), &cells, ctx, cell_jobs);
 
     let records: Vec<ResultRecord> = cells
         .iter()

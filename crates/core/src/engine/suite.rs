@@ -20,7 +20,7 @@ use encoders::model::{EncoderModel, ModelKind};
 use encoders::pool::{pool_batch, PoolingMode};
 use encoders::pretrain::pretrain_corpus;
 use encoders::qa::{corrupt_checksums, qa_pretrain};
-use nn::Mlp;
+use nn::{Mlp, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -775,6 +775,8 @@ impl Experiment for Fig4 {
                     Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let mut order = train.clone();
+                let mut pooled = Tensor::default();
+                let mut d = Tensor::default();
                 for epoch in 0..cfg.unfrozen_epochs {
                     order.shuffle(&mut rng);
                     for chunk in order.chunks(cfg.batch) {
@@ -782,8 +784,8 @@ impl Experiment for Fig4 {
                             chunk.iter().map(|&i| &prep.data.records[i]).collect();
                         let labels: Vec<u16> = recs.iter().map(|r| label_of(r)).collect();
                         let tokens = enc.tokenize_training_batch(&recs, epoch as u64);
-                        let pooled = enc.forward_tokens(&tokens);
-                        let (_, d) = head.train_batch(&pooled, &labels, cfg.lr);
+                        enc.forward_tokens_into(&tokens, &mut pooled);
+                        head.train_batch_into(&pooled, &labels, cfg.lr, &mut d);
                         let lr_enc = cfg.lr_encoder * (64.0 / enc.dim() as f32).min(1.0);
                         enc.backward(&d, lr_enc);
                     }

@@ -248,14 +248,16 @@ pub fn run_cell(
             let mut head = Mlp::new(&[enc.dim(), cfg.head_hidden, n_classes], fold_seed);
             let mut rng = StdRng::seed_from_u64(fold_seed ^ 0x2);
             let mut order: Vec<usize> = (0..train_recs.len()).collect();
+            let mut pooled = Tensor::default();
+            let mut d_pooled = Tensor::default();
             for epoch in 0..cfg.unfrozen_epochs {
                 order.shuffle(&mut rng);
                 for chunk in order.chunks(cfg.batch) {
                     let recs: Vec<&PacketRecord> = chunk.iter().map(|&i| train_recs[i]).collect();
                     let labels: Vec<u16> = chunk.iter().map(|&i| train_labels[i]).collect();
                     let tokens = enc.tokenize_training_batch(&recs, epoch as u64);
-                    let pooled = enc.forward_tokens(&tokens);
-                    let (_, d_pooled) = head.train_batch(&pooled, &labels, cfg.lr);
+                    enc.forward_tokens_into(&tokens, &mut pooled);
+                    head.train_batch_into(&pooled, &labels, cfg.lr, &mut d_pooled);
                     enc.backward(&d_pooled, lr_enc);
                 }
             }

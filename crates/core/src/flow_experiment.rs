@@ -8,7 +8,7 @@ use crate::metrics::{accuracy, macro_f1};
 use crate::pipeline::PreparedTask;
 use dataset::record::PacketRecord;
 use encoders::model::{EncoderModel, ModelKind};
-use nn::Mlp;
+use nn::{Mlp, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -158,14 +158,16 @@ pub fn run_flow_cell(
             let mut head = Mlp::new(&[enc.dim(), cfg.head_hidden, n_classes], fold_seed);
             let mut rng = StdRng::seed_from_u64(fold_seed ^ 2);
             let mut order: Vec<usize> = fold_train.clone();
+            let mut pooled = Tensor::default();
+            let mut d = Tensor::default();
             for _ in 0..cfg.unfrozen_epochs {
                 order.shuffle(&mut rng);
                 for chunk in order.chunks(cfg.batch) {
                     let tokens: Vec<Vec<u32>> =
                         chunk.iter().map(|&i| enc.tokenize_flow(&train_flows[i])).collect();
                     let labels: Vec<u16> = chunk.iter().map(|&i| train_labels[i]).collect();
-                    let pooled = enc.forward_tokens(&tokens);
-                    let (_, d) = head.train_batch(&pooled, &labels, cfg.lr);
+                    enc.forward_tokens_into(&tokens, &mut pooled);
+                    head.train_batch_into(&pooled, &labels, cfg.lr, &mut d);
                     enc.backward(&d, lr_enc);
                 }
             }

@@ -158,6 +158,14 @@ pub struct EncoderModel {
     augment_seed: u64,
     /// Optional input ablation applied before tokenisation (Table 7).
     pub ablation: InputAblation,
+    // Reusable scratch for the unfrozen train step (forward + backward
+    // allocate nothing per step once these are warm).
+    #[serde(skip)]
+    pooled: Tensor,
+    #[serde(skip)]
+    clip_buf: Tensor,
+    #[serde(skip)]
+    d_pooled: Tensor,
 }
 
 impl EncoderModel {
@@ -176,6 +184,9 @@ impl EncoderModel {
             proj,
             augment_seed: seed ^ 0xa06e,
             ablation: InputAblation::Base,
+            pooled: Tensor::default(),
+            clip_buf: Tensor::default(),
+            d_pooled: Tensor::default(),
         }
     }
 
@@ -346,12 +357,21 @@ impl EncoderModel {
 
     /// Unfrozen forward over token batches (caches for backward).
     pub fn forward_tokens(&mut self, batch: &[Vec<u32>]) -> Tensor {
-        let pooled = self.embedding.forward(batch);
-        let mut out = self.proj.forward(&pooled);
+        let mut out = Tensor::default();
+        self.forward_tokens_into(batch, &mut out);
+        out
+    }
+
+    /// [`EncoderModel::forward_tokens`] writing into a reusable output
+    /// tensor; allocation-free in steady state.
+    pub fn forward_tokens_into(&mut self, batch: &[Vec<u32>], out: &mut Tensor) {
+        let mut pooled = std::mem::take(&mut self.pooled);
+        self.embedding.forward_into(batch, &mut pooled);
+        self.proj.forward_into(&pooled, out);
         for (o, &p) in out.data.iter_mut().zip(&pooled.data) {
             *o += p;
         }
-        out
+        self.pooled = pooled;
     }
 
     /// Unfrozen backward: gradient flows through both the residual
@@ -360,14 +380,16 @@ impl EncoderModel {
     /// clipped (standard fine-tuning practice) — without it the
     /// residual doubles gradient flow and wide encoders diverge.
     pub fn backward(&mut self, d_out: &Tensor, lr: f32) {
-        let mut d_out = d_out.clone();
+        self.clip_buf.copy_from(d_out);
         let max_norm = (d_out.rows as f32).sqrt();
-        clip_global_norm(&mut d_out, max_norm);
-        let mut d_pooled = self.proj.backward(&d_out, lr);
-        for (d, &g) in d_pooled.data.iter_mut().zip(&d_out.data) {
+        clip_global_norm(&mut self.clip_buf, max_norm);
+        let mut d_pooled = std::mem::take(&mut self.d_pooled);
+        self.proj.backward_into(&self.clip_buf, lr, &mut d_pooled);
+        for (d, &g) in d_pooled.data.iter_mut().zip(&self.clip_buf.data) {
             *d += g; // identity-path gradient
         }
         self.embedding.backward(&d_pooled, lr);
+        self.d_pooled = d_pooled;
     }
 
     /// Pre-training backward: the residual branch learns at `lr` while
@@ -378,11 +400,13 @@ impl EncoderModel {
         // plain SGD throughout: Adam would blow the tiny correlated
         // pretext gradients up to full-size steps and collapse both the
         // projection and the token-identity geometry (DESIGN.md §4b)
-        let mut d_pooled = self.proj.backward_sgd(d_out, lr);
+        let mut d_pooled = std::mem::take(&mut self.d_pooled);
+        self.proj.backward_sgd_into(d_out, lr, &mut d_pooled);
         for (d, &g) in d_pooled.data.iter_mut().zip(&d_out.data) {
             *d += g;
         }
         self.embedding.backward_sgd(&d_pooled, lr * table_scale);
+        self.d_pooled = d_pooled;
     }
 
     /// Frozen encoding of pre-built token sequences (residual path).

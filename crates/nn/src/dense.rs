@@ -1,6 +1,11 @@
 //! Fully-connected layer with manual backprop and built-in Adam state.
+//!
+//! The `*_into` entry points reuse caller- and layer-owned buffers so a
+//! steady-state train step performs no heap allocation; the by-value
+//! `forward`/`backward` wrappers keep the original allocating API.
 
 use crate::adam::Adam;
+use crate::kernel::Workspace;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +18,16 @@ pub struct Dense {
     pub b: Vec<f32>,
     #[serde(skip)]
     input_cache: Option<Tensor>,
+    /// Retired input-cache buffer, recycled by the next `forward` so the
+    /// forward/backward cycle stops allocating after warmup.
+    #[serde(skip)]
+    spare: Option<Tensor>,
+    #[serde(skip)]
+    d_w: Tensor,
+    #[serde(skip)]
+    d_b: Vec<f32>,
+    #[serde(skip)]
+    ws: Workspace,
     #[serde(skip)]
     opt_w: Adam,
     #[serde(skip)]
@@ -26,6 +41,10 @@ impl Dense {
             w: Tensor::xavier(input, output, seed),
             b: vec![0.0; output],
             input_cache: None,
+            spare: None,
+            d_w: Tensor::default(),
+            d_b: Vec::new(),
+            ws: Workspace::default(),
             opt_w: Adam::new(input * output),
             opt_b: Adam::new(output),
         }
@@ -43,27 +62,69 @@ impl Dense {
 
     /// Forward pass, caching the input for `backward`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.w);
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Forward pass writing into a reusable output tensor. The input is
+    /// copied into a recycled cache buffer rather than freshly cloned.
+    pub fn forward_into(&mut self, x: &Tensor, y: &mut Tensor) {
+        x.matmul_into(&self.w, y);
         for r in 0..y.rows {
             let row = y.row_mut(r);
             for (v, b) in row.iter_mut().zip(&self.b) {
                 *v += b;
             }
         }
-        self.input_cache = Some(x.clone());
-        y
+        let mut cache = self.spare.take().unwrap_or_default();
+        cache.copy_from(x);
+        self.input_cache = Some(cache);
     }
 
     /// Inference-only forward (no cache, usable with `&self`).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.w);
+        let mut y = Tensor::default();
+        self.forward_inference_into(x, &mut y);
+        y
+    }
+
+    /// Inference-only forward writing into a reusable output tensor.
+    pub fn forward_inference_into(&self, x: &Tensor, y: &mut Tensor) {
+        x.matmul_into(&self.w, y);
         for r in 0..y.rows {
             let row = y.row_mut(r);
             for (v, b) in row.iter_mut().zip(&self.b) {
                 *v += b;
             }
         }
-        y
+    }
+
+    /// Shared backward plumbing: fills `self.d_w`/`self.d_b` with the
+    /// batch-averaged weight and bias gradients, writes dX = d_out·Wᵀ
+    /// into `d_x`, and retires the input cache into the spare slot.
+    fn compute_grads(&mut self, d_out: &Tensor, d_x: &mut Tensor) {
+        let x = self.input_cache.take().expect("backward called before forward");
+        let batch = x.rows.max(1) as f32;
+        // dW = xᵀ · d_out / batch
+        x.t_matmul_into(d_out, &mut self.d_w);
+        for v in &mut self.d_w.data {
+            *v /= batch;
+        }
+        // db = column-mean of d_out
+        self.d_b.clear();
+        self.d_b.resize(self.b.len(), 0.0);
+        for r in 0..d_out.rows {
+            for (db, &g) in self.d_b.iter_mut().zip(d_out.row(r)) {
+                *db += g;
+            }
+        }
+        for v in &mut self.d_b {
+            *v /= batch;
+        }
+        // dX = d_out · Wᵀ
+        d_out.matmul_t_into(&self.w, d_x, &mut self.ws);
+        self.spare = Some(x);
     }
 
     /// Backward pass with a plain SGD step (no Adam). Used during
@@ -71,58 +132,37 @@ impl Dense {
     /// blow small correlated pretext gradients into collapse-inducing
     /// full-size steps; see `nn::Embedding::backward_sgd`.
     pub fn backward_sgd(&mut self, d_out: &Tensor, lr: f32) -> Tensor {
-        let x = self.input_cache.take().expect("backward called before forward");
-        let batch = x.rows.max(1) as f32;
-        let mut d_w = x.t_matmul(d_out);
-        for v in &mut d_w.data {
-            *v /= batch;
-        }
-        let mut d_b = vec![0.0f32; self.b.len()];
-        for r in 0..d_out.rows {
-            for (db, &g) in d_b.iter_mut().zip(d_out.row(r)) {
-                *db += g;
-            }
-        }
-        for v in &mut d_b {
-            *v /= batch;
-        }
-        let d_x = d_out.matmul_t(&self.w);
-        for (w, g) in self.w.data.iter_mut().zip(&d_w.data) {
+        let mut d_x = Tensor::default();
+        self.backward_sgd_into(d_out, lr, &mut d_x);
+        d_x
+    }
+
+    /// [`Dense::backward_sgd`] writing dX into a reusable tensor.
+    pub fn backward_sgd_into(&mut self, d_out: &Tensor, lr: f32, d_x: &mut Tensor) {
+        self.compute_grads(d_out, d_x);
+        for (w, g) in self.w.data.iter_mut().zip(&self.d_w.data) {
             *w -= lr * g;
         }
-        for (b, g) in self.b.iter_mut().zip(&d_b) {
+        for (b, g) in self.b.iter_mut().zip(&self.d_b) {
             *b -= lr * g;
         }
-        d_x
     }
 
     /// Backward pass: consumes `d_out` (batch × out), applies Adam with
     /// learning rate `lr`, and returns `d_input` (batch × in).
     pub fn backward(&mut self, d_out: &Tensor, lr: f32) -> Tensor {
+        let mut d_x = Tensor::default();
+        self.backward_into(d_out, lr, &mut d_x);
+        d_x
+    }
+
+    /// [`Dense::backward`] writing dX into a reusable tensor.
+    pub fn backward_into(&mut self, d_out: &Tensor, lr: f32, d_x: &mut Tensor) {
         self.opt_w.ensure_len(self.w.data.len());
         self.opt_b.ensure_len(self.b.len());
-        let x = self.input_cache.take().expect("backward called before forward");
-        let batch = x.rows.max(1) as f32;
-        // dW = xᵀ · d_out / batch
-        let mut d_w = x.t_matmul(d_out);
-        for v in &mut d_w.data {
-            *v /= batch;
-        }
-        // db = column-mean of d_out
-        let mut d_b = vec![0.0f32; self.b.len()];
-        for r in 0..d_out.rows {
-            for (db, &g) in d_b.iter_mut().zip(d_out.row(r)) {
-                *db += g;
-            }
-        }
-        for v in &mut d_b {
-            *v /= batch;
-        }
-        // dX = d_out · Wᵀ
-        let d_x = d_out.matmul_t(&self.w);
-        self.opt_w.step(&mut self.w.data, &d_w.data, lr);
-        self.opt_b.step(&mut self.b, &d_b, lr);
-        d_x
+        self.compute_grads(d_out, d_x);
+        self.opt_w.step(&mut self.w.data, &self.d_w.data, lr);
+        self.opt_b.step(&mut self.b, &self.d_b, lr);
     }
 }
 

@@ -25,7 +25,20 @@ pub struct Embedding {
     #[serde(skip)]
     opt: Adam,
     #[serde(skip)]
-    cache: Option<Vec<Vec<u32>>>,
+    cache: Vec<Vec<u32>>,
+    #[serde(skip)]
+    cache_valid: bool,
+    /// Touched table rows of the cached batch, sorted ascending before
+    /// the optimiser pass: `Adam::step_row` advances its timestep per
+    /// call, so the update order must not depend on hash-map iteration.
+    #[serde(skip)]
+    touched: Vec<u32>,
+    /// Row → slot map into `grads` (`u32::MAX` = untouched); entries
+    /// are reset after each backward so the buffer is reusable.
+    #[serde(skip)]
+    slot_of: Vec<u32>,
+    #[serde(skip)]
+    grads: Vec<f32>,
 }
 
 impl Embedding {
@@ -38,7 +51,11 @@ impl Embedding {
         Embedding {
             table: Tensor { rows: vocab, cols: dim, data },
             opt: Adam::new(vocab * dim),
-            cache: None,
+            cache: Vec::new(),
+            cache_valid: false,
+            touched: Vec::new(),
+            slot_of: Vec::new(),
+            grads: Vec::new(),
         }
     }
 
@@ -55,22 +72,47 @@ impl Embedding {
     /// Mean-pool each token sequence into one row. Empty sequences map
     /// to the zero vector.
     pub fn forward(&mut self, batch: &[Vec<u32>]) -> Tensor {
-        let out = self.forward_inference(batch);
-        self.cache = Some(batch.to_vec());
+        let mut out = Tensor::default();
+        self.forward_into(batch, &mut out);
         out
+    }
+
+    /// [`Embedding::forward`] writing into a reusable output tensor;
+    /// the token cache reuses its inner buffers instead of cloning the
+    /// batch.
+    pub fn forward_into(&mut self, batch: &[Vec<u32>], out: &mut Tensor) {
+        Self::pool(&self.table, batch, out);
+        self.cache.resize_with(batch.len(), Vec::new);
+        for (dst, src) in self.cache.iter_mut().zip(batch) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        self.cache_valid = true;
     }
 
     /// Inference-only forward (no cache).
     pub fn forward_inference(&self, batch: &[Vec<u32>]) -> Tensor {
-        let dim = self.dim();
-        let mut out = Tensor::zeros(batch.len(), dim);
+        let mut out = Tensor::default();
+        Self::pool(&self.table, batch, &mut out);
+        out
+    }
+
+    /// Inference-only forward writing into a reusable output tensor.
+    pub fn forward_inference_into(&self, batch: &[Vec<u32>], out: &mut Tensor) {
+        Self::pool(&self.table, batch, out);
+    }
+
+    fn pool(table: &Tensor, batch: &[Vec<u32>], out: &mut Tensor) {
+        let dim = table.cols;
+        out.resize(batch.len(), dim);
+        out.data.iter_mut().for_each(|v| *v = 0.0);
         for (r, tokens) in batch.iter().enumerate() {
             if tokens.is_empty() {
                 continue;
             }
             let row = out.row_mut(r);
             for &t in tokens {
-                let e = self.table.row(t as usize % self.table.rows);
+                let e = table.row(t as usize % table.rows);
                 for (o, &v) in row.iter_mut().zip(e) {
                     *o += v;
                 }
@@ -80,7 +122,6 @@ impl Embedding {
                 *o *= inv;
             }
         }
-        out
     }
 
     /// Scatter `d_out` (batch × dim) back into the table rows touched
@@ -102,38 +143,60 @@ impl Embedding {
 
     fn backward_impl(&mut self, d_out: &Tensor, lr: f32, adam: bool) {
         self.opt.ensure_len(self.table.data.len());
-        let batch = self.cache.take().expect("backward called before forward");
+        assert!(self.cache_valid, "backward called before forward");
+        self.cache_valid = false;
         let dim = self.dim();
         let vocab = self.table.rows;
-        // sparse accumulation: only touched rows get gradient storage
-        let mut grads: std::collections::HashMap<usize, Vec<f32>> =
-            std::collections::HashMap::new();
-        let scale = 1.0 / batch.len().max(1) as f32;
-        for (r, tokens) in batch.iter().enumerate() {
+        // Sparse accumulation into reusable buffers: mark the touched
+        // rows, sort them, then accumulate into per-slot gradient rows.
+        // The ascending-row optimiser pass keeps updates deterministic
+        // (Adam's timestep advances per `step_row` call, so iteration
+        // order is observable) and nothing here allocates after warmup.
+        self.slot_of.resize(vocab, u32::MAX);
+        self.touched.clear();
+        for tokens in &self.cache {
+            for &t in tokens {
+                let row = t as usize % vocab;
+                if self.slot_of[row] == u32::MAX {
+                    self.slot_of[row] = 0;
+                    self.touched.push(row as u32);
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        for (slot, &row) in self.touched.iter().enumerate() {
+            self.slot_of[row as usize] = slot as u32;
+        }
+        self.grads.clear();
+        self.grads.resize(self.touched.len() * dim, 0.0);
+        let scale = 1.0 / self.cache.len().max(1) as f32;
+        for (r, tokens) in self.cache.iter().enumerate() {
             if tokens.is_empty() {
                 continue;
             }
             let inv = scale / (tokens.len() as f32).sqrt();
             let g_row = d_out.row(r);
             for &t in tokens {
-                let row = t as usize % vocab;
-                let acc = grads.entry(row).or_insert_with(|| vec![0.0; dim]);
+                let slot = self.slot_of[t as usize % vocab] as usize;
+                let acc = &mut self.grads[slot * dim..(slot + 1) * dim];
                 for (a, &g) in acc.iter_mut().zip(g_row) {
                     *a += g * inv;
                 }
             }
         }
-        if adam {
-            for (row, g) in grads {
-                self.opt.step_row(&mut self.table.data, &g, row * dim, lr);
-            }
-        } else {
-            for (row, g) in grads {
-                let base = row * dim;
+        for (slot, &row) in self.touched.iter().enumerate() {
+            let g = &self.grads[slot * dim..(slot + 1) * dim];
+            if adam {
+                self.opt.step_row(&mut self.table.data, g, row as usize * dim, lr);
+            } else {
+                let base = row as usize * dim;
                 for (k, &gv) in g.iter().enumerate() {
                     self.table.data[base + k] -= lr * gv;
                 }
             }
+        }
+        for &row in &self.touched {
+            self.slot_of[row as usize] = u32::MAX;
         }
     }
 }

@@ -5,7 +5,12 @@
 //! Adam optimiser, softmax cross-entropy, and an `Mlp` classifier head
 //! (the two-layer MLP + ReLU the paper attaches to every encoder).
 //!
-//! Everything is deterministic given a seed; no threads, no unsafe.
+//! Everything is deterministic given a seed and no unsafe code. The
+//! matmul kernels in [`kernel`] are cache-blocked and optionally
+//! row-parallel, but every output element is always a single
+//! floating-point chain over the shared dimension in ascending index
+//! order, so results are bit-identical regardless of blocking or the
+//! thread budget set via [`kernel::set_kernel_threads`].
 //!
 //! ```
 //! use nn::{Mlp, Tensor};
@@ -25,6 +30,7 @@ pub mod adam;
 pub mod dense;
 pub mod dropout;
 pub mod embedding;
+pub mod kernel;
 pub mod loss;
 pub mod mlp;
 pub mod schedule;
@@ -34,6 +40,7 @@ pub use adam::Adam;
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
+pub use kernel::{kernel_threads, set_kernel_threads, Workspace};
 pub use mlp::Mlp;
 pub use schedule::LrSchedule;
 pub use tensor::Tensor;

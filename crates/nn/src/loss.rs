@@ -4,7 +4,14 @@ use crate::tensor::Tensor;
 
 /// Row-wise softmax (numerically stable).
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let mut out = logits.clone();
+    let mut out = Tensor::default();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Row-wise softmax written into a reusable output tensor.
+pub fn softmax_into(logits: &Tensor, out: &mut Tensor) {
+    out.copy_from(logits);
     for r in 0..out.rows {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -17,25 +24,31 @@ pub fn softmax(logits: &Tensor) -> Tensor {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Mean cross-entropy of `logits` against integer labels, plus the
 /// gradient w.r.t. the logits (`softmax - onehot`, already averaged).
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u16]) -> (f32, Tensor) {
+    let mut grad = Tensor::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a reusable
+/// tensor instead of allocating one (plus its softmax intermediate)
+/// per step. Returns the mean loss.
+pub fn softmax_cross_entropy_into(logits: &Tensor, labels: &[u16], grad: &mut Tensor) -> f32 {
     assert_eq!(logits.rows, labels.len(), "label count mismatch");
-    let probs = softmax(logits);
+    softmax_into(logits, grad);
     let batch = logits.rows.max(1) as f32;
     let mut loss = 0.0f32;
-    let mut grad = probs.clone();
     for (r, &y) in labels.iter().enumerate() {
         let y = usize::from(y);
-        let p = probs.get(r, y).max(1e-12);
-        loss -= p.ln();
         let g = grad.row_mut(r);
+        loss -= g[y].max(1e-12).ln();
         g[y] -= 1.0;
     }
-    (loss / batch, grad)
+    loss / batch
 }
 
 /// Row-wise argmax as predicted labels.
@@ -95,5 +108,15 @@ mod tests {
     fn argmax_picks_largest() {
         let t = Tensor::from_rows(&[vec![0.1, 0.9], vec![5.0, -1.0]]);
         assert_eq!(argmax_labels(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn into_variant_matches_by_value() {
+        let t = Tensor::from_rows(&[vec![0.3, -1.2, 0.8], vec![2.0, 0.1, -0.4]]);
+        let (loss, grad) = softmax_cross_entropy(&t, &[2, 0]);
+        let mut g2 = Tensor::zeros(7, 7);
+        let l2 = softmax_cross_entropy_into(&t, &[2, 0], &mut g2);
+        assert_eq!(loss, l2);
+        assert_eq!(grad, g2);
     }
 }

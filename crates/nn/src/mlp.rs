@@ -2,7 +2,7 @@
 //! paper attaches to every frozen or unfrozen encoder (§3.4, §4.2).
 
 use crate::dense::Dense;
-use crate::loss::{argmax_labels, softmax_cross_entropy};
+use crate::loss::{argmax_labels, softmax_cross_entropy_into};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -10,11 +10,21 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// A ReLU MLP with a softmax cross-entropy output.
+///
+/// Activations, ReLU masks and the two gradient ping-pong buffers are
+/// owned by the struct and reused across steps, so a steady-state
+/// `train_batch_into` performs no heap allocation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
     #[serde(skip)]
     relu_masks: Vec<Vec<bool>>,
+    #[serde(skip)]
+    acts: Vec<Tensor>,
+    #[serde(skip)]
+    grad_a: Tensor,
+    #[serde(skip)]
+    grad_b: Tensor,
 }
 
 impl Mlp {
@@ -27,7 +37,13 @@ impl Mlp {
             .enumerate()
             .map(|(i, w)| Dense::new(w[0], w[1], seed.wrapping_add(i as u64)))
             .collect();
-        Mlp { layers, relu_masks: Vec::new() }
+        Mlp {
+            layers,
+            relu_masks: Vec::new(),
+            acts: Vec::new(),
+            grad_a: Tensor::default(),
+            grad_b: Tensor::default(),
+        }
     }
 
     /// Input dimensionality.
@@ -42,16 +58,25 @@ impl Mlp {
 
     /// Forward pass producing logits; caches activations for backprop.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.relu_masks.clear();
+        self.forward_cached(x);
+        self.acts.last().expect("at least one layer").clone()
+    }
+
+    /// Forward pass into the reusable activation buffers; the logits end
+    /// up in the last element of `self.acts`.
+    fn forward_cached(&mut self, x: &Tensor) {
         let n = self.layers.len();
-        let mut h = x.clone();
-        for (i, layer) in self.layers.iter_mut().enumerate() {
-            h = layer.forward(&h);
+        self.acts.resize_with(n, Tensor::default);
+        self.relu_masks.resize_with(n.saturating_sub(1), Vec::new);
+        for i in 0..n {
+            let (before, rest) = self.acts.split_at_mut(i);
+            let out = &mut rest[0];
+            let input = if i == 0 { x } else { &before[i - 1] };
+            self.layers[i].forward_into(input, out);
             if i + 1 < n {
-                self.relu_masks.push(h.relu_inplace());
+                out.relu_inplace_into(&mut self.relu_masks[i]);
             }
         }
-        h
     }
 
     /// Inference-only logits.
@@ -71,10 +96,28 @@ impl Mlp {
     /// w.r.t. the input is returned so an *unfrozen* encoder below the
     /// head can continue the backward pass.
     pub fn train_batch(&mut self, x: &Tensor, y: &[u16], lr: f32) -> (f32, Tensor) {
-        let logits = self.forward(x);
-        let (loss, mut grad) = softmax_cross_entropy(&logits, y);
-        for i in (0..self.layers.len()).rev() {
-            if i < self.layers.len() - 1 {
+        let mut d_input = Tensor::default();
+        let loss = self.train_batch_into(x, y, lr, &mut d_input);
+        (loss, d_input)
+    }
+
+    /// [`Mlp::train_batch`] writing the input gradient into a reusable
+    /// tensor; allocation-free in steady state.
+    pub fn train_batch_into(
+        &mut self,
+        x: &Tensor,
+        y: &[u16],
+        lr: f32,
+        d_input: &mut Tensor,
+    ) -> f32 {
+        self.forward_cached(x);
+        let logits = self.acts.last().expect("at least one layer");
+        let loss = softmax_cross_entropy_into(logits, y, &mut self.grad_a);
+        let n = self.layers.len();
+        let mut grad = std::mem::take(&mut self.grad_a);
+        let mut next = std::mem::take(&mut self.grad_b);
+        for i in (0..n).rev() {
+            if i < n - 1 {
                 // apply the ReLU mask of hidden layer i
                 let mask = &self.relu_masks[i];
                 for (g, &m) in grad.data.iter_mut().zip(mask) {
@@ -83,9 +126,16 @@ impl Mlp {
                     }
                 }
             }
-            grad = self.layers[i].backward(&grad, lr);
+            if i == 0 {
+                self.layers[i].backward_into(&grad, lr, d_input);
+            } else {
+                self.layers[i].backward_into(&grad, lr, &mut next);
+                std::mem::swap(&mut grad, &mut next);
+            }
         }
-        (loss, grad)
+        self.grad_a = grad;
+        self.grad_b = next;
+        loss
     }
 
     /// Predicted labels for a batch.
@@ -108,15 +158,18 @@ impl Mlp {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..x.rows).collect();
         let mut last = f32::NAN;
+        let mut xb = Tensor::default();
+        let mut yb: Vec<u16> = Vec::new();
+        let mut d_input = Tensor::default();
         for _ in 0..epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(batch_size.max(1)) {
-                let xb = x.select_rows(chunk);
-                let yb: Vec<u16> = chunk.iter().map(|&i| y[i]).collect();
-                let (loss, _) = self.train_batch(&xb, &yb, lr);
-                total += loss;
+                x.select_rows_into(chunk, &mut xb);
+                yb.clear();
+                yb.extend(chunk.iter().map(|&i| y[i]));
+                total += self.train_batch_into(&xb, &yb, lr, &mut d_input);
                 batches += 1;
             }
             last = total / batches.max(1) as f32;

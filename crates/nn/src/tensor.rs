@@ -1,11 +1,17 @@
 //! Row-major `f32` matrix with the handful of ops the library needs.
+//!
+//! The three matmul variants delegate to the cache-blocked kernels in
+//! [`crate::kernel`]; each also has an `_into` twin that writes into a
+//! caller-owned output tensor so steady-state training loops allocate
+//! nothing per step.
 
+use crate::kernel::{self, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,
@@ -61,86 +67,106 @@ impl Tensor {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Resize to `rows × cols`, reusing the existing allocation when it is
+    /// large enough. Contents are unspecified afterwards.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copy `other`'s shape and contents into `self`, reusing storage.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// `self · other` — (m×k)·(k×n) = m×n.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Tensor::default();
+        self.matmul_into(other, &mut out);
         out
+    }
+
+    /// `self · other` written into `out` (resized as needed, no allocation
+    /// in steady state).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        out.resize(self.rows, other.cols);
+        kernel::matmul(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
     }
 
     /// `selfᵀ · other` without materialising the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Tensor::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Tensor::default();
+        self.t_matmul_into(other, &mut out);
         out
+    }
+
+    /// `selfᵀ · other` written into `out`.
+    pub fn t_matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        out.resize(self.cols, other.cols);
+        kernel::t_matmul(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
     }
 
     /// `self · otherᵀ` without materialising the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut s = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    s += a * b;
-                }
-                out.data[i * other.rows + j] = s;
-            }
-        }
+        let mut ws = Workspace::default();
+        let mut out = Tensor::default();
+        self.matmul_t_into(other, &mut out, &mut ws);
         out
+    }
+
+    /// `self · otherᵀ` written into `out`, using `ws` to hold the
+    /// materialised transpose of `other` (reused across calls).
+    pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor, ws: &mut Workspace) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        // Transposing `other` first turns the dot-product loop into the same
+        // ascending-k kernel as plain matmul: each output element is still a
+        // single chain over the shared dimension in index order, so results
+        // are bit-identical to the naive transposed product.
+        let bt = ws.scratch(other.rows * other.cols);
+        kernel::transpose(other.rows, other.cols, &other.data, bt);
+        out.resize(self.rows, other.rows);
+        kernel::matmul(self.rows, self.cols, other.rows, &self.data, bt, &mut out.data);
     }
 
     /// In-place ReLU; returns the mask of active units for backprop.
     pub fn relu_inplace(&mut self) -> Vec<bool> {
-        self.data
-            .iter_mut()
-            .map(|v| {
-                if *v > 0.0 {
-                    true
-                } else {
-                    *v = 0.0;
-                    false
-                }
-            })
-            .collect()
+        let mut mask = Vec::new();
+        self.relu_inplace_into(&mut mask);
+        mask
+    }
+
+    /// In-place ReLU writing the active-unit mask into a reusable buffer.
+    pub fn relu_inplace_into(&mut self, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.extend(self.data.iter_mut().map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        }));
     }
 
     /// Select a subset of rows into a new tensor.
     pub fn select_rows(&self, idx: &[usize]) -> Tensor {
-        let mut out = Tensor::zeros(idx.len(), self.cols);
+        let mut out = Tensor::default();
+        self.select_rows_into(idx, &mut out);
+        out
+    }
+
+    /// Select a subset of rows into a reusable output tensor.
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Tensor) {
+        out.resize(idx.len(), self.cols);
         for (o, &i) in idx.iter().enumerate() {
             out.row_mut(o).copy_from_slice(self.row(i));
         }
-        out
     }
 
     /// Frobenius-norm of the matrix (diagnostics).
@@ -232,5 +258,32 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_by_value() {
+        let a = Tensor::xavier(5, 7, 11);
+        let b = Tensor::xavier(7, 3, 12);
+        let mut out = Tensor::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = Tensor::xavier(5, 4, 13);
+        a.t_matmul_into(&c, &mut out);
+        assert_eq!(out, a.t_matmul(&c));
+
+        let d = Tensor::xavier(9, 7, 14);
+        let mut ws = Workspace::default();
+        a.matmul_t_into(&d, &mut out, &mut ws);
+        assert_eq!(out, a.matmul_t(&d));
+    }
+
+    #[test]
+    fn select_rows_into_reuses_buffer() {
+        let a = Tensor::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut out = Tensor::zeros(10, 10);
+        a.select_rows_into(&[1, 1, 2], &mut out);
+        assert_eq!((out.rows, out.cols), (3, 1));
+        assert_eq!(out.data, vec![2.0, 2.0, 3.0]);
     }
 }

@@ -1,0 +1,145 @@
+//! Property sweeps for the blocked matmul kernels.
+//!
+//! The determinism contract says every output element is one
+//! ascending-k `mul_add` chain, no matter which tile path or thread
+//! count produced it. These tests sweep shapes across all the tile
+//! boundaries (microkernel, fallback bands, scalar tails) and demand
+//! exact equality with a naive reference chain, then demand serial and
+//! threaded runs agree bit-for-bit.
+
+use nn::kernel;
+
+/// Deterministic xorshift filler, independent of any rand crate.
+fn fill(buf: &mut Vec<f32>, len: usize, seed: &mut u64) {
+    buf.clear();
+    for _ in 0..len {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        // small-magnitude signed values exercise cancellation
+        buf.push(((*seed >> 40) as i32 - (1 << 23)) as f32 / (1 << 20) as f32);
+    }
+}
+
+/// One ascending-k `mul_add` chain per element — the contract's
+/// definition of the answer.
+fn naive_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = a[i * k + p].mul_add(b[p * n + j], acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+fn naive_t_matmul(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..r {
+                acc = a[p * m + i].mul_add(b[p * n + j], acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Shapes straddling every kernel boundary: the 8-row microkernel, the
+/// 4/2/1-row fallbacks, the 32/16/8-column tiles, scalar tails, empty
+/// and degenerate dims, and the k-unroll remainder.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 7, 3),
+    (3, 5, 2),
+    (4, 4, 4),
+    (5, 3, 9),
+    (7, 16, 8),
+    (8, 8, 32),
+    (8, 13, 33),
+    (9, 17, 31),
+    (11, 64, 40),
+    (16, 9, 16),
+    (17, 33, 65),
+    (23, 100, 47),
+    (32, 32, 32),
+    (33, 70, 95),
+    (64, 1, 64),
+    (1, 128, 1),
+    (2, 257, 130),
+];
+
+#[test]
+fn blocked_matmul_equals_naive_chain_exactly() {
+    let (mut a, mut b, mut got, mut want) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    for &(m, k, n) in SHAPES {
+        fill(&mut a, m * k, &mut seed);
+        fill(&mut b, k * n, &mut seed);
+        got.clear();
+        got.resize(m * n, f32::NAN);
+        want.clear();
+        want.resize(m * n, 0.0);
+        kernel::matmul(m, k, n, &a, &b, &mut got);
+        naive_matmul(m, k, n, &a, &b, &mut want);
+        assert_eq!(got, want, "matmul {m}x{k}x{n} must match the naive mul_add chain");
+    }
+}
+
+#[test]
+fn blocked_t_matmul_equals_naive_chain_exactly() {
+    let (mut a, mut b, mut got, mut want) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut seed = 0xdeadbeefcafef00du64;
+    for &(r, m, n) in SHAPES {
+        fill(&mut a, r * m, &mut seed);
+        fill(&mut b, r * n, &mut seed);
+        got.clear();
+        got.resize(m * n, f32::NAN);
+        want.clear();
+        want.resize(m * n, 0.0);
+        kernel::t_matmul(r, m, n, &a, &b, &mut got);
+        naive_t_matmul(r, m, n, &a, &b, &mut want);
+        assert_eq!(got, want, "t_matmul {r}x{m}x{n} must match the naive mul_add chain");
+    }
+}
+
+#[test]
+fn threaded_kernels_are_byte_identical_to_serial() {
+    // Large enough to clear the serial-fallback threshold so the
+    // threaded path genuinely runs.
+    let (m, k, n) = (96, 160, 128);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let mut seed = 0x2545f4914f6cdd1du64;
+    fill(&mut a, m * k, &mut seed);
+    fill(&mut b, k * n, &mut seed);
+
+    let saved = kernel::kernel_threads();
+    kernel::set_kernel_threads(1);
+    let mut serial = vec![0.0f32; m * n];
+    kernel::matmul(m, k, n, &a, &b, &mut serial);
+    for jobs in [2, 3, 4, 8] {
+        kernel::set_kernel_threads(jobs);
+        let mut par = vec![f32::NAN; m * n];
+        kernel::matmul(m, k, n, &a, &b, &mut par);
+        let sb: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = par.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, pb, "matmul with {jobs} kernel threads must be byte-identical");
+    }
+
+    // same check through the t_matmul entry point
+    let bt = &b[..m * n];
+    kernel::set_kernel_threads(1);
+    let mut serial_t = vec![0.0f32; k * n];
+    kernel::t_matmul(m, k, n, &a, bt, &mut serial_t);
+    kernel::set_kernel_threads(4);
+    let mut par_t = vec![f32::NAN; k * n];
+    kernel::t_matmul(m, k, n, &a, bt, &mut par_t);
+    assert_eq!(
+        serial_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        par_t.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "t_matmul with 4 kernel threads must be byte-identical",
+    );
+    kernel::set_kernel_threads(saved);
+}

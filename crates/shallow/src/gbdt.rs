@@ -4,6 +4,13 @@
 //! gradient. Two growth policies mirror the Table-8 baselines:
 //! depth-wise ("XGBoost-like") and leaf-wise with a leaf budget
 //! ("LightGBM-like").
+//!
+//! Feature columns are presorted once per `fit` ([`crate::presort`])
+//! and shared by every tree of every round; each node's split search
+//! is a monotone sweep over its sorted `[lo, hi)` segment, and the
+//! per-node index/threshold buffers are reused across nodes.
+
+use crate::presort::Presorted;
 
 /// Leaf-growth policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,53 +84,94 @@ impl RegTree {
     }
 }
 
+/// A splittable leaf owning segment `[lo, hi)` of the presorted columns.
 struct LeafCandidate {
-    idx: Vec<usize>,
+    lo: usize,
+    hi: usize,
     depth: usize,
     gain: f64,
     feature: usize,
     threshold: f32,
 }
 
-fn leaf_value(idx: &[usize], grad: &[f32], hess: &[f32]) -> f32 {
-    let g: f32 = idx.iter().map(|&i| grad[i]).sum();
-    let h: f32 = idx.iter().map(|&i| hess[i]).sum();
+/// Reusable split-search buffers shared by every node of every tree.
+struct SplitScratch {
+    vals: Vec<f32>,
+    cands: Vec<f32>,
+}
+
+fn leaf_value(seg: &[u32], grad: &[f32], hess: &[f32]) -> f32 {
+    let mut g = 0.0f32;
+    let mut h = 0.0f32;
+    for &i in seg {
+        g += grad[i as usize];
+        h += hess[i as usize];
+    }
     -g / (h + 1.0) // lambda = 1 regularisation
 }
 
+#[allow(clippy::too_many_arguments)]
 fn best_split(
     x: &[&[f32]],
-    idx: &[usize],
+    pre: &Presorted,
+    lo: usize,
+    hi: usize,
     grad: &[f32],
     hess: &[f32],
     max_thresholds: usize,
+    s: &mut SplitScratch,
 ) -> Option<(f64, usize, f32)> {
     let score = |g: f32, h: f32| f64::from(g) * f64::from(g) / (f64::from(h) + 1.0);
-    let gt: f32 = idx.iter().map(|&i| grad[i]).sum();
-    let ht: f32 = idx.iter().map(|&i| hess[i]).sum();
+    let mut gt = 0.0f32;
+    let mut ht = 0.0f32;
+    for &i in pre.seg(0, lo, hi) {
+        gt += grad[i as usize];
+        ht += hess[i as usize];
+    }
     let parent = score(gt, ht);
     let mut best: Option<(f64, usize, f32)> = None;
     let n_features = x[0].len();
-    let mut vals: Vec<f32> = Vec::with_capacity(idx.len());
     #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
-        vals.clear();
-        vals.extend(idx.iter().map(|&i| x[i][f]));
-        vals.sort_by(f32::total_cmp);
-        vals.dedup();
-        if vals.len() < 2 {
+        let seg = pre.seg(f, lo, hi);
+        // unique segment values in ascending order (segment is sorted)
+        s.vals.clear();
+        for &i in seg {
+            let v = x[i as usize][f];
+            if s.vals.last().is_none_or(|&l| v != l) {
+                s.vals.push(v);
+            }
+        }
+        if s.vals.len() < 2 {
             continue;
         }
-        let step = (vals.len() / max_thresholds).max(1);
+        s.cands.clear();
+        let step = (s.vals.len() / max_thresholds).max(1);
         let mut t = step;
-        while t < vals.len() {
-            let threshold = (vals[t - 1] + vals[t]) / 2.0;
-            let mut gl = 0.0f32;
-            let mut hl = 0.0f32;
-            for &i in idx {
+        while t < s.vals.len() {
+            s.cands.push((s.vals[t - 1] + s.vals[t]) / 2.0);
+            t += step;
+        }
+        // Candidates ascend, so one monotone pass over the sorted
+        // segment accumulates the left-side gradient sums in turn.
+        let mut gl = 0.0f32;
+        let mut hl = 0.0f32;
+        let mut pos = 0usize;
+        for ci in 0..s.cands.len() {
+            let threshold = s.cands[ci];
+            if threshold.is_nan() {
+                // nothing satisfies `v <= NaN`: hl stays 0 and the
+                // hl > 1e-6 guard always rejected an empty left side
+                continue;
+            }
+            while pos < seg.len() {
+                let i = seg[pos] as usize;
                 if x[i][f] <= threshold {
                     gl += grad[i];
                     hl += hess[i];
+                    pos += 1;
+                } else {
+                    break;
                 }
             }
             let gr = gt - gl;
@@ -134,26 +182,59 @@ fn best_split(
                     best = Some((gain, f, threshold));
                 }
             }
-            t += step;
         }
     }
     best
 }
 
-fn fit_reg_tree(x: &[&[f32]], grad: &[f32], hess: &[f32], params: &GbdtParams) -> RegTree {
-    let all: Vec<usize> = (0..x.len()).collect();
+#[allow(clippy::too_many_arguments)]
+fn seed_candidate(
+    x: &[&[f32]],
+    pre: &Presorted,
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    grad: &[f32],
+    hess: &[f32],
+    params: &GbdtParams,
+    s: &mut SplitScratch,
+) -> LeafCandidate {
+    if depth < params.max_depth {
+        if let Some((gain, feature, threshold)) =
+            best_split(x, pre, lo, hi, grad, hess, params.max_thresholds, s)
+        {
+            return LeafCandidate { lo, hi, depth, gain, feature, threshold };
+        }
+    }
+    LeafCandidate { lo, hi, depth, gain: 0.0, feature: 0, threshold: 0.0 }
+}
+
+fn fit_reg_tree(
+    x: &[&[f32]],
+    grad: &[f32],
+    hess: &[f32],
+    params: &GbdtParams,
+    pre: &mut Presorted,
+    s: &mut SplitScratch,
+) -> RegTree {
+    let n = x.len();
     let mut tree = RegTree { nodes: Vec::new(), leaf_values: Vec::new(), root_is_leaf: false };
+    if x[0].is_empty() {
+        // no feature columns: a single leaf over everything
+        tree.root_is_leaf = true;
+        let mut g = 0.0f32;
+        let mut h = 0.0f32;
+        for i in 0..n {
+            g += grad[i];
+            h += hess[i];
+        }
+        tree.leaf_values.push(-g / (h + 1.0));
+        return tree;
+    }
+    pre.reset();
     // Frontier of splittable leaves; parent linkage via (node, is_left).
     let mut frontier: Vec<(LeafCandidate, Option<(usize, bool)>)> = Vec::new();
-    let seed_candidate = |idx: Vec<usize>, depth: usize| -> LeafCandidate {
-        match best_split(x, &idx, grad, hess, params.max_thresholds) {
-            Some((gain, feature, threshold)) if depth < params.max_depth => {
-                LeafCandidate { idx, depth, gain, feature, threshold }
-            }
-            _ => LeafCandidate { idx, depth, gain: 0.0, feature: 0, threshold: 0.0 },
-        }
-    };
-    frontier.push((seed_candidate(all, 0), None));
+    frontier.push((seed_candidate(x, pre, 0, n, 0, grad, hess, params, s), None));
     let leaf_budget = match params.policy {
         GrowthPolicy::DepthWise => usize::MAX,
         GrowthPolicy::LeafWise => params.max_leaves,
@@ -189,21 +270,24 @@ fn fit_reg_tree(x: &[&[f32]], grad: &[f32], hess: &[f32], params: &GbdtParams) -
                 tree.nodes[p].right = node_id as i32;
             }
         }
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            cand.idx.iter().partition(|&&i| x[i][cand.feature] <= cand.threshold);
+        // Frontier segments are pairwise disjoint, so splitting this one
+        // in place never disturbs another pending candidate.
+        let mid = pre.split(x, cand.feature, cand.threshold, cand.lo, cand.hi);
         splits_done += 1;
-        frontier.push((seed_candidate(li, cand.depth + 1), Some((node_id, true))));
-        frontier.push((seed_candidate(ri, cand.depth + 1), Some((node_id, false))));
+        let l = seed_candidate(x, pre, cand.lo, mid, cand.depth + 1, grad, hess, params, s);
+        let r = seed_candidate(x, pre, mid, cand.hi, cand.depth + 1, grad, hess, params, s);
+        frontier.push((l, Some((node_id, true))));
+        frontier.push((r, Some((node_id, false))));
     }
     if tree.nodes.is_empty() {
         tree.root_is_leaf = true;
-        tree.leaf_values.push(leaf_value(&(0..x.len()).collect::<Vec<_>>(), grad, hess));
+        tree.leaf_values.push(leaf_value(pre.seg(0, 0, n), grad, hess));
         return tree;
     }
     // turn remaining frontier entries into leaves
     for (cand, parent) in frontier {
         let leaf_id = tree.leaf_values.len();
-        tree.leaf_values.push(leaf_value(&cand.idx, grad, hess));
+        tree.leaf_values.push(leaf_value(pre.seg(0, cand.lo, cand.hi), grad, hess));
         let (p, is_left) = parent.expect("non-root frontier nodes have parents");
         let enc = -((leaf_id as i32) + 1);
         if is_left {
@@ -227,28 +311,39 @@ impl GradientBoosting {
     pub fn fit(x: &[&[f32]], y: &[u16], n_classes: usize, params: GbdtParams) -> GradientBoosting {
         assert!(!x.is_empty(), "empty training set");
         let n = x.len();
-        let mut scores = vec![vec![0.0f32; n_classes]; n];
+        // one presort shared by every tree of every round
+        let mut pre = Presorted::new(x);
+        let mut scratch = SplitScratch { vals: Vec::with_capacity(n), cands: Vec::new() };
+        let mut scores = vec![0.0f32; n * n_classes];
+        let mut probs = vec![0.0f32; n * n_classes];
+        let mut grad = vec![0.0f32; n];
+        let mut hess = vec![0.0f32; n];
         let mut rounds = Vec::with_capacity(params.rounds);
         for _ in 0..params.rounds {
-            // softmax probabilities
             let mut round_trees = Vec::with_capacity(n_classes);
-            let probs: Vec<Vec<f32>> = scores
-                .iter()
-                .map(|s| {
-                    let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let e: Vec<f32> = s.iter().map(|v| (v - m).exp()).collect();
-                    let sum: f32 = e.iter().sum();
-                    e.into_iter().map(|v| v / sum).collect()
-                })
-                .collect();
+            // softmax probabilities
+            for i in 0..n {
+                let s = &scores[i * n_classes..(i + 1) * n_classes];
+                let p = &mut probs[i * n_classes..(i + 1) * n_classes];
+                let m = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (pv, &sv) in p.iter_mut().zip(s) {
+                    *pv = (sv - m).exp();
+                    sum += *pv;
+                }
+                for pv in p.iter_mut() {
+                    *pv /= sum;
+                }
+            }
             for c in 0..n_classes {
-                let grad: Vec<f32> = (0..n)
-                    .map(|i| probs[i][c] - f32::from(u8::from(usize::from(y[i]) == c)))
-                    .collect();
-                let hess: Vec<f32> = (0..n).map(|i| probs[i][c] * (1.0 - probs[i][c])).collect();
-                let tree = fit_reg_tree(x, &grad, &hess, &params);
                 for i in 0..n {
-                    scores[i][c] += params.eta * tree.predict(x[i]);
+                    let p = probs[i * n_classes + c];
+                    grad[i] = p - f32::from(u8::from(usize::from(y[i]) == c));
+                    hess[i] = p * (1.0 - p);
+                }
+                let tree = fit_reg_tree(x, &grad, &hess, &params, &mut pre, &mut scratch);
+                for i in 0..n {
+                    scores[i * n_classes + c] += params.eta * tree.predict(x[i]);
                 }
                 round_trees.push(tree);
             }

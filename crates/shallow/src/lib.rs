@@ -15,6 +15,7 @@ pub mod flow_features;
 pub mod forest;
 pub mod gbdt;
 pub mod knn;
+pub mod presort;
 pub mod purity;
 pub mod tree;
 pub mod tune;

@@ -1,0 +1,155 @@
+//! Presorted feature columns for tree fitting.
+//!
+//! Sorting every feature column once per fit (instead of re-sorting each
+//! node's values for each feature) turns the per-node threshold search
+//! into a monotone sweep over an already-sorted segment. Nodes own
+//! contiguous `[lo, hi)` segments of every column; splitting a node
+//! stable-partitions each column's segment in place, so both children's
+//! segments stay sorted and the buffers are reused for the whole tree.
+
+/// Feature-major presorted sample ids with reusable split buffers.
+#[derive(Debug, Clone)]
+pub struct Presorted {
+    n_samples: usize,
+    n_features: usize,
+    /// `cols[f * n_samples + j]` = sample id; within each node's
+    /// `[lo, hi)` segment, ids are sorted by `x[id][f]` (total order,
+    /// NaNs last; ties in ascending id order).
+    cols: Vec<u32>,
+    /// Copy of the freshly-sorted layout, for `reset` between trees.
+    pristine: Vec<u32>,
+    scratch: Vec<u32>,
+    goes_left: Vec<bool>,
+}
+
+impl Presorted {
+    /// Sort every feature column of `x` once.
+    pub fn new(x: &[&[f32]]) -> Presorted {
+        let n = x.len();
+        let n_features = if n == 0 { 0 } else { x[0].len() };
+        let mut cols = Vec::with_capacity(n * n_features);
+        let mut ids: Vec<u32> = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)]
+        for f in 0..n_features {
+            ids.clear();
+            ids.extend(0..n as u32);
+            ids.sort_by(|&a, &b| x[a as usize][f].total_cmp(&x[b as usize][f]));
+            cols.extend_from_slice(&ids);
+        }
+        let pristine = cols.clone();
+        Presorted {
+            n_samples: n,
+            n_features,
+            cols,
+            pristine,
+            scratch: Vec::with_capacity(n),
+            goes_left: vec![false; n],
+        }
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Restore the freshly-sorted whole-range layout (for the next tree
+    /// of an ensemble sharing this presort).
+    pub fn reset(&mut self) {
+        self.cols.copy_from_slice(&self.pristine);
+    }
+
+    /// The node segment `[lo, hi)` of feature `f`'s column.
+    pub fn seg(&self, f: usize, lo: usize, hi: usize) -> &[u32] {
+        &self.cols[f * self.n_samples + lo..f * self.n_samples + hi]
+    }
+
+    /// Split the node segment `[lo, hi)` on `x[i][feature] <= threshold`
+    /// (NaNs go right), stable-partitioning every feature column so both
+    /// children's segments remain sorted. Returns the boundary `mid`:
+    /// the left child owns `[lo, mid)`, the right child `[mid, hi)`.
+    pub fn split(
+        &mut self,
+        x: &[&[f32]],
+        feature: usize,
+        threshold: f32,
+        lo: usize,
+        hi: usize,
+    ) -> usize {
+        let n = self.n_samples;
+        for &i in &self.cols[feature * n + lo..feature * n + hi] {
+            self.goes_left[i as usize] = x[i as usize][feature] <= threshold;
+        }
+        let mut mid = lo;
+        for f in 0..self.n_features {
+            let seg = &mut self.cols[f * n + lo..f * n + hi];
+            self.scratch.clear();
+            let mut w = 0;
+            for r in 0..seg.len() {
+                let s = seg[r];
+                if self.goes_left[s as usize] {
+                    seg[w] = s;
+                    w += 1;
+                } else {
+                    self.scratch.push(s);
+                }
+            }
+            seg[w..].copy_from_slice(&self.scratch);
+            mid = lo + w;
+        }
+        mid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(data: &[[f32; 2]]) -> Vec<&[f32]> {
+        data.iter().map(|r| r.as_slice()).collect()
+    }
+
+    #[test]
+    fn columns_are_sorted_with_stable_ties() {
+        let data = [[3.0, 1.0], [1.0, 1.0], [2.0, 1.0], [1.0, 0.0]];
+        let x = rows(&data);
+        let p = Presorted::new(&x);
+        assert_eq!(p.seg(0, 0, 4), &[1, 3, 2, 0]);
+        // feature 1 ties keep ascending id order
+        assert_eq!(p.seg(1, 0, 4), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn split_partitions_every_column_and_keeps_order() {
+        let data = [[3.0, 1.0], [1.0, 4.0], [2.0, 3.0], [4.0, 2.0]];
+        let x = rows(&data);
+        let mut p = Presorted::new(&x);
+        let mid = p.split(&x, 0, 2.5, 0, 4);
+        assert_eq!(mid, 2);
+        assert_eq!(p.seg(0, 0, 2), &[1, 2], "left stays sorted by feature 0");
+        assert_eq!(p.seg(0, 2, 4), &[0, 3]);
+        assert_eq!(p.seg(1, 0, 2), &[2, 1], "left stays sorted by feature 1");
+        assert_eq!(p.seg(1, 2, 4), &[0, 3]);
+    }
+
+    #[test]
+    fn nan_goes_right_and_sorts_last() {
+        let data = [[f32::NAN, 0.0], [1.0, 0.0], [2.0, 0.0]];
+        let x = rows(&data);
+        let mut p = Presorted::new(&x);
+        assert_eq!(p.seg(0, 0, 3), &[1, 2, 0], "NaN sample sorts last");
+        let mid = p.split(&x, 0, 10.0, 0, 3);
+        assert_eq!(mid, 2, "NaN fails <= and goes right");
+        assert_eq!(p.seg(0, 2, 3), &[0]);
+    }
+
+    #[test]
+    fn reset_restores_pristine_layout() {
+        let data = [[3.0, 1.0], [1.0, 4.0], [2.0, 3.0], [4.0, 2.0]];
+        let x = rows(&data);
+        let mut p = Presorted::new(&x);
+        let before: Vec<u32> = p.seg(0, 0, 4).to_vec();
+        p.split(&x, 1, 2.5, 0, 4);
+        p.reset();
+        assert_eq!(p.seg(0, 0, 4), &before[..]);
+    }
+}

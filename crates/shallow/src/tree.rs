@@ -3,7 +3,14 @@
 //! Supports feature subsampling per node (for random forests), bounded
 //! depth, and quantile-limited threshold search so training stays fast
 //! at benchmark scale.
+//!
+//! Feature columns are presorted once per fit ([`crate::presort`]);
+//! every node then finds its split with a monotone sweep over its
+//! sorted segment instead of re-sorting and re-scanning per candidate.
+//! The produced tree is exactly the one the per-node search yields:
+//! same candidate thresholds, same tie-breaking, same RNG consumption.
 
+use crate::presort::Presorted;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -48,7 +55,6 @@ pub struct DecisionTree {
     nodes: Vec<Node>,
     /// Total Gini-impurity decrease credited to each feature.
     pub importance: Vec<f64>,
-    n_classes: usize,
 }
 
 fn rng_float(rng: &mut StdRng) -> f32 {
@@ -64,6 +70,35 @@ fn gini(counts: &[u32], total: u32) -> f64 {
     1.0 - counts.iter().map(|&c| (f64::from(c) / t).powi(2)).sum::<f64>()
 }
 
+/// Reusable per-fit search buffers shared by every node of a tree.
+struct Scratch {
+    pre: Presorted,
+    feats: Vec<usize>,
+    vals: Vec<f32>,
+    cands: Vec<f32>,
+    counts: Vec<u32>,
+    lc: Vec<u32>,
+    rc: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(x: &[&[f32]], n_classes: usize) -> Scratch {
+        Scratch {
+            pre: Presorted::new(x),
+            feats: Vec::new(),
+            vals: Vec::with_capacity(x.len()),
+            cands: Vec::new(),
+            counts: vec![0u32; n_classes],
+            lc: vec![0u32; n_classes],
+            rc: vec![0u32; n_classes],
+        }
+    }
+}
+
+fn majority_label(counts: &[u32]) -> u16 {
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(l, _)| l as u16).unwrap_or(0)
+}
+
 impl DecisionTree {
     /// Fit a tree on feature rows `x` (all the same length) and labels.
     pub fn fit(
@@ -76,85 +111,115 @@ impl DecisionTree {
         assert_eq!(x.len(), y.len());
         assert!(!x.is_empty(), "empty training set");
         let n_features = x[0].len();
-        let mut tree =
-            DecisionTree { nodes: Vec::new(), importance: vec![0.0; n_features], n_classes };
-        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut tree = DecisionTree { nodes: Vec::new(), importance: vec![0.0; n_features] };
         let mut rng = StdRng::seed_from_u64(seed);
-        tree.build(x, y, idx, 0, params, &mut rng);
+        if n_features == 0 {
+            // No columns to split on: a single majority leaf.
+            let mut counts = vec![0u32; n_classes];
+            for &l in y {
+                counts[usize::from(l)] += 1;
+            }
+            tree.nodes.push(Node::Leaf { label: majority_label(&counts) });
+            return tree;
+        }
+        let mut s = Scratch::new(x, n_classes);
+        tree.build(x, y, 0, x.len(), 0, params, &mut s, &mut rng);
         tree
     }
 
-    fn majority(&self, y: &[u16], idx: &[usize]) -> u16 {
-        let mut counts = vec![0u32; self.n_classes];
-        for &i in idx {
-            counts[usize::from(y[i])] += 1;
-        }
-        counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(l, _)| l as u16).unwrap_or(0)
-    }
-
+    /// Grow the node owning segment `[lo, hi)` of the presorted columns.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &[&[f32]],
         y: &[u16],
-        idx: Vec<usize>,
+        lo: usize,
+        hi: usize,
         depth: usize,
         params: TreeParams,
+        s: &mut Scratch,
         rng: &mut StdRng,
     ) -> usize {
         let node_id = self.nodes.len();
-        let mut counts = vec![0u32; self.n_classes];
-        for &i in &idx {
-            counts[usize::from(y[i])] += 1;
+        s.counts.fill(0);
+        for &i in s.pre.seg(0, lo, hi) {
+            s.counts[usize::from(y[i as usize])] += 1;
         }
-        let total = idx.len() as u32;
-        let node_gini = gini(&counts, total);
-        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-        if pure || depth >= params.max_depth || idx.len() < params.min_samples_split {
-            let label = self.majority(y, &idx);
-            self.nodes.push(Node::Leaf { label });
+        let total = (hi - lo) as u32;
+        let node_gini = gini(&s.counts, total);
+        let pure = s.counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= params.max_depth || hi - lo < params.min_samples_split {
+            self.nodes.push(Node::Leaf { label: majority_label(&s.counts) });
             return node_id;
         }
         // choose candidate features
         let n_features = x[0].len();
-        let mut feats: Vec<usize> = (0..n_features).collect();
+        s.feats.clear();
+        s.feats.extend(0..n_features);
         if let Some(k) = params.max_features {
-            feats.shuffle(rng);
-            feats.truncate(k.max(1));
+            s.feats.shuffle(rng);
+            s.feats.truncate(k.max(1));
         }
         // best split search
         let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, weighted gini)
-        let mut vals: Vec<f32> = Vec::with_capacity(idx.len());
-        for &f in &feats {
-            vals.clear();
-            vals.extend(idx.iter().map(|&i| x[i][f]));
-            vals.sort_by(f32::total_cmp);
-            vals.dedup();
-            if vals.len() < 2 {
+        for fi in 0..s.feats.len() {
+            let f = s.feats[fi];
+            // unique segment values in ascending order (the segment is
+            // already sorted; NaNs sort last and each compares unequal,
+            // so every NaN survives — matching sort + dedup semantics)
+            s.vals.clear();
+            for &i in s.pre.seg(f, lo, hi) {
+                let v = x[i as usize][f];
+                if s.vals.last().is_none_or(|&l| v != l) {
+                    s.vals.push(v);
+                }
+            }
+            if s.vals.len() < 2 {
                 continue;
             }
-            let candidates: Vec<f32> = if params.extra_random {
+            s.cands.clear();
+            if params.extra_random {
                 // ExtraTrees: a single uniform threshold in the range
-                let lo = vals[0];
-                let hi = *vals.last().expect("non-empty");
-                vec![lo + (hi - lo) * rng_float(rng)]
+                let lo_v = s.vals[0];
+                let hi_v = *s.vals.last().expect("non-empty");
+                s.cands.push(lo_v + (hi_v - lo_v) * rng_float(rng));
             } else {
-                let step = (vals.len() / params.max_thresholds).max(1);
-                (step..vals.len()).step_by(step).map(|t| (vals[t - 1] + vals[t]) / 2.0).collect()
-            };
-            for threshold in candidates {
-                let mut lc = vec![0u32; self.n_classes];
-                let mut rc = vec![0u32; self.n_classes];
-                for &i in &idx {
+                let step = (s.vals.len() / params.max_thresholds).max(1);
+                let mut t = step;
+                while t < s.vals.len() {
+                    s.cands.push((s.vals[t - 1] + s.vals[t]) / 2.0);
+                    t += step;
+                }
+            }
+            // Candidates ascend, so one monotone pass over the sorted
+            // segment counts the left side of every candidate in turn.
+            s.lc.fill(0);
+            let mut lt = 0u32;
+            let mut pos = 0usize;
+            let seg = s.pre.seg(f, lo, hi);
+            for ci in 0..s.cands.len() {
+                let threshold = s.cands[ci];
+                if threshold.is_nan() {
+                    // nothing satisfies `v <= NaN`: an empty left side
+                    // was always rejected by the lt > 0 guard
+                    continue;
+                }
+                while pos < seg.len() {
+                    let i = seg[pos] as usize;
                     if x[i][f] <= threshold {
-                        lc[usize::from(y[i])] += 1;
+                        s.lc[usize::from(y[i])] += 1;
+                        lt += 1;
+                        pos += 1;
                     } else {
-                        rc[usize::from(y[i])] += 1;
+                        break;
                     }
                 }
-                let lt: u32 = lc.iter().sum();
-                let rt: u32 = rc.iter().sum();
+                let rt = total - lt;
                 if lt > 0 && rt > 0 {
-                    let w = (f64::from(lt) * gini(&lc, lt) + f64::from(rt) * gini(&rc, rt))
+                    for (r, (&c, &l)) in s.rc.iter_mut().zip(s.counts.iter().zip(&s.lc)) {
+                        *r = c - l;
+                    }
+                    let w = (f64::from(lt) * gini(&s.lc, lt) + f64::from(rt) * gini(&s.rc, rt))
                         / f64::from(total);
                     if best.is_none_or(|(_, _, bw)| w < bw) {
                         best = Some((f, threshold, w));
@@ -163,22 +228,19 @@ impl DecisionTree {
             }
         }
         let Some((feature, threshold, w)) = best else {
-            let label = self.majority(y, &idx);
-            self.nodes.push(Node::Leaf { label });
+            self.nodes.push(Node::Leaf { label: majority_label(&s.counts) });
             return node_id;
         };
         let decrease = (node_gini - w) * f64::from(total);
         if decrease <= 1e-12 {
-            let label = self.majority(y, &idx);
-            self.nodes.push(Node::Leaf { label });
+            self.nodes.push(Node::Leaf { label: majority_label(&s.counts) });
             return node_id;
         }
         self.importance[feature] += decrease;
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| x[i][feature] <= threshold);
+        let mid = s.pre.split(x, feature, threshold, lo, hi);
         self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
-        let left = self.build(x, y, left_idx, depth + 1, params, rng);
-        let right = self.build(x, y, right_idx, depth + 1, params, rng);
+        let left = self.build(x, y, lo, mid, depth + 1, params, s, rng);
+        let right = self.build(x, y, mid, hi, depth + 1, params, s, rng);
         if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_id] {
             *l = left;
             *r = right;

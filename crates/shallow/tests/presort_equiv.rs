@@ -1,0 +1,186 @@
+//! The presorted-column tree fit must reproduce the naive per-node
+//! CART search exactly: same splits, same thresholds, same Gini
+//! importance, verified against an inline reference implementation.
+
+use shallow::tree::{DecisionTree, TreeParams};
+
+// ---- old naive reference implementation (pre-presort) ----
+
+fn gini(counts: &[u32], total: u32) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = f64::from(total);
+    1.0 - counts.iter().map(|&c| (f64::from(c) / t).powi(2)).sum::<f64>()
+}
+
+struct RefTree {
+    n_nodes: usize,
+    importance: Vec<f64>,
+    preds: Vec<u16>,
+}
+
+fn ref_fit(
+    x: &[&[f32]],
+    y: &[u16],
+    n_classes: usize,
+    params: TreeParams,
+    grid: &[&[f32]],
+) -> RefTree {
+    #[derive(Clone)]
+    enum Node {
+        Leaf { label: u16 },
+        Split { feature: usize, threshold: f32, left: usize, right: usize },
+    }
+    struct B<'a> {
+        x: &'a [&'a [f32]],
+        y: &'a [u16],
+        n_classes: usize,
+        params: TreeParams,
+        nodes: Vec<Node>,
+        importance: Vec<f64>,
+    }
+    impl B<'_> {
+        fn majority(&self, idx: &[usize]) -> u16 {
+            let mut counts = vec![0u32; self.n_classes];
+            for &i in idx {
+                counts[usize::from(self.y[i])] += 1;
+            }
+            counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(l, _)| l as u16).unwrap_or(0)
+        }
+        fn build(&mut self, idx: Vec<usize>, depth: usize) -> usize {
+            let node_id = self.nodes.len();
+            let mut counts = vec![0u32; self.n_classes];
+            for &i in &idx {
+                counts[usize::from(self.y[i])] += 1;
+            }
+            let total = idx.len() as u32;
+            let node_gini = gini(&counts, total);
+            let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+            if pure || depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
+                let label = self.majority(&idx);
+                self.nodes.push(Node::Leaf { label });
+                return node_id;
+            }
+            let n_features = self.x[0].len();
+            let feats: Vec<usize> = (0..n_features).collect();
+            let mut best: Option<(usize, f32, f64)> = None;
+            let mut vals: Vec<f32> = Vec::new();
+            for &f in &feats {
+                vals.clear();
+                vals.extend(idx.iter().map(|&i| self.x[i][f]));
+                vals.sort_by(f32::total_cmp);
+                vals.dedup();
+                if vals.len() < 2 {
+                    continue;
+                }
+                let step = (vals.len() / self.params.max_thresholds).max(1);
+                let candidates: Vec<f32> = (step..vals.len())
+                    .step_by(step)
+                    .map(|t| (vals[t - 1] + vals[t]) / 2.0)
+                    .collect();
+                for threshold in candidates {
+                    let mut lc = vec![0u32; self.n_classes];
+                    let mut rc = vec![0u32; self.n_classes];
+                    for &i in &idx {
+                        if self.x[i][f] <= threshold {
+                            lc[usize::from(self.y[i])] += 1;
+                        } else {
+                            rc[usize::from(self.y[i])] += 1;
+                        }
+                    }
+                    let lt: u32 = lc.iter().sum();
+                    let rt: u32 = rc.iter().sum();
+                    if lt > 0 && rt > 0 {
+                        let w = (f64::from(lt) * gini(&lc, lt) + f64::from(rt) * gini(&rc, rt))
+                            / f64::from(total);
+                        if best.is_none_or(|(_, _, bw)| w < bw) {
+                            best = Some((f, threshold, w));
+                        }
+                    }
+                }
+            }
+            let Some((feature, threshold, w)) = best else {
+                let label = self.majority(&idx);
+                self.nodes.push(Node::Leaf { label });
+                return node_id;
+            };
+            let decrease = (node_gini - w) * f64::from(total);
+            if decrease <= 1e-12 {
+                let label = self.majority(&idx);
+                self.nodes.push(Node::Leaf { label });
+                return node_id;
+            }
+            self.importance[feature] += decrease;
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                idx.into_iter().partition(|&i| self.x[i][feature] <= threshold);
+            self.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+            let left = self.build(li, depth + 1);
+            let right = self.build(ri, depth + 1);
+            if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_id] {
+                *l = left;
+                *r = right;
+            }
+            node_id
+        }
+        fn predict_one(&self, x: &[f32]) -> u16 {
+            let mut n = 0usize;
+            loop {
+                match &self.nodes[n] {
+                    Node::Leaf { label } => return *label,
+                    Node::Split { feature, threshold, left, right } => {
+                        n = if x[*feature] <= *threshold { *left } else { *right };
+                    }
+                }
+            }
+        }
+    }
+    let mut b = B { x, y, n_classes, params, nodes: Vec::new(), importance: vec![0.0; x[0].len()] };
+    b.build((0..x.len()).collect(), 0);
+    RefTree {
+        n_nodes: b.nodes.len(),
+        importance: b.importance.clone(),
+        preds: grid.iter().map(|r| b.predict_one(r)).collect(),
+    }
+}
+
+fn lcg(state: &mut u64) -> f32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 40) as f32) / ((1u64 << 24) as f32)
+}
+
+#[test]
+fn presorted_tree_matches_naive_reference_exactly() {
+    let mut st = 12345u64;
+    for case in 0..20 {
+        let n = 40 + case * 13;
+        let n_classes = 2 + case % 4;
+        let mut data: Vec<[f32; 5]> = Vec::new();
+        let mut y: Vec<u16> = Vec::new();
+        for _ in 0..n {
+            let c = (lcg(&mut st) * n_classes as f32) as u16 % n_classes as u16;
+            // quantised features to force ties/duplicates, one noise col
+            data.push([
+                f32::from(c) + (lcg(&mut st) * 8.0).floor() * 0.25,
+                (lcg(&mut st) * 4.0).floor(),
+                f32::from(c) * 0.5 - (lcg(&mut st) * 6.0).floor() * 0.1,
+                1.0, // constant column
+                lcg(&mut st),
+            ]);
+            y.push(c);
+        }
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let params = TreeParams {
+            max_depth: 2 + case % 8,
+            min_samples_split: 2 + case % 5,
+            max_features: None,
+            max_thresholds: 3 + case % 24,
+            extra_random: false,
+        };
+        let t = DecisionTree::fit(&x, &y, n_classes, params, 1);
+        let r = ref_fit(&x, &y, n_classes, params, &x);
+        assert_eq!(t.n_nodes(), r.n_nodes, "case {case}: node count");
+        assert_eq!(t.importance, r.importance, "case {case}: importance (exact)");
+        assert_eq!(t.predict(&x), r.preds, "case {case}: predictions");
+    }
+}

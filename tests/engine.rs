@@ -84,11 +84,14 @@ impl Experiment for SeedEcho {
 
 fn records_json(dir: &Path, jobs: usize) -> String {
     let ctx = RunContext::from_preset(Preset::Fast, 42, None);
-    run_experiment(&SeedEcho, &ctx, &RunOptions { jobs, out_dir: Some(dir.to_path_buf()) });
+    let opts = RunOptions { jobs, kernel_threads: None, out_dir: Some(dir.to_path_buf()) };
+    run_experiment(&SeedEcho, &ctx, &opts);
     std::fs::read_to_string(dir.join("seed_echo.json")).expect("records written")
 }
 
-/// (b) `--jobs 4` must emit byte-identical record JSON to `--jobs 1`.
+/// (b) `--jobs 4` must emit byte-identical record JSON to `--jobs 1`,
+/// and serialised records must carry zeroed wall-clock fields (the
+/// nondeterministic real timings stay in-memory only).
 #[test]
 fn parallel_records_are_byte_identical_to_serial() {
     let base = std::env::temp_dir().join("debunk-engine-determinism-test");
@@ -97,7 +100,31 @@ fn parallel_records_are_byte_identical_to_serial() {
     let parallel = records_json(&base.join("parallel"), 4);
     assert!(!serial.is_empty());
     assert_eq!(serial, parallel, "jobs=4 records must match jobs=1 byte-for-byte");
+    // SeedEcho reports nonzero train/infer secs; the runner must zero
+    // them on the way to disk or records stop being reproducible.
+    assert_field_zeroed(&serial, "train_secs");
+    assert_field_zeroed(&serial, "infer_secs");
     std::fs::remove_dir_all(&base).ok();
+}
+
+/// Every occurrence of `"field": <number>` in the record JSON must be
+/// exactly zero. A plain text scan keeps this independent of the JSON
+/// value model while still checking every serialized record.
+fn assert_field_zeroed(json: &str, field: &str) {
+    let needle = format!("\"{field}\"");
+    let mut found = 0usize;
+    let mut rest = json;
+    while let Some(i) = rest.find(&needle) {
+        rest = rest[i + needle.len()..].trim_start();
+        rest = rest.strip_prefix(':').expect("field followed by ':'").trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..end].parse().expect("numeric field value");
+        assert_eq!(value, 0.0, "{field} must be zeroed in serialized records");
+        found += 1;
+    }
+    assert!(found > 0, "no {field} fields found in record JSON");
 }
 
 /// (c) An encoder checkpoint must round-trip through disk and produce
