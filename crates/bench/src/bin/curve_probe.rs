@@ -68,5 +68,6 @@ fn main() {
         PretrainBudget::default(),
         CellConfig { seed: 42, ..Default::default() },
     );
-    run_experiment(&CurveProbe, &ctx, &RunOptions { jobs: 1, kernel_threads: None, out_dir: None });
+    run_experiment(&CurveProbe, &ctx, &RunOptions { out_dir: None, ..Default::default() })
+        .expect("probe runs without a journal");
 }

@@ -80,9 +80,6 @@ fn main() {
     let cfg =
         CellConfig { seed: 1, frozen_epochs: 40, max_train: 9600, kfolds: 2, ..Default::default() };
     let ctx = RunContext::new(1, 1.0, PretrainBudget::default(), cfg);
-    run_experiment(
-        &FrozenProbe,
-        &ctx,
-        &RunOptions { jobs: 1, kernel_threads: None, out_dir: None },
-    );
+    run_experiment(&FrozenProbe, &ctx, &RunOptions { out_dir: None, ..Default::default() })
+        .expect("probe runs without a journal");
 }

@@ -16,13 +16,24 @@
 //!                    are bit-identical at any setting)
 //!   --out DIR        result-record directory (default "results")
 //!   --cache-dir DIR  persist pre-trained encoder checkpoints in DIR
+//!   --resume         replay cells already `done` in DIR's journal;
+//!                    only missing/failed cells execute (byte-identical
+//!                    records to an uninterrupted run)
+//!   --max-attempts N retry failed/panicking cells up to N times
+//!                    (default 1; deterministic seed-derived backoff)
+//!   --max-cell-seconds S  soft per-cell time budget: overrunning cells
+//!                    are marked failed in the journal
 //!   --list           print registered experiments and exit
 //! ```
+//!
+//! Exit codes: 0 — every cell done and every record written; 1 — the run
+//! finished but some cell failed or a record write was lost (see
+//! `run-manifest.json` in the out dir); 2 — bad usage / could not start.
 //!
 //! The experiments themselves live in `debunk_core::engine::suite`; this
 //! binary only parses flags and hands a filter to the registry.
 
-use debunk_core::engine::{default_registry, Preset, RunContext, RunOptions};
+use debunk_core::engine::{default_registry, Preset, RunContext, RunError, RunOptions};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -35,13 +46,17 @@ struct Cli {
     kernel_threads: Option<usize>,
     out_dir: PathBuf,
     cache_dir: Option<PathBuf>,
+    resume: bool,
+    max_attempts: u32,
+    max_cell_seconds: Option<f64>,
     list: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale X] [--seed N] [--budget fast|medium|full] \
-         [--fast] [--jobs N] [--kernel-threads N] [--out DIR] [--cache-dir DIR]\n       \
+         [--fast] [--jobs N] [--kernel-threads N] [--out DIR] [--cache-dir DIR] [--resume] \
+         [--max-attempts N] [--max-cell-seconds S]\n       \
          repro --list"
     );
     exit(2);
@@ -57,6 +72,9 @@ fn parse_cli(args: &[String]) -> Cli {
         kernel_threads: None,
         out_dir: PathBuf::from("results"),
         cache_dir: None,
+        resume: false,
+        max_attempts: 1,
+        max_cell_seconds: None,
         list: false,
     };
     let mut positional: Vec<&String> = Vec::new();
@@ -108,6 +126,25 @@ fn parse_cli(args: &[String]) -> Cli {
             }
             "--out" => cli.out_dir = PathBuf::from(value("--out")),
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--resume" => cli.resume = true,
+            "--max-attempts" => {
+                let v = value("--max-attempts");
+                cli.max_attempts = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --max-attempts '{v}'");
+                    usage();
+                });
+                if cli.max_attempts == 0 {
+                    eprintln!("error: --max-attempts must be at least 1");
+                    usage();
+                }
+            }
+            "--max-cell-seconds" => {
+                let v = value("--max-cell-seconds");
+                cli.max_cell_seconds = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --max-cell-seconds '{v}'");
+                    usage();
+                }));
+            }
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag '{other}'");
                 usage();
@@ -158,11 +195,37 @@ fn main() {
         jobs: cli.jobs,
         kernel_threads: cli.kernel_threads,
         out_dir: Some(cli.out_dir),
+        resume: cli.resume,
+        max_attempts: cli.max_attempts,
+        max_cell_seconds: cli.max_cell_seconds,
     };
     let t0 = std::time::Instant::now();
-    if let Err(unknown) = registry.run(&cli.experiment, &ctx, &opts) {
-        eprintln!("unknown experiment: {unknown} (try --list)");
-        exit(2);
+    let summary = match registry.run(&cli.experiment, &ctx, &opts) {
+        Ok(summary) => summary,
+        Err(RunError::UnknownExperiment(unknown)) => {
+            eprintln!("unknown experiment: {unknown} (try --list)");
+            exit(2);
+        }
+        Err(RunError::Journal(e)) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "cells: {} total, {} done ({} replayed), {} failed",
+        summary.cells_total, summary.cells_done, summary.cells_resumed, summary.cells_failed,
+    );
+    for cell in &summary.failed_cells {
+        eprintln!("  failed: {cell}");
+    }
+    for err in &summary.record_write_errors {
+        eprintln!("  write error: {err}");
+    }
+    if let Some(path) = &summary.manifest_path {
+        eprintln!("manifest: {}", path.display());
     }
     eprintln!("total elapsed: {:.1?}", t0.elapsed());
+    if !summary.ok() {
+        exit(1);
+    }
 }

@@ -75,9 +75,6 @@ fn main() {
         ..Default::default()
     };
     let ctx = RunContext::new(42, 0.7, budget, cfg);
-    run_experiment(
-        &UnfrozenProbe,
-        &ctx,
-        &RunOptions { jobs: 1, kernel_threads: None, out_dir: None },
-    );
+    run_experiment(&UnfrozenProbe, &ctx, &RunOptions { out_dir: None, ..Default::default() })
+        .expect("probe runs without a journal");
 }

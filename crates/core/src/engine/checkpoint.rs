@@ -62,11 +62,19 @@ impl EncoderStore {
         let model = build();
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(key.file_name());
-            let saved =
-                std::fs::create_dir_all(dir).and_then(|()| save_checkpoint(&path, key, &model));
+            // Write to a temp sibling and rename so a crash mid-save
+            // never leaves a torn checkpoint at the final path — the
+            // loader would otherwise trust a half-written file.
+            let tmp = path.with_extension("json.tmp");
+            let saved = std::fs::create_dir_all(dir)
+                .and_then(|()| save_checkpoint(&tmp, key, &model))
+                .and_then(|()| std::fs::rename(&tmp, &path));
             match saved {
                 Ok(()) => eprintln!("  [checkpoint] saved {}", path.display()),
-                Err(e) => eprintln!("  [checkpoint] could not save {}: {e}", path.display()),
+                Err(e) => {
+                    std::fs::remove_file(&tmp).ok();
+                    eprintln!("  [checkpoint] could not save {}: {e}", path.display());
+                }
             }
         }
         model

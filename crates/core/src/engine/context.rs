@@ -212,6 +212,19 @@ impl RunContext {
         self.seed ^ 0xabc
     }
 
+    /// Identity of the whole run's configuration, stamped into the
+    /// journal header. Resuming under a different seed/scale/budget
+    /// would silently mix incompatible cells into one record set, so
+    /// the journal refuses to replay across fingerprints.
+    pub fn run_fingerprint(&self) -> u64 {
+        stable_hash64(&[
+            &format!("{:016x}", self.seed),
+            &format!("{:016x}", self.scale.to_bits()),
+            &format!("{:?}", self.budget),
+            &format!("{:?}", self.cfg),
+        ])
+    }
+
     /// Independent seed for one cell, derived by hashing the cell's
     /// identity rather than threading one mutable RNG through
     /// sequential calls. This is what makes cells order-independent:

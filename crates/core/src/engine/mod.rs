@@ -14,7 +14,10 @@
 //!   stable id;
 //! - [`runner`] — executes a registered experiment's cells, serially or
 //!   on a thread pool (`--jobs N`), emitting bit-identical
-//!   [`crate::report::ResultRecord`] JSON either way;
+//!   [`crate::report::ResultRecord`] JSON either way — with per-cell
+//!   panic isolation, bounded retries and a soft time budget;
+//! - [`journal`] — the append-only JSONL run journal and the atomically
+//!   written `run-manifest.json` that make `--resume` possible;
 //! - [`checkpoint::EncoderStore`] — build-once encoder memoisation keyed
 //!   by pre-training provenance, optionally persisted to disk;
 //! - [`suite`] — the 21 concrete experiments ported from `repro`.
@@ -24,12 +27,17 @@
 
 pub mod checkpoint;
 pub mod context;
+pub mod journal;
 pub mod registry;
 pub mod runner;
 pub mod suite;
 
 pub use checkpoint::EncoderStore;
 pub use context::{EncoderSpec, Preset, RunContext};
+pub use journal::{
+    CellId, Journal, JournalEntry, JournalError, JournalState, RunManifest, JOURNAL_FILE,
+    MANIFEST_FILE,
+};
 pub use registry::{CellOutput, CellSpec, Experiment, RecordStats, Registry};
-pub use runner::{run_experiment, RunOptions};
+pub use runner::{run_experiment, start_session, RunError, RunOptions, RunSession, RunSummary};
 pub use suite::default_registry;

@@ -187,27 +187,29 @@ impl Registry {
         self.experiments.iter().map(|e| e.as_ref())
     }
 
-    /// Run `filter` ("all" or one experiment id) under `ctx`. Returns
-    /// `Err` with the unknown id when the filter matches nothing.
+    /// Run `filter` ("all" or one experiment id) under `ctx` in a
+    /// single crash-safe session: an `all` sweep shares one journal and
+    /// one manifest, so a killed sweep resumes from whichever cell it
+    /// reached. Errors only when the run cannot *start* (unknown id,
+    /// unusable journal); cell failures are isolated and land in the
+    /// returned [`RunSummary`].
     pub fn run(
         &self,
         filter: &str,
         ctx: &RunContext,
         opts: &crate::engine::runner::RunOptions,
-    ) -> Result<(), String> {
-        if filter == "all" {
-            for exp in self.iter() {
-                crate::engine::runner::run_experiment(exp, ctx, opts);
-            }
-            return Ok(());
+    ) -> Result<crate::engine::runner::RunSummary, crate::engine::runner::RunError> {
+        use crate::engine::runner::{start_session, RunError};
+        if filter != "all" && self.get(filter).is_none() {
+            return Err(RunError::UnknownExperiment(filter.to_string()));
         }
-        match self.get(filter) {
-            Some(exp) => {
-                crate::engine::runner::run_experiment(exp, ctx, opts);
-                Ok(())
+        let session = start_session(ctx, opts)?;
+        for exp in self.iter() {
+            if filter == "all" || exp.id() == filter {
+                session.run_experiment(exp, ctx, opts);
             }
-            None => Err(filter.to_string()),
         }
+        Ok(session.finish())
     }
 }
 

@@ -1,19 +1,37 @@
 //! Cell execution: serial or on a thread pool, with deterministic
-//! output either way.
+//! output either way — now crash-safe, panic-isolated and resumable.
 //!
 //! Determinism contract: each cell's seed depends only on its identity
 //! (see [`RunContext::cell_seed`]), outputs are collected by cell index
 //! (not completion order), and wall-clock timing fields are zeroed in
 //! serialised records. `--jobs 4` therefore emits byte-identical result
-//! JSON to `--jobs 1`.
+//! JSON to `--jobs 1` — and, because journal replay returns the exact
+//! outputs the journal recorded, a resumed run emits byte-identical
+//! records to an uninterrupted one.
+//!
+//! Failure isolation: every cell runs under `catch_unwind`, so one
+//! panicking cell marks *that cell* failed in the journal (payload
+//! captured) instead of killing the sweep. A bounded retry policy with
+//! a deterministic, seed-derived backoff re-attempts failed cells, and
+//! `--max-cell-seconds` marks overrunning cells failed. The manifest
+//! (`run-manifest.json`, written atomically) reports totals, failures,
+//! resumed counts and write errors; a failed record write is an error
+//! in the manifest and the exit code, never just a warning.
 
 use crate::engine::context::RunContext;
+use crate::engine::journal::{
+    atomic_write, CellId, Journal, JournalEntry, JournalError, JournalState, RunManifest,
+    JOURNAL_FILE,
+};
 use crate::engine::registry::{CellOutput, CellSpec, Experiment};
-use crate::report::ResultRecord;
-use std::io::Write;
+use crate::report::{records_json_pretty, ResultRecord};
+use encoders::checkpoint::stable_hash64;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// How the runner executes an experiment.
 #[derive(Debug, Clone)]
@@ -26,126 +44,457 @@ pub struct RunOptions {
     /// is row-partitioned and bit-identical to serial, so this never
     /// affects results.
     pub kernel_threads: Option<usize>,
-    /// Where result-record JSON files are written; `None` disables
-    /// serialisation (the calibration probes don't record).
+    /// Where result-record JSON files, the run journal and the manifest
+    /// are written; `None` disables all serialisation (the calibration
+    /// probes don't record).
     pub out_dir: Option<PathBuf>,
+    /// Replay cells already `done` in `out_dir`'s journal instead of
+    /// re-running them; only missing/failed cells execute. Replayed
+    /// outputs are byte-identical to a fresh run's records.
+    pub resume: bool,
+    /// Attempts per cell before it is marked failed (min 1). Retries
+    /// target environmental failures; a deterministic panic will simply
+    /// fail `max_attempts` times, each logged in the journal.
+    pub max_attempts: u32,
+    /// Soft per-cell time budget: a cell whose attempt overruns this is
+    /// marked `failed` in the journal (with the overrun recorded as its
+    /// error) instead of poisoning the record set. Soft means the cell
+    /// is not preempted mid-flight; the verdict lands when it returns.
+    pub max_cell_seconds: Option<f64>,
 }
 
 impl Default for RunOptions {
     fn default() -> RunOptions {
-        RunOptions { jobs: 1, kernel_threads: None, out_dir: Some(PathBuf::from("results")) }
+        RunOptions {
+            jobs: 1,
+            kernel_threads: None,
+            out_dir: Some(PathBuf::from("results")),
+            resume: false,
+            max_attempts: 1,
+            max_cell_seconds: None,
+        }
     }
 }
 
-/// Execute one experiment: run its cells (possibly in parallel), write
-/// its result records, then render its tables/charts.
-pub fn run_experiment(exp: &dyn Experiment, ctx: &RunContext, opts: &RunOptions) {
-    let cells = exp.cells(ctx);
-    let jobs = opts.jobs.max(1);
-    let cell_jobs = jobs.min(cells.len().max(1));
-    let kernel = opts.kernel_threads.unwrap_or_else(|| (jobs / cell_jobs).max(1));
-    nn::set_kernel_threads(kernel);
-    let outputs = execute_cells(exp.id(), &cells, ctx, cell_jobs);
+/// Why a run could not start (running itself never aborts: cell
+/// failures are isolated and reported in the [`RunSummary`]).
+#[derive(Debug)]
+pub enum RunError {
+    /// The experiment filter matched nothing.
+    UnknownExperiment(String),
+    /// The journal could not be created or replayed.
+    Journal(JournalError),
+}
 
-    let records: Vec<ResultRecord> = cells
-        .iter()
-        .zip(&outputs)
-        .filter(|(spec, _)| spec.emit_record)
-        .filter_map(|(spec, out)| {
-            out.stats.map(|s| ResultRecord {
-                experiment: exp.id().into(),
-                task: spec.task.clone(),
-                model: spec.model.clone(),
-                setting: spec.setting.clone(),
-                accuracy: s.accuracy * 100.0,
-                macro_f1: s.macro_f1 * 100.0,
-                // Wall-clock timings are nondeterministic; zero them so
-                // records are byte-identical across serial/parallel
-                // runs. Real timings stay in RecordStats for render.
-                train_secs: 0.0,
-                infer_secs: 0.0,
-            })
-        })
-        .collect();
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownExperiment(id) => write!(f, "unknown experiment: {id}"),
+            RunError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<JournalError> for RunError {
+    fn from(e: JournalError) -> RunError {
+        RunError::Journal(e)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// What happened over a whole session, mirrored into the manifest.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Cells scheduled.
+    pub cells_total: usize,
+    /// Cells with a finished output (executed or replayed).
+    pub cells_done: usize,
+    /// Cells that exhausted their attempts.
+    pub cells_failed: usize,
+    /// Cells replayed from the journal.
+    pub cells_resumed: usize,
+    /// Identities of failed cells.
+    pub failed_cells: Vec<String>,
+    /// Record/manifest write failures.
+    pub record_write_errors: Vec<String>,
+    /// Where the manifest landed, when one was written.
+    pub manifest_path: Option<PathBuf>,
+}
+
+impl RunSummary {
+    /// True when every cell finished and every write landed — the exit
+    /// code contract: anything else is a failed run.
+    pub fn ok(&self) -> bool {
+        self.cells_failed == 0 && self.record_write_errors.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    total: usize,
+    done: usize,
+    failed: usize,
+    resumed: usize,
+    failed_cells: Vec<String>,
+    record_write_errors: Vec<String>,
+}
+
+/// One crash-safe run: owns the journal, the replay state loaded from a
+/// previous crashed/killed run, and the tally that becomes the
+/// manifest. `Registry::run` keeps a single session across an `all`
+/// sweep so the whole grid shares one journal.
+pub struct RunSession {
+    journal: Option<Journal>,
+    prior: JournalState,
+    out_dir: Option<PathBuf>,
+    tally: Mutex<Tally>,
+}
+
+/// Open a session: create (or, with `resume`, replay) the journal under
+/// `opts.out_dir`. With `out_dir: None` the session journals nothing.
+pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, RunError> {
+    let mut session = RunSession {
+        journal: None,
+        prior: JournalState::default(),
+        out_dir: opts.out_dir.clone(),
+        tally: Mutex::new(Tally::default()),
+    };
     if let Some(dir) = &opts.out_dir {
-        flush_records(dir, exp.id(), &records);
+        std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(dir.clone(), e))?;
+        let path = dir.join(JOURNAL_FILE);
+        let fingerprint = ctx.run_fingerprint();
+        if opts.resume {
+            let (journal, state) = Journal::resume(&path, fingerprint)?;
+            if state.n_done() > 0 {
+                eprintln!(
+                    "[resume] journal {} has {} finished cell(s) to replay",
+                    path.display(),
+                    state.n_done()
+                );
+            }
+            session.journal = Some(journal);
+            session.prior = state;
+        } else {
+            session.journal = Some(Journal::create(&path, fingerprint)?);
+        }
     }
-
-    exp.render(ctx, &outputs);
+    Ok(session)
 }
 
-fn execute_cells(
-    exp_id: &str,
-    cells: &[CellSpec],
-    ctx: &RunContext,
-    jobs: usize,
-) -> Vec<CellOutput> {
-    let n = cells.len();
-    let run_one = |i: usize| -> CellOutput {
+impl RunSession {
+    /// Execute one experiment under this session: run or replay its
+    /// cells (possibly in parallel), write its result records, then
+    /// render its tables/charts. Panics in cells *and* in render are
+    /// contained; failures land in the tally, not in an abort.
+    pub fn run_experiment(&self, exp: &dyn Experiment, ctx: &RunContext, opts: &RunOptions) {
+        let cells = exp.cells(ctx);
+        let jobs = opts.jobs.max(1);
+        let cell_jobs = jobs.min(cells.len().max(1));
+        let kernel = opts.kernel_threads.unwrap_or_else(|| (jobs / cell_jobs).max(1));
+        nn::set_kernel_threads(kernel);
+        let outputs = self.execute_cells(exp.id(), &cells, ctx, cell_jobs, opts);
+
+        let records: Vec<ResultRecord> = cells
+            .iter()
+            .zip(&outputs)
+            .filter(|(spec, _)| spec.emit_record)
+            .filter_map(|(spec, out)| {
+                out.stats.map(|s| ResultRecord {
+                    experiment: exp.id().into(),
+                    task: spec.task.clone(),
+                    model: spec.model.clone(),
+                    setting: spec.setting.clone(),
+                    accuracy: s.accuracy * 100.0,
+                    macro_f1: s.macro_f1 * 100.0,
+                    // Wall-clock timings are nondeterministic; zero them
+                    // so records are byte-identical across serial,
+                    // parallel and resumed runs. Real timings stay in
+                    // RecordStats for render.
+                    train_secs: 0.0,
+                    infer_secs: 0.0,
+                })
+            })
+            .collect();
+        if let Some(dir) = &self.out_dir.clone() {
+            self.flush_records(dir, exp.id(), &records);
+        }
+
+        // A render step that chokes on a failed cell's empty output must
+        // not take down the sweep — the records are already on disk.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| exp.render(ctx, &outputs))) {
+            eprintln!("  [render] {} panicked: {}", exp.id(), panic_message(payload.as_ref()));
+        }
+    }
+
+    /// Finish the session: write the manifest atomically and return the
+    /// summary. Callers decide the exit code from [`RunSummary::ok`].
+    pub fn finish(self) -> RunSummary {
+        let tally = self.tally.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut summary = RunSummary {
+            cells_total: tally.total,
+            cells_done: tally.done,
+            cells_failed: tally.failed,
+            cells_resumed: tally.resumed,
+            failed_cells: tally.failed_cells,
+            record_write_errors: tally.record_write_errors,
+            manifest_path: None,
+        };
+        if let Some(dir) = &self.out_dir {
+            let journal_hash =
+                self.journal.as_ref().and_then(|j| j.content_hash().ok()).unwrap_or(0);
+            let manifest = RunManifest {
+                cells_total: summary.cells_total,
+                cells_done: summary.cells_done,
+                cells_failed: summary.cells_failed,
+                cells_resumed: summary.cells_resumed,
+                failed_cells: summary.failed_cells.clone(),
+                record_write_errors: summary.record_write_errors.clone(),
+                journal_hash,
+            };
+            match manifest.write_atomic(dir) {
+                Ok(path) => summary.manifest_path = Some(path),
+                Err(e) => summary
+                    .record_write_errors
+                    .push(format!("{}: {e}", dir.join("run-manifest.json").display())),
+            }
+        }
+        summary
+    }
+
+    fn append_journal(&self, entry: &JournalEntry) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(entry) {
+                let msg = format!("{}: append failed: {e}", journal.path().display());
+                eprintln!("  [error] {msg}");
+                self.tally().record_write_errors.push(msg);
+            }
+        }
+    }
+
+    fn tally(&self) -> std::sync::MutexGuard<'_, Tally> {
+        self.tally.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn execute_cells(
+        &self,
+        exp_id: &str,
+        cells: &[CellSpec],
+        ctx: &RunContext,
+        jobs: usize,
+        opts: &RunOptions,
+    ) -> Vec<CellOutput> {
+        let n = cells.len();
+        self.tally().total += n;
+        let run_one = |i: usize| -> CellOutput { self.run_cell(exp_id, cells, i, ctx, opts) };
+
+        if jobs <= 1 || n <= 1 {
+            return (0..n).map(run_one).collect();
+        }
+
+        // std-only work-stealing-ish pool: an atomic next-cell index and
+        // a slot vector filled by cell index, so collection order never
+        // depends on completion order.
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CellOutput>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = run_one(i);
+                    slots.lock().expect("runner slots poisoned")[i] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("runner slots poisoned")
+            .into_iter()
+            .map(|o| o.expect("every cell ran"))
+            .collect()
+    }
+
+    /// Run (or replay) one cell with panic isolation, bounded retries
+    /// and the soft time budget. Always returns an output — a failed
+    /// cell contributes `CellOutput::empty()` to render and no record.
+    fn run_cell(
+        &self,
+        exp_id: &str,
+        cells: &[CellSpec],
+        i: usize,
+        ctx: &RunContext,
+        opts: &RunOptions,
+    ) -> CellOutput {
+        let n = cells.len();
         let spec = &cells[i];
         let cfg = ctx.cell_config(exp_id, &spec.task, &spec.model, &spec.setting);
-        let out = (spec.run)(ctx, &cfg);
-        match &out.stats {
-            Some(s) => eprintln!(
-                "  {exp_id} [{}/{n}] {} {} {}: AC={:.1} F1={:.1}",
-                i + 1,
-                spec.model,
-                spec.task,
-                spec.setting,
-                s.accuracy * 100.0,
-                s.macro_f1 * 100.0,
-            ),
-            None => eprintln!(
-                "  {exp_id} [{}/{n}] {} {} {}: done",
-                i + 1,
-                spec.model,
-                spec.task,
-                spec.setting,
-            ),
-        }
-        out
-    };
+        let id = CellId {
+            experiment: exp_id.to_string(),
+            task: spec.task.clone(),
+            model: spec.model.clone(),
+            setting: spec.setting.clone(),
+            seed: cfg.seed,
+        };
+        let cell = id.hash();
+        let label = format!("{exp_id}/{}/{}/{}", spec.task, spec.model, spec.setting);
 
-    if jobs <= 1 || n <= 1 {
-        return (0..n).map(run_one).collect();
+        if let Some(out) = self.prior.done_output(cell) {
+            let mut tally = self.tally();
+            tally.done += 1;
+            tally.resumed += 1;
+            drop(tally);
+            eprintln!(
+                "  {exp_id} [{}/{n}] {} {} {}: replayed from journal",
+                i + 1,
+                spec.model,
+                spec.task,
+                spec.setting,
+            );
+            return out.clone();
+        }
+
+        let prior_attempts = self.prior.attempts(cell);
+        let max_attempts = opts.max_attempts.max(1);
+        let mut last_error = String::new();
+        for round in 0..max_attempts {
+            let attempt = prior_attempts + round + 1;
+            self.append_journal(&JournalEntry::Started { cell, attempt, id: id.clone() });
+            let started = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| (spec.run)(ctx, &cfg))) {
+                Ok(out) => {
+                    let elapsed = started.elapsed().as_secs_f64();
+                    if let Some(limit) = opts.max_cell_seconds {
+                        if elapsed > limit {
+                            last_error = format!(
+                                "soft timeout: attempt ran {elapsed:.1}s, over \
+                                 --max-cell-seconds {limit}"
+                            );
+                            self.append_journal(&JournalEntry::Failed {
+                                cell,
+                                attempt,
+                                error: last_error.clone(),
+                            });
+                            eprintln!("  {exp_id} [{}/{n}] {label}: {last_error}", i + 1);
+                            // Re-running a cell that just overran its
+                            // budget would overrun again; fail it now.
+                            break;
+                        }
+                    }
+                    self.append_journal(&JournalEntry::Done {
+                        cell,
+                        attempt,
+                        output: zero_timings(&out),
+                    });
+                    self.tally().done += 1;
+                    match &out.stats {
+                        Some(s) => eprintln!(
+                            "  {exp_id} [{}/{n}] {} {} {}: AC={:.1} F1={:.1}",
+                            i + 1,
+                            spec.model,
+                            spec.task,
+                            spec.setting,
+                            s.accuracy * 100.0,
+                            s.macro_f1 * 100.0,
+                        ),
+                        None => eprintln!(
+                            "  {exp_id} [{}/{n}] {} {} {}: done",
+                            i + 1,
+                            spec.model,
+                            spec.task,
+                            spec.setting,
+                        ),
+                    }
+                    return out;
+                }
+                Err(payload) => {
+                    last_error = format!("panic: {}", panic_message(payload.as_ref()));
+                    self.append_journal(&JournalEntry::Failed {
+                        cell,
+                        attempt,
+                        error: last_error.clone(),
+                    });
+                    eprintln!(
+                        "  {exp_id} [{}/{n}] {label}: attempt {attempt} failed ({last_error})",
+                        i + 1
+                    );
+                    if round + 1 < max_attempts {
+                        // Deterministic, seed-derived backoff: the cell
+                        // hash already encodes the seed, so the schedule
+                        // is reproducible and no wall-clock value ever
+                        // reaches a journal entry or record.
+                        std::thread::sleep(Duration::from_millis(backoff_ms(cell, attempt)));
+                    }
+                }
+            }
+        }
+        let mut tally = self.tally();
+        tally.failed += 1;
+        tally.failed_cells.push(format!("{label}: {last_error}"));
+        CellOutput::empty()
     }
 
-    // std-only work-stealing-ish pool: an atomic next-cell index and a
-    // slot vector filled by cell index, so collection order never
-    // depends on completion order.
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<CellOutput>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = run_one(i);
-                slots.lock().expect("runner slots poisoned")[i] = Some(out);
-            });
+    fn flush_records(&self, dir: &Path, exp_id: &str, records: &[ResultRecord]) {
+        if records.is_empty() {
+            return;
         }
-    });
-    slots
-        .into_inner()
-        .expect("runner slots poisoned")
-        .into_iter()
-        .map(|o| o.expect("every cell ran"))
-        .collect()
+        let path = dir.join(format!("{exp_id}.json"));
+        let json = records_json_pretty(records);
+        match atomic_write(&path, json.as_bytes()) {
+            Ok(()) => eprintln!("  [saved] {}", path.display()),
+            Err(e) => {
+                // A lost record file invalidates the whole comparison:
+                // surface it in the manifest and the exit code.
+                let msg = format!("{}: {e}", path.display());
+                eprintln!("  [error] could not write records: {msg}");
+                self.tally().record_write_errors.push(msg);
+            }
+        }
+    }
 }
 
-fn flush_records(dir: &Path, exp_id: &str, records: &[ResultRecord]) {
-    if records.is_empty() {
-        return;
+/// Deterministic retry backoff in milliseconds: exponential in the
+/// attempt with a seed-derived jitter, capped well under a second. No
+/// wall-clock feeds into it, so retry schedules are reproducible.
+fn backoff_ms(cell: u64, attempt: u32) -> u64 {
+    let jitter = stable_hash64(&[&format!("{cell:016x}"), &attempt.to_string()]) % 20;
+    (1u64 << attempt.min(5)) * 5 + jitter
+}
+
+/// Copy an output with wall-clock timings zeroed, matching the record
+/// contract: journal bytes never depend on scheduling or the clock.
+fn zero_timings(out: &CellOutput) -> CellOutput {
+    let mut out = out.clone();
+    if let Some(stats) = &mut out.stats {
+        stats.train_secs = 0.0;
+        stats.infer_secs = 0.0;
     }
-    std::fs::create_dir_all(dir).ok();
-    let path = dir.join(format!("{exp_id}.json"));
-    let json = serde_json::to_string_pretty(records).expect("serialise records");
-    std::fs::File::create(&path)
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-        .unwrap_or_else(|e| eprintln!("warning: could not write {}: {e}", path.display()));
-    eprintln!("  [saved] {}", path.display());
+    out
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Convenience wrapper: run one experiment in its own session. The
+/// `repro` front-end uses `Registry::run` instead so an `all` sweep
+/// shares a single journal and manifest.
+pub fn run_experiment(
+    exp: &dyn Experiment,
+    ctx: &RunContext,
+    opts: &RunOptions,
+) -> Result<RunSummary, RunError> {
+    let session = start_session(ctx, opts)?;
+    session.run_experiment(exp, ctx, opts);
+    Ok(session.finish())
 }
 
 #[cfg(test)]
@@ -185,7 +534,10 @@ mod tests {
     fn collect(jobs: usize) -> Vec<(f64, f64)> {
         let ctx = RunContext::from_preset(Preset::Fast, 42, None);
         let cells = Synthetic.cells(&ctx);
-        execute_cells("synthetic", &cells, &ctx, jobs)
+        let opts = RunOptions { jobs, out_dir: None, ..Default::default() };
+        let session = start_session(&ctx, &opts).expect("no out dir, no journal to fail");
+        session
+            .execute_cells("synthetic", &cells, &ctx, jobs, &opts)
             .into_iter()
             .map(|o| {
                 let s = o.stats.unwrap();
@@ -200,5 +552,132 @@ mod tests {
         for jobs in [2, 4, 8] {
             assert_eq!(collect(jobs), serial, "jobs={jobs} must match serial");
         }
+    }
+
+    struct PanicsOnce;
+    impl Experiment for PanicsOnce {
+        fn id(&self) -> &'static str {
+            "panics"
+        }
+        fn description(&self) -> &'static str {
+            "one deliberately panicking cell"
+        }
+        fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+            vec![
+                CellSpec::new("T", "ok", "s", |_ctx, cfg| {
+                    CellOutput::stats(RecordStats {
+                        accuracy: (cfg.seed % 100) as f64 / 100.0,
+                        macro_f1: 0.5,
+                        train_secs: 0.0,
+                        infer_secs: 0.0,
+                    })
+                }),
+                CellSpec::new("T", "boom", "s", |_ctx, _cfg| -> CellOutput {
+                    panic!("deliberate test panic");
+                }),
+            ]
+        }
+        fn render(&self, _ctx: &RunContext, outputs: &[CellOutput]) {
+            // Deliberately assumes every cell has stats, like several
+            // real render steps: must not take down the run when the
+            // failed cell's output is empty.
+            for out in outputs {
+                let _ = out.stats.expect("stats");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone_and_is_retried_with_attempt_count() {
+        let dir = std::env::temp_dir().join("debunk-runner-panic-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let opts = RunOptions { out_dir: Some(dir.clone()), max_attempts: 2, ..Default::default() };
+        let summary = run_experiment(&PanicsOnce, &ctx, &opts).expect("session starts");
+        assert_eq!(summary.cells_total, 2);
+        assert_eq!(summary.cells_done, 1, "the healthy cell finished");
+        assert_eq!(summary.cells_failed, 1, "only the panicking cell failed");
+        assert!(!summary.ok());
+        assert!(summary.failed_cells[0].contains("boom"));
+        assert!(summary.failed_cells[0].contains("deliberate test panic"));
+
+        let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(
+            journal.matches("\"status\":\"failed\"").count(),
+            2,
+            "both attempts journalled: {journal}"
+        );
+        assert_eq!(journal.matches("\"status\":\"done\"").count(), 1);
+
+        // The manifest reports the same story, atomically written.
+        let manifest = RunManifest::from_json(
+            &std::fs::read_to_string(dir.join("run-manifest.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(manifest.cells_failed, 1);
+        assert_eq!(manifest.cells_done, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_replays_done_cells_without_rerunning() {
+        let dir = std::env::temp_dir().join("debunk-runner-resume-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let opts = RunOptions { out_dir: Some(dir.clone()), ..Default::default() };
+        let first = run_experiment(&Synthetic, &ctx, &opts).expect("fresh run");
+        assert_eq!((first.cells_done, first.cells_resumed), (8, 0));
+        let records = std::fs::read_to_string(dir.join("synthetic.json")).unwrap();
+
+        let resumed_opts = RunOptions { resume: true, ..opts };
+        let second = run_experiment(&Synthetic, &ctx, &resumed_opts).expect("resumed run");
+        assert_eq!((second.cells_done, second.cells_resumed), (8, 8), "all cells replayed");
+        let replayed = std::fs::read_to_string(dir.join("synthetic.json")).unwrap();
+        assert_eq!(records, replayed, "replayed records byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soft_timeout_marks_overrunning_cells_failed() {
+        struct Slow;
+        impl Experiment for Slow {
+            fn id(&self) -> &'static str {
+                "slow"
+            }
+            fn description(&self) -> &'static str {
+                "sleeps past the soft budget"
+            }
+            fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+                vec![CellSpec::new("T", "sleepy", "s", |_ctx, _cfg| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    CellOutput::empty()
+                })]
+            }
+            fn render(&self, _ctx: &RunContext, _outputs: &[CellOutput]) {}
+        }
+        let dir = std::env::temp_dir().join("debunk-runner-timeout-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let opts = RunOptions {
+            out_dir: Some(dir.clone()),
+            max_cell_seconds: Some(0.001),
+            ..Default::default()
+        };
+        let summary = run_experiment(&Slow, &ctx, &opts).expect("session starts");
+        assert_eq!(summary.cells_failed, 1);
+        assert!(summary.failed_cells[0].contains("soft timeout"));
+        let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+        assert!(journal.contains("soft timeout"), "timeout recorded in journal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..10 {
+            let a = backoff_ms(0xabc, attempt);
+            assert_eq!(a, backoff_ms(0xabc, attempt), "same inputs, same backoff");
+            assert!(a < 200, "backoff stays well under a second: {a}ms");
+        }
+        assert_ne!(backoff_ms(1, 1), backoff_ms(2, 1), "seed-derived jitter differs per cell");
     }
 }

@@ -1381,14 +1381,7 @@ impl Experiment for Robustness {
                                 .scaled(ctx.scale);
                         let mut trace = spec.generate();
                         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xfa17);
-                        let fault_cfg = FaultConfig {
-                            drop: loss,
-                            duplicate: loss / 4.0,
-                            reorder: loss / 2.0,
-                            corrupt: loss / 10.0,
-                            reorder_delay: 0.05,
-                        };
-                        inject_faults(&mut trace, fault_cfg, &mut rng);
+                        inject_faults(&mut trace, FaultConfig::capture_loss(loss), &mut rng);
                         dataset::clean::clean_trace(&mut trace);
                         let data = dataset::record::Prepared::from_trace(&trace);
                         let prep = PreparedTask {

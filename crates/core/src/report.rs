@@ -23,6 +23,34 @@ pub struct ResultRecord {
     pub infer_secs: f64,
 }
 
+/// Serialise records as pretty JSON with a stable, hand-rolled layout
+/// (2-space indent, declaration field order, shortest-float formatting)
+/// byte-compatible with `serde_json::to_string_pretty`. Rolling it by
+/// hand keeps the record/journal/manifest byte contract under the
+/// engine's own control — golden snapshots and resume-replay equality
+/// must not shift when a JSON dependency changes its formatter.
+pub fn records_json_pretty(records: &[ResultRecord]) -> String {
+    use crate::engine::journal::{escape_json, format_f64};
+    if records.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"experiment\": \"{}\",\n", escape_json(&r.experiment)));
+        out.push_str(&format!("    \"task\": \"{}\",\n", escape_json(&r.task)));
+        out.push_str(&format!("    \"model\": \"{}\",\n", escape_json(&r.model)));
+        out.push_str(&format!("    \"setting\": \"{}\",\n", escape_json(&r.setting)));
+        out.push_str(&format!("    \"accuracy\": {},\n", format_f64(r.accuracy)));
+        out.push_str(&format!("    \"macro_f1\": {},\n", format_f64(r.macro_f1)));
+        out.push_str(&format!("    \"train_secs\": {},\n", format_f64(r.train_secs)));
+        out.push_str(&format!("    \"infer_secs\": {}\n", format_f64(r.infer_secs)));
+        out.push_str(if i + 1 < records.len() { "  },\n" } else { "  }\n" });
+    }
+    out.push(']');
+    out
+}
+
 /// A rendered table: header plus rows of (label, values).
 #[derive(Debug, Clone, Default)]
 pub struct TableBuilder {

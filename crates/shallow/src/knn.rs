@@ -64,7 +64,15 @@ impl KnnClassifier {
         for (_, l) in &dists[..k] {
             *counts.entry(*l).or_insert(0u32) += 1;
         }
-        counts.into_iter().max_by_key(|(_, c)| *c).map(|(l, _)| l).unwrap_or(0)
+        // Break vote ties toward the smallest label: HashMap iteration
+        // order varies per process, and a tie-break that depends on it
+        // would make predictions — and every serialised record built
+        // from them — nondeterministic across runs.
+        counts
+            .into_iter()
+            .max_by_key(|&(l, c)| (c, std::cmp::Reverse(l)))
+            .map(|(l, _)| l)
+            .unwrap_or(0)
     }
 
     /// Predict labels for many rows.

@@ -35,6 +35,29 @@ impl Default for FaultConfig {
     }
 }
 
+impl FaultConfig {
+    /// A faultless configuration (identity injection).
+    pub fn none() -> Self {
+        Self { drop: 0.0, duplicate: 0.0, reorder: 0.0, corrupt: 0.0, reorder_delay: 0.0 }
+    }
+
+    /// The capture-loss profile used by the robustness ablation: one
+    /// `level` knob scales all four faults with drops dominating
+    /// (duplicate = level/4, reorder = level/2, corrupt = level/10),
+    /// matching how loss manifests at real capture points. Shared by
+    /// the `robustness` experiment and the fault-matrix tests so both
+    /// sweep the same curve.
+    pub fn capture_loss(level: f64) -> Self {
+        Self {
+            drop: level,
+            duplicate: level / 4.0,
+            reorder: level / 2.0,
+            corrupt: level / 10.0,
+            reorder_delay: 0.05,
+        }
+    }
+}
+
 /// Statistics of one injection run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {

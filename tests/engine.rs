@@ -4,7 +4,7 @@
 
 use debunk::debunk_core::engine::{
     default_registry, run_experiment, CellOutput, CellSpec, EncoderStore, Experiment, Preset,
-    RecordStats, RunContext, RunOptions,
+    RecordStats, RunContext, RunError, RunManifest, RunOptions, MANIFEST_FILE,
 };
 use debunk::debunk_core::experiment::CellConfig;
 use debunk::encoders::checkpoint::PretrainKey;
@@ -84,8 +84,9 @@ impl Experiment for SeedEcho {
 
 fn records_json(dir: &Path, jobs: usize) -> String {
     let ctx = RunContext::from_preset(Preset::Fast, 42, None);
-    let opts = RunOptions { jobs, kernel_threads: None, out_dir: Some(dir.to_path_buf()) };
-    run_experiment(&SeedEcho, &ctx, &opts);
+    let opts = RunOptions { jobs, out_dir: Some(dir.to_path_buf()), ..Default::default() };
+    let summary = run_experiment(&SeedEcho, &ctx, &opts).expect("session starts");
+    assert!(summary.ok(), "all SeedEcho cells succeed");
     std::fs::read_to_string(dir.join("seed_echo.json")).expect("records written")
 }
 
@@ -125,6 +126,106 @@ fn assert_field_zeroed(json: &str, field: &str) {
         found += 1;
     }
     assert!(found > 0, "no {field} fields found in record JSON");
+}
+
+/// SeedEcho plus one deliberately-panicking cell. The panicking cell is
+/// silent (no record), so a panic-free `SeedEcho` run and a panicky
+/// `MixedSuite` run must serialise byte-identical record files — panic
+/// isolation at the record level, not just "the process survived".
+struct MixedSuite;
+
+impl Experiment for MixedSuite {
+    fn id(&self) -> &'static str {
+        "seed_echo"
+    }
+    fn description(&self) -> &'static str {
+        "seed_echo with a panicking straggler"
+    }
+    fn cells(&self, ctx: &RunContext) -> Vec<CellSpec> {
+        let mut cells = SeedEcho.cells(ctx);
+        cells.insert(
+            5,
+            CellSpec::silent("T-boom", "mboom", "s", |_ctx, _cfg| -> CellOutput {
+                panic!("deliberate mixed-suite panic");
+            }),
+        );
+        cells
+    }
+    fn render(&self, _ctx: &RunContext, _outputs: &[CellOutput]) {}
+}
+
+/// (d) One panicking cell fails alone: every other cell's record is
+/// byte-identical to a panic-free run, and the manifest reports exactly
+/// one failed cell.
+#[test]
+fn panicking_cell_leaves_other_records_byte_identical() {
+    let base = std::env::temp_dir().join("debunk-engine-panic-isolation-test");
+    std::fs::remove_dir_all(&base).ok();
+    let clean = records_json(&base.join("clean"), 1);
+
+    let dir = base.join("mixed");
+    let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+    let opts = RunOptions { jobs: 4, out_dir: Some(dir.clone()), ..Default::default() };
+    let summary = run_experiment(&MixedSuite, &ctx, &opts).expect("session starts");
+    assert_eq!(summary.cells_failed, 1, "exactly the panicking cell failed");
+    assert_eq!(summary.cells_done, 12, "all SeedEcho cells finished");
+    assert!(!summary.ok());
+    assert!(summary.failed_cells[0].contains("mboom"));
+    assert!(summary.failed_cells[0].contains("deliberate mixed-suite panic"));
+
+    let mixed = std::fs::read_to_string(dir.join("seed_echo.json")).expect("records written");
+    assert_eq!(clean, mixed, "surviving cells' records unaffected by the panic");
+
+    let manifest =
+        RunManifest::from_json(&std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap())
+            .expect("manifest parses");
+    assert_eq!(manifest.cells_failed, 1);
+    assert_eq!(manifest.cells_total, 13);
+    assert_eq!(manifest.failed_cells.len(), 1);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// (e) A failed record write is an error surfaced in the manifest and
+/// the summary (`!ok()`), not a swallowed warning. Pre-creating a
+/// *directory* where the record file must land makes the final rename
+/// fail even when running as root (read-only permission bits don't).
+#[test]
+fn failed_record_write_is_surfaced_not_swallowed() {
+    let dir = std::env::temp_dir().join("debunk-engine-write-error-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(dir.join("seed_echo.json")).unwrap();
+
+    let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+    let opts = RunOptions { out_dir: Some(dir.clone()), ..Default::default() };
+    let summary = run_experiment(&SeedEcho, &ctx, &opts).expect("session starts");
+    assert_eq!(summary.cells_failed, 0, "cells themselves all ran");
+    assert!(!summary.record_write_errors.is_empty(), "lost record write reported");
+    assert!(!summary.ok(), "a lost record write fails the run");
+
+    let manifest =
+        RunManifest::from_json(&std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap())
+            .expect("manifest parses");
+    assert!(!manifest.record_write_errors.is_empty(), "write error lands in the manifest");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// (f) An unusable out dir (a file squatting on the path) refuses to
+/// start the session with a journal error instead of limping along.
+#[test]
+fn unwritable_out_dir_fails_session_start() {
+    let base = std::env::temp_dir().join("debunk-engine-baddir-test");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base).unwrap();
+    let squatter = base.join("not-a-dir");
+    std::fs::write(&squatter, b"file, not dir").unwrap();
+
+    let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+    let opts = RunOptions { out_dir: Some(squatter), ..Default::default() };
+    match run_experiment(&SeedEcho, &ctx, &opts) {
+        Err(RunError::Journal(_)) => {}
+        other => panic!("expected a journal error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// (c) An encoder checkpoint must round-trip through disk and produce

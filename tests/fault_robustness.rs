@@ -1,6 +1,11 @@
 //! End-to-end robustness: a degraded capture (drops, duplicates,
 //! reordering, corruption) must flow through cleaning, parsing and
 //! classification without panics and with graceful accuracy decay.
+//!
+//! The fault matrix drives every `FaultConfig` knob — alone and in the
+//! combined capture-loss profile the `robustness` experiment sweeps —
+//! through the whole parse → clean → classify pipeline. Cheap rows run
+//! in tier-1; the dense grid is `#[ignore]`d (~20 pipeline fits).
 
 use debunk::dataset::clean::clean_trace;
 use debunk::dataset::record::Prepared;
@@ -13,21 +18,13 @@ use debunk::traffic_synth::faults::{inject_faults, FaultConfig};
 use debunk::traffic_synth::{DatasetKind, DatasetSpec};
 use rand::SeedableRng;
 
-fn f1_at_fault_rate(loss: f64) -> f64 {
+/// Run one faulted capture through the full pipeline and return the
+/// binary-task macro-F1. Must never panic, whatever `cfg` does.
+fn pipeline_f1(cfg: FaultConfig) -> f64 {
     let mut trace =
         DatasetSpec { kind: DatasetKind::UstcTfc, seed: 41, flows_per_class: 3 }.generate();
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    inject_faults(
-        &mut trace,
-        FaultConfig {
-            drop: loss,
-            duplicate: loss / 4.0,
-            reorder: loss / 2.0,
-            corrupt: loss / 10.0,
-            reorder_delay: 0.05,
-        },
-        &mut rng,
-    );
+    inject_faults(&mut trace, cfg, &mut rng);
     clean_trace(&mut trace);
     let data = Prepared::from_trace(&trace);
     let task = Task::UstcBinary;
@@ -47,6 +44,10 @@ fn f1_at_fault_rate(loss: f64) -> f64 {
     macro_f1(&rf.predict(&rows(&xte)), &yte, 2)
 }
 
+fn f1_at_fault_rate(loss: f64) -> f64 {
+    pipeline_f1(FaultConfig::capture_loss(loss))
+}
+
 #[test]
 fn degraded_capture_still_classifies() {
     let clean = f1_at_fault_rate(0.0);
@@ -54,6 +55,59 @@ fn degraded_capture_still_classifies() {
     assert!(clean > 0.85, "clean capture F1 {clean}");
     assert!(degraded > 0.6, "15%-fault capture F1 {degraded} — should degrade gracefully");
     assert!(degraded <= clean + 0.05, "faults should not improve accuracy");
+}
+
+/// Each fault knob alone, at a moderate and an aggressive level: the
+/// pipeline must survive every row (no panic anywhere in parse → clean
+/// → classify) and still produce a sane score.
+#[test]
+fn fault_matrix_single_knob_rows_survive_the_pipeline() {
+    let rows: Vec<(&str, FaultConfig)> = [0.1, 0.3]
+        .into_iter()
+        .flat_map(|level| {
+            [
+                ("drop", FaultConfig { drop: level, ..FaultConfig::none() }),
+                ("duplicate", FaultConfig { duplicate: level, ..FaultConfig::none() }),
+                (
+                    "reorder",
+                    FaultConfig { reorder: level, reorder_delay: 0.05, ..FaultConfig::none() },
+                ),
+                ("corrupt", FaultConfig { corrupt: level, ..FaultConfig::none() }),
+            ]
+        })
+        .collect();
+    let baseline = pipeline_f1(FaultConfig::none());
+    for (knob, cfg) in rows {
+        let f1 = pipeline_f1(cfg);
+        assert!((0.0..=1.0).contains(&f1), "{knob}={cfg:?}: F1 {f1} out of range");
+        // A single knob at ≤30% must not destroy a 2-class score; the
+        // slack is wide because corruption also shrinks the test set.
+        assert!(
+            f1 > baseline - 0.4,
+            "{knob} at {cfg:?} collapsed F1 to {f1} (baseline {baseline})"
+        );
+    }
+}
+
+/// Accuracy decays (weakly) monotonically along the capture-loss curve
+/// the `robustness` experiment sweeps — same `FaultConfig::capture_loss`
+/// profile, so the test and the experiment cannot drift apart.
+#[test]
+fn accuracy_decays_monotonically_with_capture_loss() {
+    let levels = [0.0, 0.1, 0.25];
+    let scores: Vec<f64> = levels.iter().map(|&l| f1_at_fault_rate(l)).collect();
+    for w in scores.windows(2) {
+        // Small tolerance: RF variance on a faulted 2-class split can
+        // wobble a little, but the trend must point down.
+        assert!(
+            w[1] <= w[0] + 0.08,
+            "capture-loss curve not monotone: {scores:?} at levels {levels:?}"
+        );
+    }
+    assert!(
+        scores[levels.len() - 1] <= scores[0],
+        "heaviest loss must not beat the clean capture: {scores:?}"
+    );
 }
 
 #[test]
@@ -74,5 +128,26 @@ fn heavily_corrupted_capture_never_panics() {
     for r in data.records.iter().take(500) {
         let _ = r.payload();
         let _ = r.headers();
+    }
+}
+
+/// The dense drop × corrupt grid with duplicates and reordering mixed
+/// in — every combination must survive the pipeline. ~16 pipeline fits;
+/// run with `cargo test --test fault_robustness -- --ignored`.
+#[test]
+#[ignore = "dense 4x4 fault grid: ~16 RF fits, run explicitly"]
+fn fault_matrix_dense_grid_never_panics() {
+    for drop in [0.0, 0.1, 0.2, 0.4] {
+        for corrupt in [0.0, 0.05, 0.15, 0.3] {
+            let cfg = FaultConfig {
+                drop,
+                corrupt,
+                duplicate: drop / 2.0,
+                reorder: corrupt,
+                reorder_delay: 0.1,
+            };
+            let f1 = pipeline_f1(cfg);
+            assert!((0.0..=1.0).contains(&f1), "{cfg:?}: F1 {f1} out of range");
+        }
     }
 }

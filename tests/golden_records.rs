@@ -1,0 +1,187 @@
+//! Golden-record regression tests: two fast cells at a fixed seed whose
+//! serialised records must stay byte-identical to checked-in snapshots,
+//! and whose `--resume` replay after a simulated crash must equal a
+//! fresh run to the byte at `--jobs` 1 and 4.
+//!
+//! The golden cells are deliberately RNG-free: features come from an
+//! integer-hash noise model and the classifier is the brute-force k-NN
+//! (no `StdRng` anywhere), so the snapshot bytes depend only on the
+//! engine's seed derivation and float formatting — exactly the contract
+//! this suite pins down.
+//!
+//! Re-bless after an intentional contract change with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_records`
+
+use debunk::debunk_core::engine::{
+    run_experiment, CellOutput, CellSpec, Experiment, Preset, RecordStats, RunContext, RunOptions,
+    JOURNAL_FILE,
+};
+use debunk::debunk_core::metrics::{accuracy, macro_f1};
+use debunk::shallow::knn::KnnClassifier;
+use std::path::{Path, PathBuf};
+
+const CLASSES: usize = 3;
+const DIMS: usize = 8;
+
+/// Deterministic unit-interval noise from an integer hash (splitmix64
+/// finaliser) — identical on every platform, no RNG dependency.
+fn hashed_unit(a: u64, b: u64) -> f32 {
+    let mut h = a.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(b);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    (h >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+}
+
+/// `n` rows of hash-noised class-centred features plus labels.
+fn toy_data(seed: u64, salt: u64, n: usize) -> (Vec<Vec<f32>>, Vec<u16>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let row: Vec<f32> = (0..DIMS)
+            .map(|d| {
+                // Centres close and noise wide on purpose: the cells
+                // must score *imperfectly* (and differently per k) so
+                // the snapshot pins real fractional float formatting,
+                // not a degenerate 100.0.
+                let center = class as f32 * 1.2 + d as f32 * 0.1;
+                center + 4.0 * hashed_unit(seed ^ salt, (i * DIMS + d) as u64)
+            })
+            .collect();
+        x.push(row);
+        y.push(class as u16);
+    }
+    (x, y)
+}
+
+/// Two k-NN cells over the hash-noised toy data — everything between
+/// `cells()` and the record file is the engine's own machinery.
+struct Golden;
+
+impl Experiment for Golden {
+    fn id(&self) -> &'static str {
+        "golden"
+    }
+    fn description(&self) -> &'static str {
+        "RNG-free snapshot cells"
+    }
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        [3usize, 5]
+            .into_iter()
+            .map(|k| {
+                CellSpec::new("toy", format!("kNN-{k}"), "hash-noise", move |_ctx, cfg| {
+                    let (train_x, train_y) = toy_data(cfg.seed, 0xaaaa, 60);
+                    let (test_x, test_y) = toy_data(cfg.seed, 0xbbbb, 30);
+                    let train_refs: Vec<&[f32]> = train_x.iter().map(Vec::as_slice).collect();
+                    let test_refs: Vec<&[f32]> = test_x.iter().map(Vec::as_slice).collect();
+                    let model = KnnClassifier::fit(&train_refs, &train_y, k);
+                    let pred = model.predict(&test_refs);
+                    CellOutput::stats(RecordStats {
+                        accuracy: accuracy(&pred, &test_y),
+                        macro_f1: macro_f1(&pred, &test_y, CLASSES),
+                        // Nonzero on purpose: the snapshot proves the
+                        // runner zeroes wall-clock fields on disk.
+                        train_secs: 1.5,
+                        infer_secs: 0.5,
+                    })
+                })
+            })
+            .collect()
+    }
+    fn render(&self, _ctx: &RunContext, _outputs: &[CellOutput]) {}
+}
+
+fn ctx() -> RunContext {
+    RunContext::from_preset(Preset::Fast, 7, None)
+}
+
+fn run_golden(dir: &Path, jobs: usize, resume: bool) -> String {
+    let opts = RunOptions { jobs, out_dir: Some(dir.to_path_buf()), resume, ..Default::default() };
+    let summary = run_experiment(&Golden, &ctx(), &opts).expect("session starts");
+    assert!(summary.ok(), "golden cells must not fail: {summary:?}");
+    std::fs::read_to_string(dir.join("golden.json")).expect("records written")
+}
+
+fn snapshot_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/golden_records.json")
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// (a) Fresh-run records match the checked-in snapshot byte-for-byte,
+/// at `--jobs` 1 and 4.
+#[test]
+fn records_match_checked_in_snapshot() {
+    let base = temp("debunk-golden-snapshot-test");
+    let serial = run_golden(&base.join("j1"), 1, false);
+    let parallel = run_golden(&base.join("j4"), 4, false);
+    assert_eq!(serial, parallel, "jobs=4 must match jobs=1 byte-for-byte");
+
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &serial).expect("bless snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("snapshot missing — bless with UPDATE_GOLDEN=1 cargo test --test golden_records");
+    assert_eq!(
+        serial,
+        golden,
+        "records drifted from {}; if intentional, re-bless with UPDATE_GOLDEN=1",
+        path.display()
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// (b) Crash-and-resume equals an uninterrupted run to the byte. The
+/// crash is simulated by truncating the journal at an arbitrary byte
+/// (killing mid-write can cut a line anywhere) and deleting the record
+/// file; `--resume` replays what survived and re-runs the rest.
+#[test]
+fn resume_after_simulated_crash_is_byte_identical() {
+    let base = temp("debunk-golden-resume-test");
+    let fresh = run_golden(&base.join("fresh"), 1, false);
+
+    for jobs in [1usize, 4] {
+        // Cut points sweep the interesting cases: header only, mid-line,
+        // between complete entries, and almost-whole.
+        for fraction in [0.3, 0.5, 0.77, 0.95] {
+            let dir = base.join(format!("crash-j{jobs}-{fraction}"));
+            run_golden(&dir, jobs, false);
+            let journal = dir.join(JOURNAL_FILE);
+            let bytes = std::fs::read(&journal).unwrap();
+            let cut = ((bytes.len() as f64) * fraction) as usize;
+            std::fs::write(&journal, &bytes[..cut.max(1)]).unwrap();
+            std::fs::remove_file(dir.join("golden.json")).unwrap();
+
+            let resumed = run_golden(&dir, jobs, true);
+            assert_eq!(
+                fresh, resumed,
+                "resume at jobs={jobs}, cut at {fraction} of the journal, \
+                 must reproduce the fresh records byte-for-byte"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// (c) Resuming a *complete* run re-executes nothing: both cells replay
+/// from the journal and the records still match.
+#[test]
+fn resume_of_complete_run_replays_everything() {
+    let base = temp("debunk-golden-replay-test");
+    let fresh = run_golden(&base, 1, false);
+
+    let opts = RunOptions { out_dir: Some(base.clone()), resume: true, ..Default::default() };
+    let summary = run_experiment(&Golden, &ctx(), &opts).expect("resume starts");
+    assert!(summary.ok());
+    assert_eq!(summary.cells_resumed, 2, "both cells served from the journal");
+    let replayed = std::fs::read_to_string(base.join("golden.json")).unwrap();
+    assert_eq!(fresh, replayed);
+    std::fs::remove_dir_all(&base).ok();
+}

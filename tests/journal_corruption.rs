@@ -1,0 +1,224 @@
+//! Property-based corruption tests on the run journal: whatever a crash
+//! (or a meddling process) does to `journal.jsonl`, resuming must either
+//! replay correctly or refuse with a clear error — never panic, never
+//! silently merge incompatible state.
+
+use debunk::debunk_core::engine::journal::{
+    CellId, Journal, JournalEntry, JournalError, JournalState,
+};
+use debunk::debunk_core::engine::{CellOutput, RecordStats};
+use proptest::prelude::*;
+use std::path::Path;
+
+const FINGERPRINT: u64 = 0xfeed_beef_dead_cafe;
+
+fn cell_id(i: u64) -> CellId {
+    CellId {
+        experiment: "table-x".into(),
+        task: format!("task{i}"),
+        model: "kNN".into(),
+        setting: "s".into(),
+        seed: 0x1000 + i,
+    }
+}
+
+fn done_output(i: u64) -> CellOutput {
+    CellOutput {
+        stats: Some(RecordStats {
+            accuracy: 0.25 + i as f64 / 100.0,
+            macro_f1: 0.125 + i as f64 / 200.0,
+            train_secs: 0.0,
+            infer_secs: 0.0,
+        }),
+        values: vec![(format!("aux{i}"), i as f64)],
+        lines: vec![format!("line {i}")],
+    }
+}
+
+/// A healthy journal: header + `n` started/done pairs.
+fn healthy_journal(n: u64) -> String {
+    let mut s = JournalEntry::Run { fingerprint: FINGERPRINT }.to_line();
+    s.push('\n');
+    for i in 0..n {
+        let id = cell_id(i);
+        for entry in [
+            JournalEntry::Started { cell: id.hash(), attempt: 1, id: id.clone() },
+            JournalEntry::Done { cell: id.hash(), attempt: 1, output: done_output(i) },
+        ] {
+            s.push_str(&entry.to_line());
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn parse(content: &str) -> Result<JournalState, JournalError> {
+    JournalState::parse(content, Path::new("journal.jsonl"), FINGERPRINT)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Truncation at ANY byte (the only damage a crashed single-writer
+    /// append can cause) must resume: complete `done` entries replay,
+    /// the half-written tail is discarded, nothing panics.
+    #[test]
+    fn truncation_at_any_byte_resumes(cells in 1u64..5, cut_back in 0usize..600) {
+        let full = healthy_journal(cells);
+        let cut = full.len().saturating_sub(cut_back);
+        // Truncation is the only damage a crashed single-writer append
+        // can cause, so ANY cut must resume — losing at most the
+        // half-written tail (a cut that eats the whole header resumes
+        // as a fresh, empty run).
+        let state = parse(&full[..cut]).expect("truncated journal resumes");
+        prop_assert!(state.n_done() <= cells as usize);
+        // Whatever replays is exactly what the journal recorded.
+        for i in 0..cells {
+            if let Some(out) = state.done_output(cell_id(i).hash()) {
+                prop_assert_eq!(out.values.clone(), done_output(i).values);
+            }
+        }
+    }
+
+    /// Duplicated `done` lines (e.g. an append retried by a flaky
+    /// filesystem) are harmless when identical; every cell still
+    /// replays exactly once.
+    #[test]
+    fn duplicated_done_lines_replay_once(cells in 1u64..5, dup in 0u64..5, copies in 2usize..4) {
+        let dup = dup % cells;
+        let mut content = healthy_journal(cells);
+        let id = cell_id(dup);
+        let line = JournalEntry::Done { cell: id.hash(), attempt: 1, output: done_output(dup) }
+            .to_line();
+        for _ in 1..copies {
+            content.push_str(&line);
+            content.push('\n');
+        }
+        let state = parse(&content).expect("duplicate identical done is harmless");
+        prop_assert_eq!(state.n_done(), cells as usize);
+        prop_assert!(state.done_output(id.hash()).is_some());
+    }
+
+    /// `started` without a matching `done` (the crash landed mid-cell)
+    /// must leave that cell re-runnable while still counting its burnt
+    /// attempts toward the retry budget.
+    #[test]
+    fn started_without_done_reruns_with_attempts_burnt(cells in 1u64..5, attempts in 1u32..4) {
+        let mut content = healthy_journal(cells);
+        let orphan = cell_id(99);
+        for a in 1..=attempts {
+            let entry = JournalEntry::Started { cell: orphan.hash(), attempt: a, id: orphan.clone() };
+            content.push_str(&entry.to_line());
+            content.push('\n');
+        }
+        let state = parse(&content).expect("orphan started entries resume");
+        prop_assert!(state.done_output(orphan.hash()).is_none(), "orphan cell must re-run");
+        prop_assert_eq!(state.attempts(orphan.hash()), attempts);
+        prop_assert_eq!(state.n_done(), cells as usize, "finished cells unaffected");
+    }
+
+    /// Arbitrary garbage spliced into the middle of the journal is a
+    /// clear `Corrupt` error (with the offending line number), never a
+    /// panic and never a silent partial replay.
+    #[test]
+    fn garbage_middle_line_is_a_clear_error(
+        cells in 2u64..5,
+        at_pair in 0u64..3,
+        garbage in "[^\\n\"\\\\]{1,40}",
+    ) {
+        prop_assume!(JournalEntry::from_line(&garbage).is_err()); // not accidentally valid
+        let at_pair = at_pair % (cells - 1);
+        let mut lines: Vec<String> = healthy_journal(cells).lines().map(String::from).collect();
+        // Splice after a complete started/done pair so the damage is
+        // unambiguously *not* crash truncation of the final line.
+        lines.insert((1 + 2 * (at_pair + 1)) as usize, garbage);
+        let content = lines.join("\n") + "\n";
+        match parse(&content) {
+            Err(JournalError::Corrupt { line, .. }) => {
+                prop_assert_eq!(line, 2 + 2 * (at_pair + 1) as usize, "error names the bad line");
+            }
+            other => prop_assert!(false, "expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// Every journal entry survives its own line format round-trip.
+    #[test]
+    fn entries_round_trip(i in 0u64..1000, attempt in 1u32..10) {
+        let id = cell_id(i);
+        let entries = [
+            JournalEntry::Run { fingerprint: i.wrapping_mul(0x9e37) },
+            JournalEntry::Started { cell: id.hash(), attempt, id: id.clone() },
+            JournalEntry::Done { cell: id.hash(), attempt, output: done_output(i) },
+            JournalEntry::Failed { cell: id.hash(), attempt, error: format!("panic: {i} \"q\"") },
+        ];
+        for entry in entries {
+            let line = entry.to_line();
+            let back = JournalEntry::from_line(&line).expect("round-trip parses");
+            prop_assert_eq!(back.to_line(), line);
+        }
+    }
+}
+
+/// A conflicting `done` (same cell, different payload — two divergent
+/// runs sharing one journal) must refuse to replay: picking either
+/// payload silently would corrupt the record comparison.
+#[test]
+fn conflicting_done_payloads_are_fatal() {
+    let mut content = healthy_journal(2);
+    let id = cell_id(0);
+    let conflicting = JournalEntry::Done { cell: id.hash(), attempt: 2, output: done_output(7) };
+    content.push_str(&conflicting.to_line());
+    content.push('\n');
+    match parse(&content) {
+        Err(JournalError::ConflictingDone { cell, .. }) => assert_eq!(cell, id.hash()),
+        other => panic!("expected ConflictingDone, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// Resuming under a different run fingerprint (seed/scale/budget
+/// changed) must refuse: mixing cells from two configurations into one
+/// record set would be silent nonsense.
+#[test]
+fn fingerprint_mismatch_refuses_resume() {
+    let content = healthy_journal(2);
+    let err = JournalState::parse(content.as_str(), Path::new("journal.jsonl"), FINGERPRINT ^ 1)
+        .expect_err("wrong fingerprint must refuse");
+    assert!(matches!(err, JournalError::FingerprintMismatch { .. }));
+    let msg = err.to_string();
+    assert!(msg.contains("fingerprint"), "error message names the problem: {msg}");
+}
+
+/// End-to-end through the `Journal` writer: create, append, crash-cut,
+/// resume twice (the first resume must leave a journal the second can
+/// still read — trimming the damaged tail, not fusing onto it).
+#[test]
+fn double_resume_after_crash_cut_stays_readable() {
+    let dir = std::env::temp_dir().join("debunk-journal-double-resume-test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    let journal = Journal::create(&path, FINGERPRINT).unwrap();
+    let id = cell_id(1);
+    journal.append(&JournalEntry::Started { cell: id.hash(), attempt: 1, id: id.clone() }).unwrap();
+    journal
+        .append(&JournalEntry::Done { cell: id.hash(), attempt: 1, output: done_output(1) })
+        .unwrap();
+    drop(journal);
+
+    // Crash: chop the file mid-final-line.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (journal, state) = Journal::resume(&path, FINGERPRINT).unwrap();
+    assert_eq!(state.n_done(), 0, "the cut done entry must not replay");
+    assert_eq!(state.attempts(id.hash()), 1, "but its started attempt is burnt");
+    journal
+        .append(&JournalEntry::Done { cell: id.hash(), attempt: 2, output: done_output(1) })
+        .unwrap();
+    drop(journal);
+
+    let (_journal, state) = Journal::resume(&path, FINGERPRINT).unwrap();
+    assert_eq!(state.n_done(), 1, "second resume replays the re-run cell");
+    std::fs::remove_dir_all(&dir).ok();
+}
