@@ -3,18 +3,23 @@
 //! performance trajectory of the reproduction.
 //!
 //! ```text
-//! bench_json [--quick] [--out PATH]
+//! bench_json [--quick] [--pipeline] [--out PATH]
 //!
 //! options:
-//!   --quick     fewer repetitions, skip the registry experiment
+//!   --quick     fewer repetitions, skip the registry experiments
 //!               (CI smoke mode — seconds, not minutes)
-//!   --out PATH  output file (default "BENCH_kernels.json"; run from
-//!               the workspace root so the file lands at the repo root)
+//!   --pipeline  benchmark the data-preparation pipeline stages and the
+//!               cold-vs-warm artifact cache instead of the kernels;
+//!               writes "BENCH_pipeline.json"
+//!   --out PATH  output file (default "BENCH_kernels.json" or
+//!               "BENCH_pipeline.json"; run from the workspace root so
+//!               the file lands at the repo root)
 //! ```
 //!
-//! The file records the current numbers next to the frozen pre-PR2
-//! baseline (the naive scalar kernels), so the speedup column shows
-//! how far the compute layer has moved. Input data is synthesised with
+//! The file records the current numbers next to a frozen baseline —
+//! pre-PR2 (naive scalar kernels) for the kernel group, pre-PR4 (no
+//! artifact cache) for the pipeline group — so the speedup column shows
+//! how far each layer has moved. Input data is synthesised with
 //! a local xorshift generator — no `rand` — so the measured shapes are
 //! identical on every machine and every run.
 
@@ -36,6 +41,21 @@ const BASELINE_MS: &[(&str, f64)] = &[
     ("encoder_train_step_b64", 5.592),
     ("tree_fit_4k", 128.195),
     ("gbdt_fit_1200", 242.651),
+];
+
+/// Frozen pre-PR4 numbers (no artifact cache; same container). Stage
+/// medians are TLS-120 at scale 0.4, seed 42. `registry_table8_warm`'s
+/// baseline equals the cold run because before the artifact cache a
+/// second run repeated every build and every cell from scratch.
+const BASELINE_PRE_PR4_MS: &[(&str, f64)] = &[
+    ("generate", 7.772),
+    ("clean", 1.535),
+    ("parse", 1.430),
+    ("tokenize", 3.802),
+    ("featurize", 0.370),
+    ("split", 0.357),
+    ("registry_table8_cold", 1903.31),
+    ("registry_table8_warm", 1903.31),
 ];
 
 /// Deterministic xorshift64* stream — benchmark data without `rand`.
@@ -100,28 +120,162 @@ fn class_data(n: usize, d: usize, k: usize, rng: &mut XorShift) -> (Vec<Vec<f32>
     (x, y)
 }
 
+/// Benchmark every data-preparation stage plus the registry experiment
+/// cold (fresh context per repetition) and warm (shared context, so the
+/// artifact cache replays dataset builds and cell outputs).
+fn pipeline_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
+    use dataset::clean::clean_trace;
+    use dataset::record::Prepared;
+    use dataset::split::per_flow_split;
+    use dataset::Task;
+    use shallow::features::{extract_features, FeatureConfig};
+    use traffic_synth::DatasetSpec;
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    let spec = DatasetSpec::new(Task::Tls120.dataset(), 42).scaled(0.4);
+    results.push(("generate", bench_ms(reps, || spec.generate())));
+    let raw = spec.generate();
+    results.push((
+        "clean",
+        bench_ms(reps, || {
+            let mut t = raw.clone();
+            clean_trace(&mut t);
+            t
+        }),
+    ));
+    let mut cleaned = raw.clone();
+    clean_trace(&mut cleaned);
+    results.push(("parse", bench_ms(reps, || Prepared::from_trace(&cleaned))));
+    let prep = Prepared::from_trace(&cleaned);
+    let enc = EncoderModel::new(ModelKind::EtBert, 1);
+    results.push((
+        "tokenize",
+        bench_ms(reps, || {
+            prep.records.iter().map(|r| enc.tokenize_packet_repeated(r)).collect::<Vec<_>>()
+        }),
+    ));
+    results.push((
+        "featurize",
+        bench_ms(reps, || {
+            prep.records
+                .iter()
+                .map(|r| extract_features(r, FeatureConfig::default()))
+                .collect::<Vec<_>>()
+        }),
+    ));
+    results.push(("split", bench_ms(reps, || per_flow_split(&prep, 0.875, 1000, 42))));
+    eprintln!("  pipeline stages done");
+
+    if !quick {
+        let opts = RunOptions { jobs: 1, out_dir: None, ..Default::default() };
+        results.push((
+            "registry_table8_cold",
+            bench_ms(3, || {
+                let ctx = RunContext::from_preset(Preset::Fast, 42, Some(0.4));
+                default_registry().run("table8", &ctx, &opts).expect("table8 is registered");
+            }),
+        ));
+        eprintln!("  registry cold done");
+        // One shared context: bench_ms's warm-up pass primes the
+        // artifact cache, so the timed repetitions measure a fully
+        // warm (in-memory) second run.
+        let ctx = RunContext::from_preset(Preset::Fast, 42, Some(0.4));
+        results.push((
+            "registry_table8_warm",
+            bench_ms(3, || {
+                default_registry().run("table8", &ctx, &opts).expect("table8 is registered");
+            }),
+        ));
+        eprintln!("  registry warm done");
+    }
+    results
+}
+
+/// Render and write one benchmark group as hand-rolled JSON (no serde
+/// dependency in the hot path).
+fn emit(
+    schema: &str,
+    baseline_field: &str,
+    quick: bool,
+    results: &[(&str, f64)],
+    baseline: &[(&str, f64)],
+    out_path: &str,
+) {
+    let mut json = format!("{{\n  \"schema\": \"{schema}\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"results_ms\": {{\n"));
+    for (i, (name, ms)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+    }
+    json.push_str(&format!("  }},\n  \"{baseline_field}\": {{\n"));
+    for (i, (name, ms)) in baseline.iter().enumerate() {
+        let sep = if i + 1 < baseline.len() { "," } else { "" };
+        if ms.is_nan() {
+            json.push_str(&format!("    \"{name}\": null{sep}\n"));
+        } else {
+            json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+        }
+    }
+    json.push_str("  },\n  \"speedup_vs_baseline\": {\n");
+    let speedups: Vec<(&str, f64)> = baseline
+        .iter()
+        .filter_map(|(name, base)| {
+            let now = results.iter().find(|(n, _)| n == name)?.1;
+            (!base.is_nan() && now > 0.0).then_some((*name, base / now))
+        })
+        .collect();
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {s:.2}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("[saved] {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out_path = String::from("BENCH_kernels.json");
+    let mut pipeline = false;
+    let mut out_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--pipeline" => pipeline = true,
             "--out" => {
-                out_path = it.next().cloned().unwrap_or_else(|| {
+                out_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("error: --out requires a value");
                     std::process::exit(2);
-                });
+                }));
             }
             other => {
                 eprintln!("error: unknown flag '{other}'");
-                eprintln!("usage: bench_json [--quick] [--out PATH]");
+                eprintln!("usage: bench_json [--quick] [--pipeline] [--out PATH]");
                 std::process::exit(2);
             }
         }
     }
     let reps = if quick { 3 } else { 9 };
+    if pipeline {
+        let results = pipeline_group(quick, reps);
+        let out = out_path.unwrap_or_else(|| String::from("BENCH_pipeline.json"));
+        emit(
+            "bench_pipeline/v1",
+            "baseline_pre_pr4_ms",
+            quick,
+            &results,
+            BASELINE_PRE_PR4_MS,
+            &out,
+        );
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_kernels.json"));
     let mut rng = XorShift(0x5eed_cafe);
     let mut results: Vec<(&str, f64)> = Vec::new();
 
@@ -179,40 +333,5 @@ fn main() {
         eprintln!("  registry experiment done");
     }
 
-    // --- hand-rolled JSON (no serde dependency in the hot path) ----------
-    let mut json = String::from("{\n  \"schema\": \"bench_kernels/v1\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n  \"results_ms\": {{\n"));
-    for (i, (name, ms)) in results.iter().enumerate() {
-        let sep = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
-    }
-    json.push_str("  },\n  \"baseline_pre_pr2_ms\": {\n");
-    for (i, (name, ms)) in BASELINE_MS.iter().enumerate() {
-        let sep = if i + 1 < BASELINE_MS.len() { "," } else { "" };
-        if ms.is_nan() {
-            json.push_str(&format!("    \"{name}\": null{sep}\n"));
-        } else {
-            json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
-        }
-    }
-    json.push_str("  },\n  \"speedup_vs_baseline\": {\n");
-    let speedups: Vec<(&str, f64)> = BASELINE_MS
-        .iter()
-        .filter_map(|(name, base)| {
-            let now = results.iter().find(|(n, _)| n == name)?.1;
-            (!base.is_nan() && now > 0.0).then_some((*name, base / now))
-        })
-        .collect();
-    for (i, (name, s)) in speedups.iter().enumerate() {
-        let sep = if i + 1 < speedups.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {s:.2}{sep}\n"));
-    }
-    json.push_str("  }\n}\n");
-
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
-        eprintln!("error: could not write {out_path}: {e}");
-        std::process::exit(1);
-    });
-    println!("{json}");
-    eprintln!("[saved] {out_path}");
+    emit("bench_kernels/v1", "baseline_pre_pr2_ms", quick, &results, BASELINE_MS, &out_path);
 }

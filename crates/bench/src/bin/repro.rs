@@ -15,7 +15,10 @@
 //!                    cell (default: auto-split from --jobs; results
 //!                    are bit-identical at any setting)
 //!   --out DIR        result-record directory (default "results")
-//!   --cache-dir DIR  persist pre-trained encoder checkpoints in DIR
+//!   --cache-dir DIR  persist pre-trained encoder checkpoints AND
+//!                    content-addressed pipeline/cell artifacts in DIR;
+//!                    a warm second run replays cached builds and
+//!                    produces byte-identical records
 //!   --resume         replay cells already `done` in DIR's journal;
 //!                    only missing/failed cells execute (byte-identical
 //!                    records to an uninterrupted run)
@@ -214,6 +217,10 @@ fn main() {
     eprintln!(
         "cells: {} total, {} done ({} replayed), {} failed",
         summary.cells_total, summary.cells_done, summary.cells_resumed, summary.cells_failed,
+    );
+    eprintln!(
+        "artifacts: {} built, {} memory hits, {} disk hits",
+        summary.artifacts.builds, summary.artifacts.mem_hits, summary.artifacts.disk_hits,
     );
     for cell in &summary.failed_cells {
         eprintln!("  failed: {cell}");

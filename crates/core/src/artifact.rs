@@ -1,0 +1,450 @@
+//! Content-addressed artifact cache for the data-preparation chain.
+//!
+//! Every expensive prepare-stage product — the generated/cleaned/parsed
+//! dataset, whole-dataset token matrices, shallow feature matrices,
+//! split index sets — is keyed by a *content address*: a stable
+//! fingerprint of everything that determines its bytes (dataset kind,
+//! seed, scale, tokenizer configuration, feature configuration, split
+//! policy). Two tiers sit behind one lookup:
+//!
+//! - an in-memory tier of `Arc`s with *single-flight* builds: concurrent
+//!   misses for the same key block on one build instead of duplicating
+//!   it (the same `Mutex<HashMap<_, Arc<OnceLock<_>>>>` pattern as
+//!   [`crate::engine::checkpoint::EncoderStore`]);
+//! - an optional on-disk tier under `--cache-dir` (shared with encoder
+//!   checkpoints), serving byte-identical artifacts across processes.
+//!
+//! Invalidation is *key change, never mutation*: an artifact file is
+//! written once under its fingerprint and never rewritten — a different
+//! configuration is a different key, so stale data cannot be served.
+//! A corrupt, truncated or mismatched file is ignored with a warning and
+//! the artifact is rebuilt; a wrong record can never be returned because
+//! the envelope carries the full canonical key and a checksum over the
+//! payload.
+
+use encoders::checkpoint::stable_hash64;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A cacheable prepare-stage product: a stage name plus a byte codec.
+/// `from_bytes(to_bytes(x))` must reproduce `x` exactly — loaded
+/// artifacts substitute for built ones byte-for-byte downstream.
+pub trait Artifact: Send + Sync + Sized + 'static {
+    /// Stage name, part of the content address (e.g. `"prepared"`).
+    const STAGE: &'static str;
+    /// Serialise the payload for the disk tier.
+    fn to_bytes(&self) -> Vec<u8>;
+    /// Decode a payload; any inconsistency is an error, never a guess.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, String>;
+}
+
+/// Counters describing how the cache served requests (mirrored into
+/// `run-manifest.json` so warm runs are auditable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactStats {
+    /// Requests served from the in-memory `Arc` tier.
+    pub mem_hits: usize,
+    /// Requests served by decoding an on-disk artifact.
+    pub disk_hits: usize,
+    /// Requests that ran the builder (cold misses).
+    pub builds: usize,
+}
+
+/// One memory-tier slot: cloned out of the map lock, initialised (at
+/// most once) outside it.
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+/// Two-tier content-addressed cache with single-flight builds. The
+/// default is a memory-only cache (no `--cache-dir`).
+#[derive(Default)]
+pub struct ArtifactCache {
+    dir: Option<PathBuf>,
+    slots: Mutex<HashMap<u64, Slot>>,
+    mem_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
+    builds: AtomicUsize,
+}
+
+impl ArtifactCache {
+    /// New cache; `dir` enables the on-disk tier.
+    pub fn new(dir: Option<PathBuf>) -> ArtifactCache {
+        ArtifactCache {
+            dir,
+            slots: Mutex::new(HashMap::new()),
+            mem_hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured disk-tier directory, if any.
+    pub fn dir(&self) -> Option<&PathBuf> {
+        self.dir.as_ref()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> ArtifactStats {
+        ArtifactStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Get the artifact addressed by `parts` (joined with `A::STAGE`
+    /// into the canonical key), building it with `build` at most once
+    /// per process. Concurrent callers for the same key block until the
+    /// first build finishes; different keys proceed in parallel.
+    pub fn get_or_build<A: Artifact>(&self, parts: &[&str], build: impl FnOnce() -> A) -> Arc<A> {
+        let key = canonical_key(A::STAGE, parts);
+        let fingerprint = stable_hash64(&[&key]);
+        let slot = self.slots.lock().entry(fingerprint).or_default().clone();
+        let mut invoked = false;
+        let any = slot
+            .get_or_init(|| {
+                invoked = true;
+                Arc::new(self.load_or_build(&key, fingerprint, build)) as Arc<dyn Any + Send + Sync>
+            })
+            .clone();
+        if !invoked {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        // The fingerprint covers the canonical key, which starts with the
+        // stage, and each stage has exactly one payload type — so a
+        // downcast failure is only reachable through a 64-bit collision
+        // between different keys.
+        any.downcast::<A>().expect("artifact stage/type mismatch")
+    }
+
+    /// Look up the artifact addressed by `parts` without building —
+    /// memory tier first, then disk (a disk hit is promoted into the
+    /// memory tier). Used by stages whose build path cannot be a plain
+    /// closure (cell execution owns journaling and retries).
+    pub fn lookup<A: Artifact>(&self, parts: &[&str]) -> Option<Arc<A>> {
+        let key = canonical_key(A::STAGE, parts);
+        let fingerprint = stable_hash64(&[&key]);
+        let slot = self.slots.lock().entry(fingerprint).or_default().clone();
+        if let Some(any) = slot.get() {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(any.clone().downcast::<A>().expect("artifact stage/type mismatch"));
+        }
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(file_name(A::STAGE, fingerprint));
+        if !path.exists() {
+            return None;
+        }
+        match std::fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| decode_envelope::<A>(&bytes, &key))
+        {
+            Ok(value) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let any =
+                    slot.get_or_init(|| Arc::new(value) as Arc<dyn Any + Send + Sync>).clone();
+                Some(any.downcast::<A>().expect("artifact stage/type mismatch"))
+            }
+            Err(e) => {
+                eprintln!("  [artifact] ignoring {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly built artifact under `parts`, populating both
+    /// tiers. Counts as a build. Returns the cached `Arc` (an earlier
+    /// racing insert wins, preserving single-flight sharing).
+    pub fn store<A: Artifact>(&self, parts: &[&str], value: A) -> Arc<A> {
+        let key = canonical_key(A::STAGE, parts);
+        let fingerprint = stable_hash64(&[&key]);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slots.lock().entry(fingerprint).or_default().clone();
+        let any = slot.get_or_init(|| Arc::new(value) as Arc<dyn Any + Send + Sync>).clone();
+        let arc = any.downcast::<A>().expect("artifact stage/type mismatch");
+        self.save_to_disk(&key, fingerprint, arc.as_ref());
+        arc
+    }
+
+    fn save_to_disk<A: Artifact>(&self, key: &str, fingerprint: u64, value: &A) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join(file_name(A::STAGE, fingerprint));
+        // Temp sibling + rename, like checkpoints and the manifest: a
+        // crash mid-save never leaves a torn file at the final path, and
+        // the loader would reject one anyway (checksum).
+        let tmp = path.with_extension("bin.tmp");
+        let saved = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&tmp, encode_envelope(value, key)))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        match saved {
+            Ok(()) => eprintln!("  [artifact] saved {}", path.display()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                eprintln!("  [artifact] could not save {}: {e}", path.display());
+            }
+        }
+    }
+
+    fn load_or_build<A: Artifact>(
+        &self,
+        key: &str,
+        fingerprint: u64,
+        build: impl FnOnce() -> A,
+    ) -> A {
+        if let Some(dir) = &self.dir {
+            let path = dir.join(file_name(A::STAGE, fingerprint));
+            if path.exists() {
+                match std::fs::read(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|bytes| decode_envelope::<A>(&bytes, key))
+                {
+                    Ok(value) => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("  [artifact] loaded {}", path.display());
+                        return value;
+                    }
+                    Err(e) => eprintln!("  [artifact] ignoring {}: {e}", path.display()),
+                }
+            }
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        let value = build();
+        self.save_to_disk(key, fingerprint, &value);
+        value
+    }
+}
+
+/// Canonical key string: the stage plus every fingerprint part,
+/// `|`-joined with escaping-free parts (callers pass hex/enum tags).
+fn canonical_key(stage: &str, parts: &[&str]) -> String {
+    let mut key = String::from(stage);
+    for p in parts {
+        key.push('|');
+        key.push_str(p);
+    }
+    key
+}
+
+fn file_name(stage: &str, fingerprint: u64) -> String {
+    format!("art-{stage}-{fingerprint:016x}.bin")
+}
+
+const MAGIC: &[u8; 4] = b"DBAF";
+const VERSION: u32 = 1;
+
+/// Envelope layout (all integers little-endian):
+/// `DBAF` · version u32 · key (u32 len + bytes) · payload (u64 len +
+/// bytes) · FNV-64 checksum of everything before the checksum field.
+fn encode_envelope<A: Artifact>(value: &A, key: &str) -> Vec<u8> {
+    let payload = value.to_bytes();
+    let mut out = Vec::with_capacity(payload.len() + key.len() + 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn decode_envelope<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
+    if bytes.len() < 8 {
+        return Err("truncated: shorter than the checksum".to_string());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv64(body) != stored {
+        return Err("checksum mismatch".to_string());
+    }
+    let mut r = Reader { bytes: body, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(format!("unsupported version {version}"));
+    }
+    let key_len = r.u32()? as usize;
+    let stored_key = r.take(key_len)?;
+    if stored_key != key.as_bytes() {
+        return Err(format!(
+            "key mismatch: file is '{}', wanted '{key}'",
+            String::from_utf8_lossy(stored_key)
+        ));
+    }
+    let payload_len = r.u64()? as usize;
+    let payload = r.take(payload_len)?;
+    if r.pos != body.len() {
+        return Err("trailing bytes after payload".to_string());
+    }
+    A::from_bytes(payload)
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| format!("truncated at offset {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[derive(Debug)]
+    struct Blob(Vec<u8>);
+
+    impl Artifact for Blob {
+        const STAGE: &'static str = "test-blob";
+        fn to_bytes(&self) -> Vec<u8> {
+            self.0.clone()
+        }
+        fn from_bytes(bytes: &[u8]) -> Result<Blob, String> {
+            Ok(Blob(bytes.to_vec()))
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn memory_tier_is_single_flight_under_concurrency() {
+        let cache = ArtifactCache::new(None);
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_build::<Blob>(&["k"], || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: every thread reaches the
+                        // slot before the first build finishes.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Blob(vec![7])
+                    });
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "concurrent misses share one build");
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.mem_hits, 7);
+    }
+
+    #[test]
+    fn same_key_shares_one_arc_and_different_keys_differ() {
+        let cache = ArtifactCache::new(None);
+        let a = cache.get_or_build::<Blob>(&["x", "1"], || Blob(vec![1]));
+        let b = cache.get_or_build::<Blob>(&["x", "1"], || Blob(vec![2]));
+        assert!(Arc::ptr_eq(&a, &b), "same key, same Arc");
+        assert_eq!(b.0, vec![1], "second builder never ran");
+        let c = cache.get_or_build::<Blob>(&["x", "2"], || Blob(vec![3]));
+        assert_eq!(c.0, vec![3], "different key builds");
+    }
+
+    #[test]
+    fn disk_tier_round_trips_across_cache_instances() {
+        let dir = temp_dir("debunk-artifact-roundtrip");
+        let first = ArtifactCache::new(Some(dir.clone()));
+        first.get_or_build::<Blob>(&["k"], || Blob(vec![1, 2, 3]));
+        assert_eq!(first.stats().builds, 1);
+
+        let second = ArtifactCache::new(Some(dir.clone()));
+        let loaded =
+            second.get_or_build::<Blob>(&["k"], || panic!("must load from disk, not rebuild"));
+        assert_eq!(loaded.0, vec![1, 2, 3]);
+        assert_eq!(second.stats(), ArtifactStats { mem_hits: 0, disk_hits: 1, builds: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_rebuild_with_a_warning_never_wrong_bytes() {
+        let dir = temp_dir("debunk-artifact-corrupt");
+        ArtifactCache::new(Some(dir.clone())).get_or_build::<Blob>(&["k"], || Blob(vec![9; 64]));
+        let path = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let good = std::fs::read(&path).unwrap();
+
+        // Every single-byte corruption and every truncation must be
+        // detected and fall back to the builder, not decode wrongly.
+        for variant in 0..3 {
+            let mut bad = good.clone();
+            match variant {
+                0 => bad[good.len() / 2] ^= 0xff,  // flip payload byte
+                1 => bad.truncate(good.len() / 2), // truncate
+                _ => bad.clear(),                  // empty file
+            }
+            std::fs::write(&path, &bad).unwrap();
+            let cache = ArtifactCache::new(Some(dir.clone()));
+            let rebuilt = cache.get_or_build::<Blob>(&["k"], || Blob(vec![9; 64]));
+            assert_eq!(rebuilt.0, vec![9; 64], "variant {variant} must rebuild");
+            assert_eq!(cache.stats().builds, 1, "variant {variant} fell back to the builder");
+        }
+
+        // A file stored under a colliding name but a different canonical
+        // key is rejected by the key check.
+        std::fs::write(&path, &good).unwrap();
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        cache.get_or_build::<Blob>(&["k"], || panic!("intact file must load"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_store_round_trips_both_tiers() {
+        let dir = temp_dir("debunk-artifact-lookup");
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        assert!(cache.lookup::<Blob>(&["k"]).is_none(), "cold lookup misses");
+        let stored = cache.store(&["k"], Blob(vec![4, 2]));
+        let mem = cache.lookup::<Blob>(&["k"]).expect("memory tier hit");
+        assert!(Arc::ptr_eq(&stored, &mem));
+        assert_eq!(cache.stats(), ArtifactStats { mem_hits: 1, disk_hits: 0, builds: 1 });
+
+        let second = ArtifactCache::new(Some(dir.clone()));
+        let disk = second.lookup::<Blob>(&["k"]).expect("disk tier hit");
+        assert_eq!(disk.0, vec![4, 2]);
+        assert_eq!(second.stats(), ArtifactStats { mem_hits: 0, disk_hits: 1, builds: 0 });
+        // A promoted disk hit is served from memory afterwards.
+        second.lookup::<Blob>(&["k"]).unwrap();
+        assert_eq!(second.stats().mem_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_key() {
+        let blob = Blob(vec![5]);
+        let bytes = encode_envelope(&blob, "test-blob|a");
+        assert!(decode_envelope::<Blob>(&bytes, "test-blob|b").unwrap_err().contains("key"));
+        assert_eq!(decode_envelope::<Blob>(&bytes, "test-blob|a").unwrap().0, vec![5]);
+    }
+}

@@ -1,5 +1,6 @@
 //! Shared run state handed to every experiment cell.
 
+use crate::artifact::ArtifactCache;
 use crate::engine::checkpoint::EncoderStore;
 use crate::experiment::{build_encoder, CellConfig};
 use crate::pipeline::{PreparedTask, TaskCache};
@@ -173,6 +174,12 @@ impl RunContext {
         }
     }
 
+    /// The content-addressed artifact cache backing dataset preparation
+    /// (and, through the runner, deterministic cell-output replay).
+    pub fn artifacts(&self) -> &std::sync::Arc<ArtifactCache> {
+        self.tasks.artifacts()
+    }
+
     /// New context from a [`Preset`]. `scale` overrides the preset's
     /// default dataset scale when given.
     pub fn from_preset(preset: Preset, seed: u64, scale: Option<f64>) -> RunContext {
@@ -180,9 +187,12 @@ impl RunContext {
         RunContext::new(seed, scale.unwrap_or_else(|| preset.default_scale()), budget, cfg)
     }
 
-    /// Enable on-disk encoder checkpoints under `dir` (`--cache-dir`).
+    /// Enable the on-disk cache tier under `dir` (`--cache-dir`):
+    /// encoder checkpoints *and* pipeline/cell artifacts share the one
+    /// directory, so a warm second run loads both.
     pub fn with_cache_dir(mut self, dir: PathBuf) -> RunContext {
-        self.encoders = EncoderStore::new(Some(dir));
+        self.encoders = EncoderStore::new(Some(dir.clone()));
+        self.tasks = TaskCache::with_artifacts(std::sync::Arc::new(ArtifactCache::new(Some(dir))));
         self
     }
 

@@ -485,6 +485,26 @@ fn output_from_json(j: &Json) -> Result<CellOutput, String> {
     Ok(CellOutput { stats, values, lines })
 }
 
+/// Successful cell outputs are themselves content-addressed artifacts:
+/// keyed by (run fingerprint, cell identity), they let a warm
+/// `--cache-dir` run replay finished cells across *processes*, exactly
+/// like `--resume` replays them from the journal within one output
+/// directory. The payload reuses the journal's deterministic JSON codec
+/// (timings zeroed before store), so a cached cell is byte-identical to
+/// an executed one.
+impl crate::artifact::Artifact for CellOutput {
+    const STAGE: &'static str = "cell";
+
+    fn to_bytes(&self) -> Vec<u8> {
+        output_to_json(self).into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<CellOutput, String> {
+        let s = std::str::from_utf8(bytes).map_err(|e| format!("not utf-8: {e}"))?;
+        output_from_json(&parse_json(s)?)
+    }
+}
+
 fn field_f64(j: &Json, key: &str) -> Result<f64, String> {
     match j.get(key) {
         Some(Json::Num(n)) => Ok(*n),
@@ -859,6 +879,12 @@ pub struct RunManifest {
     pub failed_cells: Vec<String>,
     /// Result-record or manifest write failures (empty on a clean run).
     pub record_write_errors: Vec<String>,
+    /// Artifact-cache requests served from the in-memory tier.
+    pub artifact_mem_hits: usize,
+    /// Artifact-cache requests served from the `--cache-dir` disk tier.
+    pub artifact_disk_hits: usize,
+    /// Artifact-cache cold misses that ran a builder.
+    pub artifact_builds: usize,
     /// Hash of the journal contents at manifest-write time.
     pub journal_hash: u64,
 }
@@ -882,6 +908,9 @@ impl RunManifest {
         };
         s.push_str(&format!("  \"failed_cells\": {},\n", list(&self.failed_cells)));
         s.push_str(&format!("  \"record_write_errors\": {},\n", list(&self.record_write_errors)));
+        s.push_str(&format!("  \"artifact_mem_hits\": {},\n", self.artifact_mem_hits));
+        s.push_str(&format!("  \"artifact_disk_hits\": {},\n", self.artifact_disk_hits));
+        s.push_str(&format!("  \"artifact_builds\": {},\n", self.artifact_builds));
         s.push_str(&format!("  \"journal_hash\": \"{:016x}\"\n", self.journal_hash));
         s.push('}');
         s
@@ -913,6 +942,9 @@ impl RunManifest {
             cells_resumed: count("cells_resumed")?,
             failed_cells: strings("failed_cells")?,
             record_write_errors: strings("record_write_errors")?,
+            artifact_mem_hits: count("artifact_mem_hits")?,
+            artifact_disk_hits: count("artifact_disk_hits")?,
+            artifact_builds: count("artifact_builds")?,
             journal_hash: field_hex64(&j, "journal_hash")?,
         })
     }
@@ -1123,6 +1155,17 @@ mod tests {
     }
 
     #[test]
+    fn cell_output_artifact_codec_round_trips() {
+        use crate::artifact::Artifact;
+        let out = sample_output();
+        let bytes = Artifact::to_bytes(&out);
+        let back = <CellOutput as Artifact>::from_bytes(&bytes).unwrap();
+        assert_eq!(output_to_json(&back), output_to_json(&out));
+        assert!(<CellOutput as Artifact>::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(<CellOutput as Artifact>::from_bytes(b"{\"stats\":null}").is_err());
+    }
+
+    #[test]
     fn manifest_round_trips_and_writes_atomically() {
         let dir = std::env::temp_dir().join("debunk-manifest-test");
         std::fs::remove_dir_all(&dir).ok();
@@ -1134,6 +1177,9 @@ mod tests {
             cells_resumed: 7,
             failed_cells: vec!["table3/TLS-120/ET-BERT/per-flow".to_string()],
             record_write_errors: vec!["results/table3.json: permission denied".to_string()],
+            artifact_mem_hits: 31,
+            artifact_disk_hits: 4,
+            artifact_builds: 9,
             journal_hash: 0xfeed_f00d_dead_beef,
         };
         let back = RunManifest::from_json(&manifest.to_json()).expect("parse own json");

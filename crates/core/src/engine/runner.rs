@@ -18,6 +18,7 @@
 //! resumed counts and write errors; a failed record write is an error
 //! in the manifest and the exit code, never just a warning.
 
+use crate::artifact::{ArtifactCache, ArtifactStats};
 use crate::engine::context::RunContext;
 use crate::engine::journal::{
     atomic_write, CellId, Journal, JournalEntry, JournalError, JournalState, RunManifest,
@@ -30,7 +31,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the runner executes an experiment.
@@ -118,6 +119,9 @@ pub struct RunSummary {
     pub failed_cells: Vec<String>,
     /// Record/manifest write failures.
     pub record_write_errors: Vec<String>,
+    /// How the artifact cache served this session (datasets, token and
+    /// feature matrices, splits, cell outputs).
+    pub artifacts: ArtifactStats,
     /// Where the manifest landed, when one was written.
     pub manifest_path: Option<PathBuf>,
 }
@@ -149,6 +153,11 @@ pub struct RunSession {
     prior: JournalState,
     out_dir: Option<PathBuf>,
     tally: Mutex<Tally>,
+    /// The context's artifact cache, captured so `finish` can stamp its
+    /// counters into the manifest, and the hex run fingerprint prefixing
+    /// every cell-output artifact key.
+    artifacts: Arc<ArtifactCache>,
+    run_fp_hex: String,
 }
 
 /// Open a session: create (or, with `resume`, replay) the journal under
@@ -159,6 +168,8 @@ pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, 
         prior: JournalState::default(),
         out_dir: opts.out_dir.clone(),
         tally: Mutex::new(Tally::default()),
+        artifacts: ctx.artifacts().clone(),
+        run_fp_hex: format!("{:016x}", ctx.run_fingerprint()),
     };
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(dir.clone(), e))?;
@@ -230,6 +241,7 @@ impl RunSession {
     /// Finish the session: write the manifest atomically and return the
     /// summary. Callers decide the exit code from [`RunSummary::ok`].
     pub fn finish(self) -> RunSummary {
+        let stats = self.artifacts.stats();
         let tally = self.tally.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut summary = RunSummary {
             cells_total: tally.total,
@@ -238,6 +250,7 @@ impl RunSession {
             cells_resumed: tally.resumed,
             failed_cells: tally.failed_cells,
             record_write_errors: tally.record_write_errors,
+            artifacts: stats,
             manifest_path: None,
         };
         if let Some(dir) = &self.out_dir {
@@ -250,6 +263,9 @@ impl RunSession {
                 cells_resumed: summary.cells_resumed,
                 failed_cells: summary.failed_cells.clone(),
                 record_write_errors: summary.record_write_errors.clone(),
+                artifact_mem_hits: stats.mem_hits,
+                artifact_disk_hits: stats.disk_hits,
+                artifact_builds: stats.builds,
                 journal_hash,
             };
             match manifest.write_atomic(dir) {
@@ -356,6 +372,26 @@ impl RunSession {
             return out.clone();
         }
 
+        // Content-addressed replay: a finished output keyed by the run
+        // fingerprint + cell identity is byte-identical to executing the
+        // cell (same contract journal replay relies on), so a warm
+        // `--cache-dir` serves it across processes and a repeated run in
+        // one process serves it from memory.
+        let seed_hex = format!("{:016x}", cfg.seed);
+        let cell_parts =
+            [self.run_fp_hex.as_str(), exp_id, &spec.task, &spec.model, &spec.setting, &seed_hex];
+        if let Some(out) = self.artifacts.lookup::<CellOutput>(&cell_parts) {
+            self.tally().done += 1;
+            eprintln!(
+                "  {exp_id} [{}/{n}] {} {} {}: replayed from artifact cache",
+                i + 1,
+                spec.model,
+                spec.task,
+                spec.setting,
+            );
+            return (*out).clone();
+        }
+
         let prior_attempts = self.prior.attempts(cell);
         let max_attempts = opts.max_attempts.max(1);
         let mut last_error = String::new();
@@ -383,11 +419,15 @@ impl RunSession {
                             break;
                         }
                     }
+                    let zeroed = zero_timings(&out);
                     self.append_journal(&JournalEntry::Done {
                         cell,
                         attempt,
-                        output: zero_timings(&out),
+                        output: zeroed.clone(),
                     });
+                    // Only successful outputs are cached — a failure must
+                    // re-execute next run, never replay.
+                    self.artifacts.store(&cell_parts, zeroed);
                     self.tally().done += 1;
                     match &out.stats {
                         Some(s) => eprintln!(

@@ -9,11 +9,11 @@ use crate::engine::registry::{CellOutput, CellSpec, Experiment, RecordStats, Reg
 use crate::experiment::{embeddings_for_purity, run_cell, CellConfig, FlowIdAblation, SplitPolicy};
 use crate::flow_experiment::{run_flow_cell, run_flow_cell_majority_vote};
 use crate::metrics::{accuracy, macro_f1};
-use crate::pipeline::PreparedTask;
+use crate::pipeline::{PreparedTask, TokenVariant};
 use crate::report::{bar_chart, TableBuilder};
 use crate::shallow_baselines::{run_shallow, ShallowModel};
 use dataset::record::PacketRecord;
-use dataset::split::{balanced_undersample, per_flow_split, per_packet_split, subsample};
+use dataset::split::{balanced_undersample, subsample};
 use dataset::transform::InputAblation;
 use dataset::Task;
 use encoders::model::{EncoderModel, ModelKind};
@@ -202,8 +202,12 @@ impl Experiment for Table2 {
             .map(|task| {
                 CellSpec::silent(task.name(), "dataset", "stats", move |ctx, cfg| {
                     let prep = ctx.prep(task);
-                    let split =
-                        per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                    let split = prep.split(
+                        SplitPolicy::PerFlow,
+                        cfg.train_frac,
+                        cfg.max_flow_packets,
+                        cfg.seed,
+                    );
                     let label = |r: &PacketRecord| task.label_of(&prep.data, r);
                     let bal = balanced_undersample(&prep.data, &split.train, &label, cfg.seed);
                     CellOutput::values(vec![
@@ -767,7 +771,12 @@ impl Experiment for Fig4 {
                 let prep = ctx.prep(Task::Tls120);
                 let mut enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::EtBert));
                 let n = cfg.max_test.min(1200);
-                let split = per_packet_split(&prep.data, cfg.train_frac, cfg.seed);
+                let split = prep.split(
+                    SplitPolicy::PerPacket,
+                    cfg.train_frac,
+                    cfg.max_flow_packets,
+                    cfg.seed,
+                );
                 let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
                 let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
                 let train = subsample(&train, cfg.max_train, cfg.seed);
@@ -1027,14 +1036,19 @@ impl Experiment for RepeatVsPad {
             CellSpec::silent("VPN-app", "YaTC", "pad", |ctx, cfg| {
                 let prep = ctx.prep(Task::VpnApp);
                 let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::YaTc));
-                let split =
-                    per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                let split = prep.split(
+                    SplitPolicy::PerFlow,
+                    cfg.train_frac,
+                    cfg.max_flow_packets,
+                    cfg.seed,
+                );
                 let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
                 let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
                 let train = subsample(&train, cfg.max_train, cfg.seed);
                 let test = subsample(&split.test, cfg.max_test, cfg.seed);
+                let padded = prep.tokens(&enc, TokenVariant::Padded);
                 let tok = |idx: &[usize]| -> Vec<Vec<u32>> {
-                    idx.iter().map(|&i| enc.tokenize_packet_padded(&prep.data.records[i])).collect()
+                    idx.iter().map(|&i| padded[i].clone()).collect()
                 };
                 let x_train = enc.encode_tokens(&tok(&train));
                 let y_train: Vec<u16> =
@@ -1097,8 +1111,12 @@ impl Experiment for BalanceAblation {
             CellSpec::silent("TLS-120", "Pcap-Encoder", "natural", |ctx, cfg| {
                 let prep = ctx.prep(Task::Tls120);
                 let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
-                let split =
-                    per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                let split = prep.split(
+                    SplitPolicy::PerFlow,
+                    cfg.train_frac,
+                    cfg.max_flow_packets,
+                    cfg.seed,
+                );
                 let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
                 let train = subsample(&split.train, cfg.max_train, cfg.seed);
                 let test = subsample(&split.test, cfg.max_test, cfg.seed);
@@ -1163,8 +1181,12 @@ impl Experiment for PoolingAblation {
                 CellSpec::silent("VPN-app", "Pcap-Encoder", mode.name(), move |ctx, cfg| {
                     let prep = ctx.prep(Task::VpnApp);
                     let enc = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder));
-                    let split =
-                        per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+                    let split = prep.split(
+                        SplitPolicy::PerFlow,
+                        cfg.train_frac,
+                        cfg.max_flow_packets,
+                        cfg.seed,
+                    );
                     let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
                     let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
                     let train = subsample(&train, cfg.max_train, cfg.seed);
@@ -1236,17 +1258,23 @@ impl Experiment for AdvancedSplits {
             .map(|(i, &name)| {
                 CellSpec::silent("VPN-app", "RF", name, move |ctx, cfg| {
                     use dataset::split::{per_client_split, per_time_split};
+                    use std::sync::Arc;
                     let prep = ctx.prep(Task::VpnApp);
                     let split = match i {
-                        0 => per_packet_split(&prep.data, cfg.train_frac, cfg.seed),
-                        1 => per_flow_split(
-                            &prep.data,
+                        0 => prep.split(
+                            SplitPolicy::PerPacket,
                             cfg.train_frac,
                             cfg.max_flow_packets,
                             cfg.seed,
                         ),
-                        2 => per_client_split(&prep.data, cfg.train_frac, cfg.seed),
-                        _ => per_time_split(&prep.data, cfg.train_frac),
+                        1 => prep.split(
+                            SplitPolicy::PerFlow,
+                            cfg.train_frac,
+                            cfg.max_flow_packets,
+                            cfg.seed,
+                        ),
+                        2 => Arc::new(per_client_split(&prep.data, cfg.train_frac, cfg.seed)),
+                        _ => Arc::new(per_time_split(&prep.data, cfg.train_frac)),
                     };
                     let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
                     let train = balanced_undersample(&prep.data, &split.train, &label_of, cfg.seed);
@@ -1256,15 +1284,9 @@ impl Experiment for AdvancedSplits {
                         eprintln!("  advanced_splits {name}: skipped (degenerate partition)");
                         return CellOutput::empty();
                     }
+                    let all_feats = prep.features(FeatureConfig::default());
                     let feats = |idx: &[usize]| -> Vec<[f32; shallow::features::N_FEATURES]> {
-                        idx.iter()
-                            .map(|&i| {
-                                shallow::features::extract_features(
-                                    &prep.data.records[i],
-                                    FeatureConfig::default(),
-                                )
-                            })
-                            .collect()
+                        idx.iter().map(|&i| all_feats[i]).collect()
                     };
                     let (xtr, xte) = (feats(&train), feats(&test));
                     fn rows(x: &[[f32; shallow::features::N_FEATURES]]) -> Vec<&[f32]> {
@@ -1384,12 +1406,12 @@ impl Experiment for Robustness {
                         inject_faults(&mut trace, FaultConfig::capture_loss(loss), &mut rng);
                         dataset::clean::clean_trace(&mut trace);
                         let data = dataset::record::Prepared::from_trace(&trace);
-                        let prep = PreparedTask {
-                            task: Task::UstcApp,
-                            data: Arc::new(data),
-                            clean_report: Arc::new(Default::default()),
-                            seed: ctx.seed,
-                        };
+                        let prep = PreparedTask::from_parts(
+                            Task::UstcApp,
+                            Arc::new(data),
+                            Arc::new(Default::default()),
+                            ctx.seed,
+                        );
                         run_shallow(
                             &prep,
                             ShallowModel::Rf,

@@ -6,11 +6,9 @@
 //! accuracy + macro-F1 on the untouched test partition.
 
 use crate::metrics::{accuracy, macro_f1};
-use crate::pipeline::PreparedTask;
+use crate::pipeline::{PreparedTask, TokenMatrix, TokenVariant};
 use dataset::record::{PacketRecord, Prepared};
-use dataset::split::{
-    balanced_undersample, kfold, per_flow_split, per_packet_split, subsample, Split,
-};
+use dataset::split::{balanced_undersample, kfold, subsample, Split};
 use dataset::transform::{randomize_dataset_flow_ids, InputAblation};
 use encoders::model::{EncoderModel, ModelKind};
 use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
@@ -194,12 +192,7 @@ pub fn run_cell(
     cfg: &CellConfig,
 ) -> CellResult {
     let task = prep.task;
-    let split = match split_policy {
-        SplitPolicy::PerFlow => {
-            per_flow_split(&prep.data, cfg.train_frac, cfg.max_flow_packets, cfg.seed)
-        }
-        SplitPolicy::PerPacket => per_packet_split(&prep.data, cfg.train_frac, cfg.seed),
-    };
+    let split = prep.split(split_policy, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
     let owned = ablated_data(prep, &split, cfg.flow_id_ablation, cfg.seed);
     let data: &Prepared = owned.as_ref().unwrap_or(&prep.data);
 
@@ -221,6 +214,16 @@ pub fn run_cell(
     let mut encoder = encoder.clone();
     encoder.ablation = cfg.input_ablation;
 
+    // Token rows depend only on the encoder's kind and input ablation —
+    // never on its weights — so when the cell runs over the canonical
+    // records (no flow-id ablation rewriting frames) the tokenisation is
+    // shared across folds, cells, and models of the same kind through
+    // the artifact cache.
+    let cached_tokens = owned.is_none().then(|| prep.tokens(&encoder, TokenVariant::Repeated));
+    let gather = |tok: &TokenMatrix, idx: &[usize]| -> Vec<Vec<u32>> {
+        idx.iter().map(|&i| tok[i].clone()).collect()
+    };
+
     let mut folds_out = Vec::new();
     let mut train_secs = 0.0;
     let mut infer_secs = 0.0;
@@ -234,7 +237,10 @@ pub fn run_cell(
 
         let t0 = Instant::now();
         let (head, trained_encoder, standardizer) = if frozen {
-            let mut x = encoder.encode_packets(&train_recs);
+            let mut x = match &cached_tokens {
+                Some(tok) => encoder.encode_tokens(&gather(tok, &fold_train)),
+                None => encoder.encode_packets(&train_recs),
+            };
             let standardizer = crate::standardize::Standardizer::fit(&x);
             standardizer.apply(&mut x);
             let mut head = Mlp::new(&[encoder.dim(), cfg.head_hidden, n_classes], fold_seed);
@@ -266,7 +272,10 @@ pub fn run_cell(
         train_secs += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let mut x_test = trained_encoder.encode_packets(&test_recs);
+        let mut x_test = match &cached_tokens {
+            Some(tok) => trained_encoder.encode_tokens(&gather(tok, &test_idx)),
+            None => trained_encoder.encode_packets(&test_recs),
+        };
         if let Some(s) = &standardizer {
             s.apply(&mut x_test);
         }
@@ -292,12 +301,13 @@ pub fn embeddings_for_purity(
     n: usize,
     seed: u64,
 ) -> (Vec<Vec<f32>>, Vec<u16>) {
-    let split = per_flow_split(&prep.data, 7.0 / 8.0, 1000, seed);
+    let split = prep.split(SplitPolicy::PerFlow, 7.0 / 8.0, 1000, seed);
     let label_of = |r: &PacketRecord| prep.task.label_of(&prep.data, r);
     let idx = subsample(&split.test, n, seed ^ 0x99);
-    let recs: Vec<&PacketRecord> = idx.iter().map(|&i| &prep.data.records[i]).collect();
     let labels: Vec<u16> = idx.iter().map(|&i| label_of(&prep.data.records[i])).collect();
-    let emb: Tensor = encoder.encode_packets(&recs);
+    let tok = prep.tokens(encoder, TokenVariant::Repeated);
+    let rows: Vec<Vec<u32>> = idx.iter().map(|&i| tok[i].clone()).collect();
+    let emb: Tensor = encoder.encode_tokens(&rows);
     let rows = (0..emb.rows).map(|r| emb.row(r).to_vec()).collect();
     (rows, labels)
 }
@@ -305,6 +315,7 @@ pub fn embeddings_for_purity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataset::split::per_flow_split;
     use dataset::Task;
 
     fn tiny_cfg() -> CellConfig {

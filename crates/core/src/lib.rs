@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod engine;
 pub mod experiment;
 pub mod flow_experiment;
@@ -30,6 +31,7 @@ pub mod report;
 pub mod shallow_baselines;
 pub mod standardize;
 
+pub use artifact::{Artifact, ArtifactCache, ArtifactStats};
 pub use engine::{default_registry, Experiment, Preset, Registry, RunContext, RunOptions};
 pub use experiment::{run_cell, CellConfig, CellResult, SplitPolicy};
 pub use metrics::{accuracy, confusion_matrix, macro_f1, micro_f1};

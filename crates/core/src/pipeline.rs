@@ -1,15 +1,163 @@
-//! Dataset preparation for one task: generate → clean → parse, with
-//! memoisation so multiple experiments share one prepared dataset.
+//! Dataset preparation for one task: generate → clean → parse, plus the
+//! derived per-dataset products (token matrices, feature matrices, split
+//! index sets), all served by the content-addressed
+//! [`ArtifactCache`](crate::artifact::ArtifactCache).
+//!
+//! The cache is keyed by *dataset*, not task: `Task::VpnApp` and
+//! `Task::VpnService` are different label functions over the same
+//! ISCX-VPN trace, so they share one `Arc<Prepared>`. Builds are
+//! single-flight — concurrent misses under `--jobs N` block on one
+//! build instead of duplicating it — and row-level work inside a build
+//! is partitioned across the kernel-thread budget with the bit-identical
+//! pattern from `nn::kernel` (each row a pure function of its record),
+//! so records stay byte-identical at any thread count.
 
+use crate::artifact::{Artifact, ArtifactCache};
+use crate::experiment::SplitPolicy;
 use dataset::clean::{clean_trace, CleanReport};
+use dataset::codec::{ByteReader, ByteWriter};
 use dataset::record::Prepared;
+use dataset::split::{per_flow_split, per_packet_split, Split};
 use dataset::task::Task;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use encoders::model::EncoderModel;
+use encoders::tokenize::{token_rows_from_bytes, token_rows_to_bytes};
+use shallow::features::{
+    extract_features, features_from_bytes, features_to_bytes, FeatureConfig, N_FEATURES,
+};
 use std::sync::Arc;
 use traffic_synth::DatasetSpec;
 
-/// A task together with its prepared (cleaned, parsed) dataset.
+/// The product of the generate → clean → parse chain for one
+/// (dataset kind, seed, scale): cleaned records plus the cleaning
+/// report, cached as a single artifact.
+pub struct DatasetArtifact {
+    /// Cleaned, parsed dataset.
+    pub data: Arc<Prepared>,
+    /// What cleaning removed (Table 13 inputs).
+    pub clean: Arc<CleanReport>,
+}
+
+impl Artifact for DatasetArtifact {
+    const STAGE: &'static str = "prepared";
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(&self.data.to_bytes());
+        w.bytes(&self.clean.to_bytes());
+        w.into_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<DatasetArtifact, String> {
+        let mut r = ByteReader::new(bytes);
+        let data = Prepared::from_bytes(r.bytes()?)?;
+        let clean = CleanReport::from_bytes(r.bytes()?)?;
+        r.finish()?;
+        Ok(DatasetArtifact { data: Arc::new(data), clean: Arc::new(clean) })
+    }
+}
+
+/// Whole-dataset token matrix: one token row per record for a fixed
+/// (model kind, input ablation, variant).
+pub struct TokenMatrix(pub Vec<Vec<u32>>);
+
+impl std::ops::Deref for TokenMatrix {
+    type Target = [Vec<u32>];
+    fn deref(&self) -> &[Vec<u32>] {
+        &self.0
+    }
+}
+
+impl Artifact for TokenMatrix {
+    const STAGE: &'static str = "tokens";
+
+    fn to_bytes(&self) -> Vec<u8> {
+        token_rows_to_bytes(&self.0)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<TokenMatrix, String> {
+        token_rows_from_bytes(bytes).map(TokenMatrix)
+    }
+}
+
+/// Whole-dataset shallow feature matrix (Table 12 vectors).
+pub struct FeatureMatrix(pub Vec<[f32; N_FEATURES]>);
+
+impl std::ops::Deref for FeatureMatrix {
+    type Target = [[f32; N_FEATURES]];
+    fn deref(&self) -> &[[f32; N_FEATURES]] {
+        &self.0
+    }
+}
+
+impl Artifact for FeatureMatrix {
+    const STAGE: &'static str = "features";
+
+    fn to_bytes(&self) -> Vec<u8> {
+        features_to_bytes(&self.0)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<FeatureMatrix, String> {
+        features_from_bytes(bytes).map(FeatureMatrix)
+    }
+}
+
+impl Artifact for Split {
+    const STAGE: &'static str = "split";
+
+    fn to_bytes(&self) -> Vec<u8> {
+        Split::to_bytes(self)
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Split, String> {
+        Split::from_bytes(bytes)
+    }
+}
+
+/// Which per-record tokenisation a [`TokenMatrix`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenVariant {
+    /// [`EncoderModel::tokenize_packet_repeated`] rows (training/eval).
+    Repeated,
+    /// [`EncoderModel::tokenize_packet_padded`] rows (padding probe).
+    Padded,
+}
+
+impl TokenVariant {
+    fn tag(self) -> &'static str {
+        match self {
+            TokenVariant::Repeated => "repeated",
+            TokenVariant::Padded => "padded",
+        }
+    }
+}
+
+/// Build one output row per record index, partitioning rows across the
+/// `nn::kernel_threads` budget. `f` must be a pure function of its
+/// index, so the result is identical to the serial loop for any thread
+/// count — the same contract as the PR 2 kernels.
+fn par_rows<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = nn::kernel_threads().clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (ci, slots) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("every row filled")).collect()
+}
+
+/// A task together with its prepared (cleaned, parsed) dataset and a
+/// handle to the artifact cache serving its derived products.
 #[derive(Clone)]
 pub struct PreparedTask {
     /// The downstream task.
@@ -20,53 +168,168 @@ pub struct PreparedTask {
     pub clean_report: Arc<CleanReport>,
     /// Seed used for generation.
     pub seed: u64,
+    artifacts: Arc<ArtifactCache>,
+    dataset_key: [String; 3],
 }
 
 impl PreparedTask {
     /// Generate, clean and parse the dataset backing `task`.
-    /// `scale` multiplies the default flow budget.
+    /// `scale` multiplies the default flow budget. Always builds fresh
+    /// (private memory-only cache) — shared callers go through
+    /// [`TaskCache`].
     pub fn build(task: Task, seed: u64, scale: f64) -> PreparedTask {
-        let spec = DatasetSpec::new(task.dataset(), seed).scaled(scale);
-        let mut trace = spec.generate();
-        let report = clean_trace(&mut trace);
-        let data = Prepared::from_trace(&trace);
-        PreparedTask { task, data: Arc::new(data), clean_report: Arc::new(report), seed }
+        TaskCache::new().get(task, seed, scale)
+    }
+
+    /// Wrap an externally prepared dataset (e.g. fault-injected traffic
+    /// that never went through the canonical prepare chain). Derived
+    /// artifacts use a private memory-only cache, so they can neither
+    /// alias nor pollute the canonical dataset's artifacts.
+    pub fn from_parts(
+        task: Task,
+        data: Arc<Prepared>,
+        clean_report: Arc<CleanReport>,
+        seed: u64,
+    ) -> PreparedTask {
+        let dataset_key =
+            [task.dataset().name().to_string(), format!("{seed:016x}"), "external".to_string()];
+        PreparedTask {
+            task,
+            data,
+            clean_report,
+            seed,
+            artifacts: Arc::new(ArtifactCache::new(None)),
+            dataset_key,
+        }
     }
 
     /// Per-packet label vector for a set of indices under this task.
     pub fn labels(&self, indices: &[usize]) -> Vec<u16> {
         self.task.labels(&self.data, indices)
     }
+
+    fn derived_parts<'a>(&'a self, extra: &[&'a str]) -> Vec<&'a str> {
+        let mut parts: Vec<&str> = self.dataset_key.iter().map(String::as_str).collect();
+        parts.extend_from_slice(extra);
+        parts
+    }
+
+    /// Whole-dataset shallow feature matrix for `cfg`, cached.
+    pub fn features(&self, cfg: FeatureConfig) -> Arc<FeatureMatrix> {
+        let ip = if cfg.with_ip { "ip" } else { "no-ip" };
+        let data = self.data.clone();
+        self.artifacts.get_or_build(&self.derived_parts(&[ip]), || {
+            FeatureMatrix(par_rows(data.records.len(), |i| extract_features(&data.records[i], cfg)))
+        })
+    }
+
+    /// Whole-dataset token matrix for `encoder`, cached. Tokenisation
+    /// depends only on the model *kind* (its hash salt and byte view)
+    /// and the input ablation — never on weights — so the key is
+    /// (dataset, kind, ablation, variant).
+    pub fn tokens(&self, encoder: &EncoderModel, variant: TokenVariant) -> Arc<TokenMatrix> {
+        let parts = [encoder.kind.name(), encoder.ablation.cache_tag(), variant.tag()];
+        let data = self.data.clone();
+        self.artifacts.get_or_build(&self.derived_parts(&parts), || {
+            TokenMatrix(par_rows(data.records.len(), |i| {
+                let rec = &data.records[i];
+                match variant {
+                    TokenVariant::Repeated => encoder.tokenize_packet_repeated(rec),
+                    TokenVariant::Padded => encoder.tokenize_packet_padded(rec),
+                }
+            }))
+        })
+    }
+
+    /// Train/test split for this dataset under `policy`, cached.
+    pub fn split(
+        &self,
+        policy: SplitPolicy,
+        train_frac: f64,
+        max_flow_packets: usize,
+        seed: u64,
+    ) -> Arc<Split> {
+        let frac = format!("{:016x}", train_frac.to_bits());
+        let seed_hex = format!("{seed:016x}");
+        let data = self.data.clone();
+        match policy {
+            SplitPolicy::PerFlow => {
+                let mfp = max_flow_packets.to_string();
+                let parts = ["per-flow", frac.as_str(), mfp.as_str(), seed_hex.as_str()];
+                self.artifacts.get_or_build(&self.derived_parts(&parts), || {
+                    per_flow_split(&data, train_frac, max_flow_packets, seed)
+                })
+            }
+            SplitPolicy::PerPacket => {
+                let parts = ["per-packet", frac.as_str(), seed_hex.as_str()];
+                self.artifacts.get_or_build(&self.derived_parts(&parts), || {
+                    per_packet_split(&data, train_frac, seed)
+                })
+            }
+        }
+    }
 }
 
-/// Process-wide cache: the three datasets are expensive to generate and
-/// shared by many tables. Keyed by (dataset kind, seed, scale-in-milli).
+/// Process-wide cache over the prepare chain. Thin handle around an
+/// [`ArtifactCache`]: keyed by (dataset kind, seed, scale-in-milli) —
+/// *not* by `Task`, so tasks sharing a dataset share one build — with
+/// single-flight misses and an optional disk tier.
 #[derive(Default)]
 pub struct TaskCache {
-    cache: Mutex<HashMap<(Task, u64, u64), PreparedTask>>,
+    artifacts: Arc<ArtifactCache>,
 }
 
 impl TaskCache {
-    /// New empty cache.
+    /// New memory-only cache.
     pub fn new() -> TaskCache {
         TaskCache::default()
     }
 
-    /// Get or build the prepared dataset for a task.
+    /// Cache backed by a shared artifact store (possibly with a disk
+    /// tier under `--cache-dir`).
+    pub fn with_artifacts(artifacts: Arc<ArtifactCache>) -> TaskCache {
+        TaskCache { artifacts }
+    }
+
+    /// The backing artifact store.
+    pub fn artifacts(&self) -> &Arc<ArtifactCache> {
+        &self.artifacts
+    }
+
+    /// Get or build the prepared dataset for a task. Concurrent misses
+    /// for the same dataset block on a single build.
     pub fn get(&self, task: Task, seed: u64, scale: f64) -> PreparedTask {
-        let key = (task, seed, (scale * 1000.0) as u64);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return hit.clone();
+        let kind = task.dataset();
+        let dataset_key = [
+            kind.name().to_string(),
+            format!("{seed:016x}"),
+            ((scale * 1000.0) as u64).to_string(),
+        ];
+        let parts: Vec<&str> = dataset_key.iter().map(String::as_str).collect();
+        let art = self.artifacts.get_or_build::<DatasetArtifact>(&parts, || {
+            let spec = DatasetSpec::new(kind, seed).scaled(scale);
+            let mut trace = spec.generate();
+            let report = clean_trace(&mut trace);
+            DatasetArtifact {
+                data: Arc::new(Prepared::from_trace(&trace)),
+                clean: Arc::new(report),
+            }
+        });
+        PreparedTask {
+            task,
+            data: art.data.clone(),
+            clean_report: art.clean.clone(),
+            seed,
+            artifacts: self.artifacts.clone(),
+            dataset_key,
         }
-        let built = PreparedTask::build(task, seed, scale);
-        self.cache.lock().insert(key, built.clone());
-        built
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn build_produces_clean_data() {
@@ -83,9 +346,135 @@ mod tests {
         let a = cache.get(Task::VpnBinary, 1, 0.2);
         let b = cache.get(Task::VpnBinary, 1, 0.2);
         assert!(Arc::ptr_eq(&a.data, &b.data), "second get must hit the cache");
-        // Different tasks on the same dataset still rebuild (simple key),
-        // but different seeds definitely must differ.
         let c = cache.get(Task::VpnBinary, 2, 0.2);
-        assert!(!Arc::ptr_eq(&a.data, &c.data));
+        assert!(!Arc::ptr_eq(&a.data, &c.data), "different seeds must differ");
+    }
+
+    #[test]
+    fn tasks_sharing_a_dataset_share_one_prepared_arc() {
+        // VpnApp / VpnService / VpnBinary are different label functions
+        // over the same ISCX-VPN trace: one build, one Arc.
+        let cache = TaskCache::new();
+        let app = cache.get(Task::VpnApp, 1, 0.2);
+        let service = cache.get(Task::VpnService, 1, 0.2);
+        let binary = cache.get(Task::VpnBinary, 1, 0.2);
+        assert!(Arc::ptr_eq(&app.data, &service.data));
+        assert!(Arc::ptr_eq(&app.data, &binary.data));
+        assert_eq!(cache.artifacts().stats().builds, 1, "one dataset build for three tasks");
+        assert_eq!(app.task, Task::VpnApp);
+        assert_eq!(service.task, Task::VpnService);
+    }
+
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        // Regression for the old check-then-build race: parallel cells
+        // asking for the same dataset must share exactly one build.
+        let cache = TaskCache::new();
+        let built: Vec<PreparedTask> = {
+            let mut out = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..8).map(|_| s.spawn(|| cache.get(Task::UstcBinary, 5, 0.15))).collect();
+                out.extend(handles.into_iter().map(|h| h.join().expect("no panic")));
+            });
+            out
+        };
+        let first = &built[0];
+        assert!(built.iter().all(|p| Arc::ptr_eq(&p.data, &first.data)));
+        let stats = cache.artifacts().stats();
+        assert_eq!(stats.builds, 1, "concurrent misses duplicated the build");
+        assert_eq!(stats.mem_hits, 7);
+    }
+
+    #[test]
+    fn derived_artifacts_are_cached_and_thread_count_invariant() {
+        use encoders::model::{EncoderModel, ModelKind};
+        let prep = PreparedTask::build(Task::UstcBinary, 5, 0.15);
+        let enc = EncoderModel::new(ModelKind::EtBert, 1);
+
+        nn::set_kernel_threads(1);
+        let serial_tokens = prep.tokens(&enc, TokenVariant::Repeated);
+        let serial_feats = prep.features(FeatureConfig::default());
+        let serial_split = prep.split(SplitPolicy::PerFlow, 7.0 / 8.0, 1000, 9);
+
+        // Same key → same Arc, builder not re-run.
+        assert!(Arc::ptr_eq(&serial_tokens, &prep.tokens(&enc, TokenVariant::Repeated)));
+        assert!(Arc::ptr_eq(&serial_feats, &prep.features(FeatureConfig::default())));
+        assert!(Arc::ptr_eq(&serial_split, &prep.split(SplitPolicy::PerFlow, 7.0 / 8.0, 1000, 9)));
+
+        // A fresh dataset handle built at a different thread budget must
+        // produce identical rows (par_rows is bit-identical to serial).
+        nn::set_kernel_threads(4);
+        let prep4 = PreparedTask::build(Task::UstcBinary, 5, 0.15);
+        let par_tokens = prep4.tokens(&enc, TokenVariant::Repeated);
+        let par_feats = prep4.features(FeatureConfig::default());
+        assert_eq!(par_tokens.0, serial_tokens.0);
+        assert_eq!(par_feats.0.len(), serial_feats.0.len(),);
+        for (a, b) in serial_feats.0.iter().zip(par_feats.0.iter()) {
+            assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        nn::set_kernel_threads(1);
+
+        // Keys separate variants and configs. Variant content only
+        // differs for flow embedders (packet-level models tokenise
+        // Repeated and Padded identically by design), so check content
+        // with YaTC and key separation with both.
+        let yatc = EncoderModel::new(ModelKind::YaTc, 1);
+        let repeated = prep.tokens(&yatc, TokenVariant::Repeated);
+        let padded = prep.tokens(&yatc, TokenVariant::Padded);
+        assert!(!Arc::ptr_eq(&repeated, &padded));
+        assert_ne!(padded.0, repeated.0);
+        assert!(!Arc::ptr_eq(&prep.tokens(&enc, TokenVariant::Padded), &serial_tokens));
+        let no_ip = prep.features(FeatureConfig { with_ip: false });
+        assert!(!Arc::ptr_eq(&no_ip, &serial_feats));
+    }
+
+    #[test]
+    fn from_parts_does_not_alias_canonical_artifacts() {
+        let canonical = PreparedTask::build(Task::UstcBinary, 5, 0.15);
+        let mut mutated = (*canonical.data).clone();
+        mutated.records.truncate(mutated.records.len() / 2);
+        let external = PreparedTask::from_parts(
+            Task::UstcBinary,
+            Arc::new(mutated),
+            canonical.clean_report.clone(),
+            5,
+        );
+        let a = canonical.features(FeatureConfig::default());
+        let b = external.features(FeatureConfig::default());
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.0.len(), external.data.records.len());
+    }
+
+    #[test]
+    fn par_rows_matches_serial_for_every_thread_count() {
+        let n = 103;
+        let expect: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        let before = nn::kernel_threads();
+        for threads in [1, 2, 3, 8, 64] {
+            nn::set_kernel_threads(threads);
+            assert_eq!(par_rows(n, |i| i * 3 + 1), expect, "threads={threads}");
+        }
+        nn::set_kernel_threads(before);
+        let counter = AtomicUsize::new(0);
+        nn::set_kernel_threads(4);
+        par_rows(10, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        nn::set_kernel_threads(before);
+        assert_eq!(counter.load(Ordering::SeqCst), 10, "each row computed exactly once");
+    }
+
+    #[test]
+    fn dataset_artifact_codec_round_trips() {
+        let p = PreparedTask::build(Task::UstcBinary, 3, 0.15);
+        let art = DatasetArtifact { data: p.data.clone(), clean: p.clean_report.clone() };
+        let bytes = art.to_bytes();
+        let back = DatasetArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.data.records.len(), p.data.records.len());
+        assert_eq!(back.clean.total_after, p.clean_report.total_after);
+        assert_eq!(back.to_bytes(), bytes, "canonical re-encoding");
+        assert!(DatasetArtifact::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 }

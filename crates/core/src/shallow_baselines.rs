@@ -6,11 +6,9 @@ use crate::experiment::{CellConfig, SplitPolicy};
 use crate::metrics::{accuracy, macro_f1};
 use crate::pipeline::PreparedTask;
 use dataset::record::PacketRecord;
-use dataset::split::{
-    balanced_undersample, per_flow_split, per_packet_split, stratified_sample, subsample,
-};
+use dataset::split::{balanced_undersample, stratified_sample, subsample};
 use nn::{Mlp, Tensor};
-use shallow::features::{extract_features, FeatureConfig, N_FEATURES};
+use shallow::features::{FeatureConfig, N_FEATURES};
 use shallow::forest::{ForestParams, RandomForest};
 use shallow::gbdt::{GbdtParams, GradientBoosting, GrowthPolicy};
 use std::time::Instant;
@@ -100,12 +98,7 @@ pub fn run_shallow(
 ) -> ShallowResult {
     let task = prep.task;
     let data = &prep.data;
-    let split = match split_policy {
-        SplitPolicy::PerFlow => {
-            per_flow_split(data, cfg.train_frac, cfg.max_flow_packets, cfg.seed)
-        }
-        SplitPolicy::PerPacket => per_packet_split(data, cfg.train_frac, cfg.seed),
-    };
+    let split = prep.split(split_policy, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
     let label_of = |r: &PacketRecord| task.label_of(data, r);
     let train_idx = balanced_undersample(data, &split.train, &label_of, cfg.seed ^ 0xb);
     let train_idx = subsample(&train_idx, cfg.max_train, cfg.seed ^ 0xc);
@@ -118,9 +111,12 @@ pub fn run_shallow(
     );
     let train_y: Vec<u16> = train_idx.iter().map(|&i| label_of(&data.records[i])).collect();
     let test_y: Vec<u16> = test_idx.iter().map(|&i| label_of(&data.records[i])).collect();
-    let feats = |idx: &[usize]| -> Vec<[f32; N_FEATURES]> {
-        idx.iter().map(|&i| extract_features(&data.records[i], feat_cfg)).collect()
-    };
+    // Feature rows for the whole dataset come from the artifact cache
+    // (computed once per dataset + config, shared by every model/cell);
+    // each run only gathers its own index subsets.
+    let all_feats = prep.features(feat_cfg);
+    let feats =
+        |idx: &[usize]| -> Vec<[f32; N_FEATURES]> { idx.iter().map(|&i| all_feats[i]).collect() };
     let train_x = feats(&train_idx);
     let test_x = feats(&test_idx);
     let train_rows: Vec<&[f32]> = train_x.iter().map(|r| r.as_slice()).collect();

@@ -1,6 +1,7 @@
 //! Cleaning filters: the extraneous-protocol superset of §4.1 /
 //! Table 13, applied to a raw trace before any learning.
 
+use crate::codec::{ByteReader, ByteWriter};
 use net_packet::ident::{identify, ProtocolId};
 use std::collections::BTreeMap;
 use traffic_synth::trace::Trace;
@@ -25,6 +26,41 @@ impl CleanReport {
             return 0.0;
         }
         (self.total_before - self.total_after) as f64 / self.total_before as f64
+    }
+
+    /// Serialise for the artifact cache. `BTreeMap` iteration is sorted,
+    /// so the encoding is canonical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for map in [&self.removed_by_protocol, &self.removed_by_family] {
+            w.u64(map.len() as u64);
+            for (k, v) in map {
+                w.str(k);
+                w.u64(*v as u64);
+            }
+        }
+        w.u64(self.total_before as u64);
+        w.u64(self.total_after as u64);
+        w.into_bytes()
+    }
+
+    /// Decode a [`CleanReport::to_bytes`] buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CleanReport, String> {
+        let mut r = ByteReader::new(bytes);
+        let mut maps = [BTreeMap::new(), BTreeMap::new()];
+        for map in &mut maps {
+            let n = r.count(12)?;
+            for _ in 0..n {
+                let k = r.str()?;
+                let v = r.u64()? as usize;
+                map.insert(k, v);
+            }
+        }
+        let [removed_by_protocol, removed_by_family] = maps;
+        let total_before = r.u64()? as usize;
+        let total_after = r.u64()? as usize;
+        r.finish()?;
+        Ok(CleanReport { removed_by_protocol, removed_by_family, total_before, total_after })
     }
 
     /// Render as a Table-13-style text block.
@@ -112,6 +148,21 @@ mod tests {
         let report = clean_trace(&mut t);
         assert_eq!(report.removed_fraction(), 0.0);
         assert!(report.removed_by_family.is_empty());
+    }
+
+    #[test]
+    fn report_codec_round_trips() {
+        let mut t =
+            DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
+        let report = clean_trace(&mut t);
+        let bytes = report.to_bytes();
+        let back = CleanReport::from_bytes(&bytes).unwrap();
+        assert_eq!(back.removed_by_protocol, report.removed_by_protocol);
+        assert_eq!(back.removed_by_family, report.removed_by_family);
+        assert_eq!(back.total_before, report.total_before);
+        assert_eq!(back.total_after, report.total_after);
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(CleanReport::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

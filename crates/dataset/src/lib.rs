@@ -13,6 +13,7 @@
 
 pub mod burst;
 pub mod clean;
+pub mod codec;
 pub mod ingest;
 pub mod record;
 pub mod split;

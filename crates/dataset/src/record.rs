@@ -1,7 +1,8 @@
 //! Packet records: the unit the downstream pipeline operates on.
 
+use crate::codec::{ByteReader, ByteWriter};
 use net_packet::frame::ParsedFrame;
-use traffic_synth::trace::{Trace, TraceRecord, SPURIOUS_CLASS};
+use traffic_synth::trace::{ClassMeta, Trace, TraceRecord, SPURIOUS_CLASS};
 
 /// One cleaned, parsed, labelled packet.
 #[derive(Debug, Clone)]
@@ -74,6 +75,64 @@ impl Prepared {
         ids.len()
     }
 
+    /// Serialise for the artifact cache. The parsed layer view is not
+    /// stored — it is a deterministic function of the frame bytes and is
+    /// recomputed on decode — so the encoding stays compact and cannot
+    /// drift from the parser.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.records.len() as u64);
+        for r in &self.records {
+            w.f64(r.ts);
+            w.bytes(&r.frame);
+            w.u16(r.class);
+            w.u32(r.flow_id);
+            w.bool(r.from_client);
+        }
+        w.u64(self.classes.len() as u64);
+        for c in &self.classes {
+            w.u16(c.class);
+            w.str(&c.name);
+            w.u8(c.service);
+            w.bool(c.is_vpn);
+            w.bool(c.is_malware);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a [`Prepared::to_bytes`] buffer, re-parsing every frame.
+    /// Any malformed field — including an unparseable frame, which a
+    /// faithful encoding can never contain — is an error, never a
+    /// silently shorter dataset.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Prepared, String> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.count(19)?;
+        let mut records = Vec::with_capacity(n);
+        for i in 0..n {
+            let ts = r.f64()?;
+            let frame = r.bytes()?.to_vec();
+            let parsed =
+                ParsedFrame::parse(&frame).map_err(|e| format!("record {i}: bad frame: {e}"))?;
+            let class = r.u16()?;
+            let flow_id = r.u32()?;
+            let from_client = r.bool()?;
+            records.push(PacketRecord { ts, frame, parsed, class, flow_id, from_client });
+        }
+        let nc = r.count(9)?;
+        let mut classes = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            classes.push(ClassMeta {
+                class: r.u16()?,
+                name: r.str()?,
+                service: r.u8()?,
+                is_vpn: r.bool()?,
+                is_malware: r.bool()?,
+            });
+        }
+        r.finish()?;
+        Ok(Prepared { records, classes })
+    }
+
     /// Group record indices by flow id, ordered by first appearance.
     pub fn flows(&self) -> Vec<(u32, Vec<usize>)> {
         let mut order: Vec<u32> = Vec::new();
@@ -122,6 +181,30 @@ mod tests {
         for (_, idxs) in &flows {
             let c = p.records[idxs[0]].class;
             assert!(idxs.iter().all(|&i| p.records[i].class == c));
+        }
+    }
+
+    #[test]
+    fn byte_codec_round_trips_and_rejects_corruption() {
+        let p = prepared();
+        let bytes = p.to_bytes();
+        let back = Prepared::from_bytes(&bytes).unwrap();
+        assert_eq!(back.records.len(), p.records.len());
+        assert_eq!(back.classes.len(), p.classes.len());
+        for (a, b) in p.records.iter().zip(&back.records) {
+            assert_eq!(a.ts.to_bits(), b.ts.to_bits());
+            assert_eq!(a.frame, b.frame);
+            assert_eq!((a.class, a.flow_id, a.from_client), (b.class, b.flow_id, b.from_client));
+            assert_eq!(a.payload(), b.payload(), "parsed view must be recomputed identically");
+        }
+        assert_eq!(back.to_bytes(), bytes, "re-encoding must be byte-identical");
+        assert!(Prepared::from_bytes(&bytes[..bytes.len() - 1]).is_err(), "truncation");
+        let mut garbled = bytes.clone();
+        garbled[10] ^= 0xff;
+        // Flipping a byte lands in a frame, a length, or a count — all
+        // must fail loudly rather than yield a quietly different dataset.
+        if let Ok(alt) = Prepared::from_bytes(&garbled) {
+            assert_ne!(alt.to_bytes(), bytes);
         }
     }
 

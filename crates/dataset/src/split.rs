@@ -25,6 +25,36 @@ pub struct Split {
     pub test: Vec<usize>,
 }
 
+impl Split {
+    /// Serialise for the artifact cache: two length-prefixed index lists.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = crate::codec::ByteWriter::new();
+        for part in [&self.train, &self.test] {
+            w.u64(part.len() as u64);
+            for &i in part {
+                w.u64(i as u64);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a [`Split::to_bytes`] buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Split, String> {
+        let mut r = crate::codec::ByteReader::new(bytes);
+        let mut parts = [Vec::new(), Vec::new()];
+        for part in &mut parts {
+            let n = r.count(8)?;
+            part.reserve(n);
+            for _ in 0..n {
+                part.push(r.u64()? as usize);
+            }
+        }
+        let [train, test] = parts;
+        r.finish()?;
+        Ok(Split { train, test })
+    }
+}
+
 /// Per-packet split: shuffle each class's packets and cut at
 /// `train_frac` (paper: 8:1:1 — the validation part is carved from
 /// `train` later by K-fold). **Leaks implicit flow IDs by design.**
@@ -286,6 +316,18 @@ mod tests {
         let test_flows: HashSet<u32> = s.test.iter().map(|&i| d.records[i].flow_id).collect();
         assert!(train_flows.is_disjoint(&test_flows), "flows leaked across partitions");
         assert!(!s.train.is_empty() && !s.test.is_empty());
+    }
+
+    #[test]
+    fn split_codec_round_trips() {
+        let d = prepared();
+        let s = per_flow_split(&d, 7.0 / 8.0, 1000, 1);
+        let bytes = s.to_bytes();
+        let back = Split::from_bytes(&bytes).unwrap();
+        assert_eq!(back.train, s.train);
+        assert_eq!(back.test, s.test);
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(Split::from_bytes(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

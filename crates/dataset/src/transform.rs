@@ -24,6 +24,20 @@ pub enum InputAblation {
     NoPayload,
 }
 
+impl InputAblation {
+    /// Stable tag used in artifact-cache fingerprints. Renaming the enum
+    /// variant must not silently invalidate (or worse, alias) cached
+    /// token matrices, so the tag is spelled out rather than derived.
+    pub fn cache_tag(self) -> &'static str {
+        match self {
+            InputAblation::Base => "base",
+            InputAblation::NoIpAddr => "no-ip",
+            InputAblation::NoHeader => "no-header",
+            InputAblation::NoPayload => "no-payload",
+        }
+    }
+}
+
 fn with_tcp_ipv4<F>(frame: &mut [u8], f: F) -> bool
 where
     F: FnOnce(&mut TcpSegment<&mut [u8]>),

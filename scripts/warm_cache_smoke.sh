@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Warm-cache smoke test: run the same sweep twice with one --cache-dir
+# and require (a) byte-identical result records, (b) the second run's
+# manifest to report artifact cache hits — proving the on-disk tier was
+# actually used, not silently rebuilt.
+#
+# Environment knobs:
+#   REPRO_BIN   path to the repro binary (default target/release/repro)
+#   EXP         experiment to sweep (default table8: 16 cells, ~seconds)
+#   JOBS        worker threads (default 4 — also exercises single-flight)
+#   WORK_DIR    scratch directory (default: fresh mktemp -d)
+set -euo pipefail
+
+REPRO_BIN="${REPRO_BIN:-target/release/repro}"
+EXP="${EXP:-table8}"
+JOBS="${JOBS:-4}"
+WORK_DIR="${WORK_DIR:-$(mktemp -d)}"
+
+cache="$WORK_DIR/cache"
+cold="$WORK_DIR/cold"
+warm="$WORK_DIR/warm"
+
+"$REPRO_BIN" "$EXP" --fast --jobs "$JOBS" --cache-dir "$cache" --out "$cold" >/dev/null 2>&1
+"$REPRO_BIN" "$EXP" --fast --jobs "$JOBS" --cache-dir "$cache" --out "$warm" >/dev/null 2>&1
+
+diff "$cold/$EXP.json" "$warm/$EXP.json"
+echo "ok: records byte-identical across cold and warm cache runs"
+
+ls "$cache"/art-*.bin >/dev/null 2>&1 \
+    || { echo "FAIL: no artifacts written to $cache" >&2; exit 1; }
+
+# The warm manifest must report disk hits (cell outputs replayed from
+# the cache) — grep the hand-rolled JSON for a non-zero counter.
+manifest="$warm/run-manifest.json"
+disk_hits=$(grep -o '"artifact_disk_hits": *[0-9]*' "$manifest" | grep -o '[0-9]*$')
+if [ -z "$disk_hits" ] || [ "$disk_hits" -eq 0 ]; then
+    echo "FAIL: warm run reported no artifact disk hits in $manifest" >&2
+    exit 1
+fi
+echo "ok: warm run replayed $disk_hits artifacts from the on-disk cache"
+
+echo "warm-cache smoke passed ($EXP, jobs=$JOBS, work dir $WORK_DIR)"
