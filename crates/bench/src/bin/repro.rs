@@ -26,6 +26,13 @@
 //!                    (default 1; deterministic seed-derived backoff)
 //!   --max-cell-seconds S  soft per-cell time budget: overrunning cells
 //!                    are marked failed in the journal
+//!   --trace          record out-of-band observability files under the
+//!                    out dir: trace.jsonl (leveled events, one JSON
+//!                    object per line) and metrics.json (per-experiment
+//!                    wall-clock, retries, cache hit rates). Records,
+//!                    journal and manifest stay byte-identical with or
+//!                    without it.
+//!   --log-format F   text | json stderr event rendering (default text)
 //!   --list           print registered experiments and exit
 //! ```
 //!
@@ -37,8 +44,10 @@
 //! binary only parses flags and hands a filter to the registry.
 
 use debunk_core::engine::{default_registry, Preset, RunContext, RunError, RunOptions};
+use debunk_core::obs::{self, LogFormat, ObsSink};
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 
 struct Cli {
     experiment: String,
@@ -52,6 +61,8 @@ struct Cli {
     resume: bool,
     max_attempts: u32,
     max_cell_seconds: Option<f64>,
+    trace: bool,
+    log_format: LogFormat,
     list: bool,
 }
 
@@ -59,7 +70,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale X] [--seed N] [--budget fast|medium|full] \
          [--fast] [--jobs N] [--kernel-threads N] [--out DIR] [--cache-dir DIR] [--resume] \
-         [--max-attempts N] [--max-cell-seconds S]\n       \
+         [--max-attempts N] [--max-cell-seconds S] [--trace] [--log-format text|json]\n       \
          repro --list"
     );
     exit(2);
@@ -78,6 +89,8 @@ fn parse_cli(args: &[String]) -> Cli {
         resume: false,
         max_attempts: 1,
         max_cell_seconds: None,
+        trace: false,
+        log_format: LogFormat::Text,
         list: false,
     };
     let mut positional: Vec<&String> = Vec::new();
@@ -148,6 +161,14 @@ fn parse_cli(args: &[String]) -> Cli {
                     usage();
                 }));
             }
+            "--trace" => cli.trace = true,
+            "--log-format" => {
+                let v = value("--log-format");
+                cli.log_format = LogFormat::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: unknown log format '{v}' (expected text|json)");
+                    usage();
+                });
+            }
             other if other.starts_with('-') => {
                 eprintln!("error: unknown flag '{other}'");
                 usage();
@@ -181,17 +202,33 @@ fn main() {
         return;
     }
 
+    // Install the stderr sink first so everything — banner included —
+    // honours --log-format. A traced session layers its own file sink
+    // on top (same format) when the run starts.
+    obs::set_global(Arc::new(ObsSink::stderr(cli.log_format)));
+    let log = obs::global();
+
     let mut ctx = RunContext::from_preset(cli.preset, cli.seed, cli.scale);
     if let Some(dir) = cli.cache_dir {
         ctx = ctx.with_cache_dir(dir);
     }
-    eprintln!(
-        "repro: experiment={} budget={} seed={} scale={} jobs={}",
-        cli.experiment,
-        cli.preset.name(),
-        cli.seed,
-        ctx.scale,
-        cli.jobs,
+    log.info(
+        "repro",
+        &format!(
+            "repro: experiment={} budget={} seed={} scale={} jobs={}",
+            cli.experiment,
+            cli.preset.name(),
+            cli.seed,
+            ctx.scale,
+            cli.jobs,
+        ),
+        &[
+            ("experiment", cli.experiment.as_str().into()),
+            ("budget", cli.preset.name().into()),
+            ("seed", cli.seed.into()),
+            ("scale", ctx.scale.into()),
+            ("jobs", cli.jobs.into()),
+        ],
     );
 
     let opts = RunOptions {
@@ -201,6 +238,7 @@ fn main() {
         resume: cli.resume,
         max_attempts: cli.max_attempts,
         max_cell_seconds: cli.max_cell_seconds,
+        trace: cli.trace,
     };
     let t0 = std::time::Instant::now();
     let summary = match registry.run(&cli.experiment, &ctx, &opts) {
@@ -214,24 +252,48 @@ fn main() {
             exit(1);
         }
     };
-    eprintln!(
-        "cells: {} total, {} done ({} replayed), {} failed",
-        summary.cells_total, summary.cells_done, summary.cells_resumed, summary.cells_failed,
+    log.info(
+        "repro",
+        &format!(
+            "cells: {} total, {} done ({} replayed), {} failed",
+            summary.cells_total, summary.cells_done, summary.cells_resumed, summary.cells_failed,
+        ),
+        &[
+            ("total", summary.cells_total.into()),
+            ("done", summary.cells_done.into()),
+            ("resumed", summary.cells_resumed.into()),
+            ("failed", summary.cells_failed.into()),
+        ],
     );
-    eprintln!(
-        "artifacts: {} built, {} memory hits, {} disk hits",
-        summary.artifacts.builds, summary.artifacts.mem_hits, summary.artifacts.disk_hits,
+    log.info(
+        "repro",
+        &format!(
+            "artifacts: {} built, {} memory hits, {} disk hits",
+            summary.artifacts.builds, summary.artifacts.mem_hits, summary.artifacts.disk_hits,
+        ),
+        &[
+            ("builds", summary.artifacts.builds.into()),
+            ("mem_hits", summary.artifacts.mem_hits.into()),
+            ("disk_hits", summary.artifacts.disk_hits.into()),
+        ],
     );
     for cell in &summary.failed_cells {
-        eprintln!("  failed: {cell}");
+        log.error("repro", &format!("  failed: {cell}"), &[]);
     }
     for err in &summary.record_write_errors {
-        eprintln!("  write error: {err}");
+        log.error("repro", &format!("  write error: {err}"), &[]);
     }
     if let Some(path) = &summary.manifest_path {
-        eprintln!("manifest: {}", path.display());
+        log.info("repro", &format!("manifest: {}", path.display()), &[]);
     }
-    eprintln!("total elapsed: {:.1?}", t0.elapsed());
+    if let Some(path) = &summary.metrics_path {
+        log.info(
+            "repro",
+            &format!("metrics: {} (render with: results_md --trace-report)", path.display()),
+            &[],
+        );
+    }
+    log.info("repro", &format!("total elapsed: {:.1?}", t0.elapsed()), &[]);
     if !summary.ok() {
         exit(1);
     }

@@ -2,11 +2,14 @@
 //! into Markdown tables (for embedding in EXPERIMENTS.md or reports).
 //!
 //! ```text
-//! results_md [--out DIR]    # default: results/
+//! results_md [--out DIR]                  # default: results/
+//! results_md --trace-report [--out DIR]   # render DIR/metrics.json
 //! ```
 //!
 //! Consumes every record file in the directory in one pass, in sorted
-//! file-name order, and prints one Markdown table per experiment.
+//! file-name order, and prints one Markdown table per experiment. With
+//! `--trace-report` it instead renders the out-of-band `metrics.json`
+//! written by `repro --trace` as a per-experiment time/cache breakdown.
 
 use debunk_core::report::ResultRecord;
 use std::collections::BTreeMap;
@@ -15,15 +18,22 @@ use std::collections::BTreeMap;
 type Grid = BTreeMap<String, BTreeMap<(String, String), (f64, f64)>>;
 
 fn usage() -> ! {
-    eprintln!("usage: results_md [--out DIR]");
+    eprintln!("usage: results_md [--trace-report] [--out DIR]");
     std::process::exit(2);
 }
 
-fn parse_dir(args: &[String]) -> String {
+struct Cli {
+    dir: String,
+    trace_report: bool,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
     let mut dir: Option<String> = None;
+    let mut trace_report = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace-report" => trace_report = true,
             "--out" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("error: --out requires a value");
@@ -47,12 +57,34 @@ fn parse_dir(args: &[String]) -> String {
             }
         }
     }
-    dir.unwrap_or_else(|| "results".into())
+    Cli { dir: dir.unwrap_or_else(|| "results".into()), trace_report }
+}
+
+fn render_trace_report(dir: &str) -> ! {
+    let path = std::path::Path::new(dir).join(debunk_core::obs::METRICS_FILE);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e} (run `repro --trace` first)", path.display());
+        std::process::exit(1);
+    });
+    match debunk_core::obs::trace_report(&text) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("cannot render {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dir = parse_dir(&args);
+    let cli = parse_cli(&args);
+    if cli.trace_report {
+        render_trace_report(&cli.dir);
+    }
+    let dir = cli.dir;
     let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
         Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
         Err(e) => {

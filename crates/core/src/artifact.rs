@@ -22,6 +22,7 @@
 //! the envelope carries the full canonical key and a checksum over the
 //! payload.
 
+use crate::obs::ObsSink;
 use encoders::checkpoint::stable_hash64;
 use parking_lot::Mutex;
 use std::any::Any;
@@ -60,13 +61,21 @@ type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
 
 /// Two-tier content-addressed cache with single-flight builds. The
 /// default is a memory-only cache (no `--cache-dir`).
-#[derive(Default)]
 pub struct ArtifactCache {
     dir: Option<PathBuf>,
     slots: Mutex<HashMap<u64, Slot>>,
     mem_hits: AtomicUsize,
     disk_hits: AtomicUsize,
     builds: AtomicUsize,
+    /// Event sink for the cache's disk-tier chatter; swapped in by the
+    /// runner when a traced session starts.
+    obs: Mutex<Arc<ObsSink>>,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> ArtifactCache {
+        ArtifactCache::new(None)
+    }
 }
 
 impl ArtifactCache {
@@ -78,7 +87,18 @@ impl ArtifactCache {
             mem_hits: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
             builds: AtomicUsize::new(0),
+            obs: Mutex::new(crate::obs::global()),
         }
+    }
+
+    /// The cache's event sink.
+    pub fn obs(&self) -> Arc<ObsSink> {
+        self.obs.lock().clone()
+    }
+
+    /// Install a session's event sink on this cache.
+    pub fn set_obs(&self, sink: Arc<ObsSink>) {
+        *self.obs.lock() = sink;
     }
 
     /// The configured disk-tier directory, if any.
@@ -148,7 +168,11 @@ impl ArtifactCache {
                 Some(any.downcast::<A>().expect("artifact stage/type mismatch"))
             }
             Err(e) => {
-                eprintln!("  [artifact] ignoring {}: {e}", path.display());
+                self.obs().warn(
+                    "artifact",
+                    &format!("  [artifact] ignoring {}: {e}", path.display()),
+                    &[("path", path.display().to_string().into())],
+                );
                 None
             }
         }
@@ -179,10 +203,18 @@ impl ArtifactCache {
             .and_then(|()| std::fs::write(&tmp, encode_envelope(value, key)))
             .and_then(|()| std::fs::rename(&tmp, &path));
         match saved {
-            Ok(()) => eprintln!("  [artifact] saved {}", path.display()),
+            Ok(()) => self.obs().debug(
+                "artifact",
+                &format!("  [artifact] saved {}", path.display()),
+                &[("path", path.display().to_string().into())],
+            ),
             Err(e) => {
                 std::fs::remove_file(&tmp).ok();
-                eprintln!("  [artifact] could not save {}: {e}", path.display());
+                self.obs().warn(
+                    "artifact",
+                    &format!("  [artifact] could not save {}: {e}", path.display()),
+                    &[("path", path.display().to_string().into())],
+                );
             }
         }
     }
@@ -202,10 +234,18 @@ impl ArtifactCache {
                 {
                     Ok(value) => {
                         self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        eprintln!("  [artifact] loaded {}", path.display());
+                        self.obs().debug(
+                            "artifact",
+                            &format!("  [artifact] loaded {}", path.display()),
+                            &[("path", path.display().to_string().into())],
+                        );
                         return value;
                     }
-                    Err(e) => eprintln!("  [artifact] ignoring {}: {e}", path.display()),
+                    Err(e) => self.obs().warn(
+                        "artifact",
+                        &format!("  [artifact] ignoring {}: {e}", path.display()),
+                        &[("path", path.display().to_string().into())],
+                    ),
                 }
             }
         }

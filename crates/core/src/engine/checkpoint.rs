@@ -9,6 +9,7 @@
 //! invocations skip pre-training entirely — no `[pretrain]` log line is
 //! emitted for a checkpoint served from memory or disk.
 
+use crate::obs::ObsSink;
 use encoders::checkpoint::{load_checkpoint, save_checkpoint, PretrainKey};
 use encoders::model::EncoderModel;
 use parking_lot::Mutex;
@@ -35,15 +36,17 @@ impl EncoderStore {
     pub fn get_or_build(
         &self,
         key: &PretrainKey,
+        obs: &ObsSink,
         build: impl FnOnce() -> EncoderModel,
     ) -> EncoderModel {
         let slot = self.slots.lock().entry(key.cache_key()).or_default().clone();
-        slot.get_or_init(|| self.load_or_build(key, build)).clone()
+        slot.get_or_init(|| self.load_or_build(key, obs, build)).clone()
     }
 
     fn load_or_build(
         &self,
         key: &PretrainKey,
+        obs: &ObsSink,
         build: impl FnOnce() -> EncoderModel,
     ) -> EncoderModel {
         if let Some(dir) = &self.cache_dir {
@@ -51,15 +54,27 @@ impl EncoderStore {
             if path.exists() {
                 match load_checkpoint(&path, key) {
                     Ok(model) => {
-                        eprintln!("  [checkpoint] loaded {}", path.display());
+                        obs.debug(
+                            "checkpoint",
+                            &format!("  [checkpoint] loaded {}", path.display()),
+                            &[("path", path.display().to_string().into())],
+                        );
                         return model;
                     }
-                    Err(e) => eprintln!("  [checkpoint] ignoring {}: {e}", path.display()),
+                    Err(e) => obs.warn(
+                        "checkpoint",
+                        &format!("  [checkpoint] ignoring {}: {e}", path.display()),
+                        &[("path", path.display().to_string().into())],
+                    ),
                 }
             }
         }
-        eprintln!("  [pretrain] {}", key.provenance());
-        let model = build();
+        obs.info(
+            "checkpoint",
+            &format!("  [pretrain] {}", key.provenance()),
+            &[("provenance", key.provenance().into())],
+        );
+        let model = obs.time_stage("pretrain", build);
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(key.file_name());
             // Write to a temp sibling and rename so a crash mid-save
@@ -70,10 +85,18 @@ impl EncoderStore {
                 .and_then(|()| save_checkpoint(&tmp, key, &model))
                 .and_then(|()| std::fs::rename(&tmp, &path));
             match saved {
-                Ok(()) => eprintln!("  [checkpoint] saved {}", path.display()),
+                Ok(()) => obs.debug(
+                    "checkpoint",
+                    &format!("  [checkpoint] saved {}", path.display()),
+                    &[("path", path.display().to_string().into())],
+                ),
                 Err(e) => {
                     std::fs::remove_file(&tmp).ok();
-                    eprintln!("  [checkpoint] could not save {}: {e}", path.display());
+                    obs.warn(
+                        "checkpoint",
+                        &format!("  [checkpoint] could not save {}: {e}", path.display()),
+                        &[("path", path.display().to_string().into())],
+                    );
                 }
             }
         }
@@ -100,15 +123,16 @@ mod tests {
     #[test]
     fn builds_once_per_key() {
         let store = EncoderStore::new(None);
+        let obs = crate::obs::global();
         let mut builds = 0;
         for _ in 0..3 {
-            store.get_or_build(&key(1), || {
+            store.get_or_build(&key(1), &obs, || {
                 builds += 1;
                 EncoderModel::new(ModelKind::EtBert, 1)
             });
         }
         assert_eq!(builds, 1);
-        store.get_or_build(&key(2), || {
+        store.get_or_build(&key(2), &obs, || {
             builds += 1;
             EncoderModel::new(ModelKind::EtBert, 2)
         });
@@ -120,12 +144,13 @@ mod tests {
         let dir = std::env::temp_dir().join("debunk-encoder-store-test");
         std::fs::remove_dir_all(&dir).ok();
         let k = key(7);
+        let obs = crate::obs::global();
         let first = EncoderStore::new(Some(dir.clone()))
-            .get_or_build(&k, || EncoderModel::new(ModelKind::EtBert, 7));
+            .get_or_build(&k, &obs, || EncoderModel::new(ModelKind::EtBert, 7));
         // A fresh store (fresh process, conceptually) must load from
         // disk instead of invoking the builder.
         let second = EncoderStore::new(Some(dir.clone()))
-            .get_or_build(&k, || panic!("must not re-pretrain: checkpoint exists"));
+            .get_or_build(&k, &obs, || panic!("must not re-pretrain: checkpoint exists"));
         assert_eq!(first.to_json(), second.to_json());
         std::fs::remove_dir_all(&dir).ok();
     }

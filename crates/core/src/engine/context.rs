@@ -3,12 +3,14 @@
 use crate::artifact::ArtifactCache;
 use crate::engine::checkpoint::EncoderStore;
 use crate::experiment::{build_encoder, CellConfig};
+use crate::obs::ObsSink;
 use crate::pipeline::{PreparedTask, TaskCache};
 use dataset::Task;
 use encoders::checkpoint::{stable_hash64, PretrainKey};
 use encoders::model::{EncoderModel, ModelKind};
 use encoders::pcap_encoder::{pretrain_pcap_encoder, PcapEncoderVariant, PretrainBudget};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Compute-budget preset shared by `repro` and the calibration probes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +161,10 @@ pub struct RunContext {
     pub cfg: CellConfig,
     tasks: TaskCache,
     encoders: EncoderStore,
+    /// Out-of-band event/metrics sink shared by the run (see
+    /// [`crate::obs`]); defaults to the process-global stderr sink and
+    /// is swapped in by the runner when a session starts with tracing.
+    obs: parking_lot::Mutex<Arc<ObsSink>>,
 }
 
 impl RunContext {
@@ -171,13 +177,27 @@ impl RunContext {
             cfg,
             tasks: TaskCache::new(),
             encoders: EncoderStore::new(None),
+            obs: parking_lot::Mutex::new(crate::obs::global()),
         }
     }
 
     /// The content-addressed artifact cache backing dataset preparation
     /// (and, through the runner, deterministic cell-output replay).
-    pub fn artifacts(&self) -> &std::sync::Arc<ArtifactCache> {
+    pub fn artifacts(&self) -> &Arc<ArtifactCache> {
         self.tasks.artifacts()
+    }
+
+    /// The run's event/metrics sink.
+    pub fn obs(&self) -> Arc<ObsSink> {
+        self.obs.lock().clone()
+    }
+
+    /// Install `sink` on this context and its artifact cache so every
+    /// component a cell touches reports to the same place. Called by
+    /// the runner when a session starts.
+    pub fn set_obs(&self, sink: Arc<ObsSink>) {
+        self.artifacts().set_obs(sink.clone());
+        *self.obs.lock() = sink;
     }
 
     /// New context from a [`Preset`]. `scale` overrides the preset's
@@ -192,7 +212,8 @@ impl RunContext {
     /// directory, so a warm second run loads both.
     pub fn with_cache_dir(mut self, dir: PathBuf) -> RunContext {
         self.encoders = EncoderStore::new(Some(dir.clone()));
-        self.tasks = TaskCache::with_artifacts(std::sync::Arc::new(ArtifactCache::new(Some(dir))));
+        self.tasks = TaskCache::with_artifacts(Arc::new(ArtifactCache::new(Some(dir))));
+        self.artifacts().set_obs(self.obs());
         self
     }
 
@@ -213,7 +234,8 @@ impl RunContext {
     /// calibration probes sweep budgets).
     pub fn encoder_with_budget(&self, spec: EncoderSpec, budget: PretrainBudget) -> EncoderModel {
         let key = spec.pretrain_key(budget, self.pretrain_seed());
-        self.encoders.get_or_build(&key, || spec.build(budget, self.pretrain_seed()))
+        let obs = self.obs();
+        self.encoders.get_or_build(&key, &obs, || spec.build(budget, self.pretrain_seed()))
     }
 
     /// Seed used for encoder pre-training (kept distinct from the cell

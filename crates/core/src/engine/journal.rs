@@ -107,14 +107,16 @@ impl Json {
         }
     }
 
-    fn str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    pub fn str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn num(&self) -> Option<f64> {
+    /// The numeric payload, if this is a number.
+    pub fn num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -448,12 +450,7 @@ fn output_to_json(out: &CellOutput) -> String {
 fn output_from_json(j: &Json) -> Result<CellOutput, String> {
     let stats = match j.get("stats").ok_or("missing 'stats'")? {
         Json::Null => None,
-        st => Some(RecordStats {
-            accuracy: field_f64(st, "accuracy")?,
-            macro_f1: field_f64(st, "macro_f1")?,
-            train_secs: 0.0,
-            infer_secs: 0.0,
-        }),
+        st => Some(RecordStats::of(field_f64(st, "accuracy")?, field_f64(st, "macro_f1")?)),
     };
     let mut values = Vec::new();
     if let Json::Arr(items) = j.get("values").ok_or("missing 'values'")? {

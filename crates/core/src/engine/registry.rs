@@ -22,6 +22,24 @@ pub struct RecordStats {
     pub infer_secs: f64,
 }
 
+impl RecordStats {
+    /// Stats carrying metrics only, with wall-clock fields already
+    /// zeroed — the form every serialised record and journal entry must
+    /// take.
+    pub fn of(accuracy: f64, macro_f1: f64) -> RecordStats {
+        RecordStats { accuracy, macro_f1, train_secs: 0.0, infer_secs: 0.0 }
+    }
+
+    /// Copy with every wall-clock field zeroed. The single place the
+    /// record contract's timing-zeroing lives: a future timing field
+    /// added here is zeroed for the runner, the journal and the suite
+    /// at once, so it cannot leak scheduling-dependent bytes into
+    /// deterministic outputs.
+    pub fn zero_wallclock(self) -> RecordStats {
+        RecordStats::of(self.accuracy, self.macro_f1)
+    }
+}
+
 impl From<&CellResult> for RecordStats {
     fn from(c: &CellResult) -> RecordStats {
         RecordStats {
@@ -70,6 +88,13 @@ impl CellOutput {
     /// Output of a skipped or text-only cell.
     pub fn empty() -> CellOutput {
         CellOutput::default()
+    }
+
+    /// Copy with wall-clock timings zeroed via
+    /// [`RecordStats::zero_wallclock`], matching the record contract:
+    /// journal and cache bytes never depend on scheduling or the clock.
+    pub fn zero_wallclock(&self) -> CellOutput {
+        CellOutput { stats: self.stats.map(RecordStats::zero_wallclock), ..self.clone() }
     }
 }
 

@@ -24,7 +24,8 @@ use crate::engine::journal::{
     atomic_write, CellId, Journal, JournalEntry, JournalError, JournalState, RunManifest,
     JOURNAL_FILE,
 };
-use crate::engine::registry::{CellOutput, CellSpec, Experiment};
+use crate::engine::registry::{CellOutput, CellSpec, Experiment, RecordStats};
+use crate::obs::{self, CellOutcome, ObsSink};
 use crate::report::{records_json_pretty, ResultRecord};
 use encoders::checkpoint::stable_hash64;
 use std::fmt;
@@ -62,6 +63,11 @@ pub struct RunOptions {
     /// error) instead of poisoning the record set. Soft means the cell
     /// is not preempted mid-flight; the verdict lands when it returns.
     pub max_cell_seconds: Option<f64>,
+    /// Record out-of-band observability files under `out_dir`:
+    /// `trace.jsonl` (append-only leveled events) and `metrics.json`
+    /// (aggregated at finish). Strictly separate from records, journal
+    /// and manifest, whose bytes are identical with tracing on or off.
+    pub trace: bool,
 }
 
 impl Default for RunOptions {
@@ -73,6 +79,7 @@ impl Default for RunOptions {
             resume: false,
             max_attempts: 1,
             max_cell_seconds: None,
+            trace: false,
         }
     }
 }
@@ -124,6 +131,8 @@ pub struct RunSummary {
     pub artifacts: ArtifactStats,
     /// Where the manifest landed, when one was written.
     pub manifest_path: Option<PathBuf>,
+    /// Where `metrics.json` landed, when the session traced.
+    pub metrics_path: Option<PathBuf>,
 }
 
 impl RunSummary {
@@ -158,11 +167,24 @@ pub struct RunSession {
     /// every cell-output artifact key.
     artifacts: Arc<ArtifactCache>,
     run_fp_hex: String,
+    /// Out-of-band event/metrics sink: a per-session tracing sink with
+    /// `opts.trace`, the process-global stderr sink otherwise. Installed
+    /// on the context and caches for the session's lifetime.
+    obs: Arc<ObsSink>,
+    started: Instant,
 }
 
 /// Open a session: create (or, with `resume`, replay) the journal under
 /// `opts.out_dir`. With `out_dir: None` the session journals nothing.
 pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, RunError> {
+    let sink = match (&opts.out_dir, opts.trace) {
+        (Some(dir), true) => Arc::new(
+            ObsSink::with_dir(dir, obs::global().format())
+                .map_err(|e| JournalError::Io(dir.clone(), e))?,
+        ),
+        _ => obs::global(),
+    };
+    ctx.set_obs(sink.clone());
     let mut session = RunSession {
         journal: None,
         prior: JournalState::default(),
@@ -170,6 +192,8 @@ pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, 
         tally: Mutex::new(Tally::default()),
         artifacts: ctx.artifacts().clone(),
         run_fp_hex: format!("{:016x}", ctx.run_fingerprint()),
+        obs: sink,
+        started: Instant::now(),
     };
     if let Some(dir) = &opts.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(dir.clone(), e))?;
@@ -178,10 +202,17 @@ pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, 
         if opts.resume {
             let (journal, state) = Journal::resume(&path, fingerprint)?;
             if state.n_done() > 0 {
-                eprintln!(
-                    "[resume] journal {} has {} finished cell(s) to replay",
-                    path.display(),
-                    state.n_done()
+                session.obs.info(
+                    "runner",
+                    &format!(
+                        "[resume] journal {} has {} finished cell(s) to replay",
+                        path.display(),
+                        state.n_done()
+                    ),
+                    &[
+                        ("journal", path.display().to_string().into()),
+                        ("done", state.n_done().into()),
+                    ],
                 );
             }
             session.journal = Some(journal);
@@ -199,11 +230,23 @@ impl RunSession {
     /// render its tables/charts. Panics in cells *and* in render are
     /// contained; failures land in the tally, not in an abort.
     pub fn run_experiment(&self, exp: &dyn Experiment, ctx: &RunContext, opts: &RunOptions) {
+        let exp_started = Instant::now();
         let cells = exp.cells(ctx);
         let jobs = opts.jobs.max(1);
         let cell_jobs = jobs.min(cells.len().max(1));
         let kernel = opts.kernel_threads.unwrap_or_else(|| (jobs / cell_jobs).max(1));
         nn::set_kernel_threads(kernel);
+        self.obs.record_kernel_budget(jobs, cell_jobs, kernel);
+        self.obs.debug(
+            "runner",
+            &format!("  [budget] {}: jobs={jobs} cell_jobs={cell_jobs} kernel={kernel}", exp.id()),
+            &[
+                ("experiment", exp.id().into()),
+                ("jobs", jobs.into()),
+                ("cell_jobs", cell_jobs.into()),
+                ("kernel_threads", kernel.into()),
+            ],
+        );
         let outputs = self.execute_cells(exp.id(), &cells, ctx, cell_jobs, opts);
 
         let records: Vec<ResultRecord> = cells
@@ -211,19 +254,19 @@ impl RunSession {
             .zip(&outputs)
             .filter(|(spec, _)| spec.emit_record)
             .filter_map(|(spec, out)| {
-                out.stats.map(|s| ResultRecord {
+                // Wall-clock timings are nondeterministic; zero them so
+                // records are byte-identical across serial, parallel and
+                // resumed runs. Real timings stay in RecordStats for
+                // render and flow to metrics.json out of band.
+                out.stats.map(RecordStats::zero_wallclock).map(|s| ResultRecord {
                     experiment: exp.id().into(),
                     task: spec.task.clone(),
                     model: spec.model.clone(),
                     setting: spec.setting.clone(),
                     accuracy: s.accuracy * 100.0,
                     macro_f1: s.macro_f1 * 100.0,
-                    // Wall-clock timings are nondeterministic; zero them
-                    // so records are byte-identical across serial,
-                    // parallel and resumed runs. Real timings stay in
-                    // RecordStats for render.
-                    train_secs: 0.0,
-                    infer_secs: 0.0,
+                    train_secs: s.train_secs,
+                    infer_secs: s.infer_secs,
                 })
             })
             .collect();
@@ -234,8 +277,14 @@ impl RunSession {
         // A render step that chokes on a failed cell's empty output must
         // not take down the sweep — the records are already on disk.
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| exp.render(ctx, &outputs))) {
-            eprintln!("  [render] {} panicked: {}", exp.id(), panic_message(payload.as_ref()));
+            let msg = panic_message(payload.as_ref());
+            self.obs.warn(
+                "runner",
+                &format!("  [render] {} panicked: {msg}", exp.id()),
+                &[("experiment", exp.id().into()), ("panic", msg.as_str().into())],
+            );
         }
+        self.obs.record_experiment_wall(exp.id(), exp_started.elapsed().as_secs_f64());
     }
 
     /// Finish the session: write the manifest atomically and return the
@@ -252,6 +301,7 @@ impl RunSession {
             record_write_errors: tally.record_write_errors,
             artifacts: stats,
             manifest_path: None,
+            metrics_path: None,
         };
         if let Some(dir) = &self.out_dir {
             let journal_hash =
@@ -275,6 +325,14 @@ impl RunSession {
                     .push(format!("{}: {e}", dir.join("run-manifest.json").display())),
             }
         }
+        // Metrics are observability, not results: a failed write warns
+        // but never fails the run the way a lost record does.
+        match self.obs.write_metrics(&summary, self.started.elapsed().as_secs_f64()) {
+            Ok(path) => summary.metrics_path = path,
+            Err(e) => {
+                self.obs.warn("runner", &format!("  [warn] could not write metrics: {e}"), &[])
+            }
+        }
         summary
     }
 
@@ -282,7 +340,7 @@ impl RunSession {
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.append(entry) {
                 let msg = format!("{}: append failed: {e}", journal.path().display());
-                eprintln!("  [error] {msg}");
+                self.obs.error("runner", &format!("  [error] {msg}"), &[]);
                 self.tally().record_write_errors.push(msg);
             }
         }
@@ -321,13 +379,16 @@ impl RunSession {
                         break;
                     }
                     let out = run_one(i);
-                    slots.lock().expect("runner slots poisoned")[i] = Some(out);
+                    // Recover from poisoning like `tally()` does: the
+                    // slots hold plain data, and aborting the sweep here
+                    // would lose every in-flight cell's output.
+                    slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(out);
                 });
             }
         });
         slots
             .into_inner()
-            .expect("runner slots poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|o| o.expect("every cell ran"))
             .collect()
@@ -356,18 +417,43 @@ impl RunSession {
         };
         let cell = id.hash();
         let label = format!("{exp_id}/{}/{}/{}", spec.task, spec.model, spec.setting);
+        let cell_started = Instant::now();
+        let base_fields: Vec<(&'static str, crate::obs::Value)> = vec![
+            ("experiment", exp_id.into()),
+            ("task", spec.task.as_str().into()),
+            ("model", spec.model.as_str().into()),
+            ("setting", spec.setting.as_str().into()),
+        ];
+        let cell_fields = |extra: &[(&'static str, crate::obs::Value)]| {
+            let mut fields = base_fields.clone();
+            fields.extend_from_slice(extra);
+            fields
+        };
 
         if let Some(out) = self.prior.done_output(cell) {
             let mut tally = self.tally();
             tally.done += 1;
             tally.resumed += 1;
             drop(tally);
-            eprintln!(
-                "  {exp_id} [{}/{n}] {} {} {}: replayed from journal",
-                i + 1,
-                spec.model,
-                spec.task,
-                spec.setting,
+            self.obs.info(
+                "runner",
+                &format!(
+                    "  {exp_id} [{}/{n}] {} {} {}: replayed from journal",
+                    i + 1,
+                    spec.model,
+                    spec.task,
+                    spec.setting,
+                ),
+                &cell_fields(&[("outcome", "replayed-journal".into())]),
+            );
+            self.obs.record_cell(
+                exp_id,
+                CellOutcome::ReplayedJournal,
+                0,
+                0,
+                cell_started.elapsed().as_secs_f64(),
+                0.0,
+                0.0,
             );
             return out.clone();
         }
@@ -382,12 +468,25 @@ impl RunSession {
             [self.run_fp_hex.as_str(), exp_id, &spec.task, &spec.model, &spec.setting, &seed_hex];
         if let Some(out) = self.artifacts.lookup::<CellOutput>(&cell_parts) {
             self.tally().done += 1;
-            eprintln!(
-                "  {exp_id} [{}/{n}] {} {} {}: replayed from artifact cache",
-                i + 1,
-                spec.model,
-                spec.task,
-                spec.setting,
+            self.obs.info(
+                "runner",
+                &format!(
+                    "  {exp_id} [{}/{n}] {} {} {}: replayed from artifact cache",
+                    i + 1,
+                    spec.model,
+                    spec.task,
+                    spec.setting,
+                ),
+                &cell_fields(&[("outcome", "replayed-cache".into())]),
+            );
+            self.obs.record_cell(
+                exp_id,
+                CellOutcome::ReplayedCache,
+                0,
+                0,
+                cell_started.elapsed().as_secs_f64(),
+                0.0,
+                0.0,
             );
             return (*out).clone();
         }
@@ -395,7 +494,10 @@ impl RunSession {
         let prior_attempts = self.prior.attempts(cell);
         let max_attempts = opts.max_attempts.max(1);
         let mut last_error = String::new();
+        let mut backoff_total = 0u64;
+        let mut attempts_made = 0u32;
         for round in 0..max_attempts {
+            attempts_made = round + 1;
             let attempt = prior_attempts + round + 1;
             self.append_journal(&JournalEntry::Started { cell, attempt, id: id.clone() });
             let started = Instant::now();
@@ -413,13 +515,17 @@ impl RunSession {
                                 attempt,
                                 error: last_error.clone(),
                             });
-                            eprintln!("  {exp_id} [{}/{n}] {label}: {last_error}", i + 1);
+                            self.obs.warn(
+                                "runner",
+                                &format!("  {exp_id} [{}/{n}] {label}: {last_error}", i + 1),
+                                &cell_fields(&[("error", last_error.as_str().into())]),
+                            );
                             // Re-running a cell that just overran its
                             // budget would overrun again; fail it now.
                             break;
                         }
                     }
-                    let zeroed = zero_timings(&out);
+                    let zeroed = out.zero_wallclock();
                     self.append_journal(&JournalEntry::Done {
                         cell,
                         attempt,
@@ -430,23 +536,51 @@ impl RunSession {
                     self.artifacts.store(&cell_parts, zeroed);
                     self.tally().done += 1;
                     match &out.stats {
-                        Some(s) => eprintln!(
-                            "  {exp_id} [{}/{n}] {} {} {}: AC={:.1} F1={:.1}",
-                            i + 1,
-                            spec.model,
-                            spec.task,
-                            spec.setting,
-                            s.accuracy * 100.0,
-                            s.macro_f1 * 100.0,
+                        Some(s) => self.obs.info(
+                            "runner",
+                            &format!(
+                                "  {exp_id} [{}/{n}] {} {} {}: AC={:.1} F1={:.1}",
+                                i + 1,
+                                spec.model,
+                                spec.task,
+                                spec.setting,
+                                s.accuracy * 100.0,
+                                s.macro_f1 * 100.0,
+                            ),
+                            &cell_fields(&[
+                                ("accuracy", s.accuracy.into()),
+                                ("macro_f1", s.macro_f1.into()),
+                                ("train_secs", s.train_secs.into()),
+                                ("infer_secs", s.infer_secs.into()),
+                            ]),
                         ),
-                        None => eprintln!(
-                            "  {exp_id} [{}/{n}] {} {} {}: done",
-                            i + 1,
-                            spec.model,
-                            spec.task,
-                            spec.setting,
+                        None => self.obs.info(
+                            "runner",
+                            &format!(
+                                "  {exp_id} [{}/{n}] {} {} {}: done",
+                                i + 1,
+                                spec.model,
+                                spec.task,
+                                spec.setting,
+                            ),
+                            &cell_fields(&[]),
                         ),
                     }
+                    // Real timings leave through the sink only; the
+                    // serialised output above is already zeroed.
+                    let (train, infer) =
+                        out.stats.map_or((0.0, 0.0), |s| (s.train_secs, s.infer_secs));
+                    self.obs.add_stage("train", train);
+                    self.obs.add_stage("infer", infer);
+                    self.obs.record_cell(
+                        exp_id,
+                        CellOutcome::Executed,
+                        round + 1,
+                        backoff_total,
+                        cell_started.elapsed().as_secs_f64(),
+                        train,
+                        infer,
+                    );
                     return out;
                 }
                 Err(payload) => {
@@ -456,16 +590,25 @@ impl RunSession {
                         attempt,
                         error: last_error.clone(),
                     });
-                    eprintln!(
-                        "  {exp_id} [{}/{n}] {label}: attempt {attempt} failed ({last_error})",
-                        i + 1
+                    self.obs.warn(
+                        "runner",
+                        &format!(
+                            "  {exp_id} [{}/{n}] {label}: attempt {attempt} failed ({last_error})",
+                            i + 1
+                        ),
+                        &cell_fields(&[
+                            ("attempt", attempt.into()),
+                            ("error", last_error.as_str().into()),
+                        ]),
                     );
                     if round + 1 < max_attempts {
                         // Deterministic, seed-derived backoff: the cell
                         // hash already encodes the seed, so the schedule
                         // is reproducible and no wall-clock value ever
                         // reaches a journal entry or record.
-                        std::thread::sleep(Duration::from_millis(backoff_ms(cell, attempt)));
+                        let ms = backoff_ms(cell, attempt);
+                        backoff_total += ms;
+                        std::thread::sleep(Duration::from_millis(ms));
                     }
                 }
             }
@@ -473,6 +616,16 @@ impl RunSession {
         let mut tally = self.tally();
         tally.failed += 1;
         tally.failed_cells.push(format!("{label}: {last_error}"));
+        drop(tally);
+        self.obs.record_cell(
+            exp_id,
+            CellOutcome::Failed,
+            attempts_made,
+            backoff_total,
+            cell_started.elapsed().as_secs_f64(),
+            0.0,
+            0.0,
+        );
         CellOutput::empty()
     }
 
@@ -483,12 +636,20 @@ impl RunSession {
         let path = dir.join(format!("{exp_id}.json"));
         let json = records_json_pretty(records);
         match atomic_write(&path, json.as_bytes()) {
-            Ok(()) => eprintln!("  [saved] {}", path.display()),
+            Ok(()) => self.obs.info(
+                "runner",
+                &format!("  [saved] {}", path.display()),
+                &[("experiment", exp_id.into()), ("path", path.display().to_string().into())],
+            ),
             Err(e) => {
                 // A lost record file invalidates the whole comparison:
                 // surface it in the manifest and the exit code.
                 let msg = format!("{}: {e}", path.display());
-                eprintln!("  [error] could not write records: {msg}");
+                self.obs.error(
+                    "runner",
+                    &format!("  [error] could not write records: {msg}"),
+                    &[("experiment", exp_id.into()), ("error", msg.as_str().into())],
+                );
                 self.tally().record_write_errors.push(msg);
             }
         }
@@ -501,17 +662,6 @@ impl RunSession {
 fn backoff_ms(cell: u64, attempt: u32) -> u64 {
     let jitter = stable_hash64(&[&format!("{cell:016x}"), &attempt.to_string()]) % 20;
     (1u64 << attempt.min(5)) * 5 + jitter
-}
-
-/// Copy an output with wall-clock timings zeroed, matching the record
-/// contract: journal bytes never depend on scheduling or the clock.
-fn zero_timings(out: &CellOutput) -> CellOutput {
-    let mut out = out.clone();
-    if let Some(stats) = &mut out.stats {
-        stats.train_secs = 0.0;
-        stats.infer_secs = 0.0;
-    }
-    out
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -592,6 +742,60 @@ mod tests {
         for jobs in [2, 4, 8] {
             assert_eq!(collect(jobs), serial, "jobs={jobs} must match serial");
         }
+    }
+
+    /// Half the grid panics while the other half is mid-flight: the
+    /// regression case for the `execute_cells` slot mutex, which used to
+    /// `.expect("runner slots poisoned")` and would abort the whole
+    /// sweep on poisoning instead of recovering like `tally()` does.
+    struct Hostile;
+    impl Experiment for Hostile {
+        fn id(&self) -> &'static str {
+            "hostile"
+        }
+        fn description(&self) -> &'static str {
+            "panicking cells interleaved with slow healthy ones"
+        }
+        fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+            (0..8)
+                .map(|i| {
+                    CellSpec::new("T", format!("m{i}"), "s", move |_ctx, cfg| {
+                        if i % 2 == 1 {
+                            panic!("hostile cell {i}");
+                        }
+                        // Keep healthy cells in flight while the hostile
+                        // ones panic on sibling workers.
+                        std::thread::sleep(Duration::from_millis(10));
+                        CellOutput::stats(RecordStats::of(
+                            (cfg.seed % 1000) as f64 / 1000.0,
+                            (cfg.seed % 97) as f64 / 97.0,
+                        ))
+                    })
+                })
+                .collect()
+        }
+        fn render(&self, _ctx: &RunContext, _outputs: &[CellOutput]) {}
+    }
+
+    #[test]
+    fn hostile_panics_mid_flight_do_not_abort_the_parallel_sweep() {
+        let ctx = RunContext::from_preset(Preset::Fast, 42, None);
+        let cells = Hostile.cells(&ctx);
+        let opts = RunOptions { jobs: 4, out_dir: None, ..Default::default() };
+        let session = start_session(&ctx, &opts).expect("no out dir, no journal to fail");
+        let outputs = session.execute_cells("hostile", &cells, &ctx, 4, &opts);
+        assert_eq!(outputs.len(), 8, "every slot filled despite panics");
+        for (i, out) in outputs.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(out.stats.is_none(), "hostile cell {i} must yield an empty output");
+            } else {
+                let s = out.stats.expect("healthy cell kept its output");
+                let seed = ctx.cell_config("hostile", "T", &format!("m{i}"), "s").seed;
+                assert_eq!(s.accuracy, (seed % 1000) as f64 / 1000.0, "slot {i} holds its cell");
+            }
+        }
+        let summary = session.finish();
+        assert_eq!((summary.cells_done, summary.cells_failed), (4, 4));
     }
 
     struct PanicsOnce;

@@ -471,12 +471,7 @@ impl Experiment for Table9 {
                 move |ctx, cfg| {
                     let prep = ctx.prep(task);
                     let (acc, f1) = flow_stats_rf(&prep, cfg);
-                    CellOutput::stats(RecordStats {
-                        accuracy: acc,
-                        macro_f1: f1,
-                        train_secs: 0.0,
-                        infer_secs: 0.0,
-                    })
+                    CellOutput::stats(RecordStats::of(acc, f1))
                 },
             ));
         }
@@ -1060,12 +1055,10 @@ impl Experiment for RepeatVsPad {
                     Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
                 head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
                 let preds = head.predict(&x_test);
-                CellOutput::stats(RecordStats {
-                    accuracy: accuracy(&preds, &y_test),
-                    macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
-                    train_secs: 0.0,
-                    infer_secs: 0.0,
-                })
+                CellOutput::stats(RecordStats::of(
+                    accuracy(&preds, &y_test),
+                    macro_f1(&preds, &y_test, prep.task.n_classes()),
+                ))
             }),
         ]
     }
@@ -1133,12 +1126,10 @@ impl Experiment for BalanceAblation {
                     Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
                 head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
                 let preds = head.predict(&x_test);
-                CellOutput::stats(RecordStats {
-                    accuracy: accuracy(&preds, &y_test),
-                    macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
-                    train_secs: 0.0,
-                    infer_secs: 0.0,
-                })
+                CellOutput::stats(RecordStats::of(
+                    accuracy(&preds, &y_test),
+                    macro_f1(&preds, &y_test, prep.task.n_classes()),
+                ))
             }),
         ]
     }
@@ -1207,12 +1198,10 @@ impl Experiment for PoolingAblation {
                         Mlp::new(&[enc.dim(), cfg.head_hidden, prep.task.n_classes()], cfg.seed);
                     head.fit(&x_train, &y_train, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed);
                     let preds = head.predict(&x_test);
-                    CellOutput::stats(RecordStats {
-                        accuracy: accuracy(&preds, &y_test),
-                        macro_f1: macro_f1(&preds, &y_test, prep.task.n_classes()),
-                        train_secs: 0.0,
-                        infer_secs: 0.0,
-                    })
+                    CellOutput::stats(RecordStats::of(
+                        accuracy(&preds, &y_test),
+                        macro_f1(&preds, &y_test, prep.task.n_classes()),
+                    ))
                 })
             })
             .collect()
@@ -1281,7 +1270,11 @@ impl Experiment for AdvancedSplits {
                     let train = subsample(&train, cfg.max_train, cfg.seed);
                     let test = subsample(&split.test, cfg.max_test, cfg.seed);
                     if train.is_empty() || test.is_empty() {
-                        eprintln!("  advanced_splits {name}: skipped (degenerate partition)");
+                        ctx.obs().warn(
+                            "suite",
+                            &format!("  advanced_splits {name}: skipped (degenerate partition)"),
+                            &[("split", name.into())],
+                        );
                         return CellOutput::empty();
                     }
                     let all_feats = prep.features(FeatureConfig::default());
@@ -1304,12 +1297,10 @@ impl Experiment for AdvancedSplits {
                         cfg.seed,
                     );
                     let preds = rf.predict(&rows(&xte));
-                    CellOutput::stats(RecordStats {
-                        accuracy: accuracy(&preds, &yte),
-                        macro_f1: macro_f1(&preds, &yte, prep.task.n_classes()),
-                        train_secs: 0.0,
-                        infer_secs: 0.0,
-                    })
+                    CellOutput::stats(RecordStats::of(
+                        accuracy(&preds, &yte),
+                        macro_f1(&preds, &yte, prep.task.n_classes()),
+                    ))
                 })
             })
             .collect()

@@ -26,6 +26,7 @@ pub mod engine;
 pub mod experiment;
 pub mod flow_experiment;
 pub mod metrics;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod shallow_baselines;
@@ -35,4 +36,5 @@ pub use artifact::{Artifact, ArtifactCache, ArtifactStats};
 pub use engine::{default_registry, Experiment, Preset, Registry, RunContext, RunOptions};
 pub use experiment::{run_cell, CellConfig, CellResult, SplitPolicy};
 pub use metrics::{accuracy, confusion_matrix, macro_f1, micro_f1};
+pub use obs::{LogFormat, ObsSink};
 pub use pipeline::PreparedTask;

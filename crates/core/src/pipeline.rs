@@ -218,8 +218,13 @@ impl PreparedTask {
     pub fn features(&self, cfg: FeatureConfig) -> Arc<FeatureMatrix> {
         let ip = if cfg.with_ip { "ip" } else { "no-ip" };
         let data = self.data.clone();
+        let obs = self.artifacts.obs();
         self.artifacts.get_or_build(&self.derived_parts(&[ip]), || {
-            FeatureMatrix(par_rows(data.records.len(), |i| extract_features(&data.records[i], cfg)))
+            obs.time_stage("featurize", || {
+                FeatureMatrix(par_rows(data.records.len(), |i| {
+                    extract_features(&data.records[i], cfg)
+                }))
+            })
         })
     }
 
@@ -230,14 +235,17 @@ impl PreparedTask {
     pub fn tokens(&self, encoder: &EncoderModel, variant: TokenVariant) -> Arc<TokenMatrix> {
         let parts = [encoder.kind.name(), encoder.ablation.cache_tag(), variant.tag()];
         let data = self.data.clone();
+        let obs = self.artifacts.obs();
         self.artifacts.get_or_build(&self.derived_parts(&parts), || {
-            TokenMatrix(par_rows(data.records.len(), |i| {
-                let rec = &data.records[i];
-                match variant {
-                    TokenVariant::Repeated => encoder.tokenize_packet_repeated(rec),
-                    TokenVariant::Padded => encoder.tokenize_packet_padded(rec),
-                }
-            }))
+            obs.time_stage("tokenize", || {
+                TokenMatrix(par_rows(data.records.len(), |i| {
+                    let rec = &data.records[i];
+                    match variant {
+                        TokenVariant::Repeated => encoder.tokenize_packet_repeated(rec),
+                        TokenVariant::Padded => encoder.tokenize_packet_padded(rec),
+                    }
+                }))
+            })
         })
     }
 
@@ -252,18 +260,21 @@ impl PreparedTask {
         let frac = format!("{:016x}", train_frac.to_bits());
         let seed_hex = format!("{seed:016x}");
         let data = self.data.clone();
+        let obs = self.artifacts.obs();
         match policy {
             SplitPolicy::PerFlow => {
                 let mfp = max_flow_packets.to_string();
                 let parts = ["per-flow", frac.as_str(), mfp.as_str(), seed_hex.as_str()];
                 self.artifacts.get_or_build(&self.derived_parts(&parts), || {
-                    per_flow_split(&data, train_frac, max_flow_packets, seed)
+                    obs.time_stage("split", || {
+                        per_flow_split(&data, train_frac, max_flow_packets, seed)
+                    })
                 })
             }
             SplitPolicy::PerPacket => {
                 let parts = ["per-packet", frac.as_str(), seed_hex.as_str()];
                 self.artifacts.get_or_build(&self.derived_parts(&parts), || {
-                    per_packet_split(&data, train_frac, seed)
+                    obs.time_stage("split", || per_packet_split(&data, train_frac, seed))
                 })
             }
         }
@@ -306,14 +317,17 @@ impl TaskCache {
             ((scale * 1000.0) as u64).to_string(),
         ];
         let parts: Vec<&str> = dataset_key.iter().map(String::as_str).collect();
+        let obs = self.artifacts.obs();
         let art = self.artifacts.get_or_build::<DatasetArtifact>(&parts, || {
             let spec = DatasetSpec::new(kind, seed).scaled(scale);
-            let mut trace = spec.generate();
-            let report = clean_trace(&mut trace);
-            DatasetArtifact {
-                data: Arc::new(Prepared::from_trace(&trace)),
-                clean: Arc::new(report),
-            }
+            let mut trace = obs.time_stage("trace", || spec.generate());
+            obs.time_stage("clean", || {
+                let report = clean_trace(&mut trace);
+                DatasetArtifact {
+                    data: Arc::new(Prepared::from_trace(&trace)),
+                    clean: Arc::new(report),
+                }
+            })
         });
         PreparedTask {
             task,

@@ -48,6 +48,31 @@ pub fn kernel_threads() -> usize {
     KERNEL_THREADS.load(Ordering::Relaxed).max(1)
 }
 
+/// How many matmul dispatches took the parallel (row-partitioned) path.
+static PAR_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+/// How many matmul dispatches ran serially (budget 1 or below the
+/// `PAR_MIN_MULADDS` work floor).
+static SERIAL_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide dispatch counters for the kernels' serial/parallel
+/// decision, surfaced by the engine's observability layer so a run can
+/// audit whether its kernel-thread budget ever paid off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Dispatches that spawned the row-partitioned thread pool.
+    pub parallel_dispatches: usize,
+    /// Dispatches that stayed on the serial path.
+    pub serial_dispatches: usize,
+}
+
+/// Snapshot of the dispatch counters (monotonic over the process).
+pub fn kernel_stats() -> KernelStats {
+    KernelStats {
+        parallel_dispatches: PAR_DISPATCHES.load(Ordering::Relaxed),
+        serial_dispatches: SERIAL_DISPATCHES.load(Ordering::Relaxed),
+    }
+}
+
 /// Reusable scratch buffer for kernels that need temporary storage
 /// (currently the materialised transpose inside `matmul_t`). Owned per
 /// layer so steady-state training steps allocate nothing.
@@ -125,9 +150,11 @@ fn run_row_partitioned(
         threads = 1;
     }
     if threads <= 1 {
+        SERIAL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
         body(0, m, out);
         return;
     }
+    PAR_DISPATCHES.fetch_add(1, Ordering::Relaxed);
     std::thread::scope(|scope| {
         let mut rest = out;
         let mut lo = 0usize;
@@ -494,5 +521,36 @@ mod tests {
     fn thread_budget_clamps_to_one() {
         set_kernel_threads(0);
         assert_eq!(kernel_threads(), 1);
+    }
+
+    #[test]
+    fn dispatch_counters_track_the_serial_parallel_decision() {
+        // Counters are process-global and other tests dispatch kernels
+        // concurrently, so assert per-call deltas of the relevant
+        // counter only, not totals.
+        let before = kernel_threads();
+        let mut rng = XorShift(0x1234);
+        let (m, k, n) = (96, 128, 96);
+        assert!(m * k * n >= PAR_MIN_MULADDS);
+        let a = rng.fill(m * k);
+        let b = rng.fill(k * n);
+        let mut out = vec![0.0f32; m * n];
+
+        set_kernel_threads(1);
+        let serial0 = kernel_stats().serial_dispatches;
+        matmul(m, k, n, &a, &b, &mut out);
+        assert_eq!(kernel_stats().serial_dispatches, serial0 + 1, "budget 1 dispatches serially");
+
+        set_kernel_threads(4);
+        let par0 = kernel_stats().parallel_dispatches;
+        matmul(m, k, n, &a, &b, &mut out);
+        assert_eq!(kernel_stats().parallel_dispatches, par0 + 1, "big matmul goes parallel");
+
+        // Below the work floor, a 4-thread budget still runs serially.
+        let tiny0 = kernel_stats().serial_dispatches;
+        let mut tiny_out = vec![0.0f32; 4];
+        matmul(2, 2, 2, &[1.0; 4], &[1.0; 4], &mut tiny_out);
+        assert_eq!(kernel_stats().serial_dispatches, tiny0 + 1, "tiny matmul stays serial");
+        set_kernel_threads(before);
     }
 }

@@ -40,7 +40,7 @@ pub use adam::Adam;
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
-pub use kernel::{kernel_threads, set_kernel_threads, Workspace};
+pub use kernel::{kernel_stats, kernel_threads, set_kernel_threads, KernelStats, Workspace};
 pub use mlp::Mlp;
 pub use schedule::LrSchedule;
 pub use tensor::Tensor;

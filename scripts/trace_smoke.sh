@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Trace smoke test: run the same sweep with and without --trace and
+# require (a) byte-identical result records, journal and manifest —
+# observability must stay strictly out of band — (b) a trace.jsonl whose
+# every line is a JSON event, (c) a metrics.json whose cell totals agree
+# with the traced run's manifest.
+#
+# Environment knobs:
+#   REPRO_BIN   path to the repro binary (default target/release/repro)
+#   EXP         experiment to sweep (default table8: 16 cells, ~seconds)
+#   WORK_DIR    scratch directory (default: fresh mktemp -d)
+set -euo pipefail
+
+REPRO_BIN="${REPRO_BIN:-target/release/repro}"
+EXP="${EXP:-table8}"
+WORK_DIR="${WORK_DIR:-$(mktemp -d)}"
+
+plain="$WORK_DIR/plain"
+traced="$WORK_DIR/traced"
+
+# jobs=1 keeps journal append order deterministic, so every byte of all
+# three deterministic outputs must match across the two runs.
+"$REPRO_BIN" "$EXP" --fast --jobs 1 --out "$plain" >/dev/null 2>&1
+"$REPRO_BIN" "$EXP" --fast --jobs 1 --trace --out "$traced" >/dev/null 2>&1
+
+for f in "$EXP.json" journal.jsonl run-manifest.json; do
+    diff "$plain/$f" "$traced/$f"
+done
+echo "ok: records, journal and manifest byte-identical with --trace"
+
+for f in trace.jsonl metrics.json; do
+    [ -s "$traced/$f" ] || { echo "FAIL: traced run wrote no $f" >&2; exit 1; }
+    if [ -e "$plain/$f" ]; then
+        echo "FAIL: untraced run wrote $f" >&2
+        exit 1
+    fi
+done
+
+# Every trace line is a standalone JSON object with the event envelope.
+bad=$(grep -cv '^{"t":.*"level":.*"target":.*"msg":.*}$' "$traced/trace.jsonl" || true)
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: $bad trace lines are not JSON events" >&2
+    exit 1
+fi
+events=$(wc -l < "$traced/trace.jsonl")
+echo "ok: trace.jsonl carries $events parseable events"
+
+# The metrics must reconcile with the manifest written by the same run.
+for key in total done failed; do
+    metric=$(grep -o "\"$key\": *[0-9]*" "$traced/metrics.json" | head -n1 | grep -o '[0-9]*$')
+    manifest=$(grep -o "\"cells_$key\": *[0-9]*" "$traced/run-manifest.json" | grep -o '[0-9]*$')
+    if [ "$metric" != "$manifest" ]; then
+        echo "FAIL: metrics cells.$key=$metric but manifest cells_$key=$manifest" >&2
+        exit 1
+    fi
+done
+echo "ok: metrics.json cell totals agree with the run manifest"
+
+# The report renderer must accept the file it was built for.
+RESULTS_MD_BIN="${RESULTS_MD_BIN:-$(dirname "$REPRO_BIN")/results_md}"
+if [ -x "$RESULTS_MD_BIN" ]; then
+    "$RESULTS_MD_BIN" --trace-report --out "$traced" >/dev/null
+    echo "ok: results_md --trace-report renders the metrics"
+fi
+
+echo "trace smoke passed ($EXP, work dir $WORK_DIR)"

@@ -245,12 +245,13 @@ fn encoder_checkpoint_round_trips_with_identical_embeddings() {
         budget: PretrainBudget::default(),
         seed: 11,
     };
+    let obs = debunk::debunk_core::obs::global();
     let built = EncoderStore::new(Some(dir.clone()))
-        .get_or_build(&key, || EncoderModel::new(ModelKind::YaTc, 11));
+        .get_or_build(&key, &obs, || EncoderModel::new(ModelKind::YaTc, 11));
     // A fresh store simulates a second process: it must serve the model
     // from disk, never invoking the builder again.
     let restored = EncoderStore::new(Some(dir.clone()))
-        .get_or_build(&key, || panic!("checkpoint on disk — builder must not run"));
+        .get_or_build(&key, &obs, || panic!("checkpoint on disk — builder must not run"));
 
     let trace = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
     let data = Prepared::from_trace(&trace);
