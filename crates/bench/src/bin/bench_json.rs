@@ -3,7 +3,7 @@
 //! performance trajectory of the reproduction.
 //!
 //! ```text
-//! bench_json [--quick] [--pipeline] [--out PATH]
+//! bench_json [--quick] [--pipeline | --serving] [--out PATH]
 //!
 //! options:
 //!   --quick     fewer repetitions, skip the registry experiments
@@ -11,9 +11,12 @@
 //!   --pipeline  benchmark the data-preparation pipeline stages and the
 //!               cold-vs-warm artifact cache instead of the kernels;
 //!               writes "BENCH_pipeline.json"
-//!   --out PATH  output file (default "BENCH_kernels.json" or
-//!               "BENCH_pipeline.json"; run from the workspace root so
-//!               the file lands at the repo root)
+//!   --serving   benchmark the online serving path (flow-table ingest,
+//!               per-model replay classification, per-packet latency
+//!               percentiles); writes "BENCH_serving.json"
+//!   --out PATH  output file (default "BENCH_kernels.json",
+//!               "BENCH_pipeline.json" or "BENCH_serving.json"; run from
+//!               the workspace root so the file lands at the repo root)
 //! ```
 //!
 //! The file records the current numbers next to a frozen baseline —
@@ -56,6 +59,21 @@ const BASELINE_PRE_PR4_MS: &[(&str, f64)] = &[
     ("split", 0.357),
     ("registry_table8_cold", 1903.31),
     ("registry_table8_warm", 1903.31),
+];
+
+/// Frozen PR6 numbers (first release of the serving path; same
+/// container). Entries suffixed `_us` are microseconds, `_per_sec` is a
+/// rate — everything else is milliseconds like the other groups.
+const BASELINE_SERVING: &[(&str, f64)] = &[
+    ("serve_ingest_only", 0.935),
+    ("serve_encoder", 18.186),
+    ("serve_forest", 3.333),
+    ("serve_gbdt", 4.206),
+    ("serve_knn", 147.377),
+    ("serve_mixed_e2e", 24.267),
+    ("serve_packet_p50_us", 0.366),
+    ("serve_packet_p99_us", 1.364),
+    ("serve_flows_per_sec", 10549.194),
 ];
 
 /// Deterministic xorshift64* stream — benchmark data without `rand`.
@@ -191,6 +209,84 @@ fn pipeline_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     results
 }
 
+/// Benchmark the online serving path: flow-table ingest alone,
+/// replay-to-verdict classification per model target, a mixed policy
+/// end-to-end, per-packet ingest latency percentiles (µs), and the
+/// derived flow throughput. Everything runs on the frozen inference
+/// structs — training happens once, outside the timed region.
+fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
+    use dataset::record::Prepared;
+    use debunk_core::obs::{LogFormat, ObsSink};
+    use serving::engine::{serve_stream, ServeOptions};
+    use serving::policy::Policy;
+    use serving::source::SynthSpec;
+    use serving::{FlowTable, ModelBundle};
+
+    let bundle = ModelBundle::train(
+        &Prepared::from_trace(&SynthSpec::parse("ustc:7:2").unwrap().trace()),
+        42,
+    );
+    let replay_spec = if quick { "ustc:11:2" } else { "ustc:11:4" };
+    let replay = SynthSpec::parse(replay_spec).unwrap().replay();
+    let sink = ObsSink::stderr(LogFormat::Text);
+    let opts = ServeOptions::default();
+    eprintln!("  serving fixtures ready ({} packets)", replay.len());
+
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    results.push((
+        "serve_ingest_only",
+        bench_ms(reps, || {
+            let mut table = FlowTable::new(opts.idle_timeout);
+            for p in &replay {
+                table.push(p.ts, &p.frame);
+                std::hint::black_box(table.poll(p.ts));
+            }
+            table.flush().len()
+        }),
+    ));
+    for (name, target) in [
+        ("serve_encoder", "encoder"),
+        ("serve_forest", "forest"),
+        ("serve_gbdt", "gbdt"),
+        ("serve_knn", "knn"),
+    ] {
+        let policy = Policy::route_all(target);
+        results.push((
+            name,
+            bench_ms(reps, || {
+                let mut out = Vec::new();
+                serve_stream(&bundle, &policy, &replay, &opts, &mut out, &sink).unwrap()
+            }),
+        ));
+    }
+    eprintln!("  per-target replays done");
+
+    let mixed = Policy::parse("*:tcp:443 -> encoder\n*:udp -> knn\ndefault -> forest\n").unwrap();
+    let e2e_ms = bench_ms(reps, || {
+        let mut out = Vec::new();
+        serve_stream(&bundle, &mixed, &replay, &opts, &mut out, &sink).unwrap()
+    });
+    results.push(("serve_mixed_e2e", e2e_ms));
+    let mut out = Vec::new();
+    let stats = serve_stream(&bundle, &mixed, &replay, &opts, &mut out, &sink).unwrap();
+
+    // Per-packet ingest latency distribution over one replay (µs).
+    let mut table = FlowTable::new(opts.idle_timeout);
+    let mut lat_us: Vec<f64> = Vec::with_capacity(replay.len());
+    for p in &replay {
+        let t0 = Instant::now();
+        table.push(p.ts, &p.frame);
+        std::hint::black_box(table.poll(p.ts));
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    lat_us.sort_by(f64::total_cmp);
+    results.push(("serve_packet_p50_us", lat_us[lat_us.len() / 2]));
+    results.push(("serve_packet_p99_us", lat_us[lat_us.len() * 99 / 100]));
+    results.push(("serve_flows_per_sec", stats.flows as f64 / (e2e_ms / 1e3)));
+    eprintln!("  latency percentiles done");
+    results
+}
+
 /// Render and write one benchmark group as hand-rolled JSON (no serde
 /// dependency in the hot path).
 fn emit(
@@ -242,12 +338,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut pipeline = false;
+    let mut serving = false;
     let mut out_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--pipeline" => pipeline = true,
+            "--serving" => serving = true,
             "--out" => {
                 out_path = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("error: --out requires a value");
@@ -256,12 +354,22 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown flag '{other}'");
-                eprintln!("usage: bench_json [--quick] [--pipeline] [--out PATH]");
+                eprintln!("usage: bench_json [--quick] [--pipeline | --serving] [--out PATH]");
                 std::process::exit(2);
             }
         }
     }
+    if pipeline && serving {
+        eprintln!("error: --pipeline and --serving are mutually exclusive");
+        std::process::exit(2);
+    }
     let reps = if quick { 3 } else { 9 };
+    if serving {
+        let results = serving_group(quick, reps);
+        let out = out_path.unwrap_or_else(|| String::from("BENCH_serving.json"));
+        emit("bench_serving/v1", "baseline_pr6_ms", quick, &results, BASELINE_SERVING, &out);
+        return;
+    }
     if pipeline {
         let results = pipeline_group(quick, reps);
         let out = out_path.unwrap_or_else(|| String::from("BENCH_pipeline.json"));

@@ -642,7 +642,7 @@ impl fmt::Display for JournalError {
             JournalError::FingerprintMismatch { path, expected, found } => write!(
                 f,
                 "journal {} was written by a different run configuration \
-                 (found {found:016x}, this run is {expected:016x}); \
+                 (journal fingerprint {found:016x}, this run is {expected:016x}); \
                  rerun without --resume or use a fresh --out dir",
                 path.display()
             ),

@@ -199,6 +199,40 @@ struct KernelBudget {
     kernel_threads: u64,
 }
 
+#[derive(Debug, Default, Clone, Copy)]
+struct ServingAgg {
+    packets: u64,
+    non_ip: u64,
+    flows_opened: u64,
+    evicted_closed: u64,
+    evicted_idle: u64,
+    flushed: u64,
+    batches: u64,
+    verdicts: u64,
+}
+
+/// Why the serving flow table retired a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionReason {
+    /// TCP teardown observed (both FINs or RST).
+    Closed,
+    /// No packet within the idle timeout.
+    Idle,
+    /// End-of-stream flush.
+    Flush,
+}
+
+impl EvictionReason {
+    /// Lower-case name as written in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionReason::Closed => "closed",
+            EvictionReason::Idle => "idle",
+            EvictionReason::Flush => "flush",
+        }
+    }
+}
+
 #[derive(Default)]
 struct Agg {
     stages: BTreeMap<String, StageAgg>,
@@ -207,6 +241,7 @@ struct Agg {
     retries: u64,
     backoff_ms: u64,
     kernel: Option<KernelBudget>,
+    serving: ServingAgg,
 }
 
 /// A structured event/metrics sink. Cheap to share (`Arc`); every method
@@ -403,6 +438,94 @@ impl ObsSink {
     /// Record the whole-experiment wall-clock span (cells + render).
     pub fn record_experiment_wall(&self, experiment: &str, wall_secs: f64) {
         self.agg().experiments.entry(experiment.to_string()).or_default().wall_secs += wall_secs;
+    }
+
+    /// Record serving ingest progress: `packets` frames examined, of
+    /// which `non_ip` carried no flow key (ARP, malformed, ...).
+    pub fn record_serving_packets(&self, packets: u64, non_ip: u64) {
+        let mut agg = self.agg();
+        agg.serving.packets += packets;
+        agg.serving.non_ip += non_ip;
+    }
+
+    /// Record a flow entering the serving flow table.
+    pub fn record_serving_flow_opened(&self) {
+        self.agg().serving.flows_opened += 1;
+    }
+
+    /// Record a flow leaving the serving flow table.
+    pub fn record_serving_eviction(&self, reason: EvictionReason) {
+        let mut agg = self.agg();
+        match reason {
+            EvictionReason::Closed => agg.serving.evicted_closed += 1,
+            EvictionReason::Idle => agg.serving.evicted_idle += 1,
+            EvictionReason::Flush => agg.serving.flushed += 1,
+        }
+    }
+
+    /// Record one classification batch producing `verdicts` verdicts.
+    pub fn record_serving_batch(&self, verdicts: usize) {
+        let mut agg = self.agg();
+        agg.serving.batches += 1;
+        agg.serving.verdicts += verdicts as u64;
+    }
+
+    /// Render the serving counters (plus any recorded stages) as
+    /// deterministic-structure JSON. Strictly out of band: nothing in
+    /// here ever reaches the verdict stream.
+    pub fn serving_metrics_json(&self, total_secs: f64) -> String {
+        let agg = self.agg();
+        let sv = agg.serving;
+        let counts = &self.event_counts;
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"debunk-serving-metrics-v1\",\n");
+        s.push_str(&format!("  \"total_secs\": {},\n", format_f64(total_secs)));
+        s.push_str(&format!(
+            "  \"packets\": {{\"seen\": {}, \"non_ip\": {}}},\n",
+            sv.packets, sv.non_ip
+        ));
+        s.push_str(&format!(
+            "  \"flows\": {{\"opened\": {}, \"evicted_closed\": {}, \"evicted_idle\": {}, \
+             \"flushed\": {}}},\n",
+            sv.flows_opened, sv.evicted_closed, sv.evicted_idle, sv.flushed
+        ));
+        s.push_str(&format!(
+            "  \"batches\": {{\"count\": {}, \"verdicts\": {}}},\n",
+            sv.batches, sv.verdicts
+        ));
+        s.push_str(&format!(
+            "  \"events\": {{\"debug\": {}, \"info\": {}, \"warn\": {}, \"error\": {}}},\n",
+            counts[0].load(Ordering::Relaxed),
+            counts[1].load(Ordering::Relaxed),
+            counts[2].load(Ordering::Relaxed),
+            counts[3].load(Ordering::Relaxed),
+        ));
+        s.push_str("  \"stages\": {");
+        for (i, (name, st)) in agg.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"secs\": {}}}",
+                escape_json(name),
+                st.count,
+                format_f64(st.secs)
+            ));
+        }
+        s.push_str(if agg.stages.is_empty() { "}\n" } else { "\n  }\n" });
+        s.push('}');
+        s
+    }
+
+    /// Write the serving metrics atomically as `metrics.json` under this
+    /// sink's directory. `Ok(None)` for a stderr-only sink.
+    pub fn write_serving_metrics(&self, total_secs: f64) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.dir else { return Ok(None) };
+        let path = dir.join(METRICS_FILE);
+        let mut body = self.serving_metrics_json(total_secs);
+        body.push('\n');
+        atomic_write(&path, body.as_bytes())?;
+        Ok(Some(path))
     }
 
     /// Render the aggregated metrics as deterministic-structure JSON.
@@ -688,6 +811,33 @@ mod tests {
         let report = trace_report(&json).expect("report renders");
         assert!(report.contains("| table8 | 3 | 1 | 1 | 1 |"), "report: {report}");
         assert!(report.contains("| tokenize | 2 |"));
+    }
+
+    #[test]
+    fn serving_counters_aggregate_into_metrics() {
+        let sink = ObsSink::stderr(LogFormat::Text);
+        sink.record_serving_packets(90, 3);
+        sink.record_serving_packets(10, 1);
+        sink.record_serving_flow_opened();
+        sink.record_serving_flow_opened();
+        sink.record_serving_eviction(EvictionReason::Closed);
+        sink.record_serving_eviction(EvictionReason::Flush);
+        sink.record_serving_batch(2);
+        sink.add_stage("serve:classify", 0.125);
+        let json = sink.serving_metrics_json(1.5);
+        let j = parse_json(&json).expect("serving metrics parse");
+        let pk = j.get("packets").expect("packets section");
+        assert_eq!(get_u64(pk, "seen"), 100);
+        assert_eq!(get_u64(pk, "non_ip"), 4);
+        let fl = j.get("flows").expect("flows section");
+        assert_eq!(get_u64(fl, "opened"), 2);
+        assert_eq!(get_u64(fl, "evicted_closed"), 1);
+        assert_eq!(get_u64(fl, "flushed"), 1);
+        let b = j.get("batches").expect("batches section");
+        assert_eq!(get_u64(b, "count"), 1);
+        assert_eq!(get_u64(b, "verdicts"), 2);
+        let st = j.get("stages").unwrap().get("serve:classify").expect("stage entry");
+        assert_eq!(get_f64(st, "secs"), 0.125);
     }
 
     #[test]

@@ -146,6 +146,25 @@ pub fn load_checkpoint(path: &Path, key: &PretrainKey) -> Result<EncoderModel, C
     Ok(ckpt.model)
 }
 
+/// Export the checkpoint at `ckpt_path` (verified against `key`) as a
+/// frozen inference-only file at `out_path` — the bridge from the
+/// training world (JSON checkpoints with provenance) to the serving
+/// world (binary weights, no training code needed to load).
+pub fn export_frozen(
+    ckpt_path: &Path,
+    key: &PretrainKey,
+    out_path: &Path,
+) -> Result<(), CheckpointError> {
+    use nn::frozen::{FrozenArtifact, FrozenError};
+    let model = load_checkpoint(ckpt_path, key)?;
+    model.freeze().save_frozen(out_path).map_err(|e| match e {
+        FrozenError::Io(io) => CheckpointError::Io(io),
+        FrozenError::Format(msg) => {
+            CheckpointError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

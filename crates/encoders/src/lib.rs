@@ -28,16 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod frozen;
 pub mod model;
 pub mod pcap_encoder;
 pub mod pool;
 pub mod pretrain;
 pub mod qa;
 pub mod tokenize;
+pub mod tokenizer;
 
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, stable_hash64, CheckpointError, EncoderCheckpoint,
-    PretrainKey,
+    export_frozen, load_checkpoint, save_checkpoint, stable_hash64, CheckpointError,
+    EncoderCheckpoint, PretrainKey,
 };
+pub use frozen::FrozenPcapEncoder;
 pub use model::{EncoderModel, ModelKind};
 pub use pcap_encoder::{PcapEncoderVariant, PretrainPhases};
+pub use tokenizer::TokenizerConfig;

@@ -2,12 +2,10 @@
 //! embedding + mean-pooling backbone that supports frozen encoding and
 //! unfrozen (end-to-end) training.
 
-use crate::tokenize::{
-    byte_tokens, ip_bytes_anonymised, ip_bytes_randomised, multimodal_tokens,
-    netfound_field_tokens, patch_tokens, transport_bytes_no_ports, word_tokens, VOCAB,
-};
+use crate::tokenize::VOCAB;
+use crate::tokenizer::TokenizerConfig;
 use dataset::record::PacketRecord;
-use dataset::transform::{ablated_view, InputAblation};
+use dataset::transform::InputAblation;
 use nn::{Dense, Embedding, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -208,137 +206,46 @@ impl EncoderModel {
         self.kind.dim()
     }
 
+    /// The tokenisation half of this encoder (configuration only) —
+    /// shared verbatim with the frozen inference path.
+    pub fn tokenizer(&self) -> TokenizerConfig {
+        TokenizerConfig { kind: self.kind, ablation: self.ablation }
+    }
+
     /// Tokenise one packet according to the model's input-preparation
     /// rules. `augment` enables training-time randomisation where the
     /// original paper uses it (TrafficFormer).
     pub fn tokenize_packet(&self, rec: &PacketRecord, augment: Option<&mut StdRng>) -> Vec<u32> {
-        let salt = self.kind.salt();
-        let mut out = Vec::with_capacity(96);
-        match self.kind {
-            ModelKind::EtBert => {
-                let bytes = self.ablate(rec, transport_bytes_no_ports(rec));
-                word_tokens(&bytes, 48, salt, &mut out);
-            }
-            ModelKind::YaTc => {
-                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
-                patch_tokens(&bytes, 40, salt, &mut out);
-            }
-            ModelKind::NetMamba => {
-                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
-                byte_tokens(&bytes, 64, salt, &mut out);
-            }
-            ModelKind::TrafficFormer => {
-                let bytes = match augment {
-                    Some(rng) => ip_bytes_randomised(rec, rng),
-                    None => rec.frame[rec.parsed.ip_offset..].to_vec(),
-                };
-                let bytes = self.ablate(rec, bytes);
-                word_tokens(&bytes, 72, salt, &mut out);
-            }
-            ModelKind::NetFound => {
-                netfound_field_tokens(rec, salt, &mut out);
-                multimodal_tokens(rec.from_client, 0.0, salt, &mut out);
-                let payload = rec.payload();
-                word_tokens(&payload[..payload.len().min(12)], 6, salt + 1, &mut out);
-            }
-            ModelKind::PcapEncoder => {
-                // Byte-level position-aware tokens: each header byte is
-                // its own token, so field values generalise across
-                // packets (the analogue of T5's copyable hex words).
-                let view = ablated_view(rec, self.ablation);
-                let start = if self.ablation == InputAblation::NoHeader {
-                    0
-                } else {
-                    rec.parsed.ip_offset.min(view.len())
-                };
-                byte_tokens(&view[start..], 64, salt, &mut out);
-            }
-            ModelKind::Pert => {
-                // ALBERT shares parameters across layers; the analogue
-                // shares token rows across coarse position buckets.
-                let bytes = self.ablate(rec, transport_bytes_no_ports(rec));
-                for (i, w) in bytes.chunks(2).take(48).enumerate() {
-                    let val = if w.len() == 2 {
-                        u32::from(u16::from_be_bytes([w[0], w[1]]))
-                    } else {
-                        u32::from(w[0]) << 16
-                    };
-                    out.push(crate::tokenize::hash_token((i / 4) as u32, val, salt));
-                }
-            }
-            ModelKind::PacRep => {
-                // Off-the-shelf text encoder: byte bigrams as "words",
-                // no positional alignment with packet structure.
-                let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
-                for w in bytes.chunks(2).take(64) {
-                    let val = if w.len() == 2 {
-                        u32::from(u16::from_be_bytes([w[0], w[1]]))
-                    } else {
-                        u32::from(w[0]) << 16
-                    };
-                    out.push(crate::tokenize::hash_token(0, val, salt));
-                }
-            }
-            ModelKind::Ptu => {
-                // PTU removes IP address, MAC address and checksum
-                // (App. A.2); otherwise ET-BERT-style word tokens.
-                let mut bytes = ip_bytes_anonymised(rec);
-                let tr = rec.parsed.transport_offset - rec.parsed.ip_offset;
-                if rec.parsed.transport.is_tcp() && bytes.len() >= tr + 18 {
-                    bytes[tr + 16..tr + 18].fill(0); // TCP checksum
-                }
-                let bytes = self.ablate(rec, bytes);
-                word_tokens(&bytes, 56, salt, &mut out);
-            }
-        }
-        out
-    }
-
-    fn ablate(&self, rec: &PacketRecord, default_bytes: Vec<u8>) -> Vec<u8> {
-        match self.ablation {
-            InputAblation::Base => default_bytes,
-            _ => ablated_view(rec, self.ablation),
-        }
+        self.tokenizer().tokenize_packet(rec, augment)
     }
 
     /// Tokenise a multi-packet input (flow tasks). Flow embedders mix
     /// the packet index into the position; Pcap-Encoder is packet-level
     /// and callers use majority voting instead.
     pub fn tokenize_flow(&self, packets: &[&PacketRecord]) -> Vec<u32> {
-        let mut out = Vec::new();
-        for (pi, rec) in packets.iter().enumerate() {
-            let toks = self.tokenize_packet(rec, None);
-            let shift = (pi as u32) << 10;
-            out.extend(toks.into_iter().map(|t| (t + shift) % VOCAB as u32));
-        }
-        out
+        self.tokenizer().tokenize_flow(packets)
     }
 
     /// Packet-level input for flow embedders: the paper *Repeats* the
     /// packet 5 times to form an artificial flow (§5, footnote 11).
     pub fn tokenize_packet_repeated(&self, rec: &PacketRecord) -> Vec<u32> {
-        if self.kind.is_flow_embedder() {
-            let reps: Vec<&PacketRecord> = std::iter::repeat_n(rec, 5).collect();
-            self.tokenize_flow(&reps)
-        } else {
-            self.tokenize_packet(rec, None)
-        }
+        self.tokenizer().tokenize_packet_repeated(rec)
     }
 
     /// Alternative Padding strategy (ablation for footnote 11): the
     /// packet once, then four all-zero padding packets.
     pub fn tokenize_packet_padded(&self, rec: &PacketRecord) -> Vec<u32> {
-        if self.kind.is_flow_embedder() {
-            let mut out = self.tokenize_packet(rec, None);
-            for pi in 1..5u32 {
-                // zero-packet tokens: position-only hashes
-                for i in 0..16u32 {
-                    out.push(crate::tokenize::hash_token(i + (pi << 10), 0, self.kind.salt()));
-                }
-            }
-            out
-        } else {
-            self.tokenize_packet(rec, None)
+        self.tokenizer().tokenize_packet_padded(rec)
+    }
+
+    /// Weights-only inference twin for export: tokenizer config plus
+    /// frozen embedding and projection. Its encodings are bit-identical
+    /// to [`EncoderModel::encode_packets`]/[`EncoderModel::encode_flows`].
+    pub fn freeze(&self) -> crate::frozen::FrozenPcapEncoder {
+        crate::frozen::FrozenPcapEncoder {
+            tokenizer: self.tokenizer(),
+            embedding: self.embedding.freeze(),
+            proj: self.proj.freeze(),
         }
     }
 

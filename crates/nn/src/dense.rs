@@ -100,6 +100,11 @@ impl Dense {
         }
     }
 
+    /// Weights-only inference twin for export ([`crate::frozen`]).
+    pub fn freeze(&self) -> crate::frozen::FrozenDense {
+        crate::frozen::FrozenDense { w: self.w.clone(), b: self.b.clone() }
+    }
+
     /// Shared backward plumbing: fills `self.d_w`/`self.d_b` with the
     /// batch-averaged weight and bias gradients, writes dX = d_out·Wᵀ
     /// into `d_x`, and retires the input cache into the spare slot.

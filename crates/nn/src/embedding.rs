@@ -124,6 +124,12 @@ impl Embedding {
         }
     }
 
+    /// Weights-only inference twin for export ([`crate::frozen`]); its
+    /// pooling is bit-identical to [`Embedding::forward_inference`].
+    pub fn freeze(&self) -> crate::frozen::FrozenEmbedding {
+        crate::frozen::FrozenEmbedding { table: self.table.clone() }
+    }
+
     /// Scatter `d_out` (batch × dim) back into the table rows touched
     /// by the cached batch and apply a sparse Adam step.
     pub fn backward(&mut self, d_out: &Tensor, lr: f32) {

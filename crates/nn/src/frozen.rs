@@ -1,0 +1,698 @@
+//! Frozen (inference-only) twins of the trainable layers, plus the
+//! versioned, checksummed binary format they ship in.
+//!
+//! A `Frozen*` struct carries weights and nothing else — no Adam
+//! moments, no dropout masks, no cached activations or gradient
+//! scratch — so an exported model is exactly the bytes inference
+//! needs. The forward paths are copies of the corresponding
+//! `forward_inference` code, so a frozen model's outputs are
+//! *bit-identical* to the trained model it was frozen from.
+//!
+//! The on-disk format follows the `DBAF` artifact-envelope discipline
+//! from `debunk_core::artifact` (which this crate cannot depend on —
+//! the dependency arrow points the other way — so the envelope is
+//! reimplemented here under its own magic):
+//!
+//! `DBFZ` · version u32 LE · kind (u32 len + bytes) · payload
+//! (u64 len + bytes) · FNV-64 checksum of everything before it.
+//!
+//! Writes go to a temp sibling and are renamed into place; a corrupt,
+//! truncated or wrong-kind file is refused with a specific error and
+//! never decoded into a wrong model.
+
+use crate::tensor::Tensor;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes opening every frozen-model file.
+pub const FROZEN_MAGIC: &[u8; 4] = b"DBFZ";
+/// Current envelope version.
+pub const FROZEN_VERSION: u32 = 1;
+
+/// Cap on elements decoded into one buffer, so a corrupt length field
+/// that survives the checksum (i.e. a deliberately crafted file) cannot
+/// request an absurd allocation.
+const MAX_ELEMS: u64 = 1 << 28;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors from loading a frozen model file.
+#[derive(Debug)]
+pub enum FrozenError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The bytes do not decode as the requested frozen model.
+    Format(String),
+}
+
+impl std::fmt::Display for FrozenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrozenError::Io(e) => write!(f, "frozen model io error: {e}"),
+            FrozenError::Format(e) => write!(f, "frozen model rejected: {e}"),
+        }
+    }
+}
+impl std::error::Error for FrozenError {}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+/// Little-endian payload writer for frozen-model bodies.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Empty writer.
+    pub fn new() -> PayloadWriter {
+        PayloadWriter::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` as its raw bits (bit-exact round-trip).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw bits.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed (u64) `f32` slice.
+    pub fn f32s(&mut self, vs: &[f32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+
+    /// Append a length-prefixed (u64) `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Append a length-prefixed (u64) `u16` slice.
+    pub fn u16s(&mut self, vs: &[u16]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u16(v);
+        }
+    }
+}
+
+/// Little-endian payload reader; every accessor fails loudly on
+/// truncation instead of guessing.
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Reader over a decoded payload.
+    pub fn new(bytes: &'a [u8]) -> PayloadReader<'a> {
+        PayloadReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or_else(|| format!("payload truncated at offset {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f32` from its raw bits.
+    pub fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length (u64) and check it is a sane element count.
+    pub fn read_len(&mut self) -> Result<usize, String> {
+        let n = self.u64()?;
+        if n > MAX_ELEMS {
+            return Err(format!("implausible element count {n}"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a length-prefixed (u32) UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        if n as u64 > MAX_ELEMS {
+            return Err(format!("implausible string length {n}"));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    /// Read a length-prefixed (u64) `f32` slice.
+    pub fn f32s(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.read_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed (u64) `f64` slice.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.read_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed (u64) `u16` slice.
+    pub fn u16s(&mut self) -> Result<Vec<u16>, String> {
+        let n = self.read_len()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u16()?);
+        }
+        Ok(out)
+    }
+
+    /// Fail if undecoded bytes remain — a payload must be consumed
+    /// exactly, or the file was written by something else.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!("{} trailing bytes after payload", self.bytes.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+/// Write a tensor as rows · cols · raw `f32` bits.
+pub fn write_tensor(w: &mut PayloadWriter, t: &Tensor) {
+    w.u64(t.rows as u64);
+    w.u64(t.cols as u64);
+    for &v in &t.data {
+        w.f32(v);
+    }
+}
+
+/// Read a tensor written by [`write_tensor`], validating its shape.
+pub fn read_tensor(r: &mut PayloadReader) -> Result<Tensor, String> {
+    let rows = r.u64()?;
+    let cols = r.u64()?;
+    let elems = rows
+        .checked_mul(cols)
+        .filter(|&e| e <= MAX_ELEMS)
+        .ok_or_else(|| format!("implausible tensor shape {rows}x{cols}"))?;
+    let mut data = Vec::with_capacity(elems as usize);
+    for _ in 0..elems {
+        data.push(r.f32()?);
+    }
+    Ok(Tensor { rows: rows as usize, cols: cols as usize, data })
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// Wrap a payload in the `DBFZ` envelope under `kind`.
+pub fn encode_frozen(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + kind.len() + 32);
+    out.extend_from_slice(FROZEN_MAGIC);
+    out.extend_from_slice(&FROZEN_VERSION.to_le_bytes());
+    out.extend_from_slice(&(kind.len() as u32).to_le_bytes());
+    out.extend_from_slice(kind.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Unwrap a `DBFZ` envelope, verifying checksum, magic, version and
+/// kind. Returns the payload slice.
+pub fn decode_frozen<'a>(bytes: &'a [u8], kind: &str) -> Result<&'a [u8], String> {
+    if bytes.len() < 8 {
+        return Err("truncated: shorter than the checksum".to_string());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv64(body) != stored {
+        return Err("checksum mismatch".to_string());
+    }
+    let mut r = PayloadReader::new(body);
+    if r.take(4)? != FROZEN_MAGIC {
+        return Err("bad magic (not a frozen model file)".to_string());
+    }
+    let version = r.u32()?;
+    if version != FROZEN_VERSION {
+        return Err(format!("unsupported frozen format version {version}"));
+    }
+    let kind_len = r.u32()? as usize;
+    let stored_kind = r.take(kind_len)?;
+    if stored_kind != kind.as_bytes() {
+        return Err(format!(
+            "kind mismatch: file is '{}', wanted '{kind}'",
+            String::from_utf8_lossy(stored_kind)
+        ));
+    }
+    let payload_len = r.u64()? as usize;
+    let payload = r.take(payload_len)?;
+    r.finish()?;
+    Ok(payload)
+}
+
+/// A model with a frozen binary export: a stable kind tag plus a
+/// payload codec. The provided methods handle the envelope and the
+/// tmp+rename file discipline.
+pub trait FrozenArtifact: Sized {
+    /// Stable kind tag stored in the envelope (e.g. `"mlp"`).
+    const KIND: &'static str;
+
+    /// Serialise the weights into `w`.
+    fn write_payload(&self, w: &mut PayloadWriter);
+
+    /// Decode weights; any inconsistency is an error, never a guess.
+    fn read_payload(r: &mut PayloadReader) -> Result<Self, String>;
+
+    /// Full file bytes (envelope + payload). Byte-stable: equal models
+    /// encode to equal bytes.
+    fn to_frozen_bytes(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        self.write_payload(&mut w);
+        encode_frozen(Self::KIND, &w.into_bytes())
+    }
+
+    /// Decode file bytes produced by [`FrozenArtifact::to_frozen_bytes`].
+    fn from_frozen_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let payload = decode_frozen(bytes, Self::KIND)?;
+        let mut r = PayloadReader::new(payload);
+        let v = Self::read_payload(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Write to `path` via a temp sibling + rename, so a crash mid-save
+    /// never leaves a torn file at the final path.
+    fn save_frozen(&self, path: &Path) -> Result<(), FrozenError> {
+        let tmp = path.with_extension("frozen.tmp");
+        let write = || -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_frozen_bytes())?;
+            f.flush()?;
+            drop(f);
+            std::fs::rename(&tmp, path)
+        };
+        write().map_err(|e| {
+            std::fs::remove_file(&tmp).ok();
+            FrozenError::Io(e)
+        })
+    }
+
+    /// Load from `path`, refusing corrupt or mismatched files.
+    fn load_frozen(path: &Path) -> Result<Self, FrozenError> {
+        let bytes = std::fs::read(path).map_err(FrozenError::Io)?;
+        Self::from_frozen_bytes(&bytes).map_err(FrozenError::Format)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen layers
+// ---------------------------------------------------------------------------
+
+/// Inference-only [`crate::Dense`]: weights and bias, nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenDense {
+    /// Weight matrix (in × out).
+    pub w: Tensor,
+    /// Bias vector (out).
+    pub b: Vec<f32>,
+}
+
+impl FrozenDense {
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols
+    }
+
+    /// `y = x·W + b`, identical to `Dense::forward_inference_into`.
+    pub fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
+        x.matmul_into(&self.w, y);
+        for r in 0..y.rows {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Allocating [`FrozenDense::forward_into`].
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut y = Tensor::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+}
+
+impl FrozenArtifact for FrozenDense {
+    const KIND: &'static str = "dense";
+
+    fn write_payload(&self, w: &mut PayloadWriter) {
+        write_tensor(w, &self.w);
+        w.f32s(&self.b);
+    }
+
+    fn read_payload(r: &mut PayloadReader) -> Result<FrozenDense, String> {
+        let w = read_tensor(r)?;
+        let b = r.f32s()?;
+        if b.len() != w.cols {
+            return Err(format!("bias length {} does not match {} outputs", b.len(), w.cols));
+        }
+        Ok(FrozenDense { w, b })
+    }
+}
+
+/// Inference-only [`crate::Mlp`]: the dense stack without any training
+/// buffers. `logits` matches `Mlp::logits` bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenMlp {
+    /// The dense layers, input to output.
+    pub layers: Vec<FrozenDense>,
+}
+
+impl FrozenMlp {
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.layers.last().expect("at least one layer").output_dim()
+    }
+
+    /// Inference logits — same layer loop (ReLU between layers, not
+    /// after the last) as `Mlp::logits`.
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                let _ = h.relu_inplace();
+            }
+        }
+        h
+    }
+
+    /// Predicted labels for a batch.
+    pub fn predict(&self, x: &Tensor) -> Vec<u16> {
+        crate::loss::argmax_labels(&self.logits(x))
+    }
+}
+
+impl FrozenArtifact for FrozenMlp {
+    const KIND: &'static str = "mlp";
+
+    fn write_payload(&self, w: &mut PayloadWriter) {
+        w.u32(self.layers.len() as u32);
+        for layer in &self.layers {
+            layer.write_payload(w);
+        }
+    }
+
+    fn read_payload(r: &mut PayloadReader) -> Result<FrozenMlp, String> {
+        let n = r.u32()? as usize;
+        if n == 0 || n > 64 {
+            return Err(format!("implausible layer count {n}"));
+        }
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            layers.push(FrozenDense::read_payload(r)?);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].output_dim() != pair[1].input_dim() {
+                return Err(format!(
+                    "layer dims do not chain: {} -> {}",
+                    pair[0].output_dim(),
+                    pair[1].input_dim()
+                ));
+            }
+        }
+        Ok(FrozenMlp { layers })
+    }
+}
+
+/// Inference-only [`crate::Embedding`]: the token table with the same
+/// scaled mean pooling (`sum / sqrt(n)`, out-of-range tokens wrap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenEmbedding {
+    /// The table; row `t` is the vector of token `t`.
+    pub table: Tensor,
+}
+
+impl FrozenEmbedding {
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols
+    }
+
+    /// Pool each token sequence into one row — a copy of
+    /// `Embedding::pool`, so frozen outputs are bit-identical.
+    pub fn forward_into(&self, batch: &[Vec<u32>], out: &mut Tensor) {
+        let table = &self.table;
+        let dim = table.cols;
+        out.resize(batch.len(), dim);
+        out.data.iter_mut().for_each(|v| *v = 0.0);
+        for (r, tokens) in batch.iter().enumerate() {
+            if tokens.is_empty() {
+                continue;
+            }
+            let row = out.row_mut(r);
+            for &t in tokens {
+                let e = table.row(t as usize % table.rows);
+                for (o, &v) in row.iter_mut().zip(e) {
+                    *o += v;
+                }
+            }
+            let inv = 1.0 / (tokens.len() as f32).sqrt();
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+
+    /// Allocating [`FrozenEmbedding::forward_into`].
+    pub fn forward(&self, batch: &[Vec<u32>]) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(batch, &mut out);
+        out
+    }
+}
+
+impl FrozenArtifact for FrozenEmbedding {
+    const KIND: &'static str = "embedding";
+
+    fn write_payload(&self, w: &mut PayloadWriter) {
+        write_tensor(w, &self.table);
+    }
+
+    fn read_payload(r: &mut PayloadReader) -> Result<FrozenEmbedding, String> {
+        let table = read_tensor(r)?;
+        if table.rows == 0 || table.cols == 0 {
+            return Err("empty embedding table".to_string());
+        }
+        Ok(FrozenEmbedding { table })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::embedding::Embedding;
+    use crate::mlp::Mlp;
+
+    fn trained_mlp() -> Mlp {
+        let x =
+            Tensor::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
+        let y = [0u16, 1, 1, 0];
+        let mut mlp = Mlp::new(&[2, 8, 2], 42);
+        mlp.fit(&x, &y, 50, 4, 0.05, 1);
+        mlp
+    }
+
+    #[test]
+    fn frozen_dense_matches_inference_bitwise() {
+        let d = Dense::new(5, 3, 7);
+        let x = Tensor::xavier(4, 5, 11);
+        let frozen = d.freeze();
+        assert_eq!(frozen.forward(&x).data, d.forward_inference(&x).data);
+    }
+
+    #[test]
+    fn frozen_mlp_round_trips_and_matches_bitwise() {
+        let mlp = trained_mlp();
+        let x = Tensor::xavier(6, 2, 3);
+        let frozen = mlp.freeze();
+        assert_eq!(frozen.logits(&x).data, mlp.logits(&x).data, "freeze preserves logits");
+        let bytes = frozen.to_frozen_bytes();
+        assert_eq!(bytes, frozen.to_frozen_bytes(), "encoding is byte-stable");
+        let back = FrozenMlp::from_frozen_bytes(&bytes).expect("round-trip");
+        assert_eq!(back, frozen);
+        assert_eq!(back.logits(&x).data, mlp.logits(&x).data);
+        assert_eq!(back.predict(&x), mlp.predict(&x));
+    }
+
+    #[test]
+    fn frozen_embedding_matches_pool_bitwise() {
+        let e = Embedding::new(64, 8, 5);
+        let batch = vec![vec![1, 2, 3], vec![], vec![200, 7]]; // 200 wraps
+        let frozen = e.freeze();
+        assert_eq!(frozen.forward(&batch).data, e.forward_inference(&batch).data);
+        let back =
+            FrozenEmbedding::from_frozen_bytes(&frozen.to_frozen_bytes()).expect("round-trip");
+        assert_eq!(back.forward(&batch).data, e.forward_inference(&batch).data);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_refused() {
+        let mlp = Mlp::new(&[3, 4, 2], 9);
+        let good = mlp.freeze().to_frozen_bytes();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                FrozenMlp::from_frozen_bytes(&bad).is_err(),
+                "flip at byte {i} must be refused"
+            );
+        }
+        let mut truncated = good.clone();
+        truncated.truncate(good.len() / 2);
+        assert!(FrozenMlp::from_frozen_bytes(&truncated).is_err());
+        assert!(FrozenMlp::from_frozen_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_refused() {
+        let d = Dense::new(2, 2, 1).freeze();
+        let bytes = d.to_frozen_bytes();
+        let err = FrozenMlp::from_frozen_bytes(&bytes).unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn save_load_via_tmp_rename() {
+        let dir = std::env::temp_dir().join("debunk-frozen-nn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("head.frozen");
+        let mlp = trained_mlp();
+        let frozen = mlp.freeze();
+        frozen.save_frozen(&path).expect("save");
+        assert!(!path.with_extension("frozen.tmp").exists(), "no temp residue");
+        let back = FrozenMlp::load_frozen(&path).expect("load");
+        assert_eq!(back, frozen);
+        // corrupt file on disk is refused, not mis-decoded
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(FrozenMlp::load_frozen(&path), Err(FrozenError::Format(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reader_rejects_trailing_bytes_and_bad_lengths() {
+        let mut w = PayloadWriter::new();
+        w.f32s(&[1.0, 2.0]);
+        w.u8(0); // trailing byte
+        let payload = w.into_bytes();
+        let bytes = encode_frozen("blob", &payload);
+        let got = decode_frozen(&bytes, "blob").expect("envelope ok");
+        let mut r = PayloadReader::new(got);
+        let _ = r.f32s().unwrap();
+        assert!(r.finish().is_err(), "trailing bytes must be refused");
+        // an implausible length is rejected before allocating
+        let mut w = PayloadWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(PayloadReader::new(&bytes).read_len().is_err());
+    }
+}

@@ -30,6 +30,7 @@ pub mod adam;
 pub mod dense;
 pub mod dropout;
 pub mod embedding;
+pub mod frozen;
 pub mod kernel;
 pub mod loss;
 pub mod mlp;
@@ -40,6 +41,7 @@ pub use adam::Adam;
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
+pub use frozen::{FrozenArtifact, FrozenDense, FrozenEmbedding, FrozenError, FrozenMlp};
 pub use kernel::{kernel_stats, kernel_threads, set_kernel_threads, KernelStats, Workspace};
 pub use mlp::Mlp;
 pub use schedule::LrSchedule;

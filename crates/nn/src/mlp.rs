@@ -143,6 +143,12 @@ impl Mlp {
         argmax_labels(&self.logits(x))
     }
 
+    /// Weights-only inference twin for export ([`crate::frozen`]); its
+    /// `logits` are bit-identical to [`Mlp::logits`].
+    pub fn freeze(&self) -> crate::frozen::FrozenMlp {
+        crate::frozen::FrozenMlp { layers: self.layers.iter().map(Dense::freeze).collect() }
+    }
+
     /// Mini-batch training over `epochs` passes. Returns the final
     /// epoch's mean loss.
     pub fn fit(

@@ -1,0 +1,237 @@
+//! `serve` — the online flow-classification daemon.
+//!
+//! Two subcommands:
+//!
+//! ```text
+//! serve export --out DIR [--synth SPEC] [--seed N]
+//!     Train a model bundle on a synthetic labelled trace and freeze
+//!     it under DIR (encoder/head/forest/gbdt/knn + labels.txt).
+//!
+//! serve run --models DIR (--pcap FILE | --synth SPEC)
+//!           [--policy FILE] [--batch N] [--idle-timeout SECS]
+//!           [--out FILE] [--metrics-dir DIR] [--log-format text|json]
+//!     Replay packets through the frozen bundle and emit one JSONL
+//!     verdict per flow (stdout by default).
+//! ```
+//!
+//! SPEC is `<iscx|ustc|cstnet>:<seed>:<flows_per_class>`. With no
+//! `--policy`, every flow routes to the encoder. Exit codes: 0 ok,
+//! 1 runtime failure, 2 usage.
+
+use dataset::record::Prepared;
+use debunk_core::obs::{LogFormat, ObsSink};
+use serving::engine::{serve_stream, ServeOptions};
+use serving::policy::Policy;
+use serving::source::{from_pcap_file, ReplayPacket, SynthSpec};
+use serving::ModelBundle;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage:
+  serve export --out DIR [--synth SPEC] [--seed N]
+  serve run --models DIR (--pcap FILE | --synth SPEC)
+            [--policy FILE] [--batch N] [--idle-timeout SECS]
+            [--out FILE] [--metrics-dir DIR] [--log-format text|json]
+
+SPEC = <iscx|ustc|cstnet>:<seed>:<flows_per_class>, e.g. ustc:7:4";
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("serve: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn run_err(msg: &str) -> ExitCode {
+    eprintln!("serve: {msg}");
+    ExitCode::from(1)
+}
+
+/// Pull the value of a `--flag VALUE` pair out of `args`.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn cmd_export(mut args: Vec<String>) -> ExitCode {
+    let out = match take_value(&mut args, "--out") {
+        Ok(Some(v)) => PathBuf::from(v),
+        Ok(None) => return usage_err("export needs --out DIR"),
+        Err(e) => return usage_err(&e),
+    };
+    let spec = match take_value(&mut args, "--synth") {
+        Ok(v) => v.unwrap_or_else(|| "ustc:7:4".to_string()),
+        Err(e) => return usage_err(&e),
+    };
+    let seed = match take_value(&mut args, "--seed") {
+        Ok(None) => 42u64,
+        Ok(Some(v)) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => return usage_err(&format!("bad --seed '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    if let Some(extra) = args.first() {
+        return usage_err(&format!("unexpected argument '{extra}'"));
+    }
+    let spec = match SynthSpec::parse(&spec) {
+        Ok(s) => s,
+        Err(e) => return usage_err(&e),
+    };
+    let prepared = Prepared::from_trace(&spec.trace());
+    eprintln!(
+        "training bundle: {} records, {} classes, seed {seed}",
+        prepared.records.len(),
+        prepared.classes.len()
+    );
+    let bundle = ModelBundle::train(&prepared, seed);
+    if let Err(e) = bundle.save(&out) {
+        return run_err(&format!("cannot write bundle to {}: {e}", out.display()));
+    }
+    eprintln!("bundle frozen under {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(mut args: Vec<String>) -> ExitCode {
+    let models = match take_value(&mut args, "--models") {
+        Ok(Some(v)) => PathBuf::from(v),
+        Ok(None) => return usage_err("run needs --models DIR"),
+        Err(e) => return usage_err(&e),
+    };
+    let pcap = match take_value(&mut args, "--pcap") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let synth = match take_value(&mut args, "--synth") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let policy_path = match take_value(&mut args, "--policy") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let batch = match take_value(&mut args, "--batch") {
+        Ok(None) => 16usize,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_err(&format!("bad --batch '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    let idle_timeout = match take_value(&mut args, "--idle-timeout") {
+        Ok(None) => 15.0f64,
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => s,
+            _ => return usage_err(&format!("bad --idle-timeout '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    let out_path = match take_value(&mut args, "--out") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let metrics_dir = match take_value(&mut args, "--metrics-dir") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let format = match take_value(&mut args, "--log-format") {
+        Ok(None) => LogFormat::Text,
+        Ok(Some(v)) => match LogFormat::parse(&v) {
+            Some(f) => f,
+            None => return usage_err(&format!("bad --log-format '{v}' (text|json)")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    if let Some(extra) = args.first() {
+        return usage_err(&format!("unexpected argument '{extra}'"));
+    }
+    let packets: Vec<ReplayPacket> = match (&pcap, &synth) {
+        (Some(_), Some(_)) => return usage_err("--pcap and --synth are mutually exclusive"),
+        (None, None) => return usage_err("run needs --pcap FILE or --synth SPEC"),
+        (Some(path), None) => match from_pcap_file(&PathBuf::from(path)) {
+            Ok(p) => p,
+            Err(e) => return run_err(&e),
+        },
+        (None, Some(spec)) => match SynthSpec::parse(spec) {
+            Ok(s) => s.replay(),
+            Err(e) => return usage_err(&e),
+        },
+    };
+    let policy = match &policy_path {
+        None => Policy::route_all("encoder"),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return run_err(&format!("cannot read policy {path}: {e}")),
+            };
+            match Policy::parse(&text) {
+                Ok(p) => p,
+                Err(e) => return run_err(&format!("{path}: {e}")),
+            }
+        }
+    };
+    let bundle = match ModelBundle::load(&models) {
+        Ok(b) => b,
+        Err(e) => return run_err(&e),
+    };
+    let sink = match &metrics_dir {
+        None => ObsSink::stderr(format),
+        Some(dir) => match ObsSink::with_dir(&PathBuf::from(dir), format) {
+            Ok(s) => s,
+            Err(e) => return run_err(&format!("cannot open metrics dir {dir}: {e}")),
+        },
+    };
+    let opts = ServeOptions { batch, idle_timeout };
+    let started = Instant::now();
+    let result = match &out_path {
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            serve_stream(&bundle, &policy, &packets, &opts, &mut lock, &sink)
+        }
+        Some(path) => {
+            let mut file = match std::fs::File::create(path) {
+                Ok(f) => std::io::BufWriter::new(f),
+                Err(e) => return run_err(&format!("cannot create {path}: {e}")),
+            };
+            serve_stream(&bundle, &policy, &packets, &opts, &mut file, &sink)
+                .and_then(|stats| file.flush().map(|()| stats))
+        }
+    };
+    let stats = match result {
+        Ok(s) => s,
+        Err(e) => return run_err(&format!("serve failed: {e}")),
+    };
+    if let Err(e) = sink.write_serving_metrics(started.elapsed().as_secs_f64()) {
+        return run_err(&format!("cannot write metrics: {e}"));
+    }
+    eprintln!(
+        "served {} packets / {} flows -> {} verdicts ({} dropped, {} non-IP)",
+        stats.packets, stats.flows, stats.verdicts, stats.dropped, stats.non_ip
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage_err("missing subcommand");
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "export" => cmd_export(args),
+        "run" => cmd_run(args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => usage_err(&format!("unknown subcommand '{other}'")),
+    }
+}

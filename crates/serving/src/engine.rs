@@ -1,0 +1,378 @@
+//! The serving engine: feeds a replay stream through the flow table,
+//! batches retired flows through the policy-selected frozen model, and
+//! emits one JSONL verdict per classified flow.
+//!
+//! Determinism contract: the verdict byte stream is a pure function of
+//! the input packet stream, the bundle, and the policy. Batch size
+//! changes throughput, never output — flows are classified
+//! independently (encoder math is row-independent; shallow models are
+//! per-packet), and emission order is the deterministic eviction order
+//! of [`crate::flow::FlowTable`]. All observability goes through the
+//! out-of-band [`ObsSink`], never into the verdict stream.
+
+use crate::bundle::{feature_rows, ModelBundle};
+use crate::flow::{FlowTable, Ingest, TrackedFlow};
+use crate::policy::Policy;
+use crate::source::ReplayPacket;
+use dataset::record::PacketRecord;
+use debunk_core::engine::journal::escape_json;
+use debunk_core::obs::{EvictionReason, ObsSink, Value};
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Flows classified per model invocation. Affects throughput only;
+    /// the verdict stream is identical at any value.
+    pub batch: usize,
+    /// Seconds of silence before a flow is retired as idle.
+    pub idle_timeout: f64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { batch: 16, idle_timeout: 15.0 }
+    }
+}
+
+/// End-of-run counters (also reported out of band via the sink).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Frames ingested.
+    pub packets: u64,
+    /// Frames with no flow key (non-IP / unparseable), dropped.
+    pub non_ip: u64,
+    /// Flows opened.
+    pub flows: u64,
+    /// Verdicts emitted.
+    pub verdicts: u64,
+    /// Flows retired without a verdict (unmatched or routed to `drop`).
+    pub dropped: u64,
+}
+
+/// Which model a policy target selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelTarget {
+    Encoder,
+    Forest,
+    Gbdt,
+    Knn,
+    Drop,
+}
+
+impl ModelTarget {
+    fn parse(name: &str) -> Option<ModelTarget> {
+        match name {
+            "encoder" => Some(ModelTarget::Encoder),
+            "forest" => Some(ModelTarget::Forest),
+            "gbdt" => Some(ModelTarget::Gbdt),
+            "knn" => Some(ModelTarget::Knn),
+            "drop" => Some(ModelTarget::Drop),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ModelTarget::Encoder => "encoder",
+            ModelTarget::Forest => "forest",
+            ModelTarget::Gbdt => "gbdt",
+            ModelTarget::Knn => "knn",
+            ModelTarget::Drop => "drop",
+        }
+    }
+}
+
+/// Majority label over per-packet predictions; ties break to the
+/// smallest label so the vote is total-order deterministic.
+fn majority(labels: &[u16]) -> u16 {
+    let mut counts: Vec<(u16, usize)> = Vec::new();
+    for &l in labels {
+        match counts.iter_mut().find(|(c, _)| *c == l) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((l, 1)),
+        }
+    }
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(l, _)| l).unwrap_or(0)
+}
+
+/// One flow awaiting classification, with its routed target.
+struct PendingFlow {
+    flow: TrackedFlow,
+    target: ModelTarget,
+}
+
+/// Format one verdict line. `class` is escaped — label tables come from
+/// user-supplied `labels.txt`.
+fn verdict_line(flow: &TrackedFlow, target: ModelTarget, label: u16, class: &str) -> String {
+    format!(
+        "{{\"flow\":{},\"first_ts\":{:.6},\"last_ts\":{:.6},\"packets\":{},\"bytes\":{},\
+         \"proto\":{},\"target\":\"{}\",\"label\":{},\"class\":\"{}\"}}\n",
+        flow.id,
+        flow.first_ts,
+        flow.last_ts,
+        flow.packets,
+        flow.bytes,
+        flow.key.protocol,
+        target.name(),
+        label,
+        escape_json(class),
+    )
+}
+
+/// Classify a batch of pending flows and write their verdicts in
+/// batch order (which is eviction order). Returns verdicts emitted.
+fn classify_batch(
+    bundle: &ModelBundle,
+    batch: &[PendingFlow],
+    out: &mut dyn Write,
+    sink: &ObsSink,
+) -> io::Result<u64> {
+    // Encoder-targeted flows run as one tensor batch; the math is
+    // row-independent so grouping is a throughput choice, not a
+    // semantic one.
+    let encoder_idx: Vec<usize> =
+        (0..batch.len()).filter(|&i| batch[i].target == ModelTarget::Encoder).collect();
+    let mut encoder_labels = Vec::new();
+    if !encoder_idx.is_empty() {
+        let flows: Vec<Vec<&PacketRecord>> =
+            encoder_idx.iter().map(|&i| batch[i].flow.records.iter().collect()).collect();
+        let x = bundle.encoder.encode_flows(&flows);
+        encoder_labels = bundle.head.predict(&x);
+    }
+    let mut next_encoder = 0usize;
+    let mut emitted = 0u64;
+    for p in batch {
+        let label = match p.target {
+            ModelTarget::Drop => continue,
+            ModelTarget::Encoder => {
+                let l = encoder_labels[next_encoder];
+                next_encoder += 1;
+                l
+            }
+            ModelTarget::Forest | ModelTarget::Gbdt | ModelTarget::Knn => {
+                let rows = feature_rows(&p.flow.records);
+                let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+                let per_packet = match p.target {
+                    ModelTarget::Forest => bundle.forest.predict(&refs),
+                    ModelTarget::Gbdt => bundle.gbdt.predict(&refs),
+                    _ => bundle.knn.predict(&refs),
+                };
+                majority(&per_packet)
+            }
+        };
+        let line = verdict_line(&p.flow, p.target, label, bundle.class_name(label));
+        out.write_all(line.as_bytes())?;
+        emitted += 1;
+    }
+    sink.record_serving_batch(emitted as usize);
+    sink.debug(
+        "serve",
+        "batch classified",
+        &[("flows", Value::U64(batch.len() as u64)), ("verdicts", Value::U64(emitted))],
+    );
+    Ok(emitted)
+}
+
+/// Run the full serve loop over a replay stream.
+///
+/// Every policy target must be one of `encoder`, `forest`, `gbdt`,
+/// `knn`, `drop` — an unknown target is refused before the first packet
+/// rather than mid-stream.
+pub fn serve_stream(
+    bundle: &ModelBundle,
+    policy: &Policy,
+    packets: &[ReplayPacket],
+    opts: &ServeOptions,
+    out: &mut dyn Write,
+    sink: &ObsSink,
+) -> io::Result<ServeStats> {
+    for t in policy.targets() {
+        if ModelTarget::parse(t).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown policy target '{t}' (encoder|forest|gbdt|knn|drop)"),
+            ));
+        }
+    }
+    let batch_size = opts.batch.max(1);
+    let mut table = FlowTable::new(opts.idle_timeout);
+    let mut stats = ServeStats::default();
+    let mut pending: Vec<PendingFlow> = Vec::new();
+    let mut ingest_secs = 0.0f64;
+    let mut classify_secs = 0.0f64;
+
+    // Route one retired flow; record its eviction and either queue it
+    // for classification or count the drop.
+    let route = |flow: TrackedFlow,
+                 reason: EvictionReason,
+                 pending: &mut Vec<PendingFlow>,
+                 stats: &mut ServeStats| {
+        sink.record_serving_eviction(reason);
+        match policy.match_flow(&flow.key).and_then(|r| ModelTarget::parse(&r.target)) {
+            Some(ModelTarget::Drop) | None => stats.dropped += 1,
+            Some(target) => pending.push(PendingFlow { flow, target }),
+        }
+    };
+
+    for p in packets {
+        let t0 = Instant::now();
+        stats.packets += 1;
+        match table.push(p.ts, &p.frame) {
+            Ingest::NonIp => stats.non_ip += 1,
+            Ingest::Tracked { opened } => {
+                if opened {
+                    stats.flows += 1;
+                    sink.record_serving_flow_opened();
+                }
+            }
+        }
+        for (flow, reason) in table.poll(p.ts) {
+            route(flow, reason, &mut pending, &mut stats);
+        }
+        ingest_secs += t0.elapsed().as_secs_f64();
+        while pending.len() >= batch_size {
+            let t1 = Instant::now();
+            let rest = pending.split_off(batch_size);
+            let batch = std::mem::replace(&mut pending, rest);
+            stats.verdicts += classify_batch(bundle, &batch, out, sink)?;
+            classify_secs += t1.elapsed().as_secs_f64();
+        }
+    }
+    for (flow, reason) in table.flush() {
+        route(flow, reason, &mut pending, &mut stats);
+    }
+    for batch in pending.chunks(batch_size) {
+        let t1 = Instant::now();
+        stats.verdicts += classify_batch(bundle, batch, out, sink)?;
+        classify_secs += t1.elapsed().as_secs_f64();
+    }
+    out.flush()?;
+
+    sink.record_serving_packets(stats.packets, stats.non_ip);
+    sink.add_stage("serve:ingest", ingest_secs);
+    sink.add_stage("serve:classify", classify_secs);
+    sink.debug(
+        "serve",
+        "replay complete",
+        &[
+            ("packets", Value::U64(stats.packets)),
+            ("flows", Value::U64(stats.flows)),
+            ("verdicts", Value::U64(stats.verdicts)),
+            ("dropped", Value::U64(stats.dropped)),
+        ],
+    );
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SynthSpec;
+    use dataset::record::Prepared;
+    use debunk_core::obs::LogFormat;
+
+    fn tiny() -> (ModelBundle, Vec<ReplayPacket>) {
+        let spec = SynthSpec::parse("iscx:4:1").unwrap();
+        let bundle = ModelBundle::train(&Prepared::from_trace(&spec.trace()), 42);
+        (bundle, SynthSpec::parse("iscx:9:1").unwrap().replay())
+    }
+
+    fn run(
+        bundle: &ModelBundle,
+        packets: &[ReplayPacket],
+        policy: &Policy,
+        batch: usize,
+    ) -> (Vec<u8>, ServeStats) {
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let mut out = Vec::new();
+        let opts = ServeOptions { batch, ..Default::default() };
+        let stats = serve_stream(bundle, policy, packets, &opts, &mut out, &sink).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn majority_breaks_ties_to_smallest_label() {
+        assert_eq!(majority(&[3, 1, 3, 1]), 1);
+        assert_eq!(majority(&[2, 2, 5]), 2);
+        assert_eq!(majority(&[]), 0);
+        assert_eq!(majority(&[7]), 7);
+    }
+
+    #[test]
+    fn verdicts_are_batch_size_invariant() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::route_all("forest");
+        let (a, sa) = run(&bundle, &packets, &policy, 1);
+        let (b, sb) = run(&bundle, &packets, &policy, 7);
+        let (c, sc) = run(&bundle, &packets, &policy, 4096);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "batch 1 vs 7");
+        assert_eq!(a, c, "batch 1 vs 4096");
+        assert_eq!(sa, sb);
+        assert_eq!(sa, sc);
+    }
+
+    #[test]
+    fn encoder_verdicts_are_batch_size_invariant() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::route_all("encoder");
+        let (a, sa) = run(&bundle, &packets, &policy, 1);
+        let (b, sb) = run(&bundle, &packets, &policy, 32);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.verdicts, sa.flows, "route_all classifies every flow");
+    }
+
+    #[test]
+    fn replay_is_reproducible() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::route_all("gbdt");
+        let (a, _) = run(&bundle, &packets, &policy, 16);
+        let (b, _) = run(&bundle, &packets, &policy, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drop_target_and_unmatched_flows_emit_nothing() {
+        let (bundle, packets) = tiny();
+        let (out, stats) = run(&bundle, &packets, &Policy::route_all("drop"), 16);
+        assert!(out.is_empty());
+        assert_eq!(stats.verdicts, 0);
+        assert_eq!(stats.dropped, stats.flows);
+        let empty = Policy::parse("").unwrap();
+        let (out2, stats2) = run(&bundle, &packets, &empty, 16);
+        assert!(out2.is_empty());
+        assert_eq!(stats2.dropped, stats2.flows);
+    }
+
+    #[test]
+    fn unknown_target_is_refused_up_front() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::parse("* -> xgboost").unwrap();
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let mut out = Vec::new();
+        let err =
+            serve_stream(&bundle, &policy, &packets, &ServeOptions::default(), &mut out, &sink)
+                .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "refused before any verdict");
+    }
+
+    #[test]
+    fn verdict_lines_are_well_formed_jsonl() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::parse("*:tcp -> knn\n*:udp -> forest\ndefault -> encoder").unwrap();
+        let (out, stats) = run(&bundle, &packets, &policy, 16);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, stats.verdicts);
+        for line in lines {
+            assert!(line.starts_with("{\"flow\":"), "line: {line}");
+            assert!(line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"target\":\""), "line: {line}");
+            assert!(line.contains("\"class\":\""), "line: {line}");
+        }
+    }
+}

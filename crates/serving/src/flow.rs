@@ -1,0 +1,247 @@
+//! Conntrack-backed flow table: groups the raw packet stream into
+//! bidirectional flows, tracks TCP lifecycle per flow, and retires
+//! flows deterministically (teardown, idle timeout, final flush).
+//!
+//! Determinism contract: eviction depends only on packet contents and
+//! timestamps — never on wall clock, hash-map iteration order or batch
+//! size — so an identical replay retires identical flows in an
+//! identical order.
+
+use dataset::record::PacketRecord;
+use debunk_core::obs::EvictionReason;
+use net_packet::conntrack::{ConnTracker, TcpState};
+use net_packet::frame::{FlowKey, IpInfo, ParsedFrame};
+use std::collections::HashMap;
+
+/// Packets stored per flow for classification. Later packets still
+/// update counters and TCP state but are not retained — classification
+/// models look at the head of a flow (App. A.2), and an unbounded
+/// buffer would let one long flow exhaust memory.
+pub const MAX_STORED_PACKETS: usize = 32;
+
+/// How long after a TCP close the flow lingers so trailing ACKs join
+/// the same flow instead of opening a spurious one-packet successor.
+const CLOSE_LINGER_SECS: f64 = 1.0;
+
+/// One endpoint as (address, port), address widened to u128 so v4 and
+/// v6 share a representation (matching [`FlowKey`]).
+fn endpoint(parsed: &ParsedFrame) -> (u128, u16) {
+    let ip = match parsed.ip {
+        IpInfo::V4 { src, .. } => u128::from(src.to_u32()),
+        IpInfo::V6 { src, .. } => u128::from_be_bytes(src.0),
+    };
+    (ip, parsed.transport.src_port())
+}
+
+/// A flow being assembled from live packets.
+#[derive(Debug, Clone)]
+pub struct TrackedFlow {
+    /// First-seen order (also the verdict stream's `flow` field).
+    pub id: u64,
+    /// Canonical bidirectional 5-tuple.
+    pub key: FlowKey,
+    /// TCP lifecycle (untouched for UDP flows).
+    pub conn: ConnTracker,
+    /// The first [`MAX_STORED_PACKETS`] packets, as records the
+    /// feature extractors and encoders consume directly.
+    pub records: Vec<PacketRecord>,
+    /// Timestamp of the first packet.
+    pub first_ts: f64,
+    /// Timestamp of the most recent packet.
+    pub last_ts: f64,
+    /// Total packets seen (may exceed `records.len()`).
+    pub packets: u64,
+    /// Total frame bytes seen.
+    pub bytes: u64,
+    /// (address, port) of the flow opener — defines `from_client`.
+    client: (u128, u16),
+}
+
+/// Outcome of feeding one frame to the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// Frame joined a flow (true if it opened a new one).
+    Tracked {
+        /// Whether this packet opened the flow.
+        opened: bool,
+    },
+    /// Frame has no flow key (non-IP, unparseable) and was dropped.
+    NonIp,
+}
+
+/// The serving flow table.
+pub struct FlowTable {
+    flows: HashMap<FlowKey, TrackedFlow>,
+    next_id: u64,
+    idle_timeout: f64,
+}
+
+impl FlowTable {
+    /// A table retiring flows after `idle_timeout` seconds of silence.
+    pub fn new(idle_timeout: f64) -> FlowTable {
+        FlowTable { flows: HashMap::new(), next_id: 0, idle_timeout: idle_timeout.max(0.001) }
+    }
+
+    /// Flows currently tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flow is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Feed one frame. Parsing failures and keyless traffic are
+    /// reported, never panicked on — capture files contain garbage.
+    pub fn push(&mut self, ts: f64, frame: &[u8]) -> Ingest {
+        let Ok(parsed) = ParsedFrame::parse(frame) else {
+            return Ingest::NonIp;
+        };
+        let Some(key) = parsed.flow_key() else {
+            return Ingest::NonIp;
+        };
+        let src = endpoint(&parsed);
+        let mut opened = false;
+        let flow = self.flows.entry(key).or_insert_with(|| {
+            opened = true;
+            let id = self.next_id;
+            self.next_id += 1;
+            TrackedFlow {
+                id,
+                key,
+                conn: ConnTracker::new(),
+                records: Vec::new(),
+                first_ts: ts,
+                last_ts: ts,
+                packets: 0,
+                bytes: 0,
+                client: src,
+            }
+        });
+        let from_client = src == flow.client;
+        flow.conn.push(&parsed, ts, from_client);
+        flow.last_ts = ts;
+        flow.packets += 1;
+        flow.bytes += frame.len() as u64;
+        if flow.records.len() < MAX_STORED_PACKETS {
+            flow.records.push(PacketRecord {
+                ts,
+                frame: frame.to_vec(),
+                parsed,
+                class: 0, // unknown online; the classifier fills the verdict
+                flow_id: flow.id as u32,
+                from_client,
+            });
+        }
+        Ingest::Tracked { opened }
+    }
+
+    /// Retire every flow that is done as of `now`: TCP-closed flows
+    /// past their linger, and any flow idle beyond the timeout.
+    /// Returned in first-seen (`id`) order — the verdict stream order.
+    pub fn poll(&mut self, now: f64) -> Vec<(TrackedFlow, EvictionReason)> {
+        let linger = CLOSE_LINGER_SECS.min(self.idle_timeout);
+        let mut due: Vec<(FlowKey, EvictionReason)> = self
+            .flows
+            .values()
+            .filter_map(|f| {
+                let idle = now - f.last_ts;
+                if f.conn.state() == TcpState::Closed && idle > linger {
+                    Some((f.key, EvictionReason::Closed))
+                } else if idle > self.idle_timeout {
+                    Some((f.key, EvictionReason::Idle))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        due.sort_by_key(|(key, _)| self.flows[key].id);
+        due.into_iter()
+            .map(|(key, reason)| (self.flows.remove(&key).expect("key just listed"), reason))
+            .collect()
+    }
+
+    /// End-of-stream: retire everything still tracked, in `id` order.
+    pub fn flush(&mut self) -> Vec<(TrackedFlow, EvictionReason)> {
+        let mut rest: Vec<TrackedFlow> = self.flows.drain().map(|(_, f)| f).collect();
+        rest.sort_by_key(|f| f.id);
+        rest.into_iter().map(|f| (f, EvictionReason::Flush)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SynthSpec;
+
+    fn table_after_replay(idle: f64) -> (FlowTable, Vec<(TrackedFlow, EvictionReason)>) {
+        let mut table = FlowTable::new(idle);
+        let mut evicted = Vec::new();
+        for p in SynthSpec::parse("iscx:2:1").unwrap().replay() {
+            table.push(p.ts, &p.frame);
+            evicted.extend(table.poll(p.ts));
+        }
+        (table, evicted)
+    }
+
+    #[test]
+    fn flows_get_first_seen_ids_and_directions() {
+        let (mut table, evicted) = table_after_replay(1e9);
+        let mut all = evicted;
+        all.extend(table.flush());
+        assert!(!all.is_empty());
+        let ids: Vec<u64> = all.iter().map(|(f, _)| f.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids.len(), sorted.len(), "ids unique");
+        for (f, _) in &all {
+            assert!(f.packets >= f.records.len() as u64);
+            assert!(f.records.len() <= MAX_STORED_PACKETS);
+            assert!(f.records.first().is_none_or(|r| r.from_client), "opener is the client");
+            assert!(f.last_ts >= f.first_ts);
+        }
+    }
+
+    #[test]
+    fn idle_timeout_retires_quiet_flows() {
+        let (_, evicted) = table_after_replay(0.005);
+        assert!(
+            evicted.iter().any(|(_, r)| *r == EvictionReason::Idle),
+            "a 5ms idle cutoff must retire flows mid-replay"
+        );
+    }
+
+    #[test]
+    fn closed_tcp_flows_are_evicted_as_closed() {
+        let (mut table, evicted) = table_after_replay(30.0);
+        let mut all = evicted;
+        // advance time far past every teardown
+        all.extend(table.poll(1e6));
+        assert!(
+            all.iter()
+                .any(|(f, r)| *r == EvictionReason::Closed && f.conn.state() == TcpState::Closed),
+            "TCP teardown must surface as a Closed eviction"
+        );
+    }
+
+    #[test]
+    fn eviction_order_is_replay_invariant() {
+        let (mut ta, mut ea) = table_after_replay(0.05);
+        ea.extend(ta.flush());
+        let (mut tb, mut eb) = table_after_replay(0.05);
+        eb.extend(tb.flush());
+        let a: Vec<(u64, &'static str)> = ea.iter().map(|(f, r)| (f.id, r.name())).collect();
+        let b: Vec<(u64, &'static str)> = eb.iter().map(|(f, r)| (f.id, r.name())).collect();
+        assert_eq!(a, b, "same replay, same eviction stream");
+    }
+
+    #[test]
+    fn garbage_frames_are_rejected_not_panicked() {
+        let mut table = FlowTable::new(1.0);
+        assert_eq!(table.push(0.0, &[]), Ingest::NonIp);
+        assert_eq!(table.push(0.0, &[0xde, 0xad, 0xbe, 0xef]), Ingest::NonIp);
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,446 @@
+//! Flow-matching policy DSL: route flows to per-class model policies.
+//!
+//! One rule per line, evaluated top-down, first match wins:
+//!
+//! ```text
+//! # pattern                  -> target
+//! 10.0.0.0/8:tcp:443         -> encoder
+//! 192.168.1.7:udp            -> knn
+//! *:tcp:8000-8999            -> gbdt
+//! default                    -> forest
+//! ```
+//!
+//! Pattern grammar: `<address>[:<protocol>[:<port_min>[-<port_max>]]]`.
+//! `<address>` is `*`, a dotted IPv4 address, or CIDR `a.b.c.d/n`;
+//! `<protocol>` is `*`, `tcp`, `udp` or a numeric IP protocol;
+//! ports are a single port or an inclusive `min-max` range. The
+//! reserved pattern `default` takes no qualifiers, matches every flow,
+//! and must be the last rule — anything after it is unreachable and
+//! rejected at parse time. A rule matches a (bidirectional) flow when
+//! either endpoint satisfies address and port and the protocol agrees.
+//!
+//! Malformed input is a line-numbered [`PolicyError`], never a silently
+//! skipped rule.
+
+use net_packet::frame::FlowKey;
+use std::fmt;
+
+/// Address pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPat {
+    /// `*` — any address (v4 or v6).
+    Any,
+    /// CIDR block `addr/prefix` (IPv4; `/32` renders as a bare address).
+    Cidr(u32, u8),
+}
+
+impl AddrPat {
+    fn matches(self, ip: u128) -> bool {
+        match self {
+            AddrPat::Any => true,
+            AddrPat::Cidr(net, prefix) => {
+                let Ok(ip32) = u32::try_from(ip) else {
+                    return false; // v4 pattern never matches a v6 address
+                };
+                let shift = 32 - u32::from(prefix);
+                if shift >= 32 {
+                    true
+                } else {
+                    (ip32 ^ net) >> shift == 0
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AddrPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrPat::Any => write!(f, "*"),
+            AddrPat::Cidr(net, prefix) => {
+                let o = net.to_be_bytes();
+                write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])?;
+                if *prefix != 32 {
+                    write!(f, "/{prefix}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Protocol pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoPat {
+    /// `*` — any IP protocol.
+    Any,
+    /// A specific protocol number (`tcp` = 6, `udp` = 17).
+    Num(u8),
+}
+
+impl ProtoPat {
+    fn matches(self, protocol: u8) -> bool {
+        match self {
+            ProtoPat::Any => true,
+            ProtoPat::Num(p) => p == protocol,
+        }
+    }
+}
+
+impl fmt::Display for ProtoPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoPat::Any => write!(f, "*"),
+            ProtoPat::Num(6) => write!(f, "tcp"),
+            ProtoPat::Num(17) => write!(f, "udp"),
+            ProtoPat::Num(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Port pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPat {
+    /// `*` — any port.
+    Any,
+    /// Inclusive range (a single port is `Range(p, p)`).
+    Range(u16, u16),
+}
+
+impl PortPat {
+    fn matches(self, port: u16) -> bool {
+        match self {
+            PortPat::Any => true,
+            PortPat::Range(lo, hi) => (lo..=hi).contains(&port),
+        }
+    }
+}
+
+impl fmt::Display for PortPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortPat::Any => write!(f, "*"),
+            PortPat::Range(lo, hi) if lo == hi => write!(f, "{lo}"),
+            PortPat::Range(lo, hi) => write!(f, "{lo}-{hi}"),
+        }
+    }
+}
+
+/// One parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Address pattern (either endpoint).
+    pub addr: AddrPat,
+    /// Protocol pattern.
+    pub proto: ProtoPat,
+    /// Port pattern (paired with the matching endpoint's port).
+    pub ports: PortPat,
+    /// `true` for the reserved `default` catch-all.
+    pub is_default: bool,
+    /// Routing target (a model policy name, or `drop`).
+    pub target: String,
+    /// 1-based source line (for diagnostics).
+    pub line: usize,
+}
+
+impl Rule {
+    /// Whether this rule matches the flow: protocol agrees and at
+    /// least one endpoint satisfies address + port.
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        if self.is_default {
+            return true;
+        }
+        self.proto.matches(key.protocol)
+            && ((self.addr.matches(key.lo_ip) && self.ports.matches(key.lo_port))
+                || (self.addr.matches(key.hi_ip) && self.ports.matches(key.hi_port)))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_default {
+            return write!(f, "default -> {}", self.target);
+        }
+        write!(f, "{}:{}:{} -> {}", self.addr, self.proto, self.ports, self.target)
+    }
+}
+
+/// A line-numbered parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError {
+    /// 1-based line of the offending rule.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// An ordered rule list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    /// Rules in match order.
+    pub rules: Vec<Rule>,
+}
+
+fn parse_addr(s: &str, line: usize) -> Result<AddrPat, PolicyError> {
+    let err = |msg: String| PolicyError { line, msg };
+    if s == "*" {
+        return Ok(AddrPat::Any);
+    }
+    let (addr, prefix) = match s.split_once('/') {
+        Some((a, p)) => {
+            let prefix = p
+                .parse::<u8>()
+                .ok()
+                .filter(|&n| n <= 32)
+                .ok_or_else(|| err(format!("bad prefix length '/{p}' (0-32)")))?;
+            (a, prefix)
+        }
+        None => (s, 32),
+    };
+    let octets: Vec<&str> = addr.split('.').collect();
+    if octets.len() != 4 {
+        return Err(err(format!("bad address '{addr}': want a.b.c.d")));
+    }
+    let mut bytes = [0u8; 4];
+    for (b, o) in bytes.iter_mut().zip(&octets) {
+        *b = o.parse::<u8>().map_err(|_| err(format!("bad address octet '{o}'")))?;
+    }
+    Ok(AddrPat::Cidr(u32::from_be_bytes(bytes), prefix))
+}
+
+fn parse_proto(s: &str, line: usize) -> Result<ProtoPat, PolicyError> {
+    match s {
+        "*" => Ok(ProtoPat::Any),
+        "tcp" => Ok(ProtoPat::Num(6)),
+        "udp" => Ok(ProtoPat::Num(17)),
+        other => other.parse::<u8>().map(ProtoPat::Num).map_err(|_| PolicyError {
+            line,
+            msg: format!("bad protocol '{other}' (tcp|udp|*|0-255)"),
+        }),
+    }
+}
+
+fn parse_ports(s: &str, line: usize) -> Result<PortPat, PolicyError> {
+    let err = |msg: String| PolicyError { line, msg };
+    if s == "*" {
+        return Ok(PortPat::Any);
+    }
+    let port = |t: &str| t.parse::<u16>().map_err(|_| err(format!("bad port '{t}'")));
+    match s.split_once('-') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (port(lo)?, port(hi)?);
+            if lo > hi {
+                return Err(err(format!("empty port range {lo}-{hi}")));
+            }
+            Ok(PortPat::Range(lo, hi))
+        }
+        None => {
+            let p = port(s)?;
+            Ok(PortPat::Range(p, p))
+        }
+    }
+}
+
+fn valid_target(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        && s != "default"
+}
+
+impl Policy {
+    /// Parse a policy document. Blank lines and `#` comments are
+    /// skipped; anything else must be a well-formed rule.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let mut rules: Vec<Rule> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let err = |msg: String| PolicyError { line, msg };
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            if let Some(prev) = rules.last() {
+                if prev.is_default {
+                    return Err(err(format!(
+                        "rule after 'default' (line {}) is unreachable",
+                        prev.line
+                    )));
+                }
+            }
+            let (pattern, target) = content
+                .split_once("->")
+                .ok_or_else(|| err("missing '->' between pattern and target".into()))?;
+            let (pattern, target) = (pattern.trim(), target.trim());
+            if !valid_target(target) {
+                return Err(err(format!(
+                    "bad target '{target}' (alphanumeric, '-', '_'; not 'default')"
+                )));
+            }
+            if pattern == "default" {
+                rules.push(Rule {
+                    addr: AddrPat::Any,
+                    proto: ProtoPat::Any,
+                    ports: PortPat::Any,
+                    is_default: true,
+                    target: target.to_string(),
+                    line,
+                });
+                continue;
+            }
+            if pattern.starts_with("default:") {
+                return Err(err("'default' takes no qualifiers".into()));
+            }
+            let parts: Vec<&str> = pattern.split(':').collect();
+            if pattern.is_empty() || parts.len() > 3 {
+                return Err(err(format!(
+                    "bad pattern '{pattern}': want <address>[:<protocol>[:<ports>]]"
+                )));
+            }
+            let addr = parse_addr(parts[0], line)?;
+            let proto = if parts.len() > 1 { parse_proto(parts[1], line)? } else { ProtoPat::Any };
+            let ports = if parts.len() > 2 { parse_ports(parts[2], line)? } else { PortPat::Any };
+            rules.push(Rule {
+                addr,
+                proto,
+                ports,
+                is_default: false,
+                target: target.to_string(),
+                line,
+            });
+        }
+        Ok(Policy { rules })
+    }
+
+    /// A one-rule policy routing everything to `target`.
+    pub fn route_all(target: &str) -> Policy {
+        Policy::parse(&format!("default -> {target}")).expect("static rule parses")
+    }
+
+    /// First matching rule for `key`, or `None` when no rule matches
+    /// (the engine drops such flows and counts them).
+    pub fn match_flow(&self, key: &FlowKey) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.matches(key))
+    }
+
+    /// Targets referenced by this policy (for upfront validation
+    /// against a loaded bundle), in rule order, deduplicated.
+    pub fn targets(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.rules {
+            if !seen.contains(&r.target.as_str()) {
+                seen.push(r.target.as_str());
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(lo: u32, hi: u32, lo_port: u16, hi_port: u16, protocol: u8) -> FlowKey {
+        FlowKey { lo_ip: u128::from(lo), hi_ip: u128::from(hi), lo_port, hi_port, protocol }
+    }
+
+    #[test]
+    fn first_match_wins_over_later_rules() {
+        let p = Policy::parse(
+            "10.0.0.0/8:tcp -> encoder\n\
+             *:tcp:443 -> gbdt\n\
+             default -> knn\n",
+        )
+        .unwrap();
+        // 10.1.2.3:9999 <-> 8.8.8.8:443 tcp — both rule 1 and 2 match;
+        // rule 1 wins by order.
+        let k = key(0x0801_0203, 0x0a01_0203, 443, 9999, 6);
+        assert_eq!(p.match_flow(&k).unwrap().target, "encoder");
+        // UDP flow falls through to default.
+        let k = key(1, 2, 53, 53, 17);
+        assert_eq!(p.match_flow(&k).unwrap().target, "knn");
+    }
+
+    #[test]
+    fn either_endpoint_matches_with_its_own_port() {
+        let p = Policy::parse("1.2.3.4:*:443 -> encoder\n").unwrap();
+        let server = u32::from_be_bytes([1, 2, 3, 4]);
+        let client = u32::from_be_bytes([9, 9, 9, 9]);
+        let (lo, hi) = if server <= client { (server, client) } else { (client, server) };
+        // server endpoint holds port 443 — matches
+        let k = if lo == server { key(lo, hi, 443, 50000, 6) } else { key(lo, hi, 50000, 443, 6) };
+        assert!(p.match_flow(&k).is_some());
+        // address matches but port sits on the OTHER endpoint — no match
+        let k = if lo == server { key(lo, hi, 50000, 443, 6) } else { key(lo, hi, 443, 50000, 6) };
+        assert!(p.match_flow(&k).is_none());
+    }
+
+    #[test]
+    fn v4_pattern_never_matches_v6_but_wildcard_does() {
+        let v6key = FlowKey {
+            lo_ip: 1u128 << 100,
+            hi_ip: 2u128 << 100,
+            lo_port: 1,
+            hi_port: 2,
+            protocol: 6,
+        };
+        assert!(Policy::parse("0.0.0.0/0 -> a\n").unwrap().match_flow(&v6key).is_none());
+        assert!(Policy::parse("* -> a\n").unwrap().match_flow(&v6key).is_some());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("* -> a\nnot a rule\n", 2, "->"),
+            ("999.0.0.1 -> a\n", 1, "octet"),
+            ("1.2.3.4/40 -> a\n", 1, "prefix"),
+            ("*:icmpish -> a\n", 1, "protocol"),
+            ("*:tcp:70000 -> a\n", 1, "port"),
+            ("*:tcp:90-80 -> a\n", 1, "range"),
+            ("default:tcp -> a\n", 1, "qualifiers"),
+            ("default -> a\n* -> b\n", 2, "unreachable"),
+            ("* -> default\n", 1, "target"),
+            ("*:tcp:80:90 -> a\n", 1, "pattern"),
+        ] {
+            let e = Policy::parse(text).expect_err(text);
+            assert_eq!(e.line, line, "{text}");
+            assert!(e.to_string().contains(needle), "{text} -> {e}");
+        }
+    }
+
+    #[test]
+    fn comments_blanks_and_inline_comments_are_skipped() {
+        let p = Policy::parse("# top\n\n  *:tcp -> a  # inline\n\ndefault -> b\n").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.targets(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "10.0.0.0/8:tcp:443 -> encoder\n\
+                    192.168.1.7:udp:1000-2000 -> knn\n\
+                    *:6:80 -> gbdt\n\
+                    default -> forest\n";
+        let p = Policy::parse(text).unwrap();
+        let q = Policy::parse(&p.to_string()).unwrap();
+        // line numbers differ only if blank lines were present; here
+        // the documents align exactly
+        assert_eq!(p, q);
+    }
+}

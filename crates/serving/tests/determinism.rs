@@ -1,0 +1,80 @@
+//! End-to-end determinism contract: an identical replay through an
+//! identical bundle and policy produces a byte-identical verdict
+//! stream — at any batch size, across process reruns (synth replay is
+//! seeded), and whether the bundle is the freshly trained object or
+//! its frozen save→load round trip.
+
+use dataset::record::Prepared;
+use debunk_core::obs::{LogFormat, ObsSink};
+use serving::engine::{serve_stream, ServeOptions, ServeStats};
+use serving::policy::Policy;
+use serving::source::SynthSpec;
+use serving::ModelBundle;
+use std::sync::OnceLock;
+
+/// One bundle shared across every test in this file — training is the
+/// expensive part and the tests only ever read it.
+fn bundle() -> &'static ModelBundle {
+    static BUNDLE: OnceLock<ModelBundle> = OnceLock::new();
+    BUNDLE.get_or_init(|| {
+        let spec = SynthSpec::parse("ustc:7:1").unwrap();
+        ModelBundle::train(&Prepared::from_trace(&spec.trace()), 42)
+    })
+}
+
+fn serve(bundle: &ModelBundle, policy: &Policy, batch: usize) -> (Vec<u8>, ServeStats) {
+    let packets = SynthSpec::parse("ustc:11:2").unwrap().replay();
+    let sink = ObsSink::stderr(LogFormat::Text);
+    let mut out = Vec::new();
+    let opts = ServeOptions { batch, idle_timeout: 15.0 };
+    let stats = serve_stream(bundle, policy, &packets, &opts, &mut out, &sink).unwrap();
+    (out, stats)
+}
+
+#[test]
+fn verdict_stream_is_invariant_across_batch_sizes() {
+    let policy = Policy::parse("*:tcp:443 -> encoder\n*:udp -> knn\ndefault -> gbdt\n").unwrap();
+    let (baseline, stats) = serve(bundle(), &policy, 1);
+    assert!(stats.verdicts > 0, "replay must classify something");
+    for batch in [2, 7, 16, 64, 4096] {
+        let (bytes, s) = serve(bundle(), &policy, batch);
+        assert_eq!(baseline, bytes, "batch {batch} diverged from batch 1");
+        assert_eq!(stats, s, "stats at batch {batch}");
+    }
+}
+
+#[test]
+fn rerun_of_the_same_replay_is_byte_identical() {
+    let policy = Policy::route_all("forest");
+    let (a, sa) = serve(bundle(), &policy, 16);
+    let (b, sb) = serve(bundle(), &policy, 16);
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn frozen_round_trip_serves_identically_to_the_trained_bundle() {
+    let dir = std::env::temp_dir().join("debunk-serving-determinism");
+    std::fs::remove_dir_all(&dir).ok();
+    bundle().save(&dir).expect("save bundle");
+    let loaded = ModelBundle::load(&dir).expect("load bundle");
+    let policy = Policy::parse("*:tcp -> encoder\n*:udp -> forest\ndefault -> knn\n").unwrap();
+    let (fresh, sa) = serve(bundle(), &policy, 16);
+    let (frozen, sb) = serve(&loaded, &policy, 16);
+    assert_eq!(fresh, frozen, "save->load must not change a single verdict byte");
+    assert_eq!(sa, sb);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_model_target_serves_deterministically() {
+    for target in ["encoder", "forest", "gbdt", "knn"] {
+        let policy = Policy::route_all(target);
+        let (a, sa) = serve(bundle(), &policy, 3);
+        let (b, sb) = serve(bundle(), &policy, 17);
+        assert!(!a.is_empty(), "{target} produced no verdicts");
+        assert_eq!(a, b, "{target} diverged across batch sizes");
+        assert_eq!(sa, sb);
+        assert_eq!(sa.verdicts, sa.flows, "{target} must classify every flow");
+    }
+}

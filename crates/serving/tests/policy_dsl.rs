@@ -1,0 +1,203 @@
+//! Property tests for the flow-matching policy DSL: generated rules
+//! must round-trip through `Display` → `parse`, matching must honour
+//! first-match order, and arbitrary text must never panic the parser.
+
+use net_packet::frame::FlowKey;
+use proptest::prelude::*;
+use serving::policy::Policy;
+
+const TARGETS: [&str; 5] = ["encoder", "forest", "gbdt", "knn", "drop"];
+
+/// Render one generated rule as DSL text. The tuple mirrors the
+/// grammar: address (wildcard or CIDR), optional protocol selector,
+/// optional port clause, target index.
+#[allow(clippy::type_complexity)]
+fn rule_text(
+    (addr, prefix, addr_any): &([u8; 4], u8, bool),
+    (proto_sel, proto_num): &(u8, u8),
+    (port_a, port_b, port_kind): &(u16, u16, u8),
+    target_idx: usize,
+) -> String {
+    let mut pattern = if *addr_any {
+        "*".to_string()
+    } else if *prefix == 32 {
+        format!("{}.{}.{}.{}", addr[0], addr[1], addr[2], addr[3])
+    } else {
+        format!("{}.{}.{}.{}/{}", addr[0], addr[1], addr[2], addr[3], prefix)
+    };
+    // proto_sel: 0 = omit (and therefore no ports), 1 = "*", 2 = tcp,
+    // 3 = udp, 4 = numeric
+    if *proto_sel > 0 {
+        pattern.push(':');
+        pattern.push_str(&match proto_sel {
+            1 => "*".to_string(),
+            2 => "tcp".to_string(),
+            3 => "udp".to_string(),
+            _ => proto_num.to_string(),
+        });
+        // port_kind: 0 = omit, 1 = "*", 2 = single, 3 = range
+        if *port_kind > 0 {
+            pattern.push(':');
+            pattern.push_str(&match port_kind {
+                1 => "*".to_string(),
+                2 => port_a.to_string(),
+                _ => {
+                    let (lo, hi) = (port_a.min(port_b), port_a.max(port_b));
+                    format!("{lo}-{hi}")
+                }
+            });
+        }
+    }
+    format!("{pattern} -> {}", TARGETS[target_idx % TARGETS.len()])
+}
+
+type RuleTuple = (([u8; 4], u8, bool), (u8, u8), (u16, u16, u8), usize);
+
+fn policy_text(rules: &[RuleTuple], with_default: bool) -> String {
+    let mut text = String::new();
+    for (addr, proto, ports, tgt) in rules {
+        text.push_str(&rule_text(addr, proto, ports, *tgt));
+        text.push('\n');
+    }
+    if with_default {
+        text.push_str("default -> forest\n");
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_policies_round_trip_through_display(
+        rules in proptest::collection::vec(
+            (
+                (any::<[u8; 4]>(), 0u8..=32, any::<bool>()),
+                (0u8..=4, any::<u8>()),
+                (any::<u16>(), any::<u16>(), 0u8..=3),
+            ),
+            0..8,
+        ),
+        tgts in proptest::collection::vec(0usize..TARGETS.len(), 8),
+        with_default in any::<bool>(),
+    ) {
+        let rules: Vec<RuleTuple> = rules
+            .into_iter()
+            .zip(&tgts)
+            .map(|((a, p, q), t)| (a, p, q, *t))
+            .collect();
+        let text = policy_text(&rules, with_default);
+        let p = Policy::parse(&text).expect("generated policy parses");
+        prop_assert_eq!(p.rules.len(), rules.len() + usize::from(with_default));
+        let q = Policy::parse(&p.to_string()).expect("rendered policy parses");
+        // One rule per line in both documents, so line numbers align
+        // and full structural equality must hold.
+        prop_assert_eq!(&p, &q);
+        prop_assert_eq!(p.to_string(), q.to_string());
+    }
+
+    #[test]
+    fn match_flow_returns_the_first_matching_rule(
+        rules in proptest::collection::vec(
+            (
+                (any::<[u8; 4]>(), 0u8..=32, any::<bool>()),
+                (0u8..=4, any::<u8>()),
+                (any::<u16>(), any::<u16>(), 0u8..=3),
+            ),
+            1..8,
+        ),
+        tgts in proptest::collection::vec(0usize..TARGETS.len(), 8),
+        lo_ip in any::<u32>(),
+        hi_ip in any::<u32>(),
+        lo_port in any::<u16>(),
+        hi_port in any::<u16>(),
+        protocol in any::<u8>(),
+    ) {
+        let rules: Vec<RuleTuple> = rules
+            .into_iter()
+            .zip(&tgts)
+            .map(|((a, p, q), t)| (a, p, q, *t))
+            .collect();
+        let p = Policy::parse(&policy_text(&rules, false)).unwrap();
+        let key = FlowKey {
+            lo_ip: u128::from(lo_ip.min(hi_ip)),
+            hi_ip: u128::from(lo_ip.max(hi_ip)),
+            lo_port,
+            hi_port,
+            protocol,
+        };
+        match p.match_flow(&key) {
+            Some(hit) => {
+                prop_assert!(hit.matches(&key));
+                for earlier in p.rules.iter().take_while(|r| r.line < hit.line) {
+                    prop_assert!(!earlier.matches(&key), "{earlier} shadows {hit}");
+                }
+            }
+            None => {
+                for r in &p.rules {
+                    prop_assert!(!r.matches(&key), "{r} matches but match_flow said None");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_port_is_the_degenerate_range(
+        port in any::<u16>(),
+        proto in 0u8..=4,
+        pnum in any::<u8>(),
+    ) {
+        let proto_txt = match proto {
+            0 | 1 => "*".to_string(),
+            2 => "tcp".to_string(),
+            3 => "udp".to_string(),
+            _ => pnum.to_string(),
+        };
+        let single = Policy::parse(&format!("*:{proto_txt}:{port} -> knn\n")).unwrap();
+        let range = Policy::parse(&format!("*:{proto_txt}:{port}-{port} -> knn\n")).unwrap();
+        prop_assert_eq!(single, range);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_parser(
+        text in "[a-z0-9:./*#> _-]{0,120}",
+    ) {
+        // Any outcome is fine; reaching this line means no panic.
+        let _ = Policy::parse(&text);
+    }
+
+    #[test]
+    fn wildcard_policy_matches_every_key(
+        lo_ip in any::<u64>(),
+        hi_ip in any::<u64>(),
+        lo_port in any::<u16>(),
+        hi_port in any::<u16>(),
+        protocol in any::<u8>(),
+    ) {
+        let p = Policy::parse("* -> encoder\n").unwrap();
+        let key = FlowKey {
+            lo_ip: u128::from(lo_ip),
+            hi_ip: u128::from(hi_ip),
+            lo_port,
+            hi_port,
+            protocol,
+        };
+        prop_assert!(p.match_flow(&key).is_some());
+        prop_assert!(Policy::route_all("encoder").match_flow(&key).is_some());
+    }
+}
+
+#[test]
+fn overlapping_rules_resolve_by_order_not_specificity() {
+    // A broad early rule beats a more specific later one — the DSL is
+    // first-match, not longest-prefix.
+    let p = Policy::parse(
+        "10.0.0.0/8 -> forest\n\
+         10.1.2.3:tcp:443 -> encoder\n\
+         default -> drop\n",
+    )
+    .unwrap();
+    let ip = u128::from(u32::from_be_bytes([10, 1, 2, 3]));
+    let key = FlowKey { lo_ip: ip, hi_ip: ip + 1, lo_port: 443, hi_port: 9000, protocol: 6 };
+    assert_eq!(p.match_flow(&key).unwrap().target, "forest");
+}

@@ -115,6 +115,49 @@ impl RandomForest {
     }
 }
 
+impl nn::frozen::FrozenArtifact for RandomForest {
+    const KIND: &'static str = "forest";
+
+    fn write_payload(&self, w: &mut nn::frozen::PayloadWriter) {
+        w.u32(self.n_classes as u32);
+        w.u32(self.n_features as u32);
+        w.u64(self.trees.len() as u64);
+        for tree in &self.trees {
+            tree.write_payload(w);
+        }
+    }
+
+    fn read_payload(r: &mut nn::frozen::PayloadReader) -> Result<RandomForest, String> {
+        let n_classes = r.u32()? as usize;
+        let n_features = r.u32()? as usize;
+        if n_classes == 0 {
+            return Err("forest with zero classes".into());
+        }
+        let n_trees = r.u64()? as usize;
+        if n_trees == 0 || n_trees > 1 << 16 {
+            return Err(format!("implausible forest size {n_trees}"));
+        }
+        let mut trees = Vec::with_capacity(n_trees);
+        for t in 0..n_trees {
+            let tree = DecisionTree::read_payload(r)?;
+            if usize::from(tree.max_leaf_label()) >= n_classes {
+                return Err(format!(
+                    "tree {t}: leaf label {} out of range (n_classes {n_classes})",
+                    tree.max_leaf_label()
+                ));
+            }
+            if tree.importance.len() != n_features {
+                return Err(format!(
+                    "tree {t}: importance length {} != n_features {n_features}",
+                    tree.importance.len()
+                ));
+            }
+            trees.push(tree);
+        }
+        Ok(RandomForest { trees, n_classes, n_features })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +206,39 @@ mod tests {
         let a = RandomForest::fit(&x, &y, 3, ForestParams::default(), 7);
         let b = RandomForest::fit(&x, &y, 3, ForestParams::default(), 7);
         assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn frozen_round_trip_predicts_bitwise_identically() {
+        use nn::frozen::FrozenArtifact;
+        let (xv, y) = noisy_dataset(120);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let f = RandomForest::fit(&x, &y, 3, ForestParams::default(), 11);
+        let bytes = f.to_frozen_bytes();
+        assert_eq!(bytes, f.to_frozen_bytes(), "byte-stable encode");
+        let back = RandomForest::from_frozen_bytes(&bytes).expect("round-trip");
+        assert_eq!(back.predict(&x), f.predict(&x));
+        assert_eq!(back.feature_importance(), f.feature_importance());
+        assert_eq!(back.n_trees(), f.n_trees());
+    }
+
+    #[test]
+    fn corrupt_frozen_forest_is_refused() {
+        use nn::frozen::FrozenArtifact;
+        let (xv, y) = noisy_dataset(60);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let params = ForestParams { n_trees: 3, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, 3, params, 2);
+        let good = f.to_frozen_bytes();
+        for offset in [0usize, 5, good.len() / 4, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x08;
+            assert!(
+                RandomForest::from_frozen_bytes(&bad).is_err(),
+                "flip at {offset} must be refused"
+            );
+        }
+        assert!(RandomForest::from_frozen_bytes(&good[..good.len() - 2]).is_err(), "truncated");
     }
 
     #[test]

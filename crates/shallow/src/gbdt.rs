@@ -375,6 +375,102 @@ impl GradientBoosting {
     }
 }
 
+fn write_reg_tree(w: &mut nn::frozen::PayloadWriter, tree: &RegTree) {
+    w.u8(u8::from(tree.root_is_leaf));
+    w.u64(tree.nodes.len() as u64);
+    for node in &tree.nodes {
+        w.u32(node.feature as u32);
+        w.f32(node.threshold);
+        // i32 child links stored as their two's-complement bit patterns
+        w.u32(node.left as u32);
+        w.u32(node.right as u32);
+    }
+    w.f32s(&tree.leaf_values);
+}
+
+fn read_reg_tree(r: &mut nn::frozen::PayloadReader) -> Result<RegTree, String> {
+    let root_is_leaf = match r.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(format!("bad root_is_leaf tag {t}")),
+    };
+    let n = r.u64()? as usize;
+    if n > 1 << 24 {
+        return Err(format!("implausible regression tree size {n}"));
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let feature = r.u32()? as usize;
+        let threshold = r.f32()?;
+        let left = r.u32()? as i32;
+        let right = r.u32()? as i32;
+        nodes.push(RegNode { feature, threshold, left, right });
+    }
+    let leaf_values = r.f32s()?;
+    if root_is_leaf {
+        if leaf_values.is_empty() {
+            return Err("leaf-only regression tree without a value".into());
+        }
+    } else if nodes.is_empty() {
+        return Err("regression tree with neither nodes nor leaf root".into());
+    }
+    // Interior children always point forward (they are created after
+    // their parent) and leaf links must decode to a stored value, so a
+    // validated tree cannot loop or index out of bounds at prediction.
+    for (i, node) in nodes.iter().enumerate() {
+        for link in [node.left, node.right] {
+            if link < 0 {
+                let leaf = (-link - 1) as usize;
+                if leaf >= leaf_values.len() {
+                    return Err(format!(
+                        "node {i}: leaf link {leaf} out of range ({} values)",
+                        leaf_values.len()
+                    ));
+                }
+            } else if (link as usize) <= i || (link as usize) >= nodes.len() {
+                return Err(format!("node {i}: bad child link {link} of {}", nodes.len()));
+            }
+        }
+    }
+    Ok(RegTree { nodes, leaf_values, root_is_leaf })
+}
+
+impl nn::frozen::FrozenArtifact for GradientBoosting {
+    const KIND: &'static str = "gbdt";
+
+    fn write_payload(&self, w: &mut nn::frozen::PayloadWriter) {
+        w.u32(self.n_classes as u32);
+        w.f32(self.eta);
+        w.u64(self.trees.len() as u64);
+        for round in &self.trees {
+            for tree in round {
+                write_reg_tree(w, tree);
+            }
+        }
+    }
+
+    fn read_payload(r: &mut nn::frozen::PayloadReader) -> Result<GradientBoosting, String> {
+        let n_classes = r.u32()? as usize;
+        if n_classes == 0 || n_classes > 1 << 16 {
+            return Err(format!("implausible class count {n_classes}"));
+        }
+        let eta = r.f32()?;
+        let n_rounds = r.u64()? as usize;
+        if n_rounds > 1 << 16 {
+            return Err(format!("implausible round count {n_rounds}"));
+        }
+        let mut trees = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            let mut round = Vec::with_capacity(n_classes);
+            for _ in 0..n_classes {
+                round.push(read_reg_tree(r)?);
+            }
+            trees.push(round);
+        }
+        Ok(GradientBoosting { trees, n_classes, eta })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +521,40 @@ mod tests {
         let y: Vec<u16> = (0..10).map(|i| u16::from(i % 2 == 0)).collect();
         let m = GradientBoosting::fit(&x, &y, 2, GbdtParams::default());
         let _ = m.predict(&x);
+    }
+
+    #[test]
+    fn frozen_round_trip_scores_bitwise_identically() {
+        use nn::frozen::FrozenArtifact;
+        let (xv, y) = dataset(150);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        for policy in [GrowthPolicy::DepthWise, GrowthPolicy::LeafWise] {
+            let m = GradientBoosting::fit(&x, &y, 3, GbdtParams { policy, ..Default::default() });
+            let bytes = m.to_frozen_bytes();
+            assert_eq!(bytes, m.to_frozen_bytes(), "byte-stable encode");
+            let back = GradientBoosting::from_frozen_bytes(&bytes).expect("round-trip");
+            for row in &x {
+                assert_eq!(back.scores_one(row), m.scores_one(row), "{policy:?}");
+            }
+            assert_eq!(back.predict(&x), m.predict(&x));
+        }
+    }
+
+    #[test]
+    fn corrupt_frozen_gbdt_is_refused() {
+        use nn::frozen::FrozenArtifact;
+        let (xv, y) = dataset(60);
+        let x: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
+        let m = GradientBoosting::fit(&x, &y, 3, GbdtParams { rounds: 2, ..Default::default() });
+        let good = m.to_frozen_bytes();
+        for offset in [0usize, 9, good.len() / 3, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x11;
+            assert!(
+                GradientBoosting::from_frozen_bytes(&bad).is_err(),
+                "flip at {offset} must be refused"
+            );
+        }
     }
 
     #[test]

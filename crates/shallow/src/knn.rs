@@ -81,6 +81,56 @@ impl KnnClassifier {
     }
 }
 
+impl nn::frozen::FrozenArtifact for KnnClassifier {
+    const KIND: &'static str = "knn";
+
+    fn write_payload(&self, w: &mut nn::frozen::PayloadWriter) {
+        w.u32(self.k as u32);
+        w.u32(self.mean.len() as u32);
+        w.f32s(&self.mean);
+        w.f32s(&self.std);
+        w.u16s(&self.y);
+        let flat: Vec<f32> = self.x.iter().flatten().copied().collect();
+        w.f32s(&flat);
+    }
+
+    fn read_payload(r: &mut nn::frozen::PayloadReader) -> Result<KnnClassifier, String> {
+        let k = r.u32()? as usize;
+        if k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        let d = r.u32()? as usize;
+        let mean = r.f32s()?;
+        let std = r.f32s()?;
+        if mean.len() != d || std.len() != d {
+            return Err(format!(
+                "statistics length mismatch: dim {d}, mean {}, std {}",
+                mean.len(),
+                std.len()
+            ));
+        }
+        if std.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+            return Err("non-positive standard deviation".into());
+        }
+        let y = r.u16s()?;
+        if y.is_empty() {
+            return Err("empty training set".into());
+        }
+        let flat = r.f32s()?;
+        if flat.len() != y.len() * d {
+            return Err(format!(
+                "row data length {} != {} rows x {d} features",
+                flat.len(),
+                y.len()
+            ));
+        }
+        let x = flat.chunks(d.max(1)).map(<[f32]>::to_vec).collect::<Vec<_>>();
+        // d == 0 degenerates to rows of no features; keep row count right.
+        let x = if d == 0 { vec![Vec::new(); y.len()] } else { x };
+        Ok(KnnClassifier { k, x, y, mean, std })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +171,37 @@ mod tests {
         let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
         let knn = KnnClassifier::fit(&x, &[0, 1], 10);
         let _ = knn.predict_one(&[0.4]); // must not panic
+    }
+
+    #[test]
+    fn frozen_round_trip_predicts_bitwise_identically() {
+        use nn::frozen::FrozenArtifact;
+        let data = [[0.001f32, 5000.0], [0.002, 9000.0], [0.101, 7000.0], [0.102, 6000.0]];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let knn = KnnClassifier::fit(&x, &[0, 0, 1, 1], 3);
+        let bytes = knn.to_frozen_bytes();
+        assert_eq!(bytes, knn.to_frozen_bytes(), "byte-stable encode");
+        let back = KnnClassifier::from_frozen_bytes(&bytes).expect("round-trip");
+        for probe in [[0.0015f32, 7500.0], [0.1015, 5500.0], [0.05, 6400.0]] {
+            assert_eq!(back.predict_one(&probe), knn.predict_one(&probe));
+        }
+    }
+
+    #[test]
+    fn corrupt_frozen_knn_is_refused() {
+        use nn::frozen::FrozenArtifact;
+        let data = [[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]];
+        let x: Vec<&[f32]> = data.iter().map(|r| r.as_slice()).collect();
+        let knn = KnnClassifier::fit(&x, &[0, 1, 2], 1);
+        let good = knn.to_frozen_bytes();
+        for offset in 0..good.len() {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x04;
+            assert!(
+                KnnClassifier::from_frozen_bytes(&bad).is_err(),
+                "flip at {offset} must be refused"
+            );
+        }
+        assert!(KnnClassifier::from_frozen_bytes(&good[..good.len() - 1]).is_err(), "truncated");
     }
 }

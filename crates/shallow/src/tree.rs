@@ -270,6 +270,82 @@ impl DecisionTree {
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Largest leaf label in the tree (for cross-checking against a
+    /// class count stored alongside the tree in an ensemble export).
+    pub(crate) fn max_leaf_label(&self) -> u16 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { label } => Some(*label),
+                Node::Split { .. } => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl nn::frozen::FrozenArtifact for DecisionTree {
+    const KIND: &'static str = "tree";
+
+    fn write_payload(&self, w: &mut nn::frozen::PayloadWriter) {
+        w.u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { label } => {
+                    w.u8(0);
+                    w.u16(*label);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    w.u8(1);
+                    w.u32(*feature as u32);
+                    w.f32(*threshold);
+                    w.u32(*left as u32);
+                    w.u32(*right as u32);
+                }
+            }
+        }
+        w.f64s(&self.importance);
+    }
+
+    fn read_payload(r: &mut nn::frozen::PayloadReader) -> Result<DecisionTree, String> {
+        let n = r.u64()? as usize;
+        if n == 0 || n > 1 << 24 {
+            return Err(format!("implausible tree size {n}"));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            match r.u8()? {
+                0 => nodes.push(Node::Leaf { label: r.u16()? }),
+                1 => {
+                    let feature = r.u32()? as usize;
+                    let threshold = r.f32()?;
+                    let left = r.u32()? as usize;
+                    let right = r.u32()? as usize;
+                    // Children are always created after their parent, so
+                    // strictly-descending-only links guarantee the tree
+                    // is acyclic and prediction terminates.
+                    if left <= i || right <= i || left >= n || right >= n {
+                        return Err(format!("node {i}: bad child links {left}/{right} of {n}"));
+                    }
+                    nodes.push(Node::Split { feature, threshold, left, right });
+                }
+                t => return Err(format!("node {i}: unknown tag {t}")),
+            }
+        }
+        let importance = r.f64s()?;
+        for node in &nodes {
+            if let Node::Split { feature, .. } = node {
+                if *feature >= importance.len() {
+                    return Err(format!(
+                        "split feature {feature} out of range (n_features {})",
+                        importance.len()
+                    ));
+                }
+            }
+        }
+        Ok(DecisionTree { nodes, importance })
+    }
 }
 
 #[cfg(test)]
@@ -386,5 +462,37 @@ mod tests {
         let x: Vec<&[f32]> = Vec::new();
         let y: Vec<u16> = Vec::new();
         let _ = DecisionTree::fit(&x, &y, 2, TreeParams::default(), 1);
+    }
+
+    #[test]
+    fn frozen_round_trip_is_bitwise_exact() {
+        use nn::frozen::FrozenArtifact;
+        let data = [[0.0, 0.0], [0.1, 0.2], [1.0, 1.0], [0.9, 1.1], [0.5, 0.4], [0.6, 0.7]];
+        let x = rows(&data);
+        let y = [0u16, 0, 1, 1, 0, 1];
+        let t = DecisionTree::fit(&x, &y, 2, TreeParams::default(), 5);
+        let bytes = t.to_frozen_bytes();
+        assert_eq!(bytes, t.to_frozen_bytes(), "byte-stable encode");
+        let back = DecisionTree::from_frozen_bytes(&bytes).expect("round-trip");
+        assert_eq!(back.predict(&x), t.predict(&x));
+        assert_eq!(back.n_nodes(), t.n_nodes());
+        assert_eq!(back.importance, t.importance);
+    }
+
+    #[test]
+    fn corrupt_frozen_tree_is_refused() {
+        use nn::frozen::FrozenArtifact;
+        let data = [[0.0, 0.0], [0.1, 0.2], [1.0, 1.0], [0.9, 1.1]];
+        let x = rows(&data);
+        let t = DecisionTree::fit(&x, &[0, 0, 1, 1], 2, TreeParams::default(), 1);
+        let good = t.to_frozen_bytes();
+        for offset in 0..good.len() {
+            let mut bad = good.clone();
+            bad[offset] ^= 0x20;
+            assert!(
+                DecisionTree::from_frozen_bytes(&bad).is_err(),
+                "flip at {offset} must be refused"
+            );
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! - [`encoders`] — the six representation-learning model analogues
 //! - [`shallow`] — RF / GBDT / k-NN baselines + Table-12 features
 //! - [`debunk_core`] — the experiment runner and metrics
+//! - [`serving`] — frozen model bundles and the online flow classifier
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `repro` binary (`cargo run --release -p bench --bin repro -- all`)
@@ -24,5 +25,6 @@ pub use debunk_core;
 pub use encoders;
 pub use net_packet;
 pub use nn;
+pub use serving;
 pub use shallow;
 pub use traffic_synth;

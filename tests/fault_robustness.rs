@@ -21,13 +21,25 @@ use rand::SeedableRng;
 /// Run one faulted capture through the full pipeline and return the
 /// binary-task macro-F1. Must never panic, whatever `cfg` does.
 fn pipeline_f1(cfg: FaultConfig) -> f64 {
+    pipeline_f1_at(cfg, 41, 9, 3, Task::UstcBinary)
+}
+
+/// Like [`pipeline_f1`], with the seeds, trace size and task exposed so
+/// trend tests can pick a scale where the effect under test is real and
+/// average out single-fit variance.
+fn pipeline_f1_at(
+    cfg: FaultConfig,
+    trace_seed: u64,
+    fault_seed: u64,
+    flows_per_class: usize,
+    task: Task,
+) -> f64 {
     let mut trace =
-        DatasetSpec { kind: DatasetKind::UstcTfc, seed: 41, flows_per_class: 3 }.generate();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        DatasetSpec { kind: DatasetKind::UstcTfc, seed: trace_seed, flows_per_class }.generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
     inject_faults(&mut trace, cfg, &mut rng);
     clean_trace(&mut trace);
     let data = Prepared::from_trace(&trace);
-    let task = Task::UstcBinary;
     let split = per_flow_split(&data, 0.8, 1000, 3);
     let label = |r: &debunk::dataset::record::PacketRecord| task.label_of(&data, r);
     let train = balanced_undersample(&data, &split.train, &label, 3);
@@ -40,8 +52,9 @@ fn pipeline_f1(cfg: FaultConfig) -> f64 {
     }
     let ytr: Vec<u16> = train.iter().map(|&i| label(&data.records[i])).collect();
     let yte: Vec<u16> = split.test.iter().map(|&i| label(&data.records[i])).collect();
-    let rf = RandomForest::fit(&rows(&xtr), &ytr, 2, ForestParams::default(), 3);
-    macro_f1(&rf.predict(&rows(&xte)), &yte, 2)
+    let n = task.n_classes();
+    let rf = RandomForest::fit(&rows(&xtr), &ytr, n, ForestParams::default(), 3);
+    macro_f1(&rf.predict(&rows(&xte)), &yte, n)
 }
 
 fn f1_at_fault_rate(loss: f64) -> f64 {
@@ -92,20 +105,39 @@ fn fault_matrix_single_knob_rows_survive_the_pipeline() {
 /// Accuracy decays (weakly) monotonically along the capture-loss curve
 /// the `robustness` experiment sweeps — same `FaultConfig::capture_loss`
 /// profile, so the test and the experiment cannot drift apart.
+///
+/// The decay needs the right scale to be observable: the binary task on
+/// a miniature trace is so separable that dropping packets *helps* as
+/// often as it hurts (pruned ambiguous frames beat the lost votes), and
+/// the full `robustness` sweep itself bumps *up* at 5% loss. On the
+/// 20-class app task at 12 flows/class the heavy end of the curve
+/// reliably loses to the clean capture for every probe seed, so that is
+/// the ordering asserted strictly; the interior of the curve only gets
+/// a wobble tolerance. Each level is averaged over a few trace seeds so
+/// one knife-edge RF fit (whose score shifts with the build's
+/// float-reduction order) cannot flip the trend.
 #[test]
 fn accuracy_decays_monotonically_with_capture_loss() {
-    let levels = [0.0, 0.1, 0.25];
-    let scores: Vec<f64> = levels.iter().map(|&l| f1_at_fault_rate(l)).collect();
+    let levels = [0.0, 0.1, 0.25, 0.5];
+    let seeds = [41u64, 137, 4099];
+    let scores: Vec<f64> = levels
+        .iter()
+        .map(|&l| {
+            let sum: f64 = seeds
+                .iter()
+                .map(|&s| pipeline_f1_at(FaultConfig::capture_loss(l), s, s ^ 9, 12, Task::UstcApp))
+                .sum();
+            sum / seeds.len() as f64
+        })
+        .collect();
     for w in scores.windows(2) {
-        // Small tolerance: RF variance on a faulted 2-class split can
-        // wobble a little, but the trend must point down.
         assert!(
-            w[1] <= w[0] + 0.08,
+            w[1] <= w[0] + 0.05,
             "capture-loss curve not monotone: {scores:?} at levels {levels:?}"
         );
     }
     assert!(
-        scores[levels.len() - 1] <= scores[0],
+        scores[levels.len() - 1] < scores[0],
         "heaviest loss must not beat the clean capture: {scores:?}"
     );
 }

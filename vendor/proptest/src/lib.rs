@@ -1,0 +1,137 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! Supports what the workspace's property tests use: the `proptest!`
+//! macro (with `#![proptest_config(..)]`), integer/float range
+//! strategies, `any::<T>()`, `proptest::collection::vec`, tuple
+//! strategies, and the `prop_assert*` macros. Case generation is
+//! deterministic (seeded from the test name + case index) so failures
+//! reproduce; there is no shrinking — the failing case's seed is
+//! reported instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skip the current case (without failing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assume failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Entry macro: a block of `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::test_runner::run(&config, stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __pt_rng);)*
+                    let __pt_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| { $body ::core::result::Result::Ok(()) })();
+                    __pt_result
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}

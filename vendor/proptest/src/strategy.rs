@@ -1,0 +1,306 @@
+//! Value-generation strategies. Ranges, tuples and `any::<T>()` all
+//! implement [`Strategy`]; the `proptest!` macro samples each argument
+//! once per case.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can produce a value for one test case.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let f = rng.unit_f64();
+                let v = self.start as f64 + f * (self.end as f64 - self.start as f64);
+                // rounding can land exactly on the excluded endpoint
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// String strategies from a small regex subset: literal characters,
+/// `[..]` / `[^..]` character classes (with `\n`-style escapes and
+/// `a-z` ranges), `.`, and the quantifiers `{m}`, `{m,n}`, `?`, `*`,
+/// `+`. Enough for the patterns the workspace's tests use.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Dot,
+    Class { negated: bool, singles: Vec<char>, ranges: Vec<(char, char)> },
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = parse_atom(&chars, &mut i, pattern);
+        let (lo, hi) = parse_quantifier(&chars, &mut i, pattern);
+        let n = lo + rng.below((hi - lo + 1) as u128) as usize;
+        for _ in 0..n {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn parse_atom(chars: &[char], i: &mut usize, pattern: &str) -> Atom {
+    match chars[*i] {
+        '[' => {
+            *i += 1;
+            let negated = chars.get(*i) == Some(&'^');
+            if negated {
+                *i += 1;
+            }
+            let mut singles = Vec::new();
+            let mut ranges = Vec::new();
+            while *i < chars.len() && chars[*i] != ']' {
+                let c = class_char(chars, i, pattern);
+                if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&n| n != ']') {
+                    *i += 1;
+                    let end = class_char(chars, i, pattern);
+                    ranges.push((c, end));
+                } else {
+                    singles.push(c);
+                }
+            }
+            assert!(chars.get(*i) == Some(&']'), "unterminated class in regex {pattern:?}");
+            *i += 1;
+            Atom::Class { negated, singles, ranges }
+        }
+        '.' => {
+            *i += 1;
+            Atom::Dot
+        }
+        '\\' => {
+            *i += 1;
+            let c = escape_char(chars[*i]);
+            *i += 1;
+            Atom::Literal(c)
+        }
+        c => {
+            *i += 1;
+            Atom::Literal(c)
+        }
+    }
+}
+
+fn class_char(chars: &[char], i: &mut usize, pattern: &str) -> char {
+    if chars[*i] == '\\' {
+        *i += 1;
+        assert!(*i < chars.len(), "dangling escape in regex {pattern:?}");
+        let c = escape_char(chars[*i]);
+        *i += 1;
+        c
+    } else {
+        let c = chars[*i];
+        *i += 1;
+        c
+    }
+}
+
+fn escape_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Dot => (0x20 + rng.below(0x5f) as u8) as char,
+        Atom::Class { negated: false, singles, ranges } => {
+            let range_total: u128 =
+                ranges.iter().map(|&(a, b)| (b as u128).saturating_sub(a as u128) + 1).sum();
+            let total = singles.len() as u128 + range_total;
+            assert!(total > 0, "empty character class");
+            let mut pick = rng.below(total);
+            if pick < singles.len() as u128 {
+                return singles[pick as usize];
+            }
+            pick -= singles.len() as u128;
+            for &(a, b) in ranges {
+                let span = (b as u128) - (a as u128) + 1;
+                if pick < span {
+                    return char::from_u32(a as u32 + pick as u32).expect("range char");
+                }
+                pick -= span;
+            }
+            unreachable!()
+        }
+        Atom::Class { negated: true, singles, ranges } => loop {
+            // printable ASCII, rejection-sampled against the exclusions
+            let c = (0x20 + rng.below(0x5f) as u8) as char;
+            let excluded =
+                singles.contains(&c) || ranges.iter().any(|&(a, b)| (a..=b).contains(&c));
+            if !excluded {
+                return c;
+            }
+        },
+    }
+}
+
+/// A fixed value, drawn every case.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = (1u16..u16::MAX).sample(&mut rng);
+            assert!((1..u16::MAX).contains(&v));
+            let v = (1u8..=255).sample(&mut rng);
+            assert!(v >= 1);
+            let v = (-1e6f32..1e6).sample(&mut rng);
+            assert!((-1e6..1e6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_its_own_pattern() {
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..200 {
+            let s = "[^\\n\"\\\\]{1,40}".sample(&mut rng);
+            assert!((1..=40).contains(&s.chars().count()), "len of {s:?}");
+            assert!(!s.contains(['\n', '"', '\\']), "exclusions hold in {s:?}");
+            let t = "[a-z]{3}-[0-9]{2}".sample(&mut rng);
+            assert_eq!(t.len(), 6);
+            assert!(t.chars().take(3).all(|c| c.is_ascii_lowercase()));
+            assert_eq!(t.as_bytes()[3], b'-');
+            assert!(t.chars().skip(4).all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_seed(9);
+        let (a, b, c) = (0u32..10, 5u64..6, -1.0f32..1.0).sample(&mut rng);
+        assert!(a < 10);
+        assert_eq!(b, 5);
+        assert!((-1.0..1.0).contains(&c));
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic case runner: each case's RNG is seeded from the test
+//! name and case index, so a failure reproduces on every run.
+
+use std::fmt;
+
+/// Per-`proptest!` configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or assume-rejected) property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into(), reject: false }
+    }
+
+    /// Build a `prop_assume!` rejection — the runner skips the case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into(), reject: true }
+    }
+
+    /// True for `prop_assume!` rejections.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// SplitMix64 generator — more than adequate for property-test case
+/// generation, and trivially reproducible from the reported seed.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = u128::from(self.next_u64()) << 64 | u128::from(self.next_u64());
+        wide % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `f` once per case, panicking (with the reproducing seed) on the
+/// first failure — error or panic — a test harness surfaces either.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let seed = fnv64(name.as_bytes()) ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = f(&mut rng) {
+            if e.is_reject() {
+                continue;
+            }
+            panic!("proptest `{name}` failed at case {case} (seed {seed:#018x}): {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_seed() {
+        run(&ProptestConfig::with_cases(4), "demo", |_rng| Err(TestCaseError::fail("boom")));
+    }
+}

@@ -1,0 +1,370 @@
+//! Vendored, dependency-free subset of the `rand 0.8` API.
+//!
+//! The build container has no network access and no crates-io mirror,
+//! so the workspace vendors the exact slice of `rand` it uses. The
+//! algorithms are bit-compatible re-implementations of `rand 0.8.5` +
+//! `rand_chacha 0.3` (`StdRng` = ChaCha with 12 rounds, PCG32-filled
+//! `seed_from_u64`, Lemire-style integer ranges, 24/53-bit float
+//! conversion), so seeded streams match what the repo's datasets and
+//! test thresholds were originally tuned against.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level RNG interface (the `rand_core` subset the workspace uses).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG constructors.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full-size seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the same PCG32 filler
+    /// as `rand_core 0.6`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let block = pcg32(&mut state);
+            chunk.copy_from_slice(&block[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleStandard,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0.0, 1.0]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: p scaled into a u64 threshold.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.gen::<u64>() < p_int
+    }
+
+    /// Fill `dest` with random data (byte buffers use `fill_bytes`).
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+/// Buffer types that [`Rng::fill`] can populate.
+pub trait Fill {
+    /// Fill `self` from the generator.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the "standard" (full-range / unit-interval)
+/// distribution.
+pub trait SampleStandard {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! std_from_u32 {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! std_from_u64 {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+std_from_u32!(u8, i8, u16, i16, u32, i32);
+std_from_u64!(u64, i64, usize, isize);
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Sign test on the most significant bit, like rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // Multiply-based [0,1) with 24 bits of precision.
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // Multiply-based [0,1) with 53 bits of precision.
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with a uniform range sampler.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply helper (Lemire rejection sampling).
+trait WideMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+impl WideMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let t = self as u64 * other as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+impl WideMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let t = self as u128 * other as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "sample_single_inclusive: low > high");
+                let range =
+                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // Span is the full integer range.
+                    return <$ty as SampleStandard>::sample_standard(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    // Small types: conservative modulo zone.
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as SampleStandard>::sample_standard(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(i8, u8, u32);
+uniform_int_impl!(i16, u16, u32);
+uniform_int_impl!(i32, u32, u32);
+uniform_int_impl!(i64, u64, u64);
+uniform_int_impl!(isize, usize, u64);
+uniform_int_impl!(u8, u8, u32);
+uniform_int_impl!(u16, u16, u32);
+uniform_int_impl!(u32, u32, u32);
+uniform_int_impl!(u64, u64, u64);
+uniform_int_impl!(usize, usize, u64);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr, $bias:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                debug_assert!(low < high, "sample_single: low >= high");
+                let scale = high - low;
+                loop {
+                    // Generate a value in [1, 2) by pasting random
+                    // fraction bits under a fixed exponent.
+                    let bits = <$uty as SampleStandard>::sample_standard(rng);
+                    let value1_2 = <$ty>::from_bits(
+                        (bits >> $bits_to_discard) | (($bias as $uty) << $exp_bits),
+                    );
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                // Floats don't distinguish inclusive ranges in rand 0.8
+                // beyond allowing low == high.
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl!(f32, u32, 9, 23, 127u32);
+uniform_float_impl!(f64, u64, 12, 52, 1023u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-0.5..0.5f32);
+            assert!((-0.5..0.5).contains(&f));
+            let i = rng.gen_range(5..=9u64);
+            assert!((5..=9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn chacha_reference_stream() {
+        // RFC 8439 test vector structure check: with an all-zero key the
+        // first block of ChaCha must differ from the second, and a
+        // one-bit key change must change the stream.
+        let mut a = StdRng::from_seed([0u8; 32]);
+        let mut key = [0u8; 32];
+        key[0] = 1;
+        let mut b = StdRng::from_seed(key);
+        let first: Vec<u32> = (0..32).map(|_| a.next_u32()).collect();
+        let second: Vec<u32> = (0..32).map(|_| b.next_u32()).collect();
+        assert_ne!(first, second);
+        assert_ne!(&first[..16], &first[16..], "blocks must differ");
+    }
+}

@@ -1,0 +1,547 @@
+//! JSON value tree, parser and writer shared by the vendored `serde`
+//! and `serde_json` crates.
+
+use std::fmt;
+
+/// Parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Number written without `.`/exponent, preserved exactly.
+    Int(i128),
+    /// Number with a fractional part or exponent.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as ordered key/value pairs (duplicate keys keep first).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow the object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// First value under `key` in an object's pair list.
+pub fn find<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// JSON error (parse or shape mismatch).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build from a message.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------- writer
+
+/// Streaming JSON writer with optional 2-space pretty printing.
+pub struct JsonSer {
+    /// Accumulated output.
+    pub out: String,
+    pretty: bool,
+    /// Per-container "has at least one element" flags.
+    stack: Vec<bool>,
+    /// Set right after a key is written (suppresses indent before the
+    /// value).
+    after_key: bool,
+}
+
+impl JsonSer {
+    /// Compact writer.
+    pub fn new() -> JsonSer {
+        JsonSer { out: String::new(), pretty: false, stack: Vec::new(), after_key: false }
+    }
+
+    /// Pretty writer (2-space indent).
+    pub fn pretty() -> JsonSer {
+        JsonSer { out: String::new(), pretty: true, stack: Vec::new(), after_key: false }
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn before_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+        }
+    }
+
+    /// Start an object (`{`).
+    pub fn begin_obj(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Write a key inside an object; call before the value.
+    pub fn key(&mut self, k: &str) {
+        let has_items = self.stack.last_mut().expect("key outside object");
+        if *has_items {
+            self.out.push(',');
+        }
+        *has_items = true;
+        if self.pretty {
+            self.newline_indent();
+        }
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.after_key = true;
+    }
+
+    /// Close an object (`}`).
+    pub fn end_obj(&mut self) {
+        let had_items = self.stack.pop().expect("end_obj without begin_obj");
+        if self.pretty && had_items {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Start an array (`[`).
+    pub fn begin_arr(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Mark the start of the next array element.
+    pub fn item(&mut self) {
+        let has_items = self.stack.last_mut().expect("item outside array");
+        if *has_items {
+            self.out.push(',');
+        }
+        *has_items = true;
+        if self.pretty {
+            self.newline_indent();
+        }
+        self.after_key = true;
+    }
+
+    /// Close an array (`]`).
+    pub fn end_arr(&mut self) {
+        let had_items = self.stack.pop().expect("end_arr without begin_arr");
+        if self.pretty && had_items {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// `null`
+    pub fn write_null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// `true` / `false`
+    pub fn write_bool(&mut self, b: bool) {
+        self.before_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Integer.
+    pub fn write_int(&mut self, v: i128) {
+        self.before_value();
+        let mut buf = [0u8; 40];
+        let mut n = v;
+        let neg = n < 0;
+        let mut i = buf.len();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (n % 10).unsigned_abs() as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        if neg {
+            i -= 1;
+            buf[i] = b'-';
+        }
+        self.out.push_str(std::str::from_utf8(&buf[i..]).expect("digits are utf8"));
+    }
+
+    /// Float using Rust's shortest round-trip formatting; serde_json
+    /// writes non-finite values as `null`, and so does this.
+    pub fn write_f64_like(&mut self, v: f64, non_finite: bool) {
+        self.before_value();
+        if non_finite || !v.is_finite() {
+            self.out.push_str("null");
+            return;
+        }
+        let start = self.out.len();
+        use fmt::Write;
+        write!(self.out, "{v}").expect("string write");
+        // Match serde_json's "always a float" shape: integral values get
+        // a trailing `.0` (Display prints `1`, serde_json prints `1.0`).
+        if !self.out[start..].contains(['.', 'e', 'E']) {
+            self.out.push_str(".0");
+        }
+    }
+
+    /// String with JSON escaping.
+    pub fn write_str(&mut self, s: &str) {
+        self.before_value();
+        write_escaped(&mut self.out, s);
+    }
+}
+
+impl Default for JsonSer {
+    fn default() -> JsonSer {
+        JsonSer::new()
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+/// Parse a complete JSON document.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Nesting ceiling; the deepest workspace structure is ~6 levels.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::msg("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!("expected ',' or ']' at {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => {
+                            return Err(Error::msg(format!("expected ',' or '}}' at {}", self.pos)))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::msg(format!("unexpected byte '{}' at {}", b as char, self.pos))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("non-utf8 number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::msg(format!("bad number '{text}': {e}")))
+        } else {
+            match text.parse::<i128>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Out-of-range integers degrade to float like serde_json's
+                // arbitrary-precision fallback would for f64 targets.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|e| Error::msg(format!("bad number '{text}': {e}"))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| Error::msg("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| Error::msg("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::msg(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at b.
+                    let len = utf8_len(b).ok_or_else(|| Error::msg("invalid utf8 in string"))?;
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(Error::msg("truncated utf8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::msg("invalid utf8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::msg("non-utf8 \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::msg("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+fn utf8_len(b: u8) -> Option<usize> {
+    match b {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basics() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": "x\ny", "c": null, "d": true}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(
+            find(obj, "a"),
+            Some(&Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Int(-3)]))
+        );
+        assert_eq!(find(obj, "b"), Some(&Value::Str("x\ny".into())));
+        assert_eq!(find(obj, "c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn float_formatting_keeps_round_trip() {
+        let mut s = JsonSer::new();
+        s.write_f64_like(1.0, false);
+        assert_eq!(s.out, "1.0");
+        let mut s = JsonSer::new();
+        s.write_f64_like(f64::NAN, true);
+        assert_eq!(s.out, "null");
+        let x = 0.1f32;
+        let mut s = JsonSer::new();
+        s.write_f64_like(f64::from(x), false);
+        // f32 via f64 Display must parse back to the same f32
+        assert_eq!(s.out.parse::<f64>().unwrap() as f32, x);
+    }
+}

@@ -1,0 +1,169 @@
+//! Vendored, dependency-free subset of the `serde` API.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the slice of serde it uses: `Serialize`/`Deserialize` traits over a
+//! JSON-only data model, derive macros for named-field structs and
+//! unit-variant enums (including `#[serde(skip)]`), and the primitive /
+//! `Vec` / `Option` / `String` impls the repo's checkpoint and record
+//! types need. `serde_json` (also vendored) drives these traits.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialise into the JSON writer. The derive macro generates
+/// field-by-field calls; `serde_json::to_string` drives it.
+pub trait Serialize {
+    /// Append `self`'s JSON encoding to the writer.
+    fn json_write(&self, out: &mut json::JsonSer);
+}
+
+/// Deserialise from a parsed JSON value tree.
+pub trait Deserialize: Sized {
+    /// Decode `self` from a JSON value; any mismatch is an error.
+    fn json_read(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut json::JsonSer) {
+                out.write_int(*self as i128);
+            }
+        }
+        impl Deserialize for $t {
+            fn json_read(v: &json::Value) -> Result<$t, json::Error> {
+                match v {
+                    json::Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        json::Error::msg(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(json::Error::msg(format!(
+                        "expected integer for {}, found {}",
+                        stringify!($t),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.write_f64_like(f64::from(*self), !self.is_finite());
+    }
+}
+impl Deserialize for f32 {
+    fn json_read(v: &json::Value) -> Result<f32, json::Error> {
+        match v {
+            json::Value::Float(f) => Ok(*f as f32),
+            json::Value::Int(i) => Ok(*i as f32),
+            other => Err(json::Error::msg(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.write_f64_like(*self, !self.is_finite());
+    }
+}
+impl Deserialize for f64 {
+    fn json_read(v: &json::Value) -> Result<f64, json::Error> {
+        match v {
+            json::Value::Float(f) => Ok(*f),
+            json::Value::Int(i) => Ok(*i as f64),
+            other => Err(json::Error::msg(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.write_bool(*self);
+    }
+}
+impl Deserialize for bool {
+    fn json_read(v: &json::Value) -> Result<bool, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.write_str(self);
+    }
+}
+impl Serialize for str {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.write_str(self);
+    }
+}
+impl Deserialize for String {
+    fn json_read(v: &json::Value) -> Result<String, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(json::Error::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.begin_arr();
+        for item in self {
+            out.item();
+            item.json_write(out);
+        }
+        out.end_arr();
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn json_read(v: &json::Value) -> Result<Vec<T>, json::Error> {
+        match v {
+            json::Value::Array(items) => items.iter().map(T::json_read).collect(),
+            other => Err(json::Error::msg(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.write_null(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn json_read(v: &json::Value) -> Result<Option<T>, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::json_read(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut json::JsonSer) {
+        out.begin_arr();
+        for item in self {
+            out.item();
+            item.json_write(out);
+        }
+        out.end_arr();
+    }
+}

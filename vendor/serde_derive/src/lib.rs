@@ -1,0 +1,295 @@
+//! Vendored `serde` derive macros, written against `proc_macro` alone
+//! (no `syn`/`quote` in the offline container). Supports the two shapes
+//! the workspace uses: named-field structs (with `#[serde(skip)]`) and
+//! unit-variant enums serialised as their variant-name string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match (dir, &shape) {
+                (Direction::Ser, Shape::Struct(fields)) => ser_struct(&name, fields),
+                (Direction::De, Shape::Struct(fields)) => de_struct(&name, fields),
+                (Direction::Ser, Shape::UnitEnum(variants)) => ser_enum(&name, variants),
+                (Direction::De, Shape::UnitEnum(variants)) => de_enum(&name, variants),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+/// Parse the derive input down to (type name, shape). Only the subset
+/// the workspace needs is accepted; anything else is a compile error
+/// with a message naming the limitation.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde derive: expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, found {other:?}")),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde derive: generics on `{name}` are not supported"));
+        }
+        other => return Err(format!("serde derive: expected {{...}} body, found {other:?}")),
+    };
+    if kind == "struct" {
+        parse_struct_fields(body).map(|f| (name, Shape::Struct(f)))
+    } else {
+        parse_unit_variants(body).map(|v| (name, Shape::UnitEnum(v)))
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// True when an attribute group is `serde(... skip ...)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes: note `#[serde(skip)]`, ignore the rest.
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if attr_is_serde_skip(g) {
+                            skip = true;
+                        }
+                        i += 1;
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(
+                        tokens.get(i),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde derive: tuple structs are not supported (near `{name}`)"
+                ))
+            }
+        }
+        // Consume the type up to a top-level comma. Generic angle
+        // brackets nest, so track their depth.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip doc comments / attributes before the variant.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde derive: expected variant, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde derive: only unit enum variants are supported (`{name}` has data)"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde derive: explicit discriminants are not supported (`{name}`)"
+                ))
+            }
+            None => {}
+            other => return Err(format!("serde derive: unexpected token {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- codegen
+
+fn ser_struct(name: &str, fields: &[Field]) -> String {
+    let mut body = String::from("out.begin_obj();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "out.key({n:?});\n::serde::Serialize::json_write(&self.{n}, out);\n",
+            n = f.name
+        ));
+    }
+    body.push_str("out.end_obj();\n");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn json_write(&self, out: &mut ::serde::json::JsonSer) {{\n{body}}}\n}}\n"
+    )
+}
+
+fn de_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::json::find(pairs, {n:?}) {{\n\
+                 Some(fv) => ::serde::Deserialize::json_read(fv).map_err(|e| \
+                 ::serde::json::Error::msg(format!(\"{name}.{n}: {{e}}\")))?,\n\
+                 None => return Err(::serde::json::Error::msg(\
+                 \"{name}: missing field `{n}`\")),\n}},\n",
+                n = f.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn json_read(v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::json::Error> {{\n\
+         let pairs = v.as_object().ok_or_else(|| ::serde::json::Error::msg(\
+         format!(\"expected object for {name}, found {{}}\", v.kind())))?;\n\
+         ::core::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!("{name}::{v} => out.write_str({v:?}),\n"));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn json_write(&self, out: &mut ::serde::json::JsonSer) {{\n\
+         match self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn de_enum(name: &str, variants: &[String]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        arms.push_str(&format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn json_read(v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::json::Error> {{\n\
+         match v {{\n\
+         ::serde::json::Value::Str(s) => match s.as_str() {{\n{arms}\
+         other => Err(::serde::json::Error::msg(format!(\
+         \"unknown {name} variant {{other:?}}\"))),\n}},\n\
+         other => Err(::serde::json::Error::msg(format!(\
+         \"expected string for {name}, found {{}}\", other.kind()))),\n}}\n}}\n}}\n"
+    )
+}

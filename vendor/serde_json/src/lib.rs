@@ -1,0 +1,122 @@
+//! Vendored `serde_json` front-end: `to_string`, `to_string_pretty` and
+//! `from_str` over the vendored `serde` traits and JSON model.
+
+pub use serde::json::Value;
+
+/// Serialisation / deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error(serde::json::Error);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise to compact JSON. Infallible for the vendored data model,
+/// but keeps serde_json's `Result` signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = serde::json::JsonSer::new();
+    value.json_write(&mut out);
+    Ok(out.out)
+}
+
+/// Serialise to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = serde::json::JsonSer::pretty();
+    value.json_write(&mut out);
+    Ok(out.out)
+}
+
+/// Parse JSON text into `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text).map_err(Error)?;
+    T::json_read(&value).map_err(Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        xs: Vec<f32>,
+        name: String,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    enum Tag {
+        Alpha,
+        Beta,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        tag: Tag,
+        inner: Inner,
+        count: usize,
+        ratio: f64,
+        flag: bool,
+        maybe: Option<u32>,
+        #[serde(skip)]
+        scratch: Vec<u8>,
+    }
+
+    impl Default for Outer {
+        fn default() -> Outer {
+            Outer {
+                tag: Tag::Beta,
+                inner: Inner { xs: vec![0.1, -2.5, 3.0], name: "a\"b\n".into() },
+                count: 7,
+                ratio: 0.125,
+                flag: true,
+                maybe: None,
+                scratch: vec![1, 2, 3],
+            }
+        }
+    }
+
+    #[test]
+    fn derive_round_trip() {
+        let v = Outer::default();
+        let json = super::to_string(&v).unwrap();
+        let back: Outer = super::from_str(&json).unwrap();
+        // skip field is dropped on the wire and default-initialised back
+        assert!(back.scratch.is_empty());
+        assert_eq!(back.tag, v.tag);
+        assert_eq!(back.inner, v.inner);
+        assert_eq!(back.count, v.count);
+        assert_eq!(back.ratio, v.ratio);
+        assert_eq!(back.maybe, v.maybe);
+        assert!(!json.contains("scratch"));
+    }
+
+    #[test]
+    fn f32_bits_survive() {
+        let xs: Vec<f32> = vec![0.1, 1.0 / 3.0, f32::MIN_POSITIVE, 1e30, -0.0];
+        let json = super::to_string(&xs).unwrap();
+        let back: Vec<f32> = super::from_str(&json).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} round-trips");
+        }
+    }
+
+    #[test]
+    fn errors_name_the_path() {
+        let err = super::from_str::<Outer>(r#"{"tag": "Alpha", "count": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("inner"), "got: {err}");
+        let err = super::from_str::<Tag>("\"Gamma\"").unwrap_err();
+        assert!(err.to_string().contains("Gamma"), "got: {err}");
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let v = Inner { xs: vec![1.0], name: "n".into() };
+        let json = super::to_string_pretty(&v).unwrap();
+        assert!(json.contains("\n  \"xs\""), "got: {json}");
+        let back: Inner = super::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}
