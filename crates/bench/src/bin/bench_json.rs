@@ -28,6 +28,7 @@
 
 use debunk_core::engine::{default_registry, Preset, RunContext, RunOptions};
 use encoders::model::{EncoderModel, ModelKind};
+use encoders::EncodeScratch;
 use nn::{Mlp, Tensor};
 use shallow::gbdt::{GbdtParams, GradientBoosting};
 use shallow::tree::{DecisionTree, TreeParams};
@@ -44,6 +45,14 @@ const BASELINE_MS: &[(&str, f64)] = &[
     ("encoder_train_step_b64", 5.592),
     ("tree_fit_4k", 128.195),
     ("gbdt_fit_1200", 242.651),
+    // Frozen-encoder inference, recorded pre-PR7 (allocating API, no
+    // SIMD): the same 1024 EtBert token rows pushed through batch
+    // sizes 1, 64 and 1024. The int8 row is new in PR7 — no earlier
+    // number exists, so its baseline is null.
+    ("frozen_encode_b1_x1024", 5.023),
+    ("frozen_encode_b64_x16", 3.725),
+    ("frozen_encode_b1024", 3.950),
+    ("frozen_encode_int8_b1024", f64::NAN),
 ];
 
 /// Frozen pre-PR4 numbers (no artifact cache; same container). Stage
@@ -74,6 +83,8 @@ const BASELINE_SERVING: &[(&str, f64)] = &[
     ("serve_packet_p50_us", 0.366),
     ("serve_packet_p99_us", 1.364),
     ("serve_flows_per_sec", 10549.194),
+    // New in PR7 (int8 encoder target) — no PR6 number exists.
+    ("serve_encoder_int8", f64::NAN),
 ];
 
 /// Deterministic xorshift64* stream — benchmark data without `rand`.
@@ -222,10 +233,11 @@ fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     use serving::source::SynthSpec;
     use serving::{FlowTable, ModelBundle};
 
-    let bundle = ModelBundle::train(
+    let mut bundle = ModelBundle::train(
         &Prepared::from_trace(&SynthSpec::parse("ustc:7:2").unwrap().trace()),
         42,
     );
+    bundle.quantize_encoder();
     let replay_spec = if quick { "ustc:11:2" } else { "ustc:11:4" };
     let replay = SynthSpec::parse(replay_spec).unwrap().replay();
     let sink = ObsSink::stderr(LogFormat::Text);
@@ -246,6 +258,7 @@ fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     ));
     for (name, target) in [
         ("serve_encoder", "encoder"),
+        ("serve_encoder_int8", "encoder_int8"),
         ("serve_forest", "forest"),
         ("serve_gbdt", "gbdt"),
         ("serve_knn", "knn"),
@@ -416,6 +429,53 @@ fn main() {
     ));
     eprintln!("  training steps done");
 
+    // --- frozen-encoder inference (batched + int8) -----------------------
+    // Fresh encoder: `enc` above was mutated by the training reps, and
+    // the frozen rows should measure reproducible seed-1 weights.
+    let frozen = EncoderModel::new(ModelKind::EtBert, 1).freeze();
+    let big: Vec<Vec<u32>> =
+        (0..1024).map(|_| (0..80).map(|_| rng.below(1 << 16) as u32).collect()).collect();
+    let mut scratch = EncodeScratch::default();
+    let mut out = Tensor::default();
+    results.push((
+        "frozen_encode_b1_x1024",
+        bench_ms(reps, || {
+            let mut acc = 0.0f32;
+            for row in &big {
+                frozen.encode_tokens_into(std::slice::from_ref(row), &mut scratch, &mut out);
+                acc += out.data[0];
+            }
+            acc
+        }),
+    ));
+    results.push((
+        "frozen_encode_b64_x16",
+        bench_ms(reps, || {
+            let mut acc = 0.0f32;
+            for chunk in big.chunks(64) {
+                frozen.encode_tokens_into(chunk, &mut scratch, &mut out);
+                acc += out.data[0];
+            }
+            acc
+        }),
+    ));
+    results.push((
+        "frozen_encode_b1024",
+        bench_ms(reps, || {
+            frozen.encode_tokens_into(&big, &mut scratch, &mut out);
+            out.data[0]
+        }),
+    ));
+    let quant = frozen.quantize();
+    results.push((
+        "frozen_encode_int8_b1024",
+        bench_ms(reps, || {
+            quant.encode_tokens_into(&big, &mut scratch, &mut out);
+            out.data[0]
+        }),
+    ));
+    eprintln!("  frozen encodes done");
+
     // --- shallow models --------------------------------------------------
     let (xv, yv) = class_data(4000, 16, 6, &mut rng);
     let xr: Vec<&[f32]> = xv.iter().map(|r| r.as_slice()).collect();
@@ -431,15 +491,10 @@ fn main() {
     ));
     eprintln!("  shallow models done");
 
-    // --- one small registry experiment (skipped in --quick) --------------
-    if !quick {
-        let ctx = RunContext::from_preset(Preset::Fast, 42, Some(0.4));
-        let opts = RunOptions { jobs: 1, out_dir: None, ..Default::default() };
-        let t0 = Instant::now();
-        default_registry().run("table8", &ctx, &opts).expect("table8 is registered");
-        results.push(("registry_table8_fast", t0.elapsed().as_secs_f64() * 1e3));
-        eprintln!("  registry experiment done");
-    }
+    // The registry experiment used to ride along here as
+    // `registry_table8_fast`, a single untracked timing with no
+    // baseline entry — it only added drift to the kernel file. The
+    // pipeline group benchmarks the registry properly (cold + warm).
 
     emit("bench_kernels/v1", "baseline_pre_pr2_ms", quick, &results, BASELINE_MS, &out_path);
 }

@@ -1,4 +1,4 @@
-//! The 21 concrete experiments of the paper's evaluation, ported from
+//! The concrete experiments of the paper's evaluation, ported from
 //! the former `repro` binary onto the engine. Each experiment exposes
 //! its grid of independent cells; the frozen/unfrozen × split-policy
 //! tables (3, 4, 5) share one [`GridExperiment`] expansion instead of
@@ -73,6 +73,7 @@ pub fn default_registry() -> Registry {
     r.register(Box::new(AdvancedSplits));
     r.register(Box::new(ExtendedModels));
     r.register(Box::new(Robustness));
+    r.register(Box::new(QuantInt8));
     r
 }
 
@@ -1436,13 +1437,124 @@ impl Experiment for Robustness {
     }
 }
 
+// ---------------------------------------------------------------------
+// Extension — int8-quantised frozen encoder (accuracy vs throughput).
+
+/// The int8 serving encoder is an explicit experiment, never a silent
+/// substitution: this pits the f32 frozen Pcap-Encoder against its
+/// int8-quantised copy on the same task, head recipe and seed, so the
+/// accuracy cost of quantisation is a recorded, journaled number.
+/// Throughput (flows/sec) is wall-clock and therefore *render-only* —
+/// it never enters [`CellOutput::values`], keeping the journal
+/// byte-deterministic.
+struct QuantInt8;
+
+const QUANT_VARIANTS: [(&str, bool); 2] = [("PcapEnc f32", false), ("PcapEnc int8", true)];
+
+fn quant_cell(ctx: &RunContext, cfg: &CellConfig, int8: bool) -> CellOutput {
+    use std::time::Instant;
+    let prep = ctx.prep(Task::VpnApp);
+    let task = prep.task;
+    let data = &prep.data;
+    let split = prep.split(SplitPolicy::PerFlow, cfg.train_frac, cfg.max_flow_packets, cfg.seed);
+    let label_of = |r: &PacketRecord| task.label_of(data, r);
+    let train = balanced_undersample(data, &split.train, &label_of, cfg.seed ^ 0xb);
+    let train = subsample(&train, cfg.max_train, cfg.seed ^ 0xc);
+    let test = subsample(&split.test, cfg.max_test, cfg.seed ^ 0xd);
+    let train_labels: Vec<u16> = train.iter().map(|&i| label_of(&data.records[i])).collect();
+    let train_recs: Vec<&PacketRecord> = train.iter().map(|&i| &data.records[i]).collect();
+    let test_labels: Vec<u16> = test.iter().map(|&i| label_of(&data.records[i])).collect();
+    let test_recs: Vec<&PacketRecord> = test.iter().map(|&i| &data.records[i]).collect();
+
+    let frozen = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder)).freeze();
+    let t0 = Instant::now();
+    let (x_train, x_test) = if int8 {
+        let q = frozen.quantize();
+        (q.encode_packets(&train_recs), q.encode_packets(&test_recs))
+    } else {
+        (frozen.encode_packets(&train_recs), frozen.encode_packets(&test_recs))
+    };
+    let n_classes = task.n_classes();
+    let mut head = Mlp::new(&[frozen.dim(), cfg.head_hidden, n_classes], cfg.seed);
+    head.fit(&x_train, &train_labels, cfg.frozen_epochs, cfg.batch, cfg.lr, cfg.seed ^ 0x1);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let pred = head.predict(&x_test);
+    let infer_secs = t1.elapsed().as_secs_f64();
+    CellOutput::stats(RecordStats {
+        accuracy: accuracy(&pred, &test_labels),
+        macro_f1: macro_f1(&pred, &test_labels, n_classes),
+        train_secs,
+        infer_secs,
+    })
+}
+
+impl Experiment for QuantInt8 {
+    fn id(&self) -> &'static str {
+        "quant_int8"
+    }
+
+    fn description(&self) -> &'static str {
+        "int8-quantised frozen encoder vs f32: accuracy delta + serving throughput (extension)"
+    }
+
+    fn cells(&self, _ctx: &RunContext) -> Vec<CellSpec> {
+        QUANT_VARIANTS
+            .into_iter()
+            .map(|(model, int8)| {
+                CellSpec::new("VPN-app", model, "per-flow/frozen", move |ctx, cfg| {
+                    quant_cell(ctx, cfg, int8)
+                })
+            })
+            .collect()
+    }
+
+    fn render(&self, ctx: &RunContext, outputs: &[CellOutput]) {
+        let mut t = TableBuilder::new(
+            "Extension: int8 serving encoder vs f32, VPN-app (per-flow, frozen)",
+            &["AC", "F1", "kflows/s"],
+        );
+        // Throughput is measured here in render — wall-clock must never
+        // reach the journaled cell outputs.
+        let frozen = ctx.encoder(EncoderSpec::pretrained(ModelKind::PcapEncoder)).freeze();
+        let quant = frozen.quantize();
+        let recs_owned = ctx.prep(Task::VpnApp).data.clone();
+        let recs: Vec<&PacketRecord> = recs_owned.records.iter().take(512).collect();
+        let mut scratch = encoders::EncodeScratch::default();
+        let mut enc_out = Tensor::default();
+        frozen.encode_packets_into(&recs, &mut scratch, &mut enc_out); // warm scratch
+        let t0 = std::time::Instant::now();
+        frozen.encode_packets_into(&recs, &mut scratch, &mut enc_out);
+        let f32_rate = recs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9) / 1e3;
+        quant.encode_packets_into(&recs, &mut scratch, &mut enc_out); // warm scratch
+        let t1 = std::time::Instant::now();
+        quant.encode_packets_into(&recs, &mut scratch, &mut enc_out);
+        let int8_rate = recs.len() as f64 / t1.elapsed().as_secs_f64().max(1e-9) / 1e3;
+        let rates = [f32_rate, int8_rate];
+        for ((name, _), (out, rate)) in QUANT_VARIANTS.iter().zip(outputs.iter().zip(rates)) {
+            let s = expect_stats(out);
+            t.row(name, &[pct(s.accuracy), pct(s.macro_f1), format!("{rate:.1}")]);
+        }
+        println!("{}", t.render());
+        if let [a, b] = outputs {
+            let (fa, fb) = (expect_stats(a), expect_stats(b));
+            println!(
+                "int8 accuracy delta vs f32: {:+.2} pts AC, {:+.2} pts F1\n",
+                (fb.accuracy - fa.accuracy) * 100.0,
+                (fb.macro_f1 - fa.macro_f1) * 100.0
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::context::Preset;
 
-    /// Every experiment id the pre-engine `repro` match accepted.
-    const LEGACY_IDS: [&str; 21] = [
+    /// Every experiment id the pre-engine `repro` match accepted, plus
+    /// engine-era additions (`quant_int8`).
+    const LEGACY_IDS: [&str; 22] = [
         "table2",
         "table3",
         "table4",
@@ -1464,6 +1576,7 @@ mod tests {
         "extended_models",
         "robustness",
         "balance_ablation",
+        "quant_int8",
     ];
 
     #[test]

@@ -493,6 +493,12 @@ impl ObsSink {
             "  \"batches\": {{\"count\": {}, \"verdicts\": {}}},\n",
             sv.batches, sv.verdicts
         ));
+        let kernel_stats = nn::kernel::kernel_stats();
+        s.push_str(&format!(
+            "  \"simd\": {{\"lane\": \"{}\", \"dispatches\": {}}},\n",
+            nn::simd::active_lane().name(),
+            kernel_stats.simd_dispatches,
+        ));
         s.push_str(&format!(
             "  \"events\": {{\"debug\": {}, \"info\": {}, \"warn\": {}, \"error\": {}}},\n",
             counts[0].load(Ordering::Relaxed),
@@ -573,6 +579,11 @@ impl ObsSink {
             )),
             None => s.push_str("  \"kernel\": null,\n"),
         }
+        s.push_str(&format!(
+            "  \"simd\": {{\"lane\": \"{}\", \"dispatches\": {}}},\n",
+            nn::simd::active_lane().name(),
+            kernel_stats.simd_dispatches,
+        ));
         s.push_str("  \"stages\": {");
         for (i, (name, st)) in agg.stages.iter().enumerate() {
             if i > 0 {
@@ -808,6 +819,12 @@ mod tests {
         let st = j.get("stages").unwrap().get("tokenize").expect("stage entry");
         assert_eq!(get_u64(st, "count"), 2);
         assert_eq!(get_f64(st, "secs"), 0.75);
+        let simd = j.get("simd").expect("simd section");
+        assert_eq!(
+            simd.get("lane"),
+            Some(&Json::Str(nn::simd::active_lane().name().to_string())),
+            "active SIMD lane is reported"
+        );
         let report = trace_report(&json).expect("report renders");
         assert!(report.contains("| table8 | 3 | 1 | 1 | 1 |"), "report: {report}");
         assert!(report.contains("| tokenize | 2 |"));
@@ -838,6 +855,8 @@ mod tests {
         assert_eq!(get_u64(b, "verdicts"), 2);
         let st = j.get("stages").unwrap().get("serve:classify").expect("stage entry");
         assert_eq!(get_f64(st, "secs"), 0.125);
+        let simd = j.get("simd").expect("simd section");
+        assert_eq!(simd.get("lane"), Some(&Json::Str(nn::simd::active_lane().name().to_string())));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use checkpoint::{
     export_frozen, load_checkpoint, save_checkpoint, stable_hash64, CheckpointError,
     EncoderCheckpoint, PretrainKey,
 };
-pub use frozen::FrozenPcapEncoder;
+pub use frozen::{EncodeScratch, FrozenInt8Encoder, FrozenPcapEncoder};
 pub use model::{EncoderModel, ModelKind};
 pub use pcap_encoder::{PcapEncoderVariant, PretrainPhases};
 pub use tokenizer::TokenizerConfig;

@@ -195,9 +195,7 @@ impl EncoderModel {
     /// representation and frozen performance drops *below* random.
     fn residual(&self, pooled: &Tensor) -> Tensor {
         let mut out = self.proj.forward_inference(pooled);
-        for (o, &p) in out.data.iter_mut().zip(&pooled.data) {
-            *o += p;
-        }
+        nn::simd::add_assign(&mut out.data, &pooled.data);
         out
     }
 
@@ -275,9 +273,9 @@ impl EncoderModel {
         let mut pooled = std::mem::take(&mut self.pooled);
         self.embedding.forward_into(batch, &mut pooled);
         self.proj.forward_into(&pooled, out);
-        for (o, &p) in out.data.iter_mut().zip(&pooled.data) {
-            *o += p;
-        }
+        // residual identity path on the SIMD lane (element-wise add —
+        // bit-identical to the scalar loop it replaces)
+        nn::simd::add_assign(&mut out.data, &pooled.data);
         self.pooled = pooled;
     }
 
@@ -292,9 +290,8 @@ impl EncoderModel {
         clip_global_norm(&mut self.clip_buf, max_norm);
         let mut d_pooled = std::mem::take(&mut self.d_pooled);
         self.proj.backward_into(&self.clip_buf, lr, &mut d_pooled);
-        for (d, &g) in d_pooled.data.iter_mut().zip(&self.clip_buf.data) {
-            *d += g; // identity-path gradient
-        }
+        // identity-path gradient
+        nn::simd::add_assign(&mut d_pooled.data, &self.clip_buf.data);
         self.embedding.backward(&d_pooled, lr);
         self.d_pooled = d_pooled;
     }
@@ -309,9 +306,7 @@ impl EncoderModel {
         // projection and the token-identity geometry (DESIGN.md §4b)
         let mut d_pooled = std::mem::take(&mut self.d_pooled);
         self.proj.backward_sgd_into(d_out, lr, &mut d_pooled);
-        for (d, &g) in d_pooled.data.iter_mut().zip(&d_out.data) {
-            *d += g;
-        }
+        nn::simd::add_assign(&mut d_pooled.data, &d_out.data);
         self.embedding.backward_sgd(&d_pooled, lr * table_scale);
         self.d_pooled = d_pooled;
     }

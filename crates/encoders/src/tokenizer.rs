@@ -35,20 +35,44 @@ impl TokenizerConfig {
     /// rules. `augment` enables training-time randomisation where the
     /// original paper uses it (TrafficFormer).
     pub fn tokenize_packet(&self, rec: &PacketRecord, augment: Option<&mut StdRng>) -> Vec<u32> {
-        let salt = self.kind.salt();
         let mut out = Vec::with_capacity(96);
+        self.tokenize_packet_into(rec, augment, &mut out);
+        out
+    }
+
+    /// [`TokenizerConfig::tokenize_packet`] into a reusable buffer
+    /// (cleared first) — the batched inference path re-tokenises into
+    /// the same buffers every request, so steady state allocates no
+    /// token storage.
+    pub fn tokenize_packet_into(
+        &self,
+        rec: &PacketRecord,
+        augment: Option<&mut StdRng>,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        self.tokenize_packet_append(rec, augment, out);
+    }
+
+    fn tokenize_packet_append(
+        &self,
+        rec: &PacketRecord,
+        augment: Option<&mut StdRng>,
+        out: &mut Vec<u32>,
+    ) {
+        let salt = self.kind.salt();
         match self.kind {
             ModelKind::EtBert => {
                 let bytes = self.ablate(rec, transport_bytes_no_ports(rec));
-                word_tokens(&bytes, 48, salt, &mut out);
+                word_tokens(&bytes, 48, salt, out);
             }
             ModelKind::YaTc => {
                 let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
-                patch_tokens(&bytes, 40, salt, &mut out);
+                patch_tokens(&bytes, 40, salt, out);
             }
             ModelKind::NetMamba => {
                 let bytes = self.ablate(rec, ip_bytes_anonymised(rec));
-                byte_tokens(&bytes, 64, salt, &mut out);
+                byte_tokens(&bytes, 64, salt, out);
             }
             ModelKind::TrafficFormer => {
                 let bytes = match augment {
@@ -56,13 +80,13 @@ impl TokenizerConfig {
                     None => rec.frame[rec.parsed.ip_offset..].to_vec(),
                 };
                 let bytes = self.ablate(rec, bytes);
-                word_tokens(&bytes, 72, salt, &mut out);
+                word_tokens(&bytes, 72, salt, out);
             }
             ModelKind::NetFound => {
-                netfound_field_tokens(rec, salt, &mut out);
-                multimodal_tokens(rec.from_client, 0.0, salt, &mut out);
+                netfound_field_tokens(rec, salt, out);
+                multimodal_tokens(rec.from_client, 0.0, salt, out);
                 let payload = rec.payload();
-                word_tokens(&payload[..payload.len().min(12)], 6, salt + 1, &mut out);
+                word_tokens(&payload[..payload.len().min(12)], 6, salt + 1, out);
             }
             ModelKind::PcapEncoder => {
                 // Byte-level position-aware tokens: each header byte is
@@ -74,7 +98,7 @@ impl TokenizerConfig {
                 } else {
                     rec.parsed.ip_offset.min(view.len())
                 };
-                byte_tokens(&view[start..], 64, salt, &mut out);
+                byte_tokens(&view[start..], 64, salt, out);
             }
             ModelKind::Pert => {
                 // ALBERT shares parameters across layers; the analogue
@@ -111,10 +135,9 @@ impl TokenizerConfig {
                     bytes[tr + 16..tr + 18].fill(0); // TCP checksum
                 }
                 let bytes = self.ablate(rec, bytes);
-                word_tokens(&bytes, 56, salt, &mut out);
+                word_tokens(&bytes, 56, salt, out);
             }
         }
-        out
     }
 
     fn ablate(&self, rec: &PacketRecord, default_bytes: Vec<u8>) -> Vec<u8> {
@@ -129,22 +152,41 @@ impl TokenizerConfig {
     /// and callers use majority voting instead.
     pub fn tokenize_flow(&self, packets: &[&PacketRecord]) -> Vec<u32> {
         let mut out = Vec::new();
-        for (pi, rec) in packets.iter().enumerate() {
-            let toks = self.tokenize_packet(rec, None);
-            let shift = (pi as u32) << 10;
-            out.extend(toks.into_iter().map(|t| (t + shift) % VOCAB as u32));
-        }
+        self.tokenize_flow_into(packets, &mut out);
         out
+    }
+
+    /// [`TokenizerConfig::tokenize_flow`] into a reusable buffer
+    /// (cleared first). Each packet's tokens are appended in place and
+    /// then position-shifted, so no per-packet temporary is needed.
+    pub fn tokenize_flow_into(&self, packets: &[&PacketRecord], out: &mut Vec<u32>) {
+        out.clear();
+        for (pi, rec) in packets.iter().enumerate() {
+            let start = out.len();
+            self.tokenize_packet_append(rec, None, out);
+            let shift = (pi as u32) << 10;
+            for t in &mut out[start..] {
+                *t = (*t + shift) % VOCAB as u32;
+            }
+        }
     }
 
     /// Packet-level input for flow embedders: the paper *Repeats* the
     /// packet 5 times to form an artificial flow (§5, footnote 11).
     pub fn tokenize_packet_repeated(&self, rec: &PacketRecord) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.tokenize_packet_repeated_into(rec, &mut out);
+        out
+    }
+
+    /// [`TokenizerConfig::tokenize_packet_repeated`] into a reusable
+    /// buffer (cleared first).
+    pub fn tokenize_packet_repeated_into(&self, rec: &PacketRecord, out: &mut Vec<u32>) {
         if self.kind.is_flow_embedder() {
-            let reps: Vec<&PacketRecord> = std::iter::repeat_n(rec, 5).collect();
-            self.tokenize_flow(&reps)
+            let reps = [rec; 5];
+            self.tokenize_flow_into(&reps, out);
         } else {
-            self.tokenize_packet(rec, None)
+            self.tokenize_packet_into(rec, None, out);
         }
     }
 

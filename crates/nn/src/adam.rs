@@ -1,5 +1,11 @@
 //! Adam optimiser state for one parameter vector.
+//!
+//! The per-element update runs on the explicit SIMD lane
+//! ([`crate::simd::adam_update`]) with the exact expression shapes of
+//! the original scalar loop, so optimiser trajectories are bit-stable
+//! across lanes.
 
+use crate::simd::{self, AdamConsts};
 use serde::{Deserialize, Serialize};
 
 /// Adam (Kingma & Ba) with bias correction.
@@ -38,41 +44,23 @@ impl Adam {
         }
     }
 
+    fn consts(&self, t: u64, lr: f32) -> AdamConsts {
+        consts(self.beta1, self.beta2, self.eps, t, lr)
+    }
+
     /// One update step: `params -= lr * m̂ / (√v̂ + ε)`.
     pub fn step(&mut self, params: &mut [f32], grads: &[f32], lr: f32) {
         assert_eq!(params.len(), grads.len());
         assert_eq!(params.len(), self.m.len());
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let mhat = self.m[i] / b1t;
-            let vhat = self.v[i] / b2t;
-            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        let c = self.consts(self.t, lr);
+        if simd::active_lane() != simd::Lane::Scalar {
+            crate::kernel::note_simd_dispatch();
         }
+        simd::adam_update(params, &mut self.m, &mut self.v, grads, &c);
     }
 
-    /// Update a contiguous row: `params[offset..offset+g.len()]` with
-    /// gradient slice `g` (embedding-row update; one shared timestep
-    /// per call batch is an accepted approximation for sparse Adam).
-    pub fn step_row(&mut self, params: &mut [f32], g: &[f32], offset: usize, lr: f32) {
-        self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t.min(1_000_000) as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t.min(1_000_000) as i32);
-        for (k, &gv) in g.iter().enumerate() {
-            let i = offset + k;
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * gv;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * gv * gv;
-            let mhat = self.m[i] / b1t;
-            let vhat = self.v[i] / b2t;
-            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
-        }
-    }
-
-    /// Sparse update restricted to the given indices (embedding rows).
+    /// Sparse update restricted to the given indices.
     pub fn step_sparse(&mut self, params: &mut [f32], grads: &[f32], indices: &[usize], lr: f32) {
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
@@ -84,6 +72,110 @@ impl Adam {
             let mhat = self.m[i] / b1t;
             let vhat = self.v[i] / b2t;
             params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+fn consts(beta1: f32, beta2: f32, eps: f32, t: u64, lr: f32) -> AdamConsts {
+    AdamConsts {
+        beta1,
+        beta2,
+        eps,
+        b1t: 1.0 - beta1.powi(t as i32),
+        b2t: 1.0 - beta2.powi(t as i32),
+        lr,
+    }
+}
+
+/// Per-row Adam for embedding tables, with lazily materialised state:
+/// each table row gets a compact arena slot on first touch instead of a
+/// dense `rows × dim` mirror (for a 2¹⁶ × 128 table that would be two
+/// 33 MB mostly-zero arrays). The sparse row sweep is memory-bound, so
+/// this matters twice — a first-touch update appends zeroed state at
+/// the cache-hot arena tail (sequential stores, no cold reads), and
+/// repeat touches land in an arena sized by the rows actually trained.
+/// Arena layout never enters the arithmetic: per-row update values are
+/// bit-identical to dense optimiser state, and the update order is
+/// whatever order the caller sweeps rows in.
+#[derive(Debug, Clone, Default)]
+pub struct RowAdam {
+    /// Row → arena slot (`u32::MAX` = not yet materialised).
+    slot: Vec<u32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    dim: usize,
+    t: u64,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl RowAdam {
+    /// New optimiser for a `rows × dim` embedding table.
+    pub fn new(rows: usize, dim: usize) -> RowAdam {
+        RowAdam {
+            slot: vec![u32::MAX; rows],
+            m: Vec::new(),
+            v: Vec::new(),
+            dim,
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Reset the state if the table shape changed (lazy re-init after a
+    /// checkpoint load, mirroring [`Adam::ensure_len`]).
+    pub fn ensure_shape(&mut self, rows: usize, dim: usize) {
+        if self.slot.len() != rows || self.dim != dim {
+            *self = RowAdam::new(rows, dim);
+        }
+    }
+
+    /// Update table row `row` of `params` with gradient row `g`. One
+    /// shared timestep per call (capped bias correction) — the same
+    /// accepted sparse-Adam approximation as before. The caller
+    /// accounts for SIMD dispatch: one batch of row calls counts once.
+    pub fn step_row(&mut self, params: &mut [f32], g: &[f32], row: usize, lr: f32) {
+        assert_eq!(g.len(), self.dim);
+        self.t += 1;
+        let c = consts(self.beta1, self.beta2, self.eps, self.t.min(1_000_000), lr);
+        let slot = self.slot[row];
+        let s = if slot == u32::MAX {
+            let s = self.m.len() / self.dim.max(1);
+            self.slot[row] = s as u32;
+            // First touch: append zero state; the fresh tail is
+            // cache-hot, so the update below reads no cold memory.
+            self.m.resize(self.m.len() + self.dim, 0.0);
+            self.v.resize(self.v.len() + self.dim, 0.0);
+            s
+        } else {
+            slot as usize
+        };
+        let (po, mo) = (row * self.dim, s * self.dim);
+        simd::adam_update(
+            &mut params[po..po + self.dim],
+            &mut self.m[mo..mo + self.dim],
+            &mut self.v[mo..mo + self.dim],
+            g,
+            &c,
+        );
+    }
+
+    /// Prefetch the parameter row and any materialised optimiser state
+    /// behind a future [`RowAdam::step_row`] on `row`. Pure cache hint —
+    /// results never change — but the row sweep is latency-bound, so
+    /// fetching a couple of rows ahead overlaps the misses with compute.
+    pub fn prefetch_row(&self, params: &[f32], row: usize) {
+        let po = row * self.dim;
+        if po + self.dim <= params.len() {
+            simd::prefetch_read(&params[po..po + self.dim]);
+        }
+        if let Some(s) = self.slot.get(row).copied().filter(|&s| s != u32::MAX) {
+            let mo = s as usize * self.dim;
+            simd::prefetch_read(&self.m[mo..mo + self.dim]);
+            simd::prefetch_read(&self.v[mo..mo + self.dim]);
         }
     }
 }
@@ -112,6 +204,34 @@ mod tests {
         opt.step_sparse(&mut x, &g, &[0], 0.1);
         assert!(x[0] < 1.0);
         assert_eq!(x[1], 1.0);
+    }
+
+    #[test]
+    fn row_adam_matches_dense_reference_bitwise() {
+        // The arena must be invisible: row updates in any touch order
+        // equal the same updates against a dense rows×dim state mirror.
+        let (rows, dim) = (8usize, 5usize);
+        let mut params: Vec<f32> = (0..rows * dim).map(|i| (i as f32).sin()).collect();
+        let mut reference = params.clone();
+        let mut opt = RowAdam::new(rows, dim);
+        let (mut dm, mut dv) = (vec![0.0f32; rows * dim], vec![0.0f32; rows * dim]);
+        let mut t = 0u64;
+        for &(row, gs) in &[(5usize, 0.3f32), (2, -0.7), (5, 0.11), (0, 1.5), (2, 0.0)] {
+            let g: Vec<f32> = (0..dim).map(|i| gs * (i as f32 + 1.0)).collect();
+            opt.step_row(&mut params, &g, row, 0.01);
+            t += 1;
+            let c = consts(0.9, 0.999, 1e-8, t, 0.01);
+            let o = row * dim;
+            crate::simd::adam_update_scalar(
+                &mut reference[o..o + dim],
+                &mut dm[o..o + dim],
+                &mut dv[o..o + dim],
+                &g,
+                &c,
+            );
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&params), bits(&reference));
     }
 
     #[test]

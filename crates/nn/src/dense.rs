@@ -72,10 +72,7 @@ impl Dense {
     pub fn forward_into(&mut self, x: &Tensor, y: &mut Tensor) {
         x.matmul_into(&self.w, y);
         for r in 0..y.rows {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(&self.b) {
-                *v += b;
-            }
+            crate::simd::add_assign(y.row_mut(r), &self.b);
         }
         let mut cache = self.spare.take().unwrap_or_default();
         cache.copy_from(x);
@@ -93,10 +90,7 @@ impl Dense {
     pub fn forward_inference_into(&self, x: &Tensor, y: &mut Tensor) {
         x.matmul_into(&self.w, y);
         for r in 0..y.rows {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(&self.b) {
-                *v += b;
-            }
+            crate::simd::add_assign(y.row_mut(r), &self.b);
         }
     }
 
@@ -145,12 +139,10 @@ impl Dense {
     /// [`Dense::backward_sgd`] writing dX into a reusable tensor.
     pub fn backward_sgd_into(&mut self, d_out: &Tensor, lr: f32, d_x: &mut Tensor) {
         self.compute_grads(d_out, d_x);
-        for (w, g) in self.w.data.iter_mut().zip(&self.d_w.data) {
-            *w -= lr * g;
-        }
-        for (b, g) in self.b.iter_mut().zip(&self.d_b) {
-            *b -= lr * g;
-        }
+        // `w += g * (-lr)` is bit-identical to `w -= lr * g`: IEEE
+        // multiplication is sign-symmetric and `x + (-t) == x - t`.
+        crate::simd::axpy(&mut self.w.data, &self.d_w.data, -lr);
+        crate::simd::axpy(&mut self.b, &self.d_b, -lr);
     }
 
     /// Backward pass: consumes `d_out` (batch × out), applies Adam with

@@ -7,7 +7,8 @@
 //! applies a sparse Adam step — this is what "unfreezing the encoder"
 //! means mechanically.
 
-use crate::adam::Adam;
+use crate::adam::RowAdam;
+use crate::simd;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -23,22 +24,35 @@ pub struct Embedding {
     /// Optimiser state is not checkpointed (it triples the size);
     /// it is rebuilt lazily on the first post-load update.
     #[serde(skip)]
-    opt: Adam,
+    opt: RowAdam,
     #[serde(skip)]
     cache: Vec<Vec<u32>>,
     #[serde(skip)]
     cache_valid: bool,
     /// Touched table rows of the cached batch, sorted ascending before
-    /// the optimiser pass: `Adam::step_row` advances its timestep per
-    /// call, so the update order must not depend on hash-map iteration.
+    /// the optimiser pass: `RowAdam::step_row` advances its timestep
+    /// per call, so the update order must not depend on hash-map
+    /// iteration.
     #[serde(skip)]
     touched: Vec<u32>,
-    /// Row → slot map into `grads` (`u32::MAX` = untouched); entries
-    /// are reset after each backward so the buffer is reusable.
+    /// Row → slot map into the contribution buckets (`u32::MAX` =
+    /// untouched); entries are reset after each backward so the buffer
+    /// is reusable.
     #[serde(skip)]
     slot_of: Vec<u32>,
+    /// One gradient row (dim), reused across the touched-row sweep.
     #[serde(skip)]
     grads: Vec<f32>,
+    /// Per-slot cursor/offset into `contrib` (counting sort).
+    #[serde(skip)]
+    bucket_pos: Vec<u32>,
+    /// Sample index of every token contribution, bucketed by table row
+    /// in stable `(sample, token)` order.
+    #[serde(skip)]
+    contrib: Vec<u32>,
+    /// Per-sample gradient coefficient `1/(batch·√len)`.
+    #[serde(skip)]
+    inv_of: Vec<f32>,
 }
 
 impl Embedding {
@@ -50,12 +64,15 @@ impl Embedding {
         let data = (0..vocab * dim).map(|_| rng.gen_range(-0.5..0.5)).collect();
         Embedding {
             table: Tensor { rows: vocab, cols: dim, data },
-            opt: Adam::new(vocab * dim),
+            opt: RowAdam::new(vocab, dim),
             cache: Vec::new(),
             cache_valid: false,
             touched: Vec::new(),
             slot_of: Vec::new(),
             grads: Vec::new(),
+            bucket_pos: Vec::new(),
+            contrib: Vec::new(),
+            inv_of: Vec::new(),
         }
     }
 
@@ -102,25 +119,50 @@ impl Embedding {
         Self::pool(&self.table, batch, out);
     }
 
-    fn pool(table: &Tensor, batch: &[Vec<u32>], out: &mut Tensor) {
+    /// Token → table row (hashed vocab: out-of-range tokens wrap).
+    /// Vocabularies are powers of two in practice, so the wrap is a
+    /// mask rather than a hardware divide — these run once per token in
+    /// every gather/scatter loop, where a real `div` is measurable.
+    #[inline]
+    pub(crate) fn wrap(rows: usize) -> impl Fn(u32) -> usize {
+        let mask = rows.wrapping_sub(1);
+        let pow2 = rows & mask == 0 && rows != 0;
+        move |t| {
+            if pow2 {
+                t as usize & mask
+            } else {
+                t as usize % rows
+            }
+        }
+    }
+
+    /// Scaled-mean-pool kernel shared with the frozen inference twin
+    /// ([`crate::frozen::FrozenEmbedding`]): gather+accumulate each
+    /// token row, then scale by `1/√n`. Runs on the SIMD lane;
+    /// bit-identical to the scalar loops it replaced (element-wise add
+    /// and mul only).
+    pub(crate) fn pool(table: &Tensor, batch: &[Vec<u32>], out: &mut Tensor) {
         let dim = table.cols;
         out.resize(batch.len(), dim);
         out.data.iter_mut().for_each(|v| *v = 0.0);
+        if simd::active_lane() != simd::Lane::Scalar {
+            crate::kernel::note_simd_dispatch();
+        }
+        let wrap = Self::wrap(table.rows);
         for (r, tokens) in batch.iter().enumerate() {
             if tokens.is_empty() {
                 continue;
             }
             let row = out.row_mut(r);
-            for &t in tokens {
-                let e = table.row(t as usize % table.rows);
-                for (o, &v) in row.iter_mut().zip(e) {
-                    *o += v;
+            for (i, &t) in tokens.iter().enumerate() {
+                // The gather is latency-bound on the table; pull a row
+                // a few tokens ahead while this one accumulates.
+                if let Some(&ahead) = tokens.get(i + 6) {
+                    simd::prefetch_read(table.row(wrap(ahead)));
                 }
+                simd::add_assign(row, table.row(wrap(t)));
             }
-            let inv = 1.0 / (tokens.len() as f32).sqrt();
-            for o in row.iter_mut() {
-                *o *= inv;
-            }
+            simd::scale_assign(row, 1.0 / (tokens.len() as f32).sqrt());
         }
     }
 
@@ -148,21 +190,31 @@ impl Embedding {
     }
 
     fn backward_impl(&mut self, d_out: &Tensor, lr: f32, adam: bool) {
-        self.opt.ensure_len(self.table.data.len());
+        self.opt.ensure_shape(self.table.rows, self.table.cols);
         assert!(self.cache_valid, "backward called before forward");
         self.cache_valid = false;
         let dim = self.dim();
         let vocab = self.table.rows;
-        // Sparse accumulation into reusable buffers: mark the touched
-        // rows, sort them, then accumulate into per-slot gradient rows.
-        // The ascending-row optimiser pass keeps updates deterministic
-        // (Adam's timestep advances per `step_row` call, so iteration
-        // order is observable) and nothing here allocates after warmup.
+        // Sparse accumulation, fused per row: mark the touched rows,
+        // sort them, bucket the token contributions by row (counting
+        // sort, stable in `(sample, token)` visit order), then sweep
+        // the touched rows once — accumulating each row's gradient into
+        // a single cache-resident row and applying the optimiser step
+        // immediately. The per-row accumulation order and the
+        // ascending-row optimiser order both match the former
+        // scatter-buffer formulation exactly (Adam's timestep advances
+        // per `step_row` call, so iteration order is observable), and
+        // nothing here allocates after warmup. Fusing avoids streaming
+        // a touched-rows-sized gradient buffer through memory three
+        // times per step.
+        let wrap = Self::wrap(vocab);
         self.slot_of.resize(vocab, u32::MAX);
         self.touched.clear();
+        let mut total = 0usize;
         for tokens in &self.cache {
+            total += tokens.len();
             for &t in tokens {
-                let row = t as usize % vocab;
+                let row = wrap(t);
                 if self.slot_of[row] == u32::MAX {
                     self.slot_of[row] = 0;
                     self.touched.push(row as u32);
@@ -173,32 +225,59 @@ impl Embedding {
         for (slot, &row) in self.touched.iter().enumerate() {
             self.slot_of[row as usize] = slot as u32;
         }
-        self.grads.clear();
-        self.grads.resize(self.touched.len() * dim, 0.0);
-        let scale = 1.0 / self.cache.len().max(1) as f32;
-        for (r, tokens) in self.cache.iter().enumerate() {
-            if tokens.is_empty() {
-                continue;
-            }
-            let inv = scale / (tokens.len() as f32).sqrt();
-            let g_row = d_out.row(r);
+        // Counting sort: per-slot counts at `bucket_pos[slot + 1]`,
+        // prefix-summed to bucket starts, then filled in visit order
+        // (each `bucket_pos[slot]` advances to its bucket's end).
+        self.bucket_pos.clear();
+        self.bucket_pos.resize(self.touched.len() + 1, 0);
+        for tokens in &self.cache {
             for &t in tokens {
-                let slot = self.slot_of[t as usize % vocab] as usize;
-                let acc = &mut self.grads[slot * dim..(slot + 1) * dim];
-                for (a, &g) in acc.iter_mut().zip(g_row) {
-                    *a += g * inv;
-                }
+                self.bucket_pos[self.slot_of[wrap(t)] as usize + 1] += 1;
             }
         }
+        for i in 1..self.bucket_pos.len() {
+            self.bucket_pos[i] += self.bucket_pos[i - 1];
+        }
+        self.contrib.clear();
+        self.contrib.resize(total, 0);
+        let scale = 1.0 / self.cache.len().max(1) as f32;
+        self.inv_of.clear();
+        for (r, tokens) in self.cache.iter().enumerate() {
+            self.inv_of.push(scale / (tokens.len().max(1) as f32).sqrt());
+            for &t in tokens {
+                let slot = self.slot_of[wrap(t)] as usize;
+                self.contrib[self.bucket_pos[slot] as usize] = r as u32;
+                self.bucket_pos[slot] += 1;
+            }
+        }
+        if simd::active_lane() != simd::Lane::Scalar {
+            crate::kernel::note_simd_dispatch();
+        }
+        self.grads.clear();
+        self.grads.resize(dim, 0.0);
+        let mut start = 0usize;
         for (slot, &row) in self.touched.iter().enumerate() {
-            let g = &self.grads[slot * dim..(slot + 1) * dim];
+            let end = self.bucket_pos[slot] as usize;
+            // The sweep is latency-bound on the table and optimiser
+            // rows; pull a row a few steps ahead first, so the fetch
+            // overlaps this row's gradient accumulation and update.
             if adam {
-                self.opt.step_row(&mut self.table.data, g, row as usize * dim, lr);
-            } else {
-                let base = row as usize * dim;
-                for (k, &gv) in g.iter().enumerate() {
-                    self.table.data[base + k] -= lr * gv;
+                if let Some(&next) = self.touched.get(slot + 3) {
+                    self.opt.prefetch_row(&self.table.data, next as usize);
                 }
+            }
+            self.grads.iter_mut().for_each(|v| *v = 0.0);
+            for &r in &self.contrib[start..end] {
+                // mul-then-add (`axpy`), matching the scalar `*a += g*inv`.
+                simd::axpy(&mut self.grads, d_out.row(r as usize), self.inv_of[r as usize]);
+            }
+            start = end;
+            if adam {
+                self.opt.step_row(&mut self.table.data, &self.grads, row as usize, lr);
+            } else {
+                // `w += g * (-lr)` is bit-identical to `w -= lr * g`.
+                let base = row as usize * dim;
+                simd::axpy(&mut self.table.data[base..base + dim], &self.grads, -lr);
             }
         }
         for &row in &self.touched {

@@ -142,6 +142,15 @@ impl PayloadWriter {
             self.u16(v);
         }
     }
+
+    /// Append a length-prefixed (u64) `i8` slice (raw two's-complement
+    /// bytes).
+    pub fn i8s(&mut self, vs: &[i8]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.push(v as u8);
+        }
+    }
 }
 
 /// Little-endian payload reader; every accessor fails loudly on
@@ -244,6 +253,13 @@ impl<'a> PayloadReader<'a> {
         Ok(out)
     }
 
+    /// Read a length-prefixed (u64) `i8` slice.
+    pub fn i8s(&mut self) -> Result<Vec<i8>, String> {
+        let n = self.read_len()?;
+        let bytes = self.take(n)?;
+        Ok(bytes.iter().map(|&b| b as i8).collect())
+    }
+
     /// Fail if undecoded bytes remain — a payload must be consumed
     /// exactly, or the file was written by something else.
     pub fn finish(&self) -> Result<(), String> {
@@ -276,6 +292,107 @@ pub fn read_tensor(r: &mut PayloadReader) -> Result<Tensor, String> {
         data.push(r.f32()?);
     }
     Ok(Tensor { rows: rows as usize, cols: cols as usize, data })
+}
+
+// ---------------------------------------------------------------------------
+// Int8 quantisation
+// ---------------------------------------------------------------------------
+
+/// A row-major matrix quantised to int8 with one symmetric scale per
+/// row: `value ≈ data[r][c] · scales[r]`.
+///
+/// Quantisation is deterministic — scale is `maxabs/127` and rounding
+/// is `f32::round` (half away from zero) — so quantising the same
+/// tensor always yields the same bytes, and the dequantise-accumulate
+/// kernel ([`Int8Matrix::add_scaled_row`]) is an element-wise
+/// `mul_add` chain, so int8 inference is itself bit-stable across
+/// batch sizes and SIMD lanes. It is *not* bit-equal to f32 inference:
+/// the int8 encoder ships as an explicitly registered
+/// accuracy-vs-throughput experiment, never a silent substitution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int8Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major quantised values in `[-127, 127]`.
+    pub data: Vec<i8>,
+    /// Per-row dequantisation scales (`maxabs/127`; 0 for all-zero rows).
+    pub scales: Vec<f32>,
+}
+
+impl Int8Matrix {
+    /// Symmetric per-row quantisation of `t`.
+    pub fn quantize(t: &Tensor) -> Int8Matrix {
+        let mut data = Vec::with_capacity(t.rows * t.cols);
+        let mut scales = Vec::with_capacity(t.rows);
+        for r in 0..t.rows {
+            let row = t.row(r);
+            let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if maxabs > 0.0 {
+                scales.push(maxabs / 127.0);
+                let inv = 127.0 / maxabs;
+                data.extend(row.iter().map(|&v| (v * inv).round().clamp(-127.0, 127.0) as i8));
+            } else {
+                scales.push(0.0);
+                data.extend(std::iter::repeat_n(0i8, t.cols));
+            }
+        }
+        Int8Matrix { rows: t.rows, cols: t.cols, data, scales }
+    }
+
+    /// Quantised row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `dst[c] = fma(row_r[c] as f32, scales[r]·coeff, dst[c])` — the
+    /// int8 dequantise-accumulate kernel (SIMD lane with scalar
+    /// fallback). The folded coefficient is rounded once, then each
+    /// element does one fused multiply-add.
+    pub fn add_scaled_row(&self, r: usize, coeff: f32, dst: &mut [f32]) {
+        crate::simd::i8_axpy(dst, self.row(r), self.scales[r] * coeff);
+    }
+
+    /// Dequantised copy (for accuracy inspection, not the hot path).
+    pub fn dequantize(&self) -> Tensor {
+        let mut t = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (d, &q) in t.row_mut(r).iter_mut().zip(self.row(r)) {
+                *d = f32::from(q) * s;
+            }
+        }
+        t
+    }
+
+    /// Serialise (shape, scales, data).
+    pub fn write(&self, w: &mut PayloadWriter) {
+        w.u64(self.rows as u64);
+        w.u64(self.cols as u64);
+        w.f32s(&self.scales);
+        w.i8s(&self.data);
+    }
+
+    /// Decode a matrix written by [`Int8Matrix::write`].
+    pub fn read(r: &mut PayloadReader) -> Result<Int8Matrix, String> {
+        let rows = r.u64()?;
+        let cols = r.u64()?;
+        let elems = rows
+            .checked_mul(cols)
+            .filter(|&e| e <= MAX_ELEMS)
+            .ok_or_else(|| format!("implausible int8 shape {rows}x{cols}"))?;
+        let scales = r.f32s()?;
+        let data = r.i8s()?;
+        if scales.len() != rows as usize || data.len() != elems as usize {
+            return Err(format!(
+                "int8 matrix {rows}x{cols} carries {} scales / {} values",
+                scales.len(),
+                data.len()
+            ));
+        }
+        Ok(Int8Matrix { rows: rows as usize, cols: cols as usize, data, scales })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -411,10 +528,7 @@ impl FrozenDense {
     pub fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
         x.matmul_into(&self.w, y);
         for r in 0..y.rows {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(&self.b) {
-                *v += b;
-            }
+            crate::simd::add_assign(y.row_mut(r), &self.b);
         }
     }
 
@@ -466,21 +580,56 @@ impl FrozenMlp {
     /// Inference logits — same layer loop (ReLU between layers, not
     /// after the last) as `Mlp::logits`.
     pub fn logits(&self, x: &Tensor) -> Tensor {
+        let mut scratch = MlpScratch::default();
+        let mut out = Tensor::default();
+        self.logits_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Batched [`FrozenMlp::logits`] writing into a reusable output:
+    /// activations ping-pong between the two scratch tensors, so a
+    /// steady-state serving loop allocates nothing and runs one kernel
+    /// dispatch per layer per *batch*, not per sample.
+    pub fn logits_into(&self, x: &Tensor, scratch: &mut MlpScratch, out: &mut Tensor) {
         let n = self.layers.len();
-        let mut h = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(&h);
-            if i + 1 < n {
-                let _ = h.relu_inplace();
-            }
+        if n == 1 {
+            self.layers[0].forward_into(x, out);
+            return;
         }
-        h
+        self.layers[0].forward_into(x, &mut scratch.a);
+        scratch.a.relu_inplace_into(&mut scratch.mask);
+        let (mut cur, mut next) = (&mut scratch.a, &mut scratch.b);
+        for i in 1..n - 1 {
+            self.layers[i].forward_into(cur, next);
+            next.relu_inplace_into(&mut scratch.mask);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        self.layers[n - 1].forward_into(cur, out);
     }
 
     /// Predicted labels for a batch.
     pub fn predict(&self, x: &Tensor) -> Vec<u16> {
         crate::loss::argmax_labels(&self.logits(x))
     }
+
+    /// Batched [`FrozenMlp::predict`] writing into a reusable label
+    /// buffer (cleared first); allocation-free in steady state.
+    pub fn predict_into(&self, x: &Tensor, scratch: &mut MlpScratch, labels: &mut Vec<u16>) {
+        let mut logits = std::mem::take(&mut scratch.logits);
+        self.logits_into(x, scratch, &mut logits);
+        crate::loss::argmax_labels_into(&logits, labels);
+        scratch.logits = logits;
+    }
+}
+
+/// Reusable activation buffers for [`FrozenMlp::logits_into`] /
+/// [`FrozenMlp::predict_into`].
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Tensor,
+    b: Tensor,
+    mask: Vec<bool>,
+    logits: Tensor,
 }
 
 impl FrozenArtifact for FrozenMlp {
@@ -534,29 +683,11 @@ impl FrozenEmbedding {
         self.table.cols
     }
 
-    /// Pool each token sequence into one row — a copy of
-    /// `Embedding::pool`, so frozen outputs are bit-identical.
+    /// Pool each token sequence into one row — the *same* kernel as
+    /// `Embedding::pool` (shared, not copied), so frozen outputs are
+    /// bit-identical to the trained model on every SIMD lane.
     pub fn forward_into(&self, batch: &[Vec<u32>], out: &mut Tensor) {
-        let table = &self.table;
-        let dim = table.cols;
-        out.resize(batch.len(), dim);
-        out.data.iter_mut().for_each(|v| *v = 0.0);
-        for (r, tokens) in batch.iter().enumerate() {
-            if tokens.is_empty() {
-                continue;
-            }
-            let row = out.row_mut(r);
-            for &t in tokens {
-                let e = table.row(t as usize % table.rows);
-                for (o, &v) in row.iter_mut().zip(e) {
-                    *o += v;
-                }
-            }
-            let inv = 1.0 / (tokens.len() as f32).sqrt();
-            for o in row.iter_mut() {
-                *o *= inv;
-            }
-        }
+        crate::embedding::Embedding::pool(&self.table, batch, out);
     }
 
     /// Allocating [`FrozenEmbedding::forward_into`].

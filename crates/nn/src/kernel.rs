@@ -53,6 +53,9 @@ static PAR_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
 /// How many matmul dispatches ran serially (budget 1 or below the
 /// `PAR_MIN_MULADDS` work floor).
 static SERIAL_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
+/// How many batch-level kernel dispatches (matmuls, embedding pools,
+/// optimiser steps) executed on the explicit SIMD lane.
+static SIMD_DISPATCHES: AtomicUsize = AtomicUsize::new(0);
 
 /// Process-wide dispatch counters for the kernels' serial/parallel
 /// decision, surfaced by the engine's observability layer so a run can
@@ -63,6 +66,9 @@ pub struct KernelStats {
     pub parallel_dispatches: usize,
     /// Dispatches that stayed on the serial path.
     pub serial_dispatches: usize,
+    /// Batch-level dispatches that executed on the explicit SIMD lane
+    /// (see [`crate::simd::active_lane`] for which lane that is).
+    pub simd_dispatches: usize,
 }
 
 /// Snapshot of the dispatch counters (monotonic over the process).
@@ -70,7 +76,25 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         parallel_dispatches: PAR_DISPATCHES.load(Ordering::Relaxed),
         serial_dispatches: SERIAL_DISPATCHES.load(Ordering::Relaxed),
+        simd_dispatches: SIMD_DISPATCHES.load(Ordering::Relaxed),
     }
+}
+
+/// Record one batch-level dispatch onto the explicit SIMD lane. Called
+/// by this module's matmuls and by the embedding/Adam batch entry
+/// points — deliberately per *batch*, not per row, so the counter stays
+/// an audit signal rather than a hot-path cost.
+pub(crate) fn note_simd_dispatch() {
+    SIMD_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// True when matmuls run on the explicit AVX-512 band kernel (AVX2
+/// machines keep the blocked kernel, which autovectorizes to 8-wide
+/// FMA under `target-cpu`; both are bit-identical to naive).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn matmul_simd_active() -> bool {
+    crate::simd::active_lane() == crate::simd::Lane::Avx512
 }
 
 /// Reusable scratch buffer for kernels that need temporary storage
@@ -98,6 +122,14 @@ pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32
     assert_eq!(a.len(), m * k, "matmul: a length");
     assert_eq!(b.len(), k * n, "matmul: b length");
     assert_eq!(out.len(), m * n, "matmul: out length");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if matmul_simd_active() {
+        note_simd_dispatch();
+        run_row_partitioned(m, k, n, out, &|lo, hi, chunk| {
+            avx512::mm_rows_dispatched(lo, hi, k, n, a, b, chunk)
+        });
+        return;
+    }
     run_row_partitioned(m, k, n, out, &|lo, hi, chunk| mm_rows(lo, hi, k, n, a, b, chunk));
 }
 
@@ -109,6 +141,14 @@ pub fn t_matmul(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     assert_eq!(a.len(), r * m, "t_matmul: a length");
     assert_eq!(b.len(), r * n, "t_matmul: b length");
     assert_eq!(out.len(), m * n, "t_matmul: out length");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if matmul_simd_active() {
+        note_simd_dispatch();
+        run_row_partitioned(m, r, n, out, &|lo, hi, chunk| {
+            avx512::tm_rows_dispatched(lo, hi, r, m, n, a, b, chunk)
+        });
+        return;
+    }
     run_row_partitioned(m, r, n, out, &|lo, hi, chunk| tm_rows(lo, hi, r, m, n, a, b, chunk));
 }
 
@@ -399,6 +439,208 @@ fn tm_rows(
         } else {
             tm_band::<1>(a, b, out, i, i - lo, depth, m, n);
             i += 1;
+        }
+    }
+}
+
+/// Explicit AVX-512 twins of `mm_rows`/`tm_rows`. Each output element
+/// is still one ascending-`p` chain of fused multiply-adds —
+/// `_mm512_fmadd_ps` per 16-wide lane is the same single-rounding op as
+/// `f32::mul_add` per element — so this path is bit-identical to the
+/// blocked scalar kernel; the `simd_band_*` tests below assert it on
+/// machines that have the lane.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx512 {
+    use core::arch::x86_64::*;
+
+    /// 16-wide microkernel: `MR` rows × `NZ` zmm column blocks, full
+    /// depth `k`, ascending-`p` FMA chains.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` at runtime.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mm_tile<const MR: usize, const NZ: usize, const TM: bool>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        i: usize,
+        oi: usize,
+        j: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let mut acc = [[_mm512_setzero_ps(); NZ]; MR];
+        for p in 0..k {
+            let mut bv = [_mm512_setzero_ps(); NZ];
+            for (q, lane) in bv.iter_mut().enumerate() {
+                // SAFETY: caller guarantees j + NZ*16 <= n and p < k.
+                *lane = unsafe { _mm512_loadu_ps(b.as_ptr().add(p * n + j + q * 16)) };
+            }
+            for r in 0..MR {
+                // `TM` selects the t_matmul operand layout (a is k×m,
+                // element [p][i+r]) vs matmul (a is m×k, [i+r][p]).
+                let av = if TM { a[p * m + i + r] } else { a[(i + r) * k + p] };
+                let ar = _mm512_set1_ps(av);
+                for q in 0..NZ {
+                    acc[r][q] = _mm512_fmadd_ps(ar, bv[q], acc[r][q]);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            for (q, lane) in accr.iter().enumerate() {
+                // SAFETY: caller guarantees out covers rows oi..oi+MR.
+                unsafe { _mm512_storeu_ps(out.as_mut_ptr().add((oi + r) * n + j + q * 16), *lane) };
+            }
+        }
+    }
+
+    /// One `MR`-row band: 32/16-column zmm tiles, then scalar chains
+    /// for the sub-16 column tail (identical association).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` at runtime.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn band<const MR: usize, const TM: bool>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        i: usize,
+        oi: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let mut j = 0;
+        while j + 32 <= n {
+            // SAFETY: bounds just checked; feature matches.
+            unsafe { mm_tile::<MR, 2, TM>(a, b, out, i, oi, j, k, m, n) };
+            j += 32;
+        }
+        if j + 16 <= n {
+            // SAFETY: bounds just checked; feature matches.
+            unsafe { mm_tile::<MR, 1, TM>(a, b, out, i, oi, j, k, m, n) };
+            j += 16;
+        }
+        while j < n {
+            for r in 0..MR {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    let av = if TM { a[p * m + i + r] } else { a[(i + r) * k + p] };
+                    s = av.mul_add(b[p * n + j], s);
+                }
+                out[(oi + r) * n + j] = s;
+            }
+            j += 1;
+        }
+    }
+
+    /// Safe entry for [`mm_rows`]: re-verifies `avx512f` via the cached
+    /// std detector, so the `unsafe` stays inside this module.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mm_rows_dispatched(
+        lo: usize,
+        hi: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        assert!(std::arch::is_x86_feature_detected!("avx512f"));
+        // SAFETY: avx512f presence asserted just above.
+        unsafe { mm_rows(lo, hi, k, n, a, b, out) }
+    }
+
+    /// Safe entry for [`tm_rows`]; see [`mm_rows_dispatched`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn tm_rows_dispatched(
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        m: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        assert!(std::arch::is_x86_feature_detected!("avx512f"));
+        // SAFETY: avx512f presence asserted just above.
+        unsafe { tm_rows(lo, hi, depth, m, n, a, b, out) }
+    }
+
+    /// AVX-512 twin of [`super::mm_rows`].
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn mm_rows(
+        lo: usize,
+        hi: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        // SAFETY: same feature; row/col bounds mirror the scalar twin.
+        unsafe { rows::<false>(lo, hi, k, 0, n, a, b, out) }
+    }
+
+    /// AVX-512 twin of [`super::tm_rows`].
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` at runtime.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tm_rows(
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        m: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        // SAFETY: same feature; row/col bounds mirror the scalar twin.
+        unsafe { rows::<true>(lo, hi, depth, m, n, a, b, out) }
+    }
+
+    /// # Safety
+    /// Caller must have verified `avx512f` at runtime.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn rows<const TM: bool>(
+        lo: usize,
+        hi: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+    ) {
+        let mut i = lo;
+        while i < hi {
+            let rows = hi - i;
+            // SAFETY: band bounds mirror the scalar row dispatcher.
+            if rows >= 8 {
+                unsafe { band::<8, TM>(a, b, out, i, i - lo, k, m, n) };
+                i += 8;
+            } else if rows >= 4 {
+                unsafe { band::<4, TM>(a, b, out, i, i - lo, k, m, n) };
+                i += 4;
+            } else if rows >= 2 {
+                unsafe { band::<2, TM>(a, b, out, i, i - lo, k, m, n) };
+                i += 2;
+            } else {
+                unsafe { band::<1, TM>(a, b, out, i, i - lo, k, m, n) };
+                i += 1;
+            }
         }
     }
 }

@@ -5,12 +5,15 @@
 //! Adam optimiser, softmax cross-entropy, and an `Mlp` classifier head
 //! (the two-layer MLP + ReLU the paper attaches to every encoder).
 //!
-//! Everything is deterministic given a seed and no unsafe code. The
-//! matmul kernels in [`kernel`] are cache-blocked and optionally
-//! row-parallel, but every output element is always a single
-//! floating-point chain over the shared dimension in ascending index
-//! order, so results are bit-identical regardless of blocking or the
-//! thread budget set via [`kernel::set_kernel_threads`].
+//! Everything is deterministic given a seed. The matmul kernels in
+//! [`kernel`] are cache-blocked and optionally row-parallel, but every
+//! output element is always a single floating-point chain over the
+//! shared dimension in ascending index order, so results are
+//! bit-identical regardless of blocking or the thread budget set via
+//! [`kernel::set_kernel_threads`]. The [`simd`] module adds an
+//! explicit-SIMD lane (runtime-dispatched, scalar fallback, `simd`
+//! cargo feature) whose outputs are bit-identical to the scalar
+//! kernels — it holds the only `unsafe` in the workspace.
 //!
 //! ```
 //! use nn::{Mlp, Tensor};
@@ -23,7 +26,7 @@
 //! assert_eq!(mlp.predict(&x), vec![0, 1, 1, 0]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `simd` opts out locally, with its safety story documented
 #![warn(missing_docs)]
 
 pub mod adam;
@@ -35,14 +38,18 @@ pub mod kernel;
 pub mod loss;
 pub mod mlp;
 pub mod schedule;
+pub mod simd;
 pub mod tensor;
 
-pub use adam::Adam;
+pub use adam::{Adam, RowAdam};
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
-pub use frozen::{FrozenArtifact, FrozenDense, FrozenEmbedding, FrozenError, FrozenMlp};
+pub use frozen::{
+    FrozenArtifact, FrozenDense, FrozenEmbedding, FrozenError, FrozenMlp, Int8Matrix, MlpScratch,
+};
 pub use kernel::{kernel_stats, kernel_threads, set_kernel_threads, KernelStats, Workspace};
 pub use mlp::Mlp;
 pub use schedule::LrSchedule;
+pub use simd::Lane;
 pub use tensor::Tensor;

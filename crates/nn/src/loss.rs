@@ -53,18 +53,24 @@ pub fn softmax_cross_entropy_into(logits: &Tensor, labels: &[u16], grad: &mut Te
 
 /// Row-wise argmax as predicted labels.
 pub fn argmax_labels(logits: &Tensor) -> Vec<u16> {
-    (0..logits.rows)
-        .map(|r| {
-            let row = logits.row(r);
-            let mut best = 0usize;
-            for (i, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = i;
-                }
+    let mut out = Vec::new();
+    argmax_labels_into(logits, &mut out);
+    out
+}
+
+/// [`argmax_labels`] writing into a reusable buffer (cleared first).
+pub fn argmax_labels_into(logits: &Tensor, out: &mut Vec<u16>) {
+    out.clear();
+    out.extend((0..logits.rows).map(|r| {
+        let row = logits.row(r);
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
             }
-            best as u16
-        })
-        .collect()
+        }
+        best as u16
+    }));
 }
 
 #[cfg(test)]

@@ -66,7 +66,7 @@ fn dense_train_step_allocates_nothing_after_warmup() {
     let mut grad = Tensor::default();
     let mut d_x = Tensor::default();
 
-    let mut step = |layer: &mut Dense, logits: &mut Tensor, grad: &mut Tensor, d_x: &mut Tensor| {
+    let step = |layer: &mut Dense, logits: &mut Tensor, grad: &mut Tensor, d_x: &mut Tensor| {
         layer.forward_into(&x, logits);
         let _loss = softmax_cross_entropy_into(logits, &labels, grad);
         layer.backward_into(grad, 0.01, d_x);

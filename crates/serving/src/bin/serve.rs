@@ -3,9 +3,13 @@
 //! Two subcommands:
 //!
 //! ```text
-//! serve export --out DIR [--synth SPEC] [--seed N]
+//! serve export --out DIR [--synth SPEC] [--seed N] [--quant int8]
 //!     Train a model bundle on a synthetic labelled trace and freeze
 //!     it under DIR (encoder/head/forest/gbdt/knn + labels.txt).
+//!     --quant int8 additionally freezes an int8-quantised encoder
+//!     (encoder_int8.frozen) servable via the `encoder_int8` policy
+//!     target — an explicit accuracy-vs-throughput trade, never a
+//!     silent substitute for the f32 encoder.
 //!
 //! serve run --models DIR (--pcap FILE | --synth SPEC)
 //!           [--policy FILE] [--batch N] [--idle-timeout SECS]
@@ -30,7 +34,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
-  serve export --out DIR [--synth SPEC] [--seed N]
+  serve export --out DIR [--synth SPEC] [--seed N] [--quant int8]
   serve run --models DIR (--pcap FILE | --synth SPEC)
             [--policy FILE] [--batch N] [--idle-timeout SECS]
             [--out FILE] [--metrics-dir DIR] [--log-format text|json]
@@ -78,6 +82,12 @@ fn cmd_export(mut args: Vec<String>) -> ExitCode {
         },
         Err(e) => return usage_err(&e),
     };
+    let quant_int8 = match take_value(&mut args, "--quant") {
+        Ok(None) => false,
+        Ok(Some(v)) if v == "int8" => true,
+        Ok(Some(v)) => return usage_err(&format!("bad --quant '{v}' (only int8)")),
+        Err(e) => return usage_err(&e),
+    };
     if let Some(extra) = args.first() {
         return usage_err(&format!("unexpected argument '{extra}'"));
     }
@@ -91,7 +101,10 @@ fn cmd_export(mut args: Vec<String>) -> ExitCode {
         prepared.records.len(),
         prepared.classes.len()
     );
-    let bundle = ModelBundle::train(&prepared, seed);
+    let mut bundle = ModelBundle::train(&prepared, seed);
+    if quant_int8 {
+        bundle.quantize_encoder();
+    }
     if let Err(e) = bundle.save(&out) {
         return run_err(&format!("cannot write bundle to {}: {e}", out.display()));
     }

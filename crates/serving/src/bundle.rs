@@ -4,12 +4,13 @@
 //!
 //! ```text
 //! models/
-//!   encoder.frozen   frozen Pcap-Encoder (tokenizer + weights)
-//!   head.frozen      frozen MLP classification head over encodings
-//!   forest.frozen    fitted random forest  (39 header features)
-//!   gbdt.frozen      fitted gradient boosting
-//!   knn.frozen       fitted k-NN
-//!   labels.txt       class names, one per line, indexed by label id
+//!   encoder.frozen        frozen Pcap-Encoder (tokenizer + weights)
+//!   encoder_int8.frozen   optional int8-quantised encoder (--quant int8)
+//!   head.frozen           frozen MLP classification head over encodings
+//!   forest.frozen         fitted random forest  (39 header features)
+//!   gbdt.frozen           fitted gradient boosting
+//!   knn.frozen            fitted k-NN
+//!   labels.txt            class names, one per line, indexed by label id
 //! ```
 //!
 //! Every `.frozen` file is a checksummed [`nn::frozen`] envelope;
@@ -17,7 +18,7 @@
 
 use dataset::record::{PacketRecord, Prepared};
 use encoders::model::{EncoderModel, ModelKind};
-use encoders::FrozenPcapEncoder;
+use encoders::{FrozenInt8Encoder, FrozenPcapEncoder};
 use nn::frozen::FrozenArtifact;
 use nn::{FrozenMlp, Mlp};
 use shallow::features::{extract_features, FeatureConfig, N_FEATURES};
@@ -39,6 +40,10 @@ const HEAD_HIDDEN: usize = 32;
 pub struct ModelBundle {
     /// Frozen packet/flow encoder.
     pub encoder: FrozenPcapEncoder,
+    /// Optional int8-quantised encoder (`serve export --quant int8`).
+    /// Never substituted for the f32 encoder implicitly — a policy must
+    /// route to `encoder_int8` explicitly to use it.
+    pub encoder_int8: Option<FrozenInt8Encoder>,
     /// Classification head over encoder outputs.
     pub head: FrozenMlp,
     /// Random forest over the 39 header features.
@@ -85,7 +90,15 @@ impl ModelBundle {
         let x = encoder.encode_packets(&recs);
         let mut head = Mlp::new(&[encoder.dim(), HEAD_HIDDEN, n_classes], seed ^ 0x5eed);
         head.fit(&x, &y, 4, 32, 0.01, seed);
-        ModelBundle { encoder, head: head.freeze(), forest, gbdt, knn, labels }
+        ModelBundle { encoder, encoder_int8: None, head: head.freeze(), forest, gbdt, knn, labels }
+    }
+
+    /// Attach an int8-quantised copy of the f32 encoder, making the
+    /// `encoder_int8` policy target servable. Quantisation is
+    /// deterministic, so calling this on equal bundles yields equal
+    /// artifacts.
+    pub fn quantize_encoder(&mut self) {
+        self.encoder_int8 = Some(self.encoder.quantize());
     }
 
     /// Write every artifact under `dir` (created if needed). Each file
@@ -100,6 +113,9 @@ impl ModelBundle {
             }
         };
         self.encoder.save_frozen(&dir.join("encoder.frozen")).map_err(frozen)?;
+        if let Some(q) = &self.encoder_int8 {
+            q.save_frozen(&dir.join("encoder_int8.frozen")).map_err(frozen)?;
+        }
         self.head.save_frozen(&dir.join("head.frozen")).map_err(frozen)?;
         self.forest.save_frozen(&dir.join("forest.frozen")).map_err(frozen)?;
         self.gbdt.save_frozen(&dir.join("gbdt.frozen")).map_err(frozen)?;
@@ -125,6 +141,15 @@ impl ModelBundle {
         };
         let encoder = FrozenPcapEncoder::load_frozen(&dir.join("encoder.frozen"))
             .map_err(ctx("encoder.frozen"))?;
+        // Optional artifact: absent is fine (the `encoder_int8` target
+        // is then refused up front), but a present-and-corrupt file
+        // fails the whole load like any other.
+        let int8_path = dir.join("encoder_int8.frozen");
+        let encoder_int8 = if int8_path.exists() {
+            Some(FrozenInt8Encoder::load_frozen(&int8_path).map_err(ctx("encoder_int8.frozen"))?)
+        } else {
+            None
+        };
         let head = FrozenMlp::load_frozen(&dir.join("head.frozen")).map_err(ctx("head.frozen"))?;
         let forest =
             RandomForest::load_frozen(&dir.join("forest.frozen")).map_err(ctx("forest.frozen"))?;
@@ -152,7 +177,18 @@ impl ModelBundle {
                 labels.len()
             ));
         }
-        Ok(ModelBundle { encoder, head, forest, gbdt, knn, labels })
+        if let Some(q) = &encoder_int8 {
+            if q.kind() != encoder.kind() || q.dim() != encoder.dim() {
+                return Err(format!(
+                    "bundle mismatch: int8 encoder is {} (dim {}), f32 encoder is {} (dim {})",
+                    q.kind().name(),
+                    q.dim(),
+                    encoder.kind().name(),
+                    encoder.dim()
+                ));
+            }
+        }
+        Ok(ModelBundle { encoder, encoder_int8, head, forest, gbdt, knn, labels })
     }
 
     /// Human-readable class name for a label.

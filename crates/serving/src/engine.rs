@@ -17,6 +17,8 @@ use crate::source::ReplayPacket;
 use dataset::record::PacketRecord;
 use debunk_core::engine::journal::escape_json;
 use debunk_core::obs::{EvictionReason, ObsSink, Value};
+use encoders::EncodeScratch;
+use nn::{MlpScratch, Tensor};
 use std::io::{self, Write};
 use std::time::Instant;
 
@@ -55,6 +57,7 @@ pub struct ServeStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ModelTarget {
     Encoder,
+    EncoderInt8,
     Forest,
     Gbdt,
     Knn,
@@ -65,6 +68,7 @@ impl ModelTarget {
     fn parse(name: &str) -> Option<ModelTarget> {
         match name {
             "encoder" => Some(ModelTarget::Encoder),
+            "encoder_int8" => Some(ModelTarget::EncoderInt8),
             "forest" => Some(ModelTarget::Forest),
             "gbdt" => Some(ModelTarget::Gbdt),
             "knn" => Some(ModelTarget::Knn),
@@ -76,6 +80,7 @@ impl ModelTarget {
     fn name(self) -> &'static str {
         match self {
             ModelTarget::Encoder => "encoder",
+            ModelTarget::EncoderInt8 => "encoder_int8",
             ModelTarget::Forest => "forest",
             ModelTarget::Gbdt => "gbdt",
             ModelTarget::Knn => "knn",
@@ -121,34 +126,66 @@ fn verdict_line(flow: &TrackedFlow, target: ModelTarget, label: u16, class: &str
     )
 }
 
+/// Reusable buffers threaded through every [`classify_batch`] call of
+/// one serve loop: encoder token/pooled scratch, the encoding tensor,
+/// MLP activations and the label vectors. After the first few batches
+/// the encoder path performs no allocation per verdict batch — the
+/// whole batch is one set of kernel dispatches against these buffers.
+#[derive(Default)]
+struct VerdictScratch {
+    enc: EncodeScratch,
+    x: Tensor,
+    mlp: MlpScratch,
+    labels_f32: Vec<u16>,
+    labels_int8: Vec<u16>,
+}
+
 /// Classify a batch of pending flows and write their verdicts in
 /// batch order (which is eviction order). Returns verdicts emitted.
 fn classify_batch(
     bundle: &ModelBundle,
     batch: &[PendingFlow],
+    scratch: &mut VerdictScratch,
     out: &mut dyn Write,
     sink: &ObsSink,
 ) -> io::Result<u64> {
     // Encoder-targeted flows run as one tensor batch; the math is
     // row-independent so grouping is a throughput choice, not a
-    // semantic one.
+    // semantic one. The f32 and int8 encoders batch separately — they
+    // are different experiments, never mixed within one encoding.
     let encoder_idx: Vec<usize> =
         (0..batch.len()).filter(|&i| batch[i].target == ModelTarget::Encoder).collect();
-    let mut encoder_labels = Vec::new();
+    scratch.labels_f32.clear();
     if !encoder_idx.is_empty() {
         let flows: Vec<Vec<&PacketRecord>> =
             encoder_idx.iter().map(|&i| batch[i].flow.records.iter().collect()).collect();
-        let x = bundle.encoder.encode_flows(&flows);
-        encoder_labels = bundle.head.predict(&x);
+        bundle.encoder.encode_flows_into(&flows, &mut scratch.enc, &mut scratch.x);
+        bundle.head.predict_into(&scratch.x, &mut scratch.mlp, &mut scratch.labels_f32);
+    }
+    let int8_idx: Vec<usize> =
+        (0..batch.len()).filter(|&i| batch[i].target == ModelTarget::EncoderInt8).collect();
+    scratch.labels_int8.clear();
+    if !int8_idx.is_empty() {
+        let q = bundle.encoder_int8.as_ref().expect("encoder_int8 target validated up front");
+        let flows: Vec<Vec<&PacketRecord>> =
+            int8_idx.iter().map(|&i| batch[i].flow.records.iter().collect()).collect();
+        q.encode_flows_into(&flows, &mut scratch.enc, &mut scratch.x);
+        bundle.head.predict_into(&scratch.x, &mut scratch.mlp, &mut scratch.labels_int8);
     }
     let mut next_encoder = 0usize;
+    let mut next_int8 = 0usize;
     let mut emitted = 0u64;
     for p in batch {
         let label = match p.target {
             ModelTarget::Drop => continue,
             ModelTarget::Encoder => {
-                let l = encoder_labels[next_encoder];
+                let l = scratch.labels_f32[next_encoder];
                 next_encoder += 1;
+                l
+            }
+            ModelTarget::EncoderInt8 => {
+                let l = scratch.labels_int8[next_int8];
+                next_int8 += 1;
                 l
             }
             ModelTarget::Forest | ModelTarget::Gbdt | ModelTarget::Knn => {
@@ -189,17 +226,33 @@ pub fn serve_stream(
     sink: &ObsSink,
 ) -> io::Result<ServeStats> {
     for t in policy.targets() {
-        if ModelTarget::parse(t).is_none() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("unknown policy target '{t}' (encoder|forest|gbdt|knn|drop)"),
-            ));
+        match ModelTarget::parse(t) {
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "unknown policy target '{t}' (encoder|encoder_int8|forest|gbdt|knn|drop)"
+                    ),
+                ));
+            }
+            // The quantised encoder is opt-in at export time; a policy
+            // asking for it against a bundle without one is refused
+            // before the first packet, never silently downgraded.
+            Some(ModelTarget::EncoderInt8) if bundle.encoder_int8.is_none() => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "policy routes to 'encoder_int8' but the bundle has no encoder_int8.frozen \
+                     (re-export with --quant int8)",
+                ));
+            }
+            Some(_) => {}
         }
     }
     let batch_size = opts.batch.max(1);
     let mut table = FlowTable::new(opts.idle_timeout);
     let mut stats = ServeStats::default();
     let mut pending: Vec<PendingFlow> = Vec::new();
+    let mut scratch = VerdictScratch::default();
     let mut ingest_secs = 0.0f64;
     let mut classify_secs = 0.0f64;
 
@@ -236,7 +289,7 @@ pub fn serve_stream(
             let t1 = Instant::now();
             let rest = pending.split_off(batch_size);
             let batch = std::mem::replace(&mut pending, rest);
-            stats.verdicts += classify_batch(bundle, &batch, out, sink)?;
+            stats.verdicts += classify_batch(bundle, &batch, &mut scratch, out, sink)?;
             classify_secs += t1.elapsed().as_secs_f64();
         }
     }
@@ -245,7 +298,7 @@ pub fn serve_stream(
     }
     for batch in pending.chunks(batch_size) {
         let t1 = Instant::now();
-        stats.verdicts += classify_batch(bundle, batch, out, sink)?;
+        stats.verdicts += classify_batch(bundle, batch, &mut scratch, out, sink)?;
         classify_secs += t1.elapsed().as_secs_f64();
     }
     out.flush()?;
@@ -323,6 +376,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(sa, sb);
         assert_eq!(sa.verdicts, sa.flows, "route_all classifies every flow");
+    }
+
+    #[test]
+    fn int8_encoder_serves_and_is_batch_size_invariant() {
+        let (mut bundle, packets) = tiny();
+        bundle.quantize_encoder();
+        let policy = Policy::route_all("encoder_int8");
+        let (a, sa) = run(&bundle, &packets, &policy, 1);
+        let (b, sb) = run(&bundle, &packets, &policy, 32);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "int8 verdicts are batch-size invariant");
+        assert_eq!(sa, sb);
+        assert_eq!(sa.verdicts, sa.flows);
+        for line in String::from_utf8(a).unwrap().lines() {
+            assert!(line.contains("\"target\":\"encoder_int8\""), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn int8_target_without_artifact_is_refused_up_front() {
+        let (bundle, packets) = tiny();
+        assert!(bundle.encoder_int8.is_none());
+        let policy = Policy::route_all("encoder_int8");
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let mut out = Vec::new();
+        let err =
+            serve_stream(&bundle, &policy, &packets, &ServeOptions::default(), &mut out, &sink)
+                .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("--quant int8"), "{err}");
+        assert!(out.is_empty(), "refused before any verdict");
     }
 
     #[test]

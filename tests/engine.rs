@@ -38,6 +38,9 @@ fn registry_exposes_every_legacy_experiment_id() {
         "extended_models",
         "robustness",
         "balance_ablation",
+        // Engine-era addition, not a legacy id: the int8-vs-f32
+        // serving-encoder experiment (PR 7).
+        "quant_int8",
     ];
     let r = default_registry();
     for id in legacy {
