@@ -68,6 +68,11 @@ const BASELINE_PRE_PR4_MS: &[(&str, f64)] = &[
     ("split", 0.357),
     ("registry_table8_cold", 1903.31),
     ("registry_table8_warm", 1903.31),
+    // New in PR8 (out-of-core prepare) — rates and MB, not ms; no
+    // earlier numbers exist, so their baselines are null.
+    ("outofcore_gen_pps", f64::NAN),
+    ("outofcore_prepare_pps", f64::NAN),
+    ("outofcore_peak_rss_mb", f64::NAN),
 ];
 
 /// Frozen PR6 numbers (first release of the serving path; same
@@ -217,7 +222,63 @@ fn pipeline_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
         ));
         eprintln!("  registry warm done");
     }
+    results.extend(outofcore_rows(quick));
     results
+}
+
+/// Out-of-core generation + prepare at the million-flow scale the
+/// in-RAM path cannot hold (quick mode shrinks the flow budget, not the
+/// mechanism). Reports packets/sec through each phase and the peak RSS
+/// of the whole run — which is bounded by the row-group size, not the
+/// flow count. Rates are only comparable within one machine (see
+/// DESIGN.md §6e).
+fn outofcore_rows(quick: bool) -> Vec<(&'static str, f64)> {
+    use debunk_core::artifact::ArtifactCache;
+    use debunk_core::obs::measure_peak_rss;
+    use debunk_core::outofcore::{prepare_out_of_core, OutOfCoreOptions};
+    use shallow::features::FeatureConfig;
+    use traffic_synth::stream::{FlowPlan, ShardDir};
+    use traffic_synth::{DatasetKind, DatasetSpec};
+
+    let (kind, seed) = (DatasetKind::UstcTfc, 42);
+    let flows_at_unit = FlowPlan::new(&DatasetSpec::new(kind, seed)).n_flows();
+    let target_flows: f64 = if quick { 2_000.0 } else { 1_000_000.0 };
+    let scale = target_flows / flows_at_unit as f64;
+    let n_shards = if quick { 4 } else { 256 };
+    let spec = DatasetSpec::new(kind, seed).scaled(scale);
+
+    let root = std::env::temp_dir().join("debunk-bench-outofcore");
+    std::fs::remove_dir_all(&root).ok();
+    let shard_dir = root.join("shards");
+    let cache = ArtifactCache::new(Some(root.join("cache")));
+    let opts = OutOfCoreOptions {
+        features: Some(FeatureConfig::default()),
+        ..OutOfCoreOptions::default()
+    };
+
+    let ((gen, prepare), peak) = measure_peak_rss(|| {
+        let t0 = Instant::now();
+        let (shards, _) = ShardDir::ensure(&shard_dir, &spec, n_shards).expect("shard generation");
+        let gen = (shards.n_records() as f64, t0.elapsed().as_secs_f64());
+        eprintln!(
+            "  out-of-core: generated {} records across {n_shards} shards in {:.1}s",
+            gen.0, gen.1
+        );
+        drop(shards);
+        let t1 = Instant::now();
+        let report = prepare_out_of_core(&cache, &shard_dir, kind, seed, scale, n_shards, &opts)
+            .expect("out-of-core prepare");
+        let prepare = (report.shard_records as f64, t1.elapsed().as_secs_f64());
+        eprintln!("  out-of-core: prepared {} records in {:.1}s", prepare.0, prepare.1);
+        (gen, prepare)
+    });
+    std::fs::remove_dir_all(&root).ok();
+
+    vec![
+        ("outofcore_gen_pps", gen.0 / gen.1.max(1e-9)),
+        ("outofcore_prepare_pps", prepare.0 / prepare.1.max(1e-9)),
+        ("outofcore_peak_rss_mb", peak.map_or(f64::NAN, |b| b as f64 / (1024.0 * 1024.0))),
+    ]
 }
 
 /// Benchmark the online serving path: flow-table ingest alone,
@@ -314,7 +375,11 @@ fn emit(
     json.push_str(&format!("  \"quick\": {quick},\n  \"results_ms\": {{\n"));
     for (i, (name, ms)) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+        if ms.is_nan() {
+            json.push_str(&format!("    \"{name}\": null{sep}\n"));
+        } else {
+            json.push_str(&format!("    \"{name}\": {ms:.3}{sep}\n"));
+        }
     }
     json.push_str(&format!("  }},\n  \"{baseline_field}\": {{\n"));
     for (i, (name, ms)) in baseline.iter().enumerate() {

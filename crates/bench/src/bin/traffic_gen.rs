@@ -3,14 +3,23 @@
 //! ```text
 //! traffic-gen <iscx|ustc|cstnet> [--seed N] [--flows-per-class N]
 //!             [--out trace.pcap] [--labels labels.csv] [--clean]
+//!             [--shards N --out-dir DIR]
 //! ```
 //!
 //! Writes a Wireshark-readable pcap plus a CSV mapping each packet
 //! index to its (class id, class name, flow id) ground truth — the
 //! format the `dataset::ingest` path can consume for external data.
+//!
+//! With `--shards N --out-dir DIR` it instead writes an out-of-core
+//! flow-sharded trace directory (DBSR run files) holding one shard of
+//! packets in memory at a time — the input format of the out-of-core
+//! prepare path and the `serve --shard-dir` replay source. The merged
+//! shard streams replay the serial trace byte-for-byte at any shard
+//! count.
 
 use dataset::clean::clean_trace;
 use std::io::Write;
+use traffic_synth::stream::ShardDir;
 use traffic_synth::{DatasetKind, DatasetSpec};
 
 fn main() {
@@ -39,6 +48,32 @@ fn main() {
     if let Some(f) = get_flag("--flows-per-class").and_then(|v| v.parse().ok()) {
         spec.flows_per_class = f;
     }
+
+    if let Some(n_shards) = get_flag("--shards").and_then(|v| v.parse::<usize>().ok()) {
+        let Some(out_dir) = get_flag("--out-dir") else {
+            eprintln!("error: --shards requires --out-dir DIR");
+            std::process::exit(2);
+        };
+        eprintln!(
+            "generating {} (seed {seed}, {} flows/class) into {n_shards} shards...",
+            kind.name(),
+            spec.flows_per_class
+        );
+        let (shards, rebuilt) = ShardDir::ensure(std::path::Path::new(&out_dir), &spec, n_shards)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        eprintln!(
+            "  {} records in {} runs ({})",
+            shards.n_records(),
+            shards.n_shards() + 1,
+            if rebuilt { "written" } else { "already valid, reused" }
+        );
+        eprintln!("wrote {out_dir}");
+        return;
+    }
+
     eprintln!("generating {} (seed {seed}, {} flows/class)...", kind.name(), spec.flows_per_class);
     let mut trace = spec.generate();
     eprintln!("  {} packets, {} spurious", trace.records.len(), trace.spurious_len());

@@ -41,6 +41,40 @@ pub trait Artifact: Send + Sync + Sized + 'static {
     fn to_bytes(&self) -> Vec<u8>;
     /// Decode a payload; any inconsistency is an error, never a guess.
     fn from_bytes(bytes: &[u8]) -> Result<Self, String>;
+
+    /// Split the payload into row groups for the v2 envelope. The
+    /// default is one group holding `to_bytes()`; row-chunked artifacts
+    /// override this so the disk tier can be written streamingly and
+    /// warm readers can touch only the groups they need.
+    fn to_groups(&self) -> Vec<RowGroup> {
+        vec![RowGroup { rows: 0, bytes: self.to_bytes() }]
+    }
+
+    /// Rebuild from v2 row-group payloads; must invert [`to_groups`]
+    /// (`Artifact::to_groups`). The default concatenates the groups and
+    /// delegates to `from_bytes`, which inverts the default
+    /// `to_groups` exactly.
+    fn from_groups(groups: Vec<Vec<u8>>) -> Result<Self, String> {
+        let mut buf = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+        for g in &groups {
+            buf.extend_from_slice(g);
+        }
+        Self::from_bytes(&buf)
+    }
+}
+
+/// Default number of logical rows per row group, shared by the grouped
+/// artifact codecs and the chunked out-of-core prepare path.
+pub const ROW_GROUP_ROWS: usize = 4096;
+
+/// One row group of a v2 envelope: a self-contained byte chunk plus the
+/// number of logical rows it encodes (0 when "rows" doesn't apply).
+#[derive(Debug, Clone)]
+pub struct RowGroup {
+    /// Logical rows (records / token rows / feature rows) in the group.
+    pub rows: u64,
+    /// Self-contained encoded bytes of the group.
+    pub bytes: Vec<u8>,
 }
 
 /// Counters describing how the cache served requests (mirrored into
@@ -104,6 +138,14 @@ impl ArtifactCache {
     /// The configured disk-tier directory, if any.
     pub fn dir(&self) -> Option<&PathBuf> {
         self.dir.as_ref()
+    }
+
+    /// Count a disk-tier hit established outside [`ArtifactCache::lookup`]
+    /// — the out-of-core warm path validates an artifact's v2 frame
+    /// (header/footer/trailer checksums) without decoding its body into
+    /// memory, which is still a disk-tier serve for accounting purposes.
+    pub(crate) fn note_disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the hit/miss counters.
@@ -271,30 +313,275 @@ fn file_name(stage: &str, fingerprint: u64) -> String {
     format!("art-{stage}-{fingerprint:016x}.bin")
 }
 
-const MAGIC: &[u8; 4] = b"DBAF";
-const VERSION: u32 = 1;
+/// The canonical key string for an artifact addressed by `parts` —
+/// what the envelope stores and [`RowGroupFile::open`] verifies.
+/// Exposed for out-of-core readers that open artifact files directly.
+pub fn artifact_key<A: Artifact>(parts: &[&str]) -> String {
+    canonical_key(A::STAGE, parts)
+}
 
-/// Envelope layout (all integers little-endian):
-/// `DBAF` · version u32 · key (u32 len + bytes) · payload (u64 len +
-/// bytes) · FNV-64 checksum of everything before the checksum field.
-fn encode_envelope<A: Artifact>(value: &A, key: &str) -> Vec<u8> {
-    let payload = value.to_bytes();
-    let mut out = Vec::with_capacity(payload.len() + key.len() + 32);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
-    out.extend_from_slice(key.as_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&payload);
-    let checksum = fnv64(&out);
-    out.extend_from_slice(&checksum.to_le_bytes());
+const MAGIC: &[u8; 4] = b"DBAF";
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// Fixed trailer size of a v2 envelope (see the byte diagram below).
+const TRAILER_LEN: usize = 48;
+
+// ---------------------------------------------------------------------
+// DBAF envelopes
+// ---------------------------------------------------------------------
+//
+// v1 (legacy, still decoded — all integers little-endian):
+//
+//   "DBAF" | u32 version=1 | u32 key_len | key | u64 payload_len
+//   | payload | u64 fnv64(everything before this field)
+//
+// v2 (written by this version — row-group layout, DESIGN.md §6e):
+//
+//   header  := "DBAF" | u32 version=2 | u32 key_len | key
+//   body    := group[0] | group[1] | ... | group[n-1]      (contiguous)
+//   footer  := u32 n_groups
+//            | n × { u64 offset | u64 len | u64 rows | u64 fnv64(group) }
+//            | u64 total_rows
+//   trailer := u64 header_len | u64 footer_off | u64 footer_len
+//            | u64 fnv64(header) | u64 fnv64(footer)
+//            | u64 fnv64(previous 40 trailer bytes)            (48 bytes)
+//
+// The fixed-size trailer at the end of the file lets a reader locate
+// and verify the header and footer with three bounded reads, then fetch
+// (and checksum) only the row groups it needs — the warm "mmap" path
+// ([`RowGroupFile`]) never touches the rest of the body. Validation is
+// strict: offsets must tile the body exactly (first group at
+// `header_len`, each group ending where the next begins, the last at
+// `footer_off`) and per-group rows must sum to `total_rows`, so
+// truncated, bit-flipped, duplicated or reordered groups are refused —
+// never mis-decoded.
+
+/// Byte-offset directory entry for one row group of a v2 envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupMeta {
+    /// Absolute byte offset of the group in the file.
+    pub offset: u64,
+    /// Encoded byte length of the group.
+    pub len: u64,
+    /// Logical rows in the group.
+    pub rows: u64,
+    /// FNV-64 of the group bytes.
+    pub fnv: u64,
+}
+
+fn header_bytes(key: &str) -> Vec<u8> {
+    let mut h = Vec::with_capacity(12 + key.len());
+    h.extend_from_slice(MAGIC);
+    h.extend_from_slice(&VERSION_V2.to_le_bytes());
+    h.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    h.extend_from_slice(key.as_bytes());
+    h
+}
+
+fn footer_bytes(groups: &[GroupMeta], total_rows: u64) -> Vec<u8> {
+    let mut f = Vec::with_capacity(4 + groups.len() * 32 + 8);
+    f.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    for g in groups {
+        f.extend_from_slice(&g.offset.to_le_bytes());
+        f.extend_from_slice(&g.len.to_le_bytes());
+        f.extend_from_slice(&g.rows.to_le_bytes());
+        f.extend_from_slice(&g.fnv.to_le_bytes());
+    }
+    f.extend_from_slice(&total_rows.to_le_bytes());
+    f
+}
+
+fn trailer_bytes(
+    header_len: u64,
+    footer_off: u64,
+    footer_len: u64,
+    header: &[u8],
+    footer: &[u8],
+) -> [u8; TRAILER_LEN] {
+    let mut t = [0u8; TRAILER_LEN];
+    t[0..8].copy_from_slice(&header_len.to_le_bytes());
+    t[8..16].copy_from_slice(&footer_off.to_le_bytes());
+    t[16..24].copy_from_slice(&footer_len.to_le_bytes());
+    t[24..32].copy_from_slice(&fnv64(header).to_le_bytes());
+    t[32..40].copy_from_slice(&fnv64(footer).to_le_bytes());
+    let check = fnv64(&t[..40]);
+    t[40..48].copy_from_slice(&check.to_le_bytes());
+    t
+}
+
+/// Encode `groups` into a v2 envelope under `key`.
+fn encode_groups(groups: &[RowGroup], key: &str) -> Vec<u8> {
+    let header = header_bytes(key);
+    let body_len: usize = groups.iter().map(|g| g.bytes.len()).sum();
+    let mut out = Vec::with_capacity(header.len() + body_len + groups.len() * 32 + 64);
+    out.extend_from_slice(&header);
+    let mut metas = Vec::with_capacity(groups.len());
+    let mut total_rows = 0u64;
+    for g in groups {
+        metas.push(GroupMeta {
+            offset: out.len() as u64,
+            len: g.bytes.len() as u64,
+            rows: g.rows,
+            fnv: fnv64(&g.bytes),
+        });
+        total_rows += g.rows;
+        out.extend_from_slice(&g.bytes);
+    }
+    let footer_off = out.len() as u64;
+    let footer = footer_bytes(&metas, total_rows);
+    out.extend_from_slice(&footer);
+    let trailer =
+        trailer_bytes(header.len() as u64, footer_off, footer.len() as u64, &header, &footer);
+    out.extend_from_slice(&trailer);
     out
 }
 
+fn encode_envelope<A: Artifact>(value: &A, key: &str) -> Vec<u8> {
+    encode_groups(&value.to_groups(), key)
+}
+
+/// Validated frame of a v2 envelope: where every row group lives.
+struct FrameV2 {
+    groups: Vec<GroupMeta>,
+}
+
+/// Verify a v2 header slice (magic, version, key) — `header` must be
+/// exactly the slice the trailer's `header_len` delimits.
+fn check_header(header: &[u8], key: &str) -> Result<(), String> {
+    let mut r = Reader { bytes: header, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = r.u32()?;
+    if version != VERSION_V2 {
+        return Err(format!("header version {version} inside a v2 frame"));
+    }
+    let key_len = r.u32()? as usize;
+    let stored_key = r.take(key_len)?;
+    if stored_key != key.as_bytes() {
+        return Err(format!(
+            "key mismatch: file is '{}', wanted '{key}'",
+            String::from_utf8_lossy(stored_key)
+        ));
+    }
+    if r.pos != header.len() {
+        return Err("trailing bytes after header key".to_string());
+    }
+    Ok(())
+}
+
+/// Verify and parse a v2 footer slice against the frame geometry.
+fn check_footer(footer: &[u8], header_len: u64, footer_off: u64) -> Result<Vec<GroupMeta>, String> {
+    let mut r = Reader { bytes: footer, pos: 0 };
+    let n_groups = r.u32()? as usize;
+    if footer.len() != 4 + n_groups * 32 + 8 {
+        return Err(format!("footer length {} does not fit {n_groups} groups", footer.len()));
+    }
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut expect = header_len;
+    let mut sum_rows = 0u64;
+    for i in 0..n_groups {
+        let g = GroupMeta { offset: r.u64()?, len: r.u64()?, rows: r.u64()?, fnv: r.u64()? };
+        // Groups must tile the body contiguously and in order — this is
+        // what refuses duplicated, reordered or overlapping groups.
+        if g.offset != expect {
+            return Err(format!("group {i} at offset {} (expected {expect})", g.offset));
+        }
+        expect =
+            g.offset.checked_add(g.len).ok_or_else(|| format!("group {i} length overflows"))?;
+        sum_rows =
+            sum_rows.checked_add(g.rows).ok_or_else(|| format!("group {i} row count overflows"))?;
+        groups.push(g);
+    }
+    if expect != footer_off {
+        return Err(format!("body ends at {expect}, footer starts at {footer_off}"));
+    }
+    let total_rows = r.u64()?;
+    if sum_rows != total_rows {
+        return Err(format!("group rows sum to {sum_rows}, footer claims {total_rows}"));
+    }
+    Ok(groups)
+}
+
+/// Parse + fully validate the frame of an in-memory v2 envelope.
+fn parse_v2_frame(bytes: &[u8], key: &str) -> Result<FrameV2, String> {
+    if bytes.len() < TRAILER_LEN {
+        return Err("truncated: shorter than the v2 trailer".to_string());
+    }
+    let trailer: &[u8; TRAILER_LEN] =
+        bytes[bytes.len() - TRAILER_LEN..].try_into().expect("48-byte tail");
+    let (header_len, footer_off, footer_len, header_fnv, footer_fnv) = parse_trailer(trailer)?;
+    let file_len = bytes.len() as u64;
+    if footer_off.checked_add(footer_len).and_then(|e| e.checked_add(TRAILER_LEN as u64))
+        != Some(file_len)
+    {
+        return Err("trailer geometry does not match file length".to_string());
+    }
+    if header_len > footer_off {
+        return Err("header overlaps footer".to_string());
+    }
+    let header = &bytes[..header_len as usize];
+    if fnv64(header) != header_fnv {
+        return Err("header checksum mismatch".to_string());
+    }
+    check_header(header, key)?;
+    let footer = &bytes[footer_off as usize..(footer_off + footer_len) as usize];
+    if fnv64(footer) != footer_fnv {
+        return Err("footer checksum mismatch".to_string());
+    }
+    let groups = check_footer(footer, header_len, footer_off)?;
+    Ok(FrameV2 { groups })
+}
+
+/// Verify the self-checksummed trailer and return
+/// `(header_len, footer_off, footer_len, header_fnv, footer_fnv)`.
+fn parse_trailer(t: &[u8; TRAILER_LEN]) -> Result<(u64, u64, u64, u64, u64), String> {
+    let stored = u64::from_le_bytes(t[40..48].try_into().expect("8 bytes"));
+    if fnv64(&t[..40]) != stored {
+        return Err("trailer checksum mismatch".to_string());
+    }
+    Ok((
+        u64::from_le_bytes(t[0..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(t[8..16].try_into().expect("8 bytes")),
+        u64::from_le_bytes(t[16..24].try_into().expect("8 bytes")),
+        u64::from_le_bytes(t[24..32].try_into().expect("8 bytes")),
+        u64::from_le_bytes(t[32..40].try_into().expect("8 bytes")),
+    ))
+}
+
+fn decode_envelope_v2<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
+    let frame = parse_v2_frame(bytes, key)?;
+    let mut groups = Vec::with_capacity(frame.groups.len());
+    for (i, g) in frame.groups.iter().enumerate() {
+        let s = &bytes[g.offset as usize..(g.offset + g.len) as usize];
+        if fnv64(s) != g.fnv {
+            return Err(format!("row group {i} checksum mismatch"));
+        }
+        groups.push(s.to_vec());
+    }
+    A::from_groups(groups)
+}
+
+/// Decode either envelope version; `key` must match exactly.
 fn decode_envelope<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
     if bytes.len() < 8 {
-        return Err("truncated: shorter than the checksum".to_string());
+        return Err("truncated: shorter than the version field".to_string());
     }
+    if &bytes[0..4] != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    match u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) {
+        VERSION_V1 => decode_envelope_v1(bytes, key),
+        VERSION_V2 => decode_envelope_v2(bytes, key),
+        v => Err(format!("unsupported version {v}")),
+    }
+}
+
+/// Decode the legacy v1 envelope (whole-file checksum, single payload).
+/// Still supported so caches written before the v2 row-group layout
+/// stay warm — the chosen compatibility policy, tested in
+/// `tests/artifact_rowgroup.rs`.
+fn decode_envelope_v1<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
     let (body, tail) = bytes.split_at(bytes.len() - 8);
     let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
     if fnv64(body) != stored {
@@ -305,7 +592,7 @@ fn decode_envelope<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
         return Err("bad magic".to_string());
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if version != VERSION_V1 {
         return Err(format!("unsupported version {version}"));
     }
     let key_len = r.u32()? as usize;
@@ -322,6 +609,222 @@ fn decode_envelope<A: Artifact>(bytes: &[u8], key: &str) -> Result<A, String> {
         return Err("trailing bytes after payload".to_string());
     }
     A::from_bytes(payload)
+}
+
+/// Lazy reader over an on-disk v2 artifact: opens with three bounded
+/// reads (trailer, header, footer — the file's "map"), then fetches and
+/// checksums row groups individually on demand. This is the warm-path
+/// working-set mechanism: a reader that needs only some groups never
+/// touches the others' bytes (the positioned-read equivalent of an
+/// `mmap` + page-fault walk, without unsafe code).
+pub struct RowGroupFile {
+    file: std::fs::File,
+    path: PathBuf,
+    groups: Vec<GroupMeta>,
+    total_rows: u64,
+}
+
+impl RowGroupFile {
+    /// Open `path` and validate its frame against `key`. Header, footer
+    /// and trailer are fully verified here; group bodies are verified
+    /// lazily by [`RowGroupFile::read_group`].
+    pub fn open(path: &std::path::Path, key: &str) -> Result<RowGroupFile, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let io = |e: std::io::Error| format!("cannot read {}: {e}", path.display());
+        let file_len = file.metadata().map_err(io)?.len();
+        if file_len < TRAILER_LEN as u64 {
+            return Err("truncated: shorter than the v2 trailer".to_string());
+        }
+        let mut trailer = [0u8; TRAILER_LEN];
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64))).map_err(io)?;
+        file.read_exact(&mut trailer).map_err(io)?;
+        let (header_len, footer_off, footer_len, header_fnv, footer_fnv) = parse_trailer(&trailer)?;
+        if footer_off.checked_add(footer_len).and_then(|e| e.checked_add(TRAILER_LEN as u64))
+            != Some(file_len)
+        {
+            return Err("trailer geometry does not match file length".to_string());
+        }
+        if header_len > footer_off {
+            return Err("header overlaps footer".to_string());
+        }
+        if header_len > (1 << 20) || footer_len > (1 << 30) {
+            return Err("implausible header/footer length".to_string());
+        }
+        let mut header = vec![0u8; header_len as usize];
+        file.seek(SeekFrom::Start(0)).map_err(io)?;
+        file.read_exact(&mut header).map_err(io)?;
+        if fnv64(&header) != header_fnv {
+            return Err("header checksum mismatch".to_string());
+        }
+        check_header(&header, key)?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.seek(SeekFrom::Start(footer_off)).map_err(io)?;
+        file.read_exact(&mut footer).map_err(io)?;
+        if fnv64(&footer) != footer_fnv {
+            return Err("footer checksum mismatch".to_string());
+        }
+        let groups = check_footer(&footer, header_len, footer_off)?;
+        let total_rows = groups.iter().map(|g| g.rows).sum();
+        Ok(RowGroupFile { file, path: path.to_path_buf(), groups, total_rows })
+    }
+
+    /// Number of row groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Directory entry of group `i`.
+    pub fn group_meta(&self, i: usize) -> GroupMeta {
+        self.groups[i]
+    }
+
+    /// Sum of logical rows across all groups.
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Read and checksum-verify group `i` — the only call that touches
+    /// body bytes.
+    pub fn read_group(&mut self, i: usize) -> Result<Vec<u8>, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let g = self.groups[i];
+        let io = |e: std::io::Error| format!("cannot read {}: {e}", self.path.display());
+        let mut bytes = vec![0u8; g.len as usize];
+        self.file.seek(SeekFrom::Start(g.offset)).map_err(io)?;
+        self.file.read_exact(&mut bytes).map_err(io)?;
+        if fnv64(&bytes) != g.fnv {
+            return Err(format!("row group {i} checksum mismatch"));
+        }
+        Ok(bytes)
+    }
+
+    /// Read every group and rebuild the artifact (a fully verified
+    /// decode through the lazy path).
+    pub fn decode<A: Artifact>(&mut self) -> Result<A, String> {
+        let mut groups = Vec::with_capacity(self.groups.len());
+        for i in 0..self.groups.len() {
+            groups.push(self.read_group(i)?);
+        }
+        A::from_groups(groups)
+    }
+}
+
+/// Streaming v2 writer: groups are appended one at a time (bounded
+/// memory — the whole artifact never exists in RAM), then `finish`
+/// seals footer + trailer and renames the temp sibling into place.
+/// Obtained from [`ArtifactCache::group_writer`].
+pub struct ArtifactGroupWriter<'a> {
+    cache: &'a ArtifactCache,
+    file: std::io::BufWriter<std::fs::File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    pos: u64,
+    header: Vec<u8>,
+    metas: Vec<GroupMeta>,
+    total_rows: u64,
+}
+
+impl<'a> ArtifactGroupWriter<'a> {
+    /// Append one row group.
+    pub fn push_group(&mut self, rows: u64, bytes: &[u8]) -> Result<(), String> {
+        use std::io::Write;
+        self.metas.push(GroupMeta {
+            offset: self.pos,
+            len: bytes.len() as u64,
+            rows,
+            fnv: fnv64(bytes),
+        });
+        self.total_rows += rows;
+        self.file
+            .write_all(bytes)
+            .map_err(|e| format!("cannot write {}: {e}", self.tmp.display()))?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Seal the envelope (footer + trailer), fsync-free rename into the
+    /// final path, and count the build. The artifact becomes visible to
+    /// `lookup`/`load_or_build` atomically — a crash mid-stream leaves
+    /// only a `.tmp` sibling the loader never reads.
+    pub fn finish(mut self) -> Result<PathBuf, String> {
+        use std::io::Write;
+        let footer_off = self.pos;
+        let footer = footer_bytes(&self.metas, self.total_rows);
+        let trailer = trailer_bytes(
+            self.header.len() as u64,
+            footer_off,
+            footer.len() as u64,
+            &self.header,
+            &footer,
+        );
+        let sealed = self
+            .file
+            .write_all(&footer)
+            .and_then(|()| self.file.write_all(&trailer))
+            .and_then(|()| self.file.flush());
+        if let Err(e) = sealed {
+            std::fs::remove_file(&self.tmp).ok();
+            return Err(format!("cannot seal {}: {e}", self.tmp.display()));
+        }
+        drop(self.file);
+        if let Err(e) = std::fs::rename(&self.tmp, &self.path) {
+            std::fs::remove_file(&self.tmp).ok();
+            return Err(format!("cannot rename {}: {e}", self.path.display()));
+        }
+        self.cache.builds.fetch_add(1, Ordering::Relaxed);
+        self.cache.obs().debug(
+            "artifact",
+            &format!("  [artifact] streamed {}", self.path.display()),
+            &[("path", self.path.display().to_string().into())],
+        );
+        Ok(self.path)
+    }
+}
+
+impl ArtifactCache {
+    /// The on-disk path the artifact addressed by `parts` would live
+    /// at, if a disk tier is configured (the file may not exist yet).
+    pub fn artifact_path<A: Artifact>(&self, parts: &[&str]) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let key = canonical_key(A::STAGE, parts);
+        Some(dir.join(file_name(A::STAGE, stable_hash64(&[&key]))))
+    }
+
+    /// Begin streaming the v2 artifact addressed by `parts` into the
+    /// disk tier, group by group. Errors when the cache has no disk
+    /// tier — streaming writes exist precisely to avoid materialising
+    /// the artifact in memory, so there is nothing useful to do without
+    /// a disk.
+    pub fn group_writer<A: Artifact>(
+        &self,
+        parts: &[&str],
+    ) -> Result<ArtifactGroupWriter<'_>, String> {
+        use std::io::Write;
+        let dir = self.dir.as_ref().ok_or("group_writer needs a disk tier (--cache-dir)")?;
+        let key = canonical_key(A::STAGE, parts);
+        let path = dir.join(file_name(A::STAGE, stable_hash64(&[&key])));
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut file = std::io::BufWriter::with_capacity(1 << 16, file);
+        let header = header_bytes(&key);
+        file.write_all(&header).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        let pos = header.len() as u64;
+        Ok(ArtifactGroupWriter {
+            cache: self,
+            file,
+            tmp,
+            path,
+            pos,
+            header,
+            metas: Vec::new(),
+            total_rows: 0,
+        })
+    }
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -486,5 +989,132 @@ mod tests {
         let bytes = encode_envelope(&blob, "test-blob|a");
         assert!(decode_envelope::<Blob>(&bytes, "test-blob|b").unwrap_err().contains("key"));
         assert_eq!(decode_envelope::<Blob>(&bytes, "test-blob|a").unwrap().0, vec![5]);
+    }
+
+    /// A row-chunked artifact: each chunk is one group, groups carry
+    /// their element counts as rows.
+    #[derive(Debug, PartialEq)]
+    struct Chunks(Vec<Vec<u8>>);
+
+    impl Artifact for Chunks {
+        const STAGE: &'static str = "test-chunks";
+        fn to_bytes(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            for c in &self.0 {
+                out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                out.extend_from_slice(c);
+            }
+            out
+        }
+        fn from_bytes(_bytes: &[u8]) -> Result<Chunks, String> {
+            Err("chunked artifact has no v1 payload".to_string())
+        }
+        fn to_groups(&self) -> Vec<RowGroup> {
+            self.0
+                .iter()
+                .map(|c| {
+                    let mut b = (c.len() as u32).to_le_bytes().to_vec();
+                    b.extend_from_slice(c);
+                    RowGroup { rows: c.len() as u64, bytes: b }
+                })
+                .collect()
+        }
+        fn from_groups(groups: Vec<Vec<u8>>) -> Result<Chunks, String> {
+            let mut chunks = Vec::with_capacity(groups.len());
+            for g in groups {
+                if g.len() < 4 {
+                    return Err("group shorter than its length prefix".to_string());
+                }
+                let n = u32::from_le_bytes(g[0..4].try_into().expect("4 bytes")) as usize;
+                if g.len() != 4 + n {
+                    return Err("group length prefix mismatch".to_string());
+                }
+                chunks.push(g[4..].to_vec());
+            }
+            Ok(Chunks(chunks))
+        }
+    }
+
+    #[test]
+    fn grouped_envelope_round_trips_preserving_group_boundaries() {
+        let value = Chunks(vec![vec![1, 2, 3], vec![], vec![9; 100]]);
+        let bytes = encode_envelope(&value, "test-chunks|k");
+        let back = decode_envelope::<Chunks>(&bytes, "test-chunks|k").unwrap();
+        assert_eq!(back, value);
+        let frame = parse_v2_frame(&bytes, "test-chunks|k").unwrap();
+        assert_eq!(frame.groups.len(), 3);
+        assert_eq!(frame.groups.iter().map(|g| g.rows).sum::<u64>(), 103);
+    }
+
+    #[test]
+    fn stream_writer_is_byte_identical_to_in_memory_encode() {
+        let dir = temp_dir("debunk-artifact-stream");
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        let value = Chunks(vec![vec![5; 10], vec![6; 20], vec![7; 30]]);
+
+        let mut w = cache.group_writer::<Chunks>(&["k"]).unwrap();
+        for g in value.to_groups() {
+            w.push_group(g.rows, &g.bytes).unwrap();
+        }
+        let path = w.finish().unwrap();
+        assert_eq!(cache.stats().builds, 1, "a sealed stream counts as a build");
+
+        let streamed = std::fs::read(&path).unwrap();
+        let key = canonical_key(Chunks::STAGE, &["k"]);
+        assert_eq!(streamed, encode_envelope(&value, &key), "one format, two writers");
+
+        // And the cache serves it as a plain disk hit.
+        let loaded = cache.lookup::<Chunks>(&["k"]).expect("disk hit");
+        assert_eq!(*loaded, value);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn row_group_file_reads_single_groups_lazily() {
+        let dir = temp_dir("debunk-artifact-rgf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let value = Chunks(vec![vec![1; 8], vec![2; 16]]);
+        let key = canonical_key(Chunks::STAGE, &["k"]);
+        let path = dir.join("grouped.bin");
+        std::fs::write(&path, encode_envelope(&value, &key)).unwrap();
+
+        let mut f = RowGroupFile::open(&path, &key).unwrap();
+        assert_eq!(f.n_groups(), 2);
+        assert_eq!(f.total_rows(), 24);
+        assert_eq!(f.read_group(1).unwrap()[4..], [2; 16]);
+        assert_eq!(f.decode::<Chunks>().unwrap(), value);
+        assert!(RowGroupFile::open(&path, "test-chunks|other").is_err(), "wrong key refused");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_envelopes_stay_readable() {
+        // Hand-rolled v1 bytes per the legacy layout — a cache written
+        // before the v2 row-group upgrade must keep serving.
+        let key = "test-blob|k";
+        let payload = vec![3u8, 1, 4, 1, 5];
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        v1.extend_from_slice(key.as_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&payload);
+        let checksum = fnv64(&v1);
+        v1.extend_from_slice(&checksum.to_le_bytes());
+
+        assert_eq!(decode_envelope::<Blob>(&v1, key).unwrap().0, payload);
+
+        // Planted as a disk artifact, it serves as a hit — and a rewrite
+        // through store() upgrades the file to v2.
+        let dir = temp_dir("debunk-artifact-v1compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(file_name(Blob::STAGE, stable_hash64(&[key])));
+        std::fs::write(&path, &v1).unwrap();
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        let hit = cache.lookup::<Blob>(&["k"]).expect("v1 disk hit");
+        assert_eq!(hit.0, payload);
+        assert_eq!(cache.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

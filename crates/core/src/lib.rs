@@ -27,6 +27,7 @@ pub mod experiment;
 pub mod flow_experiment;
 pub mod metrics;
 pub mod obs;
+pub mod outofcore;
 pub mod pipeline;
 pub mod report;
 pub mod shallow_baselines;

@@ -1,0 +1,440 @@
+//! Out-of-core prepare: the generate → clean → tokenize → featurize →
+//! split chain for datasets that must never be resident in RAM at once.
+//!
+//! The in-RAM chain ([`crate::pipeline::TaskCache`]) materialises the
+//! whole trace, cleans it in place, and derives whole-dataset matrices.
+//! This module produces **byte-identical artifact files** while holding
+//! only O(row-group) state:
+//!
+//! - generation streams through an on-disk flow-sharded trace
+//!   ([`ShardDir`]) whose k-way merge replays the serial trace exactly;
+//! - cleaning mirrors `clean_trace` record-by-record through
+//!   [`StreamingCleaner`] (the batch cleaner delegates to the same
+//!   code, so the tallies cannot drift);
+//! - the cleaned dataset, feature matrix and token matrix are written
+//!   group-by-group with [`ArtifactCache::group_writer`], using the
+//!   same [`ROW_GROUP_ROWS`] chunking as the in-RAM `to_groups`
+//!   codecs — one format, two writers;
+//! - splits are computed on a [`FlowClassView`] (6 bytes per record)
+//!   that the in-RAM split entry points also delegate to.
+//!
+//! Warm calls validate the existing artifact's v2 frame (trailer,
+//! header, footer checksums — three bounded reads) without decoding the
+//! body, so a warm million-flow prepare touches kilobytes. Builds are
+//! single-flight per (cache dir, dataset key): concurrent callers block
+//! on one streaming build and then take the warm path.
+
+use crate::artifact::{artifact_key, ArtifactCache, RowGroupFile, ROW_GROUP_ROWS};
+use crate::experiment::SplitPolicy;
+use crate::pipeline::{
+    dataset_meta_group, DatasetArtifact, FeatureMatrix, TokenMatrix, TokenVariant,
+};
+use dataset::clean::StreamingCleaner;
+use dataset::record::{records_from_bytes, records_to_bytes, PacketRecord};
+use dataset::split::{per_flow_split_on, per_packet_split_on, FlowClassView, Split};
+use encoders::model::EncoderModel;
+use encoders::tokenize::token_rows_to_bytes;
+use parking_lot::Mutex;
+use shallow::features::{extract_features, features_to_bytes, FeatureConfig};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+use traffic_synth::stream::ShardDir;
+use traffic_synth::{DatasetKind, DatasetSpec};
+
+/// Which derived products to ensure beyond the cleaned dataset.
+#[derive(Default)]
+pub struct OutOfCoreOptions<'m> {
+    /// Shallow feature matrix to ensure.
+    pub features: Option<FeatureConfig>,
+    /// Token matrix to ensure (tokenisation depends only on the model
+    /// kind and ablation, never on weights — same key as the in-RAM
+    /// path).
+    pub tokens: Option<(&'m EncoderModel, TokenVariant)>,
+    /// Splits to ensure.
+    pub splits: Vec<SplitRequest>,
+}
+
+/// One split artifact to ensure, mirroring
+/// [`crate::pipeline::PreparedTask::split`]'s parameters and key.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitRequest {
+    /// Per-flow (correct) or per-packet (leaky) assignment.
+    pub policy: SplitPolicy,
+    /// Train fraction (keyed by its exact bit pattern).
+    pub train_frac: f64,
+    /// Per-flow cap (per-flow policy only; ignored per-packet).
+    pub max_flow_packets: usize,
+    /// Split RNG seed.
+    pub seed: u64,
+}
+
+/// What one out-of-core prepare call did (per stage: built fresh, or
+/// validated warm without decoding).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutOfCoreReport {
+    /// The shard directory was (re)generated rather than reused.
+    pub rebuilt_shards: bool,
+    /// Records in the shard directory (labelled + spurious).
+    pub shard_records: u64,
+    /// Cleaned records in the dataset artifact.
+    pub kept_records: u64,
+    /// The dataset artifact was streamed fresh.
+    pub dataset_built: bool,
+    /// The feature matrix was streamed fresh.
+    pub features_built: bool,
+    /// The token matrix was streamed fresh.
+    pub tokens_built: bool,
+    /// Number of split artifacts computed fresh.
+    pub splits_built: usize,
+}
+
+/// Per-(cache dir, dataset key) build locks: one streaming build in
+/// flight, concurrent callers block and then validate warm.
+fn stream_lock(token: &str) -> Arc<Mutex<()>> {
+    static LOCKS: Mutex<BTreeMap<String, Arc<Mutex<()>>>> = Mutex::new(BTreeMap::new());
+    LOCKS.lock().entry(token.to_string()).or_default().clone()
+}
+
+/// Ensure the prepare-chain artifacts for `(kind, seed, scale)` exist in
+/// `cache`'s disk tier, generating and preparing out of core via an
+/// `n_shards`-way shard directory under `shard_root`. Artifact keys and
+/// bytes are identical to the in-RAM [`crate::pipeline::TaskCache`]
+/// path; peak memory is bounded by the row-group size, not the dataset.
+pub fn prepare_out_of_core(
+    cache: &ArtifactCache,
+    shard_root: &Path,
+    kind: DatasetKind,
+    seed: u64,
+    scale: f64,
+    n_shards: usize,
+    opts: &OutOfCoreOptions,
+) -> Result<OutOfCoreReport, String> {
+    let spec = DatasetSpec::new(kind, seed).scaled(scale);
+    // Exactly TaskCache::get's dataset key — same content address, so
+    // the two paths serve each other's files.
+    let dataset_key =
+        [kind.name().to_string(), format!("{seed:016x}"), ((scale * 1000.0) as u64).to_string()];
+    let parts: Vec<&str> = dataset_key.iter().map(String::as_str).collect();
+    let ds_key = artifact_key::<DatasetArtifact>(&parts);
+    let ds_path = cache
+        .artifact_path::<DatasetArtifact>(&parts)
+        .ok_or("out-of-core prepare needs a disk tier (--cache-dir)")?;
+
+    let lock = stream_lock(&format!("{}|{ds_key}", ds_path.display()));
+    let _guard = lock.lock();
+
+    let mut report = OutOfCoreReport::default();
+
+    // Phase 0: generation — ensure the on-disk sharded trace.
+    let (shards, rebuilt) = ShardDir::ensure(shard_root, &spec, n_shards)?;
+    report.rebuilt_shards = rebuilt;
+    report.shard_records = shards.n_records();
+
+    // Phase A: the cleaned dataset artifact.
+    if ds_path.exists() && RowGroupFile::open(&ds_path, &ds_key).is_ok() {
+        cache.note_disk_hit();
+    } else {
+        stream_dataset_artifact(cache, &shards, &parts)?;
+        report.dataset_built = true;
+    }
+    let mut ds_file = RowGroupFile::open(&ds_path, &ds_key)?;
+    report.kept_records = ds_file.total_rows();
+    // The trailing group is the metadata (class table + clean report);
+    // everything before it is record chunks.
+    let record_groups =
+        ds_file.n_groups().checked_sub(1).ok_or("dataset artifact has no groups")?;
+
+    // Phase B: shallow feature matrix, group-aligned with the records.
+    if let Some(cfg) = opts.features {
+        let ip = if cfg.with_ip { "ip" } else { "no-ip" };
+        let mut fparts = parts.clone();
+        fparts.push(ip);
+        report.features_built = ensure_derived::<FeatureMatrix>(cache, &fparts, || {
+            let mut w = cache.group_writer::<FeatureMatrix>(&fparts)?;
+            for gi in 0..record_groups {
+                let records = records_from_bytes(&ds_file.read_group(gi)?)?;
+                let rows: Vec<_> = records.iter().map(|r| extract_features(r, cfg)).collect();
+                w.push_group(rows.len() as u64, &features_to_bytes(&rows))?;
+            }
+            w.finish()?;
+            Ok(())
+        })?;
+    }
+
+    // Phase C: token matrix.
+    if let Some((encoder, variant)) = opts.tokens {
+        let mut tparts = parts.clone();
+        tparts.extend([encoder.kind.name(), encoder.ablation.cache_tag(), variant.tag()]);
+        report.tokens_built = ensure_derived::<TokenMatrix>(cache, &tparts, || {
+            let mut w = cache.group_writer::<TokenMatrix>(&tparts)?;
+            for gi in 0..record_groups {
+                let records = records_from_bytes(&ds_file.read_group(gi)?)?;
+                let rows: Vec<Vec<u32>> = records
+                    .iter()
+                    .map(|rec| match variant {
+                        TokenVariant::Repeated => encoder.tokenize_packet_repeated(rec),
+                        TokenVariant::Padded => encoder.tokenize_packet_padded(rec),
+                    })
+                    .collect();
+                w.push_group(rows.len() as u64, &token_rows_to_bytes(&rows))?;
+            }
+            w.finish()?;
+            Ok(())
+        })?;
+    }
+
+    // Phase D: splits, on the 6-byte-per-record view.
+    let mut view: Option<FlowClassView> = None;
+    for req in &opts.splits {
+        let frac = format!("{:016x}", req.train_frac.to_bits());
+        let seed_hex = format!("{:016x}", req.seed);
+        let mfp = req.max_flow_packets.to_string();
+        let mut sparts = parts.clone();
+        match req.policy {
+            SplitPolicy::PerFlow => {
+                sparts.extend(["per-flow", frac.as_str(), mfp.as_str(), seed_hex.as_str()])
+            }
+            SplitPolicy::PerPacket => {
+                sparts.extend(["per-packet", frac.as_str(), seed_hex.as_str()])
+            }
+        }
+        let built = ensure_derived::<Split>(cache, &sparts, || {
+            if view.is_none() {
+                let mut v = FlowClassView::default();
+                for gi in 0..record_groups {
+                    for rec in records_from_bytes(&ds_file.read_group(gi)?)? {
+                        v.push(rec.class, rec.flow_id);
+                    }
+                }
+                view = Some(v);
+            }
+            let v = view.as_ref().expect("view just built");
+            let split = match req.policy {
+                SplitPolicy::PerFlow => {
+                    per_flow_split_on(v, req.train_frac, req.max_flow_packets, req.seed)
+                }
+                SplitPolicy::PerPacket => per_packet_split_on(v, req.train_frac, req.seed),
+            };
+            cache.store::<Split>(&sparts, split);
+            Ok(())
+        })?;
+        report.splits_built += usize::from(built);
+    }
+
+    Ok(report)
+}
+
+/// Warm-or-build for one derived artifact: a valid v2 frame on disk is
+/// a hit (no body decode); anything else runs `build`. Returns whether
+/// `build` ran.
+fn ensure_derived<A: crate::artifact::Artifact>(
+    cache: &ArtifactCache,
+    parts: &[&str],
+    build: impl FnOnce() -> Result<(), String>,
+) -> Result<bool, String> {
+    let key = artifact_key::<A>(parts);
+    let path = cache.artifact_path::<A>(parts).ok_or("derived artifact needs a disk tier")?;
+    if path.exists() && RowGroupFile::open(&path, &key).is_ok() {
+        cache.note_disk_hit();
+        return Ok(false);
+    }
+    build()?;
+    Ok(true)
+}
+
+/// Stream the merged shard trace through the clean mirror into a
+/// grouped dataset artifact: record chunks of [`ROW_GROUP_ROWS`], then
+/// the metadata group (class table + clean report) last — the exact
+/// byte layout of `DatasetArtifact::to_groups`.
+fn stream_dataset_artifact(
+    cache: &ArtifactCache,
+    shards: &ShardDir,
+    parts: &[&str],
+) -> Result<(), String> {
+    let mut writer = cache.group_writer::<DatasetArtifact>(parts)?;
+    let mut cleaner = StreamingCleaner::new();
+    let mut chunk: Vec<PacketRecord> = Vec::with_capacity(ROW_GROUP_ROWS);
+    for rec in shards.merged()? {
+        if !cleaner.accept(&rec.frame) {
+            continue;
+        }
+        if let Some(pr) = PacketRecord::from_trace_record(&rec) {
+            chunk.push(pr);
+            if chunk.len() == ROW_GROUP_ROWS {
+                writer.push_group(chunk.len() as u64, &records_to_bytes(&chunk))?;
+                chunk.clear();
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        writer.push_group(chunk.len() as u64, &records_to_bytes(&chunk))?;
+    }
+    writer.push_group(0, &dataset_meta_group(shards.classes(), &cleaner.finish()))?;
+    writer.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::TaskCache;
+    use dataset::task::Task;
+    use encoders::model::{EncoderModel, ModelKind};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn artifact_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("art-"))
+            .map(|p| {
+                (p.file_name().unwrap().to_str().unwrap().to_string(), std::fs::read(&p).unwrap())
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn out_of_core_artifacts_are_byte_identical_to_in_ram() {
+        let (seed, scale) = (5, 0.15);
+        let enc = EncoderModel::new(ModelKind::EtBert, 1);
+
+        // In-RAM reference: full prepare + derived products on disk.
+        let ram_dir = temp_dir("debunk-ooc-ram");
+        let cache = TaskCache::with_artifacts(Arc::new(ArtifactCache::new(Some(ram_dir.clone()))));
+        let prep = cache.get(Task::UstcBinary, seed, scale);
+        prep.features(FeatureConfig::default());
+        prep.tokens(&enc, TokenVariant::Repeated);
+        prep.split(SplitPolicy::PerFlow, 7.0 / 8.0, 1000, 9);
+        prep.split(SplitPolicy::PerPacket, 7.0 / 8.0, 0, 9);
+
+        // Out-of-core: same key space, different disk tier, sharded gen.
+        let ooc_dir = temp_dir("debunk-ooc-stream");
+        let shard_dir = temp_dir("debunk-ooc-shards");
+        let ooc = ArtifactCache::new(Some(ooc_dir.clone()));
+        let opts = OutOfCoreOptions {
+            features: Some(FeatureConfig::default()),
+            tokens: Some((&enc, TokenVariant::Repeated)),
+            splits: vec![
+                SplitRequest {
+                    policy: SplitPolicy::PerFlow,
+                    train_frac: 7.0 / 8.0,
+                    max_flow_packets: 1000,
+                    seed: 9,
+                },
+                SplitRequest {
+                    policy: SplitPolicy::PerPacket,
+                    train_frac: 7.0 / 8.0,
+                    max_flow_packets: 0,
+                    seed: 9,
+                },
+            ],
+        };
+        let report =
+            prepare_out_of_core(&ooc, &shard_dir, DatasetKind::UstcTfc, seed, scale, 3, &opts)
+                .unwrap();
+        assert!(report.dataset_built && report.features_built && report.tokens_built);
+        assert_eq!(report.splits_built, 2);
+        assert_eq!(report.kept_records as usize, prep.data.records.len());
+
+        let ram_files = artifact_files(&ram_dir);
+        let ooc_files = artifact_files(&ooc_dir);
+        assert_eq!(
+            ram_files.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            ooc_files.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            "same content addresses"
+        );
+        assert_eq!(ram_files.len(), 5, "prepared + features + tokens + two splits");
+        for ((name, ram), (_, ooc)) in ram_files.iter().zip(&ooc_files) {
+            assert_eq!(ram, ooc, "{name} differs between in-RAM and out-of-core writers");
+        }
+
+        std::fs::remove_dir_all(&ram_dir).ok();
+        std::fs::remove_dir_all(&ooc_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+
+    #[test]
+    fn warm_calls_validate_without_rebuilding() {
+        let ooc_dir = temp_dir("debunk-ooc-warm");
+        let shard_dir = temp_dir("debunk-ooc-warm-shards");
+        let cache = ArtifactCache::new(Some(ooc_dir.clone()));
+        let opts = OutOfCoreOptions {
+            features: Some(FeatureConfig::default()),
+            ..OutOfCoreOptions::default()
+        };
+        let cold = prepare_out_of_core(&cache, &shard_dir, DatasetKind::IscxVpn, 3, 0.1, 2, &opts)
+            .unwrap();
+        assert!(cold.rebuilt_shards && cold.dataset_built && cold.features_built);
+        let builds_after_cold = cache.stats().builds;
+
+        let warm = prepare_out_of_core(&cache, &shard_dir, DatasetKind::IscxVpn, 3, 0.1, 2, &opts)
+            .unwrap();
+        assert!(!warm.rebuilt_shards && !warm.dataset_built && !warm.features_built);
+        assert_eq!(warm.kept_records, cold.kept_records);
+        assert_eq!(cache.stats().builds, builds_after_cold, "warm call builds nothing");
+        assert!(cache.stats().disk_hits >= 2, "dataset + features validated as disk hits");
+
+        std::fs::remove_dir_all(&ooc_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+
+    #[test]
+    fn concurrent_out_of_core_builds_are_single_flight() {
+        let ooc_dir = temp_dir("debunk-ooc-flight");
+        let shard_dir = temp_dir("debunk-ooc-flight-shards");
+        let cache = ArtifactCache::new(Some(ooc_dir.clone()));
+        let reports: Vec<OutOfCoreReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        prepare_out_of_core(
+                            &cache,
+                            &shard_dir,
+                            DatasetKind::UstcTfc,
+                            7,
+                            0.1,
+                            2,
+                            &OutOfCoreOptions::default(),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            reports.iter().filter(|r| r.dataset_built).count(),
+            1,
+            "exactly one thread streamed the dataset"
+        );
+        assert!(reports.iter().all(|r| r.kept_records == reports[0].kept_records));
+        std::fs::remove_dir_all(&ooc_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+
+    #[test]
+    fn missing_disk_tier_is_an_error() {
+        let cache = ArtifactCache::new(None);
+        let err = prepare_out_of_core(
+            &cache,
+            Path::new("/nonexistent"),
+            DatasetKind::UstcTfc,
+            1,
+            0.1,
+            1,
+            &OutOfCoreOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("disk tier"), "{err}");
+    }
+}

@@ -12,11 +12,11 @@
 //! pattern from `nn::kernel` (each row a pure function of its record),
 //! so records stay byte-identical at any thread count.
 
-use crate::artifact::{Artifact, ArtifactCache};
+use crate::artifact::{Artifact, ArtifactCache, RowGroup, ROW_GROUP_ROWS};
 use crate::experiment::SplitPolicy;
 use dataset::clean::{clean_trace, CleanReport};
 use dataset::codec::{ByteReader, ByteWriter};
-use dataset::record::Prepared;
+use dataset::record::{read_classes, read_records, records_to_bytes, write_classes, Prepared};
 use dataset::split::{per_flow_split, per_packet_split, Split};
 use dataset::task::Task;
 use encoders::model::EncoderModel;
@@ -54,6 +54,56 @@ impl Artifact for DatasetArtifact {
         r.finish()?;
         Ok(DatasetArtifact { data: Arc::new(data), clean: Arc::new(clean) })
     }
+
+    /// v2 grouping: record chunks first, then one metadata group
+    /// (class table + clean report). The metadata goes **last** because
+    /// the streaming out-of-core writer only knows the clean report
+    /// after the final record chunk has been tallied.
+    fn to_groups(&self) -> Vec<RowGroup> {
+        let mut groups = dataset_record_groups(&self.data.records);
+        groups
+            .push(RowGroup { rows: 0, bytes: dataset_meta_group(&self.data.classes, &self.clean) });
+        groups
+    }
+
+    fn from_groups(groups: Vec<Vec<u8>>) -> Result<DatasetArtifact, String> {
+        let (meta, chunks) =
+            groups.split_last().ok_or("prepared artifact needs a metadata group")?;
+        let mut records = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut r = ByteReader::new(chunk);
+            records.extend(read_records(&mut r).map_err(|e| format!("record group {i}: {e}"))?);
+            r.finish().map_err(|e| format!("record group {i}: {e}"))?;
+        }
+        let mut r = ByteReader::new(meta);
+        let classes = read_classes(&mut r)?;
+        let clean = CleanReport::from_bytes(r.bytes()?)?;
+        r.finish()?;
+        Ok(DatasetArtifact {
+            data: Arc::new(Prepared { records, classes }),
+            clean: Arc::new(clean),
+        })
+    }
+}
+
+/// Chunk cleaned records into self-contained row groups of
+/// [`ROW_GROUP_ROWS`] records each.
+pub(crate) fn dataset_record_groups(records: &[dataset::record::PacketRecord]) -> Vec<RowGroup> {
+    records
+        .chunks(ROW_GROUP_ROWS)
+        .map(|chunk| RowGroup { rows: chunk.len() as u64, bytes: records_to_bytes(chunk) })
+        .collect()
+}
+
+/// Encode the trailing metadata group of a prepared-dataset artifact.
+pub(crate) fn dataset_meta_group(
+    classes: &[traffic_synth::ClassMeta],
+    clean: &CleanReport,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_classes(&mut w, classes);
+    w.bytes(&clean.to_bytes());
+    w.into_bytes()
 }
 
 /// Whole-dataset token matrix: one token row per record for a fixed
@@ -77,6 +127,21 @@ impl Artifact for TokenMatrix {
     fn from_bytes(bytes: &[u8]) -> Result<TokenMatrix, String> {
         token_rows_from_bytes(bytes).map(TokenMatrix)
     }
+
+    fn to_groups(&self) -> Vec<RowGroup> {
+        self.0
+            .chunks(ROW_GROUP_ROWS)
+            .map(|c| RowGroup { rows: c.len() as u64, bytes: token_rows_to_bytes(c) })
+            .collect()
+    }
+
+    fn from_groups(groups: Vec<Vec<u8>>) -> Result<TokenMatrix, String> {
+        let mut rows = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            rows.extend(token_rows_from_bytes(g).map_err(|e| format!("token group {i}: {e}"))?);
+        }
+        Ok(TokenMatrix(rows))
+    }
 }
 
 /// Whole-dataset shallow feature matrix (Table 12 vectors).
@@ -98,6 +163,21 @@ impl Artifact for FeatureMatrix {
 
     fn from_bytes(bytes: &[u8]) -> Result<FeatureMatrix, String> {
         features_from_bytes(bytes).map(FeatureMatrix)
+    }
+
+    fn to_groups(&self) -> Vec<RowGroup> {
+        self.0
+            .chunks(ROW_GROUP_ROWS)
+            .map(|c| RowGroup { rows: c.len() as u64, bytes: features_to_bytes(c) })
+            .collect()
+    }
+
+    fn from_groups(groups: Vec<Vec<u8>>) -> Result<FeatureMatrix, String> {
+        let mut rows = Vec::new();
+        for (i, g) in groups.iter().enumerate() {
+            rows.extend(features_from_bytes(g).map_err(|e| format!("feature group {i}: {e}"))?);
+        }
+        Ok(FeatureMatrix(rows))
     }
 }
 
@@ -123,7 +203,8 @@ pub enum TokenVariant {
 }
 
 impl TokenVariant {
-    fn tag(self) -> &'static str {
+    /// Cache-key tag (part of the token artifact's content address).
+    pub fn tag(self) -> &'static str {
         match self {
             TokenVariant::Repeated => "repeated",
             TokenVariant::Padded => "padded",

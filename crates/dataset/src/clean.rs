@@ -111,19 +111,52 @@ fn protocol_name(p: ProtocolId) -> &'static str {
 /// which the paper rejects — this only removes traffic that cannot
 /// belong to any class (ARP, DHCP, link-local chatter, ...).
 pub fn clean_trace(trace: &mut Trace) -> CleanReport {
-    let mut report = CleanReport { total_before: trace.records.len(), ..Default::default() };
-    trace.records.retain(|r| {
-        let id = identify(&r.frame);
+    let mut cleaner = StreamingCleaner::new();
+    trace.records.retain(|r| cleaner.accept(&r.frame));
+    cleaner.finish()
+}
+
+/// Streaming form of [`clean_trace`]: frames arrive one at a time (the
+/// out-of-core prepare path, where the trace is never resident) and the
+/// report accumulates incrementally. [`clean_trace`] delegates here, so
+/// the two paths cannot drift: `accept` returns `true` exactly when the
+/// batch cleaner would retain the frame, and `finish` yields a report
+/// byte-identical to the batch one over the same frame sequence.
+#[derive(Debug, Default)]
+pub struct StreamingCleaner {
+    report: CleanReport,
+}
+
+impl StreamingCleaner {
+    /// Fresh cleaner with an empty report.
+    pub fn new() -> StreamingCleaner {
+        StreamingCleaner::default()
+    }
+
+    /// Judge one frame; `true` means keep it. Tallies are updated either
+    /// way.
+    pub fn accept(&mut self, frame: &[u8]) -> bool {
+        self.report.total_before += 1;
+        let id = identify(frame);
         if id.is_spurious() {
-            *report.removed_by_protocol.entry(protocol_name(id).to_string()).or_default() += 1;
-            *report.removed_by_family.entry(id.family().to_string()).or_default() += 1;
+            *self.report.removed_by_protocol.entry(protocol_name(id).to_string()).or_default() += 1;
+            *self.report.removed_by_family.entry(id.family().to_string()).or_default() += 1;
             false
         } else {
+            self.report.total_after += 1;
             true
         }
-    });
-    report.total_after = trace.records.len();
-    report
+    }
+
+    /// Report so far (kept frames + tallies).
+    pub fn report(&self) -> &CleanReport {
+        &self.report
+    }
+
+    /// Consume the cleaner, yielding the final report.
+    pub fn finish(self) -> CleanReport {
+        self.report
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +181,24 @@ mod tests {
         let report = clean_trace(&mut t);
         assert_eq!(report.removed_fraction(), 0.0);
         assert!(report.removed_by_family.is_empty());
+    }
+
+    #[test]
+    fn streaming_cleaner_matches_batch_clean() {
+        let t = DatasetSpec { kind: DatasetKind::IscxVpn, seed: 9, flows_per_class: 2 }.generate();
+        let mut batch_trace = t.clone();
+        let batch = clean_trace(&mut batch_trace);
+
+        let mut cleaner = StreamingCleaner::new();
+        let kept: Vec<usize> =
+            (0..t.records.len()).filter(|&i| cleaner.accept(&t.records[i].frame)).collect();
+        let streamed = cleaner.finish();
+
+        assert_eq!(streamed.to_bytes(), batch.to_bytes(), "identical reports");
+        assert_eq!(kept.len(), batch_trace.records.len());
+        for (k, r) in kept.iter().zip(&batch_trace.records) {
+            assert_eq!(t.records[*k].frame, r.frame);
+        }
     }
 
     #[test]

@@ -50,52 +50,99 @@ pub fn ingest_packets(
     packets: &[PcapPacket],
     label_of: &dyn Fn(&ParsedFrame, &[u8]) -> Option<u16>,
 ) -> (Prepared, IngestStats) {
-    let mut stats = IngestStats { total: packets.len(), ..Default::default() };
-    let mut flow_ids: HashMap<FlowKey, (u32, EndpointKey)> = HashMap::new();
-    let mut records = Vec::new();
-    let mut max_class = 0u16;
+    let mut ingestor = Ingestor::new(label_of);
     for p in packets {
-        if identify(&p.data).is_spurious() {
-            stats.spurious += 1;
-            continue;
+        ingestor.push(p.timestamp(), &p.data);
+    }
+    ingestor.finish()
+}
+
+/// Push-based flow assembler behind [`ingest_packets`]: packets arrive
+/// one at a time (e.g. from an out-of-core shard stream or a live
+/// source) and only the flow-id table — not the packets — is held
+/// across calls, so ingest memory is bounded by the flow count, not the
+/// capture size, when the caller drains [`Ingestor::take_records`]
+/// between chunks.
+pub struct Ingestor<'a> {
+    label_of: &'a dyn Fn(&ParsedFrame, &[u8]) -> Option<u16>,
+    stats: IngestStats,
+    flow_ids: HashMap<FlowKey, (u32, EndpointKey)>,
+    records: Vec<PacketRecord>,
+    max_class: u16,
+}
+
+impl<'a> Ingestor<'a> {
+    /// New assembler; `label_of` as in [`ingest_pcap`].
+    pub fn new(label_of: &'a dyn Fn(&ParsedFrame, &[u8]) -> Option<u16>) -> Ingestor<'a> {
+        Ingestor {
+            label_of,
+            stats: IngestStats::default(),
+            flow_ids: HashMap::new(),
+            records: Vec::new(),
+            max_class: 0,
         }
-        let Ok(parsed) = ParsedFrame::parse(&p.data) else {
-            stats.unparseable += 1;
-            continue;
+    }
+
+    /// Push one packet. Returns `true` when the packet was kept.
+    pub fn push(&mut self, ts: f64, frame: &[u8]) -> bool {
+        self.stats.total += 1;
+        if identify(frame).is_spurious() {
+            self.stats.spurious += 1;
+            return false;
+        }
+        let Ok(parsed) = ParsedFrame::parse(frame) else {
+            self.stats.unparseable += 1;
+            return false;
         };
-        let Some(class) = label_of(&parsed, &p.data) else {
-            stats.unlabelled += 1;
-            continue;
+        let Some(class) = (self.label_of)(&parsed, frame) else {
+            self.stats.unlabelled += 1;
+            return false;
         };
-        max_class = max_class.max(class);
         let Some(key) = parsed.flow_key() else {
-            stats.unparseable += 1;
-            continue;
+            self.stats.unparseable += 1;
+            return false;
         };
-        let next_id = flow_ids.len() as u32;
+        self.max_class = self.max_class.max(class);
+        let next_id = self.flow_ids.len() as u32;
         let sender = sender_key(&parsed);
-        let (flow_id, client) = *flow_ids.entry(key).or_insert((next_id, sender));
-        records.push(PacketRecord {
-            ts: p.timestamp(),
-            frame: p.data.clone(),
+        let (flow_id, client) = *self.flow_ids.entry(key).or_insert((next_id, sender));
+        self.records.push(PacketRecord {
+            ts,
+            frame: frame.to_vec(),
             parsed,
             class,
             flow_id,
             from_client: sender == client,
         });
+        self.stats.kept += 1;
+        true
     }
-    stats.kept = records.len();
-    stats.flows = flow_ids.len();
-    let classes = (0..=max_class)
-        .map(|c| traffic_synth::trace::ClassMeta {
-            class: c,
-            name: format!("class{c}"),
-            service: 0,
-            is_vpn: false,
-            is_malware: false,
-        })
-        .collect();
-    (Prepared { records, classes }, stats)
+
+    /// Drain the records accumulated since the last drain, keeping the
+    /// flow table (chunked out-of-core consumption).
+    pub fn take_records(&mut self) -> Vec<PacketRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Statistics so far (`kept`/`flows` are finalised by `finish`).
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Finish: synthesise the class table and final statistics.
+    pub fn finish(mut self) -> (Prepared, IngestStats) {
+        self.stats.flows = self.flow_ids.len();
+        let classes = (0..=self.max_class)
+            .map(|c| traffic_synth::trace::ClassMeta {
+                class: c,
+                name: format!("class{c}"),
+                service: 0,
+                is_vpn: false,
+                is_malware: false,
+            })
+            .collect();
+        (Prepared { records: self.records, classes }, self.stats)
+    }
 }
 
 /// Opaque per-endpoint key used for direction inference.
@@ -216,5 +263,35 @@ mod tests {
     #[test]
     fn bad_pcap_rejected() {
         assert!(ingest_pcap(&[1, 2, 3], &|_, _| Some(0)).is_err());
+    }
+
+    #[test]
+    fn chunked_ingestor_matches_batch_ingest() {
+        // Push + drain in small chunks must assemble exactly the flows
+        // and records of the one-shot path: the flow table is the only
+        // state carried across drains.
+        let bytes = capture();
+        let packets = pcap::read_all(&bytes[..]).unwrap();
+        let labeller = |_: &ParsedFrame, _: &[u8]| Some(0u16);
+        let (batch, batch_stats) = ingest_packets(&packets, &labeller);
+
+        let mut ing = Ingestor::new(&labeller);
+        let mut records = Vec::new();
+        for chunk in packets.chunks(13) {
+            for p in chunk {
+                ing.push(p.timestamp(), &p.data);
+            }
+            records.extend(ing.take_records());
+        }
+        let (rest, stats) = ing.finish();
+        records.extend(rest.records);
+
+        assert_eq!(stats, batch_stats);
+        assert_eq!(records.len(), batch.records.len());
+        for (a, b) in records.iter().zip(&batch.records) {
+            assert_eq!(a.ts.to_bits(), b.ts.to_bits());
+            assert_eq!(a.frame, b.frame);
+            assert_eq!((a.class, a.flow_id, a.from_client), (b.class, b.flow_id, b.from_client));
+        }
     }
 }

@@ -81,22 +81,8 @@ impl Prepared {
     /// drift from the parser.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.u64(self.records.len() as u64);
-        for r in &self.records {
-            w.f64(r.ts);
-            w.bytes(&r.frame);
-            w.u16(r.class);
-            w.u32(r.flow_id);
-            w.bool(r.from_client);
-        }
-        w.u64(self.classes.len() as u64);
-        for c in &self.classes {
-            w.u16(c.class);
-            w.str(&c.name);
-            w.u8(c.service);
-            w.bool(c.is_vpn);
-            w.bool(c.is_malware);
-        }
+        write_records(&mut w, &self.records);
+        write_classes(&mut w, &self.classes);
         w.into_bytes()
     }
 
@@ -106,29 +92,8 @@ impl Prepared {
     /// silently shorter dataset.
     pub fn from_bytes(bytes: &[u8]) -> Result<Prepared, String> {
         let mut r = ByteReader::new(bytes);
-        let n = r.count(19)?;
-        let mut records = Vec::with_capacity(n);
-        for i in 0..n {
-            let ts = r.f64()?;
-            let frame = r.bytes()?.to_vec();
-            let parsed =
-                ParsedFrame::parse(&frame).map_err(|e| format!("record {i}: bad frame: {e}"))?;
-            let class = r.u16()?;
-            let flow_id = r.u32()?;
-            let from_client = r.bool()?;
-            records.push(PacketRecord { ts, frame, parsed, class, flow_id, from_client });
-        }
-        let nc = r.count(9)?;
-        let mut classes = Vec::with_capacity(nc);
-        for _ in 0..nc {
-            classes.push(ClassMeta {
-                class: r.u16()?,
-                name: r.str()?,
-                service: r.u8()?,
-                is_vpn: r.bool()?,
-                is_malware: r.bool()?,
-            });
-        }
+        let records = read_records(&mut r)?;
+        let classes = read_classes(&mut r)?;
         r.finish()?;
         Ok(Prepared { records, classes })
     }
@@ -152,6 +117,84 @@ impl Prepared {
             })
             .collect()
     }
+}
+
+/// Write `u64 n` + `n` records — the record half of the
+/// [`Prepared::to_bytes`] layout, exposed so row-chunked artifact
+/// encodings (DBAF v2 groups, the out-of-core prepare path) can emit
+/// self-contained record chunks that concatenate consistently with the
+/// whole-dataset codec.
+pub fn write_records(w: &mut ByteWriter, records: &[PacketRecord]) {
+    w.u64(records.len() as u64);
+    for r in records {
+        w.f64(r.ts);
+        w.bytes(&r.frame);
+        w.u16(r.class);
+        w.u32(r.flow_id);
+        w.bool(r.from_client);
+    }
+}
+
+/// Read a [`write_records`] block, re-parsing every frame.
+pub fn read_records(r: &mut ByteReader) -> Result<Vec<PacketRecord>, String> {
+    let n = r.count(19)?;
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let ts = r.f64()?;
+        let frame = r.bytes()?.to_vec();
+        let parsed =
+            ParsedFrame::parse(&frame).map_err(|e| format!("record {i}: bad frame: {e}"))?;
+        let class = r.u16()?;
+        let flow_id = r.u32()?;
+        let from_client = r.bool()?;
+        records.push(PacketRecord { ts, frame, parsed, class, flow_id, from_client });
+    }
+    Ok(records)
+}
+
+/// Write `u64 n` + `n` class-table entries (the class half of the
+/// [`Prepared::to_bytes`] layout).
+pub fn write_classes(w: &mut ByteWriter, classes: &[ClassMeta]) {
+    w.u64(classes.len() as u64);
+    for c in classes {
+        w.u16(c.class);
+        w.str(&c.name);
+        w.u8(c.service);
+        w.bool(c.is_vpn);
+        w.bool(c.is_malware);
+    }
+}
+
+/// Read a [`write_classes`] block.
+pub fn read_classes(r: &mut ByteReader) -> Result<Vec<ClassMeta>, String> {
+    let nc = r.count(9)?;
+    let mut classes = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        classes.push(ClassMeta {
+            class: r.u16()?,
+            name: r.str()?,
+            service: r.u8()?,
+            is_vpn: r.bool()?,
+            is_malware: r.bool()?,
+        });
+    }
+    Ok(classes)
+}
+
+/// Encode a standalone record chunk (`u64 n` + records).
+pub fn records_to_bytes(records: &[PacketRecord]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_records(&mut w, records);
+    w.into_bytes()
+}
+
+/// Decode a standalone [`records_to_bytes`] chunk (rejects trailing
+/// bytes).
+pub fn records_from_bytes(bytes: &[u8]) -> Result<Vec<PacketRecord>, String> {
+    let mut r = ByteReader::new(bytes);
+    let records = read_records(&mut r)?;
+    r.finish()?;
+    Ok(records)
 }
 
 #[cfg(test)]

@@ -55,14 +55,81 @@ impl Split {
     }
 }
 
+/// The per-record facts splitting actually needs — class and flow id —
+/// without the frames. 6 bytes per record instead of a full
+/// [`Prepared`], so the out-of-core prepare path can split a dataset it
+/// never fully materialises. Splits computed on a view are
+/// byte-identical to splits computed on the `Prepared` it mirrors
+/// (the in-RAM entry points delegate here).
+#[derive(Debug, Clone, Default)]
+pub struct FlowClassView {
+    /// Class label of each record, by record index.
+    pub class_of: Vec<u16>,
+    /// Flow id of each record, by record index.
+    pub flow_of: Vec<u32>,
+}
+
+impl FlowClassView {
+    /// Project a prepared dataset down to its split view.
+    pub fn of(data: &Prepared) -> FlowClassView {
+        let mut view = FlowClassView::default();
+        for r in &data.records {
+            view.push(r.class, r.flow_id);
+        }
+        view
+    }
+
+    /// Append one record's facts (streaming construction).
+    pub fn push(&mut self, class: u16, flow_id: u32) {
+        self.class_of.push(class);
+        self.flow_of.push(flow_id);
+    }
+
+    /// Number of records in the view.
+    pub fn len(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.class_of.is_empty()
+    }
+
+    /// Group record indices by flow id, ordered by first appearance —
+    /// the same grouping as [`Prepared::flows`].
+    fn flows(&self) -> Vec<(u32, Vec<usize>)> {
+        let mut order: Vec<u32> = Vec::new();
+        let mut map: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, &id) in self.flow_of.iter().enumerate() {
+            let e = map.entry(id).or_default();
+            if e.is_empty() {
+                order.push(id);
+            }
+            e.push(i);
+        }
+        order
+            .into_iter()
+            .map(|id| {
+                let idxs = map.remove(&id).expect("flow id recorded in order list");
+                (id, idxs)
+            })
+            .collect()
+    }
+}
+
 /// Per-packet split: shuffle each class's packets and cut at
 /// `train_frac` (paper: 8:1:1 — the validation part is carved from
 /// `train` later by K-fold). **Leaks implicit flow IDs by design.**
 pub fn per_packet_split(data: &Prepared, train_frac: f64, seed: u64) -> Split {
+    per_packet_split_on(&FlowClassView::of(data), train_frac, seed)
+}
+
+/// [`per_packet_split`] on a [`FlowClassView`] (byte-identical result).
+pub fn per_packet_split_on(view: &FlowClassView, train_frac: f64, seed: u64) -> Split {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut by_class: HashMap<u16, Vec<usize>> = HashMap::new();
-    for (i, r) in data.records.iter().enumerate() {
-        by_class.entry(r.class).or_default().push(i);
+    for (i, &class) in view.class_of.iter().enumerate() {
+        by_class.entry(class).or_default().push(i);
     }
     let mut split = Split::default();
     let mut classes: Vec<_> = by_class.into_iter().collect();
@@ -98,11 +165,21 @@ pub fn per_flow_split(
     max_flow_packets: usize,
     seed: u64,
 ) -> Split {
+    per_flow_split_on(&FlowClassView::of(data), train_frac, max_flow_packets, seed)
+}
+
+/// [`per_flow_split`] on a [`FlowClassView`] (byte-identical result).
+pub fn per_flow_split_on(
+    view: &FlowClassView,
+    train_frac: f64,
+    max_flow_packets: usize,
+    seed: u64,
+) -> Split {
     let mut rng = StdRng::seed_from_u64(seed);
     // class -> [(flow_id, indices)]
     let mut by_class: HashMap<u16, Vec<(u32, Vec<usize>)>> = HashMap::new();
-    for (flow_id, idxs) in data.flows() {
-        let class = data.records[idxs[0]].class;
+    for (flow_id, idxs) in view.flows() {
+        let class = view.class_of[idxs[0]];
         by_class.entry(class).or_default().push((flow_id, idxs));
     }
     let mut split = Split::default();
@@ -485,5 +562,23 @@ mod tests {
     fn derive_seed_varies_by_tag() {
         assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
         assert_eq!(derive_seed(1, "a"), derive_seed(1, "a"));
+    }
+
+    #[test]
+    fn view_splits_are_byte_identical_to_prepared_splits() {
+        // A streamingly-built view must split exactly like the full
+        // dataset — this is what lets the out-of-core path reuse the
+        // cached split artifacts of the in-RAM path.
+        let d = prepared();
+        let mut view = FlowClassView::default();
+        for r in &d.records {
+            view.push(r.class, r.flow_id);
+        }
+        let a = per_flow_split(&d, 0.8, 50, 7);
+        let b = per_flow_split_on(&view, 0.8, 50, 7);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        let a = per_packet_split(&d, 0.8, 7);
+        let b = per_packet_split_on(&view, 0.8, 7);
+        assert_eq!(a.to_bytes(), b.to_bytes());
     }
 }

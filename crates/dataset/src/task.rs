@@ -83,6 +83,25 @@ impl Task {
     pub fn labels(&self, data: &Prepared, indices: &[usize]) -> Vec<u16> {
         indices.iter().map(|&i| self.label_of(data, &data.records[i])).collect()
     }
+
+    /// Map a class id to this task's label given only the class table —
+    /// the out-of-core path, where per-record classes are known (e.g.
+    /// from a [`crate::split::FlowClassView`]) but full packet records
+    /// are not resident.
+    pub fn label_of_class(&self, classes: &[ClassMeta], class: u16) -> u16 {
+        self.label_of_meta(&classes[class as usize])
+    }
+
+    /// Build the label vector for record indices given a per-record
+    /// class vector and the class table, without a [`Prepared`] in RAM.
+    pub fn labels_of_classes(
+        &self,
+        classes: &[ClassMeta],
+        class_of: &[u16],
+        indices: &[usize],
+    ) -> Vec<u16> {
+        indices.iter().map(|&i| self.label_of_class(classes, class_of[i])).collect()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +136,17 @@ mod tests {
         let expected = [2usize, 6, 16, 2, 20, 120];
         for (t, e) in Task::ALL.iter().zip(expected) {
             assert_eq!(t.n_classes(), e, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn class_view_labels_match_record_labels() {
+        let t = DatasetSpec { kind: DatasetKind::UstcTfc, seed: 3, flows_per_class: 2 }.generate();
+        let d = Prepared::from_trace(&t);
+        let class_of: Vec<u16> = d.records.iter().map(|r| r.class).collect();
+        let idx: Vec<usize> = (0..d.records.len()).collect();
+        for task in [Task::UstcBinary, Task::UstcApp] {
+            assert_eq!(task.labels(&d, &idx), task.labels_of_classes(&d.classes, &class_of, &idx));
         }
     }
 

@@ -11,11 +11,13 @@
 //!     target — an explicit accuracy-vs-throughput trade, never a
 //!     silent substitute for the f32 encoder.
 //!
-//! serve run --models DIR (--pcap FILE | --synth SPEC)
+//! serve run --models DIR (--pcap FILE | --synth SPEC | --shard-dir DIR)
 //!           [--policy FILE] [--batch N] [--idle-timeout SECS]
 //!           [--out FILE] [--metrics-dir DIR] [--log-format text|json]
 //!     Replay packets through the frozen bundle and emit one JSONL
-//!     verdict per flow (stdout by default).
+//!     verdict per flow (stdout by default). `--shard-dir` streams an
+//!     on-disk flow-sharded trace (written by `traffic-gen --shards`)
+//!     in bounded memory — the million-flow replay source.
 //! ```
 //!
 //! SPEC is `<iscx|ustc|cstnet>:<seed>:<flows_per_class>`. With no
@@ -26,7 +28,7 @@ use dataset::record::Prepared;
 use debunk_core::obs::{LogFormat, ObsSink};
 use serving::engine::{serve_stream, ServeOptions};
 use serving::policy::Policy;
-use serving::source::{from_pcap_file, ReplayPacket, SynthSpec};
+use serving::source::{from_pcap_file, from_shard_dir, ReplayPacket, SynthSpec};
 use serving::ModelBundle;
 use std::io::Write;
 use std::path::PathBuf;
@@ -35,7 +37,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage:
   serve export --out DIR [--synth SPEC] [--seed N] [--quant int8]
-  serve run --models DIR (--pcap FILE | --synth SPEC)
+  serve run --models DIR (--pcap FILE | --synth SPEC | --shard-dir DIR)
             [--policy FILE] [--batch N] [--idle-timeout SECS]
             [--out FILE] [--metrics-dir DIR] [--log-format text|json]
 
@@ -126,6 +128,10 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage_err(&e),
     };
+    let shard_dir = match take_value(&mut args, "--shard-dir") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
     let policy_path = match take_value(&mut args, "--policy") {
         Ok(v) => v,
         Err(e) => return usage_err(&e),
@@ -165,17 +171,29 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
     if let Some(extra) = args.first() {
         return usage_err(&format!("unexpected argument '{extra}'"));
     }
-    let packets: Vec<ReplayPacket> = match (&pcap, &synth) {
-        (Some(_), Some(_)) => return usage_err("--pcap and --synth are mutually exclusive"),
-        (None, None) => return usage_err("run needs --pcap FILE or --synth SPEC"),
-        (Some(path), None) => match from_pcap_file(&PathBuf::from(path)) {
-            Ok(p) => p,
+    let n_sources =
+        [pcap.is_some(), synth.is_some(), shard_dir.is_some()].iter().filter(|&&b| b).count();
+    if n_sources != 1 {
+        return usage_err("run needs exactly one of --pcap FILE, --synth SPEC, --shard-dir DIR");
+    }
+    let packets: Box<dyn Iterator<Item = ReplayPacket>> = if let Some(path) = &pcap {
+        match from_pcap_file(&PathBuf::from(path)) {
+            Ok(p) => Box::new(p.into_iter()),
             Err(e) => return run_err(&e),
-        },
-        (None, Some(spec)) => match SynthSpec::parse(spec) {
-            Ok(s) => s.replay(),
+        }
+    } else if let Some(spec) = &synth {
+        match SynthSpec::parse(spec) {
+            Ok(s) => Box::new(s.replay().into_iter()),
             Err(e) => return usage_err(&e),
-        },
+        }
+    } else {
+        // --shard-dir: stream the on-disk merged trace in bounded memory;
+        // the engine never sees the whole capture at once.
+        let dir = shard_dir.as_deref().expect("source checked above");
+        match from_shard_dir(&PathBuf::from(dir)) {
+            Ok(it) => Box::new(it),
+            Err(e) => return run_err(&e),
+        }
     };
     let policy = match &policy_path {
         None => Policy::route_all("encoder"),
@@ -207,14 +225,14 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         None => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            serve_stream(&bundle, &policy, &packets, &opts, &mut lock, &sink)
+            serve_stream(&bundle, &policy, packets, &opts, &mut lock, &sink)
         }
         Some(path) => {
             let mut file = match std::fs::File::create(path) {
                 Ok(f) => std::io::BufWriter::new(f),
                 Err(e) => return run_err(&format!("cannot create {path}: {e}")),
             };
-            serve_stream(&bundle, &policy, &packets, &opts, &mut file, &sink)
+            serve_stream(&bundle, &policy, packets, &opts, &mut file, &sink)
                 .and_then(|stats| file.flush().map(|()| stats))
         }
     };

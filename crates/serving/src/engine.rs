@@ -217,14 +217,23 @@ fn classify_batch(
 /// Every policy target must be one of `encoder`, `forest`, `gbdt`,
 /// `knn`, `drop` — an unknown target is refused before the first packet
 /// rather than mid-stream.
-pub fn serve_stream(
+///
+/// `packets` is any replay source: a borrowed `&[ReplayPacket]` (the
+/// in-memory benches), or an owning iterator such as the shard-dir
+/// stream — the engine holds only the flow table, never the replay, so
+/// an out-of-core source serves in bounded memory.
+pub fn serve_stream<I>(
     bundle: &ModelBundle,
     policy: &Policy,
-    packets: &[ReplayPacket],
+    packets: I,
     opts: &ServeOptions,
     out: &mut dyn Write,
     sink: &ObsSink,
-) -> io::Result<ServeStats> {
+) -> io::Result<ServeStats>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<ReplayPacket>,
+{
     for t in policy.targets() {
         match ModelTarget::parse(t) {
             None => {
@@ -270,6 +279,7 @@ pub fn serve_stream(
     };
 
     for p in packets {
+        let p = std::borrow::Borrow::borrow(&p);
         let t0 = Instant::now();
         stats.packets += 1;
         match table.push(p.ts, &p.frame) {

@@ -24,6 +24,7 @@ pub mod faults;
 pub mod flow;
 pub mod profile;
 pub mod recipes;
+pub mod stream;
 pub mod trace;
 
 pub use profile::AppProfile;

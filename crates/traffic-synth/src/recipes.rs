@@ -7,12 +7,12 @@
 //! | `UstcTfc`       | 20 apps (10 benign, 10 malware) | USTC-binary, USTC-app  |
 //! | `CstnetTls120`  | 120 websites (handshake-stripped TLS) | TLS-120          |
 
-use crate::flow::synth_flow;
 use crate::profile::{AppProfile, TransportKind};
+use crate::stream::FlowPlan;
 use crate::trace::{ClassMeta, Trace};
 use net_packet::ipv4::Ipv4Addr;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Which of the paper's datasets to synthesise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,21 +85,17 @@ impl DatasetSpec {
     }
 
     /// Synthesise the labelled trace (spurious traffic included).
+    ///
+    /// Every flow draws from its own FNV-derived RNG (see
+    /// [`crate::stream::FlowPlan`]), so this fully in-RAM path and the
+    /// sharded [`crate::stream::StreamingTrace`] iterator produce
+    /// byte-identical traces at any shard count — an equivalence the
+    /// `stream` tests assert record-for-record.
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let (classes, profiles, strip) = self.class_table(&mut rng);
-        let mut trace = Trace { records: Vec::new(), classes };
-        let mut flow_id: u32 = 0;
-        for profile in &profiles {
-            let n_flows =
-                ((self.flows_per_class as f64) * profile.volume_weight).round().max(2.0) as usize;
-            for _ in 0..n_flows {
-                let client = Ipv4Addr::new(192, 168, 1, rng.gen_range(2..250));
-                let start = rng.gen_range(0.0..600.0);
-                let f = synth_flow(profile, client, start, &mut rng, strip);
-                trace.push_flow(profile.class, flow_id, f.packets);
-                flow_id += 1;
-            }
+        let plan = FlowPlan::new(self);
+        let mut trace = Trace { records: Vec::new(), classes: plan.classes().to_vec() };
+        for flow_id in 0..plan.n_flows() {
+            plan.flow_records(flow_id as u32, &mut trace.records);
         }
         trace.sort_by_time();
         let mut srng = StdRng::seed_from_u64(self.seed ^ 0x5f5f);
@@ -107,8 +103,10 @@ impl DatasetSpec {
         trace
     }
 
-    /// Build the class table and profiles for this dataset.
-    fn class_table(&self, rng: &mut StdRng) -> (Vec<ClassMeta>, Vec<AppProfile>, bool) {
+    /// Build the class table and profiles for this dataset. Pure —
+    /// everything is derived from the spec, no RNG involved, so shards
+    /// can resolve the plan independently.
+    pub(crate) fn class_table(&self) -> (Vec<ClassMeta>, Vec<AppProfile>, bool) {
         match self.kind {
             DatasetKind::IscxVpn => {
                 // 16 applications over 6 services; half VPN-tunnelled.
@@ -158,7 +156,6 @@ impl DatasetSpec {
                     });
                     profiles.push(p);
                 }
-                let _ = rng;
                 (classes, profiles, false)
             }
             DatasetKind::UstcTfc => {
@@ -208,7 +205,6 @@ impl DatasetSpec {
                     });
                     profiles.push(p);
                 }
-                let _ = rng;
                 (classes, profiles, false)
             }
             DatasetKind::CstnetTls120 => {
@@ -228,7 +224,6 @@ impl DatasetSpec {
                     });
                     profiles.push(p);
                 }
-                let _ = rng;
                 (classes, profiles, true)
             }
         }

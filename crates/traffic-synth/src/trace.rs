@@ -84,39 +84,15 @@ impl Trace {
     /// final trace is extraneous protocol chatter (paper: ISCX ≈ 5%,
     /// USTC ≈ 10%, CSTNET 0%).
     pub fn inject_spurious(&mut self, fraction: f64, rng: &mut StdRng) {
-        if fraction <= 0.0 || self.records.is_empty() {
+        if self.records.is_empty() {
             return;
         }
-        let n = ((self.records.len() as f64) * fraction / (1.0 - fraction)).round() as usize;
         let t_max = self.records.iter().map(|r| r.ts).fold(0.0f64, f64::max);
-        let mac = MacAddr([0x02, 0, 0, 0, 0, 0x77]);
-        let host = Ipv4Addr::new(192, 168, 1, rng.gen_range(2..250));
-        for _ in 0..n {
-            let ts = rng.gen_range(0.0..t_max.max(1.0));
-            let frame = match rng.gen_range(0..10) {
-                0 => spurious::arp_request(
-                    mac,
-                    host,
-                    Ipv4Addr::new(192, 168, 1, rng.gen_range(1..254)),
-                ),
-                1 => spurious::dhcp_discover(mac, rng.gen()),
-                2 => spurious::mdns_query(mac, host, "_companion-link._tcp.local"),
-                3 => spurious::llmnr_query(mac, host, "workstation"),
-                4 => spurious::nbns_query(mac, host, "WORKGROUP"),
-                5 => spurious::ssdp_msearch(mac, host),
-                6 => spurious::ntp_request(mac, host, Ipv4Addr::new(17, 253, 14, 125)),
-                7 => spurious::stun_binding(mac, host, Ipv4Addr::new(74, 125, 250, 129)),
-                8 => spurious::igmp_report(mac, host, Ipv4Addr::new(224, 0, 0, 251)),
-                _ => spurious::icmp_ping(mac, host, Ipv4Addr::new(8, 8, 8, 8), rng.gen()),
-            };
-            self.records.push(TraceRecord {
-                ts,
-                frame,
-                class: SPURIOUS_CLASS,
-                flow_id: u32::MAX,
-                from_client: true,
-            });
+        let run = spurious_run(self.records.len(), fraction, t_max, rng);
+        if run.is_empty() {
+            return;
         }
+        self.records.extend(run);
         self.sort_by_time();
     }
 
@@ -126,6 +102,54 @@ impl Trace {
             self.records.iter().map(|r| PcapPacket::at(r.ts, r.frame.clone())).collect();
         pcap::write_all(&packets)
     }
+}
+
+/// Generate the spurious-traffic records for a trace of `labelled`
+/// packets whose latest timestamp is `t_max`: exactly the records
+/// [`Trace::inject_spurious`] appends, in generation order (unsorted).
+///
+/// Factored out of `inject_spurious` so the streaming generator
+/// ([`crate::stream::StreamingTrace`]) can emit the same records as a
+/// final run after all flow shards have been tallied — the spurious
+/// count and time span depend on the whole labelled trace.
+pub fn spurious_run(
+    labelled: usize,
+    fraction: f64,
+    t_max: f64,
+    rng: &mut StdRng,
+) -> Vec<TraceRecord> {
+    if fraction <= 0.0 || labelled == 0 {
+        return Vec::new();
+    }
+    let n = ((labelled as f64) * fraction / (1.0 - fraction)).round() as usize;
+    let mac = MacAddr([0x02, 0, 0, 0, 0, 0x77]);
+    let host = Ipv4Addr::new(192, 168, 1, rng.gen_range(2..250));
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ts = rng.gen_range(0.0..t_max.max(1.0));
+        let frame = match rng.gen_range(0..10) {
+            0 => {
+                spurious::arp_request(mac, host, Ipv4Addr::new(192, 168, 1, rng.gen_range(1..254)))
+            }
+            1 => spurious::dhcp_discover(mac, rng.gen()),
+            2 => spurious::mdns_query(mac, host, "_companion-link._tcp.local"),
+            3 => spurious::llmnr_query(mac, host, "workstation"),
+            4 => spurious::nbns_query(mac, host, "WORKGROUP"),
+            5 => spurious::ssdp_msearch(mac, host),
+            6 => spurious::ntp_request(mac, host, Ipv4Addr::new(17, 253, 14, 125)),
+            7 => spurious::stun_binding(mac, host, Ipv4Addr::new(74, 125, 250, 129)),
+            8 => spurious::igmp_report(mac, host, Ipv4Addr::new(224, 0, 0, 251)),
+            _ => spurious::icmp_ping(mac, host, Ipv4Addr::new(8, 8, 8, 8), rng.gen()),
+        };
+        out.push(TraceRecord {
+            ts,
+            frame,
+            class: SPURIOUS_CLASS,
+            flow_id: u32::MAX,
+            from_client: true,
+        });
+    }
+    out
 }
 
 #[cfg(test)]

@@ -129,3 +129,69 @@ fn labels_consistent_across_tasks() {
         assert_eq!(u16::from(meta.is_vpn), binary);
     }
 }
+
+#[test]
+fn out_of_core_artifacts_feed_the_cell_runners() {
+    use debunk::debunk_core::artifact::ArtifactCache;
+    use debunk::debunk_core::experiment::{CellConfig, SplitPolicy};
+    use debunk::debunk_core::outofcore::{prepare_out_of_core, OutOfCoreOptions, SplitRequest};
+    use debunk::debunk_core::pipeline::TaskCache;
+    use debunk::debunk_core::shallow_baselines::{run_shallow, ShallowModel};
+    use debunk::shallow::features::FeatureConfig;
+    use std::sync::Arc;
+
+    let (kind, seed, scale) = (DatasetKind::UstcTfc, 42, 0.15);
+    let cfg = CellConfig { max_train: 300, max_test: 300, kfolds: 2, ..CellConfig::default() };
+
+    // Prepare everything the RF cell needs via the streaming path.
+    let ooc_dir = std::env::temp_dir().join("debunk-ooc-cells");
+    let shard_dir = std::env::temp_dir().join("debunk-ooc-cells-shards");
+    std::fs::remove_dir_all(&ooc_dir).ok();
+    std::fs::remove_dir_all(&shard_dir).ok();
+    let opts = OutOfCoreOptions {
+        features: Some(FeatureConfig::default()),
+        splits: vec![SplitRequest {
+            policy: SplitPolicy::PerFlow,
+            train_frac: cfg.train_frac,
+            max_flow_packets: cfg.max_flow_packets,
+            seed: cfg.seed,
+        }],
+        ..OutOfCoreOptions::default()
+    };
+    prepare_out_of_core(
+        &ArtifactCache::new(Some(ooc_dir.clone())),
+        &shard_dir,
+        kind,
+        seed,
+        scale,
+        4,
+        &opts,
+    )
+    .unwrap();
+
+    // The real cell runner, fed exclusively from those files: every
+    // stage must come back as a disk hit, never a rebuild.
+    let arts = Arc::new(ArtifactCache::new(Some(ooc_dir.clone())));
+    let cache = TaskCache::with_artifacts(arts.clone());
+    let prep = cache.get(Task::UstcBinary, seed, scale);
+    let streamed =
+        run_shallow(&prep, ShallowModel::Rf, SplitPolicy::PerFlow, FeatureConfig::default(), &cfg);
+    assert_eq!(arts.stats().builds, 0, "cell runner rebuilt an artifact the streamer wrote");
+    assert!(arts.stats().disk_hits >= 3, "dataset + features + split should be disk hits");
+
+    // In-RAM reference run: identical metrics, bit for bit.
+    let ram = TaskCache::new();
+    let ram_prep = ram.get(Task::UstcBinary, seed, scale);
+    let reference = run_shallow(
+        &ram_prep,
+        ShallowModel::Rf,
+        SplitPolicy::PerFlow,
+        FeatureConfig::default(),
+        &cfg,
+    );
+    assert_eq!(streamed.accuracy.to_bits(), reference.accuracy.to_bits());
+    assert_eq!(streamed.macro_f1.to_bits(), reference.macro_f1.to_bits());
+
+    std::fs::remove_dir_all(&ooc_dir).ok();
+    std::fs::remove_dir_all(&shard_dir).ok();
+}
