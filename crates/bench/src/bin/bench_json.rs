@@ -73,7 +73,43 @@ const BASELINE_PRE_PR4_MS: &[(&str, f64)] = &[
     ("outofcore_gen_pps", f64::NAN),
     ("outofcore_prepare_pps", f64::NAN),
     ("outofcore_peak_rss_mb", f64::NAN),
+    // New in PR9 (multi-process sharded execution) — suite wall-clock
+    // of the table8 grid, cold cache, run single-process and through
+    // the coordinator at 1/2/4 worker processes. No earlier numbers.
+    ("multiproc_singleproc", f64::NAN),
+    ("multiproc_w1", f64::NAN),
+    ("multiproc_w2", f64::NAN),
+    ("multiproc_w4", f64::NAN),
 ];
+
+/// Machine fingerprint of the container every frozen baseline above was
+/// recorded on. `bench_json` warns when the current machine hashes
+/// differently: DESIGN.md §6e's within-machine rule means the
+/// `speedup_vs_baseline` column is meaningless across hardware (the
+/// historical sub-1× rows in `BENCH_pipeline.json` came from exactly
+/// that comparison).
+const BASELINE_MACHINE_FP: &str = "69c6f83503c0e10e";
+
+/// CPU model (first `model name` in `/proc/cpuinfo`) + logical core
+/// count, plus an FNV-1a hash of the two for cheap equality checks.
+fn machine_fingerprint() -> (String, usize, String) {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cpu.bytes().chain(cores.to_string().bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (cpu, cores, format!("{h:016x}"))
+}
 
 /// Frozen PR6 numbers (first release of the serving path; same
 /// container). Entries suffixed `_us` are microseconds, `_per_sec` is a
@@ -221,9 +257,89 @@ fn pipeline_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
             }),
         ));
         eprintln!("  registry warm done");
+        results.extend(multiproc_rows());
     }
     results.extend(outofcore_rows(quick));
     results
+}
+
+/// Suite wall-clock of the table8 grid run cold through `repro` as one
+/// process and through the coordinator at 1/2/4 worker processes, each
+/// against its own fresh cache. Hard-fails when any coordinator run's
+/// artifact build count differs from the single-process run's — the
+/// cross-process single-flight contract (one cold build per artifact
+/// across all workers) is what makes scale-out cheap, so a regression
+/// here is a bench failure, not a slow row.
+fn multiproc_rows() -> Vec<(&'static str, f64)> {
+    use debunk_core::engine::RunManifest;
+
+    let repro = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("repro")))
+        .filter(|p| p.exists())
+        .unwrap_or_else(|| {
+            eprintln!("error: repro binary not found next to bench_json (build all bins first)");
+            std::process::exit(1);
+        });
+    let root = std::env::temp_dir().join("debunk-bench-multiproc");
+    std::fs::remove_dir_all(&root).ok();
+    let mut rows: Vec<(&'static str, f64)> = Vec::new();
+    let mut builds: Vec<(&'static str, usize)> = Vec::new();
+    for (name, workers) in [
+        ("multiproc_singleproc", 0usize),
+        ("multiproc_w1", 1),
+        ("multiproc_w2", 2),
+        ("multiproc_w4", 4),
+    ] {
+        let out = root.join(name);
+        let mut cmd = std::process::Command::new(&repro);
+        cmd.arg("table8")
+            .arg("--fast")
+            .arg("--scale")
+            .arg("0.4")
+            .arg("--out")
+            .arg(&out)
+            .arg("--cache-dir")
+            .arg(out.join("cache"))
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if workers > 0 {
+            cmd.arg("--workers").arg(workers.to_string());
+        }
+        let t0 = Instant::now();
+        let status = cmd.status().unwrap_or_else(|e| {
+            eprintln!("error: could not run {}: {e}", repro.display());
+            std::process::exit(1);
+        });
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if !status.success() {
+            eprintln!("error: {name} run failed ({status})");
+            std::process::exit(1);
+        }
+        let manifest = std::fs::read_to_string(out.join("run-manifest.json"))
+            .ok()
+            .and_then(|s| RunManifest::from_json(&s).ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: {name} left no readable run-manifest.json");
+                std::process::exit(1);
+            });
+        eprintln!("  {name}: {ms:.0} ms, {} artifact builds", manifest.artifact_builds);
+        rows.push((name, ms));
+        builds.push((name, manifest.artifact_builds));
+    }
+    let single = builds[0].1;
+    for (name, b) in &builds[1..] {
+        if *b != single {
+            eprintln!(
+                "error: {name} built {b} artifacts, single-process built {single} — \
+                 cross-process single-flight regressed (duplicate cold builds)"
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("  multiproc sweep done ({single} builds at every worker count)");
+    std::fs::remove_dir_all(&root).ok();
+    rows
 }
 
 /// Out-of-core generation + prepare at the million-flow scale the
@@ -371,8 +487,28 @@ fn emit(
     baseline: &[(&str, f64)],
     out_path: &str,
 ) {
+    let (cpu, cores, fp) = machine_fingerprint();
+    if fp != BASELINE_MACHINE_FP {
+        eprintln!(
+            "warning: running on '{cpu}' ({cores} core(s), fingerprint {fp}) but the frozen \
+             baselines were recorded on fingerprint {BASELINE_MACHINE_FP}; \
+             speedup_vs_baseline compares across machines and is not meaningful \
+             (DESIGN.md §6e within-machine rule)"
+        );
+    }
     let mut json = format!("{{\n  \"schema\": \"{schema}\",\n");
-    json.push_str(&format!("  \"quick\": {quick},\n  \"results_ms\": {{\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"machine\": {{\n    \"cpu\": \"{}\",\n    \"cores\": {cores},\n    \
+         \"fingerprint\": \"{fp}\"\n  }},\n",
+        cpu.replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+    json.push_str(&format!(
+        "  \"baseline_machine_fingerprint\": \"{BASELINE_MACHINE_FP}\",\n  \
+         \"baseline_machine_matches\": {},\n",
+        fp == BASELINE_MACHINE_FP
+    ));
+    json.push_str("  \"results_ms\": {\n");
     for (i, (name, ms)) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
         if ms.is_nan() {

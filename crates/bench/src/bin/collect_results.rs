@@ -1,0 +1,145 @@
+//! `collect_results` — fold BENCH_*.json snapshots into the tracked
+//! perf-trajectory log `results/bench_history.jsonl`.
+//!
+//! ```text
+//! collect_results [--history PATH] [--git-sha SHA] FILE...
+//! ```
+//!
+//! Each input file (a `bench_json` output: kernels, pipeline or
+//! serving group) is appended as one compact JSONL line:
+//!
+//! ```text
+//! {"schema":"bench_history/v1","recorded_unix":N,"git_sha":"...",
+//!  "source":"BENCH_pipeline.json","bench":{...the whole snapshot...}}
+//! ```
+//!
+//! The snapshot is re-serialised compactly but structurally verbatim —
+//! schema, machine fingerprint, results and baselines all ride along,
+//! so the history line is self-describing even after the snapshot file
+//! itself is overwritten by the next run. Appending is idempotent per
+//! (git_sha, source): an existing line for the same commit and file is
+//! skipped, so re-running CI on a commit does not duplicate history.
+//!
+//! Exit codes: 0 — every input appended or already present; 1 — an
+//! input was unreadable/unparseable; 2 — bad usage.
+
+use debunk_core::engine::journal::{escape_json, format_f64, parse_json, Json};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Compact (no-whitespace) serialisation of a parsed JSON document.
+/// `format_f64` is shortest-roundtrip, so numbers survive the
+/// parse→serialise trip without drift.
+fn to_compact(j: &Json) -> String {
+    match j {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => format_f64(*n),
+        Json::Str(s) => format!("\"{}\"", escape_json(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(to_compact).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape_json(k), to_compact(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn usage() -> ! {
+    eprintln!("usage: collect_results [--history PATH] [--git-sha SHA] BENCH_FILE...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut history = PathBuf::from("results/bench_history.jsonl");
+    let mut sha: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--history" => history = PathBuf::from(it.next().cloned().unwrap_or_else(|| usage())),
+            "--git-sha" => sha = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+            file => inputs.push(file.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    let sha = sha.unwrap_or_else(git_sha);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+
+    let existing = std::fs::read_to_string(&history).unwrap_or_default();
+    if let Some(dir) = history.parent() {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+    }
+    let mut out =
+        std::fs::OpenOptions::new().create(true).append(true).open(&history).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {}: {e}", history.display());
+            std::process::exit(1);
+        });
+
+    let mut appended = 0;
+    for input in &inputs {
+        let content = std::fs::read_to_string(input).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {input}: {e}");
+            std::process::exit(1);
+        });
+        let bench = parse_json(&content).unwrap_or_else(|e| {
+            eprintln!("error: {input} is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        let source = Path::new(input)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| input.clone());
+        // Idempotency key: one line per (commit, snapshot file).
+        let marker = format!(
+            "\"git_sha\":\"{}\",\"source\":\"{}\"",
+            escape_json(&sha),
+            escape_json(&source)
+        );
+        if existing.contains(&marker) {
+            eprintln!("  [skip] {source} already recorded for {sha}");
+            continue;
+        }
+        let line = format!(
+            "{{\"schema\":\"bench_history/v1\",\"recorded_unix\":{now},{marker},\"bench\":{}}}\n",
+            to_compact(&bench)
+        );
+        out.write_all(line.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("error: cannot append to {}: {e}", history.display());
+            std::process::exit(1);
+        });
+        appended += 1;
+        eprintln!("  [appended] {source} @ {sha}");
+    }
+    out.flush().ok();
+    eprintln!("[saved] {} (+{appended} line(s))", history.display());
+}

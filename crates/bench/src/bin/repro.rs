@@ -33,6 +33,15 @@
 //!                    journal and manifest stay byte-identical with or
 //!                    without it.
 //!   --log-format F   text | json stderr event rendering (default text)
+//!   --workers N      coordinator mode: spawn N worker *processes* that
+//!                    claim cells through file-locked claim records and
+//!                    share one artifact cache (defaults to OUT/cache
+//!                    when --cache-dir is absent), then merge their
+//!                    journals into records + manifest byte-identical
+//!                    to a single-process run (engine::distrib)
+//!   --worker I       (internal) run as standalone worker I of a
+//!                    coordinator's out dir; spawned by --workers but
+//!                    also usable by hand for multi-machine sharding
 //!   --list           print registered experiments and exit
 //! ```
 //!
@@ -43,7 +52,10 @@
 //! The experiments themselves live in `debunk_core::engine::suite`; this
 //! binary only parses flags and hands a filter to the registry.
 
-use debunk_core::engine::{default_registry, Preset, RunContext, RunError, RunOptions};
+use debunk_core::engine::{
+    default_registry, run_coordinator, run_worker, CoordinatorOptions, Preset, RunContext,
+    RunError, RunOptions,
+};
 use debunk_core::obs::{self, LogFormat, ObsSink};
 use std::path::PathBuf;
 use std::process::exit;
@@ -63,6 +75,8 @@ struct Cli {
     max_cell_seconds: Option<f64>,
     trace: bool,
     log_format: LogFormat,
+    workers: usize,
+    worker: Option<usize>,
     list: bool,
 }
 
@@ -70,7 +84,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all> [--scale X] [--seed N] [--budget fast|medium|full] \
          [--fast] [--jobs N] [--kernel-threads N] [--out DIR] [--cache-dir DIR] [--resume] \
-         [--max-attempts N] [--max-cell-seconds S] [--trace] [--log-format text|json]\n       \
+         [--max-attempts N] [--max-cell-seconds S] [--trace] [--log-format text|json] \
+         [--workers N]\n       \
          repro --list"
     );
     exit(2);
@@ -91,6 +106,8 @@ fn parse_cli(args: &[String]) -> Cli {
         max_cell_seconds: None,
         trace: false,
         log_format: LogFormat::Text,
+        workers: 0,
+        worker: None,
         list: false,
     };
     let mut positional: Vec<&String> = Vec::new();
@@ -162,6 +179,24 @@ fn parse_cli(args: &[String]) -> Cli {
                 }));
             }
             "--trace" => cli.trace = true,
+            "--workers" => {
+                let v = value("--workers");
+                cli.workers = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --workers '{v}'");
+                    usage();
+                });
+                if cli.workers == 0 {
+                    eprintln!("error: --workers must be at least 1");
+                    usage();
+                }
+            }
+            "--worker" => {
+                let v = value("--worker");
+                cli.worker = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --worker '{v}'");
+                    usage();
+                }));
+            }
             "--log-format" => {
                 let v = value("--log-format");
                 cli.log_format = LogFormat::parse(&v).unwrap_or_else(|| {
@@ -188,6 +223,59 @@ fn parse_cli(args: &[String]) -> Cli {
     cli
 }
 
+/// The command line a spawned worker re-parses into this coordinator's
+/// exact `RunContext` + `RunOptions` (same journal fingerprint, same
+/// shared cache); the coordinator appends `--worker <index>` per
+/// process. `ctx.scale` rides along explicitly because the worker must
+/// see the resolved value even when the coordinator used the preset
+/// default (f64 `Display` is shortest-roundtrip, so the bits survive).
+fn worker_cmd(cli: &Cli, ctx: &RunContext, cache_dir: Option<&std::path::Path>) -> Vec<String> {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate the repro executable to spawn workers: {e}");
+        exit(2);
+    });
+    let mut cmd = vec![
+        exe.display().to_string(),
+        cli.experiment.clone(),
+        "--budget".into(),
+        cli.preset.name().into(),
+        "--seed".into(),
+        cli.seed.to_string(),
+        "--scale".into(),
+        ctx.scale.to_string(),
+        "--jobs".into(),
+        cli.jobs.to_string(),
+        "--out".into(),
+        cli.out_dir.display().to_string(),
+        "--max-attempts".into(),
+        cli.max_attempts.to_string(),
+        "--log-format".into(),
+        match cli.log_format {
+            LogFormat::Text => "text".into(),
+            LogFormat::Json => "json".into(),
+        },
+    ];
+    if let Some(dir) = cache_dir {
+        cmd.push("--cache-dir".into());
+        cmd.push(dir.display().to_string());
+    }
+    if let Some(k) = cli.kernel_threads {
+        cmd.push("--kernel-threads".into());
+        cmd.push(k.to_string());
+    }
+    if let Some(s) = cli.max_cell_seconds {
+        cmd.push("--max-cell-seconds".into());
+        cmd.push(s.to_string());
+    }
+    if cli.resume {
+        cmd.push("--resume".into());
+    }
+    if cli.trace {
+        cmd.push("--trace".into());
+    }
+    cmd
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
@@ -208,8 +296,27 @@ fn main() {
     obs::set_global(Arc::new(ObsSink::stderr(cli.log_format)));
     let log = obs::global();
 
+    if cli.worker.is_some() && cli.workers > 0 {
+        eprintln!("error: --worker and --workers are mutually exclusive");
+        usage();
+    }
+    // Multi-process modes depend on a shared disk cache for the
+    // cross-process single-flight guarantee (one cold build per
+    // artifact across every worker); default one under the out dir
+    // rather than silently rebuilding per process.
+    let cache_dir = cli.cache_dir.clone().or_else(|| {
+        (cli.workers > 0 || cli.worker.is_some()).then(|| {
+            let dir = cli.out_dir.join("cache");
+            log.info(
+                "repro",
+                &format!("defaulting --cache-dir to {} for multi-process run", dir.display()),
+                &[("cache_dir", dir.display().to_string().into())],
+            );
+            dir
+        })
+    });
     let mut ctx = RunContext::from_preset(cli.preset, cli.seed, cli.scale);
-    if let Some(dir) = cli.cache_dir {
+    if let Some(dir) = cache_dir.clone() {
         ctx = ctx.with_cache_dir(dir);
     }
     log.info(
@@ -234,14 +341,29 @@ fn main() {
     let opts = RunOptions {
         jobs: cli.jobs,
         kernel_threads: cli.kernel_threads,
-        out_dir: Some(cli.out_dir),
+        out_dir: Some(cli.out_dir.clone()),
         resume: cli.resume,
         max_attempts: cli.max_attempts,
         max_cell_seconds: cli.max_cell_seconds,
         trace: cli.trace,
+        // run_worker forces this on for worker processes; plain and
+        // coordinator runs journal only executed cells.
+        journal_replays: false,
     };
     let t0 = std::time::Instant::now();
-    let summary = match registry.run(&cli.experiment, &ctx, &opts) {
+    let result = if let Some(index) = cli.worker {
+        run_worker(&registry, &cli.experiment, &ctx, &opts, index)
+    } else if cli.workers > 0 {
+        let copts = CoordinatorOptions {
+            workers: cli.workers,
+            worker_cmd: worker_cmd(&cli, &ctx, cache_dir.as_deref()),
+            max_waves: 3,
+        };
+        run_coordinator(&registry, &cli.experiment, &ctx, &opts, &copts)
+    } else {
+        registry.run(&cli.experiment, &ctx, &opts)
+    };
+    let summary = match result {
         Ok(summary) => summary,
         Err(RunError::UnknownExperiment(unknown)) => {
             eprintln!("unknown experiment: {unknown} (try --list)");

@@ -3,7 +3,7 @@
 //! ```text
 //! traffic-gen <iscx|ustc|cstnet> [--seed N] [--flows-per-class N]
 //!             [--out trace.pcap] [--labels labels.csv] [--clean]
-//!             [--shards N --out-dir DIR]
+//!             [--shards N --out-dir DIR [--gen-threads N]]
 //! ```
 //!
 //! Writes a Wireshark-readable pcap plus a CSV mapping each packet
@@ -15,7 +15,9 @@
 //! packets in memory at a time — the input format of the out-of-core
 //! prepare path and the `serve --shard-dir` replay source. The merged
 //! shard streams replay the serial trace byte-for-byte at any shard
-//! count.
+//! count. `--gen-threads N` fans shard generation out over N worker
+//! threads (default: all cores); per-flow seeded RNG keeps the written
+//! bytes identical to serial generation at any thread count.
 
 use dataset::clean::clean_trace;
 use std::io::Write;
@@ -54,16 +56,21 @@ fn main() {
             eprintln!("error: --shards requires --out-dir DIR");
             std::process::exit(2);
         };
+        let gen_threads = get_flag("--gen-threads")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         eprintln!(
-            "generating {} (seed {seed}, {} flows/class) into {n_shards} shards...",
+            "generating {} (seed {seed}, {} flows/class) into {n_shards} shards \
+             ({gen_threads} thread(s))...",
             kind.name(),
             spec.flows_per_class
         );
-        let (shards, rebuilt) = ShardDir::ensure(std::path::Path::new(&out_dir), &spec, n_shards)
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            });
+        let (shards, rebuilt) =
+            ShardDir::ensure_threads(std::path::Path::new(&out_dir), &spec, n_shards, gen_threads)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
         eprintln!(
             "  {} records in {} runs ({})",
             shards.n_records(),

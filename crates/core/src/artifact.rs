@@ -27,9 +27,10 @@ use encoders::checkpoint::stable_hash64;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// A cacheable prepare-stage product: a stage name plus a byte codec.
 /// `from_bytes(to_bytes(x))` must reproduce `x` exactly — loaded
@@ -239,8 +240,10 @@ impl ArtifactCache {
         let path = dir.join(file_name(A::STAGE, fingerprint));
         // Temp sibling + rename, like checkpoints and the manifest: a
         // crash mid-save never leaves a torn file at the final path, and
-        // the loader would reject one anyway (checksum).
-        let tmp = path.with_extension("bin.tmp");
+        // the loader would reject one anyway (checksum). The PID in the
+        // temp name keeps concurrent processes (which write identical
+        // bytes) from racing on one temp file.
+        let tmp = path.with_extension(format!("bin.{}.tmp", std::process::id()));
         let saved = std::fs::create_dir_all(dir)
             .and_then(|()| std::fs::write(&tmp, encode_envelope(value, key)))
             .and_then(|()| std::fs::rename(&tmp, &path));
@@ -267,35 +270,190 @@ impl ArtifactCache {
         fingerprint: u64,
         build: impl FnOnce() -> A,
     ) -> A {
-        if let Some(dir) = &self.dir {
-            let path = dir.join(file_name(A::STAGE, fingerprint));
-            if path.exists() {
-                match std::fs::read(&path)
-                    .map_err(|e| e.to_string())
-                    .and_then(|bytes| decode_envelope::<A>(&bytes, key))
-                {
-                    Ok(value) => {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        self.obs().debug(
-                            "artifact",
-                            &format!("  [artifact] loaded {}", path.display()),
-                            &[("path", path.display().to_string().into())],
-                        );
-                        return value;
-                    }
-                    Err(e) => self.obs().warn(
+        let Some(dir) = self.dir.clone() else {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            return build();
+        };
+        let path = dir.join(file_name(A::STAGE, fingerprint));
+        // Cross-process single-flight: the in-memory tier already
+        // guarantees one build per process; the `.lock` sibling extends
+        // that across processes sharing one --cache-dir. Exactly one
+        // process acquires the lock and builds; everyone else waits for
+        // the tmp+rename publication and serves it as a disk hit. A lock
+        // whose holder died (SIGKILL mid-build) is stolen, so a crashed
+        // builder never wedges its siblings.
+        let mut waited = Duration::ZERO;
+        let mut warned_corrupt = false;
+        loop {
+            match read_from_disk::<A>(&path, key) {
+                Some(Ok(value)) => {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs().debug(
+                        "artifact",
+                        &format!("  [artifact] loaded {}", path.display()),
+                        &[("path", path.display().to_string().into())],
+                    );
+                    return value;
+                }
+                Some(Err(e)) if !warned_corrupt => {
+                    warned_corrupt = true;
+                    self.obs().warn(
                         "artifact",
                         &format!("  [artifact] ignoring {}: {e}", path.display()),
                         &[("path", path.display().to_string().into())],
-                    ),
+                    );
+                }
+                Some(Err(_)) | None => {}
+            }
+            if let Some(_guard) = PathLock::try_acquire(&path) {
+                // Re-probe under the lock: the previous holder may have
+                // published between our probe and the acquisition. A
+                // corrupt file falls through to the rebuild (the rename
+                // below replaces it) — refuse-or-rebuild, cross-process.
+                if let Some(Ok(value)) = read_from_disk::<A>(&path, key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return value;
+                }
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                let value = build();
+                self.save_to_disk(key, fingerprint, &value);
+                return value;
+            }
+            // Lock held elsewhere: steal it if the holder is dead,
+            // otherwise wait for its publication.
+            if !PathLock::steal_if_stale(&path) {
+                std::thread::sleep(LOCK_POLL);
+                waited += LOCK_POLL;
+                if waited.as_millis() % 5000 < LOCK_POLL.as_millis() {
+                    self.obs().info(
+                        "artifact",
+                        &format!(
+                            "  [artifact] waiting {:.0?} for a sibling process to build {}",
+                            waited,
+                            path.display()
+                        ),
+                        &[("path", path.display().to_string().into())],
+                    );
                 }
             }
         }
-        self.builds.fetch_add(1, Ordering::Relaxed);
-        let value = build();
-        self.save_to_disk(key, fingerprint, &value);
-        value
     }
+}
+
+/// One disk probe: `None` when the file is absent, `Some(Err)` when it
+/// exists but fails to read or decode (corrupt / torn / mis-keyed).
+fn read_from_disk<A: Artifact>(path: &Path, key: &str) -> Option<Result<A, String>> {
+    if !path.exists() {
+        return None;
+    }
+    Some(
+        std::fs::read(path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| decode_envelope::<A>(&bytes, key)),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Cross-process build locks
+// ---------------------------------------------------------------------
+
+/// How often waiters re-probe a held lock / unpublished artifact.
+const LOCK_POLL: Duration = Duration::from_millis(10);
+
+/// Cross-process single-flight lock for one on-disk file: a sibling
+/// `<file>.lock` created with `O_EXCL` (`create_new`) holding the
+/// owner's PID. Released by `Drop` — including on panic unwind — so only
+/// a killed process leaves a lock behind, and that lock is detectably
+/// stale because its PID no longer exists.
+pub(crate) struct PathLock {
+    path: PathBuf,
+}
+
+impl PathLock {
+    /// The lock path guarding `target` (`<target>.lock`).
+    pub(crate) fn lock_path(target: &Path) -> PathBuf {
+        let mut name = target.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        target.with_file_name(name)
+    }
+
+    /// Try to take the lock guarding `target`; `None` means some other
+    /// process (or another cache instance in this one) holds it.
+    pub(crate) fn try_acquire(target: &Path) -> Option<PathLock> {
+        let path = PathLock::lock_path(target);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                // Losing the PID write only costs stale-detection
+                // precision (the age backstop still applies), never
+                // correctness — the O_EXCL create is the lock.
+                let _ = write!(f, "{}", std::process::id());
+                let _ = f.flush();
+                Some(PathLock { path })
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Remove the lock guarding `target` if its holder crashed (recorded
+    /// PID no longer alive, or PID unreadable and the file abandoned).
+    /// Returns whether a stale lock was actually removed. Concurrent
+    /// stealers race through a rename — exactly one wins; losers simply
+    /// retry their wait loop.
+    pub(crate) fn steal_if_stale(target: &Path) -> bool {
+        let path = PathLock::lock_path(target);
+        if !lock_is_stale(&path) {
+            return false;
+        }
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".stale.{}", std::process::id()));
+        let grave = path.with_file_name(name);
+        if std::fs::rename(&path, &grave).is_ok() {
+            std::fs::remove_file(&grave).ok();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Drop for PathLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+fn lock_is_stale(lock: &Path) -> bool {
+    match std::fs::read_to_string(lock) {
+        Ok(content) => match content.trim().parse::<u32>() {
+            Ok(pid) => {
+                if Path::new("/proc/self").exists() {
+                    !Path::new(&format!("/proc/{pid}")).exists()
+                } else {
+                    // No procfs: fall back to an age backstop generous
+                    // enough for any real build.
+                    older_than(lock, Duration::from_secs(600))
+                }
+            }
+            // PID not written yet (holder between create and write) or
+            // damaged: stale only once clearly abandoned.
+            Err(_) => older_than(lock, Duration::from_secs(10)),
+        },
+        // Already gone — nothing to steal.
+        Err(_) => false,
+    }
+}
+
+fn older_than(path: &Path, age: Duration) -> bool {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .map(|elapsed| elapsed > age)
+        .unwrap_or(false)
 }
 
 /// Canonical key string: the stage plus every fingerprint part,
@@ -904,6 +1062,75 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.builds, 1);
         assert_eq!(stats.mem_hits, 7);
+    }
+
+    /// Two cache instances over one directory are two processes,
+    /// conceptually: no shared memory tier, coordination only through
+    /// the `.lock` sibling. A concurrent cold miss must build exactly
+    /// once across both.
+    #[test]
+    fn disk_tier_is_single_flight_across_cache_instances() {
+        let dir = temp_dir("debunk-artifact-xproc-flight");
+        let a = ArtifactCache::new(Some(dir.clone()));
+        let b = ArtifactCache::new(Some(dir.clone()));
+        let builds = AtomicUsize::new(0);
+        let build = || {
+            builds.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window so the loser reaches the lock while
+            // the winner is still building.
+            std::thread::sleep(Duration::from_millis(50));
+            Blob(vec![11])
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| assert_eq!(a.get_or_build::<Blob>(&["k"], build).0, vec![11]));
+            s.spawn(|| assert_eq!(b.get_or_build::<Blob>(&["k"], build).0, vec![11]));
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "one build across both instances");
+        assert_eq!(a.stats().builds + b.stats().builds, 1);
+        assert_eq!(a.stats().disk_hits + b.stats().disk_hits, 1, "the loser got a disk hit");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".lock") || n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "locks and temp files cleaned up: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A lock left behind by a SIGKILLed builder (its PID no longer
+    /// exists) must be stolen, not waited on forever.
+    #[test]
+    fn stale_build_lock_from_a_dead_pid_is_taken_over() {
+        let dir = temp_dir("debunk-artifact-stale-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = canonical_key(Blob::STAGE, &["k"]);
+        let path = dir.join(file_name(Blob::STAGE, stable_hash64(&[key.as_str()])));
+        // u32::MAX is far above any kernel pid_max, so this holder can
+        // never be alive.
+        std::fs::write(PathLock::lock_path(&path), u32::MAX.to_string()).unwrap();
+
+        let cache = ArtifactCache::new(Some(dir.clone()));
+        let value = cache.get_or_build::<Blob>(&["k"], || Blob(vec![3]));
+        assert_eq!(value.0, vec![3], "takeover let the build proceed");
+        assert_eq!(cache.stats().builds, 1);
+        assert!(!PathLock::lock_path(&path).exists(), "stolen lock removed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A live holder's lock is NOT stolen: stale detection keys on PID
+    /// liveness, and our own PID is alive by definition.
+    #[test]
+    fn live_lock_is_not_stolen() {
+        let dir = temp_dir("debunk-artifact-live-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("art-test-blob-0000000000000000.bin");
+        let guard = PathLock::try_acquire(&target).expect("uncontended acquire");
+        assert!(PathLock::try_acquire(&target).is_none(), "second acquire blocked");
+        assert!(!PathLock::steal_if_stale(&target), "live lock must not be stolen");
+        drop(guard);
+        assert!(PathLock::try_acquire(&target).is_some(), "released lock reacquirable");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! invocations skip pre-training entirely — no `[pretrain]` log line is
 //! emitted for a checkpoint served from memory or disk.
 
+use crate::artifact::PathLock;
 use crate::obs::ObsSink;
 use encoders::checkpoint::{load_checkpoint, save_checkpoint, PretrainKey};
 use encoders::model::EncoderModel;
@@ -49,8 +50,23 @@ impl EncoderStore {
         obs: &ObsSink,
         build: impl FnOnce() -> EncoderModel,
     ) -> EncoderModel {
-        if let Some(dir) = &self.cache_dir {
-            let path = dir.join(key.file_name());
+        let Some(dir) = self.cache_dir.clone() else {
+            obs.info(
+                "checkpoint",
+                &format!("  [pretrain] {}", key.provenance()),
+                &[("provenance", key.provenance().into())],
+            );
+            return obs.time_stage("pretrain", build);
+        };
+        let path = dir.join(key.file_name());
+        // Cross-process single-flight, same protocol as the artifact
+        // cache (crate::artifact::PathLock): with several worker
+        // processes sharing one --cache-dir, exactly one pre-trains each
+        // provenance; the rest wait for the tmp+rename publication and
+        // load it. A lock whose holder died is stolen.
+        let mut build = Some(build);
+        let mut warned_corrupt = false;
+        loop {
             if path.exists() {
                 match load_checkpoint(&path, key) {
                     Ok(model) => {
@@ -61,46 +77,61 @@ impl EncoderStore {
                         );
                         return model;
                     }
-                    Err(e) => obs.warn(
+                    Err(e) if !warned_corrupt => {
+                        warned_corrupt = true;
+                        obs.warn(
+                            "checkpoint",
+                            &format!("  [checkpoint] ignoring {}: {e}", path.display()),
+                            &[("path", path.display().to_string().into())],
+                        );
+                    }
+                    Err(_) => {}
+                }
+            }
+            if let Some(_guard) = PathLock::try_acquire(&path) {
+                // Re-probe under the lock: the previous holder may have
+                // published while we acquired. A corrupt checkpoint
+                // falls through to the rebuild, which replaces it.
+                if path.exists() {
+                    if let Ok(model) = load_checkpoint(&path, key) {
+                        return model;
+                    }
+                }
+                obs.info(
+                    "checkpoint",
+                    &format!("  [pretrain] {}", key.provenance()),
+                    &[("provenance", key.provenance().into())],
+                );
+                let model =
+                    obs.time_stage("pretrain", build.take().expect("builder invoked at most once"));
+                // Write to a temp sibling and rename so a crash mid-save
+                // never leaves a torn checkpoint at the final path — the
+                // loader would otherwise trust a half-written file.
+                let tmp = path.with_extension(format!("json.{}.tmp", std::process::id()));
+                let saved = std::fs::create_dir_all(&dir)
+                    .and_then(|()| save_checkpoint(&tmp, key, &model))
+                    .and_then(|()| std::fs::rename(&tmp, &path));
+                match saved {
+                    Ok(()) => obs.debug(
                         "checkpoint",
-                        &format!("  [checkpoint] ignoring {}: {e}", path.display()),
+                        &format!("  [checkpoint] saved {}", path.display()),
                         &[("path", path.display().to_string().into())],
                     ),
+                    Err(e) => {
+                        std::fs::remove_file(&tmp).ok();
+                        obs.warn(
+                            "checkpoint",
+                            &format!("  [checkpoint] could not save {}: {e}", path.display()),
+                            &[("path", path.display().to_string().into())],
+                        );
+                    }
                 }
+                return model;
+            }
+            if !PathLock::steal_if_stale(&path) {
+                std::thread::sleep(std::time::Duration::from_millis(25));
             }
         }
-        obs.info(
-            "checkpoint",
-            &format!("  [pretrain] {}", key.provenance()),
-            &[("provenance", key.provenance().into())],
-        );
-        let model = obs.time_stage("pretrain", build);
-        if let Some(dir) = &self.cache_dir {
-            let path = dir.join(key.file_name());
-            // Write to a temp sibling and rename so a crash mid-save
-            // never leaves a torn checkpoint at the final path — the
-            // loader would otherwise trust a half-written file.
-            let tmp = path.with_extension("json.tmp");
-            let saved = std::fs::create_dir_all(dir)
-                .and_then(|()| save_checkpoint(&tmp, key, &model))
-                .and_then(|()| std::fs::rename(&tmp, &path));
-            match saved {
-                Ok(()) => obs.debug(
-                    "checkpoint",
-                    &format!("  [checkpoint] saved {}", path.display()),
-                    &[("path", path.display().to_string().into())],
-                ),
-                Err(e) => {
-                    std::fs::remove_file(&tmp).ok();
-                    obs.warn(
-                        "checkpoint",
-                        &format!("  [checkpoint] could not save {}: {e}", path.display()),
-                        &[("path", path.display().to_string().into())],
-                    );
-                }
-            }
-        }
-        model
     }
 }
 

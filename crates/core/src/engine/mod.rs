@@ -27,6 +27,7 @@
 
 pub mod checkpoint;
 pub mod context;
+pub mod distrib;
 pub mod journal;
 pub mod registry;
 pub mod runner;
@@ -34,6 +35,7 @@ pub mod suite;
 
 pub use checkpoint::EncoderStore;
 pub use context::{EncoderSpec, Preset, RunContext};
+pub use distrib::{run_coordinator, run_worker, CoordinatorOptions};
 pub use journal::{
     CellId, Journal, JournalEntry, JournalError, JournalState, RunManifest, JOURNAL_FILE,
     MANIFEST_FILE,

@@ -68,6 +68,13 @@ pub struct RunOptions {
     /// (aggregated at finish). Strictly separate from records, journal
     /// and manifest, whose bytes are identical with tracing on or off.
     pub trace: bool,
+    /// Journal a `started`/`done` pair even for cells replayed from the
+    /// artifact cache. Off for normal runs (a warm single-process run
+    /// journals nothing for replayed cells); worker processes under
+    /// `--workers` set it so the coordinator's merged journal covers
+    /// every cell regardless of cache state — the distrib byte-stability
+    /// contract (`engine::distrib`).
+    pub journal_replays: bool,
 }
 
 impl Default for RunOptions {
@@ -80,6 +87,7 @@ impl Default for RunOptions {
             max_attempts: 1,
             max_cell_seconds: None,
             trace: false,
+            journal_replays: false,
         }
     }
 }
@@ -224,7 +232,56 @@ pub fn start_session(ctx: &RunContext, opts: &RunOptions) -> Result<RunSession, 
     Ok(session)
 }
 
+/// Open a distrib *worker* session (`engine::distrib`): its journal
+/// lives at `worker_dir/journal.jsonl` and is always opened in resume
+/// mode (fresh file = fresh run, so coordinator retry waves append),
+/// while `prior` is the replay state folded from *every* worker's
+/// journal — a cell any sibling finished is never re-executed here. The
+/// worker's own manifest and metrics land under `worker_dir`.
+pub(crate) fn start_worker_session(
+    ctx: &RunContext,
+    opts: &RunOptions,
+    worker_dir: &Path,
+    prior: JournalState,
+) -> Result<RunSession, RunError> {
+    let sink = if opts.trace {
+        Arc::new(
+            ObsSink::with_dir(worker_dir, obs::global().format())
+                .map_err(|e| JournalError::Io(worker_dir.to_path_buf(), e))?,
+        )
+    } else {
+        obs::global()
+    };
+    ctx.set_obs(sink.clone());
+    std::fs::create_dir_all(worker_dir)
+        .map_err(|e| JournalError::Io(worker_dir.to_path_buf(), e))?;
+    let path = worker_dir.join(JOURNAL_FILE);
+    let (journal, _own_state) = Journal::resume(&path, ctx.run_fingerprint())?;
+    Ok(RunSession {
+        journal: Some(journal),
+        prior,
+        out_dir: Some(worker_dir.to_path_buf()),
+        tally: Mutex::new(Tally::default()),
+        artifacts: ctx.artifacts().clone(),
+        run_fp_hex: format!("{:016x}", ctx.run_fingerprint()),
+        obs: sink,
+        started: Instant::now(),
+    })
+}
+
 impl RunSession {
+    /// Count `n` additional scheduled cells in the tally — the worker
+    /// loop schedules cells one claim at a time instead of through
+    /// `execute_cells`.
+    pub(crate) fn bump_total(&self, n: usize) {
+        self.tally().total += n;
+    }
+
+    /// The replay state this session was opened with.
+    pub(crate) fn prior(&self) -> &JournalState {
+        &self.prior
+    }
+
     /// Execute one experiment under this session: run or replay its
     /// cells (possibly in parallel), write its result records, then
     /// render its tables/charts. Panics in cells *and* in render are
@@ -397,7 +454,9 @@ impl RunSession {
     /// Run (or replay) one cell with panic isolation, bounded retries
     /// and the soft time budget. Always returns an output — a failed
     /// cell contributes `CellOutput::empty()` to render and no record.
-    fn run_cell(
+    /// `pub(crate)` for the distrib worker loop, which schedules cells
+    /// by claim instead of through `execute_cells`.
+    pub(crate) fn run_cell(
         &self,
         exp_id: &str,
         cells: &[CellSpec],
@@ -467,6 +526,15 @@ impl RunSession {
         let cell_parts =
             [self.run_fp_hex.as_str(), exp_id, &spec.task, &spec.model, &spec.setting, &seed_hex];
         if let Some(out) = self.artifacts.lookup::<CellOutput>(&cell_parts) {
+            if opts.journal_replays {
+                // Worker mode: the replayed cell must still appear in
+                // this worker's journal, because the coordinator's merge
+                // reconstructs the canonical journal purely from worker
+                // journals — warm runs merge byte-identical to cold ones.
+                let attempt = self.prior.attempts(cell) + 1;
+                self.append_journal(&JournalEntry::Started { cell, attempt, id: id.clone() });
+                self.append_journal(&JournalEntry::Done { cell, attempt, output: (*out).clone() });
+            }
             self.tally().done += 1;
             self.obs.info(
                 "runner",

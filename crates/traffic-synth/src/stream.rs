@@ -512,6 +512,80 @@ pub fn write_shard_dir(
     Ok(ShardDir { dir: dir.to_path_buf(), spec: spec.clone(), n_shards, counts, classes })
 }
 
+/// [`write_shard_dir`] with `threads` generator threads. Byte-identical
+/// output at any thread count: flow shards draw only from per-flow
+/// FNV-seeded RNG streams, so they are order-independent, and the
+/// spurious run's inputs (total labelled record count, global max
+/// timestamp) are a sum and a max — both invariant under the
+/// per-shard→global fold. Peak memory is `threads` shards of packets.
+pub fn write_shard_dir_threads(
+    dir: &Path,
+    spec: &DatasetSpec,
+    n_shards: usize,
+    threads: usize,
+) -> Result<ShardDir, String> {
+    let n_shards = n_shards.max(1);
+    let threads = threads.max(1).min(n_shards);
+    if threads == 1 {
+        return write_shard_dir(dir, spec, n_shards);
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let plan = FlowPlan::new(spec);
+    let classes = plan.classes().to_vec();
+    // Claim-the-next-shard work stealing: shard sizes are uneven (class
+    // volume weights), so static striping would leave threads idle.
+    type ShardStats = (u64, f64);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done: Vec<(usize, Result<ShardStats, String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let plan = &plan;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n_shards {
+                            return out;
+                        }
+                        let mut records = Vec::new();
+                        for flow in plan.shard_span(i, n_shards) {
+                            plan.flow_records(flow as u32, &mut records);
+                        }
+                        records.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+                        let t_max = records.iter().map(|r| r.ts).fold(0.0f64, f64::max);
+                        let res = write_run(
+                            &dir.join(run_file_name(i)),
+                            &run_key(spec, n_shards, i),
+                            &records,
+                        )
+                        .map(|()| (records.len() as u64, t_max));
+                        out.push((i, res));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("shard generator panicked")).collect()
+    });
+    let mut counts = vec![0u64; n_shards];
+    let mut t_max = 0.0f64;
+    for (i, res) in done {
+        let (count, shard_t_max) = res?;
+        counts[i] = count;
+        t_max = t_max.max(shard_t_max);
+    }
+    let labelled: u64 = counts.iter().sum();
+    // The spurious run depends on every flow shard (record total, time
+    // span), so it is generated serially after the fan-out — exactly
+    // like StreamingTrace yields it last.
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0x5f5f);
+    let mut records = spurious_run(labelled as usize, plan.spurious_fraction, t_max, &mut rng);
+    records.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+    write_run(&dir.join(run_file_name(n_shards)), &run_key(spec, n_shards, n_shards), &records)?;
+    counts.push(records.len() as u64);
+    Ok(ShardDir { dir: dir.to_path_buf(), spec: spec.clone(), n_shards, counts, classes })
+}
+
 /// A validated on-disk sharded trace: `n_shards` flow runs plus the
 /// spurious run, all keyed to one spec.
 pub struct ShardDir {
@@ -546,9 +620,21 @@ impl ShardDir {
         spec: &DatasetSpec,
         n_shards: usize,
     ) -> Result<(ShardDir, bool), String> {
+        ShardDir::ensure_threads(dir, spec, n_shards, 1)
+    }
+
+    /// [`ShardDir::ensure`] with a rebuild fan-out of `threads`
+    /// generator threads ([`write_shard_dir_threads`]); the regenerated
+    /// bytes are identical at any thread count.
+    pub fn ensure_threads(
+        dir: &Path,
+        spec: &DatasetSpec,
+        n_shards: usize,
+        threads: usize,
+    ) -> Result<(ShardDir, bool), String> {
         match ShardDir::open(dir, spec, n_shards) {
             Ok(d) => Ok((d, false)),
-            Err(_) => write_shard_dir(dir, spec, n_shards).map(|d| (d, true)),
+            Err(_) => write_shard_dir_threads(dir, spec, n_shards, threads).map(|d| (d, true)),
         }
     }
 
@@ -686,6 +772,29 @@ mod tests {
         assert_eq!(disc.n_shards(), 3);
         assert_eq!(disc.spec().flows_per_class, 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_shard_generation_is_byte_identical_to_serial() {
+        let serial_dir = std::env::temp_dir().join("debunk-sharddir-gen-serial");
+        std::fs::remove_dir_all(&serial_dir).ok();
+        write_shard_dir(&serial_dir, &spec(), 5).unwrap();
+        for threads in [2usize, 4, 16] {
+            let par_dir = std::env::temp_dir().join(format!("debunk-sharddir-gen-t{threads}"));
+            std::fs::remove_dir_all(&par_dir).ok();
+            let sd = write_shard_dir_threads(&par_dir, &spec(), 5, threads).unwrap();
+            assert_eq!(sd.n_shards(), 5);
+            for run in 0..=5 {
+                let name = run_file_name(run);
+                assert_eq!(
+                    std::fs::read(serial_dir.join(&name)).unwrap(),
+                    std::fs::read(par_dir.join(&name)).unwrap(),
+                    "{name} differs between serial and {threads}-thread generation"
+                );
+            }
+            std::fs::remove_dir_all(&par_dir).ok();
+        }
+        std::fs::remove_dir_all(&serial_dir).ok();
     }
 
     #[test]

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Append every BENCH_*.json snapshot at the repo root into the tracked
+# perf-trajectory log results/bench_history.jsonl (schema
+# bench_history/v1, one line per (git SHA, snapshot file) — re-running
+# on the same commit is a no-op). Run after bench_json, from the repo
+# root:
+#
+#   cargo run --release -p bench --bin bench_json -- --quick
+#   scripts/collect_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+snapshots=(BENCH_*.json)
+if [ ${#snapshots[@]} -eq 0 ]; then
+    echo "collect_bench: no BENCH_*.json snapshots at the repo root" >&2
+    exit 0
+fi
+
+bin=target/release/collect_results
+[ -x "$bin" ] || bin=target/debug/collect_results
+if [ ! -x "$bin" ]; then
+    cargo build --release -p bench --bin collect_results
+    bin=target/release/collect_results
+fi
+
+"$bin" "${snapshots[@]}"
