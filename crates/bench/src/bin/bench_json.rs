@@ -126,6 +126,11 @@ const BASELINE_SERVING: &[(&str, f64)] = &[
     ("serve_flows_per_sec", 10549.194),
     // New in PR7 (int8 encoder target) — no PR6 number exists.
     ("serve_encoder_int8", f64::NAN),
+    // New in PR10 (flow-hash sharding + hot-reload) — no PR6 numbers.
+    ("serve_sharded_w1", f64::NAN),
+    ("serve_sharded_w2", f64::NAN),
+    ("serve_sharded_w4", f64::NAN),
+    ("serve_reload", f64::NAN),
 ];
 
 /// Deterministic xorshift64* stream — benchmark data without `rand`.
@@ -405,8 +410,9 @@ fn outofcore_rows(quick: bool) -> Vec<(&'static str, f64)> {
 fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     use dataset::record::Prepared;
     use debunk_core::obs::{LogFormat, ObsSink};
-    use serving::engine::{serve_stream, ServeOptions};
+    use serving::engine::{serve, serve_stream, EpochBundle, ServeOptions};
     use serving::policy::Policy;
+    use serving::reload::ReloadSource;
     use serving::source::SynthSpec;
     use serving::{FlowTable, ModelBundle};
 
@@ -425,9 +431,9 @@ fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     results.push((
         "serve_ingest_only",
         bench_ms(reps, || {
-            let mut table = FlowTable::new(opts.idle_timeout);
-            for p in &replay {
-                table.push(p.ts, &p.frame);
+            let mut table = FlowTable::new(opts.idle_timeout).unwrap();
+            for (seq, p) in replay.iter().enumerate() {
+                table.push(seq as u64, p.ts, &p.frame);
                 std::hint::black_box(table.poll(p.ts));
             }
             table.flush().len()
@@ -460,12 +466,51 @@ fn serving_group(quick: bool, reps: usize) -> Vec<(&'static str, f64)> {
     let mut out = Vec::new();
     let stats = serve_stream(&bundle, &mixed, &replay, &opts, &mut out, &sink).unwrap();
 
+    // Sharded replay at 1/2/4 workers: same mixed policy, byte-identical
+    // output — the spread shows dispatch overhead vs parallel speedup.
+    for (name, workers) in
+        [("serve_sharded_w1", 1usize), ("serve_sharded_w2", 2), ("serve_sharded_w4", 4)]
+    {
+        let w_opts = ServeOptions { workers, ..opts };
+        results.push((
+            name,
+            bench_ms(reps, || {
+                let mut out = Vec::new();
+                serve(&bundle, &mixed, &replay, &w_opts, ReloadSource::None, &mut out, &sink)
+                    .unwrap()
+            }),
+        ));
+    }
+    eprintln!("  sharded replays done");
+
+    // Planned two-epoch hot-reload mid-replay: measures the epoch-split
+    // overhead on top of the mixed end-to-end path.
+    let mut bundle2 = ModelBundle::train(
+        &Prepared::from_trace(&SynthSpec::parse("ustc:7:2").unwrap().trace()),
+        43,
+    );
+    bundle2.quantize_encoder();
+    let boundary = replay.len() as u64 / 2;
+    results.push((
+        "serve_reload",
+        bench_ms(reps, || {
+            let mut out = Vec::new();
+            let reload = ReloadSource::planned(vec![(
+                boundary,
+                EpochBundle::Borrowed(&bundle2),
+                String::from("bench"),
+            )]);
+            serve(&bundle, &mixed, &replay, &opts, reload, &mut out, &sink).unwrap()
+        }),
+    ));
+    eprintln!("  reload replay done");
+
     // Per-packet ingest latency distribution over one replay (µs).
-    let mut table = FlowTable::new(opts.idle_timeout);
+    let mut table = FlowTable::new(opts.idle_timeout).unwrap();
     let mut lat_us: Vec<f64> = Vec::with_capacity(replay.len());
-    for p in &replay {
+    for (seq, p) in replay.iter().enumerate() {
         let t0 = Instant::now();
-        table.push(p.ts, &p.frame);
+        table.push(seq as u64, p.ts, &p.frame);
         std::hint::black_box(table.poll(p.ts));
         lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }

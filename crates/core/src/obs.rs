@@ -199,7 +199,7 @@ struct KernelBudget {
     kernel_threads: u64,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct ServingAgg {
     packets: u64,
     non_ip: u64,
@@ -209,6 +209,23 @@ struct ServingAgg {
     flushed: u64,
     batches: u64,
     verdicts: u64,
+    /// Hot-reloads applied (bundle swapped at an epoch boundary).
+    reloads_applied: u64,
+    /// Reload candidates refused (corrupt or policy-incompatible).
+    reloads_refused: u64,
+    /// Packet sequence numbers where each applied reload took effect —
+    /// the exact boundaries a planned replay needs to reproduce the
+    /// verdict stream byte-for-byte.
+    boundaries: Vec<u64>,
+    /// Per-shard serving totals, keyed by worker index.
+    shards: BTreeMap<usize, ShardAgg>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardAgg {
+    flows: u64,
+    verdicts: u64,
+    busy_secs: f64,
 }
 
 /// Why the serving flow table retired a flow.
@@ -470,15 +487,37 @@ impl ObsSink {
         agg.serving.verdicts += verdicts as u64;
     }
 
+    /// Record a model hot-reload applied at packet sequence `boundary`.
+    pub fn record_serving_reload(&self, boundary: u64) {
+        let mut agg = self.agg();
+        agg.serving.reloads_applied += 1;
+        agg.serving.boundaries.push(boundary);
+    }
+
+    /// Record a reload candidate refused (corrupt or incompatible);
+    /// the previous bundle keeps serving.
+    pub fn record_serving_reload_refused(&self) {
+        self.agg().serving.reloads_refused += 1;
+    }
+
+    /// Record one shard worker's end-of-run totals.
+    pub fn record_serving_shard(&self, shard: usize, flows: u64, verdicts: u64, busy_secs: f64) {
+        let mut agg = self.agg();
+        let sh = agg.serving.shards.entry(shard).or_default();
+        sh.flows += flows;
+        sh.verdicts += verdicts;
+        sh.busy_secs += busy_secs;
+    }
+
     /// Render the serving counters (plus any recorded stages) as
     /// deterministic-structure JSON. Strictly out of band: nothing in
     /// here ever reaches the verdict stream.
     pub fn serving_metrics_json(&self, total_secs: f64) -> String {
         let agg = self.agg();
-        let sv = agg.serving;
+        let sv = &agg.serving;
         let counts = &self.event_counts;
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"debunk-serving-metrics-v1\",\n");
+        s.push_str("  \"schema\": \"debunk-serving-metrics-v2\",\n");
         s.push_str(&format!("  \"total_secs\": {},\n", format_f64(total_secs)));
         s.push_str(&format!(
             "  \"packets\": {{\"seen\": {}, \"non_ip\": {}}},\n",
@@ -493,6 +532,30 @@ impl ObsSink {
             "  \"batches\": {{\"count\": {}, \"verdicts\": {}}},\n",
             sv.batches, sv.verdicts
         ));
+        let boundaries: Vec<String> = sv.boundaries.iter().map(|b| b.to_string()).collect();
+        s.push_str(&format!(
+            "  \"reloads\": {{\"applied\": {}, \"refused\": {}, \"boundaries\": [{}]}},\n",
+            sv.reloads_applied,
+            sv.reloads_refused,
+            boundaries.join(", ")
+        ));
+        s.push_str("  \"shards\": {");
+        for (i, (idx, sh)) in sv.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let fps = if sh.busy_secs > 0.0 { sh.flows as f64 / sh.busy_secs } else { 0.0 };
+            s.push_str(&format!(
+                "\n    \"{}\": {{\"flows\": {}, \"verdicts\": {}, \"busy_secs\": {}, \
+                 \"flows_per_sec\": {}}}",
+                idx,
+                sh.flows,
+                sh.verdicts,
+                format_f64(sh.busy_secs),
+                format_f64(fps)
+            ));
+        }
+        s.push_str(if sv.shards.is_empty() { "},\n" } else { "\n  },\n" });
         let kernel_stats = nn::kernel::kernel_stats();
         s.push_str(&format!(
             "  \"simd\": {{\"lane\": \"{}\", \"dispatches\": {}}},\n",
@@ -878,9 +941,20 @@ mod tests {
         sink.record_serving_eviction(EvictionReason::Closed);
         sink.record_serving_eviction(EvictionReason::Flush);
         sink.record_serving_batch(2);
+        sink.record_serving_reload(120);
+        sink.record_serving_reload_refused();
+        sink.record_serving_shard(0, 2, 2, 0.5);
         sink.add_stage("serve:classify", 0.125);
         let json = sink.serving_metrics_json(1.5);
         let j = parse_json(&json).expect("serving metrics parse");
+        assert!(json.contains("\"debunk-serving-metrics-v2\""));
+        let rl = j.get("reloads").expect("reloads section");
+        assert_eq!(get_u64(rl, "applied"), 1);
+        assert_eq!(get_u64(rl, "refused"), 1);
+        assert!(json.contains("\"boundaries\": [120]"), "{json}");
+        let sh = j.get("shards").and_then(|s| s.get("0")).expect("shard 0 section");
+        assert_eq!(get_u64(sh, "flows"), 2);
+        assert_eq!(get_f64(sh, "busy_secs"), 0.5);
         let pk = j.get("packets").expect("packets section");
         assert_eq!(get_u64(pk, "seen"), 100);
         assert_eq!(get_u64(pk, "non_ip"), 4);

@@ -55,7 +55,7 @@ pub fn segment_flow(data: &Prepared, flow_packets: &[usize], max_gap: f64) -> Ve
 }
 
 /// Segment every flow of a dataset; returns `(flow_id, bursts)`.
-pub fn segment_all(data: &Prepared, max_gap: f64) -> Vec<(u32, Vec<Burst>)> {
+pub fn segment_all(data: &Prepared, max_gap: f64) -> Vec<(u64, Vec<Burst>)> {
     data.flows().into_iter().map(|(id, idxs)| (id, segment_flow(data, &idxs, max_gap))).collect()
 }
 

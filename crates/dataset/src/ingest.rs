@@ -111,7 +111,7 @@ impl<'a> Ingestor<'a> {
             frame: frame.to_vec(),
             parsed,
             class,
-            flow_id,
+            flow_id: u64::from(flow_id),
             from_client: sender == client,
         });
         self.stats.kept += 1;

@@ -15,8 +15,11 @@ pub struct PacketRecord {
     pub parsed: ParsedFrame,
     /// Fine-grained class label.
     pub class: u16,
-    /// Flow identifier (from the generator or flow assembly).
-    pub flow_id: u32,
+    /// Flow identifier (from the generator or flow assembly). A u64 so
+    /// sequence-derived ids (online serving assigns the opening
+    /// packet's global sequence number) never truncate or collide past
+    /// 2³² packets.
+    pub flow_id: u64,
     /// True if sent client→server.
     pub from_client: bool,
 }
@@ -34,7 +37,7 @@ impl PacketRecord {
             frame: r.frame.clone(),
             parsed,
             class: r.class,
-            flow_id: r.flow_id,
+            flow_id: u64::from(r.flow_id),
             from_client: r.from_client,
         })
     }
@@ -69,7 +72,7 @@ impl Prepared {
 
     /// Number of distinct flows present.
     pub fn n_flows(&self) -> usize {
-        let mut ids: Vec<u32> = self.records.iter().map(|r| r.flow_id).collect();
+        let mut ids: Vec<u64> = self.records.iter().map(|r| r.flow_id).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -99,9 +102,9 @@ impl Prepared {
     }
 
     /// Group record indices by flow id, ordered by first appearance.
-    pub fn flows(&self) -> Vec<(u32, Vec<usize>)> {
-        let mut order: Vec<u32> = Vec::new();
-        let mut map: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    pub fn flows(&self) -> Vec<(u64, Vec<usize>)> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut map: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
         for (i, r) in self.records.iter().enumerate() {
             let e = map.entry(r.flow_id).or_default();
             if e.is_empty() {
@@ -130,14 +133,14 @@ pub fn write_records(w: &mut ByteWriter, records: &[PacketRecord]) {
         w.f64(r.ts);
         w.bytes(&r.frame);
         w.u16(r.class);
-        w.u32(r.flow_id);
+        w.u64(r.flow_id);
         w.bool(r.from_client);
     }
 }
 
 /// Read a [`write_records`] block, re-parsing every frame.
 pub fn read_records(r: &mut ByteReader) -> Result<Vec<PacketRecord>, String> {
-    let n = r.count(19)?;
+    let n = r.count(23)?;
     let mut records = Vec::with_capacity(n);
     for i in 0..n {
         let ts = r.f64()?;
@@ -145,7 +148,7 @@ pub fn read_records(r: &mut ByteReader) -> Result<Vec<PacketRecord>, String> {
         let parsed =
             ParsedFrame::parse(&frame).map_err(|e| format!("record {i}: bad frame: {e}"))?;
         let class = r.u16()?;
-        let flow_id = r.u32()?;
+        let flow_id = r.u64()?;
         let from_client = r.bool()?;
         records.push(PacketRecord { ts, frame, parsed, class, flow_id, from_client });
     }

@@ -56,7 +56,7 @@ impl Split {
 }
 
 /// The per-record facts splitting actually needs — class and flow id —
-/// without the frames. 6 bytes per record instead of a full
+/// without the frames. 10 bytes per record instead of a full
 /// [`Prepared`], so the out-of-core prepare path can split a dataset it
 /// never fully materialises. Splits computed on a view are
 /// byte-identical to splits computed on the `Prepared` it mirrors
@@ -66,7 +66,7 @@ pub struct FlowClassView {
     /// Class label of each record, by record index.
     pub class_of: Vec<u16>,
     /// Flow id of each record, by record index.
-    pub flow_of: Vec<u32>,
+    pub flow_of: Vec<u64>,
 }
 
 impl FlowClassView {
@@ -80,7 +80,7 @@ impl FlowClassView {
     }
 
     /// Append one record's facts (streaming construction).
-    pub fn push(&mut self, class: u16, flow_id: u32) {
+    pub fn push(&mut self, class: u16, flow_id: u64) {
         self.class_of.push(class);
         self.flow_of.push(flow_id);
     }
@@ -97,9 +97,9 @@ impl FlowClassView {
 
     /// Group record indices by flow id, ordered by first appearance —
     /// the same grouping as [`Prepared::flows`].
-    fn flows(&self) -> Vec<(u32, Vec<usize>)> {
-        let mut order: Vec<u32> = Vec::new();
-        let mut map: HashMap<u32, Vec<usize>> = HashMap::new();
+    fn flows(&self) -> Vec<(u64, Vec<usize>)> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, &id) in self.flow_of.iter().enumerate() {
             let e = map.entry(id).or_default();
             if e.is_empty() {
@@ -155,7 +155,7 @@ pub fn per_packet_split_on(view: &FlowClassView, train_frac: f64, seed: u64) -> 
 /// let data = Prepared::from_trace(&trace);
 /// let split = per_flow_split(&data, 0.8, 1000, 7);
 /// // no flow appears on both sides
-/// let train: std::collections::HashSet<u32> =
+/// let train: std::collections::HashSet<u64> =
 ///     split.train.iter().map(|&i| data.records[i].flow_id).collect();
 /// assert!(split.test.iter().all(|&i| !train.contains(&data.records[i].flow_id)));
 /// ```
@@ -177,7 +177,7 @@ pub fn per_flow_split_on(
 ) -> Split {
     let mut rng = StdRng::seed_from_u64(seed);
     // class -> [(flow_id, indices)]
-    let mut by_class: HashMap<u16, Vec<(u32, Vec<usize>)>> = HashMap::new();
+    let mut by_class: HashMap<u16, Vec<(u64, Vec<usize>)>> = HashMap::new();
     for (flow_id, idxs) in view.flows() {
         let class = view.class_of[idxs[0]];
         by_class.entry(class).or_default().push((flow_id, idxs));
@@ -389,8 +389,8 @@ mod tests {
     fn per_flow_split_never_splits_a_flow() {
         let d = prepared();
         let s = per_flow_split(&d, 7.0 / 8.0, 1000, 1);
-        let train_flows: HashSet<u32> = s.train.iter().map(|&i| d.records[i].flow_id).collect();
-        let test_flows: HashSet<u32> = s.test.iter().map(|&i| d.records[i].flow_id).collect();
+        let train_flows: HashSet<u64> = s.train.iter().map(|&i| d.records[i].flow_id).collect();
+        let test_flows: HashSet<u64> = s.test.iter().map(|&i| d.records[i].flow_id).collect();
         assert!(train_flows.is_disjoint(&test_flows), "flows leaked across partitions");
         assert!(!s.train.is_empty() && !s.test.is_empty());
     }
@@ -411,8 +411,8 @@ mod tests {
     fn per_packet_split_does_split_flows() {
         let d = prepared();
         let s = per_packet_split(&d, 0.8, 1);
-        let train_flows: HashSet<u32> = s.train.iter().map(|&i| d.records[i].flow_id).collect();
-        let test_flows: HashSet<u32> = s.test.iter().map(|&i| d.records[i].flow_id).collect();
+        let train_flows: HashSet<u64> = s.train.iter().map(|&i| d.records[i].flow_id).collect();
+        let test_flows: HashSet<u64> = s.test.iter().map(|&i| d.records[i].flow_id).collect();
         assert!(
             !train_flows.is_disjoint(&test_flows),
             "per-packet split should leak flows — that is the point"
@@ -488,7 +488,7 @@ mod tests {
     fn long_flow_cap_applies() {
         let d = prepared();
         let s = per_flow_split(&d, 7.0 / 8.0, 5, 6);
-        let mut per_flow: HashMap<u32, usize> = HashMap::new();
+        let mut per_flow: HashMap<u64, usize> = HashMap::new();
         for &i in s.train.iter().chain(&s.test) {
             *per_flow.entry(d.records[i].flow_id).or_default() += 1;
         }
@@ -542,8 +542,8 @@ mod tests {
         let flow_start = |idxs: &[usize]| -> f64 {
             idxs.iter().map(|&i| d.records[i].ts).fold(f64::INFINITY, f64::min)
         };
-        let mut train_starts: std::collections::HashMap<u32, f64> = Default::default();
-        let mut test_starts: std::collections::HashMap<u32, f64> = Default::default();
+        let mut train_starts: std::collections::HashMap<u64, f64> = Default::default();
+        let mut test_starts: std::collections::HashMap<u64, f64> = Default::default();
         for &i in &s.train {
             let e = train_starts.entry(d.records[i].flow_id).or_insert(f64::INFINITY);
             *e = e.min(d.records[i].ts);

@@ -35,7 +35,7 @@ impl DatasetSummary {
     pub fn of(data: &Prepared) -> DatasetSummary {
         let n_classes = data.classes.len();
         let mut per_class = vec![ClassStats::default(); n_classes];
-        let mut flows_per_class: HashMap<u16, std::collections::HashSet<u32>> = HashMap::new();
+        let mut flows_per_class: HashMap<u16, std::collections::HashSet<u64>> = HashMap::new();
         for r in &data.records {
             let c = usize::from(r.class);
             if c >= n_classes {

@@ -30,7 +30,7 @@ pub fn pretrain_corpus(seed: u64, n_flows: usize) -> Vec<PacketRecord> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0c0f_fee0);
     let mut records = Vec::new();
     for i in 0..n_flows {
-        let flow_id = i as u32;
+        let flow_id = i as u64;
         let transport = match i % 3 {
             0 => TransportKind::TlsTcp,
             1 => TransportKind::RawTcp,
@@ -186,7 +186,7 @@ pub fn sbp_pretrain(
         return f32::NAN;
     }
     // index packets by flow for positive pairs
-    let mut by_flow: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_flow: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
     for (i, r) in corpus.iter().enumerate() {
         by_flow.entry(r.flow_id).or_default().push(i);
     }
@@ -260,7 +260,7 @@ pub fn interval_pretrain(
         let us = (gap * 1e6).clamp(0.0, 4e9) as u32;
         (crate::tokenize::log_bucket(us, BUCKETS as u32) as u16).min(BUCKETS as u16 - 1)
     };
-    let mut by_flow: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    let mut by_flow: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
     for (i, r) in corpus.iter().enumerate() {
         by_flow.entry(r.flow_id).or_default().push(i);
     }

@@ -13,11 +13,20 @@
 //!
 //! serve run --models DIR (--pcap FILE | --synth SPEC | --shard-dir DIR)
 //!           [--policy FILE] [--batch N] [--idle-timeout SECS]
+//!           [--serve-workers N] [--reload-dir DIR | --reload-at SEQ:DIR]
+//!           [--reload-poll-ms MS] [--throttle-pps N]
 //!           [--out FILE] [--metrics-dir DIR] [--log-format text|json]
 //!     Replay packets through the frozen bundle and emit one JSONL
 //!     verdict per flow (stdout by default). `--shard-dir` streams an
 //!     on-disk flow-sharded trace (written by `traffic-gen --shards`)
 //!     in bounded memory — the million-flow replay source.
+//!     `--serve-workers N` shards ingest across N worker threads by
+//!     flow hash (verdict bytes identical at any N). `--reload-dir`
+//!     hot-swaps any new bundle subdirectory at a recorded packet
+//!     boundary without dropping flows; `--reload-at SEQ:DIR`
+//!     (repeatable) plans the swap at an exact packet for reproducible
+//!     replays. `--throttle-pps` paces delivery in wall-clock time
+//!     (timestamps — and therefore verdicts — are unchanged).
 //! ```
 //!
 //! SPEC is `<iscx|ustc|cstnet>:<seed>:<flows_per_class>`. With no
@@ -26,19 +35,23 @@
 
 use dataset::record::Prepared;
 use debunk_core::obs::{LogFormat, ObsSink};
-use serving::engine::{serve_stream, ServeOptions};
+use serving::engine::{serve, EpochBundle, ServeOptions};
 use serving::policy::Policy;
-use serving::source::{from_pcap_file, from_shard_dir, ReplayPacket, SynthSpec};
+use serving::reload::{ReloadSource, ReloadWatcher};
+use serving::source::{from_pcap_file, from_shard_dir, throttle, ReplayPacket, SynthSpec};
 use serving::ModelBundle;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage:
   serve export --out DIR [--synth SPEC] [--seed N] [--quant int8]
   serve run --models DIR (--pcap FILE | --synth SPEC | --shard-dir DIR)
             [--policy FILE] [--batch N] [--idle-timeout SECS]
+            [--serve-workers N] [--reload-dir DIR | --reload-at SEQ:DIR]
+            [--reload-poll-ms MS] [--throttle-pps N]
             [--out FILE] [--metrics-dir DIR] [--log-format text|json]
 
 SPEC = <iscx|ustc|cstnet>:<seed>:<flows_per_class>, e.g. ustc:7:4";
@@ -64,6 +77,15 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Stri
         }
         Some(_) => Err(format!("{flag} needs a value")),
     }
+}
+
+/// Pull every occurrence of a repeatable `--flag VALUE` pair.
+fn take_values(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut values = Vec::new();
+    while let Some(v) = take_value(args, flag)? {
+        values.push(v);
+    }
+    Ok(values)
 }
 
 fn cmd_export(mut args: Vec<String>) -> ExitCode {
@@ -152,6 +174,41 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         },
         Err(e) => return usage_err(&e),
     };
+    let workers = match take_value(&mut args, "--serve-workers") {
+        Ok(None) => 1usize,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_err(&format!("bad --serve-workers '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    let reload_dir = match take_value(&mut args, "--reload-dir") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let reload_at = match take_values(&mut args, "--reload-at") {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let reload_poll_ms = match take_value(&mut args, "--reload-poll-ms") {
+        Ok(None) => 200u64,
+        Ok(Some(v)) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage_err(&format!("bad --reload-poll-ms '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    let throttle_pps = match take_value(&mut args, "--throttle-pps") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<f64>() {
+            Ok(n) if n > 0.0 && n.is_finite() => Some(n),
+            _ => return usage_err(&format!("bad --throttle-pps '{v}'")),
+        },
+        Err(e) => return usage_err(&e),
+    };
+    if reload_dir.is_some() && !reload_at.is_empty() {
+        return usage_err("--reload-dir and --reload-at are mutually exclusive");
+    }
     let out_path = match take_value(&mut args, "--out") {
         Ok(v) => v,
         Err(e) => return usage_err(&e),
@@ -219,20 +276,51 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
             Err(e) => return run_err(&format!("cannot open metrics dir {dir}: {e}")),
         },
     };
-    let opts = ServeOptions { batch, idle_timeout };
+    // Planned reloads: load and validate every bundle before the first
+    // packet, so a broken candidate is a startup error, not a
+    // mid-stream surprise.
+    let mut planned: Vec<(u64, EpochBundle<'_>, String)> = Vec::new();
+    for entry in &reload_at {
+        let Some((seq, dir)) = entry.split_once(':') else {
+            return usage_err(&format!("bad --reload-at '{entry}' (want SEQ:DIR)"));
+        };
+        let Ok(seq) = seq.parse::<u64>() else {
+            return usage_err(&format!("bad --reload-at sequence '{seq}'"));
+        };
+        match ModelBundle::load(&PathBuf::from(dir)) {
+            Ok(b) => planned.push((seq, EpochBundle::Owned(Arc::new(b)), dir.to_string())),
+            Err(e) => return run_err(&format!("--reload-at {entry}: {e}")),
+        }
+    }
+    // Live watcher: the handle must outlive the serve call (dropping it
+    // stops the thread); the engine only sees the channel.
+    let mut _watcher: Option<ReloadWatcher> = None;
+    let reload = if let Some(dir) = &reload_dir {
+        let (w, rx) = ReloadWatcher::spawn(PathBuf::from(dir), reload_poll_ms);
+        _watcher = Some(w);
+        ReloadSource::Live(rx)
+    } else if !planned.is_empty() {
+        ReloadSource::planned(planned)
+    } else {
+        ReloadSource::None
+    };
+    let packets: Box<dyn Iterator<Item = ReplayPacket>> = match throttle_pps {
+        Some(pps) => Box::new(throttle(packets, pps)),
+        None => packets,
+    };
+    let opts = ServeOptions { batch, idle_timeout, workers };
     let started = Instant::now();
     let result = match &out_path {
         None => {
-            let stdout = std::io::stdout();
-            let mut lock = stdout.lock();
-            serve_stream(&bundle, &policy, packets, &opts, &mut lock, &sink)
+            let mut stdout = std::io::stdout();
+            serve(&bundle, &policy, packets, &opts, reload, &mut stdout, &sink)
         }
         Some(path) => {
             let mut file = match std::fs::File::create(path) {
                 Ok(f) => std::io::BufWriter::new(f),
                 Err(e) => return run_err(&format!("cannot create {path}: {e}")),
             };
-            serve_stream(&bundle, &policy, packets, &opts, &mut file, &sink)
+            serve(&bundle, &policy, packets, &opts, reload, &mut file, &sink)
                 .and_then(|stats| file.flush().map(|()| stats))
         }
     };
@@ -244,8 +332,15 @@ fn cmd_run(mut args: Vec<String>) -> ExitCode {
         return run_err(&format!("cannot write metrics: {e}"));
     }
     eprintln!(
-        "served {} packets / {} flows -> {} verdicts ({} dropped, {} non-IP)",
-        stats.packets, stats.flows, stats.verdicts, stats.dropped, stats.non_ip
+        "served {} packets / {} flows -> {} verdicts ({} dropped, {} non-IP, {} reloads, \
+         {} refused)",
+        stats.packets,
+        stats.flows,
+        stats.verdicts,
+        stats.dropped,
+        stats.non_ip,
+        stats.reloads,
+        stats.reloads_refused
     );
     ExitCode::SUCCESS
 }

@@ -3,16 +3,29 @@
 //! emits one JSONL verdict per classified flow.
 //!
 //! Determinism contract: the verdict byte stream is a pure function of
-//! the input packet stream, the bundle, and the policy. Batch size
-//! changes throughput, never output — flows are classified
+//! the input packet stream, the bundle sequence (initial bundle plus
+//! reload boundaries), and the policy. Batch size and worker count
+//! change throughput, never output — flows are classified
 //! independently (encoder math is row-independent; shallow models are
-//! per-packet), and emission order is the deterministic eviction order
-//! of [`crate::flow::FlowTable`]. All observability goes through the
+//! per-packet), and emission order is `(evict_seq, flow_id)`: the
+//! sequence number of the packet whose arrival retired the flow,
+//! tie-broken by flow id. That is exactly the order the single-worker
+//! loop produces naturally, and the order the sharded k-way merge
+//! ([`crate::shard`]) reconstructs. All observability goes through the
 //! out-of-band [`ObsSink`], never into the verdict stream.
+//!
+//! Epochs: a model hot-reload takes effect at a packet-sequence
+//! boundary `B` — every flow retired at `evict_seq >= B` is classified
+//! by the new bundle, everything earlier by the old one, regardless of
+//! when the classification batch actually runs. A flow's epoch is the
+//! number of boundaries at or below its `evict_seq`, recorded in its
+//! verdict line, so a live reload replayed as a planned boundary list
+//! reproduces the stream byte-for-byte.
 
 use crate::bundle::{feature_rows, ModelBundle};
 use crate::flow::{FlowTable, Ingest, TrackedFlow};
 use crate::policy::Policy;
+use crate::reload::ReloadSource;
 use crate::source::ReplayPacket;
 use dataset::record::PacketRecord;
 use debunk_core::engine::journal::escape_json;
@@ -20,6 +33,7 @@ use debunk_core::obs::{EvictionReason, ObsSink, Value};
 use encoders::EncodeScratch;
 use nn::{MlpScratch, Tensor};
 use std::io::{self, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine knobs.
@@ -30,11 +44,15 @@ pub struct ServeOptions {
     pub batch: usize,
     /// Seconds of silence before a flow is retired as idle.
     pub idle_timeout: f64,
+    /// Worker threads sharding ingest by flow-key hash. Affects
+    /// throughput only; the verdict stream is identical at any value
+    /// (1 runs inline with no threads).
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { batch: 16, idle_timeout: 15.0 }
+        ServeOptions { batch: 16, idle_timeout: 15.0, workers: 1 }
     }
 }
 
@@ -51,6 +69,11 @@ pub struct ServeStats {
     pub verdicts: u64,
     /// Flows retired without a verdict (unmatched or routed to `drop`).
     pub dropped: u64,
+    /// Model hot-reloads applied (epoch boundaries crossed).
+    pub reloads: u64,
+    /// Reload candidates refused (corrupt or policy-incompatible);
+    /// the previous bundle kept serving.
+    pub reloads_refused: u64,
 }
 
 /// Which model a policy target selects.
@@ -89,6 +112,34 @@ impl ModelTarget {
     }
 }
 
+/// Check every policy target against a bundle: unknown targets and
+/// `encoder_int8` without the quantised artifact are refused. Used both
+/// at startup (refuse before the first packet) and on every reload
+/// candidate (refuse off the hot path, old bundle keeps serving).
+pub fn validate_targets(bundle: &ModelBundle, policy: &Policy) -> Result<(), String> {
+    for t in policy.targets() {
+        match ModelTarget::parse(t) {
+            None => {
+                return Err(format!(
+                    "unknown policy target '{t}' (encoder|encoder_int8|forest|gbdt|knn|drop)"
+                ));
+            }
+            // The quantised encoder is opt-in at export time; a policy
+            // asking for it against a bundle without one is refused,
+            // never silently downgraded.
+            Some(ModelTarget::EncoderInt8) if bundle.encoder_int8.is_none() => {
+                return Err(
+                    "policy routes to 'encoder_int8' but the bundle has no encoder_int8.frozen \
+                     (re-export with --quant int8)"
+                        .to_string(),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
 /// Majority label over per-packet predictions; ties break to the
 /// smallest label so the vote is total-order deterministic.
 fn majority(labels: &[u16]) -> u16 {
@@ -102,18 +153,48 @@ fn majority(labels: &[u16]) -> u16 {
     counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(l, _)| l).unwrap_or(0)
 }
 
-/// One flow awaiting classification, with its routed target.
-struct PendingFlow {
+/// A bundle serving one epoch: the initial bundle is borrowed from the
+/// caller; hot-reloaded bundles arrive owned (loaded by the watcher or
+/// the planned-boundary list).
+#[derive(Clone)]
+pub enum EpochBundle<'a> {
+    /// The caller's bundle (epoch 0 in the common case).
+    Borrowed(&'a ModelBundle),
+    /// A reloaded bundle, shared across shard workers.
+    Owned(Arc<ModelBundle>),
+}
+
+impl<'a> EpochBundle<'a> {
+    /// The bundle itself.
+    pub fn get(&self) -> &ModelBundle {
+        match self {
+            EpochBundle::Borrowed(b) => b,
+            EpochBundle::Owned(b) => b,
+        }
+    }
+}
+
+/// One flow awaiting classification: routed target plus the sequence
+/// number of the packet whose arrival retired it (the first half of its
+/// verdict-stream sort key, and what pins its bundle epoch).
+pub(crate) struct PendingFlow {
     flow: TrackedFlow,
     target: ModelTarget,
+    pub(crate) evict_seq: u64,
 }
 
 /// Format one verdict line. `class` is escaped — label tables come from
 /// user-supplied `labels.txt`.
-fn verdict_line(flow: &TrackedFlow, target: ModelTarget, label: u16, class: &str) -> String {
+fn verdict_line(
+    flow: &TrackedFlow,
+    target: ModelTarget,
+    label: u16,
+    class: &str,
+    epoch: usize,
+) -> String {
     format!(
         "{{\"flow\":{},\"first_ts\":{:.6},\"last_ts\":{:.6},\"packets\":{},\"bytes\":{},\
-         \"proto\":{},\"target\":\"{}\",\"label\":{},\"class\":\"{}\"}}\n",
+         \"proto\":{},\"target\":\"{}\",\"label\":{},\"class\":\"{}\",\"epoch\":{}}}\n",
         flow.id,
         flow.first_ts,
         flow.last_ts,
@@ -123,6 +204,7 @@ fn verdict_line(flow: &TrackedFlow, target: ModelTarget, label: u16, class: &str
         target.name(),
         label,
         escape_json(class),
+        epoch,
     )
 }
 
@@ -140,14 +222,15 @@ struct VerdictScratch {
     labels_int8: Vec<u16>,
 }
 
-/// Classify a batch of pending flows and write their verdicts in
-/// batch order (which is eviction order). Returns verdicts emitted.
+/// Classify a batch of pending flows (all from one epoch) and emit
+/// their verdicts in batch order. Returns verdicts emitted.
 fn classify_batch(
     bundle: &ModelBundle,
+    epoch: usize,
     batch: &[PendingFlow],
     scratch: &mut VerdictScratch,
-    out: &mut dyn Write,
     sink: &ObsSink,
+    emit: &mut dyn FnMut(u64, u64, String) -> io::Result<()>,
 ) -> io::Result<u64> {
     // Encoder-targeted flows run as one tensor batch; the math is
     // row-independent so grouping is a throughput choice, not a
@@ -199,8 +282,8 @@ fn classify_batch(
                 majority(&per_packet)
             }
         };
-        let line = verdict_line(&p.flow, p.target, label, bundle.class_name(label));
-        out.write_all(line.as_bytes())?;
+        let line = verdict_line(&p.flow, p.target, label, bundle.class_name(label), epoch);
+        emit(p.evict_seq, p.flow.id, line)?;
         emitted += 1;
     }
     sink.record_serving_batch(emitted as usize);
@@ -212,108 +295,285 @@ fn classify_batch(
     Ok(emitted)
 }
 
-/// Run the full serve loop over a replay stream.
-///
-/// Every policy target must be one of `encoder`, `forest`, `gbdt`,
-/// `knn`, `drop` — an unknown target is refused before the first packet
-/// rather than mid-stream.
+/// One shard's serve state: a private flow table, pending queue and
+/// scratch, plus the epoch list (bundle per boundary). The inline
+/// single-worker loop drives exactly one of these; the sharded path
+/// ([`crate::shard`]) drives one per worker thread — both produce
+/// verdicts keyed `(evict_seq, flow_id)` through the same code, which
+/// is what makes worker count a pure throughput knob.
+pub(crate) struct Shard<'a> {
+    table: FlowTable,
+    policy: &'a Policy,
+    batch_size: usize,
+    pending: Vec<PendingFlow>,
+    scratch: VerdictScratch,
+    /// Bundle for each epoch; `bundles.len() == boundaries.len() + 1`.
+    bundles: Vec<EpochBundle<'a>>,
+    /// Sorted packet-sequence boundaries; crossing `boundaries[i]`
+    /// enters epoch `i + 1`.
+    boundaries: Vec<u64>,
+    /// Partial stats: flows / verdicts / dropped (the dispatcher owns
+    /// packets / non_ip / reload counts).
+    pub(crate) stats: ServeStats,
+}
+
+impl<'a> Shard<'a> {
+    pub(crate) fn new(
+        bundle: EpochBundle<'a>,
+        policy: &'a Policy,
+        opts: &ServeOptions,
+    ) -> io::Result<Shard<'a>> {
+        let table = FlowTable::new(opts.idle_timeout)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        Ok(Shard {
+            table,
+            policy,
+            batch_size: opts.batch.max(1),
+            pending: Vec::new(),
+            scratch: VerdictScratch::default(),
+            bundles: vec![bundle],
+            boundaries: Vec::new(),
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// Install a reloaded bundle taking effect at packet `boundary`.
+    /// Boundaries must arrive in increasing order (the dispatcher emits
+    /// them in stream order).
+    pub(crate) fn add_epoch(&mut self, boundary: u64, bundle: EpochBundle<'a>) {
+        debug_assert!(self.boundaries.last().is_none_or(|&b| b <= boundary));
+        self.boundaries.push(boundary);
+        self.bundles.push(bundle);
+    }
+
+    /// The epoch a flow retired at `evict_seq` belongs to.
+    fn epoch_of(&self, evict_seq: u64) -> usize {
+        self.boundaries.partition_point(|&b| b <= evict_seq)
+    }
+
+    /// Ingest one frame owned by this shard (global packet `seq`).
+    pub(crate) fn frame(&mut self, seq: u64, ts: f64, frame: &[u8], sink: &ObsSink) -> Ingest {
+        let ingest = self.table.push(seq, ts, frame);
+        if ingest == (Ingest::Tracked { opened: true }) {
+            self.stats.flows += 1;
+            sink.record_serving_flow_opened();
+        }
+        ingest
+    }
+
+    /// Advance time to packet `seq` at `ts` (every shard sees every
+    /// packet's clock tick, so eviction timing is shard-invariant),
+    /// retiring due flows and classifying any full batches.
+    pub(crate) fn tick(
+        &mut self,
+        seq: u64,
+        ts: f64,
+        sink: &ObsSink,
+        emit: &mut dyn FnMut(u64, u64, String) -> io::Result<()>,
+    ) -> io::Result<()> {
+        for (flow, reason) in self.table.poll(ts) {
+            self.route(flow, reason, seq, sink);
+        }
+        while self.pending.len() >= self.batch_size {
+            let rest = self.pending.split_off(self.batch_size);
+            let batch = std::mem::replace(&mut self.pending, rest);
+            self.classify(&batch, sink, emit)?;
+        }
+        Ok(())
+    }
+
+    /// End-of-stream: retire everything still tracked (at the flush
+    /// sequence, one past the last packet) and classify the remainder.
+    pub(crate) fn finish(
+        &mut self,
+        flush_seq: u64,
+        sink: &ObsSink,
+        emit: &mut dyn FnMut(u64, u64, String) -> io::Result<()>,
+    ) -> io::Result<()> {
+        for (flow, reason) in self.table.flush() {
+            self.route(flow, reason, flush_seq, sink);
+        }
+        let pending = std::mem::take(&mut self.pending);
+        for batch in pending.chunks(self.batch_size) {
+            self.classify(batch, sink, emit)?;
+        }
+        Ok(())
+    }
+
+    /// The smallest `(evict_seq, flow_id)` this shard can still emit:
+    /// its first pending flow, or — with nothing pending — any flow
+    /// retired by a future packet (`last_seq + 1`). The sharded
+    /// merge's watermark.
+    pub(crate) fn emit_bound(&self, last_seq: u64) -> (u64, u64) {
+        match self.pending.first() {
+            Some(p) => (p.evict_seq, p.flow.id),
+            None => (last_seq + 1, 0),
+        }
+    }
+
+    fn route(&mut self, flow: TrackedFlow, reason: EvictionReason, evict_seq: u64, sink: &ObsSink) {
+        sink.record_serving_eviction(reason);
+        match self.policy.match_flow(&flow.key).and_then(|r| ModelTarget::parse(&r.target)) {
+            Some(ModelTarget::Drop) | None => self.stats.dropped += 1,
+            Some(target) => self.pending.push(PendingFlow { flow, target, evict_seq }),
+        }
+    }
+
+    /// Classify one batch, splitting it into consecutive same-epoch
+    /// runs (epochs are monotone along the pending queue, so runs are
+    /// contiguous) — each run goes to its own epoch's bundle.
+    fn classify(
+        &mut self,
+        batch: &[PendingFlow],
+        sink: &ObsSink,
+        emit: &mut dyn FnMut(u64, u64, String) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let mut start = 0;
+        while start < batch.len() {
+            let epoch = self.epoch_of(batch[start].evict_seq);
+            let mut end = start + 1;
+            while end < batch.len() && self.epoch_of(batch[end].evict_seq) == epoch {
+                end += 1;
+            }
+            self.stats.verdicts += classify_batch(
+                self.bundles[epoch].get(),
+                epoch,
+                &batch[start..end],
+                &mut self.scratch,
+                sink,
+                emit,
+            )?;
+            start = end;
+        }
+        Ok(())
+    }
+}
+
+/// Run the full serve loop over a replay stream: validate the policy
+/// against the initial bundle, then drive one inline shard
+/// (`opts.workers <= 1`) or the flow-hash-sharded worker pool
+/// ([`crate::shard::serve_sharded`]), applying reloads from `reload`
+/// at deterministic packet boundaries.
 ///
 /// `packets` is any replay source: a borrowed `&[ReplayPacket]` (the
 /// in-memory benches), or an owning iterator such as the shard-dir
 /// stream — the engine holds only the flow table, never the replay, so
 /// an out-of-core source serves in bounded memory.
-pub fn serve_stream<I>(
+pub fn serve<I>(
     bundle: &ModelBundle,
     policy: &Policy,
     packets: I,
     opts: &ServeOptions,
-    out: &mut dyn Write,
+    reload: ReloadSource<'_>,
+    out: &mut (dyn Write + Send),
     sink: &ObsSink,
 ) -> io::Result<ServeStats>
 where
     I: IntoIterator,
     I::Item: std::borrow::Borrow<ReplayPacket>,
 {
-    for t in policy.targets() {
-        match ModelTarget::parse(t) {
-            None => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!(
-                        "unknown policy target '{t}' (encoder|encoder_int8|forest|gbdt|knn|drop)"
-                    ),
-                ));
-            }
-            // The quantised encoder is opt-in at export time; a policy
-            // asking for it against a bundle without one is refused
-            // before the first packet, never silently downgraded.
-            Some(ModelTarget::EncoderInt8) if bundle.encoder_int8.is_none() => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "policy routes to 'encoder_int8' but the bundle has no encoder_int8.frozen \
-                     (re-export with --quant int8)",
-                ));
-            }
-            Some(_) => {}
+    validate_targets(bundle, policy).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    if let ReloadSource::Planned(boundaries) = &reload {
+        for (_, b, _) in boundaries {
+            validate_targets(b.get(), policy)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         }
     }
-    let batch_size = opts.batch.max(1);
-    let mut table = FlowTable::new(opts.idle_timeout);
+    if opts.workers > 1 {
+        return crate::shard::serve_sharded(bundle, policy, packets, opts, reload, out, sink);
+    }
+    serve_inline(bundle, policy, packets, opts, reload, out, sink)
+}
+
+/// Fold reload decisions into the inline shard's epoch list and the
+/// run stats (the sharded dispatcher broadcasts the same decisions as
+/// events instead — see `crate::shard`).
+pub(crate) fn apply_reload_actions<'a>(
+    actions: Vec<crate::reload::ReloadAction<'a>>,
+    shard: &mut Shard<'a>,
+    stats: &mut ServeStats,
+    sink: &ObsSink,
+) {
+    for action in actions {
+        match action {
+            crate::reload::ReloadAction::Apply { boundary, bundle, origin } => {
+                shard.add_epoch(boundary, bundle);
+                stats.reloads += 1;
+                sink.record_serving_reload(boundary);
+                sink.info(
+                    "serve",
+                    "bundle reloaded",
+                    &[("boundary", Value::U64(boundary)), ("origin", Value::Str(origin))],
+                );
+            }
+            crate::reload::ReloadAction::Refuse { origin, error } => {
+                stats.reloads_refused += 1;
+                sink.record_serving_reload_refused();
+                sink.warn(
+                    "serve",
+                    "reload candidate refused; old bundle keeps serving",
+                    &[("origin", Value::Str(origin)), ("error", Value::Str(error))],
+                );
+            }
+        }
+    }
+}
+
+/// The single-worker loop: one [`Shard`] driven on the caller thread,
+/// verdicts written straight to `out` (they fall out already in
+/// `(evict_seq, flow_id)` order).
+fn serve_inline<I>(
+    bundle: &ModelBundle,
+    policy: &Policy,
+    packets: I,
+    opts: &ServeOptions,
+    reload: ReloadSource<'_>,
+    out: &mut (dyn Write + Send),
+    sink: &ObsSink,
+) -> io::Result<ServeStats>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<ReplayPacket>,
+{
+    let mut shard = Shard::new(EpochBundle::Borrowed(bundle), policy, opts)?;
+    let mut reload = reload;
     let mut stats = ServeStats::default();
-    let mut pending: Vec<PendingFlow> = Vec::new();
-    let mut scratch = VerdictScratch::default();
     let mut ingest_secs = 0.0f64;
     let mut classify_secs = 0.0f64;
+    let t_run = Instant::now();
 
-    // Route one retired flow; record its eviction and either queue it
-    // for classification or count the drop.
-    let route = |flow: TrackedFlow,
-                 reason: EvictionReason,
-                 pending: &mut Vec<PendingFlow>,
-                 stats: &mut ServeStats| {
-        sink.record_serving_eviction(reason);
-        match policy.match_flow(&flow.key).and_then(|r| ModelTarget::parse(&r.target)) {
-            Some(ModelTarget::Drop) | None => stats.dropped += 1,
-            Some(target) => pending.push(PendingFlow { flow, target }),
-        }
-    };
-
+    let mut seq = 0u64;
     for p in packets {
         let p = std::borrow::Borrow::borrow(&p);
+        // Reloads bind to the next unprocessed packet: candidates are
+        // validated off the hot path (planned: before the stream; live:
+        // by the watcher + target check here), and a refused candidate
+        // never perturbs the stream.
+        apply_reload_actions(reload.poll(seq, policy), &mut shard, &mut stats, sink);
         let t0 = Instant::now();
         stats.packets += 1;
-        match table.push(p.ts, &p.frame) {
-            Ingest::NonIp => stats.non_ip += 1,
-            Ingest::Tracked { opened } => {
-                if opened {
-                    stats.flows += 1;
-                    sink.record_serving_flow_opened();
-                }
-            }
-        }
-        for (flow, reason) in table.poll(p.ts) {
-            route(flow, reason, &mut pending, &mut stats);
+        if shard.frame(seq, p.ts, &p.frame, sink) == Ingest::NonIp {
+            stats.non_ip += 1;
         }
         ingest_secs += t0.elapsed().as_secs_f64();
-        while pending.len() >= batch_size {
-            let t1 = Instant::now();
-            let rest = pending.split_off(batch_size);
-            let batch = std::mem::replace(&mut pending, rest);
-            stats.verdicts += classify_batch(bundle, &batch, &mut scratch, out, sink)?;
-            classify_secs += t1.elapsed().as_secs_f64();
-        }
-    }
-    for (flow, reason) in table.flush() {
-        route(flow, reason, &mut pending, &mut stats);
-    }
-    for batch in pending.chunks(batch_size) {
         let t1 = Instant::now();
-        stats.verdicts += classify_batch(bundle, batch, &mut scratch, out, sink)?;
+        shard.tick(seq, p.ts, sink, &mut |_, _, line| out.write_all(line.as_bytes()))?;
         classify_secs += t1.elapsed().as_secs_f64();
+        seq += 1;
     }
+    // Boundaries landing exactly on the flush sequence (the packet
+    // count) still cover the flushed flows; anything later never fires.
+    apply_reload_actions(reload.poll(seq, policy), &mut shard, &mut stats, sink);
+    let t1 = Instant::now();
+    shard.finish(seq, sink, &mut |_, _, line| out.write_all(line.as_bytes()))?;
+    classify_secs += t1.elapsed().as_secs_f64();
     out.flush()?;
 
+    stats.flows = shard.stats.flows;
+    stats.verdicts = shard.stats.verdicts;
+    stats.dropped = shard.stats.dropped;
     sink.record_serving_packets(stats.packets, stats.non_ip);
+    sink.record_serving_shard(0, stats.flows, stats.verdicts, t_run.elapsed().as_secs_f64());
     sink.add_stage("serve:ingest", ingest_secs);
     sink.add_stage("serve:classify", classify_secs);
     sink.debug(
@@ -324,9 +584,27 @@ where
             ("flows", Value::U64(stats.flows)),
             ("verdicts", Value::U64(stats.verdicts)),
             ("dropped", Value::U64(stats.dropped)),
+            ("reloads", Value::U64(stats.reloads)),
         ],
     );
     Ok(stats)
+}
+
+/// Back-compat single-bundle entry point: no reload source, worker
+/// count from `opts` (historically 1).
+pub fn serve_stream<I>(
+    bundle: &ModelBundle,
+    policy: &Policy,
+    packets: I,
+    opts: &ServeOptions,
+    out: &mut (dyn Write + Send),
+    sink: &ObsSink,
+) -> io::Result<ServeStats>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<ReplayPacket>,
+{
+    serve(bundle, policy, packets, opts, ReloadSource::None, out, sink)
 }
 
 #[cfg(test)]
@@ -420,6 +698,19 @@ mod tests {
     }
 
     #[test]
+    fn bad_idle_timeout_is_refused_at_startup() {
+        let (bundle, packets) = tiny();
+        let policy = Policy::route_all("forest");
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let mut out = Vec::new();
+        let opts = ServeOptions { idle_timeout: 0.0, ..Default::default() };
+        let err = serve_stream(&bundle, &policy, &packets, &opts, &mut out, &sink).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("idle timeout"), "{err}");
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn replay_is_reproducible() {
         let (bundle, packets) = tiny();
         let policy = Policy::route_all("gbdt");
@@ -467,6 +758,77 @@ mod tests {
             assert!(line.ends_with('}'), "line: {line}");
             assert!(line.contains("\"target\":\""), "line: {line}");
             assert!(line.contains("\"class\":\""), "line: {line}");
+            assert!(line.contains("\"epoch\":"), "line: {line}");
         }
+    }
+
+    #[test]
+    fn planned_reload_splits_epochs_without_dropping_flows() {
+        let (bundle, packets) = tiny();
+        let b2 = ModelBundle::train(
+            &Prepared::from_trace(&SynthSpec::parse("iscx:5:1").unwrap().trace()),
+            43,
+        );
+        let policy = Policy::route_all("forest");
+        let boundary = (packets.len() / 2) as u64;
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let mut out = Vec::new();
+        let stats = serve(
+            &bundle,
+            &policy,
+            &packets,
+            &ServeOptions::default(),
+            ReloadSource::planned(vec![(boundary, EpochBundle::Borrowed(&b2), "b2".to_string())]),
+            &mut out,
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.verdicts, stats.flows, "no flow dropped across the boundary");
+        let text = String::from_utf8(out).unwrap();
+        let epochs: Vec<usize> = text
+            .lines()
+            .map(|l| {
+                let tail = l.split("\"epoch\":").nth(1).unwrap();
+                tail.trim_end_matches('}').parse().unwrap()
+            })
+            .collect();
+        assert!(epochs.contains(&0), "some flows classified pre-boundary");
+        assert!(epochs.contains(&1), "some flows classified post-boundary");
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]), "epochs monotone in verdict order");
+    }
+
+    #[test]
+    fn planned_reload_is_batch_size_invariant() {
+        let (bundle, packets) = tiny();
+        let b2 = ModelBundle::train(
+            &Prepared::from_trace(&SynthSpec::parse("iscx:5:1").unwrap().trace()),
+            43,
+        );
+        let policy = Policy::route_all("gbdt");
+        let boundary = (packets.len() / 3) as u64;
+        let sink = ObsSink::stderr(LogFormat::Text);
+        let run_with = |batch: usize| {
+            let mut out = Vec::new();
+            serve(
+                &bundle,
+                &policy,
+                &packets,
+                &ServeOptions { batch, ..Default::default() },
+                ReloadSource::planned(vec![(
+                    boundary,
+                    EpochBundle::Borrowed(&b2),
+                    "b2".to_string(),
+                )]),
+                &mut out,
+                &sink,
+            )
+            .unwrap();
+            out
+        };
+        let a = run_with(1);
+        let b = run_with(64);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
     }
 }

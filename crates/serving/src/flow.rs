@@ -2,16 +2,23 @@
 //! bidirectional flows, tracks TCP lifecycle per flow, and retires
 //! flows deterministically (teardown, idle timeout, final flush).
 //!
-//! Determinism contract: eviction depends only on packet contents and
-//! timestamps — never on wall clock, hash-map iteration order or batch
-//! size — so an identical replay retires identical flows in an
-//! identical order.
+//! Determinism contract: eviction depends only on packet contents,
+//! packet sequence numbers and timestamps — never on wall clock,
+//! hash-map iteration order or batch size — so an identical replay
+//! retires identical flows in an identical order.
+//!
+//! Flow identity: a flow's `id` is the global sequence number of the
+//! packet that opened it. Sequence numbers are assigned by the caller
+//! (one per ingested packet, across all shards), so ids are unique,
+//! monotone in first-seen order, and — crucially for multi-worker
+//! serving — identical no matter how the packet stream is partitioned
+//! across flow tables.
 
 use dataset::record::PacketRecord;
 use debunk_core::obs::EvictionReason;
 use net_packet::conntrack::{ConnTracker, TcpState};
 use net_packet::frame::{FlowKey, IpInfo, ParsedFrame};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Packets stored per flow for classification. Later packets still
 /// update counters and TCP state but are not retained — classification
@@ -33,10 +40,31 @@ fn endpoint(parsed: &ParsedFrame) -> (u128, u16) {
     (ip, parsed.transport.src_port())
 }
 
+/// Total-order key for an `f64` timestamp: monotone with `total_cmp`,
+/// so deadlines sort correctly even for the negative timestamps a
+/// garbage capture can carry.
+fn ts_order_bits(ts: f64) -> u64 {
+    let b = ts.to_bits() as i64;
+    if b < 0 {
+        !(b as u64)
+    } else {
+        (b as u64) ^ (1u64 << 63)
+    }
+}
+
+/// See [`FlowTable::deadline`]; free-standing so `push` can call it
+/// while holding the `flows` entry borrow.
+fn deadline_for(flow: &TrackedFlow, idle_timeout: f64, linger: f64) -> f64 {
+    let window = if flow.conn.state() == TcpState::Closed { linger } else { idle_timeout };
+    (flow.last_ts + window).next_down()
+}
+
 /// A flow being assembled from live packets.
 #[derive(Debug, Clone)]
 pub struct TrackedFlow {
-    /// First-seen order (also the verdict stream's `flow` field).
+    /// Sequence number of the opening packet (also the verdict
+    /// stream's `flow` field). Unique and monotone in first-seen
+    /// order, independent of how the stream is sharded.
     pub id: u64,
     /// Canonical bidirectional 5-tuple.
     pub key: FlowKey,
@@ -70,16 +98,38 @@ pub enum Ingest {
 }
 
 /// The serving flow table.
+#[derive(Debug)]
 pub struct FlowTable {
     flows: HashMap<FlowKey, TrackedFlow>,
-    next_id: u64,
+    /// Deadline index: `(ts_order_bits(due), flow id, key)` candidates,
+    /// inserted on every packet and validated lazily on pop. The due
+    /// time stored is a conservative (one-ulp-early) bound, so a flow
+    /// whose exact eviction predicate fires is always popped — stale or
+    /// slightly-early entries are revalidated against the flow's
+    /// current state and reinserted or discarded. This keeps
+    /// [`FlowTable::poll`] O(due) instead of O(tracked), which is what
+    /// lets a per-packet poll schedule scale to million-flow tables.
+    deadlines: BTreeSet<(u64, u64, FlowKey)>,
     idle_timeout: f64,
+    linger: f64,
 }
 
 impl FlowTable {
     /// A table retiring flows after `idle_timeout` seconds of silence.
-    pub fn new(idle_timeout: f64) -> FlowTable {
-        FlowTable { flows: HashMap::new(), next_id: 0, idle_timeout: idle_timeout.max(0.001) }
+    /// A non-positive or non-finite timeout is a configuration error,
+    /// reported — never silently clamped.
+    pub fn new(idle_timeout: f64) -> Result<FlowTable, String> {
+        if !(idle_timeout > 0.0 && idle_timeout.is_finite()) {
+            return Err(format!(
+                "idle timeout must be a positive finite number of seconds (got {idle_timeout})"
+            ));
+        }
+        Ok(FlowTable {
+            flows: HashMap::new(),
+            deadlines: BTreeSet::new(),
+            idle_timeout,
+            linger: CLOSE_LINGER_SECS.min(idle_timeout),
+        })
     }
 
     /// Flows currently tracked.
@@ -92,9 +142,19 @@ impl FlowTable {
         self.flows.is_empty()
     }
 
-    /// Feed one frame. Parsing failures and keyless traffic are
-    /// reported, never panicked on — capture files contain garbage.
-    pub fn push(&mut self, ts: f64, frame: &[u8]) -> Ingest {
+    /// The conservative deadline candidate for a flow in its current
+    /// state: one ulp below `last_ts + window`, so the stored bound is
+    /// strictly below every `now` that can satisfy the exact eviction
+    /// predicate (float addition may round up; `next_down` compensates).
+    fn deadline(&self, flow: &TrackedFlow) -> f64 {
+        deadline_for(flow, self.idle_timeout, self.linger)
+    }
+
+    /// Feed one frame observed as global packet `seq` at `ts`. Parsing
+    /// failures and keyless traffic are reported, never panicked on —
+    /// capture files contain garbage. A packet that opens a flow gives
+    /// the flow `id = seq`.
+    pub fn push(&mut self, seq: u64, ts: f64, frame: &[u8]) -> Ingest {
         let Ok(parsed) = ParsedFrame::parse(frame) else {
             return Ingest::NonIp;
         };
@@ -105,10 +165,8 @@ impl FlowTable {
         let mut opened = false;
         let flow = self.flows.entry(key).or_insert_with(|| {
             opened = true;
-            let id = self.next_id;
-            self.next_id += 1;
             TrackedFlow {
-                id,
+                id: seq,
                 key,
                 conn: ConnTracker::new(),
                 records: Vec::new(),
@@ -130,40 +188,73 @@ impl FlowTable {
                 frame: frame.to_vec(),
                 parsed,
                 class: 0, // unknown online; the classifier fills the verdict
-                flow_id: flow.id as u32,
+                flow_id: flow.id,
                 from_client,
             });
         }
+        let due = deadline_for(flow, self.idle_timeout, self.linger);
+        let id = flow.id;
+        self.deadlines.insert((ts_order_bits(due), id, key));
         Ingest::Tracked { opened }
+    }
+
+    /// Whether `flow` is due for eviction at `now` — the exact
+    /// predicate the deadline index approximates from below.
+    fn due_reason(&self, flow: &TrackedFlow, now: f64) -> Option<EvictionReason> {
+        let idle = now - flow.last_ts;
+        if flow.conn.state() == TcpState::Closed && idle > self.linger {
+            Some(EvictionReason::Closed)
+        } else if idle > self.idle_timeout {
+            Some(EvictionReason::Idle)
+        } else {
+            None
+        }
     }
 
     /// Retire every flow that is done as of `now`: TCP-closed flows
     /// past their linger, and any flow idle beyond the timeout.
-    /// Returned in first-seen (`id`) order — the verdict stream order.
+    /// Returned in `id` order — the verdict stream order. Only flows
+    /// whose deadline candidates have come due are examined, so a call
+    /// with nothing to retire is O(1).
     pub fn poll(&mut self, now: f64) -> Vec<(TrackedFlow, EvictionReason)> {
-        let linger = CLOSE_LINGER_SECS.min(self.idle_timeout);
-        let mut due: Vec<(FlowKey, EvictionReason)> = self
-            .flows
-            .values()
-            .filter_map(|f| {
-                let idle = now - f.last_ts;
-                if f.conn.state() == TcpState::Closed && idle > linger {
-                    Some((f.key, EvictionReason::Closed))
-                } else if idle > self.idle_timeout {
-                    Some((f.key, EvictionReason::Idle))
-                } else {
-                    None
+        let horizon = ts_order_bits(now);
+        let mut due: Vec<(TrackedFlow, EvictionReason)> = Vec::new();
+        let mut keep: Vec<(u64, u64, FlowKey)> = Vec::new();
+        while let Some(&entry) = self.deadlines.first() {
+            let (bits, id, key) = entry;
+            if bits > horizon {
+                break;
+            }
+            self.deadlines.remove(&entry);
+            // Stale candidates: the flow was already retired, or the
+            // key was reused by a younger flow.
+            let Some(flow) = self.flows.get(&key) else { continue };
+            if flow.id != id {
+                continue;
+            }
+            match self.due_reason(flow, now) {
+                Some(reason) => {
+                    let flow = self.flows.remove(&key).expect("flow just looked up");
+                    due.push((flow, reason));
                 }
-            })
-            .collect();
-        due.sort_by_key(|(key, _)| self.flows[key].id);
-        due.into_iter()
-            .map(|(key, reason)| (self.flows.remove(&key).expect("key just listed"), reason))
-            .collect()
+                None => {
+                    // Popped early (a newer packet moved the deadline,
+                    // or the conservative bound fired an ulp ahead of
+                    // the exact predicate): restore the flow's current
+                    // deadline candidate after the drain loop.
+                    let current = self.deadline(flow);
+                    keep.push((ts_order_bits(current), id, key));
+                }
+            }
+        }
+        self.deadlines.extend(keep);
+        due.sort_by_key(|(f, _)| f.id);
+        due
     }
 
     /// End-of-stream: retire everything still tracked, in `id` order.
     pub fn flush(&mut self) -> Vec<(TrackedFlow, EvictionReason)> {
+        self.deadlines.clear();
         let mut rest: Vec<TrackedFlow> = self.flows.drain().map(|(_, f)| f).collect();
         rest.sort_by_key(|f| f.id);
         rest.into_iter().map(|f| (f, EvictionReason::Flush)).collect()
@@ -176,10 +267,10 @@ mod tests {
     use crate::source::SynthSpec;
 
     fn table_after_replay(idle: f64) -> (FlowTable, Vec<(TrackedFlow, EvictionReason)>) {
-        let mut table = FlowTable::new(idle);
+        let mut table = FlowTable::new(idle).unwrap();
         let mut evicted = Vec::new();
-        for p in SynthSpec::parse("iscx:2:1").unwrap().replay() {
-            table.push(p.ts, &p.frame);
+        for (seq, p) in SynthSpec::parse("iscx:2:1").unwrap().replay().iter().enumerate() {
+            table.push(seq as u64, p.ts, &p.frame);
             evicted.extend(table.poll(p.ts));
         }
         (table, evicted)
@@ -200,6 +291,7 @@ mod tests {
             assert!(f.packets >= f.records.len() as u64);
             assert!(f.records.len() <= MAX_STORED_PACKETS);
             assert!(f.records.first().is_none_or(|r| r.from_client), "opener is the client");
+            assert!(f.records.iter().all(|r| r.flow_id == f.id), "records carry the flow id");
             assert!(f.last_ts >= f.first_ts);
         }
     }
@@ -239,9 +331,62 @@ mod tests {
 
     #[test]
     fn garbage_frames_are_rejected_not_panicked() {
-        let mut table = FlowTable::new(1.0);
-        assert_eq!(table.push(0.0, &[]), Ingest::NonIp);
-        assert_eq!(table.push(0.0, &[0xde, 0xad, 0xbe, 0xef]), Ingest::NonIp);
+        let mut table = FlowTable::new(1.0).unwrap();
+        assert_eq!(table.push(0, 0.0, &[]), Ingest::NonIp);
+        assert_eq!(table.push(1, 0.0, &[0xde, 0xad, 0xbe, 0xef]), Ingest::NonIp);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn non_positive_idle_timeout_is_a_config_error_not_a_clamp() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = FlowTable::new(bad).expect_err("must refuse");
+            assert!(err.contains("idle timeout"), "{err}");
+        }
+        assert!(FlowTable::new(0.001).is_ok());
+    }
+
+    /// Regression: record flow ids used to be truncated through `as
+    /// u32`, silently colliding once sequence numbers passed 2³².
+    #[test]
+    fn flow_ids_above_u32_max_survive_into_records() {
+        let mut table = FlowTable::new(1e9).unwrap();
+        let base = u64::from(u32::MAX) + 7;
+        let replay = SynthSpec::parse("iscx:2:1").unwrap().replay();
+        for (i, p) in replay.iter().enumerate() {
+            table.push(base + i as u64, p.ts, &p.frame);
+        }
+        let all = table.flush();
+        assert!(!all.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (f, _) in &all {
+            assert!(f.id >= base, "id {} below the opening sequence base", f.id);
+            assert!(f.id > u64::from(u32::MAX));
+            assert!(seen.insert(f.id), "id {} collided", f.id);
+            for r in &f.records {
+                assert_eq!(r.flow_id, f.id, "record id must not be truncated");
+            }
+        }
+    }
+
+    /// Out-of-order timestamps (negative idle deltas) must neither
+    /// panic nor retire flows spuriously, and the deadline index must
+    /// keep matching the exact predicate afterwards.
+    #[test]
+    fn backwards_time_never_evicts() {
+        let replay = SynthSpec::parse("iscx:3:1").unwrap().replay();
+        let mut table = FlowTable::new(0.5).unwrap();
+        for (seq, p) in replay.iter().enumerate() {
+            table.push(seq as u64, p.ts, &p.frame);
+        }
+        let tracked = table.len();
+        assert!(tracked > 0);
+        // Time running backwards: nothing can be idle-evicted.
+        assert!(table.poll(-1e9).is_empty());
+        assert_eq!(table.len(), tracked);
+        // Far future: everything retires.
+        let evicted = table.poll(1e12);
+        assert_eq!(evicted.len(), tracked);
         assert!(table.is_empty());
     }
 }

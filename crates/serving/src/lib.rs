@@ -20,10 +20,14 @@ pub mod bundle;
 pub mod engine;
 pub mod flow;
 pub mod policy;
+pub mod reload;
+pub mod shard;
 pub mod source;
 
 pub use bundle::ModelBundle;
-pub use engine::{serve_stream, ServeOptions, ServeStats};
+pub use engine::{serve, serve_stream, EpochBundle, ServeOptions, ServeStats};
 pub use flow::{FlowTable, TrackedFlow, MAX_STORED_PACKETS};
 pub use policy::{Policy, PolicyError, Rule};
-pub use source::{from_pcap_bytes, from_pcap_file, ReplayPacket, SynthSpec};
+pub use reload::{LiveMsg, ReloadSource, ReloadWatcher};
+pub use shard::flow_shard;
+pub use source::{from_pcap_bytes, from_pcap_file, throttle, ReplayPacket, SynthSpec};

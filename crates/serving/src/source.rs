@@ -40,6 +40,28 @@ pub fn from_shard_dir(path: &Path) -> Result<impl Iterator<Item = ReplayPacket>,
     Ok(shards.merged()?.map(|r| ReplayPacket { ts: r.ts, frame: r.frame }))
 }
 
+/// Pace a replay at roughly `pps` packets per second of wall clock —
+/// a live-traffic stand-in for exercising asynchronous behaviour
+/// (e.g. a `--reload-dir` watcher firing mid-replay). Pacing touches
+/// delivery time only: timestamps stay the capture timestamps, so the
+/// verdict stream is byte-identical to the unthrottled replay.
+pub fn throttle<I>(packets: I, pps: f64) -> impl Iterator<Item = ReplayPacket>
+where
+    I: IntoIterator<Item = ReplayPacket>,
+{
+    let paced = pps > 0.0 && pps.is_finite();
+    let start = std::time::Instant::now();
+    packets.into_iter().enumerate().map(move |(i, p)| {
+        if paced {
+            let due = start + std::time::Duration::from_secs_f64(i as f64 / pps);
+            if let Some(wait) = due.checked_duration_since(std::time::Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        p
+    })
+}
+
 /// A synthetic traffic source: `<dataset>:<seed>:<flows_per_class>`
 /// (e.g. `ustc:7:4`). Deterministic — the same spec always replays the
 /// identical packet stream, which is what the determinism contract and

@@ -1,16 +1,18 @@
 //! End-to-end determinism contract: an identical replay through an
 //! identical bundle and policy produces a byte-identical verdict
-//! stream — at any batch size, across process reruns (synth replay is
-//! seeded), and whether the bundle is the freshly trained object or
-//! its frozen save→load round trip.
+//! stream — at any batch size, at any worker count, across process
+//! reruns (synth replay is seeded), across a mid-replay hot-reload,
+//! and whether the bundle is the freshly trained object or its frozen
+//! save→load round trip.
 
 use dataset::record::Prepared;
 use debunk_core::obs::{LogFormat, ObsSink};
-use serving::engine::{serve_stream, ServeOptions, ServeStats};
+use serving::engine::{serve as serve_engine, EpochBundle, ServeOptions, ServeStats};
 use serving::policy::Policy;
+use serving::reload::{LiveMsg, ReloadSource};
 use serving::source::SynthSpec;
 use serving::ModelBundle;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One bundle shared across every test in this file — training is the
 /// expensive part and the tests only ever read it.
@@ -22,13 +24,55 @@ fn bundle() -> &'static ModelBundle {
     })
 }
 
-fn serve(bundle: &ModelBundle, policy: &Policy, batch: usize) -> (Vec<u8>, ServeStats) {
+/// A second bundle (different seed) so reload tests actually swap
+/// model weights, not just bump the epoch counter. Arc-wrapped because
+/// the live-reload channel hands the engine owned bundles.
+fn bundle_b() -> &'static Arc<ModelBundle> {
+    static BUNDLE: OnceLock<Arc<ModelBundle>> = OnceLock::new();
+    BUNDLE.get_or_init(|| {
+        let spec = SynthSpec::parse("ustc:7:1").unwrap();
+        Arc::new(ModelBundle::train(&Prepared::from_trace(&spec.trace()), 43))
+    })
+}
+
+/// Same training data as [`bundle`] but with the int8 encoder artifact
+/// attached — the refusal test routes to `encoder_int8`.
+fn bundle_int8() -> &'static ModelBundle {
+    static BUNDLE: OnceLock<ModelBundle> = OnceLock::new();
+    BUNDLE.get_or_init(|| {
+        let spec = SynthSpec::parse("ustc:7:1").unwrap();
+        let mut b = ModelBundle::train(&Prepared::from_trace(&spec.trace()), 42);
+        b.quantize_encoder();
+        b
+    })
+}
+
+fn serve_full(
+    bundle: &ModelBundle,
+    policy: &Policy,
+    batch: usize,
+    workers: usize,
+    reload: ReloadSource<'_>,
+) -> (Vec<u8>, ServeStats) {
     let packets = SynthSpec::parse("ustc:11:2").unwrap().replay();
     let sink = ObsSink::stderr(LogFormat::Text);
     let mut out = Vec::new();
-    let opts = ServeOptions { batch, idle_timeout: 15.0 };
-    let stats = serve_stream(bundle, policy, &packets, &opts, &mut out, &sink).unwrap();
+    let opts = ServeOptions { batch, idle_timeout: 15.0, workers };
+    let stats = serve_engine(bundle, policy, &packets, &opts, reload, &mut out, &sink).unwrap();
     (out, stats)
+}
+
+fn serve(bundle: &ModelBundle, policy: &Policy, batch: usize) -> (Vec<u8>, ServeStats) {
+    serve_full(bundle, policy, batch, 1, ReloadSource::None)
+}
+
+/// A planned single-reload source swapping to `bundle_b` at `boundary`.
+fn reload_at(boundary: u64) -> ReloadSource<'static> {
+    ReloadSource::planned(vec![(
+        boundary,
+        EpochBundle::Borrowed(bundle_b().as_ref()),
+        String::from("test-epoch-1"),
+    )])
 }
 
 #[test]
@@ -64,6 +108,71 @@ fn frozen_round_trip_serves_identically_to_the_trained_bundle() {
     assert_eq!(fresh, frozen, "save->load must not change a single verdict byte");
     assert_eq!(sa, sb);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_verdict_stream_is_byte_identical_to_single_worker() {
+    let policy = Policy::parse("*:tcp:443 -> encoder\n*:udp -> knn\ndefault -> gbdt\n").unwrap();
+    let (baseline, stats) = serve(bundle(), &policy, 16);
+    assert!(stats.verdicts > 0, "replay must classify something");
+    for workers in [2, 4] {
+        for batch in [1, 16] {
+            let (bytes, s) = serve_full(bundle(), &policy, batch, workers, ReloadSource::None);
+            assert_eq!(
+                baseline, bytes,
+                "workers={workers} batch={batch} diverged from the single-worker stream"
+            );
+            assert_eq!(stats, s, "stats at workers={workers} batch={batch}");
+        }
+    }
+}
+
+#[test]
+fn planned_reload_is_worker_count_invariant() {
+    let policy = Policy::parse("*:udp -> knn\ndefault -> forest\n").unwrap();
+    let n_packets = SynthSpec::parse("ustc:11:2").unwrap().replay().len() as u64;
+    let boundary = n_packets / 2;
+    let (baseline, stats) = serve_full(bundle(), &policy, 16, 1, reload_at(boundary));
+    assert_eq!(stats.reloads, 1, "the planned reload must fire");
+    let text = String::from_utf8(baseline.clone()).unwrap();
+    assert!(text.contains("\"epoch\":0"), "some flows must retire under the old bundle");
+    assert!(text.contains("\"epoch\":1"), "some flows must retire under the new bundle");
+    for workers in [2, 4] {
+        let (bytes, s) = serve_full(bundle(), &policy, 16, workers, reload_at(boundary));
+        assert_eq!(baseline, bytes, "workers={workers} diverged across the reload boundary");
+        assert_eq!(stats, s, "stats at workers={workers}");
+    }
+}
+
+#[test]
+fn live_reload_at_stream_start_matches_planned_boundary_zero() {
+    // A live candidate picked up before packet 0 binds to boundary 0 —
+    // byte-identical to the planned run at that boundary, which is the
+    // exact replayability story `reloads.boundaries` metrics promise.
+    let policy = Policy::route_all("forest");
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(LiveMsg::Bundle(Arc::clone(bundle_b()), String::from("live-0"))).unwrap();
+    let (live, live_stats) = serve_full(bundle(), &policy, 16, 1, ReloadSource::Live(rx));
+    let (planned, planned_stats) = serve_full(bundle(), &policy, 16, 1, reload_at(0));
+    assert_eq!(live_stats.reloads, 1);
+    assert_eq!(live, planned, "live pickup at seq 0 must replay as planned boundary 0");
+    assert_eq!(live_stats, planned_stats);
+}
+
+#[test]
+fn incompatible_live_candidate_is_refused_and_stream_is_unchanged() {
+    // Policy routes to the int8 encoder; the candidate bundle has no
+    // int8 artifact, so validation must refuse it mid-stream and the
+    // verdict bytes must match a run that never saw a candidate.
+    let policy = Policy::route_all("encoder_int8");
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(LiveMsg::Bundle(Arc::clone(bundle_b()), String::from("no-int8"))).unwrap();
+    let (with_refusal, stats) = serve_full(bundle_int8(), &policy, 16, 1, ReloadSource::Live(rx));
+    let (clean, clean_stats) = serve_full(bundle_int8(), &policy, 16, 1, ReloadSource::None);
+    assert_eq!(stats.reloads, 0, "incompatible candidate must not apply");
+    assert_eq!(stats.reloads_refused, 1, "refusal must be counted");
+    assert_eq!(with_refusal, clean, "a refused candidate must not change a single byte");
+    assert_eq!(stats.verdicts, clean_stats.verdicts);
 }
 
 #[test]

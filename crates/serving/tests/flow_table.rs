@@ -1,0 +1,118 @@
+//! Property tests for the flow table under hostile timestamps: capture
+//! files carry clock skew, reordering and outright backwards time, and
+//! the table's determinism contract has to survive all of it. Frames
+//! are real synthesised traffic; timestamps are adversarial.
+
+use proptest::prelude::*;
+use serving::flow::Ingest;
+use serving::source::SynthSpec;
+use serving::FlowTable;
+use std::sync::OnceLock;
+
+/// A pool of real frames to draw from — flow-key variety without
+/// hand-assembling Ethernet bytes in the generator.
+fn frame_pool() -> &'static Vec<(f64, Vec<u8>)> {
+    static POOL: OnceLock<Vec<(f64, Vec<u8>)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        SynthSpec::parse("ustc:5:1")
+            .unwrap()
+            .replay()
+            .into_iter()
+            .map(|p| (p.ts, p.frame))
+            .collect()
+    })
+}
+
+/// Replay `events` (frame index + timestamp override) through a table,
+/// polling after every push, and return the full eviction stream as
+/// `(id, reason)` plus the number of flows opened. `seq_offset` shifts
+/// every sequence number, exercising ids far past `u32::MAX`.
+fn run(events: &[(usize, f64)], seq_offset: u64) -> (Vec<(u64, u8)>, u64) {
+    let pool = frame_pool();
+    let mut table = FlowTable::new(5.0).unwrap();
+    let mut stream: Vec<(u64, u8)> = Vec::new();
+    let mut opened = 0u64;
+    for (i, &(idx, ts)) in events.iter().enumerate() {
+        let frame = &pool[idx % pool.len()].1;
+        if let Ingest::Tracked { opened: true } = table.push(seq_offset + i as u64, ts, frame) {
+            opened += 1;
+        }
+        for (flow, reason) in table.poll(ts) {
+            assert_eq!(
+                flow.records.iter().map(|r| r.flow_id).max().unwrap_or(flow.id),
+                flow.id,
+                "every stored record must carry the flow's id"
+            );
+            stream.push((flow.id, reason as u8));
+        }
+    }
+    for (flow, reason) in table.flush() {
+        stream.push((flow.id, reason as u8));
+    }
+    assert!(table.is_empty(), "flush must leave nothing tracked");
+    (stream, opened)
+}
+
+/// Event stream strategy: frame indices from the pool, timestamps
+/// drawn independently from a window that guarantees reordering,
+/// duplicates and idle gaps relative to the 5s timeout.
+fn events() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..512, -20.0f64..40.0), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn out_of_order_timestamps_never_break_the_eviction_contract(evs in events()) {
+        let (stream, opened) = run(&evs, 0);
+        // Conservation: every opened flow retires exactly once.
+        prop_assert_eq!(stream.len() as u64, opened);
+        let mut ids: Vec<u64> = stream.iter().map(|&(id, _)| id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "a flow id must never be evicted twice");
+    }
+
+    #[test]
+    fn adversarial_replays_are_deterministic(evs in events()) {
+        let (a, oa) = run(&evs, 0);
+        let (b, ob) = run(&evs, 0);
+        prop_assert_eq!(a, b, "identical replay must evict identically");
+        prop_assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn flow_ids_are_a_pure_shift_of_sequence_numbers(evs in events()) {
+        // Ids are the opener's sequence number and nothing else:
+        // offsetting every seq by a constant (pushing ids far past
+        // u32::MAX) shifts the stream's ids and changes nothing else.
+        let offset = u64::from(u32::MAX) + 17;
+        let (base, _) = run(&evs, 0);
+        let (wide, _) = run(&evs, offset);
+        prop_assert_eq!(base.len(), wide.len());
+        for (&(id0, r0), &(id1, r1)) in base.iter().zip(&wide) {
+            prop_assert_eq!(id0 + offset, id1);
+            prop_assert!(id1 > u64::from(u32::MAX));
+            prop_assert_eq!(r0, r1);
+        }
+    }
+
+    #[test]
+    fn poll_batches_come_out_in_id_order(evs in events()) {
+        let pool = frame_pool();
+        let mut table = FlowTable::new(5.0).unwrap();
+        for (i, &(idx, ts)) in evs.iter().enumerate() {
+            table.push(i as u64, ts, &pool[idx % pool.len()].1);
+            let batch = table.poll(ts);
+            for w in batch.windows(2) {
+                prop_assert!(w[0].0.id < w[1].0.id, "poll batch must be id-sorted");
+            }
+        }
+        let last = table.flush();
+        for w in last.windows(2) {
+            prop_assert!(w[0].0.id < w[1].0.id, "flush batch must be id-sorted");
+        }
+    }
+}

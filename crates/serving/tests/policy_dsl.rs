@@ -159,6 +159,111 @@ proptest! {
     }
 
     #[test]
+    fn slash_zero_matches_every_v4_address(
+        net in any::<[u8; 4]>(),
+        lo_ip in any::<u32>(),
+        hi_ip in any::<u32>(),
+        lo_port in any::<u16>(),
+        hi_port in any::<u16>(),
+        protocol in any::<u8>(),
+    ) {
+        // A /0 block is the whole v4 internet — the net address is
+        // irrelevant and every v4 key matches.
+        let p = Policy::parse(&format!(
+            "{}.{}.{}.{}/0 -> knn\n", net[0], net[1], net[2], net[3]
+        )).unwrap();
+        let key = FlowKey {
+            lo_ip: u128::from(lo_ip.min(hi_ip)),
+            hi_ip: u128::from(lo_ip.max(hi_ip)),
+            lo_port,
+            hi_port,
+            protocol,
+        };
+        prop_assert!(p.match_flow(&key).is_some());
+    }
+
+    #[test]
+    fn slash_32_matches_exactly_one_address(
+        addr in any::<[u8; 4]>(),
+        other in any::<u32>(),
+        port in any::<u16>(),
+        protocol in any::<u8>(),
+    ) {
+        let ip = u32::from_be_bytes(addr);
+        let text = format!(
+            "{}.{}.{}.{}/32 -> forest\n", addr[0], addr[1], addr[2], addr[3]
+        );
+        let p = Policy::parse(&text).unwrap();
+        let exact = FlowKey {
+            lo_ip: u128::from(ip),
+            hi_ip: u128::from(ip),
+            lo_port: port,
+            hi_port: port,
+            protocol,
+        };
+        prop_assert!(p.match_flow(&exact).is_some(), "/32 must match its own address");
+        // A /32 rendered back through Display drops the suffix but must
+        // stay the same rule.
+        let q = Policy::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(&p, &q);
+        if other != ip {
+            let miss = FlowKey {
+                lo_ip: u128::from(other),
+                hi_ip: u128::from(other),
+                lo_port: port,
+                hi_port: port,
+                protocol,
+            };
+            prop_assert!(
+                p.match_flow(&miss).is_none(),
+                "/32 must not match any other address"
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_port_ranges_are_rejected_not_reordered(
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+    ) {
+        let text = format!("*:tcp:{lo}-{hi} -> knn\n");
+        let parsed = Policy::parse(&text);
+        if lo > hi {
+            let err = parsed.expect_err("inverted range must not parse");
+            prop_assert_eq!(err.line, 1);
+            prop_assert!(err.msg.contains("empty port range"), "got: {}", err.msg);
+        } else {
+            prop_assert!(parsed.is_ok(), "ordered range {}-{} must parse", lo, hi);
+        }
+    }
+
+    #[test]
+    fn any_rule_after_default_is_unreachable_and_rejected(
+        rules in proptest::collection::vec(
+            (
+                (any::<[u8; 4]>(), 0u8..=32, any::<bool>()),
+                (0u8..=4, any::<u8>()),
+                (any::<u16>(), any::<u16>(), 0u8..=3),
+            ),
+            1..4,
+        ),
+        tgts in proptest::collection::vec(0usize..TARGETS.len(), 4),
+    ) {
+        let rules: Vec<RuleTuple> = rules
+            .into_iter()
+            .zip(&tgts)
+            .map(|((a, p, q), t)| (a, p, q, *t))
+            .collect();
+        // default first, then otherwise-valid rules: the parser must
+        // reject the document (first-match makes them unreachable) and
+        // point at the first shadowed line.
+        let text = format!("default -> forest\n{}", policy_text(&rules, false));
+        let err = Policy::parse(&text).expect_err("rules after default must be rejected");
+        prop_assert_eq!(err.line, 2);
+        prop_assert!(err.msg.contains("unreachable"), "got: {}", err.msg);
+    }
+
+    #[test]
     fn arbitrary_text_never_panics_the_parser(
         text in "[a-z0-9:./*#> _-]{0,120}",
     ) {

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Render the perf trajectory in results/bench_history.jsonl as SVG.
+
+One figure per bench group (kernels / pipeline / serving): every metric
+in the group's ``results_ms`` is plotted normalised to its first
+recorded value, so regressions and wins read directly as a departure
+from the 1.0 line no matter the metric's unit (ms, us, rows/s).
+
+Standard library only — no matplotlib in the container — so the charts
+are hand-rolled SVG. Missing or empty history is a no-op, not an error:
+the script is safe to run on a fresh clone.
+
+Usage:
+    python3 scripts/generate_figures.py \
+        [--history results/bench_history.jsonl] [--out-dir figures]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WIDTH, HEIGHT = 960, 480
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 60, 240, 40, 50
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+    "#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+]
+
+
+def load_history(path):
+    """Parse the JSONL log into a list of dicts, skipping bad lines."""
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"warning: {path}:{lineno}: unparseable line skipped",
+                          file=sys.stderr)
+                    continue
+                if entry.get("schema") == "bench_history/v1":
+                    entries.append(entry)
+    except FileNotFoundError:
+        return []
+    entries.sort(key=lambda e: e.get("recorded_unix", 0))
+    return entries
+
+
+def group_series(entries):
+    """source -> metric -> [(recorded_unix, sha, value)], in time order."""
+    groups = {}
+    for e in entries:
+        source = e.get("source", "unknown")
+        results = e.get("bench", {}).get("results_ms", {})
+        if not isinstance(results, dict):
+            continue
+        series = groups.setdefault(source, {})
+        for name, value in results.items():
+            if isinstance(value, (int, float)) and value == value:  # drop null/NaN
+                series.setdefault(name, []).append(
+                    (e.get("recorded_unix", 0), e.get("git_sha", "")[:8], value)
+                )
+    return groups
+
+
+def svg_chart(title, series):
+    """A normalised-trajectory line chart for one bench group."""
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    n_points = max(len(pts) for pts in series.values())
+    normalised = {
+        name: [v / pts[0][2] for (_, _, v) in pts]
+        for name, pts in series.items()
+        if pts[0][2] != 0
+    }
+    lo = min((min(vs) for vs in normalised.values()), default=1.0)
+    hi = max((max(vs) for vs in normalised.values()), default=1.0)
+    lo, hi = min(lo, 0.95), max(hi, 1.05)
+    span = hi - lo
+
+    def x(i):
+        return MARGIN_L + (plot_w * i / max(n_points - 1, 1))
+
+    def y(v):
+        return MARGIN_T + plot_h * (1 - (v - lo) / span)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="24" font-size="16">{title} '
+        f'(normalised to first sample)</text>',
+    ]
+    # Horizontal gridlines at round ratios, the 1.0 baseline emphasised.
+    for g in (0.5, 0.75, 1.0, 1.25, 1.5, 2.0):
+        if lo <= g <= hi:
+            gy = y(g)
+            stroke = "#999" if g == 1.0 else "#e0e0e0"
+            parts.append(
+                f'<line x1="{MARGIN_L}" y1="{gy:.1f}" '
+                f'x2="{MARGIN_L + plot_w}" y2="{gy:.1f}" stroke="{stroke}"/>'
+            )
+            parts.append(
+                f'<text x="{MARGIN_L - 8}" y="{gy + 4:.1f}" '
+                f'text-anchor="end">{g:g}x</text>'
+            )
+    for slot, (name, vs) in enumerate(sorted(normalised.items())):
+        colour = PALETTE[slot % len(PALETTE)]
+        pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(vs))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{colour}" '
+            f'stroke-width="1.5"/>'
+        )
+        ly = MARGIN_T + 14 * slot
+        parts.append(
+            f'<line x1="{WIDTH - MARGIN_R + 10}" y1="{ly - 4}" '
+            f'x2="{WIDTH - MARGIN_R + 30}" y2="{ly - 4}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_R + 36}" y="{ly}">{name} '
+            f'({vs[-1]:.2f}x)</text>'
+        )
+    parts.append(
+        f'<text x="{MARGIN_L}" y="{HEIGHT - 16}">samples: {n_points} '
+        f'(oldest → newest)</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--history", default="results/bench_history.jsonl")
+    ap.add_argument("--out-dir", default="figures")
+    args = ap.parse_args()
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"generate_figures: no usable history at {args.history}; "
+              "nothing to plot")
+        return 0
+    groups = group_series(entries)
+    if not groups:
+        print("generate_figures: history has no results_ms sections; "
+              "nothing to plot")
+        return 0
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for source, series in sorted(groups.items()):
+        series = {k: v for k, v in series.items() if v}
+        if not series:
+            continue
+        stem = os.path.splitext(source)[0].lower()
+        out = os.path.join(args.out_dir, f"{stem}_trajectory.svg")
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(svg_chart(source, series))
+        n = max(len(v) for v in series.values())
+        print(f"wrote {out} ({len(series)} metrics, {n} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

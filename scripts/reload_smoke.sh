@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Hot-reload + sharded-serving smoke test, end to end through the real
+# `serve` binary:
+#
+#   1. A planned two-epoch run (`--reload-at`) must produce
+#      byte-identical verdict streams at --serve-workers 1, 2 and 4,
+#      with both epochs present in the output and the boundary
+#      recorded in the serving metrics.
+#   2. A live run (`--reload-dir` + a candidate published mid-replay)
+#      must be reproducible: replaying with `--reload-at` at the
+#      boundary the metrics recorded yields byte-identical verdicts.
+#   3. A corrupt candidate must be refused — exit 0, refusal counted,
+#      verdict bytes identical to a run that never saw a candidate.
+#
+# Environment knobs:
+#   SERVE_BIN   path to the serve binary (default target/release/serve)
+#   WORK_DIR    scratch directory (default: fresh mktemp -d)
+set -euo pipefail
+
+SERVE_BIN="${SERVE_BIN:-target/release/serve}"
+WORK_DIR="${WORK_DIR:-$(mktemp -d)}"
+REPLAY="ustc:11:6"   # 6514 packets / 316 flows
+MID=3000             # planned boundary, safely mid-replay
+
+bundle_a="$WORK_DIR/bundle-a"
+bundle_b="$WORK_DIR/bundle-b"
+"$SERVE_BIN" export --out "$bundle_a" --synth ustc:7:4 --seed 42 >/dev/null 2>&1
+"$SERVE_BIN" export --out "$bundle_b" --synth ustc:7:4 --seed 43 >/dev/null 2>&1
+if cmp -s "$bundle_a/encoder.frozen" "$bundle_b/encoder.frozen"; then
+    echo "FAIL: seeds 42 and 43 froze identical encoders" >&2; exit 1
+fi
+echo "ok: two distinct bundles frozen"
+
+cat > "$WORK_DIR/policy.txt" <<'EOF'
+*:tcp:443 -> encoder
+*:udp     -> knn
+default   -> forest
+EOF
+
+# Pull "reloads": {"applied": A, "refused": R, "boundaries": [...]}
+# out of a metrics.json; prints "A R b1,b2,...".
+reloads_of() {
+    python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+r = m["reloads"]
+print(r["applied"], r["refused"], ",".join(str(int(b)) for b in r["boundaries"]))
+EOF
+}
+
+# --- Leg 1: planned two-epoch run, workers 1/2/4 byte-identical ------
+for w in 1 2 4; do
+    "$SERVE_BIN" run --models "$bundle_a" --synth "$REPLAY" \
+        --policy "$WORK_DIR/policy.txt" \
+        --reload-at "$MID:$bundle_b" --serve-workers "$w" \
+        --out "$WORK_DIR/planned-w$w.jsonl" \
+        --metrics-dir "$WORK_DIR/planned-w$w-obs" >/dev/null 2>&1
+done
+cmp "$WORK_DIR/planned-w1.jsonl" "$WORK_DIR/planned-w2.jsonl"
+cmp "$WORK_DIR/planned-w1.jsonl" "$WORK_DIR/planned-w4.jsonl"
+grep -q '"epoch":0' "$WORK_DIR/planned-w1.jsonl" \
+    || { echo "FAIL: no epoch-0 verdicts before the boundary" >&2; exit 1; }
+grep -q '"epoch":1' "$WORK_DIR/planned-w1.jsonl" \
+    || { echo "FAIL: no epoch-1 verdicts after the boundary" >&2; exit 1; }
+echo "ok: planned two-epoch verdicts byte-identical at workers 1/2/4"
+
+for w in 1 2 4; do
+    read -r applied refused boundaries \
+        < <(reloads_of "$WORK_DIR/planned-w$w-obs/metrics.json")
+    if [ "$applied" != 1 ] || [ "$refused" != 0 ] || [ "$boundaries" != "$MID" ]; then
+        echo "FAIL: workers=$w metrics reloads applied=$applied" \
+             "refused=$refused boundaries=[$boundaries], want 1/0/[$MID]" >&2
+        exit 1
+    fi
+done
+grep -q '"3":' "$WORK_DIR/planned-w4-obs/metrics.json" \
+    || { echo "FAIL: workers=4 metrics carry no shard 3 section" >&2; exit 1; }
+echo "ok: metrics record the boundary and per-shard counters"
+
+# --- Leg 2: live reload mid-replay, replayed as a planned run --------
+# Publish a candidate the way ModelBundle::save does: labels.txt last,
+# so the watcher's completeness gate never reads a half-written bundle.
+publish() { # publish SRC_BUNDLE DEST_DIR
+    mkdir -p "$2"
+    for f in "$1"/*; do
+        base=$(basename "$f")
+        [ "$base" = labels.txt ] || cp "$f" "$2/$base"
+    done
+    cp "$1/labels.txt" "$2/labels.txt"
+}
+
+watch="$WORK_DIR/watch"
+mkdir -p "$watch"
+"$SERVE_BIN" run --models "$bundle_a" --synth "$REPLAY" \
+    --policy "$WORK_DIR/policy.txt" \
+    --reload-dir "$watch" --reload-poll-ms 25 --throttle-pps 2000 \
+    --out "$WORK_DIR/live.jsonl" \
+    --metrics-dir "$WORK_DIR/live-obs" >/dev/null 2>&1 &
+live_pid=$!
+sleep 1
+publish "$bundle_b" "$watch/candidate"
+wait "$live_pid"
+
+read -r applied refused boundaries \
+    < <(reloads_of "$WORK_DIR/live-obs/metrics.json")
+if [ "$applied" != 1 ] || [ "$refused" != 0 ]; then
+    echo "FAIL: live run applied=$applied refused=$refused, want 1/0" >&2
+    exit 1
+fi
+echo "ok: live candidate applied at packet boundary $boundaries"
+
+"$SERVE_BIN" run --models "$bundle_a" --synth "$REPLAY" \
+    --policy "$WORK_DIR/policy.txt" \
+    --reload-at "$boundaries:$watch/candidate" \
+    --out "$WORK_DIR/live-replayed.jsonl" >/dev/null 2>&1
+cmp "$WORK_DIR/live.jsonl" "$WORK_DIR/live-replayed.jsonl"
+echo "ok: live run replays byte-identically as a planned run"
+
+# --- Leg 3: corrupt candidate refused, old bundle keeps serving ------
+"$SERVE_BIN" run --models "$bundle_a" --synth "$REPLAY" \
+    --policy "$WORK_DIR/policy.txt" \
+    --out "$WORK_DIR/base.jsonl" >/dev/null 2>&1
+
+bad="$WORK_DIR/bad-bundle"
+publish "$bundle_b" "$bad"
+head -c 256 /dev/zero > "$bad/encoder.frozen"   # torn artifact
+
+watch2="$WORK_DIR/watch2"
+mkdir -p "$watch2"
+"$SERVE_BIN" run --models "$bundle_a" --synth "$REPLAY" \
+    --policy "$WORK_DIR/policy.txt" \
+    --reload-dir "$watch2" --reload-poll-ms 25 --throttle-pps 2000 \
+    --out "$WORK_DIR/refused.jsonl" \
+    --metrics-dir "$WORK_DIR/refused-obs" >/dev/null 2>&1 &
+live_pid=$!
+sleep 1
+publish "$bad" "$watch2/candidate"
+if ! wait "$live_pid"; then
+    echo "FAIL: a corrupt candidate must not kill the serve run" >&2
+    exit 1
+fi
+
+read -r applied refused boundaries \
+    < <(reloads_of "$WORK_DIR/refused-obs/metrics.json")
+if [ "$applied" != 0 ] || [ "$refused" != 1 ]; then
+    echo "FAIL: corrupt candidate applied=$applied refused=$refused," \
+         "want 0/1" >&2
+    exit 1
+fi
+cmp "$WORK_DIR/base.jsonl" "$WORK_DIR/refused.jsonl"
+echo "ok: corrupt candidate refused, verdicts unchanged, exit 0"
+
+echo "reload smoke passed (replay $REPLAY, work dir $WORK_DIR)"

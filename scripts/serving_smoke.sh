@@ -52,7 +52,7 @@ done
 cmp "$WORK_DIR/p1.jsonl" "$WORK_DIR/p2.jsonl"
 echo "ok: policy-routed replay reproduces byte-for-byte"
 
-for key in 'debunk-serving-metrics-v1' '"packets"' '"flows"' '"verdicts"'; do
+for key in 'debunk-serving-metrics-v2' '"packets"' '"flows"' '"verdicts"'; do
     grep -q "$key" "$WORK_DIR/p1-obs/metrics.json" \
         || { echo "FAIL: metrics.json lacks $key" >&2; exit 1; }
 done

@@ -29,8 +29,8 @@ proptest! {
         prop_assert_eq!(test.len(), s.test.len());
         prop_assert!(train.is_disjoint(&test));
         // 2. flow atomicity
-        let train_flows: HashSet<u32> = s.train.iter().map(|&i| data.records[i].flow_id).collect();
-        let test_flows: HashSet<u32> = s.test.iter().map(|&i| data.records[i].flow_id).collect();
+        let train_flows: HashSet<u64> = s.train.iter().map(|&i| data.records[i].flow_id).collect();
+        let test_flows: HashSet<u64> = s.test.iter().map(|&i| data.records[i].flow_id).collect();
         prop_assert!(train_flows.is_disjoint(&test_flows));
         // 3. both sides non-empty
         prop_assert!(!s.train.is_empty() && !s.test.is_empty());

@@ -73,7 +73,7 @@ fn per_flow_split_has_no_flow_overlap_but_per_packet_does() {
 
     let pf = per_flow_split(&data, 0.8, 1000, 7);
     let flows =
-        |idx: &[usize]| -> HashSet<u32> { idx.iter().map(|&i| data.records[i].flow_id).collect() };
+        |idx: &[usize]| -> HashSet<u64> { idx.iter().map(|&i| data.records[i].flow_id).collect() };
     assert!(flows(&pf.train).is_disjoint(&flows(&pf.test)));
 
     let pp = per_packet_split(&data, 0.8, 7);
